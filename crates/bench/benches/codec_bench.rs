@@ -1,0 +1,62 @@
+//! Compression-codec throughput benchmarks on the synthetic scenes used
+//! by the Table 4 reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use compress::CodecKind;
+use imagery::synth::{Scene, SceneKind};
+
+fn bench_compress(c: &mut Criterion) {
+    let rgb = Scene::new(SceneKind::UrbanRgb, 7).render(128, 128);
+    let sar = Scene::new(SceneKind::SarOcean, 7).render(128, 128);
+
+    let mut group = c.benchmark_group("compress");
+    for (label, img) in [("rgb", &rgb), ("sar", &sar)] {
+        group.throughput(Throughput::Bytes(img.data().len() as u64));
+        for kind in CodecKind::ALL {
+            let codec = kind.raster_codec();
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), label),
+                img,
+                |b, img| b.iter(|| black_box(codec.compress_raster(img)).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let img = Scene::new(SceneKind::UrbanRgb, 7).render(128, 128);
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(img.data().len() as u64));
+    for kind in CodecKind::ALL {
+        let codec = kind.raster_codec();
+        let packed = codec.compress_raster(&img);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                black_box(
+                    codec
+                        .decompress_raster(&packed, 128, 128, 3)
+                        .expect("valid stream"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scene_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    for kind in [SceneKind::UrbanRgb, SceneKind::SarOcean, SceneKind::CloudyRgb] {
+        group.bench_function(format!("{kind}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Scene::new(kind, seed).render(128, 128))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_scene_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end experiment regeneration benchmarks: one timed entry per
+//! paper artifact family, so regressions in any model surface as a bench
+//! regression.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sudc::experiments;
+
+fn bench_fast_experiments(c: &mut Criterion) {
+    // Everything except table4 (compression over images) and simval
+    // (simulation runs), which get their own slower group.
+    let fast = [
+        "fig2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9",
+        "fig11", "fig13", "fig14", "fig16", "table1", "table2", "table3", "table5", "table6",
+        "table7", "table8", "table9",
+    ];
+    let mut group = c.benchmark_group("experiments_fast");
+    for id in fast {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(experiments::run(id).expect("known id")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heavy_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_heavy");
+    group.sample_size(10);
+    for id in ["table4", "simval"] {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(experiments::run(id).expect("known id")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_experiments, bench_heavy_experiments);
+criterion_main!(benches);

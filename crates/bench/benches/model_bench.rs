@@ -1,0 +1,82 @@
+//! Closed-form model benchmarks and the closed-form-vs-simulation
+//! ablation: how much wall-clock the analytical models save over playing
+//! out the same question in the discrete-event simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sudc::bottleneck::ring_supportable;
+use sudc::sim::{run, SimConfig};
+use sudc::sizing::{sizing_sweep, SudcSpec, PAPER_CONSTELLATION};
+use units::{DataRate, Length, Time};
+use workloads::{Application, Device};
+
+fn bench_sizing_sweep(c: &mut Criterion) {
+    let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+    c.bench_function("fig9_sizing_sweep_160cells", |b| {
+        b.iter(|| black_box(sizing_sweep(&spec, PAPER_CONSTELLATION)))
+    });
+}
+
+fn bench_table8_grid(c: &mut Criterion) {
+    c.bench_function("table8_grid_48cells", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for res_m in [3.0, 1.0, 0.3, 0.1] {
+                for ed in [0.0, 0.5, 0.95, 0.99] {
+                    for gbps in [1.0, 10.0, 100.0] {
+                        acc += ring_supportable(
+                            DataRate::from_gbps(gbps),
+                            Length::from_m(res_m),
+                            ed,
+                        );
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Ablation: the same sustainability question answered analytically vs by
+/// simulation. Criterion reports both; the ratio is the cost of fidelity.
+fn bench_ablation_model_vs_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sustainability");
+    group.sample_size(10);
+
+    group.bench_function("closed_form", |b| {
+        let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+        b.iter(|| {
+            let n = sudc::bottleneck::clusters_needed(
+                &spec,
+                Application::FloodDetection,
+                Length::from_m(1.0),
+                0.5,
+                64,
+                comms::IslClass::Gbps100,
+            );
+            black_box(n)
+        })
+    });
+
+    group.bench_function("simulation_30s", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::paper_reference(
+                Application::FloodDetection,
+                Length::from_m(1.0),
+                0.5,
+            );
+            cfg.isl_capacity = DataRate::from_gbps(100.0);
+            cfg.clusters = 4;
+            cfg.duration = Time::from_secs(30.0);
+            black_box(run(&cfg).stable)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sizing_sweep,
+    bench_table8_grid,
+    bench_ablation_model_vs_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Orbital-mechanics kernel benchmarks: Kepler solves, state
+//! propagation, ground tracks, and line-of-sight checks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orbit::circular::CircularOrbit;
+use orbit::kepler::{solve_kepler, OrbitalElements};
+use orbit::visibility::{geo_star_coverage, has_line_of_sight};
+use orbit::Vec3;
+use units::{Angle, Length, Time};
+
+fn bench_kepler_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kepler_solver");
+    for &e in &[0.001, 0.1, 0.7, 0.95] {
+        group.bench_function(format!("e_{e}"), |b| {
+            let mut m = 0.1f64;
+            b.iter(|| {
+                m = (m + 0.7) % std::f64::consts::TAU;
+                black_box(solve_kepler(black_box(m), e).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let elements = OrbitalElements::new(
+        Length::from_km(6_921.0),
+        0.01,
+        Angle::from_degrees(53.0),
+        Angle::from_degrees(30.0),
+        Angle::from_degrees(40.0),
+        Angle::ZERO,
+    )
+    .unwrap();
+    c.bench_function("state_propagation", |b| {
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 17.3;
+            black_box(elements.state_at(Time::from_secs(t)).unwrap())
+        })
+    });
+}
+
+fn bench_ground_track(c: &mut Criterion) {
+    let elements =
+        OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(97.5)).unwrap();
+    c.bench_function("ground_track_256pts", |b| {
+        b.iter(|| {
+            black_box(
+                orbit::groundtrack::ground_track(&elements, elements.period(), 256).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_line_of_sight(c: &mut Criterion) {
+    let a = Vec3::new(6.92e6, 0.0, 0.0);
+    let targets: Vec<Vec3> = (0..64)
+        .map(|i| {
+            let ang = i as f64 / 64.0 * std::f64::consts::TAU;
+            Vec3::new(6.92e6 * ang.cos(), 6.92e6 * ang.sin(), 0.0)
+        })
+        .collect();
+    c.bench_function("los_ring_sweep_64", |b| {
+        b.iter(|| {
+            targets
+                .iter()
+                .filter(|&&t| has_line_of_sight(a, t, Length::from_km(80.0)))
+                .count()
+        })
+    });
+}
+
+fn bench_geo_star(c: &mut Criterion) {
+    let leo = CircularOrbit::from_altitude(Length::from_km(550.0));
+    c.bench_function("geo_star_coverage_512", |b| {
+        b.iter(|| black_box(geo_star_coverage(leo, Angle::from_degrees(53.0), 3, 512)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kepler_solver,
+    bench_propagation,
+    bench_ground_track,
+    bench_line_of_sight,
+    bench_geo_star
+);
+criterion_main!(benches);

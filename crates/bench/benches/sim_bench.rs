@@ -1,0 +1,50 @@
+//! Discrete-event simulator throughput: events per second through the
+//! constellation model and the raw scheduler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simkit::Scheduler;
+use sudc::sim::{run, SimConfig};
+use units::{Length, Time};
+use workloads::Application;
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u32> = Scheduler::new();
+            for i in 0..1000u32 {
+                s.schedule_at(Time::from_secs(f64::from((i * 7919) % 1000)), i);
+            }
+            let mut acc = 0u64;
+            while let Some(ev) = s.pop() {
+                acc += u64::from(ev.payload);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_constellation_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constellation_sim");
+    group.sample_size(10);
+    for (label, res, discard) in [
+        ("3m_ed95", 3.0, 0.95),
+        ("1m_ed50", 1.0, 0.5),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::paper_reference(
+                    Application::AirPollution,
+                    Length::from_m(res),
+                    discard,
+                );
+                cfg.clusters = 4;
+                cfg.duration = Time::from_secs(30.0);
+                black_box(run(&cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_constellation_sim);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list            # list experiment ids
+//! repro <id> [<id>...]  # run specific experiments
+//! repro all             # run everything (writes results/*.{txt,csv,json})
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use sudc::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+
+    if args[0] == "list" {
+        println!("available experiments:");
+        for e in experiments::all() {
+            println!("  {:8}  {:9}  {}", e.id, e.paper_ref, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<String> = if args[0] == "all" {
+        experiments::all().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut failed = false;
+    for id in &ids {
+        match experiments::run(id) {
+            Some(result) => {
+                println!("{}", result.to_text_table());
+                match bench::write_artifacts(&result) {
+                    Ok(path) => println!("wrote {}\n", path.display()),
+                    Err(e) => {
+                        eprintln!("error writing artifacts for {id}: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try `repro list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage() {
+    println!(
+        "repro — regenerate the Space Microdatacenters paper's tables and figures\n\
+         \n\
+         usage:\n\
+           repro list            list experiment ids\n\
+           repro <id> [<id>...]  run specific experiments\n\
+           repro all             run everything\n\
+         \n\
+         artifacts are written to results/<id>.txt, .csv, and .json"
+    );
+}

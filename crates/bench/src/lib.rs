@@ -1,0 +1,56 @@
+//! Support library for the `repro` experiment harness: result-directory
+//! handling and artifact writing shared by the binary and the benches.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use sudc::experiments::ExperimentResult;
+
+/// Locates (and creates) the workspace `results/` directory: next to the
+/// workspace root when run via cargo, else under the current directory.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR of this crate is <root>/crates/bench.
+    let base = option_env!("CARGO_MANIFEST_DIR")
+        .map(|d| Path::new(d).join("../.."))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let dir = base.join("results");
+    let _ = fs::create_dir_all(&dir);
+    dir.canonicalize().unwrap_or(dir)
+}
+
+/// Writes an experiment's text and CSV artifacts into `results/`,
+/// returning the text path.
+///
+/// # Errors
+///
+/// Returns any filesystem error from writing.
+pub fn write_artifacts(result: &ExperimentResult) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    let txt = dir.join(format!("{}.txt", result.id));
+    fs::write(&txt, result.to_text_table())?;
+    fs::write(dir.join(format!("{}.csv", result.id)), result.to_csv())?;
+    fs::write(
+        dir.join(format!("{}.json", result.id)),
+        serde_json::to_string_pretty(result).expect("results serialise"),
+    )?;
+    Ok(txt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_round_trip() {
+        let mut r = ExperimentResult::new("zz_test_artifact", "test", &["a"]);
+        r.push_row(["1"]);
+        let path = write_artifacts(&r).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("zz_test_artifact"));
+        // Clean up the throwaway files.
+        for ext in ["txt", "csv", "json"] {
+            let _ = fs::remove_file(results_dir().join(format!("zz_test_artifact.{ext}")));
+        }
+    }
+}

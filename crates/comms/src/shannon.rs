@@ -1,0 +1,170 @@
+//! Shannon–Hartley channel capacity and the bandwidth-limited-regime
+//! analysis of Sec. 4.
+//!
+//! `C = B · log2(1 + SNR)`. The paper observes that satellite downlinks sit
+//! deep in the *bandwidth-limited* regime (SNR ≫ 1), where capacity grows
+//! linearly with bandwidth but only logarithmically with SNR — so, with
+//! spectrum fixed by regulators, exponential SNR (power/aperture) growth is
+//! needed for linear capacity growth. These functions make that argument
+//! quantitative for Fig. 7.
+
+use units::{DataRate, Frequency};
+
+/// Shannon capacity of an AWGN channel with bandwidth `b` and linear
+/// signal-to-noise ratio `snr`.
+///
+/// # Panics
+///
+/// Panics if `snr` is negative.
+pub fn capacity(b: Frequency, snr: f64) -> DataRate {
+    assert!(snr >= 0.0, "SNR must be non-negative");
+    DataRate::from_bps(b.as_hz() * (1.0 + snr).log2())
+}
+
+/// Inverse of [`capacity`] in the SNR direction: the linear SNR required to
+/// reach `target` over bandwidth `b`.
+pub fn required_snr(b: Frequency, target: DataRate) -> f64 {
+    2f64.powf(target.as_bps() / b.as_hz()) - 1.0
+}
+
+/// Inverse of [`capacity`] in the bandwidth direction: the bandwidth needed
+/// to reach `target` at the given SNR.
+///
+/// # Panics
+///
+/// Panics if `snr <= 0`, where no finite bandwidth suffices.
+pub fn required_bandwidth(target: DataRate, snr: f64) -> Frequency {
+    assert!(snr > 0.0, "positive SNR required for finite bandwidth");
+    Frequency::from_hz(target.as_bps() / (1.0 + snr).log2())
+}
+
+/// Marginal capacity per hertz of extra bandwidth: `∂C/∂B = log2(1+SNR)`
+/// in bit/s per Hz.
+pub fn capacity_per_hz(snr: f64) -> f64 {
+    (1.0 + snr).log2()
+}
+
+/// Marginal capacity per unit of linear SNR:
+/// `∂C/∂SNR = B / ((1+SNR)·ln 2)` in bit/s per unit SNR.
+pub fn capacity_per_snr(b: Frequency, snr: f64) -> f64 {
+    b.as_hz() / ((1.0 + snr) * std::f64::consts::LN_2)
+}
+
+/// Classification of where a link sits on the Shannon curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CapacityRegime {
+    /// SNR ≫ 1: capacity linear in bandwidth, logarithmic in SNR. This is
+    /// where satellite downlinks live (Dove: SNR ≈ 19).
+    BandwidthLimited,
+    /// SNR ≪ 1: capacity linear in power, bandwidth nearly free.
+    PowerLimited,
+    /// Neither dominates.
+    Intermediate,
+}
+
+/// Classifies the regime by SNR (bandwidth-limited above 4, power-limited
+/// below 0.25 — a decade around unity).
+pub fn regime(snr: f64) -> CapacityRegime {
+    if snr >= 4.0 {
+        CapacityRegime::BandwidthLimited
+    } else if snr <= 0.25 {
+        CapacityRegime::PowerLimited
+    } else {
+        CapacityRegime::Intermediate
+    }
+}
+
+/// SNR multiplier needed to scale capacity by `factor` at fixed bandwidth,
+/// starting from linear SNR `snr`. Shows the exponential blow-up: doubling
+/// a bandwidth-limited link's capacity roughly squares its required SNR.
+pub fn snr_multiplier_for_capacity_factor(snr: f64, factor: f64) -> f64 {
+    let new_snr = (1.0 + snr).powf(factor) - 1.0;
+    new_snr / snr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dove_channel_capacity_matches_deployment() {
+        // 96 MHz at SNR 19 → Shannon bound ≈ 415 Mbit/s; Dove's deployed
+        // 220 Mbit/s runs at ~53% of the bound, a plausible coding margin.
+        let c = capacity(Frequency::from_mhz(96.0), 19.0);
+        assert!((c.as_mbps() - 414.9).abs() < 1.0, "got {}", c.as_mbps());
+        let efficiency = 220e6 / c.as_bps();
+        assert!(efficiency > 0.4 && efficiency < 0.7);
+    }
+
+    #[test]
+    fn capacity_inverse_functions_round_trip() {
+        let b = Frequency::from_mhz(96.0);
+        let c = capacity(b, 19.0);
+        assert!((required_snr(b, c) - 19.0).abs() < 1e-9);
+        let b2 = required_bandwidth(c, 19.0);
+        assert!((b2.as_hz() - b.as_hz()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_snr_means_zero_capacity() {
+        assert_eq!(capacity(Frequency::from_mhz(100.0), 0.0).as_bps(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SNR must be non-negative")]
+    fn negative_snr_panics() {
+        let _ = capacity(Frequency::from_mhz(1.0), -0.5);
+    }
+
+    #[test]
+    fn doubling_capacity_in_bw_limited_regime_squares_snr() {
+        let snr = 19.0;
+        let mult = snr_multiplier_for_capacity_factor(snr, 2.0);
+        // (1+19)^2 - 1 = 399 → 21× the SNR for 2× the capacity.
+        assert!((mult - 399.0 / 19.0).abs() < 1e-9);
+        assert!(mult > 20.0);
+    }
+
+    #[test]
+    fn regimes_classified() {
+        assert_eq!(regime(19.0), CapacityRegime::BandwidthLimited);
+        assert_eq!(regime(0.1), CapacityRegime::PowerLimited);
+        assert_eq!(regime(1.0), CapacityRegime::Intermediate);
+    }
+
+    #[test]
+    fn marginal_rates_match_finite_differences() {
+        let b = Frequency::from_mhz(50.0);
+        let snr = 10.0;
+        let dc_db = capacity_per_hz(snr);
+        let numeric =
+            (capacity(Frequency::from_hz(b.as_hz() + 1.0), snr).as_bps() - capacity(b, snr).as_bps())
+                / 1.0;
+        assert!((dc_db - numeric).abs() / dc_db < 1e-6);
+
+        let dc_dsnr = capacity_per_snr(b, snr);
+        let numeric2 = (capacity(b, snr + 1e-6).as_bps() - capacity(b, snr).as_bps()) / 1e-6;
+        assert!((dc_dsnr - numeric2).abs() / dc_dsnr < 1e-4);
+    }
+
+    proptest! {
+        #[test]
+        fn capacity_monotone_in_both_arguments(
+            b1 in 1e6f64..1e9, snr in 0.1f64..1e4, db in 1.0f64..1e6, dsnr in 0.01f64..10.0
+        ) {
+            let c0 = capacity(Frequency::from_hz(b1), snr);
+            let c1 = capacity(Frequency::from_hz(b1 + db), snr);
+            let c2 = capacity(Frequency::from_hz(b1), snr + dsnr);
+            prop_assert!(c1 > c0);
+            prop_assert!(c2 > c0);
+        }
+
+        #[test]
+        fn required_snr_round_trips(b in 1e6f64..1e9, snr in 0.1f64..1e3) {
+            let c = capacity(Frequency::from_hz(b), snr);
+            let back = required_snr(Frequency::from_hz(b), c);
+            prop_assert!((back - snr).abs() / snr < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! MSB-first bit-level I/O used by the entropy coders.
+
+use crate::CodecError;
+
+/// Writes bits MSB-first into a growing byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final, partially filled byte (0..8).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("byte pushed above");
+            *last |= 1 << (7 - self.bit_pos);
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Appends the low `count` bits of `value`, MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends `n` zero bits followed by a one bit (unary coding).
+    pub fn write_unary(&mut self, n: u64) {
+        for _ in 0..n {
+            self.write_bit(false);
+        }
+        self.write_bit(true);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finishes writing (zero-padding the final byte) and returns the
+    /// buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // absolute bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] at end of input.
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(CodecError::new("bitstream exhausted"));
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `count` bits MSB-first into the low bits of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if fewer than `count` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u8) -> Result<u64, CodecError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a unary-coded value (count of zero bits before the first one
+    /// bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if input ends before the terminating bit, or
+    /// if the run is implausibly long (corrupt data guard).
+    pub fn read_unary(&mut self) -> Result<u64, CodecError> {
+        let mut n = 0u64;
+        loop {
+            if self.read_bit()? {
+                return Ok(n);
+            }
+            n += 1;
+            if n > 1 << 32 {
+                return Err(CodecError::new("unary run too long (corrupt stream)"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bit_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bit(false);
+        w.write_bits(0b1011, 4);
+        w.write_unary(3);
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().unwrap());
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_unary().unwrap(), 3);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.bit_len(), 11);
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn unary_at_end_of_stream_errors() {
+        // All zeros, no terminator within the byte.
+        let mut r = BitReader::new(&[0x00]);
+        assert!(r.read_unary().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bit_sequences_round_trip(values in prop::collection::vec((0u64..u64::MAX, 1u8..=64), 1..50)) {
+            let mut w = BitWriter::new();
+            for &(v, c) in &values {
+                let masked = if c == 64 { v } else { v & ((1u64 << c) - 1) };
+                w.write_bits(masked, c);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(v, c) in &values {
+                let masked = if c == 64 { v } else { v & ((1u64 << c) - 1) };
+                prop_assert_eq!(r.read_bits(c).unwrap(), masked);
+            }
+        }
+
+        #[test]
+        fn unary_round_trips(ns in prop::collection::vec(0u64..200, 1..30)) {
+            let mut w = BitWriter::new();
+            for &n in &ns {
+                w.write_unary(n);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &n in &ns {
+                prop_assert_eq!(r.read_unary().unwrap(), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! "Mini-deflate": LZ77 + canonical Huffman, the Zip-family codec of
+//! Table 4.
+//!
+//! Stream layout: two serialised Huffman length tables
+//! (literal/length alphabet of 286 symbols, distance alphabet of 30
+//! symbols) followed by the token stream and an end-of-block symbol.
+//! Length and distance values use deflate's standard base+extra-bits
+//! binning.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::HuffmanTable;
+use crate::lz77::{self, Token};
+use crate::{Codec, CodecError};
+
+const EOB: usize = 256;
+const LITLEN_SYMBOLS: usize = 286;
+const DIST_SYMBOLS: usize = 30;
+
+/// Deflate length-code table: (base length, extra bits) for codes 257..=285.
+const LENGTH_CODES: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// Deflate distance-code table: (base distance, extra bits) for codes 0..=29.
+const DIST_CODES: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4),
+    (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8),
+    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Maps a match length (3..=258) to (symbol, extra-bit value, extra bits).
+fn length_symbol(len: u16) -> (usize, u64, u8) {
+    debug_assert!((3..=258).contains(&len));
+    // Last code whose base ≤ len.
+    let idx = LENGTH_CODES
+        .iter()
+        .rposition(|&(base, _)| base <= len)
+        .expect("len >= 3");
+    let (base, extra) = LENGTH_CODES[idx];
+    (257 + idx, u64::from(len - base), extra)
+}
+
+/// Maps a distance (1..=32768) to (symbol, extra-bit value, extra bits).
+fn distance_symbol(dist: u16) -> (usize, u64, u8) {
+    debug_assert!(dist >= 1);
+    let idx = DIST_CODES
+        .iter()
+        .rposition(|&(base, _)| base <= dist)
+        .expect("dist >= 1");
+    let (base, extra) = DIST_CODES[idx];
+    (idx, u64::from(dist - base), extra)
+}
+
+/// The Zip-like codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MiniDeflate;
+
+impl MiniDeflate {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Codec for MiniDeflate {
+    fn name(&self) -> &'static str {
+        "Zip"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let tokens = lz77::tokenize(data);
+
+        // Frequency pass.
+        let mut lit_freq = vec![0u64; LITLEN_SYMBOLS];
+        let mut dist_freq = vec![0u64; DIST_SYMBOLS];
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Match { length, distance } => {
+                    lit_freq[length_symbol(length).0] += 1;
+                    dist_freq[distance_symbol(distance).0] += 1;
+                }
+            }
+        }
+        lit_freq[EOB] += 1;
+        // Distance table must be non-degenerate even with no matches.
+        if dist_freq.iter().all(|&f| f == 0) {
+            dist_freq[0] = 1;
+        }
+
+        let lit_table = HuffmanTable::from_frequencies(&lit_freq);
+        let dist_table = HuffmanTable::from_frequencies(&dist_freq);
+
+        let mut w = BitWriter::new();
+        lit_table.write_lengths(&mut w);
+        dist_table.write_lengths(&mut w);
+
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_table.encode(b as usize, &mut w),
+                Token::Match { length, distance } => {
+                    let (ls, lv, le) = length_symbol(length);
+                    lit_table.encode(ls, &mut w);
+                    w.write_bits(lv, le);
+                    let (ds, dv, de) = distance_symbol(distance);
+                    dist_table.encode(ds, &mut w);
+                    w.write_bits(dv, de);
+                }
+            }
+        }
+        lit_table.encode(EOB, &mut w);
+        w.into_bytes()
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut r = BitReader::new(data);
+        let lit_table = HuffmanTable::read_lengths(&mut r)?;
+        let dist_table = HuffmanTable::read_lengths(&mut r)?;
+        if lit_table.lengths().len() != LITLEN_SYMBOLS
+            || dist_table.lengths().len() != DIST_SYMBOLS
+        {
+            return Err(CodecError::new("mini-deflate header alphabet size mismatch"));
+        }
+        let lit = lit_table.decoder();
+        let dist = dist_table.decoder();
+
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let sym = lit.decode(&mut r)?;
+            if sym == EOB {
+                return Ok(out);
+            }
+            if sym < 256 {
+                out.push(sym as u8);
+                continue;
+            }
+            let code = sym - 257;
+            if code >= LENGTH_CODES.len() {
+                return Err(CodecError::new("invalid length symbol"));
+            }
+            let (base, extra) = LENGTH_CODES[code];
+            let len = base as usize + r.read_bits(extra)? as usize;
+
+            let dsym = dist.decode(&mut r)?;
+            if dsym >= DIST_CODES.len() {
+                return Err(CodecError::new("invalid distance symbol"));
+            }
+            let (dbase, dextra) = DIST_CODES[dsym];
+            let d = dbase as usize + r.read_bits(dextra)? as usize;
+            if d == 0 || d > out.len() {
+                return Err(CodecError::new("mini-deflate distance out of range"));
+            }
+            let start = out.len() - d;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(data: &[u8]) {
+        let codec = MiniDeflate::new();
+        let packed = codec.compress(data);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn binning_tables_cover_full_ranges() {
+        for len in 3u16..=258 {
+            let (sym, extra_val, extra_bits) = length_symbol(len);
+            assert!((257..286).contains(&sym));
+            let (base, eb) = LENGTH_CODES[sym - 257];
+            assert_eq!(eb, extra_bits);
+            assert_eq!(u64::from(len - base), extra_val);
+            assert!(extra_val < (1 << extra_bits.max(1)));
+        }
+        for dist in 1u16..=32767 {
+            let (sym, extra_val, extra_bits) = distance_symbol(dist);
+            assert!(sym < 30);
+            let (base, _) = DIST_CODES[sym];
+            assert_eq!(u64::from(dist - base), extra_val);
+            assert!(extra_bits >= 13 || extra_val < (1 << extra_bits.max(1)));
+        }
+    }
+
+    #[test]
+    fn text_compresses_better_than_half() {
+        let data = include_str!("deflate.rs").as_bytes().to_vec();
+        let codec = MiniDeflate::new();
+        let r = codec.ratio(&data);
+        assert!(r > 2.0, "source code should compress ≥2×, got {r}");
+        round_trip(&data);
+    }
+
+    #[test]
+    fn empty_and_small_inputs() {
+        round_trip(&[]);
+        round_trip(&[0]);
+        round_trip(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn long_runs_compress_hugely() {
+        let data = vec![0u8; 100_000];
+        let codec = MiniDeflate::new();
+        let packed = codec.compress(&data);
+        assert!(packed.len() < 1500, "got {}", packed.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let codec = MiniDeflate::new();
+        let packed = codec.compress(b"hello world hello world");
+        let truncated = &packed[..packed.len() - 3];
+        assert!(codec.decompress(truncated).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn round_trips_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+            round_trip(&data);
+        }
+
+        #[test]
+        fn round_trips_repetitive(
+            unit in prop::collection::vec(any::<u8>(), 1..64),
+            reps in 1usize..200,
+        ) {
+            let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+            round_trip(&data);
+        }
+    }
+}

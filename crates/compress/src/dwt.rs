@@ -1,0 +1,564 @@
+//! JPEG2000-style compression: multi-level 2-D integer 5/3 lifting
+//! wavelet transform with Rice-coded coefficients.
+//!
+//! The reversible (integer) 5/3 filter is exactly the one JPEG2000 uses
+//! for lossless coding, so this codec plays the "JPEG2000" column of
+//! Table 4. A quantising mode provides the "quasi-lossless" lossy regime
+//! the paper mentions (10–20× at high quality).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::rice;
+use crate::{Codec, CodecError, Raster, RasterCodec};
+
+const BLOCK: usize = 64;
+
+/// Forward 1-D integer 5/3 lifting step on `x`, writing low-pass
+/// coefficients to the front half (ceil(n/2)) and high-pass to the back.
+fn fwd_53(x: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    let half = n / 2; // number of d (high-pass) coefficients
+    let s_count = n - half;
+
+    scratch.clear();
+    scratch.resize(n, 0);
+    let (s, d) = scratch.split_at_mut(s_count);
+
+    // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2), symmetric
+    // extension at the right edge.
+    for i in 0..half {
+        let left = x[2 * i];
+        let right = if 2 * i + 2 < n { x[2 * i + 2] } else { x[2 * i] };
+        d[i] = x[2 * i + 1] - ((left + right) >> 1);
+    }
+    // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4), symmetric
+    // extension on both d edges.
+    for i in 0..s_count {
+        let dl = if i > 0 { d[i - 1] } else if half > 0 { d[0] } else { 0 };
+        let dr = if i < half { d[i] } else if half > 0 { d[half - 1] } else { 0 };
+        s[i] = x[2 * i] + ((dl + dr + 2) >> 2);
+    }
+    x.copy_from_slice(scratch);
+}
+
+/// Inverse of [`fwd_53`].
+fn inv_53(x: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    let half = n / 2;
+    let s_count = n - half;
+    let (s, d) = x.split_at(s_count);
+
+    scratch.clear();
+    scratch.resize(n, 0);
+    // Un-update: x[2i] = s[i] - floor((d[i-1] + d[i] + 2) / 4).
+    for i in 0..s_count {
+        let dl = if i > 0 { d[i - 1] } else if half > 0 { d[0] } else { 0 };
+        let dr = if i < half { d[i] } else if half > 0 { d[half - 1] } else { 0 };
+        scratch[2 * i] = s[i] - ((dl + dr + 2) >> 2);
+    }
+    // Un-predict: x[2i+1] = d[i] + floor((x[2i] + x[2i+2]) / 2).
+    for i in 0..half {
+        let left = scratch[2 * i];
+        let right = if 2 * i + 2 < n {
+            scratch[2 * i + 2]
+        } else {
+            scratch[2 * i]
+        };
+        scratch[2 * i + 1] = d[i] + ((left + right) >> 1);
+    }
+    x.copy_from_slice(scratch);
+}
+
+/// Applies the 2-D transform in place over the top-left `w × h` region of
+/// a `stride`-wide plane, for `levels` dyadic levels.
+fn fwd_2d(plane: &mut [i32], stride: usize, w: usize, h: usize, levels: u8) {
+    let mut scratch = Vec::new();
+    let mut col = Vec::new();
+    let (mut lw, mut lh) = (w, h);
+    for _ in 0..levels {
+        if lw < 2 && lh < 2 {
+            break;
+        }
+        // Rows.
+        for y in 0..lh {
+            fwd_53(&mut plane[y * stride..y * stride + lw], &mut scratch);
+        }
+        // Columns.
+        for x in 0..lw {
+            col.clear();
+            col.extend((0..lh).map(|y| plane[y * stride + x]));
+            fwd_53(&mut col, &mut scratch);
+            for (y, &v) in col.iter().enumerate() {
+                plane[y * stride + x] = v;
+            }
+        }
+        lw = lw.div_ceil(2);
+        lh = lh.div_ceil(2);
+    }
+}
+
+/// Inverse of [`fwd_2d`].
+fn inv_2d(plane: &mut [i32], stride: usize, w: usize, h: usize, levels: u8) {
+    // Recompute the level geometry outer-to-inner, then invert inner-out.
+    let mut dims = Vec::new();
+    let (mut lw, mut lh) = (w, h);
+    for _ in 0..levels {
+        if lw < 2 && lh < 2 {
+            break;
+        }
+        dims.push((lw, lh));
+        lw = lw.div_ceil(2);
+        lh = lh.div_ceil(2);
+    }
+    let mut scratch = Vec::new();
+    let mut col = Vec::new();
+    for &(lw, lh) in dims.iter().rev() {
+        for x in 0..lw {
+            col.clear();
+            col.extend((0..lh).map(|y| plane[y * stride + x]));
+            inv_53(&mut col, &mut scratch);
+            for (y, &v) in col.iter().enumerate() {
+                plane[y * stride + x] = v;
+            }
+        }
+        for y in 0..lh {
+            inv_53(&mut plane[y * stride..y * stride + lw], &mut scratch);
+        }
+    }
+}
+
+/// Splits the transformed plane into subband scan ranges: for each dyadic
+/// level the HL, LH, and HH quadrants, then the final LL — coefficients
+/// within one subband share statistics, which is what the entropy backend
+/// exploits.
+fn subband_scan(w: usize, h: usize, levels: u8) -> Vec<Vec<(usize, usize)>> {
+    let mut bands = Vec::new();
+    let (mut lw, mut lh) = (w, h);
+    let mut applied = 0u8;
+    for _ in 0..levels {
+        if lw < 2 && lh < 2 {
+            break;
+        }
+        let sw = lw.div_ceil(2);
+        let sh = lh.div_ceil(2);
+        let rect = |x0: usize, x1: usize, y0: usize, y1: usize| -> Vec<(usize, usize)> {
+            (y0..y1)
+                .flat_map(|y| (x0..x1).map(move |x| (x, y)))
+                .collect()
+        };
+        // HL (horizontal detail), LH (vertical detail), HH (diagonal).
+        if sw < lw {
+            bands.push(rect(sw, lw, 0, sh));
+        }
+        if sh < lh {
+            bands.push(rect(0, sw, sh, lh));
+        }
+        if sw < lw && sh < lh {
+            bands.push(rect(sw, lw, sh, lh));
+        }
+        lw = sw;
+        lh = sh;
+        applied += 1;
+    }
+    let _ = applied;
+    // The residual LL band.
+    bands.push(
+        (0..lh)
+            .flat_map(|y| (0..lw).map(move |x| (x, y)))
+            .collect(),
+    );
+    bands
+}
+
+/// Encodes a subband's zigzag-mapped coefficients with whichever backend
+/// is smaller: block-adaptive Rice (dense residuals) or varint bytes
+/// through the LZ77+Huffman stage (sparse/zero-dominated subbands, where
+/// run coding wins by orders of magnitude — the significance-coding role
+/// in real JPEG2000).
+fn encode_subband(values: &[u64], w: &mut BitWriter) {
+    // Candidate 1: Rice.
+    let mut rice_w = BitWriter::new();
+    rice::encode_blocks(values, BLOCK, &mut rice_w);
+    let rice_bytes = rice_w.into_bytes();
+
+    // Candidate 2: varint + mini-deflate.
+    let mut varint = Vec::with_capacity(values.len());
+    for &v in values {
+        let mut x = v;
+        loop {
+            let byte = (x & 0x7F) as u8;
+            x >>= 7;
+            if x == 0 {
+                varint.push(byte);
+                break;
+            }
+            varint.push(byte | 0x80);
+        }
+    }
+    let deflated = crate::deflate::MiniDeflate::new().compress(&varint);
+
+    if rice_bytes.len() <= deflated.len() {
+        w.write_bit(false);
+        w.write_bits(rice_bytes.len() as u64, 32);
+        for b in rice_bytes {
+            w.write_bits(u64::from(b), 8);
+        }
+    } else {
+        w.write_bit(true);
+        w.write_bits(deflated.len() as u64, 32);
+        for b in deflated {
+            w.write_bits(u64::from(b), 8);
+        }
+    }
+}
+
+/// Decodes a subband written by [`encode_subband`].
+fn decode_subband(count: usize, r: &mut BitReader<'_>) -> Result<Vec<u64>, CodecError> {
+    let deflate_backend = r.read_bit()?;
+    let len = r.read_bits(32)? as usize;
+    if len > 1 << 30 {
+        return Err(CodecError::new("DWT subband payload implausibly large"));
+    }
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push(r.read_bits(8)? as u8);
+    }
+    if deflate_backend {
+        let varint = crate::deflate::MiniDeflate::new().decompress(&bytes)?;
+        let mut out = Vec::with_capacity(count);
+        let mut iter = varint.iter();
+        for _ in 0..count {
+            let mut v = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let &byte = iter
+                    .next()
+                    .ok_or_else(|| CodecError::new("DWT varint stream truncated"))?;
+                v |= u64::from(byte & 0x7F) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+                if shift > 63 {
+                    return Err(CodecError::new("DWT varint overlong"));
+                }
+            }
+            out.push(v);
+        }
+        Ok(out)
+    } else {
+        let mut sub = BitReader::new(&bytes);
+        rice::decode_blocks(count, BLOCK, &mut sub)
+    }
+}
+
+/// The DWT codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DwtCodec {
+    levels: u8,
+    /// Right-shift applied to coefficients before coding (0 = lossless).
+    quant_shift: u8,
+}
+
+impl DwtCodec {
+    /// Lossless configuration (integer 5/3, no quantisation), 4 levels.
+    pub fn lossless() -> Self {
+        Self {
+            levels: 4,
+            quant_shift: 0,
+        }
+    }
+
+    /// Lossy configuration: coefficients are right-shifted by
+    /// `quant_shift` bits before coding ("quasi-lossless" for 1–2 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quant_shift > 7`.
+    pub fn lossy(quant_shift: u8) -> Self {
+        assert!(quant_shift <= 7, "quantisation shift too aggressive");
+        Self {
+            levels: 4,
+            quant_shift,
+        }
+    }
+
+    /// Whether this configuration reconstructs exactly.
+    pub fn is_lossless(&self) -> bool {
+        self.quant_shift == 0
+    }
+
+    fn compress_plane(&self, img: &Raster, channel: usize, w: &mut BitWriter) {
+        let (width, height) = (img.width(), img.height());
+        let mut plane: Vec<i32> = (0..width * height)
+            .map(|i| i32::from(img.data()[i * img.channels() + channel]))
+            .collect();
+        fwd_2d(&mut plane, width, width, height, self.levels);
+        for band in subband_scan(width, height, self.levels) {
+            let mapped: Vec<u64> = band
+                .iter()
+                .map(|&(x, y)| {
+                    rice::zigzag(i64::from(plane[y * width + x] >> self.quant_shift))
+                })
+                .collect();
+            encode_subband(&mapped, w);
+        }
+    }
+
+    fn decompress_plane(
+        &self,
+        width: usize,
+        height: usize,
+        r: &mut BitReader<'_>,
+    ) -> Result<Vec<i32>, CodecError> {
+        let mut plane = vec![0i32; width * height];
+        for band in subband_scan(width, height, self.levels) {
+            let mapped = decode_subband(band.len(), r)?;
+            for (&(x, y), &m) in band.iter().zip(&mapped) {
+                let v = rice::unzigzag(m);
+                if v.abs() > i64::from(i32::MAX >> (self.quant_shift + 1)) {
+                    return Err(CodecError::new("DWT coefficient out of range"));
+                }
+                plane[y * width + x] = (v as i32) << self.quant_shift;
+            }
+        }
+        inv_2d(&mut plane, width, width, height, self.levels);
+        Ok(plane)
+    }
+}
+
+impl RasterCodec for DwtCodec {
+    fn name(&self) -> &'static str {
+        "JPEG2000"
+    }
+
+    fn compress_raster(&self, image: &Raster) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bits(image.width() as u64, 32);
+        w.write_bits(image.height() as u64, 32);
+        w.write_bits(image.channels() as u64, 8);
+        w.write_bits(u64::from(self.levels), 8);
+        w.write_bits(u64::from(self.quant_shift), 8);
+        for c in 0..image.channels() {
+            self.compress_plane(image, c, &mut w);
+        }
+        w.into_bytes()
+    }
+
+    fn decompress_raster(
+        &self,
+        data: &[u8],
+        width: usize,
+        height: usize,
+        channels: usize,
+    ) -> Result<Raster, CodecError> {
+        let mut r = BitReader::new(data);
+        let cw = r.read_bits(32)? as usize;
+        let ch = r.read_bits(32)? as usize;
+        let cc = r.read_bits(8)? as usize;
+        let levels = r.read_bits(8)? as u8;
+        let quant = r.read_bits(8)? as u8;
+        if cw != width || ch != height || cc != channels {
+            return Err(CodecError::new("DWT geometry mismatch"));
+        }
+        let cfg = Self {
+            levels,
+            quant_shift: quant,
+        };
+        let mut out = Raster::zeroed(width, height, channels);
+        for c in 0..channels {
+            let plane = cfg.decompress_plane(width, height, &mut r)?;
+            for (i, &v) in plane.iter().enumerate() {
+                let clamped = v.clamp(0, 255) as u8;
+                out.data_mut()[i * channels + c] = clamped;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Codec for DwtCodec {
+    fn name(&self) -> &'static str {
+        "JPEG2000"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        // Byte-stream interface: shape into a square-ish single-channel
+        // raster, padding with the final byte value to keep edges smooth.
+        let stride = (data.len() as f64).sqrt().ceil().max(1.0) as usize;
+        let rows = data.len().div_ceil(stride).max(1);
+        let mut padded = data.to_vec();
+        let pad = data.last().copied().unwrap_or(0);
+        padded.resize(rows * stride, pad);
+        let img = Raster::new(stride, rows, 1, padded);
+        let mut out = (data.len() as u32).to_be_bytes().to_vec();
+        out.extend(self.compress_raster(&img));
+        out
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if data.len() < 4 {
+            return Err(CodecError::new("DWT stream too short"));
+        }
+        let n = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
+        // Geometry is inside the raster header; recover it first.
+        let mut r = BitReader::new(&data[4..]);
+        let w = r.read_bits(32)? as usize;
+        let h = r.read_bits(32)? as usize;
+        let c = r.read_bits(8)? as usize;
+        if w == 0 || h == 0 || c != 1 || w.checked_mul(h).map_or(true, |x| x > 1 << 31) {
+            return Err(CodecError::new("DWT implausible geometry"));
+        }
+        let img = self.decompress_raster(&data[4..], w, h, 1)?;
+        let mut bytes = img.into_data();
+        if bytes.len() < n {
+            return Err(CodecError::new("DWT payload shorter than header"));
+        }
+        bytes.truncate(n);
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lifting_1d_round_trips_all_lengths() {
+        let mut scratch = Vec::new();
+        for n in 1..64usize {
+            let original: Vec<i32> = (0..n as i32).map(|i| (i * 37) % 256 - 100).collect();
+            let mut x = original.clone();
+            fwd_53(&mut x, &mut scratch);
+            inv_53(&mut x, &mut scratch);
+            assert_eq!(x, original, "length {n}");
+        }
+    }
+
+    #[test]
+    fn lifting_2d_round_trips_odd_dimensions() {
+        for (w, h) in [(5usize, 7usize), (8, 8), (1, 9), (9, 1), (13, 4)] {
+            let original: Vec<i32> = (0..w * h).map(|i| (i as i32 * 31) % 256).collect();
+            let mut plane = original.clone();
+            fwd_2d(&mut plane, w, w, h, 3);
+            inv_2d(&mut plane, w, w, h, 3);
+            assert_eq!(plane, original, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn smooth_image_energy_concentrates_in_ll() {
+        // After transform, high-pass regions of a smooth image are tiny.
+        let w = 32usize;
+        let mut plane: Vec<i32> = (0..w * w)
+            .map(|i| ((i % w) + (i / w)) as i32 * 2)
+            .collect();
+        fwd_2d(&mut plane, w, w, w, 1);
+        // HH quadrant: rows w/2.., cols w/2..
+        let hh_energy: i64 = (w / 2..w)
+            .flat_map(|y| (w / 2..w).map(move |x| (y, x)))
+            .map(|(y, x)| i64::from(plane[y * w + x]).pow(2))
+            .sum();
+        let ll_energy: i64 = (0..w / 2)
+            .flat_map(|y| (0..w / 2).map(move |x| (y, x)))
+            .map(|(y, x)| i64::from(plane[y * w + x]).pow(2))
+            .sum();
+        assert!(
+            ll_energy > 100 * hh_energy.max(1),
+            "LL {ll_energy} vs HH {hh_energy}"
+        );
+    }
+
+    #[test]
+    fn lossless_raster_round_trip() {
+        let mut img = Raster::zeroed(48, 36, 3);
+        for y in 0..36 {
+            for x in 0..48 {
+                img.set(x, y, 0, ((x * 5 + y * 3) % 256) as u8);
+                img.set(x, y, 1, ((x * x / 7 + y) % 256) as u8);
+                img.set(x, y, 2, (x.min(y) * 4 % 256) as u8);
+            }
+        }
+        let codec = DwtCodec::lossless();
+        let packed = codec.compress_raster(&img);
+        assert_eq!(codec.decompress_raster(&packed, 48, 36, 3).unwrap(), img);
+    }
+
+    #[test]
+    fn lossy_mode_is_close_but_smaller() {
+        let mut img = Raster::zeroed(64, 64, 1);
+        for y in 0..64 {
+            for x in 0..64 {
+                let v = 128.0
+                    + 60.0 * ((x as f64) / 9.0).sin()
+                    + 40.0 * ((y as f64) / 7.0).cos();
+                img.set(x, y, 0, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        let lossless = DwtCodec::lossless();
+        let lossy = DwtCodec::lossy(2);
+        let ll = lossless.compress_raster(&img);
+        let ly = lossy.compress_raster(&img);
+        assert!(ly.len() < ll.len(), "lossy {} vs lossless {}", ly.len(), ll.len());
+
+        let back = lossy.decompress_raster(&ly, 64, 64, 1).unwrap();
+        let max_err = img
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(&a, &b)| (i16::from(a) - i16::from(b)).unsigned_abs())
+            .max()
+            .unwrap();
+        assert!(max_err <= 16, "max error {max_err}");
+        assert!(!lossy.is_lossless());
+    }
+
+    #[test]
+    fn smooth_images_beat_png_class_ratios() {
+        // The DWT should dominate on smooth natural-image-like content.
+        let mut img = Raster::zeroed(128, 128, 1);
+        for y in 0..128 {
+            for x in 0..128 {
+                let v = 100.0 + 50.0 * ((x as f64) / 17.0).sin() * ((y as f64) / 13.0).cos();
+                img.set(x, y, 0, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        let dwt = DwtCodec::lossless();
+        let ratio = dwt.raster_ratio(&img);
+        assert!(ratio > 2.5, "got {ratio}");
+    }
+
+    #[test]
+    fn byte_interface_round_trips() {
+        let codec = DwtCodec::lossless();
+        for n in [0usize, 1, 10, 257, 5000] {
+            let data: Vec<u8> = (0..n).map(|i| ((i * 13) % 251) as u8).collect();
+            let packed = codec.compress(&data);
+            assert_eq!(codec.decompress(&packed).unwrap(), data, "len {n}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn lossless_round_trips_arbitrary_rasters(
+            w in 1usize..20, h in 1usize..20, c in 1usize..4, seed in any::<u64>()
+        ) {
+            let mut x = seed | 1;
+            let data: Vec<u8> = (0..w * h * c).map(|_| {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                (x & 0xFF) as u8
+            }).collect();
+            let img = Raster::new(w, h, c, data);
+            let codec = DwtCodec::lossless();
+            let packed = codec.compress_raster(&img);
+            prop_assert_eq!(codec.decompress_raster(&packed, w, h, c).unwrap(), img);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Canonical Huffman coding with length-limited codes.
+//!
+//! Used as the entropy stage of the mini-deflate ("Zip") and PNG-style
+//! codecs. Code lengths are built with a heap-based Huffman construction
+//! and then flattened to ≤ [`MAX_CODE_LEN`] bits by the standard
+//! length-overflow redistribution, after which canonical codes are
+//! assigned so only the length table needs transmitting.
+
+use std::collections::BinaryHeap;
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CodecError;
+
+/// Maximum code length (15, as in deflate).
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// A canonical Huffman code table over a contiguous symbol alphabet
+/// `0..lengths.len()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanTable {
+    /// Code length per symbol (0 = symbol unused).
+    lengths: Vec<u8>,
+    /// Canonical code per symbol (valid where length > 0).
+    codes: Vec<u32>,
+}
+
+impl HuffmanTable {
+    /// Builds a table from symbol frequencies. Symbols with zero frequency
+    /// get no code. If fewer than two symbols occur, degenerate 1-bit
+    /// codes are assigned so the stream stays decodable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs` is empty.
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        assert!(!freqs.is_empty(), "alphabet must be non-empty");
+        let lengths = build_lengths(freqs);
+        Self::from_lengths(lengths)
+    }
+
+    /// Builds the canonical codes for a given length table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length exceeds [`MAX_CODE_LEN`] or the lengths are
+    /// not a prefix-free Kraft-satisfying set (internal invariant).
+    pub fn from_lengths(lengths: Vec<u8>) -> Self {
+        let max = *lengths.iter().max().unwrap_or(&0);
+        assert!(max <= MAX_CODE_LEN, "code length overflow");
+        // Canonical assignment: count codes per length, then assign
+        // consecutive values within each length.
+        let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+        for &l in &lengths {
+            count[l as usize] += 1;
+        }
+        count[0] = 0;
+        let mut next = [0u32; MAX_CODE_LEN as usize + 2];
+        let mut code = 0u32;
+        for bits in 1..=MAX_CODE_LEN as usize {
+            code = (code + count[bits - 1]) << 1;
+            next[bits] = code;
+        }
+        let mut codes = vec![0u32; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                codes[sym] = next[l as usize];
+                next[l as usize] += 1;
+            }
+        }
+        Self { lengths, codes }
+    }
+
+    /// Code lengths (index = symbol).
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Writes the code for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code (zero frequency at build time).
+    pub fn encode(&self, symbol: usize, w: &mut BitWriter) {
+        let len = self.lengths[symbol];
+        assert!(len > 0, "symbol {symbol} has no Huffman code");
+        w.write_bits(u64::from(self.codes[symbol]), len);
+    }
+
+    /// Reads one symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on exhausted input or an invalid code.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<usize, CodecError> {
+        // Bit-by-bit canonical walk (table sizes here are ≤ ~300 symbols,
+        // so this is plenty fast for the experiment workloads).
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN {
+            code = (code << 1) | u32::from(r.read_bit()?);
+            // Linear probe over symbols of this length.
+            for (sym, (&l, &c)) in self.lengths.iter().zip(&self.codes).enumerate() {
+                if l == len && c == code {
+                    return Ok(sym);
+                }
+            }
+        }
+        Err(CodecError::new("invalid Huffman code"))
+    }
+
+    /// Builds a fast decode index: sorted (code, length) → symbol, used by
+    /// [`HuffmanDecoder`].
+    pub fn decoder(&self) -> HuffmanDecoder {
+        HuffmanDecoder::new(self)
+    }
+
+    /// Serialises the length table (one byte per symbol) into the writer.
+    pub fn write_lengths(&self, w: &mut BitWriter) {
+        w.write_bits(self.lengths.len() as u64, 16);
+        for &l in &self.lengths {
+            w.write_bits(u64::from(l), 4);
+        }
+    }
+
+    /// Reads a length table written by [`HuffmanTable::write_lengths`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated input or invalid lengths.
+    pub fn read_lengths(r: &mut BitReader<'_>) -> Result<Self, CodecError> {
+        let n = r.read_bits(16)? as usize;
+        if n == 0 || n > 1 << 15 {
+            return Err(CodecError::new("invalid Huffman alphabet size"));
+        }
+        let mut lengths = Vec::with_capacity(n);
+        for _ in 0..n {
+            lengths.push(r.read_bits(4)? as u8);
+        }
+        Ok(Self::from_lengths(lengths))
+    }
+}
+
+/// Faster table-driven decoder derived from a [`HuffmanTable`].
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    /// For each length: (first canonical code, first symbol index into
+    /// `symbols`).
+    first_code: [u32; MAX_CODE_LEN as usize + 1],
+    first_index: [u32; MAX_CODE_LEN as usize + 1],
+    counts: [u32; MAX_CODE_LEN as usize + 1],
+    /// Symbols sorted by (length, canonical code).
+    symbols: Vec<u32>,
+}
+
+impl HuffmanDecoder {
+    fn new(table: &HuffmanTable) -> Self {
+        let mut counts = [0u32; MAX_CODE_LEN as usize + 1];
+        for &l in &table.lengths {
+            counts[l as usize] += 1;
+        }
+        counts[0] = 0;
+        let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut first_index = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for bits in 1..=MAX_CODE_LEN as usize {
+            code = (code + counts[bits - 1]) << 1;
+            first_code[bits] = code;
+            first_index[bits] = index;
+            index += counts[bits];
+        }
+        let mut order: Vec<(u8, u32, u32)> = table
+            .lengths
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0)
+            .map(|(sym, &l)| (l, table.codes[sym], sym as u32))
+            .collect();
+        order.sort_unstable();
+        Self {
+            first_code,
+            first_index,
+            counts,
+            symbols: order.into_iter().map(|(_, _, s)| s).collect(),
+        }
+    }
+
+    /// Decodes one symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on exhausted input or invalid codes.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<usize, CodecError> {
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | u32::from(r.read_bit()?);
+            let count = self.counts[len];
+            if count > 0 {
+                let offset = code.wrapping_sub(self.first_code[len]);
+                if offset < count {
+                    return Ok(self.symbols[(self.first_index[len] + offset) as usize] as usize);
+                }
+            }
+        }
+        Err(CodecError::new("invalid Huffman code"))
+    }
+}
+
+/// Builds length-limited Huffman code lengths from frequencies.
+fn build_lengths(freqs: &[u64]) -> Vec<u8> {
+    let used: Vec<usize> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            // Degenerate: give the single symbol a 1-bit code.
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Heap-based Huffman tree; node = (weight, id), parents tracked.
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap via reversed compare; tie-break on id for
+            // determinism.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut parent = vec![usize::MAX; used.len() * 2];
+    let mut heap: BinaryHeap<Node> = used
+        .iter()
+        .enumerate()
+        .map(|(leaf, &sym)| Node {
+            weight: freqs[sym],
+            id: leaf,
+        })
+        .collect();
+    let mut next_id = used.len();
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        parent[a.id] = next_id;
+        parent[b.id] = next_id;
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id: next_id,
+        });
+        next_id += 1;
+    }
+
+    // Depth of each leaf = chain length to the root.
+    let root = next_id - 1;
+    for (leaf, &sym) in used.iter().enumerate() {
+        let mut depth = 0u32;
+        let mut node = leaf;
+        while node != root {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[sym] = depth.min(255) as u8;
+    }
+
+    limit_lengths(&mut lengths);
+    lengths
+}
+
+/// Enforces the [`MAX_CODE_LEN`] limit by shortening overlong codes and
+/// rebalancing via the Kraft sum.
+fn limit_lengths(lengths: &mut [u8]) {
+    let over: bool = lengths.iter().any(|&l| l > MAX_CODE_LEN);
+    if !over {
+        return;
+    }
+    for l in lengths.iter_mut() {
+        if *l > MAX_CODE_LEN {
+            *l = MAX_CODE_LEN;
+        }
+    }
+    // Kraft sum in units of 2^-MAX_CODE_LEN.
+    let unit = 1u64 << MAX_CODE_LEN;
+    let mut kraft: u64 = lengths
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| unit >> l)
+        .sum();
+    // While over-subscribed, lengthen the shortest-affordable codes.
+    while kraft > unit {
+        // Find a symbol with the longest length < MAX that we can extend.
+        let (idx, _) = lengths
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0 && l < MAX_CODE_LEN)
+            .max_by_key(|(_, &l)| l)
+            .expect("kraft oversubscription must be fixable");
+        kraft -= unit >> lengths[idx];
+        lengths[idx] += 1;
+        kraft += unit >> lengths[idx];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn skewed_frequencies_give_short_codes_to_common_symbols() {
+        let mut freqs = vec![0u64; 256];
+        freqs[b'a' as usize] = 1000;
+        freqs[b'b' as usize] = 10;
+        freqs[b'c' as usize] = 1;
+        let t = HuffmanTable::from_frequencies(&freqs);
+        assert!(t.lengths()[b'a' as usize] < t.lengths()[b'c' as usize]);
+        assert_eq!(t.lengths()[b'z' as usize], 0, "unused symbol uncoded");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut freqs = vec![0u64; 8];
+        for (i, f) in [50u64, 30, 10, 5, 3, 1, 1, 0].iter().enumerate() {
+            freqs[i] = *f;
+        }
+        let t = HuffmanTable::from_frequencies(&freqs);
+        let symbols = [0usize, 1, 0, 2, 3, 4, 5, 0, 1, 2];
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            t.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(t.decode(&mut r).unwrap(), s);
+        }
+        // Fast decoder agrees.
+        let mut r2 = BitReader::new(&bytes);
+        let d = t.decoder();
+        for &s in &symbols {
+            assert_eq!(d.decode(&mut r2).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn single_symbol_alphabet_is_decodable() {
+        let mut freqs = vec![0u64; 4];
+        freqs[2] = 99;
+        let t = HuffmanTable::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        t.encode(2, &mut w);
+        t.encode(2, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(t.decode(&mut r).unwrap(), 2);
+        assert_eq!(t.decode(&mut r).unwrap(), 2);
+    }
+
+    #[test]
+    fn lengths_serialize_round_trip() {
+        let mut freqs = vec![0u64; 300];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = (i as u64 % 7) + 1;
+        }
+        let t = HuffmanTable::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        t.write_lengths(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let t2 = HuffmanTable::read_lengths(&mut r).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (1..=100).collect();
+        let t = HuffmanTable::from_frequencies(&freqs);
+        let kraft: f64 = t
+            .lengths()
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft sum {kraft}");
+    }
+
+    #[test]
+    fn pathological_fibonacci_frequencies_respect_length_limit() {
+        // Fibonacci frequencies force maximally skewed trees.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let t = HuffmanTable::from_frequencies(&freqs);
+        assert!(t.lengths().iter().all(|&l| l <= MAX_CODE_LEN));
+        // And still decodable.
+        let mut w = BitWriter::new();
+        for s in 0..40 {
+            t.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let d = t.decoder();
+        for s in 0..40 {
+            assert_eq!(d.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn compression_beats_fixed_width_on_skewed_data() {
+        let mut freqs = vec![0u64; 256];
+        freqs[0] = 10_000;
+        freqs[1] = 100;
+        freqs[2] = 10;
+        let t = HuffmanTable::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        for _ in 0..10_000 {
+            t.encode(0, &mut w);
+        }
+        for _ in 0..100 {
+            t.encode(1, &mut w);
+        }
+        let bits = w.bit_len();
+        assert!(bits < 8 * 10_100 / 4, "got {bits} bits");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn arbitrary_frequency_tables_round_trip(
+            freqs in prop::collection::vec(0u64..1000, 2..64),
+            picks in prop::collection::vec(any::<u16>(), 1..200),
+        ) {
+            prop_assume!(freqs.iter().filter(|&&f| f > 0).count() >= 1);
+            let t = HuffmanTable::from_frequencies(&freqs);
+            let coded: Vec<usize> = picks
+                .iter()
+                .map(|&p| p as usize % freqs.len())
+                .filter(|&s| freqs[s] > 0)
+                .collect();
+            prop_assume!(!coded.is_empty());
+            let mut w = BitWriter::new();
+            for &s in &coded {
+                t.encode(s, &mut w);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let d = t.decoder();
+            for &s in &coded {
+                prop_assert_eq!(d.decode(&mut r).unwrap(), s);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! LZ77 match finding with hash chains (the sliding-window stage of the
+//! mini-deflate codec).
+
+/// Maximum backward distance (32 KiB window, as in deflate).
+pub const MAX_DISTANCE: usize = 32 * 1024;
+
+/// Minimum useful match length.
+pub const MIN_MATCH: usize = 3;
+
+/// Maximum match length (deflate's 258).
+pub const MAX_MATCH: usize = 258;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `length` bytes from `distance` back.
+    Match {
+        /// Copy length in `MIN_MATCH..=MAX_MATCH`.
+        length: u16,
+        /// Backward distance in `1..=MAX_DISTANCE`.
+        distance: u16,
+    },
+}
+
+/// Tokenises `data` with greedy hash-chain matching (lazy matching of one
+/// byte, as zlib's fast levels do).
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    const HASH_BITS: usize = 15;
+    const HASH_SIZE: usize = 1 << HASH_BITS;
+    const CHAIN_LIMIT: usize = 64;
+
+    #[inline]
+    fn hash(data: &[u8], i: usize) -> usize {
+        let h = (u32::from(data[i]) << 16) ^ (u32::from(data[i + 1]) << 8) ^ u32::from(data[i + 2]);
+        (h.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    }
+
+    let mut tokens = Vec::with_capacity(data.len() / 2);
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h; prev[i % window] = chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    let find_match = |head: &[usize], prev: &[usize], i: usize| -> Option<(usize, usize)> {
+        if i + MIN_MATCH > data.len() {
+            return None;
+        }
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut cand = head[hash(data, i)];
+        let mut chain = 0;
+        while cand != usize::MAX && i > cand && i - cand <= MAX_DISTANCE && chain < CHAIN_LIMIT {
+            let max_len = (data.len() - i).min(MAX_MATCH);
+            let mut l = 0usize;
+            while l < max_len && data[cand + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - cand;
+                if l >= MAX_MATCH {
+                    break;
+                }
+            }
+            cand = prev[cand];
+            chain += 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    };
+
+    let insert = |head: &mut [usize], prev: &mut [usize], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data, i);
+            prev[i] = head[h];
+            head[h] = i;
+        }
+    };
+
+    let mut i = 0usize;
+    while i < data.len() {
+        match find_match(&head, &prev, i) {
+            Some((len, dist)) => {
+                // Lazy matching: if the next position has a strictly longer
+                // match, emit a literal instead.
+                let take_lazy = i + 1 < data.len()
+                    && matches!(find_match(&head, &prev, i + 1), Some((l2, _)) if l2 > len + 1);
+                if take_lazy {
+                    tokens.push(Token::Literal(data[i]));
+                    insert(&mut head, &mut prev, i);
+                    i += 1;
+                } else {
+                    tokens.push(Token::Match {
+                        length: len as u16,
+                        distance: dist as u16,
+                    });
+                    for j in i..(i + len).min(data.len()) {
+                        insert(&mut head, &mut prev, j);
+                    }
+                    i += len;
+                }
+            }
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                insert(&mut head, &mut prev, i);
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Reconstructs the byte stream from tokens.
+///
+/// # Errors
+///
+/// Returns an error message if a match refers before the start of output.
+pub fn detokenize(tokens: &[Token]) -> Result<Vec<u8>, String> {
+    let mut out: Vec<u8> = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { length, distance } => {
+                let dist = distance as usize;
+                let len = length as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(format!(
+                        "match distance {dist} exceeds output length {}",
+                        out.len()
+                    ));
+                }
+                let start = out.len() - dist;
+                // Byte-by-byte copy supports overlapping matches
+                // (run-length behaviour when distance < length).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(data: &[u8]) {
+        let tokens = tokenize(data);
+        let back = detokenize(&tokens).expect("valid tokens");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(&[]);
+        round_trip(&[1]);
+        round_trip(&[1, 2]);
+        round_trip(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn repeated_text_produces_matches() {
+        let data = b"to be or not to be, that is the question: to be or not".to_vec();
+        let tokens = tokenize(&data);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "expected at least one back-reference"
+        );
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_run_length_case() {
+        // "aaaa..." → literal 'a' then a match with distance 1.
+        let data = vec![b'a'; 300];
+        let tokens = tokenize(&data);
+        assert!(tokens.len() < 10, "got {} tokens", tokens.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn match_lengths_and_distances_in_bounds() {
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        for t in tokenize(&data) {
+            if let Token::Match { length, distance } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(length as usize)));
+                assert!((1..=MAX_DISTANCE).contains(&(distance as usize)));
+            }
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn invalid_distance_detected() {
+        let bad = vec![Token::Match {
+            length: 5,
+            distance: 10,
+        }];
+        assert!(detokenize(&bad).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn round_trips_arbitrary(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+            round_trip(&data);
+        }
+
+        #[test]
+        fn round_trips_structured(
+            pattern in prop::collection::vec(any::<u8>(), 1..50),
+            repeats in 1usize..100,
+        ) {
+            let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * repeats).copied().collect();
+            round_trip(&data);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! LZW dictionary coding with variable-width codes (9–16 bits) and
+//! dictionary reset, in the GIF/TIFF tradition the paper's Table 4 LZW
+//! column represents.
+
+use std::collections::HashMap;
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Codec, CodecError};
+
+const CLEAR_CODE: u32 = 256;
+const END_CODE: u32 = 257;
+const FIRST_FREE: u32 = 258;
+const MAX_BITS: u8 = 16;
+
+/// The LZW codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lzw;
+
+impl Lzw {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+fn code_width(next_code: u32) -> u8 {
+    // Width needed to express the next code to be assigned.
+    let mut bits = 9u8;
+    while (1u32 << bits) < next_code + 1 && bits < MAX_BITS {
+        bits += 1;
+    }
+    bits
+}
+
+impl Codec for Lzw {
+    fn name(&self) -> &'static str {
+        "LZW"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        let mut dict: HashMap<(u32, u8), u32> = HashMap::new();
+        let mut next_code = FIRST_FREE;
+
+        w.write_bits(u64::from(CLEAR_CODE), code_width(next_code));
+
+        let mut iter = data.iter();
+        let Some(&first) = iter.next() else {
+            w.write_bits(u64::from(END_CODE), code_width(next_code));
+            return w.into_bytes();
+        };
+        let mut current: u32 = u32::from(first);
+
+        for &b in iter {
+            if let Some(&code) = dict.get(&(current, b)) {
+                current = code;
+            } else {
+                w.write_bits(u64::from(current), code_width(next_code));
+                dict.insert((current, b), next_code);
+                next_code += 1;
+                if next_code >= (1 << MAX_BITS) - 1 {
+                    // Dictionary full: emit clear, reset.
+                    w.write_bits(u64::from(CLEAR_CODE), code_width(next_code));
+                    dict.clear();
+                    next_code = FIRST_FREE;
+                }
+                current = u32::from(b);
+            }
+        }
+        w.write_bits(u64::from(current), code_width(next_code));
+        next_code += 1;
+        w.write_bits(u64::from(END_CODE), code_width(next_code));
+        w.into_bytes()
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut r = BitReader::new(data);
+        let mut out = Vec::new();
+
+        // Dictionary: code → byte string. Codes 0..=255 are implicit.
+        let mut dict: Vec<Vec<u8>> = Vec::new();
+        let mut prev: Option<Vec<u8>> = None;
+        // Codes consumed since the last CLEAR. The encoder performs one
+        // dictionary insert per code it writes, so the width of the i-th
+        // code after a clear (1-based) is `code_width(257 + i)` on both
+        // sides — tracking the count, not the dictionary size, keeps the
+        // decoder in lock-step through width changes.
+        let mut codes_since_clear: u64 = 0;
+
+        let lookup = |dict: &Vec<Vec<u8>>, code: u32| -> Option<Vec<u8>> {
+            if code < 256 {
+                Some(vec![code as u8])
+            } else if code >= FIRST_FREE {
+                dict.get((code - FIRST_FREE) as usize).cloned()
+            } else {
+                None
+            }
+        };
+
+        loop {
+            let width = code_width((258 + codes_since_clear).min(u64::from(u32::MAX)) as u32);
+            if r.remaining() < width as usize {
+                return Err(CodecError::new("LZW stream ended without END code"));
+            }
+            let code = r.read_bits(width)? as u32;
+            if code == END_CODE {
+                return Ok(out);
+            }
+            codes_since_clear += 1;
+            if code == CLEAR_CODE {
+                dict.clear();
+                prev = None;
+                codes_since_clear = 0;
+                continue;
+            }
+            let next_code = FIRST_FREE + dict.len() as u32;
+            let entry = match lookup(&dict, code) {
+                Some(e) => e,
+                None => {
+                    // The KwKwK special case: code == next_code.
+                    let p = prev
+                        .as_ref()
+                        .ok_or_else(|| CodecError::new("LZW forward reference at start"))?;
+                    if code != next_code {
+                        return Err(CodecError::new("LZW invalid code"));
+                    }
+                    let mut e = p.clone();
+                    e.push(p[0]);
+                    e
+                }
+            };
+            out.extend_from_slice(&entry);
+            if let Some(p) = prev {
+                let mut new_entry = p;
+                new_entry.push(entry[0]);
+                dict.push(new_entry);
+            }
+            prev = Some(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(data: &[u8]) {
+        let codec = Lzw::new();
+        let packed = codec.compress(data);
+        let back = codec.decompress(&packed).expect("decode");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_single_byte() {
+        round_trip(&[]);
+        round_trip(&[42]);
+    }
+
+    #[test]
+    fn repeated_pattern_compresses() {
+        let data: Vec<u8> = b"abcabcabcabcabcabcabcabcabcabc".repeat(50);
+        let codec = Lzw::new();
+        let packed = codec.compress(&data);
+        assert!(packed.len() < data.len() / 3);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn kwkwk_case() {
+        // "aaaa..." exercises the code == next_code special case.
+        round_trip(&vec![b'a'; 100]);
+    }
+
+    #[test]
+    fn dictionary_reset_on_large_input() {
+        // Enough distinct digrams to overflow a 16-bit dictionary.
+        let mut data = Vec::with_capacity(600_000);
+        let mut x = 1u32;
+        for _ in 0..600_000 {
+            x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            data.push((x >> 16) as u8);
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn garbage_input_errors() {
+        let codec = Lzw::new();
+        assert!(codec.decompress(&[0xFF, 0xFF, 0xFF]).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn round_trips_arbitrary(data in prop::collection::vec(any::<u8>(), 0..3000)) {
+            round_trip(&data);
+        }
+
+        #[test]
+        fn round_trips_textlike(s in "[a-e ]{0,2000}") {
+            round_trip(s.as_bytes());
+        }
+    }
+}

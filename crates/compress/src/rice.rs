@@ -1,0 +1,212 @@
+//! Rice–Golomb coding of non-negative integers, the entropy stage of the
+//! CCSDS-like and DWT codecs.
+//!
+//! A value `v` with parameter `k` is coded as `v >> k` in unary followed
+//! by the low `k` bits verbatim. Optimal `k` tracks the mean of the
+//! residual distribution.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CodecError;
+
+/// Maximum Rice parameter supported (samples here are mapped 8–20-bit
+/// residuals).
+pub const MAX_K: u8 = 24;
+
+/// Encodes one value with parameter `k`.
+///
+/// # Panics
+///
+/// Panics if `k > MAX_K`.
+pub fn encode(value: u64, k: u8, w: &mut BitWriter) {
+    assert!(k <= MAX_K, "rice parameter too large");
+    w.write_unary(value >> k);
+    w.write_bits(value & ((1u64 << k) - 1).max(0), k);
+}
+
+/// Decodes one value with parameter `k`.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on exhausted input.
+///
+/// # Panics
+///
+/// Panics if `k > MAX_K`.
+pub fn decode(k: u8, r: &mut BitReader<'_>) -> Result<u64, CodecError> {
+    assert!(k <= MAX_K, "rice parameter too large");
+    let q = r.read_unary()?;
+    let rem = r.read_bits(k)?;
+    Ok((q << k) | rem)
+}
+
+/// Bit cost of coding `value` with parameter `k`.
+pub fn cost(value: u64, k: u8) -> u64 {
+    (value >> k) + 1 + u64::from(k)
+}
+
+/// The `k` in `0..=MAX_K` minimising total bit cost for a block of values.
+pub fn best_k(values: &[u64]) -> u8 {
+    let mut best = 0u8;
+    let mut best_cost = u64::MAX;
+    for k in 0..=MAX_K {
+        let c: u64 = values.iter().map(|&v| cost(v, k)).sum();
+        if c < best_cost {
+            best_cost = c;
+            best = k;
+        }
+    }
+    best
+}
+
+/// Maps a signed residual to a non-negative integer (zig-zag: 0, -1, 1,
+/// -2, 2 → 0, 1, 2, 3, 4).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Block-adaptive Rice coding: splits `values` into blocks of
+/// `block_size`, picks the best `k` per block, and writes a 5-bit `k`
+/// header per block. This is the CCSDS-121 adaptive-entropy-coder shape
+/// (without the zero-block and second-extension options).
+///
+/// # Panics
+///
+/// Panics if `block_size == 0`.
+pub fn encode_blocks(values: &[u64], block_size: usize, w: &mut BitWriter) {
+    assert!(block_size > 0, "block size must be positive");
+    for block in values.chunks(block_size) {
+        let k = best_k(block);
+        w.write_bits(u64::from(k), 5);
+        for &v in block {
+            encode(v, k, w);
+        }
+    }
+}
+
+/// Decodes `count` values written by [`encode_blocks`].
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input.
+///
+/// # Panics
+///
+/// Panics if `block_size == 0`.
+pub fn decode_blocks(
+    count: usize,
+    block_size: usize,
+    r: &mut BitReader<'_>,
+) -> Result<Vec<u64>, CodecError> {
+    assert!(block_size > 0, "block size must be positive");
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let k = r.read_bits(5)? as u8;
+        if k > MAX_K {
+            return Err(CodecError::new("rice parameter out of range"));
+        }
+        let n = block_size.min(count - out.len());
+        for _ in 0..n {
+            out.push(decode(k, r)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zigzag_round_trip_and_order() {
+        for v in [-5i64, -1, 0, 1, 5, 1000, -1000] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn single_value_round_trip_over_k_range() {
+        for k in 0..=10u8 {
+            for v in [0u64, 1, 7, 100, 1023] {
+                let mut w = BitWriter::new();
+                encode(v, k, &mut w);
+                let bytes = w.into_bytes();
+                let mut r = BitReader::new(&bytes);
+                assert_eq!(decode(k, &mut r).unwrap(), v, "v={v} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_k_tracks_magnitude() {
+        let small: Vec<u64> = vec![0, 1, 0, 2, 1, 0];
+        let large: Vec<u64> = vec![900, 1000, 1100, 950];
+        assert!(best_k(&small) <= 1);
+        assert!(best_k(&large) >= 8);
+    }
+
+    #[test]
+    fn cost_matches_actual_bits() {
+        for (v, k) in [(0u64, 0u8), (5, 0), (5, 2), (100, 4), (1000, 10)] {
+            let mut w = BitWriter::new();
+            encode(v, k, &mut w);
+            assert_eq!(w.bit_len() as u64, cost(v, k), "v={v} k={k}");
+        }
+    }
+
+    #[test]
+    fn block_adaptive_beats_fixed_k_on_mixed_data() {
+        // First half tiny residuals, second half large: adaptive blocks
+        // should beat any single global k.
+        let mut values: Vec<u64> = (0u64..256).map(|i| i % 3).collect();
+        values.extend((0u64..256).map(|i| 500 + i % 50));
+
+        let mut adaptive = BitWriter::new();
+        encode_blocks(&values, 64, &mut adaptive);
+        let adaptive_bits = adaptive.bit_len();
+
+        let global_k = best_k(&values);
+        let global_bits: u64 = values.iter().map(|&v| cost(v, global_k)).sum();
+        assert!(
+            (adaptive_bits as u64) < global_bits,
+            "adaptive {adaptive_bits} vs global {global_bits}"
+        );
+    }
+
+    #[test]
+    fn blocks_round_trip_including_ragged_tail() {
+        let values: Vec<u64> = (0..1000u64).map(|i| (i * 37) % 257).collect();
+        let mut w = BitWriter::new();
+        encode_blocks(&values, 64, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let back = decode_blocks(values.len(), 64, &mut r).unwrap();
+        assert_eq!(back, values);
+    }
+
+    proptest! {
+        #[test]
+        fn block_round_trips(
+            values in prop::collection::vec(0u64..1_000_000, 0..500),
+            block in 1usize..128,
+        ) {
+            let mut w = BitWriter::new();
+            encode_blocks(&values, block, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let back = decode_blocks(values.len(), block, &mut r).unwrap();
+            prop_assert_eq!(back, values);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Walker delta constellations: multiple evenly spaced orbital planes
+//! with phased satellites.
+//!
+//! The large constellations of Table 1 (REC's 1024, Jilin-1's 300,
+//! EarthNow's 300) fly in many planes, not one ring. A Walker delta
+//! pattern `i: T/P/F` puts `T` satellites into `P` planes at inclination
+//! `i`, with ascending nodes spread over 360° and an `F`-step phase
+//! offset between adjacent planes. SµDC planning for such constellations
+//! needs inter-plane geometry: RAAN spacing, cross-plane distances, and
+//! per-plane cluster counts.
+
+use orbit::circular::CircularOrbit;
+use orbit::kepler::KeplerError;
+use orbit::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+use units::{Angle, Length, Time};
+
+use crate::plane::OrbitalPlane;
+
+/// A Walker delta constellation `i: T/P/F`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WalkerDelta {
+    orbit: CircularOrbit,
+    inclination: Angle,
+    total: usize,
+    planes: usize,
+    phasing: usize,
+}
+
+impl WalkerDelta {
+    /// Creates a Walker delta constellation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `planes ≥ 1`, `planes` divides `total`, and
+    /// `phasing < planes`.
+    pub fn new(
+        orbit: CircularOrbit,
+        inclination: Angle,
+        total: usize,
+        planes: usize,
+        phasing: usize,
+    ) -> Self {
+        assert!(planes >= 1, "need at least one plane");
+        assert!(
+            total % planes == 0,
+            "satellites ({total}) must divide evenly into planes ({planes})"
+        );
+        assert!(phasing < planes, "phasing factor must be < planes");
+        Self {
+            orbit,
+            inclination,
+            total,
+            planes,
+            phasing,
+        }
+    }
+
+    /// A REC-like mega-constellation: 1024 satellites in 32 planes.
+    pub fn rec_like() -> Self {
+        Self::new(
+            CircularOrbit::from_altitude(Length::from_km(550.0)),
+            Angle::from_degrees(53.0),
+            1024,
+            32,
+            1,
+        )
+    }
+
+    /// Total satellites.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of planes.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// Satellites per plane.
+    pub fn per_plane(&self) -> usize {
+        self.total / self.planes
+    }
+
+    /// RAAN spacing between adjacent planes (Walker delta spreads nodes
+    /// over the full 360°).
+    pub fn raan_spacing(&self) -> Angle {
+        Angle::from_revolutions(1.0 / self.planes as f64)
+    }
+
+    /// The relative phase offset of adjacent planes' satellites:
+    /// `F × 360° / T`.
+    pub fn phase_offset(&self) -> Angle {
+        Angle::from_revolutions(self.phasing as f64 / self.total as f64)
+    }
+
+    /// One orbital plane of the pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane >= planes`.
+    pub fn plane(&self, plane: usize) -> OrbitalPlane {
+        assert!(plane < self.planes, "plane index out of range");
+        OrbitalPlane::new(
+            self.orbit,
+            self.inclination,
+            self.raan_spacing() * plane as f64,
+            self.per_plane(),
+        )
+    }
+
+    /// ECI position of satellite `(plane, slot)` at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KeplerError`] from propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn position(&self, plane: usize, slot: usize, t: Time) -> Result<Vec3, KeplerError> {
+        assert!(plane < self.planes && slot < self.per_plane());
+        let elements = self
+            .plane(plane)
+            .elements(slot)?
+            .with_mean_anomaly(
+                (self.plane(plane).phase(slot) + self.phase_offset() * plane as f64)
+                    .normalized(),
+            );
+        elements.position_at(t)
+    }
+
+    /// Minimum cross-plane distance between adjacent planes, sampled over
+    /// one orbit (the inter-plane ISL design distance — shortest near the
+    /// plane crossings at high latitude).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KeplerError`] from propagation.
+    pub fn min_cross_plane_distance(&self, samples: usize) -> Result<Length, KeplerError> {
+        let mut min = f64::INFINITY;
+        let period = self.orbit.period();
+        for i in 0..samples.max(1) {
+            let t = period * (i as f64 / samples.max(1) as f64);
+            let a = self.position(0, 0, t)?;
+            // Nearest satellite in the adjacent plane at the same time.
+            for slot in 0..self.per_plane() {
+                let b = self.position(1 % self.planes, slot, t)?;
+                min = min.min(a.distance(b));
+            }
+        }
+        Ok(Length::from_m(min))
+    }
+
+    /// SµDCs needed if every plane gets its own ring clusters of at most
+    /// `per_cluster` satellites (in-plane rings keep optical ISLs fixed;
+    /// the paper's preferred formation).
+    pub fn sudcs_for_ring_clusters(&self, per_cluster: usize) -> usize {
+        if per_cluster == 0 {
+            return usize::MAX;
+        }
+        self.planes * self.per_plane().div_ceil(per_cluster)
+    }
+}
+
+impl std::fmt::Display for WalkerDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Walker delta {}°: {}/{}/{} at {} altitude",
+            self.inclination.as_degrees(),
+            self.total,
+            self.planes,
+            self.phasing,
+            self.orbit.altitude()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rec_like_geometry() {
+        let w = WalkerDelta::rec_like();
+        assert_eq!(w.total(), 1024);
+        assert_eq!(w.per_plane(), 32);
+        assert!((w.raan_spacing().as_degrees() - 11.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn indivisible_total_panics() {
+        let _ = WalkerDelta::new(
+            CircularOrbit::from_altitude(Length::from_km(550.0)),
+            Angle::from_degrees(53.0),
+            100,
+            7,
+            0,
+        );
+    }
+
+    #[test]
+    fn all_satellites_sit_on_the_shell() {
+        let w = WalkerDelta::new(
+            CircularOrbit::from_altitude(Length::from_km(550.0)),
+            Angle::from_degrees(53.0),
+            24,
+            4,
+            1,
+        );
+        let r = w.plane(0).orbit().radius().as_m();
+        for plane in 0..4 {
+            for slot in 0..6 {
+                let p = w.position(plane, slot, Time::from_secs(500.0)).unwrap();
+                assert!((p.norm() - r).abs() < 1.0, "plane {plane} slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn phasing_offsets_adjacent_planes() {
+        let unphased = WalkerDelta::new(
+            CircularOrbit::from_altitude(Length::from_km(550.0)),
+            Angle::from_degrees(53.0),
+            24,
+            4,
+            0,
+        );
+        let phased = WalkerDelta::new(
+            CircularOrbit::from_altitude(Length::from_km(550.0)),
+            Angle::from_degrees(53.0),
+            24,
+            4,
+            1,
+        );
+        let t = Time::ZERO;
+        let a = unphased.position(1, 0, t).unwrap();
+        let b = phased.position(1, 0, t).unwrap();
+        assert!(a.distance(b) > 1_000.0, "phasing must move plane-1 satellites");
+        // Plane 0 is unaffected by phasing.
+        let a0 = unphased.position(0, 0, t).unwrap();
+        let b0 = phased.position(0, 0, t).unwrap();
+        assert!(a0.distance(b0) < 1e-6);
+    }
+
+    #[test]
+    fn cross_plane_distance_is_bounded_by_geometry() {
+        let w = WalkerDelta::new(
+            CircularOrbit::from_altitude(Length::from_km(550.0)),
+            Angle::from_degrees(53.0),
+            64,
+            4,
+            1,
+        );
+        let d = w.min_cross_plane_distance(32).unwrap();
+        // Never zero (no collisions) and never more than the in-plane
+        // neighbour spacing of a 16-sat ring times a small factor.
+        assert!(d.as_km() > 10.0, "got {}", d.as_km());
+        assert!(d.as_km() < 3_000.0, "got {}", d.as_km());
+    }
+
+    #[test]
+    fn sudc_count_scales_with_planes() {
+        let w = WalkerDelta::rec_like();
+        // Table 8: at 1 m / 95% ED / 10 Gbit/s a ring SµDC carries 220
+        // satellites — one per plane suffices.
+        assert_eq!(w.sudcs_for_ring_clusters(220), 32);
+        // At 10 satellites per cluster: 4 clusters per 32-sat plane.
+        assert_eq!(w.sudcs_for_ring_clusters(10), 32 * 4);
+        assert_eq!(w.sudcs_for_ring_clusters(0), usize::MAX);
+    }
+}

@@ -1,0 +1,241 @@
+//! SµDC–communication co-design (Sec. 8: Figs. 12–13, Table 9).
+//!
+//! Three strategies relieve the ISL bottleneck: k-list topologies (more
+//! ingest links per SµDC), SµDC splitting (more, smaller SµDCs), and GEO
+//! placement (Fig. 15; modelled in `constellation::topology::GeoStar`).
+//! This module evaluates their combined capacity/power trade (Fig. 13)
+//! and encodes the paper's qualitative strategy comparison (Table 9).
+
+use comms::optical::OpticalTerminal;
+use constellation::topology::{ClusterTopology, Formation};
+use constellation::OrbitalPlane;
+use serde::{Deserialize, Serialize};
+use units::{DataRate, Power};
+
+/// One point of the Fig. 13 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodesignPoint {
+    /// Ingest links per SµDC (k).
+    pub k: usize,
+    /// SµDC splitting factor.
+    pub split: usize,
+    /// Aggregate EO→SµDC capacity normalised to an unsplit ring.
+    pub capacity_norm: f64,
+    /// Total ISL transmit power normalised to an unsplit ring.
+    pub power_norm: f64,
+    /// Capacity per unit power (efficiency of the strategy mix).
+    pub capacity_per_power: f64,
+}
+
+/// Evaluates the Fig. 13 sweep over k-list sizes and splitting factors in
+/// a frame-spaced constellation.
+pub fn fig13_sweep(ks: &[usize], splits: &[usize]) -> Vec<CodesignPoint> {
+    let mut out = Vec::new();
+    for &k in ks {
+        let topo = ClusterTopology::k_list(k, Formation::FrameSpaced);
+        for &split in splits {
+            let capacity_norm = topo.normalized_capacity(split);
+            let power_norm = topo.normalized_power(split);
+            out.push(CodesignPoint {
+                k,
+                split,
+                capacity_norm,
+                power_norm,
+                capacity_per_power: capacity_norm / power_norm,
+            });
+        }
+    }
+    out
+}
+
+/// The paper's Fig. 13 axes.
+pub fn paper_fig13_axes() -> (Vec<usize>, Vec<usize>) {
+    (vec![2, 4, 8, 16], vec![1, 2, 4, 8])
+}
+
+/// Absolute aggregate ingest rate and ISL power for a configuration on
+/// the reference plane, using a LEO-class optical terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbsoluteCodesign {
+    /// Aggregate ingest capacity across all SµDCs.
+    pub aggregate_capacity: DataRate,
+    /// Total transmit power across all ingest links.
+    pub total_power: Power,
+}
+
+/// Evaluates absolute (non-normalised) numbers for a k-list × split
+/// configuration on a plane, with each ingest link run at
+/// `link_capacity`.
+pub fn absolute(
+    plane: &OrbitalPlane,
+    k: usize,
+    split: usize,
+    link_capacity: DataRate,
+    terminal: &OpticalTerminal,
+) -> AbsoluteCodesign {
+    let topo = ClusterTopology::k_list(k, Formation::OrbitSpaced);
+    let links = k * split;
+    let distance = topo.link_distance(plane.link_distance(1));
+    let per_link_power = terminal.power_for(link_capacity, distance);
+    AbsoluteCodesign {
+        aggregate_capacity: link_capacity * links as f64,
+        total_power: per_link_power * links as f64,
+    }
+}
+
+/// The downlink-deficit mitigation strategies compared in Table 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Space microdatacenters (this paper).
+    Sudc,
+    /// Homogeneous constellations of bigger EO satellites.
+    HomogeneousCompute,
+    /// Compression and early discard.
+    Compression,
+    /// Scaling RF downlink capacity.
+    RfComms,
+}
+
+impl Strategy {
+    /// All strategies in Table 9 column order.
+    pub const ALL: [Self; 4] = [
+        Self::Sudc,
+        Self::HomogeneousCompute,
+        Self::Compression,
+        Self::RfComms,
+    ];
+
+    /// Table 9 column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Sudc => "SµDCs",
+            Self::HomogeneousCompute => "Homogeneous Compute",
+            Self::Compression => "Compression",
+            Self::RfComms => "RF Comms",
+        }
+    }
+
+    /// Scales to future resolution targets (Table 9 row 1).
+    pub fn scales_to_future_targets(self) -> bool {
+        matches!(self, Self::Sudc | Self::HomogeneousCompute)
+    }
+
+    /// Requires high power generation in space (row 2).
+    pub fn high_power(self) -> bool {
+        !matches!(self, Self::Compression)
+    }
+
+    /// Requires inter-satellite links (row 3).
+    pub fn requires_isls(self) -> bool {
+        matches!(self, Self::Sudc)
+    }
+
+    /// Adapts to mission/model changes after launch (row 4).
+    pub fn adaptive_to_mission_changes(self) -> bool {
+        matches!(self, Self::Sudc)
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units::Length;
+
+    #[test]
+    fn fig13_normalisations_multiply() {
+        // Benefits are orthogonal: capacity scales multi-linearly with
+        // split × k/2.
+        let pts = fig13_sweep(&[2, 4, 8], &[1, 2, 4]);
+        for p in &pts {
+            assert!((p.capacity_norm - p.split as f64 * p.k as f64 / 2.0).abs() < 1e-12);
+        }
+        // 2-list unsplit is the unit point.
+        let unit = pts.iter().find(|p| p.k == 2 && p.split == 1).unwrap();
+        assert_eq!(unit.capacity_norm, 1.0);
+        assert_eq!(unit.power_norm, 1.0);
+    }
+
+    #[test]
+    fn splitting_is_power_proportional_klists_are_not() {
+        // Splitting buys capacity at proportional power; k-lists pay
+        // quadratically per link. So capacity_per_power degrades with k
+        // but not with split.
+        let pts = fig13_sweep(&[2, 4, 8, 16], &[1, 2, 4, 8]);
+        let eff = |k: usize, s: usize| {
+            pts.iter()
+                .find(|p| p.k == k && p.split == s)
+                .unwrap()
+                .capacity_per_power
+        };
+        assert_eq!(eff(2, 1), eff(2, 8), "splitting preserves efficiency");
+        assert!(eff(16, 1) < eff(4, 1), "big k-lists pay quadratic power");
+    }
+
+    #[test]
+    fn paper_axes_cover_16_points() {
+        let (ks, ss) = paper_fig13_axes();
+        assert_eq!(fig13_sweep(&ks, &ss).len(), 16);
+    }
+
+    #[test]
+    fn absolute_power_grows_quadratically_with_k() {
+        let plane = OrbitalPlane::paper_reference();
+        let t = OpticalTerminal::leo_class();
+        let cap = DataRate::from_gbps(10.0);
+        let k2 = absolute(&plane, 2, 1, cap, &t);
+        let k4 = absolute(&plane, 4, 1, cap, &t);
+        // 2× links × 4× per-link power = 8× total.
+        let ratio = k4.total_power.ratio(k2.total_power);
+        assert!((ratio - 8.0).abs() < 1e-9, "got {ratio}");
+        assert!((k4.aggregate_capacity.as_bps() / k2.aggregate_capacity.as_bps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absolute_split_grows_linearly() {
+        let plane = OrbitalPlane::paper_reference();
+        let t = OpticalTerminal::leo_class();
+        let cap = DataRate::from_gbps(10.0);
+        let one = absolute(&plane, 2, 1, cap, &t);
+        let four = absolute(&plane, 2, 4, cap, &t);
+        assert!((four.total_power.ratio(one.total_power) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_link_power_is_modest_at_reference_spacing() {
+        // 64-sat ring at 550 km: ~679 km links. A 10 Gbit/s LEO-class
+        // terminal closes that for well under 100 W.
+        let plane = OrbitalPlane::paper_reference();
+        let t = OpticalTerminal::leo_class();
+        let a = absolute(&plane, 2, 1, DataRate::from_gbps(10.0), &t);
+        assert!(
+            a.total_power.as_watts() < 200.0,
+            "got {}",
+            a.total_power
+        );
+        assert!(plane.link_distance(1) > Length::from_km(500.0));
+    }
+
+    #[test]
+    fn table9_matches_paper() {
+        use Strategy::*;
+        assert!(Sudc.scales_to_future_targets());
+        assert!(HomogeneousCompute.scales_to_future_targets());
+        assert!(!Compression.scales_to_future_targets());
+        assert!(!RfComms.scales_to_future_targets());
+
+        assert!(Sudc.high_power() && HomogeneousCompute.high_power() && RfComms.high_power());
+        assert!(!Compression.high_power());
+
+        assert!(Sudc.requires_isls());
+        assert!(Strategy::ALL.iter().filter(|s| s.requires_isls()).count() == 1);
+
+        assert!(Sudc.adaptive_to_mission_changes());
+        assert!(!HomogeneousCompute.adaptive_to_mission_changes());
+    }
+}

@@ -1,0 +1,174 @@
+//! Downlink economics versus launching compute (Secs. 3 and 6).
+//!
+//! Two of the paper's headline cost claims are reproduced here: that
+//! downlinking a fine-resolution constellation costs *millions of dollars
+//! per minute* at GSaaS rates, and that even with 99% early discard a
+//! 10 cm constellation pays over $1000/min — while a handful of SµDCs is
+//! a one-time launch cost.
+
+use comms::GroundStationNetwork;
+use imagery::FrameSpec;
+use serde::{Deserialize, Serialize};
+use units::{Length, Mass, Money, Time};
+
+/// Downlink cost per minute for a constellation continuously offloading
+/// its (post-discard) data through Dove-like channels at GSaaS pricing.
+pub fn downlink_cost_per_minute(
+    network: &GroundStationNetwork,
+    resolution: Length,
+    discard_rate: f64,
+    satellites: usize,
+) -> Money {
+    let per_sat = FrameSpec::paper().data_rate_with_discard(resolution, discard_rate);
+    let total = per_sat * satellites as f64;
+    let channels = total.as_bps() / network.channel_rate.as_bps();
+    network.downlink_cost(channels, Time::from_minutes(1.0))
+}
+
+/// Downlink cost per minute for a *global-coverage* mission at a spatial
+/// and temporal resolution (the Sec. 3 "millions of dollars per minute"
+/// scale, driven by the Fig. 4a generation rates).
+pub fn global_downlink_cost_per_minute(
+    network: &GroundStationNetwork,
+    spatial: Length,
+    temporal: Time,
+) -> Money {
+    let rate = crate::datareq::generation_rate(spatial, temporal);
+    let channels = rate.as_bps() / network.channel_rate.as_bps();
+    network.downlink_cost(channels, Time::from_minutes(1.0))
+}
+
+/// Launch pricing assumptions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchPricing {
+    /// Cost per kilogram to LEO.
+    pub per_kg_leo: Money,
+    /// GEO multiplier over LEO (higher energy orbit).
+    pub geo_multiplier: f64,
+}
+
+impl LaunchPricing {
+    /// Current commercial rideshare-era pricing (~$3 000/kg to LEO,
+    /// ~4× to GEO).
+    pub fn current() -> Self {
+        Self {
+            per_kg_leo: Money::from_usd(3_000.0),
+            geo_multiplier: 4.0,
+        }
+    }
+
+    /// Projected future pricing the paper leans on (fully reusable
+    /// launch, ~$300/kg).
+    pub fn projected() -> Self {
+        Self {
+            per_kg_leo: Money::from_usd(300.0),
+            geo_multiplier: 4.0,
+        }
+    }
+
+    /// Cost to place a mass in LEO.
+    pub fn to_leo(&self, mass: Mass) -> Money {
+        self.per_kg_leo * mass.as_kg()
+    }
+
+    /// Cost to place a mass in GEO.
+    pub fn to_geo(&self, mass: Mass) -> Money {
+        self.to_leo(mass) * self.geo_multiplier
+    }
+}
+
+/// Break-even time: how long the constellation can pay downlink fees
+/// before the SµDC fleet's launch cost is cheaper.
+pub fn breakeven(
+    downlink_per_minute: Money,
+    sudc_count: usize,
+    sudc_mass: Mass,
+    pricing: &LaunchPricing,
+) -> Time {
+    let fleet = pricing.to_leo(sudc_mass) * sudc_count as f64;
+    if downlink_per_minute.as_usd() <= 0.0 {
+        return Time::from_years(1_000.0);
+    }
+    Time::from_minutes(fleet.as_usd() / downlink_per_minute.as_usd())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_resolution_downlink_costs_millions_per_minute() {
+        // Paper Sec. 3: "the cost of downlinks to support a fine
+        // resolution LEO EO constellation would be in the millions of
+        // dollars per minute" — at global coverage (Fig. 4a rates).
+        let net = GroundStationNetwork::paper_2023();
+        let c = global_downlink_cost_per_minute(
+            &net,
+            Length::from_cm(10.0),
+            Time::from_minutes(30.0),
+        );
+        assert!(c.as_millions_usd() > 1.0, "10 cm / 30 min global: {c}/min");
+        // The 64-satellite reference constellation at 10 cm is already
+        // six figures per minute.
+        let fleet = downlink_cost_per_minute(&net, Length::from_cm(10.0), 0.0, 64);
+        assert!(fleet.as_usd() > 1e5, "64-sat fleet: {fleet}/min");
+    }
+
+    #[test]
+    fn paper_sec6_claim_over_1000_per_minute_at_99_discard() {
+        // Paper Sec. 6: "Even with 99% early discard, downlink at current
+        // commercial rates would cost the constellation operator over
+        // $1000 per minute at 10 cm resolution."
+        let net = GroundStationNetwork::paper_2023();
+        let c = downlink_cost_per_minute(&net, Length::from_cm(10.0), 0.99, 64);
+        assert!(
+            c.as_usd() > 1_000.0,
+            "10 cm, 99% discard: {c}/min (paper: >$1000)"
+        );
+        assert!(c.as_usd() < 1_000_000.0, "sanity upper bound: {c}");
+    }
+
+    #[test]
+    fn sudc_launch_beats_downlink_within_weeks_at_fine_resolution() {
+        // Paper Sec. 6: launching SµDCs "will invariably be cheaper than
+        // paying significant recurring costs for data downlink".
+        let net = GroundStationNetwork::paper_2023();
+        let per_min = downlink_cost_per_minute(&net, Length::from_cm(10.0), 0.99, 64);
+        let t = breakeven(per_min, 8, Mass::from_kg(2_500.0), &LaunchPricing::current());
+        assert!(
+            t.as_days() < 60.0,
+            "breakeven {} days should be weeks",
+            t.as_days()
+        );
+        // At projected launch prices it is days.
+        let t2 = breakeven(per_min, 8, Mass::from_kg(2_500.0), &LaunchPricing::projected());
+        assert!(t2.as_days() < 7.0, "projected breakeven {} days", t2.as_days());
+    }
+
+    #[test]
+    fn cost_scales_with_discard_and_resolution() {
+        let net = GroundStationNetwork::paper_2023();
+        let coarse = downlink_cost_per_minute(&net, Length::from_m(3.0), 0.95, 64);
+        let fine = downlink_cost_per_minute(&net, Length::from_cm(30.0), 0.95, 64);
+        assert!((fine.as_usd() / coarse.as_usd() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geo_launch_costs_more_than_leo() {
+        let p = LaunchPricing::current();
+        let m = Mass::from_kg(1_000.0);
+        assert!(p.to_geo(m).as_usd() > p.to_leo(m).as_usd());
+        assert_eq!(p.to_leo(m).as_millions_usd(), 3.0);
+    }
+
+    #[test]
+    fn zero_downlink_cost_never_breaks_even() {
+        let t = breakeven(
+            Money::ZERO,
+            1,
+            Mass::from_kg(100.0),
+            &LaunchPricing::current(),
+        );
+        assert!(t.as_years() >= 1_000.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Satellite downlink capacities over time (Fig. 3).
+//!
+//! Representative EO downlink systems from open sources: year, band, and
+//! deployed data rate. Fig. 3's point is that downlink rates have grown —
+//! via better modems and higher bands — but far more slowly than data
+//! generation, because spectrum is capped.
+
+use serde::{Deserialize, Serialize};
+use units::DataRate;
+
+/// Radio band of a downlink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Band {
+    /// VHF/UHF early telemetry.
+    Uhf,
+    /// S-band (~2 GHz).
+    SBand,
+    /// X-band (~8 GHz).
+    XBand,
+    /// Ka-band (~26 GHz).
+    KaBand,
+    /// Optical (laser) downlink.
+    Optical,
+}
+
+impl std::fmt::Display for Band {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Uhf => "UHF",
+            Self::SBand => "S-band",
+            Self::XBand => "X-band",
+            Self::KaBand => "Ka-band",
+            Self::Optical => "optical",
+        })
+    }
+}
+
+/// One Fig. 3 data point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DownlinkSystem {
+    /// System or mission name.
+    pub name: &'static str,
+    /// Year of service.
+    pub year: u32,
+    /// Band used.
+    pub band: Band,
+    /// Deployed downlink rate.
+    pub rate: DataRate,
+}
+
+/// The Fig. 3 dataset.
+pub fn downlink_systems() -> Vec<DownlinkSystem> {
+    use Band::*;
+    let d = |name, year, band, mbps: f64| DownlinkSystem {
+        name,
+        year,
+        band,
+        rate: DataRate::from_mbps(mbps),
+    };
+    vec![
+        d("TIROS-1", 1960, Uhf, 0.001),
+        d("Landsat-1 (MSS)", 1972, SBand, 15.0),
+        d("Landsat-4 (TM)", 1982, XBand, 85.0),
+        d("SPOT-1", 1986, XBand, 50.0),
+        d("Landsat-7", 1999, XBand, 150.0),
+        d("IKONOS", 1999, XBand, 320.0),
+        d("WorldView-1", 2007, XBand, 800.0),
+        d("Dove (HSD)", 2017, XBand, 220.0),
+        d("WorldView-3", 2014, XBand, 1_200.0),
+        d("NASA 26 GHz demo", 2012, KaBand, 1_500.0),
+        d("JAXA Ka smallsat", 2018, KaBand, 2_000.0),
+        d("TBIRD optical demo", 2022, Optical, 100_000.0),
+    ]
+}
+
+/// Median RF downlink rate in a year window (optical excluded — Fig. 3's
+/// RF-capacity story).
+pub fn median_rf_rate(year_from: u32, year_to: u32) -> Option<DataRate> {
+    let mut rates: Vec<f64> = downlink_systems()
+        .into_iter()
+        .filter(|d| d.band != Band::Optical)
+        .filter(|d| (year_from..=year_to).contains(&d.year))
+        .map(|d| d.rate.as_bps())
+        .collect();
+    if rates.is_empty() {
+        return None;
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    Some(DataRate::from_bps(rates[rates.len() / 2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rf_rates_grew_by_orders_of_magnitude() {
+        let early = median_rf_rate(1960, 1990).unwrap();
+        let late = median_rf_rate(2005, 2023).unwrap();
+        assert!(
+            late.as_bps() / early.as_bps() > 10.0,
+            "early {early} vs late {late}"
+        );
+    }
+
+    #[test]
+    fn rf_growth_lags_data_generation_growth() {
+        // The Fig. 2/Fig. 3 contrast: resolution improved ~100× over the
+        // civil era (data volume ~10,000×), while RF downlink grew far
+        // less.
+        let early = median_rf_rate(1970, 1990).unwrap();
+        let late = median_rf_rate(2005, 2023).unwrap();
+        let rf_growth = late.as_bps() / early.as_bps();
+        assert!(
+            rf_growth < 10_000.0,
+            "RF growth {rf_growth}× should lag the ~1e4× data growth"
+        );
+    }
+
+    #[test]
+    fn bands_moved_up_over_time() {
+        // Early systems are UHF/S-band; modern high-rate systems are
+        // X/Ka/optical.
+        let systems = downlink_systems();
+        let early_bands: Vec<Band> = systems
+            .iter()
+            .filter(|d| d.year < 1985)
+            .map(|d| d.band)
+            .collect();
+        assert!(early_bands
+            .iter()
+            .all(|b| matches!(b, Band::Uhf | Band::SBand | Band::XBand)));
+        let modern_fast = systems
+            .iter()
+            .filter(|d| d.year >= 2010 && d.rate.as_gbps() >= 1.0)
+            .count();
+        assert!(modern_fast >= 3);
+    }
+
+    #[test]
+    fn empty_window_returns_none() {
+        assert!(median_rf_rate(1900, 1950).is_none());
+    }
+
+    #[test]
+    fn optical_breaks_the_rf_ceiling() {
+        let max_rf = downlink_systems()
+            .into_iter()
+            .filter(|d| d.band != Band::Optical)
+            .map(|d| d.rate.as_bps())
+            .fold(0.0, f64::max);
+        let optical = downlink_systems()
+            .into_iter()
+            .find(|d| d.band == Band::Optical)
+            .unwrap();
+        assert!(optical.rate.as_bps() > 10.0 * max_rf);
+    }
+}

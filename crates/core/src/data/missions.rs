@@ -1,0 +1,149 @@
+//! EO-mission spatial resolutions over time (Fig. 2).
+//!
+//! A curated dataset of representative imaging satellites from open
+//! sources: launch year, finest ground sample distance, and whether the
+//! mission belongs to the NRO Key Hole reconnaissance line (plotted as a
+//! separate, decade-ahead series in the paper's Fig. 2).
+
+use serde::{Deserialize, Serialize};
+use units::Length;
+
+/// Mission lineage for the two Fig. 2 series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissionLine {
+    /// NRO Key Hole reconnaissance satellites.
+    KeyHole,
+    /// Commercial and scientific EO missions.
+    CivilCommercial,
+}
+
+/// One Fig. 2 data point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Mission {
+    /// Mission name.
+    pub name: &'static str,
+    /// Launch (or first-image) year.
+    pub year: u32,
+    /// Finest spatial resolution.
+    pub resolution: Length,
+    /// Which series the mission belongs to.
+    pub line: MissionLine,
+}
+
+/// The Fig. 2 dataset.
+pub fn missions() -> Vec<Mission> {
+    use MissionLine::*;
+    let m = |name, year, res_m: f64, line| Mission {
+        name,
+        year,
+        resolution: Length::from_m(res_m),
+        line,
+    };
+    vec![
+        // Key Hole line: metre-class film returns in the 60s down to
+        // centimetre-class electro-optical birds.
+        m("KH-1 Corona", 1959, 12.0, KeyHole),
+        m("KH-3 Corona'", 1961, 7.6, KeyHole),
+        m("KH-4B Corona", 1967, 1.8, KeyHole),
+        m("KH-7 Gambit", 1963, 0.9, KeyHole),
+        m("KH-8 Gambit-3", 1966, 0.5, KeyHole),
+        m("KH-9 Hexagon", 1971, 0.6, KeyHole),
+        m("KH-11 Kennen", 1976, 0.15, KeyHole),
+        m("KH-11 Block III", 1992, 0.1, KeyHole),
+        m("KH-11 Block IV", 2005, 0.05, KeyHole),
+        // Civil/commercial line: from Landsat's 80 m to sub-30 cm.
+        m("Landsat-1", 1972, 80.0, CivilCommercial),
+        m("Landsat-4 TM", 1982, 30.0, CivilCommercial),
+        m("SPOT-1", 1986, 10.0, CivilCommercial),
+        m("IKONOS", 1999, 0.8, CivilCommercial),
+        m("QuickBird", 2001, 0.61, CivilCommercial),
+        m("WorldView-1", 2007, 0.5, CivilCommercial),
+        m("GeoEye-1", 2008, 0.41, CivilCommercial),
+        m("WorldView-3", 2014, 0.31, CivilCommercial),
+        m("Dove (PlanetScope)", 2016, 3.0, CivilCommercial),
+        m("SkySat-C", 2016, 0.5, CivilCommercial),
+        m("Pelican", 2023, 0.29, CivilCommercial),
+        m("Albedo (planned)", 2025, 0.1, CivilCommercial),
+    ]
+}
+
+/// Least-squares exponential trend: fits `log10(res) = a + b·year` for a
+/// series and returns `(a, b)`. A negative `b` is resolution improving
+/// over time.
+pub fn log_trend(line: MissionLine) -> (f64, f64) {
+    let pts: Vec<(f64, f64)> = missions()
+        .into_iter()
+        .filter(|m| m.line == line)
+        .map(|m| (f64::from(m.year), m.resolution.as_m().log10()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// Trend-line resolution prediction for a year.
+pub fn trend_resolution(line: MissionLine, year: u32) -> Length {
+    let (a, b) = log_trend(line);
+    Length::from_m(10f64.powf(a + b * f64::from(year)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_series_improve_over_time() {
+        for line in [MissionLine::KeyHole, MissionLine::CivilCommercial] {
+            let (_, b) = log_trend(line);
+            assert!(b < 0.0, "{line:?} should trend finer: slope {b}");
+        }
+    }
+
+    #[test]
+    fn keyhole_outperforms_commercial_at_matching_years() {
+        // Fig. 2's visual: the Key Hole line sits well below (finer than)
+        // the civil line across the overlap period.
+        for year in [1975u32, 1990, 2005] {
+            let kh = trend_resolution(MissionLine::KeyHole, year);
+            let civ = trend_resolution(MissionLine::CivilCommercial, year);
+            assert!(
+                kh.as_m() < civ.as_m(),
+                "year {year}: KH {kh} vs civil {civ}"
+            );
+        }
+    }
+
+    #[test]
+    fn commercial_reaches_submeter_around_2000() {
+        let r = trend_resolution(MissionLine::CivilCommercial, 2005);
+        assert!(r.as_m() < 3.0, "got {r}");
+        let early = trend_resolution(MissionLine::CivilCommercial, 1975);
+        assert!(early.as_m() > 10.0, "got {early}");
+    }
+
+    #[test]
+    fn dataset_is_well_formed() {
+        let ms = missions();
+        assert!(ms.len() >= 20);
+        for m in &ms {
+            assert!(m.resolution.as_m() > 0.0, "{}", m.name);
+            assert!((1950..2030).contains(&m.year), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn kh11_reaches_centimetre_class() {
+        // The paper: a 2.4 m mirror at 250 km gives ~6 cm-class optics.
+        let best = missions()
+            .into_iter()
+            .filter(|m| m.line == MissionLine::KeyHole)
+            .map(|m| m.resolution.as_m())
+            .fold(f64::INFINITY, f64::min);
+        assert!(best <= 0.06);
+    }
+}

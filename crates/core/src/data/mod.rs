@@ -1,0 +1,10 @@
+//! Historical datasets behind the paper's motivation figures.
+//!
+//! * [`missions`] — EO satellite spatial resolutions by launch year
+//!   (Fig. 2), split into the NRO Key Hole line and commercial/scientific
+//!   missions.
+//! * [`downlinks`] — satellite downlink capacities by year and band
+//!   (Fig. 3).
+
+pub mod downlinks;
+pub mod missions;

@@ -1,0 +1,151 @@
+//! Constellation data-generation requirements (Fig. 4).
+//!
+//! Fig. 4a: the rate a constellation must generate to image all of Earth
+//! at a spatial resolution with a revisit (temporal resolution):
+//! `surface area / res² × bits-per-pixel / temporal-res`.
+//!
+//! Fig. 4b: the number of concurrent, continuous Dove-like 220 Mbit/s
+//! channels needed to move that off orbit.
+
+use serde::{Deserialize, Serialize};
+use units::constants::EARTH_SURFACE_AREA_M2;
+use units::{DataRate, Length, Time};
+
+/// Bits per pixel of the paper's RGB frame model (3 bytes).
+pub const BITS_PER_PIXEL: f64 = 24.0;
+
+/// The Dove-like downlink channel rate used as Fig. 4b's unit.
+pub fn dove_channel() -> DataRate {
+    DataRate::from_mbps(220.0)
+}
+
+/// Global-coverage data-generation rate at a spatial and temporal
+/// resolution (Fig. 4a).
+///
+/// # Panics
+///
+/// Panics if either resolution is non-positive.
+pub fn generation_rate(spatial: Length, temporal: Time) -> DataRate {
+    assert!(spatial.as_m() > 0.0, "spatial resolution must be positive");
+    assert!(temporal.as_secs() > 0.0, "temporal resolution must be positive");
+    let pixels = EARTH_SURFACE_AREA_M2 / spatial.squared().as_m2();
+    DataRate::from_bps(pixels * BITS_PER_PIXEL / temporal.as_secs())
+}
+
+/// Number of concurrent Dove-like channels needed to downlink a
+/// generation rate continuously (Fig. 4b).
+pub fn dove_channels_needed(rate: DataRate) -> f64 {
+    rate.as_bps() / dove_channel().as_bps()
+}
+
+/// The (spatial, temporal) sweep grid used in Fig. 4.
+pub fn paper_sweep() -> Vec<(Length, Time)> {
+    let spatials = [
+        Length::from_m(3.0),
+        Length::from_m(1.0),
+        Length::from_cm(30.0),
+        Length::from_cm(10.0),
+    ];
+    let temporals = [
+        Time::from_days(1.0),
+        Time::from_hours(1.0),
+        Time::from_minutes(30.0),
+        Time::from_minutes(10.0),
+        Time::from_secs(1.5),
+    ];
+    spatials
+        .into_iter()
+        .flat_map(|s| temporals.into_iter().map(move |t| (s, t)))
+        .collect()
+}
+
+/// One row of the Fig. 4 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataRequirement {
+    /// Spatial resolution.
+    pub spatial: Length,
+    /// Temporal resolution (revisit).
+    pub temporal: Time,
+    /// Generation rate (Fig. 4a).
+    pub rate: DataRate,
+    /// Dove channels needed (Fig. 4b).
+    pub channels: f64,
+}
+
+/// Evaluates the full Fig. 4 sweep.
+pub fn paper_requirements() -> Vec<DataRequirement> {
+    paper_sweep()
+        .into_iter()
+        .map(|(spatial, temporal)| {
+            let rate = generation_rate(spatial, temporal);
+            DataRequirement {
+                spatial,
+                temporal,
+                rate,
+                channels: dove_channels_needed(rate),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_resolutions_hit_tens_of_tbps() {
+        // Paper: "at fine spatial resolutions, tens of Tbit/s".
+        let r = generation_rate(Length::from_cm(10.0), Time::from_days(1.0));
+        assert!(
+            r.as_tbps() > 10.0 && r.as_tbps() < 30.0,
+            "10 cm daily: {r}"
+        );
+    }
+
+    #[test]
+    fn fine_spatial_and_temporal_hit_tens_of_pbps() {
+        // Paper: "at fine spatial and temporal resolutions, tens of
+        // Pbit/s".
+        let r = generation_rate(Length::from_cm(10.0), Time::from_minutes(30.0));
+        assert!(r.as_bps() > 0.5e15, "10 cm / 30 min: {r}");
+        let finer = generation_rate(Length::from_cm(10.0), Time::from_secs(90.0));
+        assert!(finer.as_bps() > 1e16, "10 cm / 90 s: {finer}");
+    }
+
+    #[test]
+    fn coarse_baseline_is_modest() {
+        // 3 m / 1 day — the Dove-like baseline the paper treats as
+        // currently downlinkable.
+        let r = generation_rate(Length::from_m(3.0), Time::from_days(1.0));
+        assert!(r.as_gbps() > 10.0 && r.as_gbps() < 20.0, "got {r}");
+    }
+
+    #[test]
+    fn rate_scales_inverse_square_in_spatial() {
+        let a = generation_rate(Length::from_m(3.0), Time::from_days(1.0));
+        let b = generation_rate(Length::from_m(1.0), Time::from_days(1.0));
+        assert!((b.as_bps() / a.as_bps() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_scales_linearly_in_temporal() {
+        let a = generation_rate(Length::from_m(1.0), Time::from_hours(2.0));
+        let b = generation_rate(Length::from_m(1.0), Time::from_hours(1.0));
+        assert!((b.as_bps() / a.as_bps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channels_needed_exceed_ground_segment_by_orders_of_magnitude() {
+        // Earth's whole GSaaS network serves ~1 600 channels; 10 cm/30 min
+        // needs millions.
+        let r = generation_rate(Length::from_cm(10.0), Time::from_minutes(30.0));
+        let ch = dove_channels_needed(r);
+        assert!(ch > 1e6, "got {ch} channels");
+    }
+
+    #[test]
+    fn sweep_covers_20_points() {
+        assert_eq!(paper_sweep().len(), 20);
+        assert_eq!(paper_requirements().len(), 20);
+    }
+}

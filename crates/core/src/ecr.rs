@@ -1,0 +1,118 @@
+//! Required effective compression ratios (Fig. 6) and the Sec. 4
+//! feasibility comparison.
+//!
+//! The paper assumes downlink capacity sufficient for 3 m / 1 day global
+//! RGB imagery (the Dove baseline) and asks what combined
+//! compression-plus-discard ratio would squeeze finer missions through
+//! the same pipe.
+
+use serde::{Deserialize, Serialize};
+use units::{Length, Time};
+
+use crate::datareq::generation_rate;
+
+/// The baseline mission whose downlink is assumed to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Baseline spatial resolution.
+    pub spatial: Length,
+    /// Baseline temporal resolution.
+    pub temporal: Time,
+}
+
+impl Baseline {
+    /// The paper's 3 m / 1 day baseline.
+    pub fn paper() -> Self {
+        Self {
+            spatial: Length::from_m(3.0),
+            temporal: Time::from_days(1.0),
+        }
+    }
+}
+
+/// Required ECR to fit a (spatial, temporal) target through the baseline
+/// downlink (Fig. 6): the ratio of generation rates.
+pub fn required_ecr(baseline: Baseline, spatial: Length, temporal: Time) -> f64 {
+    generation_rate(spatial, temporal).as_bps()
+        / generation_rate(baseline.spatial, baseline.temporal).as_bps()
+}
+
+/// Verdict on whether achievable data reduction covers a requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EcrFeasibility {
+    /// Required ECR for the target.
+    pub required: f64,
+    /// Achievable ECR (compression × early discard under the paper's
+    /// best case, 400).
+    pub achievable: f64,
+    /// Shortfall in orders of magnitude (0 when achievable ≥ required).
+    pub shortfall_orders: f64,
+}
+
+/// The paper's best-case achievable ECR: ~4× lossless compression times
+/// the capped 100× early discard.
+pub const BEST_CASE_ACHIEVABLE_ECR: f64 = 400.0;
+
+/// Compares required against achievable ECR for a target.
+pub fn feasibility(baseline: Baseline, spatial: Length, temporal: Time) -> EcrFeasibility {
+    let required = required_ecr(baseline, spatial, temporal);
+    let shortfall = (required / BEST_CASE_ACHIEVABLE_ECR).log10().max(0.0);
+    EcrFeasibility {
+        required,
+        achievable: BEST_CASE_ACHIEVABLE_ECR,
+        shortfall_orders: shortfall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_requires_unity() {
+        let b = Baseline::paper();
+        assert!((required_ecr(b, b.spatial, b.temporal) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spatial_only_scaling() {
+        let b = Baseline::paper();
+        // 3 m → 30 cm at the same revisit: 100×.
+        let e = required_ecr(b, Length::from_cm(30.0), Time::from_days(1.0));
+        assert!((e - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fine_targets_need_thousands_to_hundreds_of_thousands() {
+        // Paper: "fine resolutions require ECRs in the thousands to
+        // hundreds of thousands".
+        let b = Baseline::paper();
+        let daily_10cm = required_ecr(b, Length::from_cm(10.0), Time::from_days(1.0));
+        assert!((daily_10cm - 900.0).abs() < 1e-9);
+        let hourly_10cm = required_ecr(b, Length::from_cm(10.0), Time::from_hours(1.0));
+        assert!((hourly_10cm - 21_600.0).abs() < 1e-6);
+        let half_hourly_10cm =
+            required_ecr(b, Length::from_cm(10.0), Time::from_minutes(30.0));
+        assert!(half_hourly_10cm > 4e4, "got {half_hourly_10cm}");
+    }
+
+    #[test]
+    fn shortfall_up_to_3_5_orders_of_magnitude() {
+        // Paper: best-case 400 is "up to 3.5 orders of magnitude short".
+        let b = Baseline::paper();
+        let worst = feasibility(b, Length::from_cm(10.0), Time::from_minutes(10.0));
+        assert!(
+            worst.shortfall_orders > 2.5 && worst.shortfall_orders < 4.0,
+            "shortfall {} orders",
+            worst.shortfall_orders
+        );
+    }
+
+    #[test]
+    fn coarse_targets_are_feasible() {
+        let b = Baseline::paper();
+        let f = feasibility(b, Length::from_m(1.0), Time::from_days(1.0));
+        assert_eq!(f.shortfall_orders, 0.0);
+        assert!(f.required <= f.achievable);
+    }
+}

@@ -1,0 +1,70 @@
+//! Quasi-lossless compression rate–distortion sweep (Sec. 4's "high
+//! quality 'quasi-lossless' lossy compression … 10–20×" claim).
+
+use compress::quality::dwt_rate_distortion;
+use imagery::synth::{Scene, SceneKind};
+
+use super::ExperimentResult;
+
+/// Sweeps the quantised DWT codec across quantisation levels on the
+/// synthetic urban and rural RGB scenes and reports each
+/// (ratio, PSNR, max-error) point.
+pub fn lossy() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "lossy",
+        "Quasi-lossless DWT compression: rate vs distortion (Sec. 4 claim)",
+        &["scene", "quant shift", "ratio", "PSNR (dB)", "max error"],
+    );
+    for (label, kind) in [("urban", SceneKind::UrbanRgb), ("rural", SceneKind::RuralRgb)] {
+        let img = Scene::new(kind, 17).render(192, 192);
+        for shift in 0u8..=5 {
+            let rd = dwt_rate_distortion(&img, shift);
+            r.push_row([
+                label.to_string(),
+                shift.to_string(),
+                format!("{:.2}", rd.ratio),
+                if rd.psnr_db.is_finite() {
+                    format!("{:.1}", rd.psnr_db)
+                } else {
+                    "lossless".to_string()
+                },
+                rd.max_error.to_string(),
+            ]);
+        }
+    }
+    r.note("the paper: quasi-lossless buys only 10–20x — far from the 1000s the required ECRs demand (Fig. 6)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_both_scenes_and_all_shifts() {
+        let r = lossy();
+        assert_eq!(r.rows.len(), 12);
+        // Shift 0 rows are lossless.
+        assert!(r
+            .rows
+            .iter()
+            .filter(|row| row[1] == "0")
+            .all(|row| row[3] == "lossless" && row[4] == "0"));
+    }
+
+    #[test]
+    fn ratio_grows_and_quality_falls_along_each_sweep() {
+        let r = lossy();
+        for scene in ["urban", "rural"] {
+            let rows: Vec<_> = r.rows.iter().filter(|row| row[0] == scene).collect();
+            let ratios: Vec<f64> = rows.iter().map(|row| row[2].parse().unwrap()).collect();
+            assert!(
+                ratios.windows(2).all(|w| w[1] >= w[0] * 0.98),
+                "{scene} ratios {ratios:?}"
+            );
+            // Even at shift 5 the ratio stays well under the 1000s the
+            // required ECRs demand — the paper's point.
+            assert!(ratios.last().unwrap() < &500.0);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! SµDC placement study (our synthesis of the Sec. 9 discussion):
+//! LEO-vs-GEO across every axis the paper raises — eclipse and power
+//! sizing, station-keeping, radiation, disposal, thermal — in one table.
+
+use orbit::circular::CircularOrbit;
+use orbit::drag::{annual_stationkeeping_delta_v, disposal_delta_v, Spacecraft};
+use orbit::eclipse::{annual_eclipse, orbit_normal};
+use orbit::radiation::RadiationRegime;
+use units::fmt_si::trim_float;
+use units::{Angle, Length, Power};
+
+use super::ExperimentResult;
+use crate::powersys::{size_for_orbit, ArrayTech, BatteryTech};
+use crate::thermal;
+
+/// Runs the placement comparison for a 4 kW-compute (5 kW bus-total)
+/// SµDC in the reference LEO plane versus GEO.
+pub fn placement() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "placement",
+        "SµDC placement: LEO (550 km, 53°) vs GEO (Sec. 9 synthesis)",
+        &["metric", "LEO", "GEO"],
+    );
+    let load = Power::from_kilowatts(5.0);
+    let leo = CircularOrbit::from_altitude(Length::from_km(550.0));
+    let geo = CircularOrbit::geostationary();
+    let leo_inc = Angle::from_degrees(53.0);
+    let sc = Spacecraft::sudc_4kw();
+
+    // Eclipse exposure.
+    let leo_ecl = annual_eclipse(leo, orbit_normal(leo_inc, Angle::ZERO));
+    let geo_ecl = annual_eclipse(geo, orbit_normal(Angle::ZERO, Angle::ZERO));
+    r.push_row([
+        "mean eclipse fraction".to_string(),
+        format!("{:.3}", leo_ecl.mean_fraction),
+        format!("{:.4}", geo_ecl.mean_fraction),
+    ]);
+    r.push_row([
+        "eclipse days per year".to_string(),
+        leo_ecl.eclipse_days.to_string(),
+        geo_ecl.eclipse_days.to_string(),
+    ]);
+
+    // Power subsystem.
+    let leo_eps = size_for_orbit(
+        load,
+        leo,
+        leo_inc,
+        &ArrayTech::flexible_blanket(),
+        &BatteryTech::li_ion_leo(),
+    );
+    let geo_eps = size_for_orbit(
+        load,
+        geo,
+        Angle::ZERO,
+        &ArrayTech::flexible_blanket(),
+        &BatteryTech::li_ion_geo(),
+    );
+    r.push_row([
+        "solar array power".to_string(),
+        leo_eps.array_power.to_string(),
+        geo_eps.array_power.to_string(),
+    ]);
+    r.push_row([
+        "battery mass (kg)".to_string(),
+        trim_float(leo_eps.battery_mass.as_kg().round()),
+        trim_float(geo_eps.battery_mass.as_kg().round()),
+    ]);
+
+    // Station-keeping and disposal.
+    r.push_row([
+        "drag make-up Δv (m/s/yr)".to_string(),
+        format!("{:.1}", annual_stationkeeping_delta_v(leo, &sc).as_m_per_s()),
+        format!("{:.4}", annual_stationkeeping_delta_v(geo, &sc).as_m_per_s()),
+    ]);
+    r.push_row([
+        "disposal Δv (m/s)".to_string(),
+        format!("{:.0}", disposal_delta_v(leo).as_m_per_s()),
+        format!("{:.1}", disposal_delta_v(geo).as_m_per_s()),
+    ]);
+
+    // Radiation.
+    r.push_row([
+        "radiation regime".to_string(),
+        RadiationRegime::from_altitude(leo.altitude()).to_string(),
+        RadiationRegime::from_altitude(geo.altitude()).to_string(),
+    ]);
+    r.push_row([
+        "dose rate (krad/yr)".to_string(),
+        trim_float(RadiationRegime::from_altitude(leo.altitude()).dose_rate_krad_per_year()),
+        trim_float(RadiationRegime::from_altitude(geo.altitude()).dose_rate_krad_per_year()),
+    ]);
+
+    // Thermal.
+    let leo_thermal = thermal::required_area(load, 330.0, thermal::LEO_SINK_TEMP_K, 0.88);
+    let geo_thermal = thermal::required_area(load, 330.0, thermal::GEO_SINK_TEMP_K, 0.88);
+    r.push_row([
+        "radiator area (m²)".to_string(),
+        format!("{:.1}", leo_thermal.as_m2()),
+        format!("{:.1}", geo_thermal.as_m2()),
+    ]);
+
+    r.note("LEO pays eclipse power and boost; GEO pays radiation and launch energy — the Sec. 9 trade");
+    r.note(format!(
+        "GEO star coverage: {}",
+        super::figures::geo_note()
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_table_has_all_axes() {
+        let r = placement();
+        assert_eq!(r.rows.len(), 9);
+        let metrics: Vec<&str> = r.rows.iter().map(|row| row[0].as_str()).collect();
+        assert!(metrics.contains(&"radiation regime"));
+        assert!(metrics.contains(&"solar array power"));
+        assert!(metrics.contains(&"radiator area (m²)"));
+    }
+
+    #[test]
+    fn leo_pays_power_geo_pays_radiation() {
+        let r = placement();
+        let row = |name: &str| {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+                .clone()
+        };
+        // LEO eclipse fraction exceeds GEO's.
+        let ecl = row("mean eclipse fraction");
+        assert!(ecl[1].parse::<f64>().unwrap() > ecl[2].parse::<f64>().unwrap());
+        // GEO dose exceeds LEO dose.
+        let dose = row("dose rate (krad/yr)");
+        assert!(dose[2].parse::<f64>().unwrap() > dose[1].parse::<f64>().unwrap());
+    }
+}

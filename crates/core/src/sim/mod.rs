@@ -1,0 +1,4 @@
+//! Frame-level discrete-event simulation of an EO constellation feeding
+//! SµDCs (placeholder module file; see submodules).
+pub mod model;
+pub use model::*;

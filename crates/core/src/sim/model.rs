@@ -1,0 +1,701 @@
+//! Frame-level discrete-event simulation of an EO constellation feeding
+//! ring-topology SµDCs.
+//!
+//! Every 1.5 s each EO satellite images a frame. Surviving frames (early
+//! discard is either a uniform coin or driven by the procedural Earth
+//! model) are relayed hop-by-hop along the ring toward the cluster's
+//! SµDC over capacity-limited ISLs, then served by the SµDC's compute at
+//! its application pixel rate. The simulation reports throughput,
+//! end-to-end latency, link and compute utilisation, and backlog — and is
+//! used to cross-validate the closed-form Table 8 / Fig. 11 model (see
+//! `tests/sim_vs_model.rs`).
+
+use constellation::OrbitalPlane;
+use imagery::earth::EarthModel;
+use imagery::FrameSpec;
+use orbit::groundtrack::subsatellite_point;
+use serde::{Deserialize, Serialize};
+use simkit::rng::{coin, RngFactory};
+use simkit::stats::Tally;
+use simkit::Scheduler;
+use units::{DataRate, DataSize, Length, Time};
+use workloads::Application;
+
+use crate::sizing::SudcSpec;
+
+/// The ingest network shape the simulation plays out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimTopology {
+    /// LEO ring/k-list relaying: arcs of the ring forward frames inward
+    /// to an in-plane SµDC (Figs. 10/12).
+    Ring,
+    /// GEO star (Fig. 15): every EO satellite uplinks directly to one of
+    /// the GEO SµDCs (assigned round-robin as a stand-in for
+    /// whichever-node-is-visible); no relaying, ~0.13 s of uplink
+    /// propagation delay.
+    GeoStar,
+}
+
+/// How frames are selected for early discard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DiscardPolicy {
+    /// Drop each frame independently with this probability (the paper's
+    /// uniform assumption).
+    Uniform(f64),
+    /// Keep only frames whose procedural ground truth is clear, daytime
+    /// land (classifier-style discard; the achieved rate emerges from
+    /// the Earth model).
+    ClearLandOnly,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The orbital plane (satellite count, altitude, inclination).
+    pub plane: OrbitalPlane,
+    /// Ingest network shape.
+    pub topology: SimTopology,
+    /// Number of SµDCs. For [`SimTopology::Ring`] each owns an equal arc
+    /// of the ring; for [`SimTopology::GeoStar`] satellites are assigned
+    /// round-robin.
+    pub clusters: usize,
+    /// Ingest ISLs per SµDC (even, ≥ 2): the k of a k-list topology.
+    /// `2` is the plain ring; larger k stripes each arc side into `k/2`
+    /// interleaved relay chains (Sec. 8).
+    pub ingest_links: usize,
+    /// Per-ISL capacity.
+    pub isl_capacity: DataRate,
+    /// Imaging resolution.
+    pub resolution: Length,
+    /// Early-discard policy.
+    pub discard: DiscardPolicy,
+    /// The SµDC design point (device + power + hardening).
+    pub sudc: SudcSpec,
+    /// Application every frame is processed by.
+    pub app: Application,
+    /// Frame model.
+    pub frame: FrameSpec,
+    /// Simulated duration.
+    pub duration: Time,
+    /// Injected SµDC failures: `(cluster index, failure time)`. From its
+    /// failure time a SµDC stops serving; frames routed to it are lost.
+    /// Used to quantify the Sec. 9 resilience argument for splitting and
+    /// disaggregation.
+    pub failures: Vec<(usize, Time)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A paper-reference configuration: 64 satellites at 550 km, one
+    /// cluster, 10 Gbit/s ISLs, 4 kW RTX 3090 SµDC.
+    pub fn paper_reference(app: Application, resolution: Length, discard: f64) -> Self {
+        Self {
+            plane: OrbitalPlane::paper_reference(),
+            topology: SimTopology::Ring,
+            clusters: 1,
+            ingest_links: 2,
+            isl_capacity: DataRate::from_gbps(10.0),
+            resolution,
+            discard: DiscardPolicy::Uniform(discard),
+            sudc: SudcSpec::paper_4kw(workloads::Device::Rtx3090),
+            app,
+            frame: FrameSpec::paper(),
+            duration: Time::from_minutes(5.0),
+            failures: Vec::new(),
+            seed: 0xEC0_5A7,
+        }
+    }
+
+    /// Satellites per cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or does not divide the ring.
+    pub fn cluster_size(&self) -> usize {
+        assert!(self.clusters > 0, "need at least one cluster");
+        assert!(
+            self.ingest_links >= 2 && self.ingest_links % 2 == 0,
+            "k-lists require even ingest_links >= 2"
+        );
+        let n = self.plane.satellite_count();
+        if self.topology == SimTopology::Ring {
+            assert!(
+                n % self.clusters == 0,
+                "clusters must divide the ring evenly ({n} % {} != 0)",
+                self.clusters
+            );
+        }
+        n.div_ceil(self.clusters)
+    }
+}
+
+/// A frame moving through the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FrameInFlight {
+    created: Time,
+    bits: f64,
+    pixels: f64,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// Satellite `sat` images a frame.
+    Generate { sat: usize },
+    /// A frame finishes crossing the ISL out of `from` and arrives at the
+    /// next node toward the SµDC.
+    Hop { frame: FrameInFlight, from: usize },
+    /// The SµDC of `cluster` finishes processing a frame.
+    Done { cluster: usize, created: Time },
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Frames imaged.
+    pub generated: u64,
+    /// Frames surviving early discard.
+    pub kept: u64,
+    /// Frames fully processed by a SµDC.
+    pub processed: u64,
+    /// Achieved discard rate.
+    pub discard_rate: f64,
+    /// Mean end-to-end latency (imaging → processing done), seconds.
+    pub mean_latency_s: f64,
+    /// Maximum latency observed, seconds.
+    pub max_latency_s: f64,
+    /// Mean utilisation of the SµDC-adjacent ingest ISLs.
+    pub ingest_utilization: f64,
+    /// Mean SµDC compute utilisation.
+    pub compute_utilization: f64,
+    /// Bits still queued in the network when the run ended.
+    pub residual_backlog: DataSize,
+    /// Frames lost to injected SµDC failures.
+    pub lost_to_failures: u64,
+    /// Throughput ratio over the run: processed / kept.
+    pub goodput: f64,
+    /// Whether the configuration kept up (backlog stayed bounded).
+    pub stable: bool,
+}
+
+/// Per-run mutable state.
+struct State {
+    cfg: SimConfig,
+    /// Next free time of each satellite's outgoing ISL (toward its SµDC).
+    link_free: Vec<Time>,
+    /// Next free time of each SµDC's compute pipeline.
+    sudc_free: Vec<Time>,
+    /// Bits in flight (accepted but not yet at a SµDC).
+    queued_bits: f64,
+    generated: u64,
+    kept: u64,
+    processed: u64,
+    lost_to_failures: u64,
+    latency: Tally,
+    earth: EarthModel,
+    rng_factory: RngFactory,
+}
+
+impl State {
+    /// Index of the SµDC cluster satellite `sat` belongs to.
+    fn cluster_of(&self, sat: usize) -> usize {
+        match self.cfg.topology {
+            SimTopology::Ring => sat / self.cfg.cluster_size(),
+            SimTopology::GeoStar => sat % self.cfg.clusters,
+        }
+    }
+
+    /// The next node on `sat`'s path to its SµDC: `Some(next_sat)` to
+    /// keep relaying, or `None` when the hop lands on the SµDC.
+    ///
+    /// The SµDC sits at the centre of its arc. In a plain ring each
+    /// satellite forwards to its neighbour toward the centre; in a
+    /// k-list, each arc side is striped into `k/2` chains whose links
+    /// stride `k/2` positions, so `k` links land on the SµDC (Fig. 12a).
+    fn next_hop(&self, sat: usize) -> Option<usize> {
+        if self.cfg.topology == SimTopology::GeoStar {
+            return None; // direct uplink, no relaying
+        }
+        let m = self.cfg.cluster_size();
+        let cluster = self.cluster_of(sat);
+        let offset = sat - cluster * m;
+        let center = m / 2;
+        if offset == center || m == 1 {
+            return None; // co-located with the SµDC: direct ingest
+        }
+        let stride = self.cfg.ingest_links / 2;
+        let distance = offset.abs_diff(center);
+        if distance <= stride {
+            return None; // within one chain stride of the SµDC: ingest
+        }
+        let next = if offset < center {
+            offset + stride
+        } else {
+            offset - stride
+        };
+        Some(cluster * m + next)
+    }
+
+    /// Whether `sat`'s outgoing link lands directly on the SµDC (an
+    /// ingest link, measured for utilisation).
+    fn is_ingest(&self, sat: usize) -> bool {
+        self.next_hop(sat).is_none()
+    }
+
+    fn keep_frame(&mut self, sat: usize, now: Time) -> bool {
+        match self.cfg.discard {
+            DiscardPolicy::Uniform(p) => {
+                let mut rng = self
+                    .rng_factory
+                    .stream("discard", ((sat as u64) << 32) | (self.generated & 0xFFFF_FFFF));
+                !coin(&mut rng, p)
+            }
+            DiscardPolicy::ClearLandOnly => {
+                let pos = self
+                    .cfg
+                    .plane
+                    .position(sat, now)
+                    .expect("plane propagation is valid");
+                let point = subsatellite_point(pos, now);
+                // Sub-solar longitude drifts with time of day; start at 0.
+                let subsolar = (now.as_secs() / 86_400.0 * 360.0) % 360.0;
+                let truth = self.earth.ground_truth(&point, subsolar);
+                !truth.night && !truth.cloudy && !truth.ocean
+            }
+        }
+    }
+
+    fn link_busy_estimate(&self, sat: usize) -> f64 {
+        // Busy time ≈ the link's high-water mark: with back-to-back
+        // traffic link_free tracks total transmission time scheduled.
+        self.link_free[sat].as_secs()
+    }
+
+    fn sudc_busy_estimate(&self, cluster: usize) -> f64 {
+        self.sudc_free[cluster].as_secs()
+    }
+}
+
+/// Schedules the frame's transmission over `sat`'s outgoing ISL.
+fn depart(st: &mut State, sched: &mut Scheduler<Ev>, frame: FrameInFlight, sat: usize, now: Time) {
+    let start = st.link_free[sat].max(now);
+    let tx = Time::from_secs(frame.bits / st.cfg.isl_capacity.as_bps());
+    // Propagation delay: one ring hop, or the LEO→GEO slant range.
+    let hop_distance = match st.cfg.topology {
+        SimTopology::Ring => st.cfg.plane.link_distance(1),
+        SimTopology::GeoStar => Length::from_km(38_000.0),
+    };
+    let prop =
+        Time::from_secs(hop_distance.as_m() / units::constants::SPEED_OF_LIGHT_M_PER_S);
+    let done = start + tx;
+    st.link_free[sat] = done;
+    sched.schedule_at(done + prop, Ev::Hop { frame, from: sat });
+}
+
+/// Runs the simulation and returns its report.
+///
+/// # Panics
+///
+/// Panics on invalid configurations (zero clusters, cluster size not
+/// dividing the ring) and if the (application, device) pair has no
+/// measurement.
+pub fn run(cfg: &SimConfig) -> SimReport {
+    let n = cfg.plane.satellite_count();
+    let clusters = cfg.clusters;
+    let _ = cfg.cluster_size(); // validate divisibility
+
+    let mut st = State {
+        cfg: cfg.clone(),
+        link_free: vec![Time::ZERO; n],
+        sudc_free: vec![Time::ZERO; clusters],
+        queued_bits: 0.0,
+        generated: 0,
+        kept: 0,
+        processed: 0,
+        lost_to_failures: 0,
+        latency: Tally::new(),
+        earth: EarthModel::paper(cfg.seed),
+        rng_factory: RngFactory::new(cfg.seed),
+    };
+
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    // Stagger first frames uniformly over one period to avoid a thundering
+    // herd at t = 0.
+    let period = cfg.frame.period;
+    for sat in 0..n {
+        let offset = period * (sat as f64 / n as f64);
+        sched.schedule_at(offset, Ev::Generate { sat });
+    }
+
+    let bits_per_frame = cfg.frame.frame_size(cfg.resolution).as_bits();
+    let pixels_per_frame = cfg.frame.pixels_at(cfg.resolution);
+    let pixel_capacity = cfg
+        .sudc
+        .pixel_capacity(cfg.app)
+        .expect("application must be measured on the SµDC device");
+
+    simkit::run_until(&mut sched, &mut st, cfg.duration, |st, sched, ev| {
+        let now = ev.time;
+        match ev.payload {
+            Ev::Generate { sat } => {
+                st.generated += 1;
+                if st.keep_frame(sat, now) {
+                    st.kept += 1;
+                    st.queued_bits += bits_per_frame;
+                    let frame = FrameInFlight {
+                        created: now,
+                        bits: bits_per_frame,
+                        pixels: pixels_per_frame,
+                    };
+                    depart(st, sched, frame, sat, now);
+                }
+                sched.schedule_in(st.cfg.frame.period, Ev::Generate { sat });
+            }
+            Ev::Hop { frame, from } => match st.next_hop(from) {
+                Some(next) => depart(st, sched, frame, next, now),
+                None => {
+                    // Arrived at the SµDC: enter the compute queue —
+                    // unless the SµDC has failed, in which case the frame
+                    // is lost.
+                    st.queued_bits -= frame.bits;
+                    let cluster = st.cluster_of(from);
+                    if st
+                        .cfg
+                        .failures
+                        .iter()
+                        .any(|&(c, at)| c == cluster && now >= at)
+                    {
+                        st.lost_to_failures += 1;
+                        return;
+                    }
+                    let start = st.sudc_free[cluster].max(now);
+                    let service = Time::from_secs(frame.pixels / pixel_capacity);
+                    let done = start + service;
+                    st.sudc_free[cluster] = done;
+                    sched.schedule_at(
+                        done,
+                        Ev::Done {
+                            cluster,
+                            created: frame.created,
+                        },
+                    );
+                }
+            },
+            Ev::Done { created, .. } => {
+                st.processed += 1;
+                st.latency.record((now - created).as_secs());
+            }
+        }
+    });
+
+    // Utilisation: scheduled busy time of ingest links and SµDC pipelines
+    // relative to the horizon (values beyond the horizon mean saturation).
+    let horizon = cfg.duration.as_secs();
+    let ingest: Vec<f64> = (0..n)
+        .filter(|&s| st.is_ingest(s))
+        .map(|s| (st.link_busy_estimate(s) / horizon).min(1.0))
+        .collect();
+    let ingest_utilization = ingest.iter().sum::<f64>() / ingest.len().max(1) as f64;
+    let compute_utilization = (0..clusters)
+        .map(|c| (st.sudc_busy_estimate(c) / horizon).min(1.0))
+        .sum::<f64>()
+        / clusters as f64;
+
+    let goodput = if st.kept == 0 {
+        1.0
+    } else {
+        st.processed as f64 / st.kept as f64
+    };
+    // Stable if goodput is near 1 and residual backlog is within a few
+    // seconds of ingest work.
+    let residual = DataSize::from_bits(st.queued_bits.max(0.0));
+    let per_cluster_ingest = cfg.ingest_links as f64 * cfg.isl_capacity.as_bps();
+    let stable =
+        goodput > 0.9 && residual.as_bits() < per_cluster_ingest * clusters as f64 * 3.0;
+
+    SimReport {
+        generated: st.generated,
+        kept: st.kept,
+        processed: st.processed,
+        discard_rate: if st.generated == 0 {
+            0.0
+        } else {
+            1.0 - st.kept as f64 / st.generated as f64
+        },
+        mean_latency_s: st.latency.mean(),
+        max_latency_s: st.latency.max().unwrap_or(0.0),
+        ingest_utilization,
+        compute_utilization,
+        residual_backlog: residual,
+        lost_to_failures: st.lost_to_failures,
+        goodput,
+        stable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Device;
+
+    fn quick(app: Application, res_m: f64, discard: f64, clusters: usize) -> SimReport {
+        let mut cfg = SimConfig::paper_reference(app, Length::from_m(res_m), discard);
+        cfg.clusters = clusters;
+        cfg.duration = Time::from_minutes(2.0);
+        run(&cfg)
+    }
+
+    #[test]
+    fn generation_count_matches_schedule() {
+        let r = quick(Application::AirPollution, 3.0, 0.0, 1);
+        // 64 satellites × (120 s / 1.5 s) = 5120 frames, plus satellite
+        // 0's frame landing exactly on the closed horizon boundary.
+        assert_eq!(r.generated, 64 * 80 + 1);
+        assert_eq!(r.kept, r.generated);
+        assert_eq!(r.discard_rate, 0.0);
+    }
+
+    #[test]
+    fn uniform_discard_rate_is_achieved() {
+        let r = quick(Application::AirPollution, 3.0, 0.95, 1);
+        assert!(
+            (r.discard_rate - 0.95).abs() < 0.02,
+            "achieved {}",
+            r.discard_rate
+        );
+    }
+
+    #[test]
+    fn easy_configuration_is_stable_with_low_latency() {
+        // 3 m, 95% discard, 10 Gbit/s, APP on a 4 kW 3090: trivially
+        // sustainable.
+        let r = quick(Application::AirPollution, 3.0, 0.95, 1);
+        assert!(r.stable, "{r:?}");
+        assert!(r.goodput > 0.95);
+        assert!(r.mean_latency_s < 5.0, "mean latency {}", r.mean_latency_s);
+    }
+
+    #[test]
+    fn isl_overload_is_detected() {
+        // 30 cm no discard: per-sat rate ≈ 20 Gbit/s ≫ 2 × 10 Gbit/s
+        // ingest. Backlog must explode even though TM compute is cheap.
+        let r = quick(Application::TrafficMonitoring, 0.3, 0.0, 1);
+        assert!(!r.stable, "{r:?}");
+        assert!(r.goodput < 0.5);
+        assert!(r.ingest_utilization > 0.95);
+    }
+
+    #[test]
+    fn compute_overload_is_detected() {
+        // 1 m, 50% discard: ingest is 64 × 1.8 Gbit/s × 0.5 ≈ 58 Gbit/s
+        // split over many relay chains — but FD compute (307 kpx/s/W ×
+        // 4 kW ≈ 1.23 Gpx/s) is under the 64 × 75.5 Mpx/s × 0.5 ≈
+        // 2.4 Gpx/s demand.
+        let r = quick(Application::FloodDetection, 1.0, 0.5, 1);
+        assert!(!r.stable, "{r:?}");
+        assert!(r.compute_utilization > 0.95);
+    }
+
+    #[test]
+    fn splitting_into_clusters_restores_stability() {
+        let one = quick(Application::FloodDetection, 1.0, 0.5, 1);
+        let four = quick(Application::FloodDetection, 1.0, 0.5, 4);
+        assert!(!one.stable);
+        assert!(four.stable, "{four:?}");
+    }
+
+    #[test]
+    fn classifier_discard_is_aggressive() {
+        let mut cfg = SimConfig::paper_reference(
+            Application::CropMonitoring,
+            Length::from_m(3.0),
+            0.0,
+        );
+        cfg.discard = DiscardPolicy::ClearLandOnly;
+        cfg.clusters = 4;
+        cfg.duration = Time::from_minutes(3.0);
+        let r = run(&cfg);
+        // Clear daytime land ≈ (1 − night 0.5) × (1 − ocean 0.7) ×
+        // (1 − cloud 0.67) ≈ 5% kept; the orbit samples latitudes
+        // unevenly so allow a wide band around the Table 3 composite.
+        assert!(
+            r.discard_rate > 0.80 && r.discard_rate < 0.999,
+            "achieved {}",
+            r.discard_rate
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = quick(Application::UrbanEmergency, 1.0, 0.5, 2);
+        let b = quick(Application::UrbanEmergency, 1.0, 0.5, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_changes_discard_draws() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::UrbanEmergency, Length::from_m(1.0), 0.5);
+        cfg.duration = Time::from_minutes(1.0);
+        let a = run(&cfg);
+        cfg.seed ^= 0xDEAD_BEEF;
+        let b = run(&cfg);
+        assert_ne!(a.kept, b.kept, "seed should perturb the discard coin");
+    }
+
+    #[test]
+    fn ai100_sudc_processes_more() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::OilSpill, Length::from_m(1.0), 0.5);
+        cfg.duration = Time::from_minutes(2.0);
+        let gpu = run(&cfg);
+        cfg.sudc = SudcSpec::paper_4kw(Device::CloudAi100);
+        let acc = run(&cfg);
+        assert!(acc.processed >= gpu.processed);
+        assert!(acc.compute_utilization < gpu.compute_utilization);
+    }
+
+    #[test]
+    fn klist_ingest_relieves_the_isl_bottleneck() {
+        // TM at 1 m / no discard: 64 × 1.81 Gbit/s of frames against a
+        // single SµDC. A plain ring (2 × 10 Gbit/s ingest) drowns; a
+        // 16-list (16 × 10 Gbit/s) carries it, and TM compute
+        // (10.4 Gpx/s at 4 kW) absorbs the 4.8 Gpx/s demand.
+        let mut cfg = SimConfig::paper_reference(
+            Application::TrafficMonitoring,
+            Length::from_m(1.0),
+            0.0,
+        );
+        cfg.duration = Time::from_minutes(2.0);
+        let ring = run(&cfg);
+        assert!(!ring.stable, "{ring:?}");
+
+        cfg.ingest_links = 16;
+        let klist = run(&cfg);
+        assert!(klist.stable, "{klist:?}");
+        assert!(klist.goodput > ring.goodput + 0.3);
+    }
+
+    #[test]
+    fn klist_scaling_matches_sec8_factor() {
+        // Sec. 8: "the number of EO satellites supported by a k-list
+        // topology cluster is k/2 times those shown in Table 8". At a
+        // capacity where a ring supports 10 of 16 satellites per
+        // cluster, a 4-list supports 20 ≥ 16.
+        let mut cfg = SimConfig::paper_reference(
+            Application::TrafficMonitoring,
+            Length::from_m(1.0),
+            0.0,
+        );
+        cfg.clusters = 4; // 16 satellites each
+        cfg.duration = Time::from_minutes(2.0);
+        let ring = run(&cfg);
+        assert!(!ring.stable, "ring supports only 10 of 16: {ring:?}");
+        cfg.ingest_links = 4;
+        let four = run(&cfg);
+        assert!(four.stable, "4-list supports 20 ≥ 16: {four:?}");
+    }
+
+    #[test]
+    fn geo_star_carries_what_a_ring_cannot() {
+        // 30 cm imagery without discard generates ~20 Gbit/s per
+        // satellite: no LEO ring arc can relay 64 of those through two
+        // (or even sixteen) 10 Gbit/s ingest links. With dedicated
+        // 25 Gbit/s LEO→GEO uplinks and three large GEO SµDCs, the
+        // network side clears — exactly the Sec. 9 argument for the star.
+        let mut cfg = SimConfig::paper_reference(
+            Application::TrafficMonitoring,
+            Length::from_cm(30.0),
+            0.0,
+        );
+        cfg.duration = Time::from_minutes(1.5);
+        cfg.ingest_links = 16;
+        let ring = run(&cfg);
+        assert!(!ring.stable, "{ring:?}");
+
+        cfg.topology = SimTopology::GeoStar;
+        cfg.clusters = 3;
+        cfg.isl_capacity = DataRate::from_gbps(25.0);
+        cfg.sudc = SudcSpec::station_256kw(Device::Rtx3090);
+        let star = run(&cfg);
+        assert!(star.stable, "{star:?}");
+        // GEO adds ~0.13 s of propagation to every frame.
+        assert!(star.mean_latency_s > 0.12, "latency {}", star.mean_latency_s);
+    }
+
+    #[test]
+    fn single_sudc_failure_loses_everything_after_it() {
+        // One SµDC, fails at the midpoint: roughly half the frames are
+        // lost — the all-eggs-in-one-basket case of Sec. 9.
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.duration = Time::from_minutes(2.0);
+        cfg.failures = vec![(0, Time::from_minutes(1.0))];
+        let r = run(&cfg);
+        let lost_frac = r.lost_to_failures as f64 / r.kept as f64;
+        assert!(
+            (0.35..0.65).contains(&lost_frac),
+            "lost fraction {lost_frac}"
+        );
+        assert!(!r.stable);
+    }
+
+    #[test]
+    fn split_fleet_degrades_gracefully_under_one_failure() {
+        // Four SµDCs, one fails: ~1/4 of frames lost, the rest keep
+        // flowing — the resilience payoff of splitting/disaggregation.
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.clusters = 4;
+        cfg.duration = Time::from_minutes(2.0);
+        cfg.failures = vec![(2, Time::ZERO)];
+        let r = run(&cfg);
+        let lost_frac = r.lost_to_failures as f64 / r.kept as f64;
+        assert!(
+            (0.15..0.35).contains(&lost_frac),
+            "lost fraction {lost_frac}"
+        );
+        assert!(
+            r.processed as f64 / r.kept as f64 > 0.6,
+            "surviving clusters keep processing: {r:?}"
+        );
+    }
+
+    #[test]
+    fn no_failures_means_no_losses() {
+        let r = quick(Application::AirPollution, 3.0, 0.95, 2);
+        assert_eq!(r.lost_to_failures, 0);
+    }
+
+    #[test]
+    fn geo_star_does_not_require_divisible_clusters() {
+        // 64 satellites over 3 GEO nodes: fine for a star, illegal for a
+        // ring.
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.topology = SimTopology::GeoStar;
+        cfg.clusters = 3;
+        cfg.duration = Time::from_minutes(1.0);
+        let r = run(&cfg);
+        assert!(r.stable, "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even ingest_links")]
+    fn odd_klist_panics() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.0);
+        cfg.ingest_links = 3;
+        let _ = run(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the ring")]
+    fn invalid_cluster_count_panics() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.0);
+        cfg.clusters = 7; // 64 % 7 != 0
+        let _ = run(&cfg);
+    }
+}

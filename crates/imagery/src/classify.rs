@@ -1,0 +1,195 @@
+//! Image-statistics scene classification — the mechanism that *performs*
+//! early discard on pixels (the paper cites orbital-edge-computing work
+//! that detects and discards cloud-occluded images on board).
+//!
+//! The classifier uses cheap first-order statistics (mean brightness,
+//! channel balance, local texture) so it could plausibly run on an EO
+//! satellite's flight computer, and is validated against the synthetic
+//! scene generator in tests.
+
+use compress::Raster;
+use serde::{Deserialize, Serialize};
+
+use crate::synth::SceneKind;
+
+/// Classifier verdict over an RGB frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SceneClass {
+    /// Night-side frame (near-black).
+    Night,
+    /// Open water.
+    Ocean,
+    /// Cloud-occluded.
+    Cloud,
+    /// Clear land.
+    Land,
+}
+
+impl std::fmt::Display for SceneClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Night => "night",
+            Self::Ocean => "ocean",
+            Self::Cloud => "cloud",
+            Self::Land => "land",
+        })
+    }
+}
+
+/// Summary statistics extracted from a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameStats {
+    /// Mean brightness across all channels, 0–255.
+    pub mean: f64,
+    /// Mean of each channel (R, G, B); zeros beyond channel count.
+    pub channel_means: [f64; 3],
+    /// Mean absolute horizontal gradient (texture measure).
+    pub texture: f64,
+}
+
+/// Computes [`FrameStats`] in one pass over the image.
+pub fn frame_stats(img: &Raster) -> FrameStats {
+    let c = img.channels();
+    let mut sums = [0f64; 3];
+    let mut count = 0usize;
+    let mut grad_sum = 0f64;
+    let mut grad_count = 0usize;
+
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            for ch in 0..c.min(3) {
+                sums[ch] += f64::from(img.get(x, y, ch));
+            }
+            count += 1;
+            if x + 1 < img.width() {
+                let a = f64::from(img.get(x, y, 0));
+                let b = f64::from(img.get(x + 1, y, 0));
+                grad_sum += (a - b).abs();
+                grad_count += 1;
+            }
+        }
+    }
+    let n = count as f64;
+    let channel_means = [
+        sums[0] / n,
+        if c > 1 { sums[1] / n } else { 0.0 },
+        if c > 2 { sums[2] / n } else { 0.0 },
+    ];
+    let used = c.min(3) as f64;
+    FrameStats {
+        mean: (channel_means[0] + channel_means[1] + channel_means[2]) / used,
+        channel_means,
+        texture: if grad_count > 0 {
+            grad_sum / grad_count as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Classifies an RGB frame for early discard.
+///
+/// Thresholds (tuned on the synthetic generator, but physically sensible):
+/// near-black → night; blue-dominant and smooth → ocean; bright and
+/// smooth → cloud; otherwise land.
+pub fn classify(img: &Raster) -> SceneClass {
+    let s = frame_stats(img);
+    if s.mean < 12.0 {
+        return SceneClass::Night;
+    }
+    let blue_dominant = s.channel_means[2] > s.channel_means[0] * 1.5
+        && s.channel_means[2] > s.channel_means[1] * 1.15;
+    if blue_dominant && s.texture < 8.0 {
+        return SceneClass::Ocean;
+    }
+    // Clouds are bright, smooth, and grey (channels balanced); vegetation
+    // is green-dominant and cities are too textured.
+    let spread = {
+        let max = s.channel_means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = s.channel_means.iter().cloned().fold(f64::MAX, f64::min);
+        (max - min) / s.mean.max(1.0)
+    };
+    if s.mean > 100.0 && s.texture < 6.0 && spread < 0.65 {
+        return SceneClass::Cloud;
+    }
+    SceneClass::Land
+}
+
+/// Whether a frame should be discarded under a keep-policy that retains
+/// only clear land frames (the paper's strongest optical early discard).
+pub fn discard_for_land_applications(img: &Raster) -> bool {
+    classify(img) != SceneClass::Land
+}
+
+/// The expected [`SceneClass`] for a synthetic [`SceneKind`], used to
+/// validate the classifier.
+pub fn expected_class(kind: SceneKind) -> SceneClass {
+    match kind {
+        SceneKind::NightRgb => SceneClass::Night,
+        SceneKind::OceanRgb => SceneClass::Ocean,
+        SceneKind::CloudyRgb => SceneClass::Cloud,
+        SceneKind::UrbanRgb | SceneKind::RuralRgb => SceneClass::Land,
+        // SAR scenes are not optical; the classifier is not applied.
+        SceneKind::SarOcean | SceneKind::SarLand => SceneClass::Land,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Scene;
+
+    #[test]
+    fn classifier_matches_generator_across_seeds() {
+        let optical = [
+            SceneKind::NightRgb,
+            SceneKind::OceanRgb,
+            SceneKind::CloudyRgb,
+            SceneKind::UrbanRgb,
+            SceneKind::RuralRgb,
+        ];
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for kind in optical {
+            for seed in 0..8u64 {
+                let img = Scene::new(kind, seed).render(96, 96);
+                total += 1;
+                if classify(&img) == expected_class(kind) {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc >= 0.9, "classifier accuracy {acc} ({correct}/{total})");
+    }
+
+    #[test]
+    fn night_is_discarded_for_land_apps() {
+        let img = Scene::new(SceneKind::NightRgb, 1).render(64, 64);
+        assert!(discard_for_land_applications(&img));
+        let land = Scene::new(SceneKind::UrbanRgb, 1).render(64, 64);
+        assert!(!discard_for_land_applications(&land));
+    }
+
+    #[test]
+    fn stats_are_sane() {
+        let img = Scene::new(SceneKind::OceanRgb, 4).render(64, 64);
+        let s = frame_stats(&img);
+        assert!(s.channel_means[2] > s.channel_means[0], "ocean is blue");
+        assert!(s.texture < 10.0, "ocean is smooth, got {}", s.texture);
+    }
+
+    #[test]
+    fn single_channel_stats_do_not_panic() {
+        let img = Scene::new(SceneKind::SarLand, 4).render(32, 32);
+        let s = frame_stats(&img);
+        assert!(s.mean > 0.0);
+        assert_eq!(s.channel_means[1], 0.0);
+    }
+
+    #[test]
+    fn one_pixel_image_classifies() {
+        let img = Raster::zeroed(1, 1, 3);
+        assert_eq!(classify(&img), SceneClass::Night);
+    }
+}

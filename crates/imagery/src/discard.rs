@@ -1,0 +1,193 @@
+//! Early-discard classes and effective compression ratios (Table 3).
+//!
+//! Early discard drops frames that carry no value for the application —
+//! night frames for optical imagers, ocean frames for land applications,
+//! cloud-occluded frames, and so on. Each class has an achievable discard
+//! rate derived from gross Earth statistics, and an effective compression
+//! ratio `ECR = 1 / (1 - rate)`.
+
+use serde::{Deserialize, Serialize};
+
+/// The Table 3 early-discard classes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiscardClass {
+    /// No discard.
+    #[default]
+    None,
+    /// Discard night-side frames (50% of a non-dawn/dusk orbit).
+    Night,
+    /// Discard ocean frames (70% of Earth's surface).
+    Ocean,
+    /// Discard uninhabited areas (90% of frames).
+    Uninhabited,
+    /// Keep only built-up areas (98% discard).
+    NonBuiltUp,
+    /// Discard cloud-occluded frames (67% global cloud cover).
+    Cloudy,
+}
+
+impl DiscardClass {
+    /// All classes in Table 3 column order.
+    pub const ALL: [Self; 6] = [
+        Self::None,
+        Self::Night,
+        Self::Ocean,
+        Self::Uninhabited,
+        Self::NonBuiltUp,
+        Self::Cloudy,
+    ];
+
+    /// Achievable early-discard rate (fraction of frames dropped).
+    pub fn discard_rate(self) -> f64 {
+        match self {
+            Self::None => 0.0,
+            Self::Night => 0.5,
+            Self::Ocean => 0.7,
+            Self::Uninhabited => 0.9,
+            Self::NonBuiltUp => 0.98,
+            Self::Cloudy => 0.67,
+        }
+    }
+
+    /// Effective compression ratio `1 / (1 - rate)`.
+    pub fn ecr(self) -> f64 {
+        1.0 / (1.0 - self.discard_rate())
+    }
+
+    /// Table 3's rounded ECR values as printed in the paper.
+    pub fn paper_ecr(self) -> f64 {
+        match self {
+            Self::None => 1.0,
+            Self::Night => 2.0,
+            Self::Ocean => 3.4,
+            Self::Uninhabited => 10.0,
+            Self::NonBuiltUp => 50.0,
+            Self::Cloudy => 3.0,
+        }
+    }
+
+    /// Table 3 column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::None => "None",
+            Self::Night => "Night",
+            Self::Ocean => "Ocean",
+            Self::Uninhabited => "Uninhabited",
+            Self::NonBuiltUp => "Non-Built-Up",
+            Self::Cloudy => "Cloudy",
+        }
+    }
+}
+
+impl std::fmt::Display for DiscardClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Combines discard classes under the paper's independence caveat.
+///
+/// Some classes compose (night × built-up), but conditional dependencies
+/// cap the benefit — cloud cover depends on land vs ocean, uninhabited
+/// implies non-built-up, etc. Following the paper's Sec. 4 argument, the
+/// combined ECR from discard is capped at 100× (the "imaging only
+/// built-up areas during the day" best case), and redundant combinations
+/// collapse to the strongest member.
+pub fn combined_ecr(classes: &[DiscardClass]) -> f64 {
+    // Subsumption: NonBuiltUp ⊃ Uninhabited ⊃ Ocean (each implies
+    // discarding the other's frames too).
+    let land_chain = [
+        DiscardClass::NonBuiltUp,
+        DiscardClass::Uninhabited,
+        DiscardClass::Ocean,
+    ];
+    let strongest_land = land_chain
+        .iter()
+        .find(|c| classes.contains(c))
+        .map(|c| c.ecr())
+        .unwrap_or(1.0);
+    let night = if classes.contains(&DiscardClass::Night) {
+        DiscardClass::Night.ecr()
+    } else {
+        1.0
+    };
+    // Cloud cover is correlated with the surviving (land) frames; grant a
+    // conservative √ of its nominal ECR when combined with land filters.
+    let cloudy = if classes.contains(&DiscardClass::Cloudy) {
+        if strongest_land > 1.0 {
+            DiscardClass::Cloudy.ecr().sqrt()
+        } else {
+            DiscardClass::Cloudy.ecr()
+        }
+    } else {
+        1.0
+    };
+    (strongest_land * night * cloudy).min(100.0)
+}
+
+/// The paper's best-case combined reduction when early discard is paired
+/// with ~4× lossless compression: `ECR ≤ 4 × 100 = 400`.
+pub fn best_case_combined_with_compression(lossless_ratio: f64) -> f64 {
+    lossless_ratio * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_rates() {
+        assert_eq!(DiscardClass::None.discard_rate(), 0.0);
+        assert_eq!(DiscardClass::Night.discard_rate(), 0.5);
+        assert_eq!(DiscardClass::Ocean.discard_rate(), 0.7);
+        assert_eq!(DiscardClass::Uninhabited.discard_rate(), 0.9);
+        assert_eq!(DiscardClass::NonBuiltUp.discard_rate(), 0.98);
+        assert_eq!(DiscardClass::Cloudy.discard_rate(), 0.67);
+    }
+
+    #[test]
+    fn computed_ecr_matches_paper_rounding() {
+        for c in DiscardClass::ALL {
+            let rel = (c.ecr() - c.paper_ecr()).abs() / c.paper_ecr();
+            assert!(rel < 0.05, "{c}: computed {} vs paper {}", c.ecr(), c.paper_ecr());
+        }
+    }
+
+    #[test]
+    fn night_plus_built_up_approaches_cap() {
+        let e = combined_ecr(&[DiscardClass::Night, DiscardClass::NonBuiltUp]);
+        assert!((e - 100.0).abs() < 1e-6, "2 × 50 = 100, at the cap; got {e}");
+    }
+
+    #[test]
+    fn subsumption_collapses_land_chain() {
+        let both = combined_ecr(&[DiscardClass::Ocean, DiscardClass::Uninhabited]);
+        assert_eq!(both, DiscardClass::Uninhabited.ecr());
+    }
+
+    #[test]
+    fn cloud_benefit_shrinks_when_combined() {
+        let alone = combined_ecr(&[DiscardClass::Cloudy]);
+        let with_land = combined_ecr(&[DiscardClass::Cloudy, DiscardClass::Ocean]);
+        // Combined is more than land alone but less than naive product.
+        assert!(with_land > DiscardClass::Ocean.ecr());
+        assert!(with_land < DiscardClass::Ocean.ecr() * alone);
+    }
+
+    #[test]
+    fn combined_never_exceeds_cap() {
+        let all = combined_ecr(&DiscardClass::ALL);
+        assert!(all <= 100.0);
+    }
+
+    #[test]
+    fn paper_best_case_is_400() {
+        assert_eq!(best_case_combined_with_compression(4.0), 400.0);
+    }
+
+    #[test]
+    fn empty_combination_is_identity() {
+        assert_eq!(combined_ecr(&[]), 1.0);
+        assert_eq!(combined_ecr(&[DiscardClass::None]), 1.0);
+    }
+}

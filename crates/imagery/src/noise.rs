@@ -1,0 +1,174 @@
+//! Deterministic 2-D value noise and fractal Brownian motion (fBm),
+//! the texture engine behind the synthetic scenes.
+
+/// Deterministic 2-D value-noise field with smooth interpolation.
+///
+/// ```
+/// use imagery::noise::ValueNoise;
+/// let n = ValueNoise::new(42);
+/// let v = n.sample(1.5, 2.5);
+/// assert!((0.0..=1.0).contains(&v));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// Creates a noise field from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Hash of an integer lattice point into `[0, 1)`.
+    fn lattice(&self, ix: i64, iy: i64) -> f64 {
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((ix as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((iy as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Smoothstep-interpolated noise in `[0, 1]` at continuous
+    /// coordinates.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let ix = x.floor() as i64;
+        let iy = y.floor() as i64;
+        let fx = x - x.floor();
+        let fy = y - y.floor();
+        let sx = fx * fx * (3.0 - 2.0 * fx);
+        let sy = fy * fy * (3.0 - 2.0 * fy);
+
+        let v00 = self.lattice(ix, iy);
+        let v10 = self.lattice(ix + 1, iy);
+        let v01 = self.lattice(ix, iy + 1);
+        let v11 = self.lattice(ix + 1, iy + 1);
+
+        let top = v00 + (v10 - v00) * sx;
+        let bot = v01 + (v11 - v01) * sx;
+        top + (bot - top) * sy
+    }
+
+    /// Fractal Brownian motion: `octaves` layers of noise, each at double
+    /// frequency and `gain` amplitude, normalised to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octaves == 0`.
+    pub fn fbm(&self, x: f64, y: f64, octaves: u32, gain: f64) -> f64 {
+        assert!(octaves > 0, "need at least one octave");
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut freq = 1.0;
+        let mut norm = 0.0;
+        for o in 0..octaves {
+            // Offset octaves so they decorrelate.
+            let layer = ValueNoise::new(self.seed.wrapping_add(u64::from(o) * 7_919));
+            total += amplitude * layer.sample(x * freq, y * freq);
+            norm += amplitude;
+            amplitude *= gain;
+            freq *= 2.0;
+        }
+        total / norm
+    }
+}
+
+/// A tiny deterministic xorshift stream for per-pixel jitter (speckle,
+/// sensor noise) that must be reproducible across runs.
+#[derive(Debug, Clone)]
+pub struct PixelRng {
+    state: u64,
+}
+
+impl PixelRng {
+    /// Creates a stream from a seed (zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.max(1).wrapping_mul(0x2545_F491_4F6C_DD1D) | 1,
+        }
+    }
+
+    /// Next value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponentially distributed value with unit mean (SAR speckle is
+    /// exponential in intensity for single-look images).
+    pub fn next_exponential(&mut self) -> f64 {
+        let u = self.next_f64().max(1e-12);
+        -u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        let a = ValueNoise::new(7).sample(3.7, 9.1);
+        let b = ValueNoise::new(7).sample(3.7, 9.1);
+        assert_eq!(a, b);
+        let c = ValueNoise::new(8).sample(3.7, 9.1);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn noise_in_unit_range() {
+        let n = ValueNoise::new(123);
+        for i in 0..500 {
+            let v = n.sample(i as f64 * 0.37, i as f64 * 0.73);
+            assert!((0.0..=1.0).contains(&v), "got {v}");
+        }
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        let n = ValueNoise::new(5);
+        let eps = 1e-4;
+        for i in 0..100 {
+            let x = i as f64 * 0.31;
+            let y = i as f64 * 0.17;
+            let dv = (n.sample(x + eps, y) - n.sample(x, y)).abs();
+            assert!(dv < 0.01, "jump of {dv} at ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn fbm_has_more_detail_than_single_octave() {
+        // fBm variance over a fine grid should exceed the single octave's
+        // variance at the same sampling because high-frequency layers add
+        // local detail.
+        let n = ValueNoise::new(99);
+        let grid: Vec<f64> = (0..64)
+            .flat_map(|i| (0..64).map(move |j| (i as f64 / 16.0, j as f64 / 16.0)))
+            .map(|(x, y)| n.fbm(x, y, 5, 0.5) - n.sample(x, y))
+            .collect();
+        let mean_diff = grid.iter().map(|d| d.abs()).sum::<f64>() / grid.len() as f64;
+        assert!(mean_diff > 0.001, "fBm should differ from base noise");
+    }
+
+    #[test]
+    fn pixel_rng_uniform_mean_near_half() {
+        let mut rng = PixelRng::new(42);
+        let mean: f64 = (0..10_000).map(|_| rng.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "got {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_near_one() {
+        let mut rng = PixelRng::new(43);
+        let mean: f64 = (0..20_000).map(|_| rng.next_exponential()).sum::<f64>() / 20_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "got {mean}");
+    }
+}

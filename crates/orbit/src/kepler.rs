@@ -1,0 +1,638 @@
+//! Classical orbital elements, Kepler's equation, and conversion to and
+//! from Cartesian state vectors.
+//!
+//! This is the propagation core used by everything that needs actual
+//! satellite positions: line-of-sight checks, ground tracks, the
+//! discrete-event constellation simulation, and the GEO star-topology
+//! analysis.
+
+use serde::{Deserialize, Serialize};
+use units::constants::EARTH_MU_M3_PER_S2;
+use units::{Angle, Length, Time};
+
+use crate::vec3::Vec3;
+
+/// Error produced by orbital-element constructors and solvers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KeplerError {
+    /// Eccentricity outside `[0, 1)`; only closed orbits are supported.
+    UnsupportedEccentricity(f64),
+    /// Semi-major axis not strictly positive, or below Earth's surface.
+    InvalidSemiMajorAxis(f64),
+    /// The Kepler-equation solver failed to converge (should not happen for
+    /// valid closed orbits; reported rather than silently returning junk).
+    NoConvergence {
+        /// Mean anomaly that failed, radians.
+        mean_anomaly: f64,
+        /// Orbit eccentricity.
+        eccentricity: f64,
+    },
+}
+
+impl std::fmt::Display for KeplerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnsupportedEccentricity(e) => {
+                write!(f, "eccentricity {e} outside supported range [0, 1)")
+            }
+            Self::InvalidSemiMajorAxis(a) => {
+                write!(f, "semi-major axis {a} m is not a valid closed orbit")
+            }
+            Self::NoConvergence {
+                mean_anomaly,
+                eccentricity,
+            } => write!(
+                f,
+                "kepler solver failed to converge (M = {mean_anomaly}, e = {eccentricity})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KeplerError {}
+
+/// The three anomalies describing position along an orbit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Anomaly {
+    /// Mean anomaly: linear in time.
+    Mean(Angle),
+    /// Eccentric anomaly: the geometric auxiliary angle.
+    Eccentric(Angle),
+    /// True anomaly: the actual polar angle from perigee.
+    True(Angle),
+}
+
+/// Classical (Keplerian) orbital elements for a closed Earth orbit.
+///
+/// ```
+/// use orbit::OrbitalElements;
+/// use units::{Angle, Length};
+///
+/// let orbit = OrbitalElements::circular(
+///     Length::from_km(6_371.0 + 550.0),
+///     Angle::from_degrees(53.0),
+/// )?;
+/// assert!(orbit.period().as_minutes() < 100.0);
+/// # Ok::<(), orbit::KeplerError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrbitalElements {
+    semi_major_axis: Length,
+    eccentricity: f64,
+    inclination: Angle,
+    raan: Angle,
+    arg_perigee: Angle,
+    mean_anomaly_epoch: Angle,
+}
+
+impl OrbitalElements {
+    /// Creates a full set of elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeplerError::UnsupportedEccentricity`] for `e ∉ [0, 1)` and
+    /// [`KeplerError::InvalidSemiMajorAxis`] for non-positive semi-major
+    /// axes.
+    pub fn new(
+        semi_major_axis: Length,
+        eccentricity: f64,
+        inclination: Angle,
+        raan: Angle,
+        arg_perigee: Angle,
+        mean_anomaly_epoch: Angle,
+    ) -> Result<Self, KeplerError> {
+        if !(0.0..1.0).contains(&eccentricity) || !eccentricity.is_finite() {
+            return Err(KeplerError::UnsupportedEccentricity(eccentricity));
+        }
+        if semi_major_axis.as_m() <= 0.0 || !semi_major_axis.is_finite() {
+            return Err(KeplerError::InvalidSemiMajorAxis(semi_major_axis.as_m()));
+        }
+        Ok(Self {
+            semi_major_axis,
+            eccentricity,
+            inclination,
+            raan,
+            arg_perigee,
+            mean_anomaly_epoch,
+        })
+    }
+
+    /// Convenience constructor for a circular orbit of the given radius and
+    /// inclination, with RAAN, argument of perigee, and epoch anomaly zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeplerError::InvalidSemiMajorAxis`] if `radius` is not
+    /// positive.
+    pub fn circular(radius: Length, inclination: Angle) -> Result<Self, KeplerError> {
+        Self::new(
+            radius,
+            0.0,
+            inclination,
+            Angle::ZERO,
+            Angle::ZERO,
+            Angle::ZERO,
+        )
+    }
+
+    /// Semi-major axis.
+    pub fn semi_major_axis(&self) -> Length {
+        self.semi_major_axis
+    }
+
+    /// Eccentricity in `[0, 1)`.
+    pub fn eccentricity(&self) -> f64 {
+        self.eccentricity
+    }
+
+    /// Inclination.
+    pub fn inclination(&self) -> Angle {
+        self.inclination
+    }
+
+    /// Right ascension of the ascending node.
+    pub fn raan(&self) -> Angle {
+        self.raan
+    }
+
+    /// Argument of perigee.
+    pub fn arg_perigee(&self) -> Angle {
+        self.arg_perigee
+    }
+
+    /// Mean anomaly at epoch.
+    pub fn mean_anomaly_epoch(&self) -> Angle {
+        self.mean_anomaly_epoch
+    }
+
+    /// Returns a copy with a different mean anomaly at epoch (used to phase
+    /// satellites around a shared orbit).
+    pub fn with_mean_anomaly(mut self, anomaly: Angle) -> Self {
+        self.mean_anomaly_epoch = anomaly;
+        self
+    }
+
+    /// Returns a copy with a different RAAN (used to spread orbital planes).
+    pub fn with_raan(mut self, raan: Angle) -> Self {
+        self.raan = raan;
+        self
+    }
+
+    /// Orbital period `T = 2π sqrt(a³/µ)`.
+    pub fn period(&self) -> Time {
+        let a = self.semi_major_axis.as_m();
+        Time::from_secs(std::f64::consts::TAU * (a * a * a / EARTH_MU_M3_PER_S2).sqrt())
+    }
+
+    /// Mean motion `n = sqrt(µ/a³)` in radians per second.
+    pub fn mean_motion_rad_per_s(&self) -> f64 {
+        let a = self.semi_major_axis.as_m();
+        (EARTH_MU_M3_PER_S2 / (a * a * a)).sqrt()
+    }
+
+    /// Perigee radius `a(1-e)`.
+    pub fn perigee_radius(&self) -> Length {
+        self.semi_major_axis * (1.0 - self.eccentricity)
+    }
+
+    /// Apogee radius `a(1+e)`.
+    pub fn apogee_radius(&self) -> Length {
+        self.semi_major_axis * (1.0 + self.eccentricity)
+    }
+
+    /// Mean anomaly after coasting `dt` from epoch.
+    pub fn mean_anomaly_at(&self, dt: Time) -> Angle {
+        Angle::from_radians(
+            self.mean_anomaly_epoch.as_radians() + self.mean_motion_rad_per_s() * dt.as_secs(),
+        )
+        .normalized()
+    }
+
+    /// Converts an anomaly of any kind to all three kinds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeplerError::NoConvergence`] if the Kepler-equation solver
+    /// fails (not expected for valid elements).
+    pub fn resolve_anomaly(&self, anomaly: Anomaly) -> Result<ResolvedAnomaly, KeplerError> {
+        let e = self.eccentricity;
+        let (mean, ecc, true_) = match anomaly {
+            Anomaly::Mean(m) => {
+                let m = m.normalized();
+                let ea = solve_kepler(m.as_radians(), e)?;
+                (m, Angle::from_radians(ea).normalized(), eccentric_to_true(ea, e))
+            }
+            Anomaly::Eccentric(ea) => {
+                let ea_rad = ea.normalized().as_radians();
+                (
+                    Angle::from_radians(ea_rad - e * ea_rad.sin()).normalized(),
+                    ea.normalized(),
+                    eccentric_to_true(ea_rad, e),
+                )
+            }
+            Anomaly::True(nu) => {
+                let nu_rad = nu.normalized().as_radians();
+                let ea = true_to_eccentric(nu_rad, e);
+                (
+                    Angle::from_radians(ea - e * ea.sin()).normalized(),
+                    Angle::from_radians(ea).normalized(),
+                    nu.normalized(),
+                )
+            }
+        };
+        Ok(ResolvedAnomaly {
+            mean,
+            eccentric: ecc,
+            true_anomaly: true_,
+        })
+    }
+
+    /// Orbital radius at a given true anomaly.
+    pub fn radius_at_true_anomaly(&self, nu: Angle) -> Length {
+        let e = self.eccentricity;
+        let p = self.semi_major_axis.as_m() * (1.0 - e * e);
+        Length::from_m(p / (1.0 + e * nu.cos()))
+    }
+
+    /// ECI position and velocity at a time offset `dt` from epoch.
+    ///
+    /// This is pure two-body motion; see
+    /// [`propagate::J2Propagator`](crate::propagate::J2Propagator) for
+    /// secular J2 drift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeplerError::NoConvergence`] if the Kepler solver fails.
+    pub fn state_at(&self, dt: Time) -> Result<(Vec3, Vec3), KeplerError> {
+        let resolved = self.resolve_anomaly(Anomaly::Mean(self.mean_anomaly_at(dt)))?;
+        Ok(self.state_at_true_anomaly(resolved.true_anomaly))
+    }
+
+    /// ECI position at a time offset `dt` from epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeplerError::NoConvergence`] if the Kepler solver fails.
+    pub fn position_at(&self, dt: Time) -> Result<Vec3, KeplerError> {
+        Ok(self.state_at(dt)?.0)
+    }
+
+    /// ECI position and velocity at a given true anomaly.
+    pub fn state_at_true_anomaly(&self, nu: Angle) -> (Vec3, Vec3) {
+        let e = self.eccentricity;
+        let a = self.semi_major_axis.as_m();
+        let p = a * (1.0 - e * e);
+        let r = p / (1.0 + e * nu.cos());
+
+        // Perifocal frame: x toward perigee, z along angular momentum.
+        let (sin_nu, cos_nu) = (nu.sin(), nu.cos());
+        let r_pf = Vec3::new(r * cos_nu, r * sin_nu, 0.0);
+        let vf = (EARTH_MU_M3_PER_S2 / p).sqrt();
+        let v_pf = Vec3::new(-vf * sin_nu, vf * (e + cos_nu), 0.0);
+
+        (self.perifocal_to_eci(r_pf), self.perifocal_to_eci(v_pf))
+    }
+
+    /// Rotates a perifocal-frame vector into ECI via the 3-1-3 rotation
+    /// (RAAN, inclination, argument of perigee).
+    fn perifocal_to_eci(&self, v: Vec3) -> Vec3 {
+        v.rotated_z(self.arg_perigee.as_radians())
+            .rotated_x(self.inclination.as_radians())
+            .rotated_z(self.raan.as_radians())
+    }
+
+    /// Recovers orbital elements from an ECI state vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeplerError::UnsupportedEccentricity`] for non-elliptic
+    /// states and [`KeplerError::InvalidSemiMajorAxis`] for degenerate ones.
+    pub fn from_state(position: Vec3, velocity: Vec3) -> Result<Self, KeplerError> {
+        let mu = EARTH_MU_M3_PER_S2;
+        let r = position.norm();
+        let v2 = velocity.norm_squared();
+
+        let h = position.cross(velocity);
+        let n = Vec3::Z.cross(h);
+
+        let e_vec = (position * (v2 - mu / r) - velocity * position.dot(velocity)) / mu;
+        let e = e_vec.norm();
+
+        let energy = v2 / 2.0 - mu / r;
+        if energy >= 0.0 {
+            return Err(KeplerError::UnsupportedEccentricity(e));
+        }
+        let a = -mu / (2.0 * energy);
+
+        let inclination = (h.z / h.norm()).clamp(-1.0, 1.0).acos();
+
+        // RAAN: undefined for equatorial orbits; fall back to 0.
+        let raan = if n.norm() > 1e-10 {
+            let mut o = (n.x / n.norm()).clamp(-1.0, 1.0).acos();
+            if n.y < 0.0 {
+                o = std::f64::consts::TAU - o;
+            }
+            o
+        } else {
+            0.0
+        };
+
+        // Argument of perigee: undefined for circular orbits; fall back to 0.
+        let arg_perigee = if n.norm() > 1e-10 && e > 1e-10 {
+            let mut w = (n.dot(e_vec) / (n.norm() * e)).clamp(-1.0, 1.0).acos();
+            if e_vec.z < 0.0 {
+                w = std::f64::consts::TAU - w;
+            }
+            w
+        } else if e > 1e-10 {
+            // Equatorial elliptic: measure from +X.
+            let mut w = (e_vec.x / e).clamp(-1.0, 1.0).acos();
+            if e_vec.y < 0.0 {
+                w = std::f64::consts::TAU - w;
+            }
+            w
+        } else {
+            0.0
+        };
+
+        // True anomaly (from e_vec for elliptic, from node/position else).
+        let nu = if e > 1e-10 {
+            let mut nu = (e_vec.dot(position) / (e * r)).clamp(-1.0, 1.0).acos();
+            if position.dot(velocity) < 0.0 {
+                nu = std::f64::consts::TAU - nu;
+            }
+            nu
+        } else if n.norm() > 1e-10 {
+            let mut nu = (n.dot(position) / (n.norm() * r)).clamp(-1.0, 1.0).acos();
+            if position.z < 0.0 {
+                nu = std::f64::consts::TAU - nu;
+            }
+            nu
+        } else {
+            let mut nu = (position.x / r).clamp(-1.0, 1.0).acos();
+            if position.y < 0.0 {
+                nu = std::f64::consts::TAU - nu;
+            }
+            nu
+        };
+
+        let ea = true_to_eccentric(nu, e);
+        let mean = ea - e * ea.sin();
+
+        Self::new(
+            Length::from_m(a),
+            e,
+            Angle::from_radians(inclination),
+            Angle::from_radians(raan),
+            Angle::from_radians(arg_perigee),
+            Angle::from_radians(mean).normalized(),
+        )
+    }
+}
+
+/// The same orbital position expressed as all three anomalies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedAnomaly {
+    /// Mean anomaly.
+    pub mean: Angle,
+    /// Eccentric anomaly.
+    pub eccentric: Angle,
+    /// True anomaly.
+    pub true_anomaly: Angle,
+}
+
+/// Solves Kepler's equation `M = E - e sin E` for the eccentric anomaly `E`
+/// (radians), given mean anomaly `m` (radians) and eccentricity `e`.
+///
+/// Uses Newton–Raphson with a third-order starter, falling back to
+/// bisection if Newton stalls (very high eccentricities).
+///
+/// # Errors
+///
+/// Returns [`KeplerError::NoConvergence`] if 64 Newton iterations plus the
+/// bisection fallback both fail to reach `1e-12` residual.
+pub fn solve_kepler(m: f64, e: f64) -> Result<f64, KeplerError> {
+    if !(0.0..1.0).contains(&e) {
+        return Err(KeplerError::UnsupportedEccentricity(e));
+    }
+    let m = m.rem_euclid(std::f64::consts::TAU);
+    if e == 0.0 {
+        return Ok(m);
+    }
+
+    // Starter from Danby: E0 = M + 0.85 e sign(sin M).
+    let mut ea = m + 0.85 * e * m.sin().signum();
+    for _ in 0..64 {
+        let f = ea - e * ea.sin() - m;
+        if f.abs() < 1e-13 {
+            return Ok(ea.rem_euclid(std::f64::consts::TAU));
+        }
+        let fp = 1.0 - e * ea.cos();
+        ea -= f / fp;
+    }
+
+    // Bisection fallback on [M - e, M + e] which always brackets the root.
+    let (mut lo, mut hi) = (m - e - 1e-9, m + e + 1e-9);
+    let g = |x: f64| x - e * x.sin() - m;
+    if g(lo) * g(hi) > 0.0 {
+        return Err(KeplerError::NoConvergence {
+            mean_anomaly: m,
+            eccentricity: e,
+        });
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid).abs() < 1e-12 {
+            return Ok(mid.rem_euclid(std::f64::consts::TAU));
+        }
+        if g(lo) * g(mid) <= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Err(KeplerError::NoConvergence {
+        mean_anomaly: m,
+        eccentricity: e,
+    })
+}
+
+/// Converts eccentric anomaly (radians) to true anomaly.
+fn eccentric_to_true(ea: f64, e: f64) -> Angle {
+    let beta = e / (1.0 + (1.0 - e * e).sqrt());
+    Angle::from_radians(ea + 2.0 * (beta * ea.sin() / (1.0 - beta * ea.cos())).atan()).normalized()
+}
+
+/// Converts true anomaly (radians) to eccentric anomaly (radians).
+fn true_to_eccentric(nu: f64, e: f64) -> f64 {
+    let ea = 2.0 * ((nu / 2.0).tan() * ((1.0 - e) / (1.0 + e)).sqrt()).atan();
+    ea.rem_euclid(std::f64::consts::TAU)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn leo() -> OrbitalElements {
+        OrbitalElements::new(
+            Length::from_km(6_921.0),
+            0.001,
+            Angle::from_degrees(53.0),
+            Angle::from_degrees(30.0),
+            Angle::from_degrees(40.0),
+            Angle::from_degrees(10.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_eccentricity() {
+        let err = OrbitalElements::new(
+            Length::from_km(7000.0),
+            1.2,
+            Angle::ZERO,
+            Angle::ZERO,
+            Angle::ZERO,
+            Angle::ZERO,
+        )
+        .unwrap_err();
+        assert!(matches!(err, KeplerError::UnsupportedEccentricity(_)));
+        assert!(err.to_string().contains("eccentricity"));
+    }
+
+    #[test]
+    fn rejects_nonpositive_axis() {
+        let err = OrbitalElements::circular(Length::from_m(-1.0), Angle::ZERO).unwrap_err();
+        assert!(matches!(err, KeplerError::InvalidSemiMajorAxis(_)));
+    }
+
+    #[test]
+    fn kepler_solver_identity_for_circular() {
+        for m in [0.0, 0.5, 3.0, 6.0] {
+            assert!((solve_kepler(m, 0.0).unwrap() - m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kepler_solver_satisfies_equation() {
+        for &e in &[0.01, 0.3, 0.7, 0.95, 0.999] {
+            for i in 0..32 {
+                let m = i as f64 * std::f64::consts::TAU / 32.0;
+                let ea = solve_kepler(m, e).unwrap();
+                let back = (ea - e * ea.sin()).rem_euclid(std::f64::consts::TAU);
+                let diff = (back - m).abs().min(std::f64::consts::TAU - (back - m).abs());
+                assert!(diff < 1e-9, "e={e} m={m} ea={ea} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn anomaly_round_trips() {
+        let orbit = leo();
+        let m = Angle::from_degrees(123.0);
+        let r = orbit.resolve_anomaly(Anomaly::Mean(m)).unwrap();
+        let r2 = orbit.resolve_anomaly(Anomaly::True(r.true_anomaly)).unwrap();
+        assert!((r2.mean.as_degrees() - 123.0).abs() < 1e-8);
+        let r3 = orbit.resolve_anomaly(Anomaly::Eccentric(r.eccentric)).unwrap();
+        assert!((r3.mean.as_degrees() - 123.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn position_radius_matches_conic_equation() {
+        let orbit = leo();
+        let (pos, _) = orbit.state_at(Time::from_secs(1234.0)).unwrap();
+        let r = pos.norm_length();
+        assert!(r >= orbit.perigee_radius() * 0.999_999);
+        assert!(r <= orbit.apogee_radius() * 1.000_001);
+    }
+
+    #[test]
+    fn state_after_full_period_repeats() {
+        let orbit = leo();
+        let (p0, v0) = orbit.state_at(Time::ZERO).unwrap();
+        let (p1, v1) = orbit.state_at(orbit.period()).unwrap();
+        assert!(p0.distance(p1) < 1.0, "position drift {}", p0.distance(p1));
+        assert!((v0 - v1).norm() < 0.01);
+    }
+
+    #[test]
+    fn energy_is_conserved_along_orbit() {
+        let orbit = leo();
+        let mu = EARTH_MU_M3_PER_S2;
+        let mut first = None;
+        for i in 0..20 {
+            let dt = Time::from_secs(i as f64 * 300.0);
+            let (p, v) = orbit.state_at(dt).unwrap();
+            let energy = v.norm_squared() / 2.0 - mu / p.norm();
+            let f = *first.get_or_insert(energy);
+            assert!(
+                ((energy - f) / f).abs() < 1e-9,
+                "energy drifted at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn elements_state_round_trip() {
+        let orbit = leo();
+        let (p, v) = orbit.state_at(Time::from_secs(777.0)).unwrap();
+        let rec = OrbitalElements::from_state(p, v).unwrap();
+        assert!((rec.semi_major_axis().as_km() - orbit.semi_major_axis().as_km()).abs() < 0.01);
+        assert!((rec.eccentricity() - orbit.eccentricity()).abs() < 1e-6);
+        assert!((rec.inclination().as_degrees() - 53.0).abs() < 1e-6);
+        assert!((rec.raan().as_degrees() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn circular_orbit_speed_is_constant() {
+        let orbit =
+            OrbitalElements::circular(Length::from_km(7000.0), Angle::from_degrees(98.0)).unwrap();
+        let (_, v0) = orbit.state_at(Time::ZERO).unwrap();
+        let (_, v1) = orbit.state_at(Time::from_secs(2000.0)).unwrap();
+        assert!((v0.norm() - v1.norm()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_momentum_direction_matches_inclination() {
+        let orbit = leo();
+        let (p, v) = orbit.state_at(Time::from_secs(50.0)).unwrap();
+        let h = p.cross(v);
+        let inc = (h.z / h.norm()).acos().to_degrees();
+        assert!((inc - 53.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn solver_converges_everywhere(m in 0.0..std::f64::consts::TAU, e in 0.0f64..0.99) {
+            let ea = solve_kepler(m, e).unwrap();
+            let back = (ea - e * ea.sin()).rem_euclid(std::f64::consts::TAU);
+            let diff = (back - m).abs();
+            let diff = diff.min(std::f64::consts::TAU - diff);
+            prop_assert!(diff < 1e-8);
+        }
+
+        #[test]
+        fn from_state_round_trips_sma(
+            alt_km in 300.0f64..30_000.0,
+            e in 0.0f64..0.3,
+            inc in 1.0f64..179.0,
+            m in 0.0f64..360.0,
+        ) {
+            let a = Length::from_km(6_371.0 + alt_km) / (1.0 - e); // keep perigee above surface
+            let orbit = OrbitalElements::new(
+                a, e,
+                Angle::from_degrees(inc),
+                Angle::from_degrees(12.0),
+                Angle::from_degrees(34.0),
+                Angle::from_degrees(m),
+            ).unwrap();
+            let (p, v) = orbit.state_at(Time::from_secs(100.0)).unwrap();
+            let rec = OrbitalElements::from_state(p, v).unwrap();
+            let rel = (rec.semi_major_axis().as_m() - orbit.semi_major_axis().as_m()).abs()
+                / orbit.semi_major_axis().as_m();
+            prop_assert!(rel < 1e-8);
+            prop_assert!((rec.eccentricity() - e).abs() < 1e-6);
+        }
+    }
+}

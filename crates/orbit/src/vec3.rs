@@ -1,0 +1,289 @@
+//! Minimal 3-vector used for Earth-centred inertial (ECI) positions and
+//! velocities, in metres and metres per second respectively.
+
+use serde::{Deserialize, Serialize};
+use units::Length;
+
+/// A 3-dimensional vector of `f64` components.
+///
+/// Components are dimensionless at the type level; by convention positions
+/// are metres in ECI and velocities are m/s. Use [`Vec3::norm_length`] to
+/// recover a typed [`Length`] from a position vector.
+///
+/// ```
+/// use orbit::Vec3;
+/// let v = Vec3::new(3.0, 4.0, 0.0);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Unit vector along +X.
+    pub const X: Self = Self {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Unit vector along +Y.
+    pub const Y: Self = Self {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
+
+    /// Unit vector along +Z.
+    pub const Z: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Self) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Self) -> Self {
+        Self {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm (avoids the square root).
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Norm as a typed [`Length`] (for position vectors in metres).
+    #[inline]
+    pub fn norm_length(self) -> Length {
+        Length::from_m(self.norm())
+    }
+
+    /// Returns the unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via division producing non-finite components, caught by a
+    /// debug assertion) if the vector is zero; callers must not normalise
+    /// the zero vector.
+    #[inline]
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalise the zero vector");
+        self / n
+    }
+
+    /// Euclidean distance between two points.
+    #[inline]
+    pub fn distance(self, rhs: Self) -> f64 {
+        (self - rhs).norm()
+    }
+
+    /// Distance as a typed [`Length`].
+    #[inline]
+    pub fn distance_length(self, rhs: Self) -> Length {
+        Length::from_m(self.distance(rhs))
+    }
+
+    /// Angle between two vectors, in radians, in `[0, π]`.
+    ///
+    /// Returns 0 if either vector is zero.
+    #[inline]
+    pub fn angle_to(self, rhs: Self) -> f64 {
+        let denom = self.norm() * rhs.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.dot(rhs) / denom).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Linear interpolation: `self + t * (rhs - self)`.
+    #[inline]
+    pub fn lerp(self, rhs: Self, t: f64) -> Self {
+        self + (rhs - self) * t
+    }
+
+    /// Rotates this vector about the +Z axis by `angle_rad` radians
+    /// (right-handed). Used for Earth-rotation and in-plane phasing.
+    #[inline]
+    pub fn rotated_z(self, angle_rad: f64) -> Self {
+        let (s, c) = angle_rad.sin_cos();
+        Self {
+            x: c * self.x - s * self.y,
+            y: s * self.x + c * self.y,
+            z: self.z,
+        }
+    }
+
+    /// Rotates this vector about the +X axis by `angle_rad` radians.
+    #[inline]
+    pub fn rotated_x(self, angle_rad: f64) -> Self {
+        let (s, c) = angle_rad.sin_cos();
+        Self {
+            x: self.x,
+            y: c * self.y - s * self.z,
+            z: s * self.y + c * self.z,
+        }
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl std::ops::Neg for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl std::ops::Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl std::ops::Div<f64> for Vec3 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl std::fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cross_product_is_orthogonal_and_right_handed() {
+        let c = Vec3::X.cross(Vec3::Y);
+        assert_eq!(c, Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::X), -Vec3::Z);
+        assert_eq!(c.dot(Vec3::X), 0.0);
+    }
+
+    #[test]
+    fn angle_between_axes_is_right_angle() {
+        let a = Vec3::X.angle_to(Vec3::Y);
+        assert!((a - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(Vec3::X.angle_to(Vec3::X) < 1e-12);
+        assert!((Vec3::X.angle_to(-Vec3::X) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_about_z_moves_x_to_y() {
+        let r = Vec3::X.rotated_z(std::f64::consts::FRAC_PI_2);
+        assert!((r - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(2.5, 3.5, 4.5));
+    }
+
+    #[test]
+    fn angle_to_zero_vector_is_zero() {
+        assert_eq!(Vec3::X.angle_to(Vec3::ZERO), 0.0);
+    }
+
+    fn arb_vec3() -> impl Strategy<Value = Vec3> {
+        (
+            -1e7f64..1e7,
+            -1e7f64..1e7,
+            -1e7f64..1e7,
+        )
+            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #[test]
+        fn norm_is_rotation_invariant(v in arb_vec3(), angle in -10.0f64..10.0) {
+            let r = v.rotated_z(angle);
+            prop_assert!((r.norm() - v.norm()).abs() <= 1e-6 * (1.0 + v.norm()));
+        }
+
+        #[test]
+        fn cross_is_orthogonal_to_both(a in arb_vec3(), b in arb_vec3()) {
+            let c = a.cross(b);
+            let scale = a.norm() * b.norm() + 1.0;
+            prop_assert!(c.dot(a).abs() <= 1e-4 * scale * (c.norm() + 1.0));
+            prop_assert!(c.dot(b).abs() <= 1e-4 * scale * (c.norm() + 1.0));
+        }
+
+        #[test]
+        fn triangle_inequality(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! A small deterministic discrete-event simulation engine.
+//!
+//! The constellation simulator in the `sudc` crate plays out frame
+//! generation, ISL relaying, and SµDC compute queues at sub-second
+//! granularity over hours of simulated time. This crate provides the
+//! domain-independent machinery:
+//!
+//! * [`Scheduler`] — a stable event calendar (ties broken by insertion
+//!   order, so runs are exactly reproducible),
+//! * [`rng`] — seeded, splittable random streams, and
+//! * [`stats`] — counters, tallies, time-weighted integrals, and
+//!   histograms.
+//!
+//! # Examples
+//!
+//! ```
+//! use simkit::Scheduler;
+//! use units::Time;
+//!
+//! let mut sched = Scheduler::new();
+//! sched.schedule_in(Time::from_secs(2.0), "world");
+//! sched.schedule_in(Time::from_secs(1.0), "hello");
+//!
+//! let mut order = Vec::new();
+//! while let Some(ev) = sched.pop() {
+//!     order.push(ev.payload);
+//! }
+//! assert_eq!(order, vec!["hello", "world"]);
+//! ```
+
+pub mod rng;
+pub mod stats;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use units::Time;
+
+/// An event drawn from the calendar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event<E> {
+    /// Simulation time at which the event fires.
+    pub time: Time,
+    /// The caller's event payload.
+    pub payload: E,
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time_s: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_s == other.time_s && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: time, then insertion sequence. Times are finite by
+        // construction (schedule_* validates).
+        self.time_s
+            .partial_cmp(&other.time_s)
+            .expect("event times are finite")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A discrete-event calendar with deterministic tie-breaking.
+///
+/// Events scheduled for the same instant fire in insertion order, which
+/// makes simulation runs bit-for-bit reproducible.
+#[derive(Debug, Clone)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: Time,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty calendar at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time or not finite.
+    pub fn schedule_at(&mut self, at: Time, payload: E) {
+        assert!(at.is_finite(), "event time must be finite");
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({} < {})",
+            at,
+            self.now
+        );
+        self.heap.push(Reverse(Scheduled {
+            time_s: at.as_secs(),
+            seq: self.seq,
+            payload,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` after a delay from the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay is negative or not finite.
+    pub fn schedule_in(&mut self, delay: Time, payload: E) {
+        assert!(
+            delay.as_secs() >= 0.0,
+            "delay must be non-negative, got {delay}"
+        );
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Time of the next pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap
+            .peek()
+            .map(|Reverse(s)| Time::from_secs(s.time_s))
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<Event<E>> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = Time::from_secs(s.time_s);
+        self.processed += 1;
+        Some(Event {
+            time: self.now,
+            payload: s.payload,
+        })
+    }
+
+    /// Pops the next event only if it fires at or before `until`.
+    pub fn pop_until(&mut self, until: Time) -> Option<Event<E>> {
+        match self.peek_time() {
+            Some(t) if t.as_secs() <= until.as_secs() => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drains and drops all pending events (e.g. at simulation end).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Runs a handler over every event up to `until`, in order.
+///
+/// The handler receives mutable access to both the caller's state and the
+/// scheduler (to schedule follow-up events).
+pub fn run_until<E, S>(
+    scheduler: &mut Scheduler<E>,
+    state: &mut S,
+    until: Time,
+    mut handler: impl FnMut(&mut S, &mut Scheduler<E>, Event<E>),
+) {
+    while let Some(ev) = scheduler.pop_until(until) {
+        handler(state, scheduler, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(Time::from_secs(3.0), 3);
+        s.schedule_at(Time::from_secs(1.0), 1);
+        s.schedule_at(Time::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(s.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(Time::from_secs(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_in(Time::from_secs(4.0), ());
+        assert_eq!(s.now(), Time::ZERO);
+        s.pop();
+        assert_eq!(s.now(), Time::from_secs(4.0));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_in(Time::from_secs(1.0), "a");
+        s.pop();
+        s.schedule_in(Time::from_secs(1.0), "b");
+        assert_eq!(s.peek_time(), Some(Time::from_secs(2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(Time::from_secs(5.0), ());
+        s.pop();
+        s.schedule_at(Time::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut s = Scheduler::new();
+        s.schedule_at(Time::from_secs(1.0), 1);
+        s.schedule_at(Time::from_secs(10.0), 2);
+        assert!(s.pop_until(Time::from_secs(5.0)).is_some());
+        assert!(s.pop_until(Time::from_secs(5.0)).is_none());
+        assert_eq!(s.len(), 1, "the later event is still pending");
+    }
+
+    #[test]
+    fn run_until_drives_cascading_events() {
+        // A self-rescheduling ticker: fires at 1, 2, 3, ... until horizon.
+        let mut s = Scheduler::new();
+        s.schedule_at(Time::from_secs(1.0), ());
+        let mut ticks = 0u32;
+        run_until(&mut s, &mut ticks, Time::from_secs(10.0), |t, sched, _ev| {
+            *t += 1;
+            sched.schedule_in(Time::from_secs(1.0), ());
+        });
+        assert_eq!(ticks, 10);
+        assert_eq!(s.len(), 1, "the 11th tick remains scheduled");
+    }
+
+    proptest! {
+        #[test]
+        fn pops_are_globally_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+            let mut s = Scheduler::new();
+            for (i, &t) in times.iter().enumerate() {
+                s.schedule_at(Time::from_secs(t), i);
+            }
+            let mut last = -1.0f64;
+            while let Some(ev) = s.pop() {
+                prop_assert!(ev.time.as_secs() >= last);
+                last = ev.time.as_secs();
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Statistics collectors for simulation outputs.
+
+use serde::{Deserialize, Serialize};
+use units::Time;
+
+/// Running mean/variance/min/max over streamed samples (Welford's
+/// algorithm).
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tally {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (unbiased; 0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum sample (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue
+/// length, backlog bits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    first_time: Time,
+    last_time: Time,
+    last_value: f64,
+    integral: f64,
+    peak: f64,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self {
+            first_time: Time::ZERO,
+            last_time: Time::ZERO,
+            last_value: 0.0,
+            integral: 0.0,
+            peak: 0.0,
+            started: false,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous update.
+    pub fn update(&mut self, t: Time, value: f64) {
+        if self.started {
+            assert!(
+                t >= self.last_time,
+                "time-weighted updates must be monotone"
+            );
+            self.integral += self.last_value * (t - self.last_time).as_secs();
+        } else {
+            self.first_time = t;
+        }
+        self.started = true;
+        self.last_time = t;
+        self.last_value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Time-weighted mean over `[first update, t]`.
+    pub fn mean_until(&self, t: Time) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        let total = self.integral + self.last_value * (t - self.last_time).as_secs().max(0.0);
+        let span = (t - self.first_time).as_secs();
+        if span <= 0.0 {
+            self.last_value
+        } else {
+            total / span
+        }
+    }
+
+    /// Peak value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Current (most recent) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// Fixed-bucket histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let idx = ((value - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total samples including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Approximate quantile (0..=1) by bucket interpolation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return self.lo;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).round() as u64;
+        let mut cum = self.underflow;
+        if cum >= target {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.lo + width * (i as f64 + 0.5);
+            }
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_mean_and_variance() {
+        let mut t = Tally::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(v);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_tally_is_safe() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        assert_eq!(h.total(), 100);
+        let median = h.quantile(0.5);
+        assert!((median - 5.0).abs() < 1.0, "got {median}");
+        h.record(-1.0);
+        h.record(99.0);
+        assert_eq!(h.total(), 102);
+    }
+
+    #[test]
+    fn time_weighted_mean_of_step_signal() {
+        // Signal: 0 on [0, 10), 10 on [10, 20) → mean over [0, 20] is 5.
+        let mut tw = TimeWeighted::new();
+        tw.update(Time::ZERO, 0.0);
+        tw.update(Time::from_secs(10.0), 10.0);
+        let mean = tw.mean_until(Time::from_secs(20.0));
+        assert!((mean - 5.0).abs() < 1e-12, "got {mean}");
+        assert_eq!(tw.peak(), 10.0);
+        assert_eq!(tw.current(), 10.0);
+    }
+
+    #[test]
+    fn time_weighted_starts_at_first_update() {
+        // First update at t=100: the window [0, 100) is not counted.
+        let mut tw = TimeWeighted::new();
+        tw.update(Time::from_secs(100.0), 4.0);
+        let mean = tw.mean_until(Time::from_secs(200.0));
+        assert!((mean - 4.0).abs() < 1e-12, "got {mean}");
+    }
+
+    #[test]
+    fn empty_time_weighted_is_zero() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean_until(Time::from_secs(5.0)), 0.0);
+    }
+
+    #[test]
+    fn histogram_extreme_quantiles() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(0.9);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Human-readable SI-prefixed formatting shared by the quantity `Display`
+//! impls.
+//!
+//! The experiment harness prints tables that mirror the paper
+//! ("220 Mbit/s", "4 kW", "35786 km"), so formatting is part of the public
+//! contract and tested accordingly.
+
+/// SI prefixes covering the dynamic range this workspace needs
+/// (pico through exa).
+const PREFIXES: &[(f64, &str)] = &[
+    (1e18, "E"),
+    (1e15, "P"),
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+];
+
+/// Formats `value` (in the unit's base) with an SI prefix and the given
+/// unit suffix, e.g. `si(220e6, "bit/s") == "220 Mbit/s"`.
+///
+/// Values are rounded to at most three significant-looking decimals; exact
+/// multiples print without a fractional part.
+pub fn si(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    let magnitude = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(s, _)| magnitude >= *s)
+        .copied()
+        .unwrap_or((1e-12, "p"));
+    let scaled = value / scale;
+    format!("{} {}{}", trim_float(scaled), prefix, unit)
+}
+
+/// Formats a float with up to three decimals, trimming trailing zeros.
+pub fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v.trunc() as i64);
+    }
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_round_multiples_without_decimals() {
+        assert_eq!(si(4_000.0, "W"), "4 kW");
+        assert_eq!(si(220e6, "bit/s"), "220 Mbit/s");
+        assert_eq!(si(1.0, "m"), "1 m");
+    }
+
+    #[test]
+    fn formats_fractional_values_with_trimmed_decimals() {
+        assert_eq!(si(0.29, "m"), "290 mm");
+        assert_eq!(si(1.5, "s"), "1.5 s");
+        assert_eq!(si(3.934, "x"), "3.934 x");
+    }
+
+    #[test]
+    fn handles_zero_and_negative() {
+        assert_eq!(si(0.0, "W"), "0 W");
+        assert_eq!(si(-3000.0, "m"), "-3 km");
+    }
+
+    #[test]
+    fn handles_extremes() {
+        assert_eq!(si(2.5e15, "bit/s"), "2.5 Pbit/s");
+        assert_eq!(si(5e-13, "s"), "0.5 ps");
+    }
+
+    #[test]
+    fn trim_float_truncates_trailing_zeros() {
+        assert_eq!(trim_float(2.50), "2.5");
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(0.125), "0.125");
+    }
+}

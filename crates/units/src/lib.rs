@@ -1,0 +1,64 @@
+//! Typed physical quantities for the space-microdatacenter workspace.
+//!
+//! Every model in this workspace — orbital mechanics, link budgets, compute
+//! sizing — mixes lengths, powers, data rates, and times. Representing them
+//! all as bare `f64` invites unit bugs (the classic "is this in metres or
+//! kilometres?" class). This crate provides thin, zero-cost newtypes over
+//! `f64` with:
+//!
+//! * unit-named constructors and accessors (`Length::from_km(500.0)`,
+//!   `rate.as_gbps()`),
+//! * the arithmetic that is physically meaningful (`DataSize / Time =
+//!   DataRate`, `Power * Time = Energy`, ...),
+//! * human-readable [`std::fmt::Display`] with SI prefixes, and
+//! * the physical constants used throughout the paper in [`constants`].
+//!
+//! # Examples
+//!
+//! ```
+//! use units::{DataRate, DataSize, Time};
+//!
+//! let frame = DataSize::from_bytes(3840.0 * 2160.0 * 3.0); // one 4K RGB frame
+//! let period = Time::from_secs(1.5); // ground-track frame period
+//! let rate: DataRate = frame / period;
+//! assert!(rate.as_mbps() > 100.0 && rate.as_mbps() < 140.0);
+//! ```
+
+mod angle;
+mod data;
+mod money;
+mod quantity;
+mod si;
+
+pub mod constants;
+pub mod fmt_si;
+
+pub use angle::Angle;
+pub use data::{DataRate, DataSize};
+pub use money::Money;
+pub use si::{Area, Energy, Frequency, Length, Mass, Power, Time, Velocity};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_arithmetic_composes() {
+        let d = Length::from_km(7000.0);
+        let t = Time::from_secs(1000.0);
+        let v: Velocity = d / t;
+        assert!((v.as_m_per_s() - 7000.0).abs() < 1e-9);
+
+        let p = Power::from_watts(4000.0);
+        let e: Energy = p * Time::from_hours(1.0);
+        assert!((e.as_watt_hours() - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let r = DataRate::from_bps(220e6);
+        assert_eq!(r.to_string(), "220 Mbit/s");
+        let l = Length::from_km(35_786.0);
+        assert_eq!(l.to_string(), "35786 km");
+    }
+}

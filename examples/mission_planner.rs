@@ -1,0 +1,132 @@
+//! Mission planner: walk a high-resolution EO mission through the
+//! paper's whole argument — data volume, downlink feasibility and cost,
+//! on-satellite compute, and finally the SµDC fleet it needs.
+//!
+//! ```sh
+//! cargo run --example mission_planner
+//! ```
+
+use comms::GroundStationNetwork;
+use constellation::SatelliteClass;
+use orbit::circular::CircularOrbit;
+use orbit::eclipse;
+use sudc::costs::downlink_cost_per_minute;
+use sudc::deficit::DeficitScenario;
+use sudc::onboard;
+use sudc::sizing::{sudcs_needed, SudcSpec};
+use units::{Angle, Length, Time};
+use workloads::{Application, Device};
+
+fn main() {
+    // Mission: Pelican-class very-high-resolution imaging.
+    let resolution = Length::from_cm(30.0);
+    let discard = 0.95; // keep only interesting frames
+    let satellites = 64;
+    let apps = [
+        Application::UrbanEmergency,
+        Application::AircraftDetection,
+        Application::TrafficMonitoring,
+    ];
+
+    println!("=== Mission: {satellites} satellites at {resolution}, {:.0}% early discard ===\n", discard * 100.0);
+
+    // 1. How much data?
+    let frame = imagery::FrameSpec::paper();
+    let per_sat = frame.data_rate_with_discard(resolution, discard);
+    println!("per-satellite data rate: {per_sat}");
+    println!("constellation total:     {}", per_sat * satellites as f64);
+
+    // 2. Can it come down? (Fig. 5 model.)
+    let scenario = DeficitScenario {
+        early_discard: discard,
+        ..DeficitScenario::paper()
+    };
+    let channels = 8.0;
+    println!(
+        "\nwith {channels} ground contacts per revolution: deficit {:.1}%, {:.1} min downlinking",
+        scenario.downlink_deficit(resolution, channels) * 100.0,
+        scenario.downlink_time(resolution, channels).as_minutes()
+    );
+    let net = GroundStationNetwork::paper_2023();
+    println!(
+        "continuous downlink bill: {} per minute",
+        downlink_cost_per_minute(&net, resolution, discard, satellites)
+    );
+
+    // 3. Can the satellites compute it themselves? (Fig. 8 / Table 7.)
+    println!("\non-satellite power needed (Jetson AGX Xavier efficiency):");
+    for app in apps {
+        match onboard::power_needed(app, Device::JetsonAgxXavier, resolution, discard, &frame) {
+            Some(p) => {
+                let verdict = SatelliteClass::ALL
+                    .iter()
+                    .find(|c| p <= c.max_power())
+                    .map(|c| c.label())
+                    .unwrap_or("no class");
+                println!("  {app}: {p}  (smallest class that fits: {verdict})");
+            }
+            None => println!("  {app}: unmappable"),
+        }
+    }
+
+    // 4. The SµDC answer (Fig. 9).
+    println!("\nSµDC fleet (4 kW RTX 3090 racks):");
+    for app in apps {
+        if let Some(n) = sudcs_needed(
+            &SudcSpec::paper_4kw(Device::Rtx3090),
+            app,
+            resolution,
+            discard,
+            satellites,
+        ) {
+            println!("  {app}: {n} SµDC(s)");
+        }
+    }
+
+    // 5. Placement notes (Sec. 9).
+    let leo = CircularOrbit::from_altitude(Length::from_km(550.0));
+    let normal = eclipse::orbit_normal(Angle::from_degrees(53.0), Angle::ZERO);
+    let annual = eclipse::annual_eclipse(leo, normal);
+    let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+    println!(
+        "\nLEO placement: mean eclipse fraction {:.2}, solar array must generate {}",
+        annual.mean_fraction,
+        spec.array_power(annual.mean_fraction)
+    );
+    let geo = CircularOrbit::geostationary();
+    let geo_annual = eclipse::annual_eclipse(geo, eclipse::orbit_normal(Angle::ZERO, Angle::ZERO));
+    println!(
+        "GEO placement: mean eclipse fraction {:.3}, array {}  (but outer-belt radiation; Sec. 9)",
+        geo_annual.mean_fraction,
+        spec.array_power(geo_annual.mean_fraction)
+    );
+    let sc = orbit::drag::Spacecraft::sudc_4kw();
+    println!(
+        "station-keeping at 550 km: {:.1} m/s per year of drag make-up",
+        orbit::drag::annual_stationkeeping_delta_v(leo, &sc).as_m_per_s()
+    );
+
+    // 6. Subsystem sizing for the SµDC bus (thermal + electrical).
+    let thermal = sudc::thermal::design_leo(spec.compute_power + spec.bus_overhead());
+    println!(
+        "\nthermal: {:.1} m² radiator at {:.0} K rejects the full load (TEG recovers {})",
+        thermal.radiator_area.as_m2(),
+        thermal.surface_temp_k,
+        thermal.teg_recovery
+    );
+    let eps = sudc::powersys::size_for_orbit(
+        spec.compute_power + spec.bus_overhead(),
+        leo,
+        Angle::from_degrees(53.0),
+        &sudc::powersys::ArrayTech::flexible_blanket(),
+        &sudc::powersys::BatteryTech::li_ion_leo(),
+    );
+    println!(
+        "electrical: {} of array, {:.0} kg array + {:.0} kg battery ({:.0} min worst eclipse)",
+        eps.array_power,
+        eps.array_mass.as_kg(),
+        eps.battery_mass.as_kg(),
+        eps.eclipse.as_minutes()
+    );
+    let _ = Time::from_secs(0.0);
+}

@@ -1,0 +1,44 @@
+//! Quickstart: size a SµDC fleet for an Earth-observation application.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sudc::bottleneck::clusters_needed;
+use sudc::sizing::{sudcs_needed, SudcSpec};
+use units::Length;
+use workloads::{Application, Device};
+
+fn main() {
+    // The paper's reference scenario: 64 EO satellites, 4 kW RTX 3090
+    // SµDCs, flood detection at 1 m resolution with 95% early discard.
+    let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+    let app = Application::FloodDetection;
+    let resolution = Length::from_m(1.0);
+    let discard = 0.95;
+    let satellites = 64;
+
+    let n = sudcs_needed(&spec, app, resolution, discard, satellites)
+        .expect("FD is measured on the RTX 3090");
+    println!(
+        "{app} ({}) at {resolution} with {:.0}% early discard:",
+        app.full_name(),
+        discard * 100.0
+    );
+    println!("  compute: {n} × {spec}");
+
+    // But compute is only half the story — can the ring ISLs feed it?
+    for isl in comms::IslClass::ALL {
+        let analysis = clusters_needed(&spec, app, resolution, discard, satellites, isl)
+            .expect("measured app");
+        println!(
+            "  with {isl} ISLs: {} cluster(s), {}",
+            analysis.clusters, analysis.binding
+        );
+    }
+
+    // The energy-efficiency accelerator alternative (Sec. 9).
+    let ai100 = SudcSpec::paper_4kw(Device::CloudAi100);
+    let n_acc = sudcs_needed(&ai100, app, resolution, discard, satellites).expect("scaled");
+    println!("  with Qualcomm Cloud AI 100 racks instead: {n_acc} SµDC(s)");
+}

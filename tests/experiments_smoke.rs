@@ -1,0 +1,70 @@
+//! Smoke tests: every registered experiment runs, produces non-empty
+//! well-formed output, and renders to text and CSV.
+
+use sudc::experiments;
+
+#[test]
+fn every_experiment_runs_and_is_well_formed() {
+    for e in experiments::all() {
+        let result = (e.run)();
+        assert_eq!(result.id, e.id);
+        assert!(!result.rows.is_empty(), "{} produced no rows", e.id);
+        for (i, row) in result.rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                result.columns.len(),
+                "{} row {i} width mismatch",
+                e.id
+            );
+        }
+        let text = result.to_text_table();
+        assert!(text.contains(e.id), "{} text render", e.id);
+        let csv = result.to_csv();
+        assert_eq!(
+            csv.lines().count(),
+            result.rows.len() + 1,
+            "{} csv line count",
+            e.id
+        );
+        // JSON serialisation round-trips.
+        let json = serde_json::to_string(&result).unwrap();
+        let back: experiments::ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}
+
+#[test]
+fn run_by_id_matches_registry() {
+    let direct = experiments::run("table9").unwrap();
+    let via_registry = experiments::all()
+        .into_iter()
+        .find(|e| e.id == "table9")
+        .map(|e| (e.run)())
+        .unwrap();
+    assert_eq!(direct, via_registry);
+}
+
+#[test]
+fn figure_grids_have_expected_sizes() {
+    let sizes = [
+        ("fig4a", 20),
+        ("fig4b", 20),
+        ("fig5a", 32),
+        ("fig5b", 32),
+        ("fig6", 16),
+        ("fig8", 160),
+        ("fig9", 160),
+        ("fig13", 16),
+        ("fig14", 160),
+        ("fig16", 480),
+        ("table3", 6),
+        ("table5", 10),
+        ("table6", 19),
+        ("table8", 16),
+        ("table9", 4),
+    ];
+    for (id, n) in sizes {
+        let r = experiments::run(id).unwrap();
+        assert_eq!(r.rows.len(), n, "{id}");
+    }
+}

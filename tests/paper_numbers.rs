@@ -1,0 +1,204 @@
+//! Regression tests pinning the paper's headline numbers: every claim
+//! the reproduction is supposed to regenerate, asserted against the
+//! models. These are the "shape" checks recorded in EXPERIMENTS.md.
+
+use sudc::sizing::{sudcs_needed, SudcSpec, PAPER_CONSTELLATION};
+use units::{DataRate, Length, Money, Time};
+use workloads::{Application, Device, Hardening};
+
+/// Table 8 reproduces exactly (up to the two paper-rounding anomalies).
+#[test]
+fn table8_full_grid() {
+    let expect_3m = [
+        (0.0, [8, 98, 992]), // paper prints 9 in the first cell
+        (0.5, [18, 198, 1986]),
+        (0.95, [198, 1986, 19868]),
+        (0.99, [992, 9934, 99340]),
+    ];
+    let expect_1m = [
+        (0.0, [0, 10, 110]), // paper prints 1 in the first cell
+        (0.5, [2, 22, 220]),
+        (0.95, [22, 220, 2206]),
+        (0.99, [110, 1102, 11036]),
+    ];
+    let expect_30cm = [
+        (0.0, [0, 0, 8]),
+        (0.5, [0, 0, 18]),
+        (0.95, [0, 18, 198]),
+        (0.99, [8, 98, 992]),
+    ];
+    let expect_10cm = [
+        (0.0, [0, 0, 0]),
+        (0.5, [0, 0, 2]),
+        (0.95, [0, 2, 22]),
+        (0.99, [0, 10, 110]),
+    ];
+    let grids = [
+        (Length::from_m(3.0), &expect_3m),
+        (Length::from_m(1.0), &expect_1m),
+        (Length::from_cm(30.0), &expect_30cm),
+        (Length::from_cm(10.0), &expect_10cm),
+    ];
+    for (res, grid) in grids {
+        for (ed, cells) in grid.iter() {
+            for (i, gbps) in [1.0, 10.0, 100.0].into_iter().enumerate() {
+                let got = sudc::bottleneck::ring_supportable(
+                    DataRate::from_gbps(gbps),
+                    res,
+                    *ed,
+                );
+                assert_eq!(
+                    got, cells[i],
+                    "Table 8 cell ({res}, ED {ed}, {gbps} Gbit/s)"
+                );
+            }
+        }
+    }
+}
+
+/// Sec. 6: "one 4 kW SµDC can support the computation needs for a
+/// majority of our applications for most resolutions, especially when
+/// used in conjunction with early discard."
+#[test]
+fn one_sudc_covers_majority_with_discard() {
+    let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    for app in Application::ALL {
+        for res in [Length::from_m(3.0), Length::from_m(1.0)] {
+            if let Some(n) = sudcs_needed(&spec, app, res, 0.95, PAPER_CONSTELLATION) {
+                total += 1;
+                if n == 1 {
+                    covered += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        covered * 2 > total,
+        "only {covered}/{total} cells served by one SµDC"
+    );
+}
+
+/// Sec. 6: "at that [99%] early discard rate, eight out of ten
+/// applications can be supported with only a small number of SµDCs" at
+/// 10 cm.
+#[test]
+fn eight_of_ten_apps_cheap_at_10cm_99ed() {
+    let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+    let cheap = Application::ALL
+        .into_iter()
+        .filter(|&a| {
+            sudcs_needed(&spec, a, Length::from_cm(10.0), 0.99, PAPER_CONSTELLATION)
+                .map(|n| n <= 8)
+                .unwrap_or(false)
+        })
+        .count();
+    assert!(cheap >= 8, "only {cheap}/10 apps cheap at 10 cm / 99% ED");
+}
+
+/// Sec. 9 / Fig. 14: the AI 100's 18.25× efficiency collapses SµDC
+/// counts.
+#[test]
+fn ai100_efficiency_ratio_18_25() {
+    let gpu = SudcSpec::paper_4kw(Device::Rtx3090);
+    let acc = SudcSpec::paper_4kw(Device::CloudAi100);
+    for app in Application::ALL {
+        let (Some(g), Some(a)) = (gpu.pixel_capacity(app), acc.pixel_capacity(app)) else {
+            continue;
+        };
+        assert!((a / g - 18.25).abs() < 1e-9, "{app}");
+    }
+}
+
+/// Fig. 16's worked example: an app needing 3 SµDCs at 30 cm / 50% ED
+/// needs 3 with software hardening, 5 with DMR, 8 with TMR. We assert
+/// the structural relation on whichever app lands at 3.
+#[test]
+fn fig16_hardening_multipliers() {
+    let base_spec = SudcSpec::paper_4kw(Device::Rtx3090);
+    let mut found = false;
+    for app in Application::ALL {
+        let Some(base) =
+            sudcs_needed(&base_spec, app, Length::from_cm(30.0), 0.5, PAPER_CONSTELLATION)
+        else {
+            continue;
+        };
+        if base != 3 {
+            continue;
+        }
+        found = true;
+        let n = |h: Hardening| {
+            sudcs_needed(
+                &base_spec.with_hardening(h),
+                app,
+                Length::from_cm(30.0),
+                0.5,
+                PAPER_CONSTELLATION,
+            )
+            .unwrap()
+        };
+        let sw = n(Hardening::Software);
+        let dmr = n(Hardening::DualRedundancy);
+        let tmr = n(Hardening::TripleRedundancy);
+        assert!(sw <= 4, "{app}: software {sw}");
+        assert!((5..=6).contains(&dmr), "{app}: DMR {dmr}");
+        assert!((8..=9).contains(&tmr), "{app}: TMR {tmr}");
+    }
+    assert!(found, "no application needs exactly 3 SµDCs at 30 cm / 50% ED");
+}
+
+/// Table 3's ECR arithmetic and the Sec. 4 best-case 400× bound.
+#[test]
+fn table3_and_best_case_ecr() {
+    use imagery::DiscardClass;
+    for c in DiscardClass::ALL {
+        let expected = 1.0 / (1.0 - c.discard_rate());
+        assert!((c.ecr() - expected).abs() < 1e-12);
+    }
+    assert_eq!(imagery::discard::best_case_combined_with_compression(4.0), 400.0);
+}
+
+/// Sec. 3's ground-segment numbers: 160 stations, ~$3/min, and the
+/// aggregate capacity gap of 4–5 orders of magnitude at fine resolution.
+#[test]
+fn ground_segment_gap() {
+    let net = comms::GroundStationNetwork::paper_2023();
+    assert_eq!(net.total_stations(), 160);
+    assert_eq!(net.price_per_channel_minute, Money::from_usd(3.0));
+
+    let generated = sudc::datareq::generation_rate(Length::from_cm(10.0), Time::from_minutes(30.0));
+    let gap = generated.as_bps() / net.aggregate_capacity().as_bps();
+    assert!(
+        gap > 1e3 && gap < 1e8,
+        "generation exceeds ground capacity by {gap}x (orders of magnitude)"
+    );
+}
+
+/// Sec. 4: in the bandwidth-limited regime, capacity gains need
+/// exponential SNR growth (the Fig. 7 infeasibility).
+#[test]
+fn antenna_scaling_infeasibility() {
+    let dove = comms::DownlinkBudget::dove_baseline();
+    let requirement = imagery::FrameSpec::paper().data_rate(Length::from_m(1.0));
+    let two_kw = dove.with_tx_power(units::Power::from_watts(2_000.0));
+    assert!(
+        two_kw.achieved_rate().as_bps() < requirement.as_bps(),
+        "2 kW antenna: {} < needed {requirement}",
+        two_kw.achieved_rate()
+    );
+    let thirty_m = dove.with_tx_dish(Length::from_m(30.0));
+    assert!(
+        thirty_m.achieved_rate().as_bps() < requirement.as_bps(),
+        "30 m dish: {} < needed {requirement}",
+        thirty_m.achieved_rate()
+    );
+}
+
+/// The frame-model calibration recovered from Table 8: 201.33 Mbit/s per
+/// satellite at 3 m.
+#[test]
+fn frame_model_calibration() {
+    let r = imagery::FrameSpec::paper().data_rate(Length::from_m(3.0));
+    assert!((r.as_mbps() - 201.327).abs() < 0.01, "got {r}");
+}

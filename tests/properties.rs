@@ -1,0 +1,129 @@
+//! Cross-crate property tests: invariants that must hold across the
+//! composed models, whatever the parameters.
+
+use proptest::prelude::*;
+use units::{DataRate, Length, Time};
+
+proptest! {
+    /// Fig. 4 identity: generation rate × revisit = total bits for one
+    /// global snapshot, independent of revisit.
+    #[test]
+    fn snapshot_volume_is_revisit_invariant(
+        res_m in 0.05f64..10.0,
+        t1 in 60.0f64..1e6,
+        t2 in 60.0f64..1e6,
+    ) {
+        let spatial = Length::from_m(res_m);
+        let v1 = sudc::datareq::generation_rate(spatial, Time::from_secs(t1)) * Time::from_secs(t1);
+        let v2 = sudc::datareq::generation_rate(spatial, Time::from_secs(t2)) * Time::from_secs(t2);
+        prop_assert!((v1.as_bits() / v2.as_bits() - 1.0).abs() < 1e-9);
+    }
+
+    /// Required ECR (Fig. 6) equals the generation-rate ratio and scales
+    /// exactly with the square of the resolution improvement.
+    #[test]
+    fn required_ecr_scales_quadratically(
+        factor in 1.0f64..40.0,
+    ) {
+        let b = sudc::ecr::Baseline::paper();
+        let e = sudc::ecr::required_ecr(
+            b,
+            Length::from_m(3.0 / factor),
+            Time::from_days(1.0),
+        );
+        prop_assert!((e / (factor * factor) - 1.0).abs() < 1e-9);
+    }
+
+    /// The downlink deficit (Fig. 5a) is always a probability, falls as
+    /// channels grow, and hits zero at the model's own channel bound.
+    #[test]
+    fn deficit_bounds_and_closure(
+        res_m in 0.05f64..5.0,
+        channels in 0.0f64..500.0,
+    ) {
+        let s = sudc::deficit::DeficitScenario::paper();
+        let res = Length::from_m(res_m);
+        let d = s.downlink_deficit(res, channels);
+        prop_assert!((0.0..=1.0).contains(&d));
+        let enough = s.channels_for_zero_deficit(res);
+        prop_assert!(s.downlink_deficit(res, enough * 1.001) <= 1e-9);
+    }
+
+    /// Table 8 generalisation: a k-list supports exactly k/2 times the
+    /// ring count at any capacity/rate (Sec. 8).
+    #[test]
+    fn klist_supports_k_over_2_times_ring(
+        gbps in 0.1f64..200.0,
+        rate_mbps in 1.0f64..5_000.0,
+        half_k in 1usize..8,
+    ) {
+        use constellation::topology::{ClusterTopology, Formation};
+        let cap = DataRate::from_gbps(gbps);
+        let rate = DataRate::from_mbps(rate_mbps);
+        let ring = ClusterTopology::ring(Formation::FrameSpaced).supportable_satellites(cap, rate);
+        let klist = ClusterTopology::k_list(2 * half_k, Formation::FrameSpaced)
+            .supportable_satellites(cap, rate);
+        prop_assert_eq!(klist, ring * half_k);
+    }
+
+    /// Fig. 13 consistency: capacity-per-power of a k-list degrades as
+    /// 1/(k/2) and splitting never changes it.
+    #[test]
+    fn codesign_efficiency_law(half_k in 1usize..12, split in 1usize..10) {
+        let pts = sudc::codesign::fig13_sweep(&[2 * half_k], &[split, 1]);
+        let with_split = pts[0].capacity_per_power;
+        let without = pts[1].capacity_per_power;
+        prop_assert!((with_split - without).abs() < 1e-12);
+        prop_assert!((with_split - 1.0 / half_k as f64).abs() < 1e-12);
+    }
+
+    /// Compression never corrupts: any byte stream round-trips through
+    /// any Table 4 codec (the workhorse guarantee behind every ECR
+    /// number).
+    #[test]
+    fn codecs_roundtrip_structured_mixtures(
+        runs in prop::collection::vec((any::<u8>(), 1usize..64), 0..30),
+    ) {
+        let mut data = Vec::new();
+        for (b, n) in runs {
+            data.extend(std::iter::repeat(b).take(n));
+        }
+        for kind in compress::CodecKind::ALL {
+            let codec = kind.codec();
+            let packed = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&packed).unwrap(), data.clone(), "{}", kind);
+        }
+    }
+
+    /// Orbital sanity across the whole LEO band: period, velocity, and
+    /// LOS limits are monotone in altitude the way physics demands.
+    #[test]
+    fn orbit_monotonicity(alt_km in 200.0f64..2_000.0) {
+        use orbit::circular::CircularOrbit;
+        let lo = CircularOrbit::from_altitude(Length::from_km(alt_km));
+        let hi = CircularOrbit::from_altitude(Length::from_km(alt_km + 50.0));
+        prop_assert!(hi.period() > lo.period());
+        prop_assert!(hi.velocity() < lo.velocity());
+        prop_assert!(
+            hi.max_los_separation(Length::ZERO).as_radians()
+                > lo.max_los_separation(Length::ZERO).as_radians()
+        );
+    }
+
+    /// SµDC sizing composes with constellation size linearly (up to
+    /// ceiling): doubling the constellation at most doubles the fleet.
+    #[test]
+    fn fleet_scales_with_constellation(
+        sats in 1usize..256,
+        ed in 0.0f64..0.99,
+    ) {
+        use sudc::sizing::{sudcs_needed, SudcSpec};
+        use workloads::{Application, Device};
+        let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+        let res = Length::from_m(1.0);
+        let one = sudcs_needed(&spec, Application::CropMonitoring, res, ed, sats).unwrap();
+        let two = sudcs_needed(&spec, Application::CropMonitoring, res, ed, sats * 2).unwrap();
+        prop_assert!(two >= one);
+        prop_assert!(two <= one * 2);
+    }
+}

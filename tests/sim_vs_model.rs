@@ -1,0 +1,114 @@
+//! Cross-validation of the closed-form Table 8 / Fig. 11 models against
+//! the discrete-event simulator, beyond the cases baked into the simval
+//! experiment.
+
+use sudc::sim::{run, DiscardPolicy, SimConfig};
+use sudc::sizing::SudcSpec;
+use units::{DataRate, Length, Time};
+use workloads::{Application, Device};
+
+fn simulate(
+    app: Application,
+    res: Length,
+    discard: f64,
+    isl_gbps: f64,
+    clusters: usize,
+) -> sudc::sim::SimReport {
+    let mut cfg = SimConfig::paper_reference(app, res, discard);
+    cfg.isl_capacity = DataRate::from_gbps(isl_gbps);
+    cfg.clusters = clusters;
+    cfg.discard = DiscardPolicy::Uniform(discard);
+    cfg.duration = Time::from_minutes(2.0);
+    run(&cfg)
+}
+
+/// Table 8 predicts each ring cluster of 16 satellites needs ≥16
+/// supportable satellites per SµDC. Sweep ISL capacity across the
+/// boundary and check the simulator flips from overloaded to stable
+/// where the model says.
+#[test]
+fn isl_capacity_boundary_matches_table8() {
+    // 1 m, 50% discard: per-sat rate = 906 Mbit/s. A cluster of 16 needs
+    // 8 streams per ingest link → needs ≥ 7.25 Gbit/s links.
+    let res = Length::from_m(1.0);
+    let discard = 0.5;
+    let clusters = 4; // 16 satellites each
+
+    let under = sudc::bottleneck::ring_supportable(DataRate::from_gbps(5.0), res, discard);
+    assert!(under < 16, "model: 5 Gbit/s supports only {under}");
+    let over = sudc::bottleneck::ring_supportable(DataRate::from_gbps(10.0), res, discard);
+    assert!(over >= 16, "model: 10 Gbit/s supports {over}");
+
+    // Light app so compute never binds.
+    let slow = simulate(Application::TrafficMonitoring, res, discard, 5.0, clusters);
+    let fast = simulate(Application::TrafficMonitoring, res, discard, 10.0, clusters);
+    assert!(!slow.stable, "5 Gbit/s should overload: {slow:?}");
+    assert!(fast.stable, "10 Gbit/s should sustain: {fast:?}");
+}
+
+/// Fig. 9 compute sizing: the simulator agrees with `sudcs_needed` about
+/// how many clusters a heavy DNN needs.
+#[test]
+fn compute_cluster_count_matches_sizing_model() {
+    let app = Application::OilSpill; // 231 kpx/s/W → 0.924 Gpx/s per SµDC
+    let res = Length::from_m(1.0);
+    let discard = 0.5;
+    let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+    let needed = sudc::sizing::sudcs_needed(&spec, app, res, discard, 64).unwrap();
+    assert!(needed > 1, "pick a case where one SµDC is not enough");
+
+    // Round the model's answer up to a divisor of 64 for the ring split.
+    let feasible_clusters = [1usize, 2, 4, 8, 16, 32, 64];
+    let chosen = *feasible_clusters
+        .iter()
+        .find(|&&c| c >= needed)
+        .expect("some divisor suffices");
+
+    let under = simulate(app, res, discard, 100.0, (chosen / 2).max(1));
+    let over = simulate(app, res, discard, 100.0, chosen);
+    assert!(
+        !under.stable,
+        "half the model's clusters should overload: {under:?}"
+    );
+    assert!(over.stable, "the model's cluster count should sustain: {over:?}");
+}
+
+/// Goodput degrades monotonically as the SµDC count drops below the
+/// requirement.
+#[test]
+fn goodput_degrades_gracefully_with_fewer_sudcs() {
+    let app = Application::FloodDetection;
+    let res = Length::from_m(1.0);
+    let discard = 0.0;
+    let g8 = simulate(app, res, discard, 100.0, 8).goodput;
+    let g4 = simulate(app, res, discard, 100.0, 4).goodput;
+    let g2 = simulate(app, res, discard, 100.0, 2).goodput;
+    assert!(g8 >= g4 - 0.05, "8 clusters {g8} vs 4 {g4}");
+    assert!(g4 >= g2 - 0.05, "4 clusters {g4} vs 2 {g2}");
+    assert!(g8 > 0.9, "8 clusters should nearly keep up: {g8}");
+    assert!(g2 < 0.7, "2 clusters should visibly drop frames: {g2}");
+}
+
+/// Latency stays near the service floor when unloaded and blows up at
+/// saturation.
+#[test]
+fn latency_reflects_load() {
+    let light = simulate(Application::AirPollution, Length::from_m(3.0), 0.95, 10.0, 4);
+    let heavy = simulate(Application::AirPollution, Length::from_m(1.0), 0.0, 1.0, 1);
+    assert!(light.mean_latency_s < 2.0, "unloaded latency {}", light.mean_latency_s);
+    assert!(
+        heavy.mean_latency_s > 5.0 * light.mean_latency_s,
+        "saturated latency {} vs {}",
+        heavy.mean_latency_s,
+        light.mean_latency_s
+    );
+}
+
+/// The simval experiment's own agreement note reports full agreement.
+#[test]
+fn simval_experiment_agrees() {
+    let r = sudc::experiments::run("simval").unwrap();
+    let note = r.notes.first().expect("agreement note");
+    let expected = format!("{}/{} configurations agree", r.rows.len(), r.rows.len());
+    assert_eq!(note, &expected, "rows: {:?}", r.rows);
+}
