@@ -1,15 +1,71 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro list            # list experiment ids
-//! repro <id> [<id>...]  # run specific experiments
-//! repro all             # run everything (writes results/*.{txt,csv,json})
+//! repro list                     # list experiment ids
+//! repro <id> [<id>...]           # run specific experiments
+//! repro all                      # run everything (writes results/*.{txt,csv,json})
+//!
+//! flags:
+//!   --trace                      # debug-level telemetry on stderr
+//!   --quiet                      # suppress tables; warnings only
+//!   --metrics-out <path>         # machine-readable report (default results/BENCH_repro.json)
+//!   --jsonl <path>               # structured event log (JSON lines)
 //! ```
+//!
+//! Every run writes `results/repro_manifest.json` (seed, build, the
+//! experiment list, and timings) and a machine-readable
+//! `BENCH_repro.json` with per-experiment wall times.
 
 use std::env;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
+use bench::ExperimentTiming;
 use sudc::experiments;
+use telemetry::{Level, RunManifest};
+
+struct Cli {
+    ids: Vec<String>,
+    trace: bool,
+    quiet: bool,
+    metrics_out: Option<PathBuf>,
+    jsonl: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        ids: Vec::new(),
+        trace: false,
+        quiet: false,
+        metrics_out: None,
+        jsonl: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => cli.trace = true,
+            "--quiet" => cli.quiet = true,
+            "--metrics-out" => {
+                let path = it.next().ok_or("--metrics-out requires a path")?;
+                cli.metrics_out = Some(PathBuf::from(path));
+            }
+            "--jsonl" => {
+                let path = it.next().ok_or("--jsonl requires a path")?;
+                cli.jsonl = Some(PathBuf::from(path));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag} (try `repro help`)"));
+            }
+            id => cli.ids.push(id.to_string()),
+        }
+    }
+    if cli.trace && cli.quiet {
+        return Err("--trace and --quiet are mutually exclusive".to_string());
+    }
+    Ok(cli)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -18,39 +74,138 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    if args[0] == "list" {
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.ids.first().map(String::as_str) == Some("list") {
         println!("available experiments:");
         for e in experiments::all() {
-            println!("  {:8}  {:9}  {}", e.id, e.paper_ref, e.description);
+            println!("  {:9}  {:9}  {}", e.id, e.paper_ref, e.description);
         }
         return ExitCode::SUCCESS;
     }
 
-    let ids: Vec<String> = if args[0] == "all" {
+    // Telemetry: stderr pretty-printer at the chosen verbosity, plus an
+    // optional JSONL event log.
+    let stderr_level = if cli.trace {
+        Level::Debug
+    } else if cli.quiet {
+        Level::Warn
+    } else {
+        Level::Info
+    };
+    telemetry::set_min_level(if cli.trace { Level::Debug } else { Level::Info });
+    telemetry::install(Arc::new(telemetry::sink::StderrSink::new(stderr_level)));
+    if let Some(path) = &cli.jsonl {
+        match telemetry::sink::JsonlSink::create(path) {
+            Ok(sink) => telemetry::install(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("error: cannot open {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let ids: Vec<String> = if cli.ids.first().map(String::as_str) == Some("all") {
         experiments::all().iter().map(|e| e.id.to_string()).collect()
     } else {
-        args
+        cli.ids.clone()
     };
+    if ids.is_empty() {
+        eprintln!("error: no experiment ids given (try `repro list`)");
+        return ExitCode::FAILURE;
+    }
+
+    let results_dir = bench::results_dir();
+    let mut manifest = RunManifest::new("repro", sudc::sim::PAPER_SEED);
+    manifest.param("trace", cli.trace);
+    manifest.param("quiet", cli.quiet);
+    manifest.param("experiment_count", ids.len() as u64);
+    let metrics = telemetry::Metrics::new();
+    let mut timings: Vec<ExperimentTiming> = Vec::new();
 
     let mut failed = false;
     for id in &ids {
+        let started = Instant::now();
         match experiments::run(id) {
             Some(result) => {
-                println!("{}", result.to_text_table());
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                manifest.record_experiment(id);
+                metrics.inc("experiments.completed", 1);
+                metrics.observe("experiment.wall_ms", wall_ms);
+                timings.push(ExperimentTiming {
+                    id: id.clone(),
+                    wall_ms,
+                    rows: result.rows.len(),
+                    notes: result.notes.len(),
+                });
+                if !cli.quiet {
+                    println!("{}", result.to_text_table());
+                }
                 match bench::write_artifacts(&result) {
-                    Ok(path) => println!("wrote {}\n", path.display()),
+                    Ok(path) => {
+                        if !cli.quiet {
+                            println!("wrote {}\n", path.display());
+                        }
+                    }
                     Err(e) => {
+                        telemetry::error(
+                            "repro.write_failed",
+                            vec![
+                                ("id".to_string(), id.as_str().into()),
+                                ("error".to_string(), e.to_string().into()),
+                            ],
+                        );
                         eprintln!("error writing artifacts for {id}: {e}");
                         failed = true;
                     }
                 }
             }
             None => {
+                metrics.inc("experiments.unknown", 1);
                 eprintln!("unknown experiment id: {id} (try `repro list`)");
                 failed = true;
             }
         }
     }
+    manifest.finish();
+
+    match manifest.write_to(&results_dir) {
+        Ok(path) => telemetry::info(
+            "repro.manifest",
+            vec![("path".to_string(), path.display().to_string().into())],
+        ),
+        Err(e) => {
+            eprintln!("error writing run manifest: {e}");
+            failed = true;
+        }
+    }
+
+    let metrics_path = cli
+        .metrics_out
+        .unwrap_or_else(|| results_dir.join("BENCH_repro.json"));
+    if let Err(e) = bench::write_bench_json(&metrics_path, &manifest, &timings, &metrics) {
+        eprintln!("error writing {}: {e}", metrics_path.display());
+        failed = true;
+    } else if !cli.quiet {
+        println!("wrote {}", metrics_path.display());
+    }
+
+    telemetry::info(
+        "repro.done",
+        vec![
+            ("experiments".to_string(), (timings.len() as u64).into()),
+            ("duration_s".to_string(), manifest.duration_s().into()),
+            ("failed".to_string(), failed.into()),
+        ],
+    );
+    telemetry::flush();
+
     if failed {
         ExitCode::FAILURE
     } else {
@@ -63,10 +218,19 @@ fn usage() {
         "repro — regenerate the Space Microdatacenters paper's tables and figures\n\
          \n\
          usage:\n\
-           repro list            list experiment ids\n\
-           repro <id> [<id>...]  run specific experiments\n\
-           repro all             run everything\n\
+           repro list                 list experiment ids\n\
+           repro <id> [<id>...]       run specific experiments\n\
+           repro all                  run everything\n\
          \n\
-         artifacts are written to results/<id>.txt, .csv, and .json"
+         flags:\n\
+           --trace                    debug-level telemetry on stderr\n\
+           --quiet                    suppress tables; warnings only\n\
+           --metrics-out <path>       machine-readable report\n\
+                                      (default results/BENCH_repro.json)\n\
+           --jsonl <path>             structured event log (JSON lines)\n\
+         \n\
+         artifacts are written to results/<id>.txt, .csv, and .json;\n\
+         every run also writes results/repro_manifest.json and the\n\
+         per-experiment wall-time report"
     );
 }

@@ -37,6 +37,58 @@ pub fn write_artifacts(result: &ExperimentResult) -> io::Result<PathBuf> {
     Ok(txt)
 }
 
+/// Wall-time record for one experiment, destined for
+/// `results/BENCH_repro.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTiming {
+    /// Experiment id.
+    pub id: String,
+    /// Wall time of the generator, milliseconds.
+    pub wall_ms: f64,
+    /// Rows produced.
+    pub rows: usize,
+    /// Notes attached to the result.
+    pub notes: usize,
+}
+
+impl ExperimentTiming {
+    fn to_json(&self) -> String {
+        let mut o = telemetry::json::JsonObject::new();
+        o.field_str("id", &self.id)
+            .field_f64("wall_ms", self.wall_ms)
+            .field_u64("rows", self.rows as u64)
+            .field_u64("notes", self.notes as u64);
+        o.finish()
+    }
+}
+
+/// Writes the machine-readable benchmark report
+/// (`results/BENCH_repro.json`): the run manifest, per-experiment wall
+/// timings, and the metrics snapshot. Returns the path written.
+///
+/// # Errors
+///
+/// Returns any filesystem error from writing.
+pub fn write_bench_json(
+    path: &Path,
+    manifest: &telemetry::RunManifest,
+    timings: &[ExperimentTiming],
+    metrics: &telemetry::Metrics,
+) -> io::Result<()> {
+    let mut rows = telemetry::json::JsonArray::new();
+    for t in timings {
+        rows.push_raw(&t.to_json());
+    }
+    let mut o = telemetry::json::JsonObject::new();
+    o.field_raw("manifest", &manifest.to_json())
+        .field_raw("experiments", &rows.finish())
+        .field_raw("metrics", &metrics.to_json());
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    fs::write(path, format!("{}\n", o.finish()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +104,29 @@ mod tests {
         for ext in ["txt", "csv", "json"] {
             let _ = fs::remove_file(results_dir().join(format!("zz_test_artifact.{ext}")));
         }
+    }
+
+    #[test]
+    fn bench_json_contains_manifest_timings_and_metrics() {
+        let dir = std::env::temp_dir().join(format!("bench_json_test_{}", std::process::id()));
+        let path = dir.join("BENCH_repro.json");
+        let mut manifest = telemetry::RunManifest::new("repro", 42);
+        manifest.record_experiment("fig2");
+        manifest.finish();
+        let metrics = telemetry::Metrics::new();
+        metrics.inc("experiments.completed", 1);
+        let timings = vec![ExperimentTiming {
+            id: "fig2".to_string(),
+            wall_ms: 1.25,
+            rows: 10,
+            notes: 0,
+        }];
+        write_bench_json(&path, &manifest, &timings, &metrics).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""run_id":"repro-0000002a""#), "{text}");
+        assert!(text.contains(r#""id":"fig2""#));
+        assert!(text.contains(r#""wall_ms":1.25"#));
+        assert!(text.contains(r#""experiments.completed""#));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

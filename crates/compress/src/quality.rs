@@ -84,11 +84,23 @@ pub fn dwt_rate_distortion(image: &Raster, quant_shift: u8) -> RateDistortion {
     let back = codec
         .decompress_raster(&packed, image.width(), image.height(), image.channels())
         .expect("codec decodes its own output");
-    RateDistortion {
+    let rd = RateDistortion {
         ratio: image.data().len() as f64 / packed.len() as f64,
         psnr_db: psnr(image, &back).expect("same geometry"),
         max_error: max_abs_error(image, &back).expect("same geometry"),
+    };
+    if telemetry::level_enabled(telemetry::Level::Debug) {
+        telemetry::debug(
+            "compress.rate_distortion",
+            vec![
+                ("quant_shift".to_string(), u64::from(quant_shift).into()),
+                ("ratio".to_string(), rd.ratio.into()),
+                ("psnr_db".to_string(), rd.psnr_db.into()),
+                ("max_error".to_string(), u64::from(rd.max_error).into()),
+            ],
+        );
     }
+    rd
 }
 
 #[cfg(test)]

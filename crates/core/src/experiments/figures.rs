@@ -394,7 +394,9 @@ mod tests {
     #[test]
     fn fig2_rows_sorted_by_year() {
         let r = fig2();
-        let years: Vec<i64> = r.rows.iter().map(|row| row[1].parse().unwrap()).collect();
+        let years: Vec<i64> = (0..r.rows.len())
+            .map(|i| r.cell(i, 1).expect("fig2 year column"))
+            .collect();
         assert!(years.windows(2).all(|w| w[0] <= w[1]));
     }
 
@@ -408,12 +410,12 @@ mod tests {
     fn fig7_shows_sublinear_capacity_gain() {
         let r = fig7();
         // The 2 kW row's ×Dove factor must be far below 2000/1.25 = 1600.
-        let row = r
+        let idx = r
             .rows
             .iter()
-            .find(|row| row[1] == "2000 W")
+            .position(|row| row[1] == "2000 W")
             .expect("2 kW sweep point");
-        let factor: f64 = row[3].parse().unwrap();
+        let factor: f64 = r.cell(idx, 3).expect("fig7 ×Dove column");
         assert!(factor < 20.0, "bandwidth-limited: got {factor}x");
     }
 

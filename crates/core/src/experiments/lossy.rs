@@ -56,8 +56,13 @@ mod tests {
     fn ratio_grows_and_quality_falls_along_each_sweep() {
         let r = lossy();
         for scene in ["urban", "rural"] {
-            let rows: Vec<_> = r.rows.iter().filter(|row| row[0] == scene).collect();
-            let ratios: Vec<f64> = rows.iter().map(|row| row[2].parse().unwrap()).collect();
+            let ratios: Vec<f64> = r
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| row[0] == scene)
+                .map(|(i, _)| r.cell(i, 2).expect("lossy ratio column"))
+                .collect();
             assert!(
                 ratios.windows(2).all(|w| w[1] >= w[0] * 0.98),
                 "{scene} ratios {ratios:?}"

@@ -16,7 +16,23 @@ mod placement;
 mod simval;
 mod tables;
 
+use std::fmt;
+use std::str::FromStr;
+
 use serde::{Deserialize, Serialize};
+
+/// A contextual error from [`ExperimentResult::cell`]: names the
+/// experiment, row, column, and offending raw text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError(String);
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CellError {}
 
 /// A regenerated experiment artifact: a titled table of rows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +80,38 @@ impl ExperimentResult {
     /// Appends a note.
     pub fn note(&mut self, text: impl Into<String>) {
         self.notes.push(text.into());
+    }
+
+    /// Parses the cell at (`row`, `col`) as `T`, with a contextual
+    /// error naming the experiment, position, and raw text — e.g.
+    /// `"fig10 row 3 col 1: invalid f64 'x'"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError`] when the position is out of range or the
+    /// cell text does not parse as `T`.
+    pub fn cell<T: FromStr>(&self, row: usize, col: usize) -> Result<T, CellError> {
+        let type_name = std::any::type_name::<T>().rsplit("::").next().unwrap_or("value");
+        let r = self.rows.get(row).ok_or_else(|| {
+            CellError(format!(
+                "{} row {row}: out of range ({} rows)",
+                self.id,
+                self.rows.len()
+            ))
+        })?;
+        let raw = r.get(col).ok_or_else(|| {
+            CellError(format!(
+                "{} row {row} col {col}: out of range ({} cols)",
+                self.id,
+                r.len()
+            ))
+        })?;
+        raw.parse().map_err(|_| {
+            CellError(format!(
+                "{} row {row} col {col}: invalid {type_name} '{raw}'",
+                self.id
+            ))
+        })
     }
 
     /// Renders an aligned plain-text table.
@@ -303,9 +351,16 @@ pub fn all() -> Vec<Experiment> {
     ]
 }
 
-/// Runs one experiment by id.
+/// Runs one experiment by id, emitting a telemetry span (`experiment`)
+/// that records the id, row count, and note count alongside the
+/// elapsed time.
 pub fn run(id: &str) -> Option<ExperimentResult> {
-    all().into_iter().find(|e| e.id == id).map(|e| (e.run)())
+    let e = all().into_iter().find(|e| e.id == id)?;
+    let mut span = telemetry::span!("experiment", id = e.id);
+    let result = (e.run)();
+    span.record("rows", result.rows.len() as u64);
+    span.record("notes", result.notes.len() as u64);
+    Some(result)
 }
 
 #[cfg(test)]
@@ -342,5 +397,27 @@ mod tests {
         let mut r = ExperimentResult::new("t", "test", &["x"]);
         r.push_row(["a,b"]);
         assert!(r.to_csv().contains("\"a,b\""));
+    }
+
+    #[test]
+    fn cell_parses_typed_values() {
+        let mut r = ExperimentResult::new("fig10", "test", &["name", "value"]);
+        r.push_row(["a", "1.5"]);
+        r.push_row(["b", "7"]);
+        assert_eq!(r.cell::<f64>(0, 1).unwrap(), 1.5);
+        assert_eq!(r.cell::<i64>(1, 1).unwrap(), 7);
+        assert_eq!(r.cell::<String>(0, 0).unwrap(), "a");
+    }
+
+    #[test]
+    fn cell_errors_name_the_position_and_raw_text() {
+        let mut r = ExperimentResult::new("fig10", "test", &["name", "value"]);
+        r.push_row(["a", "x"]);
+        let err = r.cell::<f64>(0, 1).unwrap_err();
+        assert_eq!(err.to_string(), "fig10 row 0 col 1: invalid f64 'x'");
+        let err = r.cell::<f64>(3, 1).unwrap_err();
+        assert_eq!(err.to_string(), "fig10 row 3: out of range (1 rows)");
+        let err = r.cell::<f64>(0, 9).unwrap_err();
+        assert_eq!(err.to_string(), "fig10 row 0 col 9: out of range (2 cols)");
     }
 }

@@ -41,6 +41,14 @@ pub fn placement() -> ExperimentResult {
         geo_ecl.eclipse_days.to_string(),
     ]);
 
+    telemetry::debug(
+        "placement.eclipse",
+        vec![
+            ("leo_fraction".to_string(), leo_ecl.mean_fraction.into()),
+            ("geo_fraction".to_string(), geo_ecl.mean_fraction.into()),
+        ],
+    );
+
     // Power subsystem.
     let leo_eps = size_for_orbit(
         load,
@@ -66,6 +74,16 @@ pub fn placement() -> ExperimentResult {
         trim_float(leo_eps.battery_mass.as_kg().round()),
         trim_float(geo_eps.battery_mass.as_kg().round()),
     ]);
+
+    telemetry::debug(
+        "placement.power",
+        vec![
+            ("leo_array_w".to_string(), leo_eps.array_power.as_watts().into()),
+            ("geo_array_w".to_string(), geo_eps.array_power.as_watts().into()),
+            ("leo_battery_kg".to_string(), leo_eps.battery_mass.as_kg().into()),
+            ("geo_battery_kg".to_string(), geo_eps.battery_mass.as_kg().into()),
+        ],
+    );
 
     // Station-keeping and disposal.
     r.push_row([

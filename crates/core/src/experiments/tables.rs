@@ -272,19 +272,18 @@ mod tests {
     #[test]
     fn table4_rgb_ratios_are_moderate_and_sar_ratios_huge() {
         let r = table4();
-        let parse = |row: &Vec<String>, idx: usize| -> f64 { row[idx].parse().unwrap() };
-        let rgb = &r.rows[0];
-        let sar = &r.rows[1];
+        let (rgb, sar) = (0, 1);
+        let cell = |row: usize, idx: usize| -> f64 { r.cell(row, idx).expect("table4 ratio") };
         // RGB row: all lossless ratios in [1, 8].
-        for i in 1..rgb.len() {
-            let v = parse(rgb, i);
+        for i in 1..r.rows[rgb].len() {
+            let v = cell(rgb, i);
             assert!((1.0..8.0).contains(&v), "RGB {} = {v}", r.columns[i]);
         }
         // SAR: zip-family ≥ 10× RGB; CCSDS stuck near its Rice floor.
         let col = |name: &str| r.columns.iter().position(|c| c == name).unwrap();
-        assert!(parse(sar, col("Zip")) > 10.0 * parse(rgb, col("Zip")));
-        assert!(parse(sar, col("CCSDS")) < 16.0);
-        assert!(parse(sar, col("RLE")) > 5.0);
+        assert!(cell(sar, col("Zip")) > 10.0 * cell(rgb, col("Zip")));
+        assert!(cell(sar, col("CCSDS")) < 16.0);
+        assert!(cell(sar, col("RLE")) > 5.0);
     }
 
     #[test]

@@ -23,6 +23,10 @@ use workloads::Application;
 
 use crate::sizing::SudcSpec;
 
+/// The workspace-wide default RNG seed used by the paper-reference
+/// configuration and the repro CLI's run manifest.
+pub const PAPER_SEED: u64 = 0xEC0_5A7;
+
 /// The ingest network shape the simulation plays out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SimTopology {
@@ -103,7 +107,7 @@ impl SimConfig {
             frame: FrameSpec::paper(),
             duration: Time::from_minutes(5.0),
             failures: Vec::new(),
-            seed: 0xEC0_5A7,
+            seed: PAPER_SEED,
         }
     }
 
@@ -177,6 +181,9 @@ pub struct SimReport {
     pub goodput: f64,
     /// Whether the configuration kept up (backlog stayed bounded).
     pub stable: bool,
+    /// Event-calendar counters (deterministic for a given config/seed).
+    #[serde(default)]
+    pub scheduler: simkit::SchedulerCounters,
 }
 
 /// Per-run mutable state.
@@ -320,6 +327,7 @@ pub fn run(cfg: &SimConfig) -> SimReport {
     };
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
+    sched.enable_probe();
     // Stagger first frames uniformly over one period to avoid a thundering
     // herd at t = 0.
     let period = cfg.frame.period;
@@ -414,6 +422,12 @@ pub fn run(cfg: &SimConfig) -> SimReport {
     let stable =
         goodput > 0.9 && residual.as_bits() < per_cluster_ingest * clusters as f64 * 3.0;
 
+    if telemetry::level_enabled(telemetry::Level::Debug) {
+        if let Some(rep) = sched.probe_report() {
+            telemetry::debug("sim.scheduler", rep.fields());
+        }
+    }
+
     SimReport {
         generated: st.generated,
         kept: st.kept,
@@ -431,6 +445,7 @@ pub fn run(cfg: &SimConfig) -> SimReport {
         lost_to_failures: st.lost_to_failures,
         goodput,
         stable,
+        scheduler: sched.probe_counters().unwrap_or_default(),
     }
 }
 
@@ -531,6 +546,18 @@ mod tests {
         let a = quick(Application::UrbanEmergency, 1.0, 0.5, 2);
         let b = quick(Application::UrbanEmergency, 1.0, 0.5, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scheduler_counters_are_populated_and_reproducible() {
+        let a = quick(Application::AirPollution, 3.0, 0.5, 1);
+        let b = quick(Application::AirPollution, 3.0, 0.5, 1);
+        assert!(a.scheduler.scheduled > 0, "{:?}", a.scheduler);
+        assert!(a.scheduler.processed > 0);
+        assert!(a.scheduler.peak_queue_depth > 0);
+        // Horizon cutoff: some scheduled events go unprocessed.
+        assert!(a.scheduler.processed <= a.scheduler.scheduled);
+        assert_eq!(a.scheduler, b.scheduler, "counters must be seed-deterministic");
     }
 
     #[test]

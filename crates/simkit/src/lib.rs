@@ -33,7 +33,9 @@ pub mod stats;
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
 use units::Time;
 
 /// An event drawn from the calendar.
@@ -74,16 +76,107 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Deterministic event-calendar counters gathered by an enabled probe
+/// (see [`Scheduler::enable_probe`]). Everything here depends only on
+/// the event stream, so two runs with the same seed produce identical
+/// counters.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize,
+)]
+pub struct SchedulerCounters {
+    /// Events pushed onto the calendar.
+    pub scheduled: u64,
+    /// Events popped off the calendar.
+    pub processed: u64,
+    /// High-water mark of pending events.
+    pub peak_queue_depth: u64,
+}
+
+/// A probe report combining the deterministic [`SchedulerCounters`]
+/// with wall-clock throughput figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerReport {
+    /// Deterministic event counters.
+    pub counters: SchedulerCounters,
+    /// Simulation time reached (time of the last popped event).
+    pub sim_time: Time,
+    /// Wall-clock time since the probe was enabled.
+    pub wall: Duration,
+    /// Simulated seconds advanced per wall-clock second — the
+    /// simulator's headline throughput figure.
+    pub sim_seconds_per_wall_second: f64,
+    /// Events processed per wall-clock second.
+    pub events_per_wall_second: f64,
+}
+
+impl SchedulerReport {
+    /// The report as telemetry event fields (for
+    /// [`telemetry::debug`]-style emission).
+    pub fn fields(&self) -> Vec<(String, telemetry::Value)> {
+        vec![
+            ("scheduled".to_string(), self.counters.scheduled.into()),
+            ("processed".to_string(), self.counters.processed.into()),
+            (
+                "peak_queue_depth".to_string(),
+                self.counters.peak_queue_depth.into(),
+            ),
+            ("sim_time_s".to_string(), self.sim_time.as_secs().into()),
+            ("wall_ms".to_string(), (self.wall.as_secs_f64() * 1e3).into()),
+            (
+                "sim_s_per_wall_s".to_string(),
+                self.sim_seconds_per_wall_second.into(),
+            ),
+            (
+                "events_per_wall_s".to_string(),
+                self.events_per_wall_second.into(),
+            ),
+        ]
+    }
+
+    /// Exports the report into a [`telemetry::Metrics`] registry under
+    /// `<prefix>.…` names.
+    pub fn export(&self, metrics: &telemetry::Metrics, prefix: &str) {
+        metrics.inc(&format!("{prefix}.scheduled"), self.counters.scheduled);
+        metrics.inc(&format!("{prefix}.processed"), self.counters.processed);
+        metrics.gauge(
+            &format!("{prefix}.peak_queue_depth"),
+            self.counters.peak_queue_depth as f64,
+        );
+        metrics.gauge(&format!("{prefix}.sim_time_s"), self.sim_time.as_secs());
+        metrics.gauge(
+            &format!("{prefix}.sim_s_per_wall_s"),
+            self.sim_seconds_per_wall_second,
+        );
+        metrics.gauge(
+            &format!("{prefix}.events_per_wall_s"),
+            self.events_per_wall_second,
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Probe {
+    counters: SchedulerCounters,
+    started: Instant,
+}
+
 /// A discrete-event calendar with deterministic tie-breaking.
 ///
 /// Events scheduled for the same instant fire in insertion order, which
 /// makes simulation runs bit-for-bit reproducible.
+///
+/// An optional telemetry probe (see [`Scheduler::enable_probe`]) counts
+/// scheduled/processed events and the queue-depth high-water mark, and
+/// reports simulated-seconds-per-wall-second throughput. When the probe
+/// is disabled (the default) the only cost is one `Option` check per
+/// operation.
 #[derive(Debug, Clone)]
 pub struct Scheduler<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     now: Time,
     seq: u64,
     processed: u64,
+    probe: Option<Probe>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -100,7 +193,52 @@ impl<E> Scheduler<E> {
             now: Time::ZERO,
             seq: 0,
             processed: 0,
+            probe: None,
         }
+    }
+
+    /// Turns on the telemetry probe (restarting its counters and wall
+    /// clock if already enabled).
+    pub fn enable_probe(&mut self) {
+        self.probe = Some(Probe {
+            counters: SchedulerCounters::default(),
+            started: Instant::now(),
+        });
+    }
+
+    /// Whether the telemetry probe is enabled.
+    pub fn probe_enabled(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// Deterministic probe counters (`None` while the probe is
+    /// disabled).
+    pub fn probe_counters(&self) -> Option<SchedulerCounters> {
+        self.probe.as_ref().map(|p| p.counters)
+    }
+
+    /// Full probe report including wall-clock throughput (`None` while
+    /// the probe is disabled).
+    pub fn probe_report(&self) -> Option<SchedulerReport> {
+        self.probe.as_ref().map(|p| {
+            let wall = p.started.elapsed();
+            let wall_s = wall.as_secs_f64();
+            SchedulerReport {
+                counters: p.counters,
+                sim_time: self.now,
+                wall,
+                sim_seconds_per_wall_second: if wall_s > 0.0 {
+                    self.now.as_secs() / wall_s
+                } else {
+                    0.0
+                },
+                events_per_wall_second: if wall_s > 0.0 {
+                    p.counters.processed as f64 / wall_s
+                } else {
+                    0.0
+                },
+            }
+        })
     }
 
     /// Current simulation time (time of the last popped event).
@@ -142,6 +280,11 @@ impl<E> Scheduler<E> {
             payload,
         }));
         self.seq += 1;
+        if let Some(p) = self.probe.as_mut() {
+            p.counters.scheduled += 1;
+            p.counters.peak_queue_depth =
+                p.counters.peak_queue_depth.max(self.heap.len() as u64);
+        }
     }
 
     /// Schedules `payload` after a delay from the current time.
@@ -169,6 +312,9 @@ impl<E> Scheduler<E> {
         let Reverse(s) = self.heap.pop()?;
         self.now = Time::from_secs(s.time_s);
         self.processed += 1;
+        if let Some(p) = self.probe.as_mut() {
+            p.counters.processed += 1;
+        }
         Some(Event {
             time: self.now,
             payload: s.payload,
@@ -279,6 +425,62 @@ mod tests {
         });
         assert_eq!(ticks, 10);
         assert_eq!(s.len(), 1, "the 11th tick remains scheduled");
+    }
+
+    #[test]
+    fn probe_is_off_by_default_and_counts_when_enabled() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        assert!(!s.probe_enabled());
+        assert_eq!(s.probe_counters(), None);
+        s.enable_probe();
+        s.schedule_at(Time::from_secs(1.0), 1);
+        s.schedule_at(Time::from_secs(2.0), 2);
+        s.pop();
+        let c = s.probe_counters().expect("probe enabled");
+        assert_eq!(c.scheduled, 2);
+        assert_eq!(c.processed, 1);
+        assert_eq!(c.peak_queue_depth, 2);
+        let report = s.probe_report().expect("probe enabled");
+        assert_eq!(report.counters, c);
+        assert_eq!(report.sim_time, Time::from_secs(1.0));
+    }
+
+    #[test]
+    fn probe_counters_are_reproducible_across_identical_runs() {
+        let run = || {
+            let mut s: Scheduler<usize> = Scheduler::new();
+            s.enable_probe();
+            // A cascading workload: every event schedules two children
+            // until the horizon, so counters depend on the full dynamics.
+            s.schedule_at(Time::ZERO, 0);
+            let mut depth = 0usize;
+            run_until(&mut s, &mut depth, Time::from_secs(6.0), |_, sched, ev| {
+                if ev.payload < 5 {
+                    sched.schedule_in(Time::from_secs(1.0), ev.payload + 1);
+                    sched.schedule_in(Time::from_secs(2.0), ev.payload + 1);
+                }
+            });
+            s.probe_counters().expect("probe enabled")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same workload must give identical counters");
+        assert!(a.scheduled > 0 && a.processed > 0 && a.peak_queue_depth > 0);
+    }
+
+    #[test]
+    fn probe_report_exports_into_metrics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.enable_probe();
+        s.schedule_at(Time::from_secs(3.0), ());
+        s.pop();
+        let report = s.probe_report().unwrap();
+        let metrics = telemetry::Metrics::new();
+        report.export(&metrics, "sched");
+        assert_eq!(metrics.counter_value("sched.scheduled"), 1);
+        assert_eq!(metrics.counter_value("sched.processed"), 1);
+        assert_eq!(metrics.gauge_value("sched.sim_time_s"), Some(3.0));
+        assert!(report.fields().iter().any(|(k, _)| k == "sim_s_per_wall_s"));
     }
 
     proptest! {

@@ -73,6 +73,18 @@ impl Tally {
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
     }
+
+    /// Exports the tally into a [`telemetry::Metrics`] registry as
+    /// `<name>.count` / `.mean` / `.std_dev` / `.min` / `.max`.
+    pub fn export(&self, metrics: &telemetry::Metrics, name: &str) {
+        metrics.inc(&format!("{name}.count"), self.count);
+        metrics.gauge(&format!("{name}.mean"), self.mean());
+        metrics.gauge(&format!("{name}.std_dev"), self.std_dev());
+        if let (Some(min), Some(max)) = (self.min(), self.max()) {
+            metrics.gauge(&format!("{name}.min"), min);
+            metrics.gauge(&format!("{name}.max"), max);
+        }
+    }
 }
 
 /// Time-weighted average of a piecewise-constant signal (e.g. queue
@@ -150,6 +162,15 @@ impl TimeWeighted {
     pub fn current(&self) -> f64 {
         self.last_value
     }
+
+    /// Exports the collector into a [`telemetry::Metrics`] registry as
+    /// `<name>.mean` (over `[first update, until]`) / `.peak` /
+    /// `.current`.
+    pub fn export(&self, metrics: &telemetry::Metrics, name: &str, until: Time) {
+        metrics.gauge(&format!("{name}.mean"), self.mean_until(until));
+        metrics.gauge(&format!("{name}.peak"), self.peak());
+        metrics.gauge(&format!("{name}.current"), self.current());
+    }
 }
 
 /// Fixed-bucket histogram over `[lo, hi)` with overflow/underflow bins.
@@ -224,11 +245,21 @@ impl Histogram {
         }
         self.hi
     }
+
+    /// Exports the histogram into a [`telemetry::Metrics`] registry as
+    /// `<name>.count` / `.p50` / `.p90` / `.p99`.
+    pub fn export(&self, metrics: &telemetry::Metrics, name: &str) {
+        metrics.inc(&format!("{name}.count"), self.total());
+        metrics.gauge(&format!("{name}.p50"), self.quantile(0.5));
+        metrics.gauge(&format!("{name}.p90"), self.quantile(0.9));
+        metrics.gauge(&format!("{name}.p99"), self.quantile(0.99));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn tally_mean_and_variance() {
@@ -297,5 +328,140 @@ mod tests {
         let mut h = Histogram::new(0.0, 1.0, 4);
         h.record(0.9);
         assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn time_weighted_three_step_signal_matches_hand_integral() {
+        // Signal: 2 on [1, 3), 5 on [3, 7), 1 on [7, 10].
+        // ∫ = 2·2 + 5·4 + 1·3 = 27 over a span of 9 → mean 3.
+        let mut tw = TimeWeighted::new();
+        tw.update(Time::from_secs(1.0), 2.0);
+        tw.update(Time::from_secs(3.0), 5.0);
+        tw.update(Time::from_secs(7.0), 1.0);
+        let mean = tw.mean_until(Time::from_secs(10.0));
+        assert!((mean - 3.0).abs() < 1e-12, "got {mean}");
+        assert_eq!(tw.peak(), 5.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_match_hand_computed_ranks() {
+        // 3 samples in bucket [0,1), 4 in [4,5), 3 in [9,10).
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..3 {
+            h.record(0.5);
+        }
+        for _ in 0..4 {
+            h.record(4.5);
+        }
+        for _ in 0..3 {
+            h.record(9.5);
+        }
+        // Rank 5 of 10 lands in the [4,5) bucket → midpoint 4.5.
+        assert_eq!(h.quantile(0.5), 4.5);
+        // Rank 9 lands in [9,10) → 9.5; rank 1 in [0,1) → 0.5.
+        assert_eq!(h.quantile(0.9), 9.5);
+        assert_eq!(h.quantile(0.05), 0.5);
+    }
+
+    #[test]
+    fn collectors_export_into_telemetry_metrics() {
+        let metrics = telemetry::Metrics::new();
+
+        let mut t = Tally::new();
+        t.record(2.0);
+        t.record(4.0);
+        t.export(&metrics, "latency");
+        assert_eq!(metrics.counter_value("latency.count"), 2);
+        assert_eq!(metrics.gauge_value("latency.mean"), Some(3.0));
+        assert_eq!(metrics.gauge_value("latency.max"), Some(4.0));
+
+        let mut tw = TimeWeighted::new();
+        tw.update(Time::ZERO, 0.0);
+        tw.update(Time::from_secs(10.0), 10.0);
+        tw.export(&metrics, "backlog", Time::from_secs(20.0));
+        assert_eq!(metrics.gauge_value("backlog.mean"), Some(5.0));
+        assert_eq!(metrics.gauge_value("backlog.peak"), Some(10.0));
+
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(4.5);
+        h.export(&metrics, "hops");
+        assert_eq!(metrics.counter_value("hops.count"), 1);
+        assert_eq!(metrics.gauge_value("hops.p50"), Some(4.5));
+    }
+
+    proptest! {
+        /// The time-weighted mean is exactly the hand-computed Riemann
+        /// sum of the step signal divided by the observed span.
+        #[test]
+        fn time_weighted_mean_matches_hand_integral(
+            steps in prop::collection::vec((0.0f64..50.0, -100.0f64..100.0), 1..20),
+            tail in 1.0f64..25.0,
+        ) {
+            let mut tw = TimeWeighted::new();
+            let mut t = 0.0f64;
+            let mut points: Vec<(f64, f64)> = Vec::new();
+            for (gap, value) in steps {
+                t += gap;
+                tw.update(Time::from_secs(t), value);
+                points.push((t, value));
+            }
+            let horizon = t + tail;
+            let mut integral = 0.0f64;
+            for pair in points.windows(2) {
+                integral += pair[0].1 * (pair[1].0 - pair[0].0);
+            }
+            let last = points.last().unwrap();
+            integral += last.1 * (horizon - last.0);
+            let expected = integral / (horizon - points[0].0);
+            let got = tw.mean_until(Time::from_secs(horizon));
+            prop_assert!(
+                (got - expected).abs() <= 1e-9 * (1.0 + expected.abs()),
+                "got {got}, hand-computed {expected}"
+            );
+        }
+
+        /// The bucket-interpolated quantile never strays more than half
+        /// a bucket width from the exact rank statistic it targets.
+        #[test]
+        fn histogram_quantile_tracks_exact_rank_statistic(
+            samples in prop::collection::vec(0.0f64..100.0, 1..200),
+            q in 0.0f64..1.0,
+        ) {
+            let buckets = 200usize;
+            let width = 100.0 / buckets as f64;
+            let mut h = Histogram::new(0.0, 100.0, buckets);
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            // Mirror the implementation's rank convention.
+            let target = (q * sorted.len() as f64).round() as usize;
+            let got = h.quantile(q);
+            if target == 0 {
+                prop_assert_eq!(got, 0.0);
+            } else {
+                let exact = sorted[target - 1];
+                prop_assert!(
+                    (got - exact).abs() <= width / 2.0 + 1e-12,
+                    "quantile({q}) = {got}, exact rank statistic {exact}"
+                );
+            }
+        }
+
+        /// Tally mean/min/max agree with the naive recomputation.
+        #[test]
+        fn tally_matches_naive_summary(
+            samples in prop::collection::vec(-1e6f64..1e6, 1..100)
+        ) {
+            let mut t = Tally::new();
+            for &s in &samples {
+                t.record(s);
+            }
+            let naive_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            prop_assert!((t.mean() - naive_mean).abs() <= 1e-6 * (1.0 + naive_mean.abs()));
+            prop_assert_eq!(t.min().unwrap(), samples.iter().copied().fold(f64::INFINITY, f64::min));
+            prop_assert_eq!(t.max().unwrap(), samples.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        }
     }
 }

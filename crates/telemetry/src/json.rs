@@ -1,0 +1,227 @@
+//! Minimal JSON encoding.
+//!
+//! The workspace builds in offline environments, so this crate hand-rolls
+//! the small JSON subset it needs (objects, arrays, strings, numbers,
+//! booleans, null) instead of depending on `serde_json`. Output is always
+//! valid JSON; non-finite floats are encoded as `null`.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` as JSON string *contents* (no surrounding
+/// quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a quoted JSON string.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Renders a JSON number (`null` for NaN/infinite values, which JSON
+/// cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` prints the shortest representation that round-trips.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incrementally built JSON object.
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a field whose value is already rendered JSON.
+    pub fn field_raw(&mut self, key: &str, raw_json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw_json);
+        self
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn field_i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a `null` field.
+    pub fn field_null(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Closes the object and returns the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// An incrementally built JSON array.
+#[derive(Debug, Clone)]
+pub struct JsonArray {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Appends an already-rendered JSON value.
+    pub fn push_raw(&mut self, raw_json: &str) -> &mut Self {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(raw_json);
+        self
+    }
+
+    /// Appends a string value.
+    pub fn push_str(&mut self, value: &str) -> &mut Self {
+        let rendered = string(value);
+        self.push_raw(&rendered)
+    }
+
+    /// Closes the array and returns the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_is_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(-3.0), "-3");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_builder_produces_valid_json() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "fig8")
+            .field_u64("rows", 160)
+            .field_f64("wall_ms", 1.25)
+            .field_bool("ok", true)
+            .field_null("err");
+        assert_eq!(
+            o.finish(),
+            r#"{"name":"fig8","rows":160,"wall_ms":1.25,"ok":true,"err":null}"#
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+
+    #[test]
+    fn array_builder_separates_elements() {
+        let mut a = JsonArray::new();
+        a.push_str("x").push_raw("7").push_str("y");
+        assert_eq!(a.finish(), r#"["x",7,"y"]"#);
+    }
+}
