@@ -1,8 +1,8 @@
 //! Compression-codec throughput benchmarks on the synthetic scenes used
 //! by the Table 4 reproduction.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use compress::CodecKind;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use imagery::synth::{Scene, SceneKind};
 
 fn bench_compress(c: &mut Criterion) {
@@ -14,11 +14,9 @@ fn bench_compress(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(img.data().len() as u64));
         for kind in CodecKind::ALL {
             let codec = kind.raster_codec();
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), label),
-                img,
-                |b, img| b.iter(|| black_box(codec.compress_raster(img)).len()),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), label), img, |b, img| {
+                b.iter(|| black_box(codec.compress_raster(img)).len())
+            });
         }
     }
     group.finish();
@@ -46,7 +44,11 @@ fn bench_decompress(c: &mut Criterion) {
 
 fn bench_scene_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesize");
-    for kind in [SceneKind::UrbanRgb, SceneKind::SarOcean, SceneKind::CloudyRgb] {
+    for kind in [
+        SceneKind::UrbanRgb,
+        SceneKind::SarOcean,
+        SceneKind::CloudyRgb,
+    ] {
         group.bench_function(format!("{kind}"), |b| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -58,5 +60,10 @@ fn bench_scene_synthesis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_decompress, bench_scene_synthesis);
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_decompress,
+    bench_scene_synthesis
+);
 criterion_main!(benches);

@@ -23,11 +23,8 @@ fn bench_table8_grid(c: &mut Criterion) {
             for res_m in [3.0, 1.0, 0.3, 0.1] {
                 for ed in [0.0, 0.5, 0.95, 0.99] {
                     for gbps in [1.0, 10.0, 100.0] {
-                        acc += ring_supportable(
-                            DataRate::from_gbps(gbps),
-                            Length::from_m(res_m),
-                            ed,
-                        );
+                        acc +=
+                            ring_supportable(DataRate::from_gbps(gbps), Length::from_m(res_m), ed);
                     }
                 }
             }
@@ -59,11 +56,8 @@ fn bench_ablation_model_vs_sim(c: &mut Criterion) {
 
     group.bench_function("simulation_30s", |b| {
         b.iter(|| {
-            let mut cfg = SimConfig::paper_reference(
-                Application::FloodDetection,
-                Length::from_m(1.0),
-                0.5,
-            );
+            let mut cfg =
+                SimConfig::paper_reference(Application::FloodDetection, Length::from_m(1.0), 0.5);
             cfg.isl_capacity = DataRate::from_gbps(100.0);
             cfg.clusters = 4;
             cfg.duration = Time::from_secs(30.0);

@@ -46,9 +46,7 @@ fn bench_ground_track(c: &mut Criterion) {
         OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(97.5)).unwrap();
     c.bench_function("ground_track_256pts", |b| {
         b.iter(|| {
-            black_box(
-                orbit::groundtrack::ground_track(&elements, elements.period(), 256).unwrap(),
-            )
+            black_box(orbit::groundtrack::ground_track(&elements, elements.period(), 256).unwrap())
         })
     });
 }

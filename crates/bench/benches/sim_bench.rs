@@ -26,10 +26,7 @@ fn bench_scheduler(c: &mut Criterion) {
 fn bench_constellation_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("constellation_sim");
     group.sample_size(10);
-    for (label, res, discard) in [
-        ("3m_ed95", 3.0, 0.95),
-        ("1m_ed50", 1.0, 0.5),
-    ] {
+    for (label, res, discard) in [("3m_ed95", 3.0, 0.95), ("1m_ed50", 1.0, 0.5)] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut cfg = SimConfig::paper_reference(

@@ -32,6 +32,65 @@ struct Cli {
     quiet: bool,
     metrics_out: Option<PathBuf>,
     jsonl: Option<PathBuf>,
+    axes: Vec<(String, Vec<f64>)>,
+    threads: usize,
+    no_cache: bool,
+    bench: bool,
+}
+
+/// Parses an `--axis name=SPEC` argument. SPEC is a comma list
+/// (`2,4,8,16`), an inclusive integer range (`1..8`), or a
+/// `start:stop:step` float range (`0:0.99:0.05`, stop inclusive up to
+/// rounding).
+fn parse_axis_spec(arg: &str) -> Result<(String, Vec<f64>), String> {
+    let (name, spec) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("--axis wants name=values, got '{arg}'"))?;
+    if name.is_empty() {
+        return Err(format!("--axis wants name=values, got '{arg}'"));
+    }
+    let bad = |what: &str| format!("axis '{name}': cannot parse '{what}' in '{spec}'");
+    let values = if let Some((a, b)) = spec.split_once("..") {
+        let lo: i64 = a.parse().map_err(|_| bad(a))?;
+        let hi: i64 = b.parse().map_err(|_| bad(b))?;
+        if lo > hi {
+            return Err(format!("axis '{name}': empty range {lo}..{hi}"));
+        }
+        (lo..=hi).map(|v| v as f64).collect()
+    } else if spec.matches(':').count() == 2 {
+        let mut parts = spec.split(':');
+        let start: f64 = parts
+            .next()
+            .map_or(Err(bad(spec)), |p| p.parse().map_err(|_| bad(p)))?;
+        let stop: f64 = parts
+            .next()
+            .map_or(Err(bad(spec)), |p| p.parse().map_err(|_| bad(p)))?;
+        let step: f64 = parts
+            .next()
+            .map_or(Err(bad(spec)), |p| p.parse().map_err(|_| bad(p)))?;
+        if !(step > 0.0) || !start.is_finite() || !stop.is_finite() {
+            return Err(format!("axis '{name}': bad range '{spec}' (need step > 0)"));
+        }
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        loop {
+            let v = start + i as f64 * step;
+            if v > stop + step * 1e-9 {
+                break;
+            }
+            out.push(v);
+            i += 1;
+        }
+        out
+    } else {
+        spec.split(',')
+            .map(|p| p.trim().parse::<f64>().map_err(|_| bad(p)))
+            .collect::<Result<Vec<f64>, String>>()?
+    };
+    if values.is_empty() {
+        return Err(format!("axis '{name}': no values in '{spec}'"));
+    }
+    Ok((name.to_string(), values))
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -41,6 +100,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         quiet: false,
         metrics_out: None,
         jsonl: None,
+        axes: Vec::new(),
+        threads: 4,
+        no_cache: false,
+        bench: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -55,6 +118,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let path = it.next().ok_or("--jsonl requires a path")?;
                 cli.jsonl = Some(PathBuf::from(path));
             }
+            "--axis" => {
+                let spec = it.next().ok_or("--axis requires name=values")?;
+                cli.axes.push(parse_axis_spec(spec)?);
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads requires a count")?;
+                cli.threads = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--threads wants a count >= 1, got '{n}'"))?;
+            }
+            "--no-cache" => cli.no_cache = true,
+            "--bench" => cli.bench = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag} (try `repro help`)"));
             }
@@ -90,6 +167,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if cli.ids.first().map(String::as_str) == Some("explore") {
+        return run_explore(&cli);
+    }
+
     // Telemetry: stderr pretty-printer at the chosen verbosity, plus an
     // optional JSONL event log.
     let stderr_level = if cli.trace {
@@ -112,7 +193,10 @@ fn main() -> ExitCode {
     }
 
     let ids: Vec<String> = if cli.ids.first().map(String::as_str) == Some("all") {
-        experiments::all().iter().map(|e| e.id.to_string()).collect()
+        experiments::all()
+            .iter()
+            .map(|e| e.id.to_string())
+            .collect()
     } else {
         cli.ids.clone()
     };
@@ -213,6 +297,189 @@ fn main() -> ExitCode {
     }
 }
 
+/// `repro explore [sweep...]` — run named design-space sweeps through
+/// the explore engine, write grid + Pareto-frontier artifacts, and
+/// record throughput/cache statistics in `BENCH_explore.json`.
+fn run_explore(cli: &Cli) -> ExitCode {
+    let names: Vec<String> = cli.ids[1..].to_vec();
+
+    if names.first().map(String::as_str) == Some("list") {
+        println!("available sweeps:");
+        for def in sudc::sweeps::all() {
+            println!("  {:10}  {}", def.name, def.title);
+            for axis in &def.axes {
+                let default: Vec<String> = axis
+                    .default
+                    .iter()
+                    .map(|&v| {
+                        if axis.integer {
+                            format!("{}", v as i64)
+                        } else {
+                            format!("{v}")
+                        }
+                    })
+                    .collect();
+                println!(
+                    "              --axis {}=…  {} (default {})",
+                    axis.name,
+                    axis.help,
+                    default.join(",")
+                );
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let names: Vec<String> = if names.is_empty() {
+        sudc::sweeps::all()
+            .iter()
+            .map(|d| d.name.to_string())
+            .collect()
+    } else {
+        names
+    };
+    if !cli.axes.is_empty() && names.len() != 1 {
+        eprintln!(
+            "error: --axis needs exactly one sweep name (got {})",
+            names.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let opts = if cli.threads <= 1 {
+        explore::ExecOptions::sequential()
+    } else {
+        explore::ExecOptions::threads(cli.threads)
+    };
+    let results_dir = bench::results_dir();
+    let cache_dir = (!cli.no_cache).then(|| results_dir.join("cache"));
+
+    let mut manifest = RunManifest::new("explore", sudc::sim::PAPER_SEED);
+    manifest.param("threads", cli.threads as u64);
+    manifest.param("cached", !cli.no_cache);
+    manifest.param("sweep_count", names.len() as u64);
+    let metrics = telemetry::Metrics::new();
+    let mut reports: Vec<bench::SweepReportRow> = Vec::new();
+    let mut failed = false;
+
+    for name in &names {
+        match sudc::sweeps::run(name, &cli.axes, &opts, cache_dir.as_deref()) {
+            Ok(run) => {
+                manifest.record_experiment(&run.grid.id);
+                metrics.inc("explore.points", run.stats.points as u64);
+                metrics.inc("explore.evaluated", run.stats.evaluated as u64);
+                metrics.inc("explore.cache_hits", run.stats.cache_hits as u64);
+                metrics.inc("explore.steals", run.stats.steals as u64);
+                metrics.observe("explore.points_per_sec", run.stats.points_per_sec());
+                if !cli.quiet {
+                    println!("{}", run.frontier.to_text_table());
+                }
+                reports.push(bench::SweepReportRow::from_stats(
+                    name,
+                    &run.stats,
+                    run.frontier.rows.len(),
+                    run.cache_written.is_some(),
+                ));
+                for result in [&run.grid, &run.frontier] {
+                    match bench::write_artifacts(result) {
+                        Ok(path) => {
+                            if !cli.quiet {
+                                println!("wrote {}", path.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("error writing artifacts for {}: {e}", result.id);
+                            failed = true;
+                        }
+                    }
+                }
+                if !cli.quiet {
+                    println!();
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    // Throughput benchmark: sequential vs parallel on dense versions of
+    // the Fig. 13 and Fig. 11 spaces. Runs in the default all-sweeps
+    // mode or on request; skipped when specific sweeps were named.
+    let bench_rows = if cli.bench || cli.ids.len() == 1 {
+        let rows = bench::explore_bench(cli.threads.max(2), 3);
+        for row in &rows {
+            metrics.observe("explore.bench.speedup", row.speedup);
+            if !cli.quiet {
+                println!(
+                    "bench {}: {} points, seq {:.1} ms, {} threads {:.1} ms, \
+                     {:.2}x on {} core(s), identical={}",
+                    row.space,
+                    row.points,
+                    row.seq_ms,
+                    row.threads,
+                    row.par_ms,
+                    row.speedup,
+                    row.cores,
+                    row.identical
+                );
+            }
+            if !row.identical {
+                eprintln!(
+                    "error: parallel sweep of {} diverged from sequential",
+                    row.space
+                );
+                failed = true;
+            }
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+
+    manifest.finish();
+    match manifest.write_to(&results_dir) {
+        Ok(path) => telemetry::info(
+            "explore.manifest",
+            vec![("path".to_string(), path.display().to_string().into())],
+        ),
+        Err(e) => {
+            eprintln!("error writing run manifest: {e}");
+            failed = true;
+        }
+    }
+
+    let report_path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| results_dir.join("BENCH_explore.json"));
+    if let Err(e) =
+        bench::write_explore_json(&report_path, &manifest, &reports, &bench_rows, &metrics)
+    {
+        eprintln!("error writing {}: {e}", report_path.display());
+        failed = true;
+    } else if !cli.quiet {
+        println!("wrote {}", report_path.display());
+    }
+
+    telemetry::info(
+        "explore.done",
+        vec![
+            ("sweeps".to_string(), (reports.len() as u64).into()),
+            ("duration_s".to_string(), manifest.duration_s().into()),
+            ("failed".to_string(), failed.into()),
+        ],
+    );
+    telemetry::flush();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn usage() {
     println!(
         "repro — regenerate the Space Microdatacenters paper's tables and figures\n\
@@ -221,16 +488,28 @@ fn usage() {
            repro list                 list experiment ids\n\
            repro <id> [<id>...]       run specific experiments\n\
            repro all                  run everything\n\
+           repro explore [sweep...]   run design-space sweeps through the\n\
+                                      explore engine (default: all sweeps\n\
+                                      plus a throughput benchmark)\n\
+           repro explore list         list sweeps and their axes\n\
          \n\
          flags:\n\
            --trace                    debug-level telemetry on stderr\n\
            --quiet                    suppress tables; warnings only\n\
            --metrics-out <path>       machine-readable report\n\
-                                      (default results/BENCH_repro.json)\n\
+                                      (default results/BENCH_repro.json,\n\
+                                      or BENCH_explore.json for explore)\n\
            --jsonl <path>             structured event log (JSON lines)\n\
          \n\
+         explore flags:\n\
+           --axis name=VALUES         override one axis (one sweep only);\n\
+                                      VALUES is 2,4,8 or 1..8 or 0:0.9:0.1\n\
+           --threads <n>              worker threads (default 4; 1 = sequential)\n\
+           --no-cache                 skip the results/cache/ memo store\n\
+           --bench                    force the seq-vs-parallel benchmark\n\
+         \n\
          artifacts are written to results/<id>.txt, .csv, and .json;\n\
-         every run also writes results/repro_manifest.json and the\n\
-         per-experiment wall-time report"
+         every run also writes a results/*_manifest.json and the\n\
+         machine-readable wall-time report"
     );
 }

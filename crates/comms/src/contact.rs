@@ -41,15 +41,15 @@ impl Station {
 /// as real networks do).
 pub fn representative_network() -> Vec<Station> {
     vec![
-        Station::gsaas(64.8, -147.7),  // Fairbanks
-        Station::gsaas(78.2, 15.4),    // Svalbard
-        Station::gsaas(-72.0, 2.5),    // Troll, Antarctica
-        Station::gsaas(37.4, -122.0),  // California
-        Station::gsaas(50.9, 6.9),     // Central Europe
-        Station::gsaas(-33.9, 18.4),   // Cape Town
-        Station::gsaas(35.7, 139.7),   // Tokyo
-        Station::gsaas(-35.3, 149.1),  // Canberra
-        Station::gsaas(-33.4, -70.6),  // Santiago
+        Station::gsaas(64.8, -147.7), // Fairbanks
+        Station::gsaas(78.2, 15.4),   // Svalbard
+        Station::gsaas(-72.0, 2.5),   // Troll, Antarctica
+        Station::gsaas(37.4, -122.0), // California
+        Station::gsaas(50.9, 6.9),    // Central Europe
+        Station::gsaas(-33.9, 18.4),  // Cape Town
+        Station::gsaas(35.7, 139.7),  // Tokyo
+        Station::gsaas(-35.3, 149.1), // Canberra
+        Station::gsaas(-33.4, -70.6), // Santiago
     ]
 }
 
@@ -132,7 +132,12 @@ pub fn predict_passes(
             });
         }
     }
-    windows.sort_by(|a, b| a.start.as_secs().partial_cmp(&b.start.as_secs()).expect("finite"));
+    windows.sort_by(|a, b| {
+        a.start
+            .as_secs()
+            .partial_cmp(&b.start.as_secs())
+            .expect("finite")
+    });
     Ok(windows)
 }
 

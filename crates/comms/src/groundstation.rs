@@ -71,7 +71,10 @@ impl GsaasProvider {
 
     /// Stations in a region.
     pub fn in_region(&self, region: Region) -> u32 {
-        let idx = Region::ALL.iter().position(|r| *r == region).expect("region in ALL");
+        let idx = Region::ALL
+            .iter()
+            .position(|r| *r == region)
+            .expect("region in ALL");
         self.stations[idx]
     }
 }
@@ -80,15 +83,42 @@ impl GsaasProvider {
 /// stations as surveyed by the paper.
 pub fn table2_providers() -> Vec<GsaasProvider> {
     vec![
-        GsaasProvider { name: "AWS Ground Station", stations: [2, 1, 1, 3, 4, 0] },
-        GsaasProvider { name: "Azure Ground Stations", stations: [4, 1, 3, 6, 5, 0] },
-        GsaasProvider { name: "KSat Ground Network Services", stations: [4, 2, 4, 9, 6, 1] },
-        GsaasProvider { name: "Viasat Real-Time Earth", stations: [4, 1, 2, 4, 3, 0] },
-        GsaasProvider { name: "US Electrondynamics Inc", stations: [2, 0, 0, 0, 0, 0] },
-        GsaasProvider { name: "Swedish Space Corporation", stations: [3, 2, 0, 2, 3, 0] },
-        GsaasProvider { name: "Atlas Space Operations", stations: [4, 0, 1, 3, 5, 0] },
-        GsaasProvider { name: "Leaf Space", stations: [1, 0, 1, 8, 4, 0] },
-        GsaasProvider { name: "RBC Signals", stations: [12, 2, 3, 18, 16, 0] },
+        GsaasProvider {
+            name: "AWS Ground Station",
+            stations: [2, 1, 1, 3, 4, 0],
+        },
+        GsaasProvider {
+            name: "Azure Ground Stations",
+            stations: [4, 1, 3, 6, 5, 0],
+        },
+        GsaasProvider {
+            name: "KSat Ground Network Services",
+            stations: [4, 2, 4, 9, 6, 1],
+        },
+        GsaasProvider {
+            name: "Viasat Real-Time Earth",
+            stations: [4, 1, 2, 4, 3, 0],
+        },
+        GsaasProvider {
+            name: "US Electrondynamics Inc",
+            stations: [2, 0, 0, 0, 0, 0],
+        },
+        GsaasProvider {
+            name: "Swedish Space Corporation",
+            stations: [3, 2, 0, 2, 3, 0],
+        },
+        GsaasProvider {
+            name: "Atlas Space Operations",
+            stations: [4, 0, 1, 3, 5, 0],
+        },
+        GsaasProvider {
+            name: "Leaf Space",
+            stations: [1, 0, 1, 8, 4, 0],
+        },
+        GsaasProvider {
+            name: "RBC Signals",
+            stations: [12, 2, 3, 18, 16, 0],
+        },
     ]
 }
 
@@ -242,8 +272,7 @@ mod tests {
         let net = GroundStationNetwork::paper_2023();
         let doubled = net.scaled(2.0);
         assert!(
-            (doubled.aggregate_capacity().as_bps() / net.aggregate_capacity().as_bps() - 2.0)
-                .abs()
+            (doubled.aggregate_capacity().as_bps() / net.aggregate_capacity().as_bps() - 2.0).abs()
                 < 1e-9
         );
     }

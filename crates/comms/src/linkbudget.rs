@@ -183,7 +183,10 @@ mod tests {
             .achieved_rate()
             .as_bps();
         let gain = boosted / base;
-        assert!(gain > 1.2 && gain < 2.2, "10× power → only {gain}× capacity");
+        assert!(
+            gain > 1.2 && gain < 2.2,
+            "10× power → only {gain}× capacity"
+        );
     }
 
     #[test]
@@ -191,7 +194,10 @@ mod tests {
         let dove = DownlinkBudget::dove_baseline();
         let base = dove.achieved_rate().as_bps();
         // Replace the patch with a 1 m dish: gain jumps ~30 dB...
-        let dish = dove.with_tx_dish(Length::from_m(1.0)).achieved_rate().as_bps();
+        let dish = dove
+            .with_tx_dish(Length::from_m(1.0))
+            .achieved_rate()
+            .as_bps();
         // ...but capacity grows far less than the power ratio.
         let gain = dish / base;
         assert!(gain > 2.0 && gain < 15.0, "got {gain}×");

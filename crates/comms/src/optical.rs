@@ -121,8 +121,7 @@ mod tests {
         let two_list = t.power_for(DataRate::from_gbps(10.0), Length::from_km(700.0));
         let four_list_same_rate = t.power_for(DataRate::from_gbps(10.0), Length::from_km(1400.0));
         assert!((four_list_same_rate.ratio(two_list) - 4.0).abs() < 1e-9);
-        let four_list_double_rate =
-            t.power_for(DataRate::from_gbps(20.0), Length::from_km(1400.0));
+        let four_list_double_rate = t.power_for(DataRate::from_gbps(20.0), Length::from_km(1400.0));
         assert!((four_list_double_rate.ratio(two_list) - 8.0).abs() < 1e-9);
     }
 

@@ -138,9 +138,9 @@ mod tests {
         let b = Frequency::from_mhz(50.0);
         let snr = 10.0;
         let dc_db = capacity_per_hz(snr);
-        let numeric =
-            (capacity(Frequency::from_hz(b.as_hz() + 1.0), snr).as_bps() - capacity(b, snr).as_bps())
-                / 1.0;
+        let numeric = (capacity(Frequency::from_hz(b.as_hz() + 1.0), snr).as_bps()
+            - capacity(b, snr).as_bps())
+            / 1.0;
         assert!((dc_db - numeric).abs() / dc_db < 1e-6);
 
         let dc_dsnr = capacity_per_snr(b, snr);

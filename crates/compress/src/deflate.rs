@@ -18,25 +18,69 @@ const DIST_SYMBOLS: usize = 30;
 
 /// Deflate length-code table: (base length, extra bits) for codes 257..=285.
 const LENGTH_CODES: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
     (258, 0),
 ];
 
 /// Deflate distance-code table: (base distance, extra bits) for codes 0..=29.
 const DIST_CODES: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1), (9, 2), (13, 2),
-    (17, 3), (25, 3), (33, 4), (49, 4),
-    (65, 5), (97, 5), (129, 6), (193, 6),
-    (257, 7), (385, 7), (513, 8), (769, 8),
-    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 /// Maps a match length (3..=258) to (symbol, extra-bit value, extra bits).
@@ -127,10 +171,11 @@ impl Codec for MiniDeflate {
         let mut r = BitReader::new(data);
         let lit_table = HuffmanTable::read_lengths(&mut r)?;
         let dist_table = HuffmanTable::read_lengths(&mut r)?;
-        if lit_table.lengths().len() != LITLEN_SYMBOLS
-            || dist_table.lengths().len() != DIST_SYMBOLS
+        if lit_table.lengths().len() != LITLEN_SYMBOLS || dist_table.lengths().len() != DIST_SYMBOLS
         {
-            return Err(CodecError::new("mini-deflate header alphabet size mismatch"));
+            return Err(CodecError::new(
+                "mini-deflate header alphabet size mismatch",
+            ));
         }
         let lit = lit_table.decoder();
         let dist = dist_table.decoder();

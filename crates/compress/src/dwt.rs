@@ -30,14 +30,30 @@ fn fwd_53(x: &mut [i32], scratch: &mut Vec<i32>) {
     // extension at the right edge.
     for i in 0..half {
         let left = x[2 * i];
-        let right = if 2 * i + 2 < n { x[2 * i + 2] } else { x[2 * i] };
+        let right = if 2 * i + 2 < n {
+            x[2 * i + 2]
+        } else {
+            x[2 * i]
+        };
         d[i] = x[2 * i + 1] - ((left + right) >> 1);
     }
     // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4), symmetric
     // extension on both d edges.
     for i in 0..s_count {
-        let dl = if i > 0 { d[i - 1] } else if half > 0 { d[0] } else { 0 };
-        let dr = if i < half { d[i] } else if half > 0 { d[half - 1] } else { 0 };
+        let dl = if i > 0 {
+            d[i - 1]
+        } else if half > 0 {
+            d[0]
+        } else {
+            0
+        };
+        let dr = if i < half {
+            d[i]
+        } else if half > 0 {
+            d[half - 1]
+        } else {
+            0
+        };
         s[i] = x[2 * i] + ((dl + dr + 2) >> 2);
     }
     x.copy_from_slice(scratch);
@@ -57,8 +73,20 @@ fn inv_53(x: &mut [i32], scratch: &mut Vec<i32>) {
     scratch.resize(n, 0);
     // Un-update: x[2i] = s[i] - floor((d[i-1] + d[i] + 2) / 4).
     for i in 0..s_count {
-        let dl = if i > 0 { d[i - 1] } else if half > 0 { d[0] } else { 0 };
-        let dr = if i < half { d[i] } else if half > 0 { d[half - 1] } else { 0 };
+        let dl = if i > 0 {
+            d[i - 1]
+        } else if half > 0 {
+            d[0]
+        } else {
+            0
+        };
+        let dr = if i < half {
+            d[i]
+        } else if half > 0 {
+            d[half - 1]
+        } else {
+            0
+        };
         scratch[2 * i] = s[i] - ((dl + dr + 2) >> 2);
     }
     // Un-predict: x[2i+1] = d[i] + floor((x[2i] + x[2i+2]) / 2).
@@ -167,11 +195,7 @@ fn subband_scan(w: usize, h: usize, levels: u8) -> Vec<Vec<(usize, usize)>> {
     }
     let _ = applied;
     // The residual LL band.
-    bands.push(
-        (0..lh)
-            .flat_map(|y| (0..lw).map(move |x| (x, y)))
-            .collect(),
-    );
+    bands.push((0..lh).flat_map(|y| (0..lw).map(move |x| (x, y))).collect());
     bands
 }
 
@@ -302,9 +326,7 @@ impl DwtCodec {
         for band in subband_scan(width, height, self.levels) {
             let mapped: Vec<u64> = band
                 .iter()
-                .map(|&(x, y)| {
-                    rice::zigzag(i64::from(plane[y * width + x] >> self.quant_shift))
-                })
+                .map(|&(x, y)| rice::zigzag(i64::from(plane[y * width + x] >> self.quant_shift)))
                 .collect();
             encode_subband(&mapped, w);
         }
@@ -456,9 +478,7 @@ mod tests {
     fn smooth_image_energy_concentrates_in_ll() {
         // After transform, high-pass regions of a smooth image are tiny.
         let w = 32usize;
-        let mut plane: Vec<i32> = (0..w * w)
-            .map(|i| ((i % w) + (i / w)) as i32 * 2)
-            .collect();
+        let mut plane: Vec<i32> = (0..w * w).map(|i| ((i % w) + (i / w)) as i32 * 2).collect();
         fwd_2d(&mut plane, w, w, w, 1);
         // HH quadrant: rows w/2.., cols w/2..
         let hh_energy: i64 = (w / 2..w)
@@ -495,9 +515,7 @@ mod tests {
         let mut img = Raster::zeroed(64, 64, 1);
         for y in 0..64 {
             for x in 0..64 {
-                let v = 128.0
-                    + 60.0 * ((x as f64) / 9.0).sin()
-                    + 40.0 * ((y as f64) / 7.0).cos();
+                let v = 128.0 + 60.0 * ((x as f64) / 9.0).sin() + 40.0 * ((y as f64) / 7.0).cos();
                 img.set(x, y, 0, v.clamp(0.0, 255.0) as u8);
             }
         }
@@ -505,7 +523,12 @@ mod tests {
         let lossy = DwtCodec::lossy(2);
         let ll = lossless.compress_raster(&img);
         let ly = lossy.compress_raster(&img);
-        assert!(ly.len() < ll.len(), "lossy {} vs lossless {}", ly.len(), ll.len());
+        assert!(
+            ly.len() < ll.len(),
+            "lossy {} vs lossless {}",
+            ly.len(),
+            ll.len()
+        );
 
         let back = lossy.decompress_raster(&ly, 64, 64, 1).unwrap();
         let max_err = img

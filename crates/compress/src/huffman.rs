@@ -235,10 +235,7 @@ fn build_lengths(freqs: &[u64]) -> Vec<u8> {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Min-heap via reversed compare; tie-break on id for
             // determinism.
-            other
-                .weight
-                .cmp(&self.weight)
-                .then(other.id.cmp(&self.id))
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {
@@ -299,11 +296,7 @@ fn limit_lengths(lengths: &mut [u8]) {
     }
     // Kraft sum in units of 2^-MAX_CODE_LEN.
     let unit = 1u64 << MAX_CODE_LEN;
-    let mut kraft: u64 = lengths
-        .iter()
-        .filter(|&&l| l > 0)
-        .map(|&l| unit >> l)
-        .sum();
+    let mut kraft: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
     // While over-subscribed, lengthen the shortest-affordable codes.
     while kraft > unit {
         // Find a symbol with the longest length < MAX that we can extend.

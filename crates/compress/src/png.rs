@@ -107,7 +107,10 @@ fn choose_filter(row: &[u8], prev: &[u8], bpp: usize) -> (Filter, Vec<u8>) {
         .into_iter()
         .map(|f| {
             let filtered = filter_row(f, row, prev, bpp);
-            let score: u64 = filtered.iter().map(|&b| u64::from((b as i8).unsigned_abs())).sum();
+            let score: u64 = filtered
+                .iter()
+                .map(|&b| u64::from((b as i8).unsigned_abs()))
+                .sum();
             (score, f, filtered)
         })
         .min_by_key(|(score, _, _)| *score)

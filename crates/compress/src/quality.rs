@@ -111,9 +111,7 @@ mod tests {
         let mut img = Raster::zeroed(w, h, 1);
         for y in 0..h {
             for x in 0..w {
-                let v = 120.0
-                    + 70.0 * ((x as f64) / 11.0).sin()
-                    + 40.0 * ((y as f64) / 17.0).cos();
+                let v = 120.0 + 70.0 * ((x as f64) / 11.0).sin() + 40.0 * ((y as f64) / 17.0).cos();
                 img.set(x, y, 0, v.clamp(0.0, 255.0) as u8);
             }
         }

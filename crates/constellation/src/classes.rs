@@ -118,7 +118,8 @@ pub fn table1_constellations() -> Vec<ConstellationEntry> {
             imaging: "RGB",
             spatial_resolution: Length::from_cm(50.0),
             temporal_resolution: Some(Time::from_minutes(30.0)),
-            mission: "Insurance, land survey, precision farming, smart cities, imagery intelligence",
+            mission:
+                "Insurance, land survey, precision farming, smart cities, imagery intelligence",
         },
         ConstellationEntry {
             company: "Planet",

@@ -27,5 +27,5 @@ pub mod walker;
 
 pub use classes::{ConstellationEntry, SatelliteClass};
 pub use plane::OrbitalPlane;
-pub use walker::WalkerDelta;
 pub use topology::{ClusterTopology, Formation};
+pub use walker::WalkerDelta;

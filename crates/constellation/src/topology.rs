@@ -259,7 +259,10 @@ mod tests {
         let plane = OrbitalPlane::paper_reference();
         let k_orbit = ClusterTopology::max_k(&plane, Formation::OrbitSpaced);
         let k_frame = ClusterTopology::max_k(&plane, Formation::FrameSpaced);
-        assert!(k_orbit < k_frame, "orbit-spaced k ({k_orbit}) must be LOS-capped");
+        assert!(
+            k_orbit < k_frame,
+            "orbit-spaced k ({k_orbit}) must be LOS-capped"
+        );
         assert!(k_orbit >= 4, "at 550 km / 64 sats a 4-list is feasible");
         assert_eq!(k_frame, 64);
         assert_eq!(k_frame % 2, 0);

@@ -120,13 +120,9 @@ impl WalkerDelta {
     /// Panics if indices are out of range.
     pub fn position(&self, plane: usize, slot: usize, t: Time) -> Result<Vec3, KeplerError> {
         assert!(plane < self.planes && slot < self.per_plane());
-        let elements = self
-            .plane(plane)
-            .elements(slot)?
-            .with_mean_anomaly(
-                (self.plane(plane).phase(slot) + self.phase_offset() * plane as f64)
-                    .normalized(),
-            );
+        let elements = self.plane(plane).elements(slot)?.with_mean_anomaly(
+            (self.plane(plane).phase(slot) + self.phase_offset() * plane as f64).normalized(),
+        );
         elements.position_at(t)
     }
 
@@ -238,7 +234,10 @@ mod tests {
         let t = Time::ZERO;
         let a = unphased.position(1, 0, t).unwrap();
         let b = phased.position(1, 0, t).unwrap();
-        assert!(a.distance(b) > 1_000.0, "phasing must move plane-1 satellites");
+        assert!(
+            a.distance(b) > 1_000.0,
+            "phasing must move plane-1 satellites"
+        );
         // Plane 0 is unaffected by phasing.
         let a0 = unphased.position(0, 0, t).unwrap();
         let b0 = phased.position(0, 0, t).unwrap();

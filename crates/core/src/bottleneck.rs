@@ -6,12 +6,13 @@
 //! SµDCs) must be launched than compute alone requires.
 
 use comms::IslClass;
+use explore::{Axis, Space};
 use imagery::FrameSpec;
 use serde::{Deserialize, Serialize};
-use units::{DataRate, Length};
-use workloads::Application;
+use units::{DataRate, Length, Power};
+use workloads::{Application, Device};
 
-use crate::sizing::SudcSpec;
+use crate::sizing::{app_from_index, app_index, SudcSpec};
 use constellation::topology::{ClusterTopology, Formation};
 
 /// Table 8: EO satellites one ring SµDC can ingest from at a resolution
@@ -40,22 +41,76 @@ pub struct Table8Cell {
     pub supportable: usize,
 }
 
-/// Evaluates the full Table 8 grid in the paper's layout order.
-pub fn table8() -> Vec<Table8Cell> {
-    let mut out = Vec::new();
-    for resolution in FrameSpec::paper_resolutions() {
-        for discard_rate in FrameSpec::paper_discard_rates() {
-            for isl in IslClass::ALL {
-                out.push(Table8Cell {
-                    discard_rate,
-                    resolution,
-                    isl,
-                    supportable: ring_supportable(isl.capacity(), resolution, discard_rate),
-                });
-            }
-        }
+/// The Table 8 parameter space in the paper's layout order (resolution
+/// outermost, then discard rate, then ISL class).
+///
+/// # Panics
+///
+/// Panics if any axis is empty.
+pub fn table8_space(
+    resolutions: &[Length],
+    discard_rates: &[f64],
+) -> Space<(Length, f64, IslClass)> {
+    Space::grid3(
+        "table8",
+        Axis::new("res", resolutions.to_vec()),
+        Axis::new("ed", discard_rates.to_vec()),
+        Axis::new("isl", IslClass::ALL.to_vec()),
+    )
+}
+
+/// Evaluates one Table 8 cell.
+pub fn table8_cell(&(resolution, discard_rate, isl): &(Length, f64, IslClass)) -> Table8Cell {
+    Table8Cell {
+        discard_rate,
+        resolution,
+        isl,
+        supportable: ring_supportable(isl.capacity(), resolution, discard_rate),
     }
-    out
+}
+
+/// Evaluates the full Table 8 grid in the paper's layout order (via the
+/// `explore` engine, sequentially).
+pub fn table8() -> Vec<Table8Cell> {
+    let space = table8_space(
+        &FrameSpec::paper_resolutions(),
+        &FrameSpec::paper_discard_rates(),
+    );
+    explore::sweep(&space, &explore::ExecOptions::sequential(), table8_cell).results
+}
+
+impl explore::Cacheable for Table8Cell {
+    fn encode(&self) -> String {
+        explore::Enc::new()
+            .f64(self.discard_rate)
+            .f64(self.resolution.as_m())
+            .u64(isl_index(self.isl))
+            .usize(self.supportable)
+            .finish()
+    }
+
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = explore::Dec::new(s);
+        Some(Self {
+            discard_rate: d.f64()?,
+            resolution: Length::from_m(d.f64()?),
+            isl: isl_from_index(d.u64()?)?,
+            supportable: d.usize()?,
+        })
+    }
+}
+
+/// Stable index of an ISL class (cache encoding).
+pub(crate) fn isl_index(isl: IslClass) -> u64 {
+    IslClass::ALL
+        .iter()
+        .position(|&c| c == isl)
+        .expect("every ISL class is in ALL") as u64
+}
+
+/// Inverse of [`isl_index`].
+pub(crate) fn isl_from_index(i: u64) -> Option<IslClass> {
+    IslClass::ALL.get(i as usize).copied()
 }
 
 /// Why a cluster count came out the way it did.
@@ -126,6 +181,136 @@ pub fn clusters_needed(
     })
 }
 
+/// One Fig. 11 row: the cluster analysis for a SµDC power class, a
+/// workload case, and an ISL capacity class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig11Row {
+    /// SµDC compute power (kW) — 4 for the rack, 256 for station class.
+    pub sudc_kw: f64,
+    /// Application.
+    pub app: Application,
+    /// Spatial resolution.
+    pub resolution: Length,
+    /// Early-discard rate.
+    pub discard_rate: f64,
+    /// ISL capacity class.
+    pub isl: IslClass,
+    /// Cluster analysis (`None` when the (app, device) pair is
+    /// unmeasured).
+    pub analysis: Option<ClusterAnalysis>,
+}
+
+/// The five workload cases plotted in Fig. 11.
+pub fn fig11_cases() -> [(Application, Length, f64); 5] {
+    [
+        (Application::TrafficMonitoring, Length::from_m(1.0), 0.0),
+        (Application::AirPollution, Length::from_m(1.0), 0.0),
+        (Application::UrbanEmergency, Length::from_cm(30.0), 0.95),
+        (Application::FloodDetection, Length::from_m(1.0), 0.5),
+        (Application::CropMonitoring, Length::from_cm(30.0), 0.5),
+    ]
+}
+
+/// The Fig. 11 parameter space: SµDC power classes × the figure's five
+/// workload cases × ISL classes (power outermost, matching the figure's
+/// left/right panels). Built as an explicit point list because the
+/// workload cases are (app, resolution, ED) triples, not a grid.
+pub fn fig11_space(kws: &[f64]) -> Space<(f64, Application, Length, f64, IslClass)> {
+    let mut points = Vec::new();
+    for &kw in kws {
+        for (app, res, ed) in fig11_cases() {
+            for isl in IslClass::ALL {
+                points.push((kw, app, res, ed, isl));
+            }
+        }
+    }
+    Space::from_points("fig11", points, |&(kw, app, res, ed, isl)| {
+        format!("kw={kw};app={app};res={res};ed={ed};isl={isl}")
+    })
+}
+
+/// Evaluates one Fig. 11 point on an RTX 3090 SµDC of the given power.
+pub fn fig11_row(
+    satellites: usize,
+    &(kw, app, resolution, discard_rate, isl): &(f64, Application, Length, f64, IslClass),
+) -> Fig11Row {
+    let spec = SudcSpec {
+        compute_power: Power::from_kilowatts(kw),
+        device: Device::Rtx3090,
+        hardening: workloads::Hardening::None,
+    };
+    Fig11Row {
+        sudc_kw: kw,
+        app,
+        resolution,
+        discard_rate,
+        isl,
+        analysis: clusters_needed(&spec, app, resolution, discard_rate, satellites, isl),
+    }
+}
+
+/// Evaluates the Fig. 11 sweep — 4 kW and 256 kW RTX 3090 SµDCs over
+/// the figure's workload cases and all ISL classes, for the 64-satellite
+/// reference constellation (via the `explore` engine, sequentially).
+pub fn fig11_sweep() -> Vec<Fig11Row> {
+    let space = fig11_space(&[4.0, 256.0]);
+    explore::sweep(&space, &explore::ExecOptions::sequential(), |p| {
+        fig11_row(crate::sizing::PAPER_CONSTELLATION, p)
+    })
+    .results
+}
+
+impl explore::Cacheable for Fig11Row {
+    fn encode(&self) -> String {
+        let mut e = explore::Enc::new()
+            .f64(self.sudc_kw)
+            .u64(app_index(self.app))
+            .f64(self.resolution.as_m())
+            .f64(self.discard_rate)
+            .u64(isl_index(self.isl))
+            .bool(self.analysis.is_some());
+        if let Some(a) = &self.analysis {
+            e = e
+                .usize(a.compute_clusters)
+                .usize(a.isl_clusters)
+                .usize(a.clusters)
+                .bool(a.binding == BindingConstraint::Isl);
+        }
+        e.finish()
+    }
+
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = explore::Dec::new(s);
+        let sudc_kw = d.f64()?;
+        let app = app_from_index(d.u64()?)?;
+        let resolution = Length::from_m(d.f64()?);
+        let discard_rate = d.f64()?;
+        let isl = isl_from_index(d.u64()?)?;
+        let analysis = if d.bool()? {
+            Some(ClusterAnalysis {
+                compute_clusters: d.usize()?,
+                isl_clusters: d.usize()?,
+                clusters: d.usize()?,
+                binding: if d.bool()? {
+                    BindingConstraint::Isl
+                } else {
+                    BindingConstraint::Compute
+                },
+            })
+        } else {
+            None
+        };
+        Some(Self {
+            sudc_kw,
+            app,
+            resolution,
+            discard_rate,
+            isl,
+            analysis,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,11 +369,8 @@ mod tests {
         for res_m in [3.0, 1.0, 0.3, 0.1] {
             for ed in [0.0, 0.5, 0.95, 0.99] {
                 for gbps in [1.0, 10.0, 100.0] {
-                    let ours = ring_supportable(
-                        DataRate::from_gbps(gbps),
-                        Length::from_m(res_m),
-                        ed,
-                    );
+                    let ours =
+                        ring_supportable(DataRate::from_gbps(gbps), Length::from_m(res_m), ed);
                     let paper = paper_table8(res_m, ed, gbps);
                     total += 1;
                     if ours == paper {
@@ -237,6 +419,73 @@ mod tests {
     #[test]
     fn table8_has_48_cells() {
         assert_eq!(table8().len(), 48);
+    }
+
+    #[test]
+    fn table8_engine_port_keeps_layout_order() {
+        let cells = table8();
+        let mut i = 0;
+        for resolution in FrameSpec::paper_resolutions() {
+            for discard_rate in FrameSpec::paper_discard_rates() {
+                for isl in IslClass::ALL {
+                    assert_eq!(cells[i].resolution, resolution, "cell {i}");
+                    assert_eq!(cells[i].discard_rate, discard_rate, "cell {i}");
+                    assert_eq!(cells[i].isl, isl, "cell {i}");
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_sweep_covers_both_power_classes() {
+        let rows = fig11_sweep();
+        assert_eq!(rows.len(), 2 * 5 * 3);
+        assert!(rows[..15].iter().all(|r| r.sudc_kw == 4.0));
+        assert!(rows[15..].iter().all(|r| r.sudc_kw == 256.0));
+        // Every Fig. 11 case runs on the RTX 3090.
+        assert!(rows.iter().all(|r| r.analysis.is_some()));
+    }
+
+    #[test]
+    fn fig11_sweep_matches_clusters_needed() {
+        for row in fig11_sweep() {
+            let spec = SudcSpec {
+                compute_power: units::Power::from_kilowatts(row.sudc_kw),
+                device: Device::Rtx3090,
+                hardening: workloads::Hardening::None,
+            };
+            let direct = clusters_needed(
+                &spec,
+                row.app,
+                row.resolution,
+                row.discard_rate,
+                crate::sizing::PAPER_CONSTELLATION,
+                row.isl,
+            );
+            assert_eq!(row.analysis, direct);
+        }
+    }
+
+    #[test]
+    fn bottleneck_rows_cache_round_trip() {
+        use explore::Cacheable;
+        for cell in table8().into_iter().take(6) {
+            assert_eq!(Table8Cell::decode(&cell.encode()), Some(cell));
+        }
+        for row in fig11_sweep() {
+            assert_eq!(Fig11Row::decode(&row.encode()), Some(row));
+        }
+        // A missing analysis round-trips as None.
+        let unmeasured = Fig11Row {
+            sudc_kw: 4.0,
+            app: Application::TrafficMonitoring,
+            resolution: Length::from_m(1.0),
+            discard_rate: 0.0,
+            isl: IslClass::Gbps1,
+            analysis: None,
+        };
+        assert_eq!(Fig11Row::decode(&unmeasured.encode()), Some(unmeasured));
     }
 
     #[test]

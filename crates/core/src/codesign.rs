@@ -9,6 +9,7 @@
 use comms::optical::OpticalTerminal;
 use constellation::topology::{ClusterTopology, Formation};
 use constellation::OrbitalPlane;
+use explore::{Axis, Space};
 use serde::{Deserialize, Serialize};
 use units::{DataRate, Power};
 
@@ -27,25 +28,70 @@ pub struct CodesignPoint {
     pub capacity_per_power: f64,
 }
 
-/// Evaluates the Fig. 13 sweep over k-list sizes and splitting factors in
-/// a frame-spaced constellation.
-pub fn fig13_sweep(ks: &[usize], splits: &[usize]) -> Vec<CodesignPoint> {
-    let mut out = Vec::new();
-    for &k in ks {
-        let topo = ClusterTopology::k_list(k, Formation::FrameSpaced);
-        for &split in splits {
-            let capacity_norm = topo.normalized_capacity(split);
-            let power_norm = topo.normalized_power(split);
-            out.push(CodesignPoint {
-                k,
-                split,
-                capacity_norm,
-                power_norm,
-                capacity_per_power: capacity_norm / power_norm,
-            });
-        }
+/// The Fig. 13 `k × split` parameter space (row-major: `k` outermost,
+/// matching the paper's panel layout).
+///
+/// # Panics
+///
+/// Panics if either axis is empty.
+pub fn fig13_space(ks: &[usize], splits: &[usize]) -> Space<(usize, usize)> {
+    Space::grid2(
+        "codesign",
+        Axis::new("k", ks.to_vec()),
+        Axis::new("split", splits.to_vec()),
+    )
+}
+
+/// Evaluates one point of the Fig. 13 sweep in a frame-spaced
+/// constellation.
+pub fn fig13_point(k: usize, split: usize) -> CodesignPoint {
+    let topo = ClusterTopology::k_list(k, Formation::FrameSpaced);
+    let capacity_norm = topo.normalized_capacity(split);
+    let power_norm = topo.normalized_power(split);
+    CodesignPoint {
+        k,
+        split,
+        capacity_norm,
+        power_norm,
+        capacity_per_power: capacity_norm / power_norm,
     }
-    out
+}
+
+/// Evaluates the Fig. 13 sweep over k-list sizes and splitting factors in
+/// a frame-spaced constellation (via the `explore` engine, sequentially).
+pub fn fig13_sweep(ks: &[usize], splits: &[usize]) -> Vec<CodesignPoint> {
+    if ks.is_empty() || splits.is_empty() {
+        return Vec::new();
+    }
+    explore::sweep(
+        &fig13_space(ks, splits),
+        &explore::ExecOptions::sequential(),
+        |&(k, split)| fig13_point(k, split),
+    )
+    .results
+}
+
+impl explore::Cacheable for CodesignPoint {
+    fn encode(&self) -> String {
+        explore::Enc::new()
+            .usize(self.k)
+            .usize(self.split)
+            .f64(self.capacity_norm)
+            .f64(self.power_norm)
+            .f64(self.capacity_per_power)
+            .finish()
+    }
+
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = explore::Dec::new(s);
+        Some(Self {
+            k: d.usize()?,
+            split: d.usize()?,
+            capacity_norm: d.f64()?,
+            power_norm: d.f64()?,
+            capacity_per_power: d.f64()?,
+        })
+    }
 }
 
 /// The paper's Fig. 13 axes.
@@ -184,6 +230,36 @@ mod tests {
     }
 
     #[test]
+    fn engine_sweep_matches_direct_loop_order() {
+        // The explore-engine port must keep the original k-outer,
+        // split-inner row order.
+        let (ks, ss) = paper_fig13_axes();
+        let rows = fig13_sweep(&ks, &ss);
+        let mut i = 0;
+        for &k in &ks {
+            for &split in &ss {
+                assert_eq!((rows[i].k, rows[i].split), (k, split), "row {i}");
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_axes_sweep_to_nothing() {
+        assert!(fig13_sweep(&[], &[1]).is_empty());
+        assert!(fig13_sweep(&[2], &[]).is_empty());
+    }
+
+    #[test]
+    fn codesign_point_cache_round_trips() {
+        use explore::Cacheable;
+        let p = fig13_point(8, 4);
+        let back = CodesignPoint::decode(&p.encode()).unwrap();
+        assert_eq!(back, p);
+        assert!(CodesignPoint::decode("3|garbage").is_none());
+    }
+
+    #[test]
     fn absolute_power_grows_quadratically_with_k() {
         let plane = OrbitalPlane::paper_reference();
         let t = OpticalTerminal::leo_class();
@@ -193,7 +269,9 @@ mod tests {
         // 2× links × 4× per-link power = 8× total.
         let ratio = k4.total_power.ratio(k2.total_power);
         assert!((ratio - 8.0).abs() < 1e-9, "got {ratio}");
-        assert!((k4.aggregate_capacity.as_bps() / k2.aggregate_capacity.as_bps() - 2.0).abs() < 1e-9);
+        assert!(
+            (k4.aggregate_capacity.as_bps() / k2.aggregate_capacity.as_bps() - 2.0).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -213,11 +291,7 @@ mod tests {
         let plane = OrbitalPlane::paper_reference();
         let t = OpticalTerminal::leo_class();
         let a = absolute(&plane, 2, 1, DataRate::from_gbps(10.0), &t);
-        assert!(
-            a.total_power.as_watts() < 200.0,
-            "got {}",
-            a.total_power
-        );
+        assert!(a.total_power.as_watts() < 200.0, "got {}", a.total_power);
         assert!(plane.link_distance(1) > Length::from_km(500.0));
     }
 

@@ -102,11 +102,8 @@ mod tests {
         // resolution LEO EO constellation would be in the millions of
         // dollars per minute" — at global coverage (Fig. 4a rates).
         let net = GroundStationNetwork::paper_2023();
-        let c = global_downlink_cost_per_minute(
-            &net,
-            Length::from_cm(10.0),
-            Time::from_minutes(30.0),
-        );
+        let c =
+            global_downlink_cost_per_minute(&net, Length::from_cm(10.0), Time::from_minutes(30.0));
         assert!(c.as_millions_usd() > 1.0, "10 cm / 30 min global: {c}/min");
         // The 64-satellite reference constellation at 10 cm is already
         // six figures per minute.
@@ -134,15 +131,29 @@ mod tests {
         // paying significant recurring costs for data downlink".
         let net = GroundStationNetwork::paper_2023();
         let per_min = downlink_cost_per_minute(&net, Length::from_cm(10.0), 0.99, 64);
-        let t = breakeven(per_min, 8, Mass::from_kg(2_500.0), &LaunchPricing::current());
+        let t = breakeven(
+            per_min,
+            8,
+            Mass::from_kg(2_500.0),
+            &LaunchPricing::current(),
+        );
         assert!(
             t.as_days() < 60.0,
             "breakeven {} days should be weeks",
             t.as_days()
         );
         // At projected launch prices it is days.
-        let t2 = breakeven(per_min, 8, Mass::from_kg(2_500.0), &LaunchPricing::projected());
-        assert!(t2.as_days() < 7.0, "projected breakeven {} days", t2.as_days());
+        let t2 = breakeven(
+            per_min,
+            8,
+            Mass::from_kg(2_500.0),
+            &LaunchPricing::projected(),
+        );
+        assert!(
+            t2.as_days() < 7.0,
+            "projected breakeven {} days",
+            t2.as_days()
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub fn dove_channel() -> DataRate {
 /// Panics if either resolution is non-positive.
 pub fn generation_rate(spatial: Length, temporal: Time) -> DataRate {
     assert!(spatial.as_m() > 0.0, "spatial resolution must be positive");
-    assert!(temporal.as_secs() > 0.0, "temporal resolution must be positive");
+    assert!(
+        temporal.as_secs() > 0.0,
+        "temporal resolution must be positive"
+    );
     let pixels = EARTH_SURFACE_AREA_M2 / spatial.squared().as_m2();
     DataRate::from_bps(pixels * BITS_PER_PIXEL / temporal.as_secs())
 }
@@ -96,10 +99,7 @@ mod tests {
     fn fine_resolutions_hit_tens_of_tbps() {
         // Paper: "at fine spatial resolutions, tens of Tbit/s".
         let r = generation_rate(Length::from_cm(10.0), Time::from_days(1.0));
-        assert!(
-            r.as_tbps() > 10.0 && r.as_tbps() < 30.0,
-            "10 cm daily: {r}"
-        );
+        assert!(r.as_tbps() > 10.0 && r.as_tbps() < 30.0, "10 cm daily: {r}");
     }
 
     #[test]

@@ -78,8 +78,7 @@ impl DisaggregatedSudc {
             return self.total_compute;
         }
         let transferred_fraction = 0.5;
-        self.total_compute
-            * (1.0 - transferred_fraction * (1.0 - self.power_transfer_efficiency))
+        self.total_compute * (1.0 - transferred_fraction * (1.0 - self.power_transfer_efficiency))
     }
 
     /// Replacement cost when one subsystem fails: disaggregated designs
@@ -113,7 +112,6 @@ pub fn availability(
     trials: u32,
     seed: u64,
 ) -> Availability {
-    use rand::Rng;
     let years = mission.as_years();
     let p_survive = (1.0 - annual_module_failure_prob.clamp(0.0, 1.0)).powf(years);
     let factory = RngFactory::new(seed);
@@ -124,7 +122,7 @@ pub fn availability(
     for _ in 0..trials {
         let mut alive = 0usize;
         for _ in 0..sudc.modules {
-            if rng.gen_range(0.0..1.0) < p_survive {
+            if rng.next_f64() < p_survive {
                 alive += 1;
             }
         }
@@ -162,8 +160,8 @@ mod tests {
         let mono = DisaggregatedSudc::monolithic_4kw();
         let quad = DisaggregatedSudc::split(4);
         let pricing = LaunchPricing::current();
-        let ratio = quad.replacement_cost(&pricing).as_usd()
-            / mono.replacement_cost(&pricing).as_usd();
+        let ratio =
+            quad.replacement_cost(&pricing).as_usd() / mono.replacement_cost(&pricing).as_usd();
         // Not a full 4× saving — each module still carries a whole bus —
         // but well under the monolithic relaunch.
         assert!(ratio < 0.6, "replacement ratio {ratio}");

@@ -91,8 +91,7 @@ mod tests {
         assert!((daily_10cm - 900.0).abs() < 1e-9);
         let hourly_10cm = required_ecr(b, Length::from_cm(10.0), Time::from_hours(1.0));
         assert!((hourly_10cm - 21_600.0).abs() < 1e-6);
-        let half_hourly_10cm =
-            required_ecr(b, Length::from_cm(10.0), Time::from_minutes(30.0));
+        let half_hourly_10cm = required_ecr(b, Length::from_cm(10.0), Time::from_minutes(30.0));
         assert!(half_hourly_10cm > 4e4, "got {half_hourly_10cm}");
     }
 

@@ -2,13 +2,13 @@
 
 use units::fmt_si::trim_float;
 use units::{Angle, Length, Power, Time};
-use workloads::{Application, Device, Hardening};
+use workloads::{Device, Hardening};
 
 use super::ExperimentResult;
 use crate::data::{downlinks, missions};
 use crate::sizing::{sizing_sweep, SudcSpec, PAPER_CONSTELLATION};
 
-fn res_label(r: Length) -> String {
+pub(crate) fn res_label(r: Length) -> String {
     if r.as_m() >= 1.0 {
         format!("{} m", trim_float(r.as_m()))
     } else {
@@ -16,7 +16,7 @@ fn res_label(r: Length) -> String {
     }
 }
 
-fn ed_label(ed: f64) -> String {
+pub(crate) fn ed_label(ed: f64) -> String {
     format!("{}%", trim_float(ed * 100.0))
 }
 
@@ -158,7 +158,12 @@ pub fn fig6() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig6",
         "ECR required vs target resolution, baseline 3 m / 1 day (Fig. 6)",
-        &["spatial", "temporal", "required ECR", "shortfall vs 400 (orders)"],
+        &[
+            "spatial",
+            "temporal",
+            "required ECR",
+            "shortfall vs 400 (orders)",
+        ],
     );
     for res in imagery::FrameSpec::paper_resolutions() {
         for (label, t) in temporals {
@@ -218,7 +223,13 @@ pub fn fig8() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig8",
         "Power to run each application on the EO satellite, Xavier efficiency (Fig. 8)",
-        &["app", "resolution", "early discard", "pixel rate (px/s)", "power"],
+        &[
+            "app",
+            "resolution",
+            "early discard",
+            "pixel rate (px/s)",
+            "power",
+        ],
     );
     for row in crate::onboard::fig8_sweep() {
         r.push_row([
@@ -231,7 +242,9 @@ pub fn fig8() -> ExperimentResult {
                 .unwrap_or_else(|| "unmappable".to_string()),
         ]);
     }
-    r.note("horizontal bars of Fig. 8 = pixel rate; curves = power at Jetson AGX Xavier pixels/s/W");
+    r.note(
+        "horizontal bars of Fig. 8 = pixel rate; curves = power at Jetson AGX Xavier pixels/s/W",
+    );
     r
 }
 
@@ -266,50 +279,41 @@ pub fn fig9() -> ExperimentResult {
 
 /// Fig. 11: cluster counts under ISL bottlenecks.
 pub fn fig11() -> ExperimentResult {
-    use comms::IslClass;
     let mut r = ExperimentResult::new(
         "fig11",
         "Ring clusters needed vs ISL capacity, 4 kW (left) and 256 kW (right) SµDCs (Fig. 11)",
-        &["SµDC", "app", "resolution", "ED", "ISL", "compute clusters", "ISL clusters", "clusters", "binding"],
+        &[
+            "SµDC",
+            "app",
+            "resolution",
+            "ED",
+            "ISL",
+            "compute clusters",
+            "ISL clusters",
+            "clusters",
+            "binding",
+        ],
     );
-    let specs = [
-        ("4 kW", SudcSpec::paper_4kw(Device::Rtx3090)),
-        ("256 kW", SudcSpec::station_256kw(Device::Rtx3090)),
-    ];
-    let cases = [
-        (Application::TrafficMonitoring, Length::from_m(1.0), 0.0),
-        (Application::AirPollution, Length::from_m(1.0), 0.0),
-        (Application::UrbanEmergency, Length::from_cm(30.0), 0.95),
-        (Application::FloodDetection, Length::from_m(1.0), 0.5),
-        (Application::CropMonitoring, Length::from_cm(30.0), 0.5),
-    ];
-    for (name, spec) in &specs {
-        for &(app, res, ed) in &cases {
-            for isl in IslClass::ALL {
-                if let Some(a) =
-                    crate::bottleneck::clusters_needed(spec, app, res, ed, 64, isl)
-                {
-                    let fmt_clusters = |c: usize| {
-                        if c == usize::MAX {
-                            "infeasible".to_string()
-                        } else {
-                            c.to_string()
-                        }
-                    };
-                    r.push_row([
-                        name.to_string(),
-                        app.to_string(),
-                        res_label(res),
-                        ed_label(ed),
-                        isl.to_string(),
-                        a.compute_clusters.to_string(),
-                        fmt_clusters(a.isl_clusters),
-                        fmt_clusters(a.clusters),
-                        a.binding.to_string(),
-                    ]);
-                }
+    for row in crate::bottleneck::fig11_sweep() {
+        let Some(a) = row.analysis else { continue };
+        let fmt_clusters = |c: usize| {
+            if c == usize::MAX {
+                "infeasible".to_string()
+            } else {
+                c.to_string()
             }
-        }
+        };
+        r.push_row([
+            format!("{} kW", trim_float(row.sudc_kw)),
+            row.app.to_string(),
+            res_label(row.resolution),
+            ed_label(row.discard_rate),
+            row.isl.to_string(),
+            a.compute_clusters.to_string(),
+            fmt_clusters(a.isl_clusters),
+            fmt_clusters(a.clusters),
+            a.binding.to_string(),
+        ]);
     }
     r.note("ISL-bottlenecked cells launch more SµDCs than compute needs (Sec. 7)");
     r.note(geo_note());

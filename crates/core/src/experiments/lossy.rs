@@ -15,7 +15,10 @@ pub fn lossy() -> ExperimentResult {
         "Quasi-lossless DWT compression: rate vs distortion (Sec. 4 claim)",
         &["scene", "quant shift", "ratio", "PSNR (dB)", "max error"],
     );
-    for (label, kind) in [("urban", SceneKind::UrbanRgb), ("rural", SceneKind::RuralRgb)] {
+    for (label, kind) in [
+        ("urban", SceneKind::UrbanRgb),
+        ("rural", SceneKind::RuralRgb),
+    ] {
         let img = Scene::new(kind, 17).render(192, 192);
         for shift in 0u8..=5 {
             let rd = dwt_rate_distortion(&img, shift);

@@ -10,7 +10,7 @@
 //! assert!(result.to_text_table().contains("Non-Built-Up"));
 //! ```
 
-mod figures;
+pub(crate) mod figures;
 mod lossy;
 mod placement;
 mod simval;
@@ -91,7 +91,10 @@ impl ExperimentResult {
     /// Returns [`CellError`] when the position is out of range or the
     /// cell text does not parse as `T`.
     pub fn cell<T: FromStr>(&self, row: usize, col: usize) -> Result<T, CellError> {
-        let type_name = std::any::type_name::<T>().rsplit("::").next().unwrap_or("value");
+        let type_name = std::any::type_name::<T>()
+            .rsplit("::")
+            .next()
+            .unwrap_or("value");
         let r = self.rows.get(row).ok_or_else(|| {
             CellError(format!(
                 "{} row {row}: out of range ({} rows)",
@@ -132,7 +135,13 @@ impl ExperimentResult {
             .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in &self.rows {
             let line: Vec<String> = row

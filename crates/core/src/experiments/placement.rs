@@ -78,18 +78,36 @@ pub fn placement() -> ExperimentResult {
     telemetry::debug(
         "placement.power",
         vec![
-            ("leo_array_w".to_string(), leo_eps.array_power.as_watts().into()),
-            ("geo_array_w".to_string(), geo_eps.array_power.as_watts().into()),
-            ("leo_battery_kg".to_string(), leo_eps.battery_mass.as_kg().into()),
-            ("geo_battery_kg".to_string(), geo_eps.battery_mass.as_kg().into()),
+            (
+                "leo_array_w".to_string(),
+                leo_eps.array_power.as_watts().into(),
+            ),
+            (
+                "geo_array_w".to_string(),
+                geo_eps.array_power.as_watts().into(),
+            ),
+            (
+                "leo_battery_kg".to_string(),
+                leo_eps.battery_mass.as_kg().into(),
+            ),
+            (
+                "geo_battery_kg".to_string(),
+                geo_eps.battery_mass.as_kg().into(),
+            ),
         ],
     );
 
     // Station-keeping and disposal.
     r.push_row([
         "drag make-up Δv (m/s/yr)".to_string(),
-        format!("{:.1}", annual_stationkeeping_delta_v(leo, &sc).as_m_per_s()),
-        format!("{:.4}", annual_stationkeeping_delta_v(geo, &sc).as_m_per_s()),
+        format!(
+            "{:.1}",
+            annual_stationkeeping_delta_v(leo, &sc).as_m_per_s()
+        ),
+        format!(
+            "{:.4}",
+            annual_stationkeeping_delta_v(geo, &sc).as_m_per_s()
+        ),
     ]);
     r.push_row([
         "disposal Δv (m/s)".to_string(),
@@ -118,11 +136,10 @@ pub fn placement() -> ExperimentResult {
         format!("{:.1}", geo_thermal.as_m2()),
     ]);
 
-    r.note("LEO pays eclipse power and boost; GEO pays radiation and launch energy — the Sec. 9 trade");
-    r.note(format!(
-        "GEO star coverage: {}",
-        super::figures::geo_note()
-    ));
+    r.note(
+        "LEO pays eclipse power and boost; GEO pays radiation and launch energy — the Sec. 9 trade",
+    );
+    r.note(format!("GEO star coverage: {}", super::figures::geo_note()));
     r
 }
 

@@ -80,15 +80,14 @@ fn cases() -> Vec<Case> {
 fn model_predicts_stable(c: &Case) -> bool {
     let per_cluster = 64 / c.clusters;
     // ISL side: each cluster's two ingest links must carry the arc.
-    let supportable =
-        crate::bottleneck::ring_supportable(c.isl, c.resolution, c.discard);
+    let supportable = crate::bottleneck::ring_supportable(c.isl, c.resolution, c.discard);
     if supportable < per_cluster {
         return false;
     }
     // Compute side: aggregate demand within each cluster.
     let spec = SudcSpec::paper_4kw(Device::Rtx3090);
-    let demand = imagery::FrameSpec::paper().pixel_rate(c.resolution, c.discard)
-        * per_cluster as f64;
+    let demand =
+        imagery::FrameSpec::paper().pixel_rate(c.resolution, c.discard) * per_cluster as f64;
     let capacity = spec.pixel_capacity(c.app).expect("measured app");
     demand <= capacity
 }
@@ -98,7 +97,17 @@ pub fn simval() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "simval",
         "Closed-form model vs discrete-event simulation (cross-validation)",
-        &["app", "resolution", "ED", "ISL", "clusters", "model", "simulated", "goodput", "agree"],
+        &[
+            "app",
+            "resolution",
+            "ED",
+            "ISL",
+            "clusters",
+            "model",
+            "simulated",
+            "goodput",
+            "agree",
+        ],
     );
     let mut agreements = 0usize;
     let all = cases();
@@ -122,7 +131,12 @@ pub fn simval() -> ExperimentResult {
             c.isl.to_string(),
             c.clusters.to_string(),
             if predicted { "stable" } else { "overloaded" }.to_string(),
-            if report.stable { "stable" } else { "overloaded" }.to_string(),
+            if report.stable {
+                "stable"
+            } else {
+                "overloaded"
+            }
+            .to_string(),
             format!("{:.3}", report.goodput),
             if agree { "yes" } else { "NO" }.to_string(),
         ]);

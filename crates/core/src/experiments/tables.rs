@@ -13,7 +13,15 @@ pub fn table1() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "table1",
         "Current and planned LEO EO constellations (Table 1)",
-        &["company", "constellation", "# sats", "form factor", "imaging", "spatial res", "temporal res"],
+        &[
+            "company",
+            "constellation",
+            "# sats",
+            "form factor",
+            "imaging",
+            "spatial res",
+            "temporal res",
+        ],
     );
     for c in constellation::classes::table1_constellations() {
         r.push_row([
@@ -86,7 +94,10 @@ pub fn table3() -> ExperimentResult {
 /// Table 4: compression ratios on synthetic imagery.
 pub fn table4() -> ExperimentResult {
     let mut cols: Vec<&str> = vec!["imagery"];
-    let labels: Vec<String> = CodecKind::ALL.iter().map(|c| c.label().to_string()).collect();
+    let labels: Vec<String> = CodecKind::ALL
+        .iter()
+        .map(|c| c.label().to_string())
+        .collect();
     cols.extend(labels.iter().map(|s| s.as_str()));
     let mut r = ExperimentResult::new(
         "table4",
@@ -126,7 +137,14 @@ pub fn table5() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "table5",
         "Applications consuming satellite imagery (Table 5)",
-        &["application", "abbrev", "imagery", "kernel", "FLOPs/pixel", "users"],
+        &[
+            "application",
+            "abbrev",
+            "imagery",
+            "kernel",
+            "FLOPs/pixel",
+            "users",
+        ],
     );
     for a in Application::ALL {
         r.push_row([
@@ -146,7 +164,14 @@ pub fn table6() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "table6",
         "Application results on the RTX 3090 and Jetson AGX Xavier (Table 6)",
-        &["app", "device", "power (W)", "util (%)", "inference (s)", "kpixel/s/W"],
+        &[
+            "app",
+            "device",
+            "power (W)",
+            "util (%)",
+            "inference (s)",
+            "kpixel/s/W",
+        ],
     );
     for device in [Device::Rtx3090, Device::JetsonAgxXavier] {
         for m in all_measurements(device) {
@@ -171,7 +196,13 @@ pub fn table7() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "table7",
         "Satellite capabilities by weight class; apps supported at 10 cm (Table 7)",
-        &["class", "examples", "power", "apps @ 0% ED", "apps @ 95% ED"],
+        &[
+            "class",
+            "examples",
+            "power",
+            "apps @ 0% ED",
+            "apps @ 95% ED",
+        ],
     );
     for class in SatelliteClass::ALL {
         let (lo, hi) = class.power_range();
@@ -204,15 +235,20 @@ pub fn table8() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "table8",
         "EO satellites supportable by a single ring SµDC (Table 8)",
-        &["resolution", "early discard", "1 Gbit/s", "10 Gbit/s", "100 Gbit/s"],
+        &[
+            "resolution",
+            "early discard",
+            "1 Gbit/s",
+            "10 Gbit/s",
+            "100 Gbit/s",
+        ],
     );
     for resolution in imagery::FrameSpec::paper_resolutions() {
         for ed in imagery::FrameSpec::paper_discard_rates() {
             let cells: Vec<String> = IslClass::ALL
                 .iter()
                 .map(|isl| {
-                    crate::bottleneck::ring_supportable(isl.capacity(), resolution, ed)
-                        .to_string()
+                    crate::bottleneck::ring_supportable(isl.capacity(), resolution, ed).to_string()
                 })
                 .collect();
             r.push_row([
@@ -236,7 +272,10 @@ pub fn table8() -> ExperimentResult {
 pub fn table9() -> ExperimentResult {
     use crate::codesign::Strategy;
     let mut cols: Vec<&str> = vec!["property"];
-    let labels: Vec<String> = Strategy::ALL.iter().map(|s| s.label().to_string()).collect();
+    let labels: Vec<String> = Strategy::ALL
+        .iter()
+        .map(|s| s.label().to_string())
+        .collect();
     cols.extend(labels.iter().map(|s| s.as_str()));
     let mut r = ExperimentResult::new(
         "table9",
@@ -245,10 +284,16 @@ pub fn table9() -> ExperimentResult {
     );
     let yn = |b: bool| if b { "Yes" } else { "No" };
     let rows: [(&str, fn(Strategy) -> bool); 4] = [
-        ("Scales to future resolution targets", Strategy::scales_to_future_targets),
+        (
+            "Scales to future resolution targets",
+            Strategy::scales_to_future_targets,
+        ),
         ("High power", Strategy::high_power),
         ("Requires ISLs", Strategy::requires_isls),
-        ("Adaptive to mission changes", Strategy::adaptive_to_mission_changes),
+        (
+            "Adaptive to mission changes",
+            Strategy::adaptive_to_mission_changes,
+        ),
     ];
     for (name, f) in rows {
         let mut row = vec![name.to_string()];

@@ -55,13 +55,14 @@ pub mod costs;
 pub mod data;
 pub mod datareq;
 pub mod deficit;
+pub mod disaggregation;
 pub mod ecr;
 pub mod experiments;
-pub mod disaggregation;
 pub mod onboard;
 pub mod powersys;
 pub mod sim;
 pub mod sizing;
+pub mod sweeps;
 pub mod thermal;
 
 pub use sizing::SudcSpec;

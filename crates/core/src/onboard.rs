@@ -45,7 +45,13 @@ pub fn class_supports(
     discard_rate: f64,
 ) -> bool {
     let frame = FrameSpec::paper();
-    match power_needed(app, Device::JetsonAgxXavier, resolution, discard_rate, &frame) {
+    match power_needed(
+        app,
+        Device::JetsonAgxXavier,
+        resolution,
+        discard_rate,
+        &frame,
+    ) {
         Some(p) => p <= class.max_power(),
         None => false, // unmappable (PS on Xavier)
     }
@@ -114,9 +120,7 @@ mod tests {
         // picosat budget — APP is the runner-up at ~10.2 W, just over.
         let fits: Vec<_> = Application::ALL
             .into_iter()
-            .filter(|&a| {
-                class_supports(SatelliteClass::Picosat, a, Length::from_m(3.0), 0.0)
-            })
+            .filter(|&a| class_supports(SatelliteClass::Picosat, a, Length::from_m(3.0), 0.0))
             .collect();
         // Our model admits LSC (1.4 W) alongside TM (0.9 W); every DNN
         // application is excluded, matching the figure's shape.

@@ -215,7 +215,10 @@ mod tests {
             &ArrayTech::triple_junction(),
             &BatteryTech::li_ion_geo(),
         );
-        assert!(geo_eps.eclipse > leo_eps.eclipse, "GEO worst eclipse is longer");
+        assert!(
+            geo_eps.eclipse > leo_eps.eclipse,
+            "GEO worst eclipse is longer"
+        );
         assert!(
             geo_eps.battery_mass < leo_eps.battery_mass,
             "GEO battery {} kg vs LEO {} kg",

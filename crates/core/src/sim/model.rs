@@ -253,9 +253,10 @@ impl State {
     fn keep_frame(&mut self, sat: usize, now: Time) -> bool {
         match self.cfg.discard {
             DiscardPolicy::Uniform(p) => {
-                let mut rng = self
-                    .rng_factory
-                    .stream("discard", ((sat as u64) << 32) | (self.generated & 0xFFFF_FFFF));
+                let mut rng = self.rng_factory.stream(
+                    "discard",
+                    ((sat as u64) << 32) | (self.generated & 0xFFFF_FFFF),
+                );
                 !coin(&mut rng, p)
             }
             DiscardPolicy::ClearLandOnly => {
@@ -293,8 +294,7 @@ fn depart(st: &mut State, sched: &mut Scheduler<Ev>, frame: FrameInFlight, sat: 
         SimTopology::Ring => st.cfg.plane.link_distance(1),
         SimTopology::GeoStar => Length::from_km(38_000.0),
     };
-    let prop =
-        Time::from_secs(hop_distance.as_m() / units::constants::SPEED_OF_LIGHT_M_PER_S);
+    let prop = Time::from_secs(hop_distance.as_m() / units::constants::SPEED_OF_LIGHT_M_PER_S);
     let done = start + tx;
     st.link_free[sat] = done;
     sched.schedule_at(done + prop, Ev::Hop { frame, from: sat });
@@ -419,8 +419,7 @@ pub fn run(cfg: &SimConfig) -> SimReport {
     // seconds of ingest work.
     let residual = DataSize::from_bits(st.queued_bits.max(0.0));
     let per_cluster_ingest = cfg.ingest_links as f64 * cfg.isl_capacity.as_bps();
-    let stable =
-        goodput > 0.9 && residual.as_bits() < per_cluster_ingest * clusters as f64 * 3.0;
+    let stable = goodput > 0.9 && residual.as_bits() < per_cluster_ingest * clusters as f64 * 3.0;
 
     if telemetry::level_enabled(telemetry::Level::Debug) {
         if let Some(rep) = sched.probe_report() {
@@ -522,11 +521,8 @@ mod tests {
 
     #[test]
     fn classifier_discard_is_aggressive() {
-        let mut cfg = SimConfig::paper_reference(
-            Application::CropMonitoring,
-            Length::from_m(3.0),
-            0.0,
-        );
+        let mut cfg =
+            SimConfig::paper_reference(Application::CropMonitoring, Length::from_m(3.0), 0.0);
         cfg.discard = DiscardPolicy::ClearLandOnly;
         cfg.clusters = 4;
         cfg.duration = Time::from_minutes(3.0);
@@ -557,7 +553,10 @@ mod tests {
         assert!(a.scheduler.peak_queue_depth > 0);
         // Horizon cutoff: some scheduled events go unprocessed.
         assert!(a.scheduler.processed <= a.scheduler.scheduled);
-        assert_eq!(a.scheduler, b.scheduler, "counters must be seed-deterministic");
+        assert_eq!(
+            a.scheduler, b.scheduler,
+            "counters must be seed-deterministic"
+        );
     }
 
     #[test]
@@ -573,8 +572,7 @@ mod tests {
 
     #[test]
     fn ai100_sudc_processes_more() {
-        let mut cfg =
-            SimConfig::paper_reference(Application::OilSpill, Length::from_m(1.0), 0.5);
+        let mut cfg = SimConfig::paper_reference(Application::OilSpill, Length::from_m(1.0), 0.5);
         cfg.duration = Time::from_minutes(2.0);
         let gpu = run(&cfg);
         cfg.sudc = SudcSpec::paper_4kw(Device::CloudAi100);
@@ -589,11 +587,8 @@ mod tests {
         // single SµDC. A plain ring (2 × 10 Gbit/s ingest) drowns; a
         // 16-list (16 × 10 Gbit/s) carries it, and TM compute
         // (10.4 Gpx/s at 4 kW) absorbs the 4.8 Gpx/s demand.
-        let mut cfg = SimConfig::paper_reference(
-            Application::TrafficMonitoring,
-            Length::from_m(1.0),
-            0.0,
-        );
+        let mut cfg =
+            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_m(1.0), 0.0);
         cfg.duration = Time::from_minutes(2.0);
         let ring = run(&cfg);
         assert!(!ring.stable, "{ring:?}");
@@ -610,11 +605,8 @@ mod tests {
         // topology cluster is k/2 times those shown in Table 8". At a
         // capacity where a ring supports 10 of 16 satellites per
         // cluster, a 4-list supports 20 ≥ 16.
-        let mut cfg = SimConfig::paper_reference(
-            Application::TrafficMonitoring,
-            Length::from_m(1.0),
-            0.0,
-        );
+        let mut cfg =
+            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_m(1.0), 0.0);
         cfg.clusters = 4; // 16 satellites each
         cfg.duration = Time::from_minutes(2.0);
         let ring = run(&cfg);
@@ -631,11 +623,8 @@ mod tests {
         // (or even sixteen) 10 Gbit/s ingest links. With dedicated
         // 25 Gbit/s LEO→GEO uplinks and three large GEO SµDCs, the
         // network side clears — exactly the Sec. 9 argument for the star.
-        let mut cfg = SimConfig::paper_reference(
-            Application::TrafficMonitoring,
-            Length::from_cm(30.0),
-            0.0,
-        );
+        let mut cfg =
+            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_cm(30.0), 0.0);
         cfg.duration = Time::from_minutes(1.5);
         cfg.ingest_links = 16;
         let ring = run(&cfg);
@@ -648,7 +637,11 @@ mod tests {
         let star = run(&cfg);
         assert!(star.stable, "{star:?}");
         // GEO adds ~0.13 s of propagation to every frame.
-        assert!(star.mean_latency_s > 0.12, "latency {}", star.mean_latency_s);
+        assert!(
+            star.mean_latency_s > 0.12,
+            "latency {}",
+            star.mean_latency_s
+        );
     }
 
     #[test]

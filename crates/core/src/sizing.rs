@@ -4,6 +4,7 @@
 //! how many SµDCs of a given power budget, chip architecture, and
 //! hardening level are needed per application?
 
+use explore::{Axis, Space};
 use imagery::FrameSpec;
 use serde::{Deserialize, Serialize};
 use units::{Length, Power};
@@ -51,9 +52,7 @@ impl SudcSpec {
     /// derating. `None` when the (app, device) pair is unmeasured.
     pub fn pixel_capacity(&self, app: Application) -> Option<f64> {
         let m = measurement(app, self.device)?;
-        let effective = self
-            .hardening
-            .derate_efficiency(m.kpixels_per_sec_per_watt);
+        let effective = self.hardening.derate_efficiency(m.kpixels_per_sec_per_watt);
         Some(effective * 1e3 * self.compute_power.as_watts())
     }
 
@@ -120,22 +119,84 @@ pub struct SizingRow {
     pub sudcs: Option<usize>,
 }
 
-/// Evaluates the sizing sweep for a spec over the paper's grid.
-pub fn sizing_sweep(spec: &SudcSpec, satellites: usize) -> Vec<SizingRow> {
-    let mut out = Vec::new();
-    for app in Application::ALL {
-        for resolution in FrameSpec::paper_resolutions() {
-            for discard_rate in FrameSpec::paper_discard_rates() {
-                out.push(SizingRow {
-                    app,
-                    resolution,
-                    discard_rate,
-                    sudcs: sudcs_needed(spec, app, resolution, discard_rate, satellites),
-                });
-            }
-        }
+/// The Fig. 9/14/16 parameter space: every application × the paper's
+/// resolutions × the paper's early-discard rates (app outermost,
+/// matching the figures' grouping).
+///
+/// # Panics
+///
+/// Panics if any axis is empty.
+pub fn sizing_space(
+    resolutions: &[Length],
+    discard_rates: &[f64],
+) -> Space<(Application, Length, f64)> {
+    Space::grid3(
+        "sizing",
+        Axis::new("app", Application::ALL.to_vec()),
+        Axis::new("res", resolutions.to_vec()),
+        Axis::new("ed", discard_rates.to_vec()),
+    )
+}
+
+/// Evaluates one sizing point for a spec.
+pub fn sizing_point(
+    spec: &SudcSpec,
+    satellites: usize,
+    &(app, resolution, discard_rate): &(Application, Length, f64),
+) -> SizingRow {
+    SizingRow {
+        app,
+        resolution,
+        discard_rate,
+        sudcs: sudcs_needed(spec, app, resolution, discard_rate, satellites),
     }
-    out
+}
+
+/// Evaluates the sizing sweep for a spec over the paper's grid (via the
+/// `explore` engine, sequentially).
+pub fn sizing_sweep(spec: &SudcSpec, satellites: usize) -> Vec<SizingRow> {
+    let space = sizing_space(
+        &FrameSpec::paper_resolutions(),
+        &FrameSpec::paper_discard_rates(),
+    );
+    explore::sweep(&space, &explore::ExecOptions::sequential(), |p| {
+        sizing_point(spec, satellites, p)
+    })
+    .results
+}
+
+impl explore::Cacheable for SizingRow {
+    fn encode(&self) -> String {
+        explore::Enc::new()
+            .u64(app_index(self.app))
+            .f64(self.resolution.as_m())
+            .f64(self.discard_rate)
+            .opt_u64(self.sudcs.map(|n| n as u64))
+            .finish()
+    }
+
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = explore::Dec::new(s);
+        Some(Self {
+            app: app_from_index(d.u64()?)?,
+            resolution: Length::from_m(d.f64()?),
+            discard_rate: d.f64()?,
+            sudcs: d.opt_u64()?.map(|n| n as usize),
+        })
+    }
+}
+
+/// Stable index of an application in Table 5 order (cache encoding).
+pub(crate) fn app_index(app: Application) -> u64 {
+    Application::ALL
+        .iter()
+        .position(|&a| a == app)
+        .expect("every application is in ALL") as u64
+}
+
+/// Inverse of [`app_index`].
+pub(crate) fn app_from_index(i: u64) -> Option<Application> {
+    Application::ALL.get(i as usize).copied()
 }
 
 /// The paper's reference constellation size.
@@ -172,8 +233,7 @@ mod tests {
         let single: usize = Application::ALL
             .into_iter()
             .filter(|&a| {
-                sudcs_needed(&spec(), a, Length::from_m(3.0), 0.0, PAPER_CONSTELLATION)
-                    == Some(1)
+                sudcs_needed(&spec(), a, Length::from_m(3.0), 0.0, PAPER_CONSTELLATION) == Some(1)
             })
             .count();
         assert!(single >= 6, "only {single} apps fit one SµDC at 3 m");
@@ -364,5 +424,49 @@ mod tests {
         let rows = sizing_sweep(&spec(), PAPER_CONSTELLATION);
         assert_eq!(rows.len(), 160);
         assert!(rows.iter().all(|r| r.sudcs.is_some()));
+    }
+
+    #[test]
+    fn engine_sweep_keeps_app_outer_order() {
+        let rows = sizing_sweep(&spec(), PAPER_CONSTELLATION);
+        let mut i = 0;
+        for app in Application::ALL {
+            for resolution in FrameSpec::paper_resolutions() {
+                for discard_rate in FrameSpec::paper_discard_rates() {
+                    assert_eq!(rows[i].app, app, "row {i}");
+                    assert_eq!(rows[i].resolution, resolution, "row {i}");
+                    assert_eq!(rows[i].discard_rate, discard_rate, "row {i}");
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sizing_row_cache_round_trips() {
+        use explore::Cacheable;
+        for row in sizing_sweep(&spec(), PAPER_CONSTELLATION)
+            .into_iter()
+            .take(8)
+        {
+            let back = SizingRow::decode(&row.encode()).unwrap();
+            assert_eq!(back, row);
+        }
+        // An unmeasured (None) count round-trips too.
+        let none = SizingRow {
+            app: Application::PanopticSegmentation,
+            resolution: Length::from_m(3.0),
+            discard_rate: 0.0,
+            sudcs: None,
+        };
+        assert_eq!(SizingRow::decode(&none.encode()), Some(none));
+    }
+
+    #[test]
+    fn app_indices_are_a_bijection() {
+        for app in Application::ALL {
+            assert_eq!(app_from_index(app_index(app)), Some(app));
+        }
+        assert_eq!(app_from_index(Application::ALL.len() as u64), None);
     }
 }

@@ -1,0 +1,769 @@
+//! Named design-space sweeps for the `repro explore` CLI.
+//!
+//! Each sweep binds a parameter [`Space`] to an evaluator, a cache
+//! version tag, objectives/constraints for Pareto extraction, and the
+//! formatting that turns rows into [`ExperimentResult`] artifacts. The
+//! CLI looks sweeps up by name, applies `--axis` overrides to the
+//! numeric axes, and runs them through [`explore::sweep_cached`].
+
+use std::path::{Path, PathBuf};
+
+use comms::IslClass;
+use explore::{Cache, Constraint, ExecOptions, Objective, Space, SweepStats};
+use imagery::FrameSpec;
+use units::fmt_si::trim_float;
+use units::Length;
+use workloads::Application;
+
+use crate::bottleneck::{fig11_row, Fig11Row, Table8Cell};
+use crate::codesign::{fig13_point, paper_fig13_axes, CodesignPoint};
+use crate::experiments::figures::{ed_label, res_label};
+use crate::experiments::ExperimentResult;
+use crate::sizing::{sizing_point, SizingRow, SudcSpec, PAPER_CONSTELLATION};
+
+/// One overridable numeric axis of a named sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisSpec {
+    /// Axis name as accepted by `--axis name=…`.
+    pub name: &'static str,
+    /// What the axis controls.
+    pub help: &'static str,
+    /// Default values (integers rendered without a decimal point).
+    pub default: Vec<f64>,
+    /// Whether only integral values are accepted.
+    pub integer: bool,
+}
+
+/// A named sweep's description (for `repro explore --list`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepDef {
+    /// CLI name.
+    pub name: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Overridable axes.
+    pub axes: Vec<AxisSpec>,
+}
+
+/// All named sweeps, in presentation order.
+pub fn all() -> Vec<SweepDef> {
+    let (ks, splits) = paper_fig13_axes();
+    vec![
+        SweepDef {
+            name: "codesign",
+            title: "Fig. 13 k-list × splitting capacity/power trade",
+            axes: vec![
+                AxisSpec {
+                    name: "k",
+                    help: "ingest links per SµDC (even, ≥ 2)",
+                    default: ks.iter().map(|&k| k as f64).collect(),
+                    integer: true,
+                },
+                AxisSpec {
+                    name: "split",
+                    help: "SµDC splitting factor (≥ 1)",
+                    default: splits.iter().map(|&s| s as f64).collect(),
+                    integer: true,
+                },
+            ],
+        },
+        SweepDef {
+            name: "sizing",
+            title: "Fig. 9-style SµDC counts (RTX 3090), all applications",
+            axes: vec![
+                kw_axis(vec![4.0]),
+                res_axis(),
+                ed_axis(FrameSpec::paper_discard_rates().to_vec()),
+            ],
+        },
+        SweepDef {
+            name: "table8",
+            title: "Table 8 ring-supportable EO satellites per ISL class",
+            axes: vec![
+                res_axis(),
+                ed_axis(FrameSpec::paper_discard_rates().to_vec()),
+            ],
+        },
+        SweepDef {
+            name: "bottleneck",
+            title: "Fig. 11-style cluster counts across apps × ISLs (RTX 3090)",
+            axes: vec![
+                kw_axis(vec![4.0, 256.0]),
+                res_axis(),
+                ed_axis(FrameSpec::paper_discard_rates().to_vec()),
+            ],
+        },
+    ]
+}
+
+fn kw_axis(default: Vec<f64>) -> AxisSpec {
+    AxisSpec {
+        name: "kw",
+        help: "SµDC compute power (kW)",
+        default,
+        integer: false,
+    }
+}
+
+fn res_axis() -> AxisSpec {
+    AxisSpec {
+        name: "res",
+        help: "spatial resolution (m)",
+        default: FrameSpec::paper_resolutions()
+            .iter()
+            .map(|r| r.as_m())
+            .collect(),
+        integer: false,
+    }
+}
+
+fn ed_axis(default: Vec<f64>) -> AxisSpec {
+    AxisSpec {
+        name: "ed",
+        help: "early-discard rate in [0, 1)",
+        default,
+        integer: false,
+    }
+}
+
+/// A completed named sweep: artifacts plus executor statistics.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// The sweep's CLI name.
+    pub name: &'static str,
+    /// Full-grid artifact (`explore_<name>`).
+    pub grid: ExperimentResult,
+    /// Pareto-frontier artifact (`explore_<name>_frontier`).
+    pub frontier: ExperimentResult,
+    /// Executor statistics (points, evaluated, cache hits, steals, wall).
+    pub stats: SweepStats,
+    /// Cache snapshot written this run, if the cache was dirty.
+    pub cache_written: Option<PathBuf>,
+}
+
+/// Runs the named sweep with numeric axis overrides.
+///
+/// `cache_dir` of `None` runs uncached (in-memory); otherwise the
+/// per-sweep snapshot lives at `<cache_dir>/<name>.cache`.
+///
+/// # Errors
+///
+/// Returns a message for unknown sweep names, unknown axis names, and
+/// non-integral values on integer axes.
+pub fn run(
+    name: &str,
+    overrides: &[(String, Vec<f64>)],
+    opts: &ExecOptions,
+    cache_dir: Option<&Path>,
+) -> Result<SweepRun, String> {
+    let def = all().into_iter().find(|d| d.name == name).ok_or_else(|| {
+        let names: Vec<&str> = all().iter().map(|d| d.name).collect();
+        format!("unknown sweep '{name}' (available: {})", names.join(", "))
+    })?;
+    for (axis, _) in overrides {
+        if !def.axes.iter().any(|a| a.name == axis) {
+            let names: Vec<&str> = def.axes.iter().map(|a| a.name).collect();
+            return Err(format!(
+                "sweep '{name}' has no axis '{axis}' (axes: {})",
+                names.join(", ")
+            ));
+        }
+    }
+    match def.name {
+        "codesign" => run_codesign(&def, overrides, opts, cache_dir),
+        "sizing" => run_sizing(&def, overrides, opts, cache_dir),
+        "table8" => run_table8(&def, overrides, opts, cache_dir),
+        "bottleneck" => run_bottleneck(&def, overrides, opts, cache_dir),
+        _ => unreachable!("every SweepDef has a runner"),
+    }
+}
+
+fn axis_f64(def: &SweepDef, overrides: &[(String, Vec<f64>)], name: &str) -> Vec<f64> {
+    overrides
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| {
+            def.axes
+                .iter()
+                .find(|a| a.name == name)
+                .expect("axis declared in def")
+                .default
+                .clone()
+        })
+}
+
+fn axis_usize(
+    def: &SweepDef,
+    overrides: &[(String, Vec<f64>)],
+    name: &str,
+) -> Result<Vec<usize>, String> {
+    axis_f64(def, overrides, name)
+        .into_iter()
+        .map(|v| {
+            if v >= 0.0 && v.fract() == 0.0 && v <= usize::MAX as f64 {
+                Ok(v as usize)
+            } else {
+                Err(format!(
+                    "axis '{name}' needs non-negative integers, got {v}"
+                ))
+            }
+        })
+        .collect()
+}
+
+fn open_cache(cache_dir: Option<&Path>, sweep: &str, version: &str) -> Cache {
+    match cache_dir {
+        Some(dir) => Cache::open(dir, sweep, version),
+        None => Cache::in_memory(version),
+    }
+}
+
+fn stats_note(stats: &SweepStats) -> String {
+    format!(
+        "engine: {} points, {} evaluated, {} cache hits, {} steals, {} threads, {:.1} points/s",
+        stats.points,
+        stats.evaluated,
+        stats.cache_hits,
+        stats.steals,
+        stats.threads,
+        stats.points_per_sec()
+    )
+}
+
+fn frontier_note(objectives: &[String], constraints: &[String]) -> String {
+    if constraints.is_empty() {
+        format!("Pareto-nondominated under: {}", objectives.join(", "))
+    } else {
+        format!(
+            "Pareto-nondominated under: {}; subject to: {}",
+            objectives.join(", "),
+            constraints.join(", ")
+        )
+    }
+}
+
+/// Assembles the grid + frontier artifact pair shared by every runner.
+#[allow(clippy::too_many_arguments)]
+fn artifacts<R>(
+    name: &'static str,
+    title: &str,
+    columns: &[&str],
+    rows: &[R],
+    row_cells: impl Fn(&R) -> Vec<String>,
+    objectives: &[Objective<R>],
+    constraints: &[Constraint<R>],
+    stats: SweepStats,
+    cache_written: Option<PathBuf>,
+) -> SweepRun {
+    let mut grid = ExperimentResult::new(&format!("explore_{name}"), title, columns);
+    for r in rows {
+        grid.push_row(row_cells(r));
+    }
+    grid.note(stats_note(&stats));
+
+    let front = explore::pareto_indices(rows, objectives, constraints);
+    let mut frontier = ExperimentResult::new(
+        &format!("explore_{name}_frontier"),
+        &format!("{title} — Pareto frontier"),
+        columns,
+    );
+    for &i in &front {
+        frontier.push_row(row_cells(&rows[i]));
+    }
+    let names = |os: &[Objective<R>]| -> Vec<String> {
+        os.iter()
+            .map(|o| {
+                let dir = match o.direction {
+                    explore::Direction::Minimize => "min",
+                    explore::Direction::Maximize => "max",
+                };
+                format!("{dir} {}", o.name)
+            })
+            .collect()
+    };
+    frontier.note(frontier_note(
+        &names(objectives),
+        &constraints
+            .iter()
+            .map(|c| c.name.clone())
+            .collect::<Vec<_>>(),
+    ));
+    frontier.note(format!(
+        "{} of {} feasible-and-nondominated points",
+        front.len(),
+        rows.len()
+    ));
+
+    SweepRun {
+        name,
+        grid,
+        frontier,
+        stats,
+        cache_written,
+    }
+}
+
+fn run_codesign(
+    def: &SweepDef,
+    overrides: &[(String, Vec<f64>)],
+    opts: &ExecOptions,
+    cache_dir: Option<&Path>,
+) -> Result<SweepRun, String> {
+    let ks = axis_usize(def, overrides, "k")?;
+    let splits = axis_usize(def, overrides, "split")?;
+    for &k in &ks {
+        if k < 2 || k % 2 != 0 {
+            return Err(format!("axis 'k' needs even values ≥ 2, got {k}"));
+        }
+    }
+    for &s in &splits {
+        if s == 0 {
+            return Err("axis 'split' needs values ≥ 1".to_string());
+        }
+    }
+    let space = crate::codesign::fig13_space(&ks, &splits);
+    let mut cache = open_cache(cache_dir, "codesign", "fig13-v1");
+    let out = explore::sweep_cached(&space, opts, &mut cache, |&(k, split)| {
+        fig13_point(k, split)
+    });
+    let cache_written = cache.save().map_err(|e| format!("cache save: {e}"))?;
+
+    Ok(artifacts(
+        "codesign",
+        "k-list × splitting: normalised capacity vs ISL transmit power (Fig. 13 space)",
+        &[
+            "k",
+            "split",
+            "capacity (×ring)",
+            "power (×ring)",
+            "capacity/power",
+        ],
+        &out.results,
+        |p: &CodesignPoint| {
+            vec![
+                p.k.to_string(),
+                p.split.to_string(),
+                trim_float(p.capacity_norm),
+                trim_float(p.power_norm),
+                format!("{:.3}", p.capacity_per_power),
+            ]
+        },
+        &[
+            Objective::maximize("capacity (×ring)", |p: &CodesignPoint| p.capacity_norm),
+            Objective::minimize("power (×ring)", |p: &CodesignPoint| p.power_norm),
+        ],
+        &[],
+        out.stats,
+        cache_written,
+    ))
+}
+
+fn run_sizing(
+    def: &SweepDef,
+    overrides: &[(String, Vec<f64>)],
+    opts: &ExecOptions,
+    cache_dir: Option<&Path>,
+) -> Result<SweepRun, String> {
+    let kws = axis_f64(def, overrides, "kw");
+    let space = sizing_cli_space(
+        &kws,
+        &lengths(&axis_f64(def, overrides, "res")),
+        &axis_f64(def, overrides, "ed"),
+    );
+    let mut cache = open_cache(cache_dir, "sizing", "fig9-v1");
+    let out = explore::sweep_cached(&space, opts, &mut cache, sizing_cell);
+    let cache_written = cache.save().map_err(|e| format!("cache save: {e}"))?;
+
+    Ok(artifacts(
+        "sizing",
+        "SµDCs needed per application (RTX 3090, Fig. 9 space)",
+        &["SµDC kW", "app", "resolution", "ED", "SµDCs"],
+        &out.results,
+        |c: &SizingCell| {
+            vec![
+                trim_float(c.kw),
+                c.row.app.to_string(),
+                res_label(c.row.resolution),
+                ed_label(c.row.discard_rate),
+                c.row
+                    .sudcs
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "unmappable".to_string()),
+            ]
+        },
+        &[
+            Objective::minimize("SµDCs", |c: &SizingCell| match c.row.sudcs {
+                Some(n) => n as f64,
+                None => f64::NAN,
+            }),
+            Objective::minimize("resolution (m)", |c: &SizingCell| c.row.resolution.as_m()),
+            Objective::minimize("ED", |c: &SizingCell| c.row.discard_rate),
+        ],
+        &[Constraint::new("measured on device", |c: &SizingCell| {
+            c.row.sudcs.is_some()
+        })],
+        out.stats,
+        cache_written,
+    ))
+}
+
+fn run_table8(
+    def: &SweepDef,
+    overrides: &[(String, Vec<f64>)],
+    opts: &ExecOptions,
+    cache_dir: Option<&Path>,
+) -> Result<SweepRun, String> {
+    let space = crate::bottleneck::table8_space(
+        &lengths(&axis_f64(def, overrides, "res")),
+        &axis_f64(def, overrides, "ed"),
+    );
+    let mut cache = open_cache(cache_dir, "table8", "table8-v1");
+    let out = explore::sweep_cached(&space, opts, &mut cache, crate::bottleneck::table8_cell);
+    let cache_written = cache.save().map_err(|e| format!("cache save: {e}"))?;
+
+    Ok(artifacts(
+        "table8",
+        "EO satellites one ring SµDC can ingest from (Table 8 space)",
+        &["resolution", "ED", "ISL", "supportable EO sats"],
+        &out.results,
+        |c: &Table8Cell| {
+            vec![
+                res_label(c.resolution),
+                ed_label(c.discard_rate),
+                c.isl.to_string(),
+                c.supportable.to_string(),
+            ]
+        },
+        &[
+            Objective::maximize("supportable EO sats", |c: &Table8Cell| c.supportable as f64),
+            Objective::minimize("ISL capacity (Gbit/s)", |c: &Table8Cell| {
+                c.isl.capacity().as_bps() / 1e9
+            }),
+        ],
+        &[Constraint::new(
+            "supports ≥ 1 satellite",
+            |c: &Table8Cell| c.supportable >= 1,
+        )],
+        out.stats,
+        cache_written,
+    ))
+}
+
+fn run_bottleneck(
+    def: &SweepDef,
+    overrides: &[(String, Vec<f64>)],
+    opts: &ExecOptions,
+    cache_dir: Option<&Path>,
+) -> Result<SweepRun, String> {
+    let space = bottleneck_cli_space(
+        &axis_f64(def, overrides, "kw"),
+        &lengths(&axis_f64(def, overrides, "res")),
+        &axis_f64(def, overrides, "ed"),
+    );
+    let mut cache = open_cache(cache_dir, "bottleneck", "fig11-v1");
+    let out = explore::sweep_cached(&space, opts, &mut cache, |p| {
+        fig11_row(PAPER_CONSTELLATION, p)
+    });
+    let cache_written = cache.save().map_err(|e| format!("cache save: {e}"))?;
+
+    let fmt_clusters = |c: usize| {
+        if c == usize::MAX {
+            "infeasible".to_string()
+        } else {
+            c.to_string()
+        }
+    };
+    Ok(artifacts(
+        "bottleneck",
+        "Ring clusters needed vs ISL capacity across applications (Fig. 11 space)",
+        &[
+            "SµDC kW",
+            "app",
+            "resolution",
+            "ED",
+            "ISL",
+            "compute clusters",
+            "ISL clusters",
+            "clusters",
+            "binding",
+        ],
+        &out.results,
+        move |r: &Fig11Row| {
+            let (cc, ic, cl, binding) = match &r.analysis {
+                Some(a) => (
+                    a.compute_clusters.to_string(),
+                    fmt_clusters(a.isl_clusters),
+                    fmt_clusters(a.clusters),
+                    a.binding.to_string(),
+                ),
+                None => (
+                    "unmappable".to_string(),
+                    "unmappable".to_string(),
+                    "unmappable".to_string(),
+                    "unmappable".to_string(),
+                ),
+            };
+            vec![
+                trim_float(r.sudc_kw),
+                r.app.to_string(),
+                res_label(r.resolution),
+                ed_label(r.discard_rate),
+                r.isl.to_string(),
+                cc,
+                ic,
+                cl,
+                binding,
+            ]
+        },
+        &[
+            Objective::minimize("clusters", |r: &Fig11Row| match &r.analysis {
+                Some(a) if a.isl_clusters != usize::MAX => a.clusters as f64,
+                _ => f64::NAN,
+            }),
+            Objective::minimize("resolution (m)", |r: &Fig11Row| r.resolution.as_m()),
+            Objective::minimize("ED", |r: &Fig11Row| r.discard_rate),
+        ],
+        &[Constraint::new("feasible ring ingest", |r: &Fig11Row| {
+            r.analysis
+                .as_ref()
+                .is_some_and(|a| a.isl_clusters != usize::MAX)
+        })],
+        out.stats,
+        cache_written,
+    ))
+}
+
+fn lengths(meters: &[f64]) -> Vec<Length> {
+    meters.iter().map(|&m| Length::from_m(m)).collect()
+}
+
+/// One cell of the CLI sizing sweep: a [`SizingRow`] tagged with the
+/// SµDC power it was sized at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingCell {
+    /// SµDC compute power (kW).
+    pub kw: f64,
+    /// The sizing result.
+    pub row: SizingRow,
+}
+
+fn sizing_cell(&(kw, app, res, ed): &(f64, Application, Length, f64)) -> SizingCell {
+    let spec = SudcSpec {
+        compute_power: units::Power::from_kilowatts(kw),
+        device: workloads::Device::Rtx3090,
+        hardening: workloads::Hardening::None,
+    };
+    SizingCell {
+        kw,
+        row: sizing_point(&spec, PAPER_CONSTELLATION, &(app, res, ed)),
+    }
+}
+
+impl explore::Cacheable for SizingCell {
+    fn encode(&self) -> String {
+        explore::Enc::new().f64(self.kw).finish() + "|" + &self.row.encode()
+    }
+
+    fn decode(s: &str) -> Option<Self> {
+        let (kw, rest) = s.split_once('|')?;
+        let kw = explore::Dec::new(kw).f64()?;
+        Some(Self {
+            kw,
+            row: SizingRow::decode(rest)?,
+        })
+    }
+}
+
+/// The CLI sizing space: SµDC power × application × resolution ×
+/// early-discard (power outermost).
+pub fn sizing_cli_space(
+    kws: &[f64],
+    resolutions: &[Length],
+    discard_rates: &[f64],
+) -> Space<(f64, Application, Length, f64)> {
+    let mut points = Vec::new();
+    for &kw in kws {
+        for app in Application::ALL {
+            for &res in resolutions {
+                for &ed in discard_rates {
+                    points.push((kw, app, res, ed));
+                }
+            }
+        }
+    }
+    Space::from_points("sizing", points, |&(kw, app, res, ed)| {
+        format!("kw={kw};app={app};res={res};ed={ed}")
+    })
+}
+
+/// The CLI bottleneck space: SµDC power × application × resolution ×
+/// early-discard × ISL class (power outermost). This is the full-grid
+/// generalisation of [`crate::bottleneck::fig11_space`], whose points
+/// hash identically at shared coordinates.
+pub fn bottleneck_cli_space(
+    kws: &[f64],
+    resolutions: &[Length],
+    discard_rates: &[f64],
+) -> Space<(f64, Application, Length, f64, IslClass)> {
+    let mut points = Vec::new();
+    for &kw in kws {
+        for app in Application::ALL {
+            for &res in resolutions {
+                for &ed in discard_rates {
+                    for isl in IslClass::ALL {
+                        points.push((kw, app, res, ed, isl));
+                    }
+                }
+            }
+        }
+    }
+    Space::from_points("fig11", points, |&(kw, app, res, ed, isl)| {
+        format!("kw={kw};app={app};res={res};ed={ed};isl={isl}")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_sweep_runs_uncached() {
+        for def in all() {
+            let run = run(def.name, &[], &ExecOptions::sequential(), None)
+                .unwrap_or_else(|e| panic!("{}: {e}", def.name));
+            assert!(!run.grid.rows.is_empty(), "{} grid empty", def.name);
+            assert!(!run.frontier.rows.is_empty(), "{} frontier empty", def.name);
+            assert!(
+                run.frontier.rows.len() <= run.grid.rows.len(),
+                "{} frontier larger than grid",
+                def.name
+            );
+            assert_eq!(run.stats.evaluated, run.stats.points);
+            assert!(run.cache_written.is_none(), "{} wrote a cache", def.name);
+        }
+    }
+
+    #[test]
+    fn default_codesign_grid_matches_fig13() {
+        let run = run("codesign", &[], &ExecOptions::sequential(), None).unwrap();
+        let fig13 = crate::experiments::run("fig13").unwrap();
+        assert_eq!(run.grid.rows, fig13.rows);
+    }
+
+    #[test]
+    fn axis_overrides_reshape_the_space() {
+        let overrides = vec![
+            ("k".to_string(), vec![2.0, 4.0]),
+            ("split".to_string(), vec![1.0, 2.0, 3.0]),
+        ];
+        let run = run("codesign", &overrides, &ExecOptions::sequential(), None).unwrap();
+        assert_eq!(run.grid.rows.len(), 6);
+        assert_eq!(run.grid.rows[5][0], "4");
+        assert_eq!(run.grid.rows[5][1], "3");
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(run("nope", &[], &ExecOptions::sequential(), None)
+            .unwrap_err()
+            .contains("unknown sweep"));
+        let bad_axis = vec![("device".to_string(), vec![1.0])];
+        assert!(run("sizing", &bad_axis, &ExecOptions::sequential(), None)
+            .unwrap_err()
+            .contains("no axis 'device'"));
+        let odd_k = vec![("k".to_string(), vec![3.0])];
+        assert!(run("codesign", &odd_k, &ExecOptions::sequential(), None)
+            .unwrap_err()
+            .contains("even values"));
+        let frac = vec![("split".to_string(), vec![1.5])];
+        assert!(run("codesign", &frac, &ExecOptions::sequential(), None)
+            .unwrap_err()
+            .contains("integers"));
+    }
+
+    #[test]
+    fn codesign_frontier_is_the_efficient_mix() {
+        // With capacity ↑ and power ↓, splitting (linear power) beats
+        // k-growth (quadratic power) wherever both can reach a capacity,
+        // so the whole k = 2 line survives; above the largest split the
+        // only way to more capacity is more k, so the max-split points
+        // of k > 2 survive too. Nothing else does.
+        let run = run("codesign", &[], &ExecOptions::sequential(), None).unwrap();
+        assert_eq!(run.frontier.rows.len(), 7, "rows: {:?}", run.frontier.rows);
+        assert!(
+            run.frontier
+                .rows
+                .iter()
+                .all(|row| row[0] == "2" || row[1] == "8"),
+            "frontier rows: {:?}",
+            run.frontier.rows
+        );
+        assert_eq!(
+            run.frontier.rows.iter().filter(|row| row[0] == "2").count(),
+            4,
+            "the full splitting line survives"
+        );
+    }
+
+    #[test]
+    fn parallel_named_sweep_matches_sequential() {
+        for def in all() {
+            let seq = run(def.name, &[], &ExecOptions::sequential(), None).unwrap();
+            let par = run(def.name, &[], &ExecOptions::threads(4), None).unwrap();
+            assert_eq!(seq.grid.rows, par.grid.rows, "{} grid", def.name);
+            assert_eq!(
+                seq.frontier.rows, par.frontier.rows,
+                "{} frontier",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_cache_round_trips_across_runs() {
+        let dir = std::env::temp_dir().join(format!("sudc_sweeps_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = run("table8", &[], &ExecOptions::sequential(), Some(&dir)).unwrap();
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert_eq!(cold.stats.evaluated, cold.stats.points);
+        assert!(cold.cache_written.is_some());
+
+        let warm = run("table8", &[], &ExecOptions::threads(2), Some(&dir)).unwrap();
+        assert_eq!(warm.stats.evaluated, 0, "warm cache evaluates nothing");
+        assert_eq!(warm.stats.cache_hits, warm.stats.points);
+        assert!(warm.cache_written.is_none(), "clean cache not rewritten");
+        assert_eq!(cold.grid.rows, warm.grid.rows);
+        assert_eq!(cold.frontier.rows, warm.frontier.rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sizing_cell_cache_round_trips() {
+        use explore::Cacheable;
+        let cell = sizing_cell(&(4.0, Application::FloodDetection, Length::from_m(1.0), 0.5));
+        assert_eq!(SizingCell::decode(&cell.encode()), Some(cell));
+    }
+
+    #[test]
+    fn cli_fig11_points_hash_like_the_figure_space() {
+        // Shared coordinates content-address identically, so a cache
+        // warmed by the CLI grid serves the paper-figure subspace too.
+        let figure = crate::bottleneck::fig11_space(&[4.0]);
+        let cli = bottleneck_cli_space(
+            &[4.0],
+            &lengths(&[3.0, 1.0, 0.3, 0.1]),
+            &[0.0, 0.5, 0.95, 0.99],
+        );
+        let cli_hashes: std::collections::HashSet<u64> =
+            cli.ids().iter().map(|id| id.hash).collect();
+        let shared = figure
+            .ids()
+            .iter()
+            .filter(|id| cli_hashes.contains(&id.hash))
+            .count();
+        // Every Fig. 11 case uses paper resolutions and discard rates,
+        // so all 15 figure points must be shared with the CLI grid.
+        assert_eq!(shared, figure.len(), "figure points missing from CLI grid");
+    }
+}

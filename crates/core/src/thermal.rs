@@ -150,7 +150,11 @@ mod tests {
         // The ISS rejects ~70 kW with ~156 m² of active radiators; 256 kW
         // needs hundreds of m² — the paper's "Space Station class" SµDCs
         // carry station-scale thermal systems.
-        assert!(d.radiator_area.as_m2() > 200.0, "got {}", d.radiator_area.as_m2());
+        assert!(
+            d.radiator_area.as_m2() > 200.0,
+            "got {}",
+            d.radiator_area.as_m2()
+        );
     }
 
     #[test]

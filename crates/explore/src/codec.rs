@@ -1,0 +1,217 @@
+//! A tiny exact serialization for cached sweep results.
+//!
+//! Cache entries must round-trip *bit-exactly* (the warm-cache path has
+//! to produce byte-identical artifacts), so floats are stored as hex
+//! `f64::to_bits` rather than decimal text. Fields are pipe-separated
+//! with a minimal escape for strings; everything stays on one line so a
+//! cache snapshot is one entry per line.
+
+const SEP: char = '|';
+
+/// Builds the encoded form of one result, field by field.
+#[derive(Debug, Default)]
+pub struct Enc {
+    out: String,
+}
+
+impl Enc {
+    /// Starts an empty encoding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.out.is_empty() {
+            self.out.push(SEP);
+        }
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.sep();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Appends a `usize` field.
+    pub fn usize(self, v: usize) -> Self {
+        self.u64(v as u64)
+    }
+
+    /// Appends a signed integer field.
+    pub fn i64(mut self, v: i64) -> Self {
+        self.sep();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Appends a float field, bit-exact.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.sep();
+        self.out.push_str(&format!("{:016x}", v.to_bits()));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(mut self, v: bool) -> Self {
+        self.sep();
+        self.out.push(if v { '1' } else { '0' });
+        self
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(mut self, v: &str) -> Self {
+        self.sep();
+        for ch in v.chars() {
+            match ch {
+                '\\' => self.out.push_str("\\\\"),
+                '|' => self.out.push_str("\\p"),
+                '\n' => self.out.push_str("\\n"),
+                '\t' => self.out.push_str("\\t"),
+                c => self.out.push(c),
+            }
+        }
+        self
+    }
+
+    /// Appends an optional unsigned field (`-` for `None`).
+    pub fn opt_u64(mut self, v: Option<u64>) -> Self {
+        match v {
+            Some(v) => self.u64(v),
+            None => {
+                self.sep();
+                self.out.push('-');
+                self
+            }
+        }
+    }
+
+    /// Finishes, returning the single-line encoding.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Reads fields back in the order they were encoded.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    parts: std::str::Split<'a, char>,
+}
+
+impl<'a> Dec<'a> {
+    /// Starts decoding an [`Enc`]-produced line.
+    pub fn new(s: &'a str) -> Self {
+        Self {
+            parts: s.split(SEP),
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        self.parts.next()
+    }
+
+    /// Next unsigned integer field.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.next()?.parse().ok()
+    }
+
+    /// Next `usize` field.
+    pub fn usize(&mut self) -> Option<usize> {
+        self.next()?.parse().ok()
+    }
+
+    /// Next signed integer field.
+    pub fn i64(&mut self) -> Option<i64> {
+        self.next()?.parse().ok()
+    }
+
+    /// Next float field (bit-exact).
+    pub fn f64(&mut self) -> Option<f64> {
+        let bits = u64::from_str_radix(self.next()?, 16).ok()?;
+        Some(f64::from_bits(bits))
+    }
+
+    /// Next boolean field.
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.next()? {
+            "1" => Some(true),
+            "0" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Next string field (unescaped).
+    pub fn str(&mut self) -> Option<String> {
+        let raw = self.next()?;
+        let mut out = String::with_capacity(raw.len());
+        let mut chars = raw.chars();
+        while let Some(ch) = chars.next() {
+            if ch == '\\' {
+                match chars.next()? {
+                    '\\' => out.push('\\'),
+                    'p' => out.push('|'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    _ => return None,
+                }
+            } else {
+                out.push(ch);
+            }
+        }
+        Some(out)
+    }
+
+    /// Next optional unsigned field.
+    pub fn opt_u64(&mut self) -> Option<Option<u64>> {
+        let raw = self.next()?;
+        if raw == "-" {
+            Some(None)
+        } else {
+            raw.parse().ok().map(Some)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_field_kind() {
+        let line = Enc::new()
+            .u64(42)
+            .i64(-7)
+            .f64(0.1)
+            .bool(true)
+            .str("a|b\\c\nd\te")
+            .opt_u64(None)
+            .opt_u64(Some(9))
+            .finish();
+        assert!(!line.contains('\n'), "{line:?}");
+        let mut d = Dec::new(&line);
+        assert_eq!(d.u64(), Some(42));
+        assert_eq!(d.i64(), Some(-7));
+        assert_eq!(d.f64(), Some(0.1));
+        assert_eq!(d.bool(), Some(true));
+        assert_eq!(d.str().as_deref(), Some("a|b\\c\nd\te"));
+        assert_eq!(d.opt_u64(), Some(None));
+        assert_eq!(d.opt_u64(), Some(Some(9)));
+    }
+
+    #[test]
+    fn floats_are_bit_exact() {
+        for v in [0.0f64, -0.0, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, 1e-300] {
+            let line = Enc::new().f64(v).finish();
+            let got = Dec::new(&line).f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn truncated_input_decodes_to_none() {
+        let line = Enc::new().u64(1).finish();
+        let mut d = Dec::new(&line);
+        assert_eq!(d.u64(), Some(1));
+        assert_eq!(d.u64(), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! The deterministic parallel sweep executor.
+//!
+//! Threads self-schedule chunks of the point index range from a shared
+//! atomic cursor (central work stealing: a fast thread keeps grabbing
+//! chunks a static partition would have given to a slow one). Each
+//! result is written back at its point's position, so the merged output
+//! is byte-identical to a sequential run for any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::cache::{Cache, Cacheable};
+use crate::space::Space;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads; `1` runs inline on the caller.
+    pub threads: usize,
+    /// Points per scheduling chunk; `0` picks `len / (threads × 8)`,
+    /// clamped to at least 1 (8 chunks per thread keeps the tail
+    /// balanced without contending on the cursor).
+    pub chunk: usize,
+}
+
+impl ExecOptions {
+    /// Single-threaded execution.
+    pub fn sequential() -> Self {
+        Self {
+            threads: 1,
+            chunk: 0,
+        }
+    }
+
+    /// A fixed thread count.
+    pub fn threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            chunk: 0,
+        }
+    }
+
+    /// One thread per available core.
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { threads, chunk: 0 }
+    }
+
+    fn chunk_for(&self, len: usize) -> usize {
+        if self.chunk > 0 {
+            self.chunk
+        } else {
+            (len / (self.threads * 8)).max(1)
+        }
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// What a sweep did and how fast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepStats {
+    /// Points in the space.
+    pub points: usize,
+    /// Points actually evaluated (≠ `points` on a warm cache).
+    pub evaluated: usize,
+    /// Points answered from the cache.
+    pub cache_hits: usize,
+    /// Chunks a thread claimed beyond an even static split — a measure
+    /// of how much dynamic scheduling rebalanced the load.
+    pub steals: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time of the evaluate-and-merge phase.
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Evaluated points per wall-second (0 when nothing ran).
+    pub fn points_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.evaluated as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Results (in space order) plus execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome<R> {
+    /// One result per space point, in space order.
+    pub results: Vec<R>,
+    /// Execution statistics.
+    pub stats: SweepStats,
+}
+
+/// Evaluates `eval` over the whole space, in parallel when
+/// `opts.threads > 1`. Results come back in space order regardless of
+/// thread count or scheduling.
+pub fn sweep<P, R, F>(space: &Space<P>, opts: &ExecOptions, eval: F) -> SweepOutcome<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let mut span = telemetry::span!("explore.sweep", space = space.name(), points = space.len());
+    let started = Instant::now();
+    let indices: Vec<usize> = (0..space.len()).collect();
+    let (pairs, steals) = run_indices(&indices, opts, |i| eval(space.point(i)));
+    let results = merge(space.len(), pairs);
+    let stats = SweepStats {
+        points: space.len(),
+        evaluated: space.len(),
+        cache_hits: 0,
+        steals,
+        threads: opts.threads.max(1),
+        wall: started.elapsed(),
+    };
+    record_span(&mut span, &stats);
+    SweepOutcome { results, stats }
+}
+
+/// Like [`sweep`], but memoized: cache hits are returned without
+/// evaluation, misses are evaluated in parallel and stored back. Call
+/// [`Cache::save`] afterwards to persist. A fully warm cache evaluates
+/// zero points and still returns results in space order.
+pub fn sweep_cached<P, R, F>(
+    space: &Space<P>,
+    opts: &ExecOptions,
+    cache: &mut Cache,
+    eval: F,
+) -> SweepOutcome<R>
+where
+    P: Sync,
+    R: Cacheable + Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let mut span = telemetry::span!("explore.sweep", space = space.name(), points = space.len());
+    let started = Instant::now();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(space.len());
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, (id, _)) in space.iter().enumerate() {
+        let hit = cache.get::<R>(id);
+        if hit.is_none() {
+            misses.push(i);
+        }
+        slots.push(hit);
+    }
+    let cache_hits = space.len() - misses.len();
+    let (pairs, steals) = run_indices(&misses, opts, |i| eval(space.point(i)));
+    let evaluated = pairs.len();
+    for (i, result) in pairs {
+        cache.put(space.id(i), &result);
+        slots[i] = Some(result);
+    }
+    let results = slots
+        .into_iter()
+        .map(|r| r.expect("every slot filled by cache or evaluation"))
+        .collect();
+    let stats = SweepStats {
+        points: space.len(),
+        evaluated,
+        cache_hits,
+        steals,
+        threads: opts.threads.max(1),
+        wall: started.elapsed(),
+    };
+    record_span(&mut span, &stats);
+    SweepOutcome { results, stats }
+}
+
+fn record_span(span: &mut telemetry::Span, stats: &SweepStats) {
+    span.record("evaluated", stats.evaluated as u64);
+    span.record("cache_hits", stats.cache_hits as u64);
+    span.record("steals", stats.steals as u64);
+    span.record("threads", stats.threads as u64);
+    span.record("points_per_sec", stats.points_per_sec());
+}
+
+/// Evaluates `eval` at each index in `indices`, returning `(index,
+/// result)` pairs (unordered) and the steal count.
+fn run_indices<R, F>(indices: &[usize], opts: &ExecOptions, eval: F) -> (Vec<(usize, R)>, usize)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = indices.len();
+    let threads = opts.threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (indices.iter().map(|&i| (i, eval(i))).collect(), 0);
+    }
+
+    let chunk = opts.chunk_for(n);
+    let total_chunks = n.div_ceil(chunk);
+    let fair_share = total_chunks.div_ceil(threads);
+    let cursor = AtomicUsize::new(0);
+    let eval = &eval;
+
+    let per_thread: Vec<(Vec<(usize, R)>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc: Vec<(usize, R)> = Vec::new();
+                    let mut claimed = 0usize;
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        claimed += 1;
+                        for &i in &indices[start..(start + chunk).min(n)] {
+                            acc.push((i, eval(i)));
+                        }
+                    }
+                    (acc, claimed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+
+    let steals = per_thread
+        .iter()
+        .map(|(_, claimed)| claimed.saturating_sub(fair_share))
+        .sum();
+    let mut pairs = Vec::with_capacity(n);
+    for (acc, _) in per_thread {
+        pairs.extend(acc);
+    }
+    (pairs, steals)
+}
+
+fn merge<R>(len: usize, pairs: Vec<(usize, R)>) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(len).collect();
+    for (i, r) in pairs {
+        debug_assert!(slots[i].is_none(), "duplicate result for point {i}");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every point evaluated exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Axis;
+
+    fn demo_space(n: u64) -> Space<(u64, u64)> {
+        Space::grid2(
+            "exec_demo",
+            Axis::new("a", (0..n).collect()),
+            Axis::new("b", vec![1u64, 2, 3]),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_any_thread_count() {
+        let space = demo_space(40);
+        let eval = |&(a, b): &(u64, u64)| a * 1000 + b;
+        let seq = sweep(&space, &ExecOptions::sequential(), eval);
+        for threads in [2, 3, 8, 16] {
+            let par = sweep(&space, &ExecOptions::threads(threads), eval);
+            assert_eq!(par.results, seq.results, "threads={threads}");
+            assert_eq!(par.stats.evaluated, space.len());
+        }
+    }
+
+    #[test]
+    fn empty_space_sweeps_cleanly() {
+        let space = demo_space(2).filter(|_| false);
+        let out = sweep(&space, &ExecOptions::threads(4), |_| 0u64);
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.evaluated, 0);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_points() {
+        let space = demo_space(1); // 3 points
+        let out = sweep(&space, &ExecOptions::threads(64), |&(a, b)| a + b);
+        assert_eq!(out.results.len(), 3);
+    }
+
+    #[test]
+    fn cached_sweep_hits_on_second_run() {
+        let space = demo_space(10);
+        let mut cache = Cache::in_memory("v1");
+        let eval = |&(a, b): &(u64, u64)| a * 7 + b;
+        let cold = sweep_cached(&space, &ExecOptions::threads(4), &mut cache, eval);
+        assert_eq!(cold.stats.evaluated, space.len());
+        assert_eq!(cold.stats.cache_hits, 0);
+
+        let warm = sweep_cached(&space, &ExecOptions::threads(4), &mut cache, |_| -> u64 {
+            panic!("warm run must not evaluate")
+        });
+        assert_eq!(warm.stats.evaluated, 0);
+        assert_eq!(warm.stats.cache_hits, space.len());
+        assert_eq!(warm.results, cold.results);
+    }
+
+    #[test]
+    fn partial_cache_evaluates_only_misses() {
+        let space = demo_space(10);
+        let half = space.clone().filter(|&(a, _)| a < 5);
+        let mut cache = Cache::in_memory("v1");
+        let eval = |&(a, b): &(u64, u64)| a * 7 + b;
+        sweep_cached(&half, &ExecOptions::sequential(), &mut cache, eval);
+        let full = sweep_cached(&space, &ExecOptions::threads(2), &mut cache, eval);
+        assert_eq!(full.stats.cache_hits, half.len());
+        assert_eq!(full.stats.evaluated, space.len() - half.len());
+        let direct = sweep(&space, &ExecOptions::sequential(), eval);
+        assert_eq!(full.results, direct.results);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // One point is 1000× the others: with a chunk of 1, the threads
+        // stuck behind it lose their share to the fast ones.
+        let space = demo_space(32);
+        let opts = ExecOptions {
+            threads: 4,
+            chunk: 1,
+        };
+        let out = sweep(&space, &opts, |&(a, _)| {
+            let spins = if a == 0 { 200_000u64 } else { 200 };
+            // A live loop the optimiser cannot elide entirely.
+            (0..spins).fold(0u64, |acc, v| acc ^ v.wrapping_mul(0x9e37))
+        });
+        assert_eq!(out.results.len(), space.len());
+        assert!(
+            out.stats.steals > 0,
+            "expected dynamic rebalancing, stats: {:?}",
+            out.stats
+        );
+    }
+
+    #[test]
+    fn points_per_sec_is_positive_for_nonempty() {
+        let out = sweep(&demo_space(8), &ExecOptions::sequential(), |&(a, b)| a + b);
+        assert!(out.stats.points_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Objectives, constraints, Pareto-frontier extraction, and top-k
+//! ranking over sweep results.
+
+/// Whether an objective prefers smaller or larger scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (power, SµDC count, cost).
+    Minimize,
+    /// Larger is better (capacity, supportable satellites).
+    Maximize,
+}
+
+/// A named scalar objective over a sweep result.
+pub struct Objective<R> {
+    /// Display name (used in frontier artifacts).
+    pub name: String,
+    /// Preference direction.
+    pub direction: Direction,
+    /// Scores one result. `NaN` marks the result unusable — it is
+    /// excluded from frontiers and rankings.
+    pub score: fn(&R) -> f64,
+}
+
+impl<R> Objective<R> {
+    /// A smaller-is-better objective.
+    pub fn minimize(name: impl Into<String>, score: fn(&R) -> f64) -> Self {
+        Self {
+            name: name.into(),
+            direction: Direction::Minimize,
+            score,
+        }
+    }
+
+    /// A larger-is-better objective.
+    pub fn maximize(name: impl Into<String>, score: fn(&R) -> f64) -> Self {
+        Self {
+            name: name.into(),
+            direction: Direction::Maximize,
+            score,
+        }
+    }
+
+    /// The score folded to lower-is-better.
+    fn canonical(&self, r: &R) -> f64 {
+        let s = (self.score)(r);
+        match self.direction {
+            Direction::Minimize => s,
+            Direction::Maximize => -s,
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for Objective<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Objective")
+            .field("name", &self.name)
+            .field("direction", &self.direction)
+            .finish()
+    }
+}
+
+/// A named feasibility predicate; infeasible results never reach a
+/// frontier or a top-k list.
+pub struct Constraint<R> {
+    /// Display name.
+    pub name: String,
+    /// Returns whether the result is feasible.
+    pub ok: fn(&R) -> bool,
+}
+
+impl<R> Constraint<R> {
+    /// Creates a named constraint.
+    pub fn new(name: impl Into<String>, ok: fn(&R) -> bool) -> Self {
+        Self {
+            name: name.into(),
+            ok,
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for Constraint<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Constraint")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+fn feasible<R>(
+    r: &R,
+    objectives: &[Objective<R>],
+    constraints: &[Constraint<R>],
+) -> Option<Vec<f64>> {
+    if !constraints.iter().all(|c| (c.ok)(r)) {
+        return None;
+    }
+    let scores: Vec<f64> = objectives.iter().map(|o| o.canonical(r)).collect();
+    if scores.iter().any(|s| s.is_nan()) {
+        return None;
+    }
+    Some(scores)
+}
+
+/// `a` dominates `b` when it is no worse everywhere and strictly
+/// better somewhere (scores already folded to lower-is-better).
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the Pareto-nondominated feasible results, ascending (so
+/// the frontier's order is as stable as the sweep's).
+///
+/// Runs in `O(n × frontier)` — candidates are checked against the
+/// incrementally maintained frontier, not all pairs.
+pub fn pareto_indices<R>(
+    results: &[R],
+    objectives: &[Objective<R>],
+    constraints: &[Constraint<R>],
+) -> Vec<usize> {
+    assert!(!objectives.is_empty(), "Pareto extraction needs objectives");
+    let mut front: Vec<(usize, Vec<f64>)> = Vec::new();
+    'candidates: for (i, r) in results.iter().enumerate() {
+        let Some(scores) = feasible(r, objectives, constraints) else {
+            continue;
+        };
+        for (_, held) in &front {
+            if dominates(held, &scores) {
+                continue 'candidates;
+            }
+        }
+        front.retain(|(_, held)| !dominates(&scores, held));
+        front.push((i, scores));
+    }
+    let mut indices: Vec<usize> = front.into_iter().map(|(i, _)| i).collect();
+    indices.sort_unstable();
+    indices
+}
+
+/// Indices of the `k` best feasible results under one objective, best
+/// first; ties broken by sweep order.
+pub fn top_k_indices<R>(
+    results: &[R],
+    objective: &Objective<R>,
+    constraints: &[Constraint<R>],
+    k: usize,
+) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            feasible(r, std::slice::from_ref(objective), constraints).map(|s| (i, s[0]))
+        })
+        .collect();
+    scored.sort_by(|(ia, sa), (ib, sb)| sa.partial_cmp(sb).unwrap().then(ia.cmp(ib)));
+    scored.truncate(k);
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force all-pairs dominance check (the property the fast
+    /// frontier must match).
+    fn brute_force<R>(
+        results: &[R],
+        objectives: &[Objective<R>],
+        constraints: &[Constraint<R>],
+    ) -> Vec<usize> {
+        let scored: Vec<Option<Vec<f64>>> = results
+            .iter()
+            .map(|r| feasible(r, objectives, constraints))
+            .collect();
+        (0..results.len())
+            .filter(|&i| {
+                let Some(si) = &scored[i] else { return false };
+                !scored
+                    .iter()
+                    .any(|sj| sj.as_ref().is_some_and(|sj| dominates(sj, si)))
+            })
+            .collect()
+    }
+
+    fn objectives2() -> Vec<Objective<(f64, f64)>> {
+        vec![
+            Objective::maximize("capacity", |p: &(f64, f64)| p.0),
+            Objective::minimize("power", |p: &(f64, f64)| p.1),
+        ]
+    }
+
+    #[test]
+    fn hand_built_frontier() {
+        // (capacity ↑, power ↓): (4,2) and (2,1) are nondominated;
+        // (1,3) is dominated by both, (4,5) by (4,2).
+        let pts = vec![(1.0, 3.0), (4.0, 2.0), (2.0, 1.0), (4.0, 5.0)];
+        assert_eq!(pareto_indices(&pts, &objectives2(), &[]), vec![1, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_grid() {
+        // A deterministic pseudo-random 2-objective cloud.
+        let pts: Vec<(f64, f64)> = (0u64..200)
+            .map(|i| {
+                let h = crate::fnv1a(&i.to_le_bytes());
+                (((h >> 8) & 0xff) as f64, ((h >> 24) & 0xff) as f64)
+            })
+            .collect();
+        let fast = pareto_indices(&pts, &objectives2(), &[]);
+        let slow = brute_force(&pts, &objectives2(), &[]);
+        assert_eq!(fast, slow);
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        // Equal points do not dominate each other (no strict better).
+        let pts = vec![(2.0, 2.0), (2.0, 2.0), (1.0, 3.0)];
+        assert_eq!(pareto_indices(&pts, &objectives2(), &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn constraints_and_nan_exclude() {
+        let pts = vec![(9.0, 1.0), (f64::NAN, 0.5), (3.0, 2.0)];
+        let feasible_power = vec![Constraint::new("power<1.5", |p: &(f64, f64)| p.1 < 1.5)];
+        assert_eq!(
+            pareto_indices(&pts, &objectives2(), &feasible_power),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn top_k_orders_best_first_with_stable_ties() {
+        let pts = vec![(1.0, 5.0), (3.0, 1.0), (3.0, 9.0), (2.0, 0.0)];
+        let by_capacity = Objective::maximize("capacity", |p: &(f64, f64)| p.0);
+        assert_eq!(top_k_indices(&pts, &by_capacity, &[], 3), vec![1, 2, 3]);
+        assert_eq!(top_k_indices(&pts, &by_capacity, &[], 10).len(), 4);
+    }
+
+    #[test]
+    fn single_objective_frontier_is_the_min_set() {
+        let pts = vec![(5.0, 0.0), (2.0, 0.0), (2.0, 0.0), (7.0, 0.0)];
+        let min_first = vec![Objective::minimize("v", |p: &(f64, f64)| p.0)];
+        assert_eq!(pareto_indices(&pts, &min_first, &[]), vec![1, 2]);
+    }
+}

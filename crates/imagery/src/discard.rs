@@ -149,14 +149,22 @@ mod tests {
     fn computed_ecr_matches_paper_rounding() {
         for c in DiscardClass::ALL {
             let rel = (c.ecr() - c.paper_ecr()).abs() / c.paper_ecr();
-            assert!(rel < 0.05, "{c}: computed {} vs paper {}", c.ecr(), c.paper_ecr());
+            assert!(
+                rel < 0.05,
+                "{c}: computed {} vs paper {}",
+                c.ecr(),
+                c.paper_ecr()
+            );
         }
     }
 
     #[test]
     fn night_plus_built_up_approaches_cap() {
         let e = combined_ecr(&[DiscardClass::Night, DiscardClass::NonBuiltUp]);
-        assert!((e - 100.0).abs() < 1e-6, "2 × 50 = 100, at the cap; got {e}");
+        assert!(
+            (e - 100.0).abs() < 1e-6,
+            "2 × 50 = 100, at the cap; got {e}"
+        );
     }
 
     #[test]

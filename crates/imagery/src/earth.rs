@@ -171,7 +171,8 @@ impl EarthModel {
 
     fn calibrate_ocean_threshold(&self) -> f64 {
         let field = ValueNoise::new(self.seed);
-        let mut vals = Self::sample_field(&field, |lon, lat| (lon / 55.0 + 10.0, lat / 40.0 + 10.0));
+        let mut vals =
+            Self::sample_field(&field, |lon, lat| (lon / 55.0 + 10.0, lat / 40.0 + 10.0));
         Self::field_quantile(&mut vals, self.ocean_fraction)
     }
 

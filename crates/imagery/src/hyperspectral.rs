@@ -109,7 +109,11 @@ impl HyperspectralScene {
             let var_a = sxx / nf - (sx / nf).powi(2);
             let var_b = syy / nf - (sy / nf).powi(2);
             let denom = (var_a * var_b).sqrt();
-            total += if denom > 0.0 { (cov / denom).abs() } else { 1.0 };
+            total += if denom > 0.0 {
+                (cov / denom).abs()
+            } else {
+                1.0
+            };
         }
         total / (c - 1) as f64
     }

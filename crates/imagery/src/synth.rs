@@ -221,7 +221,10 @@ impl Scene {
             let cy = (rng.next_f64() * h as f64) as usize;
             for dy in 0..3usize {
                 for dx in 0..3usize {
-                    let (x, y) = (cx.saturating_add(dx).min(w - 1), cy.saturating_add(dy).min(h - 1));
+                    let (x, y) = (
+                        cx.saturating_add(dx).min(w - 1),
+                        cy.saturating_add(dy).min(h - 1),
+                    );
                     img.set(x, y, 0, 230);
                     img.set(x, y, 1, 210);
                     img.set(x, y, 2, 150);
@@ -292,8 +295,14 @@ mod tests {
 
     #[test]
     fn channel_counts() {
-        assert_eq!(Scene::new(SceneKind::UrbanRgb, 1).render(8, 8).channels(), 3);
-        assert_eq!(Scene::new(SceneKind::SarOcean, 1).render(8, 8).channels(), 1);
+        assert_eq!(
+            Scene::new(SceneKind::UrbanRgb, 1).render(8, 8).channels(),
+            3
+        );
+        assert_eq!(
+            Scene::new(SceneKind::SarOcean, 1).render(8, 8).channels(),
+            1
+        );
     }
 
     #[test]

@@ -263,6 +263,9 @@ mod tests {
     fn max_pass_fraction_is_small_for_leo() {
         let o = CircularOrbit::from_altitude(Length::from_km(500.0));
         let f = o.max_pass_fraction();
-        assert!(f > 0.0 && f < 0.15, "LEO pass fraction should be small: {f}");
+        assert!(
+            f > 0.0 && f < 0.15,
+            "LEO pass fraction should be small: {f}"
+        );
     }
 }

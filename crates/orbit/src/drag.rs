@@ -177,7 +177,10 @@ pub fn disposal_delta_v(orbit: CircularOrbit) -> Velocity {
     let geo = CircularOrbit::geostationary();
     if orbit.radius() >= geo.radius() * 0.98 {
         // Graveyard: +300 km.
-        hohmann_delta_v(orbit, CircularOrbit::from_radius(orbit.radius() + Length::from_km(300.0)))
+        hohmann_delta_v(
+            orbit,
+            CircularOrbit::from_radius(orbit.radius() + Length::from_km(300.0)),
+        )
     } else {
         // Disposal: drop perigee into the atmosphere; approximate with a
         // Hohmann to a 100 km-lower circular orbit repeated until 200 km.
@@ -213,8 +216,16 @@ mod tests {
         let mid = at(500.0);
         let high = at(800.0);
         assert!(low < mid && mid < high);
-        assert!(low.as_days() < 400.0, "300 km decays fast: {} d", low.as_days());
-        assert!(high.as_years() > 5.0, "800 km lasts years: {} y", high.as_years());
+        assert!(
+            low.as_days() < 400.0,
+            "300 km decays fast: {} d",
+            low.as_days()
+        );
+        assert!(
+            high.as_years() > 5.0,
+            "800 km lasts years: {} y",
+            high.as_years()
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub fn sun_direction(year_fraction: f64) -> Vec3 {
 /// vector. High |beta| orbits (e.g. dawn/dusk SSO) see little or no
 /// eclipse.
 pub fn beta_angle(orbit_normal: Vec3, sun: Vec3) -> Angle {
-    let s = orbit_normal.normalized().dot(sun.normalized()).clamp(-1.0, 1.0);
+    let s = orbit_normal
+        .normalized()
+        .dot(sun.normalized())
+        .clamp(-1.0, 1.0);
     Angle::from_radians(s.asin())
 }
 

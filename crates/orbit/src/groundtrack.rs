@@ -170,8 +170,7 @@ mod tests {
 
     #[test]
     fn subsatellite_point_of_equatorial_orbit_stays_on_equator() {
-        let elements =
-            OrbitalElements::circular(Length::from_km(6_921.0), Angle::ZERO).unwrap();
+        let elements = OrbitalElements::circular(Length::from_km(6_921.0), Angle::ZERO).unwrap();
         for i in 0..10 {
             let t = Time::from_secs(i as f64 * 500.0);
             let p = subsatellite_point(elements.position_at(t).unwrap(), t);
@@ -182,8 +181,7 @@ mod tests {
     #[test]
     fn polar_orbit_reaches_high_latitudes() {
         let elements =
-            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(90.0))
-                .unwrap();
+            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(90.0)).unwrap();
         let track = ground_track(&elements, elements.period(), 100).unwrap();
         let max_lat = track
             .iter()
@@ -197,13 +195,14 @@ mod tests {
         // Earth rotates under the orbit: successive equator crossings move
         // westward by ~period × rotation rate.
         let elements =
-            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(51.6))
-                .unwrap();
+            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(51.6)).unwrap();
         let t0 = Time::ZERO;
         let t1 = elements.period();
         let p0 = subsatellite_point(elements.position_at(t0).unwrap(), t0);
         let p1 = subsatellite_point(elements.position_at(t1).unwrap(), t1);
-        let dlon = (p1.longitude - p0.longitude).normalized_signed().as_degrees();
+        let dlon = (p1.longitude - p0.longitude)
+            .normalized_signed()
+            .as_degrees();
         let expected = -(elements.period().as_secs() * EARTH_ROTATION_RAD_PER_S).to_degrees();
         assert!(
             (dlon - expected).abs() < 0.5,

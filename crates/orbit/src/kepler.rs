@@ -220,7 +220,11 @@ impl OrbitalElements {
             Anomaly::Mean(m) => {
                 let m = m.normalized();
                 let ea = solve_kepler(m.as_radians(), e)?;
-                (m, Angle::from_radians(ea).normalized(), eccentric_to_true(ea, e))
+                (
+                    m,
+                    Angle::from_radians(ea).normalized(),
+                    eccentric_to_true(ea, e),
+                )
             }
             Anomaly::Eccentric(ea) => {
                 let ea_rad = ea.normalized().as_radians();
@@ -521,7 +525,9 @@ mod tests {
                 let m = i as f64 * std::f64::consts::TAU / 32.0;
                 let ea = solve_kepler(m, e).unwrap();
                 let back = (ea - e * ea.sin()).rem_euclid(std::f64::consts::TAU);
-                let diff = (back - m).abs().min(std::f64::consts::TAU - (back - m).abs());
+                let diff = (back - m)
+                    .abs()
+                    .min(std::f64::consts::TAU - (back - m).abs());
                 assert!(diff < 1e-9, "e={e} m={m} ea={ea} back={back}");
             }
         }
@@ -532,9 +538,13 @@ mod tests {
         let orbit = leo();
         let m = Angle::from_degrees(123.0);
         let r = orbit.resolve_anomaly(Anomaly::Mean(m)).unwrap();
-        let r2 = orbit.resolve_anomaly(Anomaly::True(r.true_anomaly)).unwrap();
+        let r2 = orbit
+            .resolve_anomaly(Anomaly::True(r.true_anomaly))
+            .unwrap();
         assert!((r2.mean.as_degrees() - 123.0).abs() < 1e-8);
-        let r3 = orbit.resolve_anomaly(Anomaly::Eccentric(r.eccentric)).unwrap();
+        let r3 = orbit
+            .resolve_anomaly(Anomaly::Eccentric(r.eccentric))
+            .unwrap();
         assert!((r3.mean.as_degrees() - 123.0).abs() < 1e-8);
     }
 

@@ -170,8 +170,7 @@ mod tests {
     #[test]
     fn equatorial_prograde_orbit_regresses() {
         let elements =
-            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(10.0))
-                .unwrap();
+            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(10.0)).unwrap();
         let rates = j2_rates(&elements);
         assert!(rates.raan_rate < 0.0, "prograde orbits regress westward");
     }
@@ -179,8 +178,7 @@ mod tests {
     #[test]
     fn polar_orbit_has_no_nodal_precession() {
         let elements =
-            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(90.0))
-                .unwrap();
+            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(90.0)).unwrap();
         let rates = j2_rates(&elements);
         assert!(rates.raan_rate.abs() < 1e-12);
     }

@@ -10,9 +10,9 @@ use serde::{Deserialize, Serialize};
 use units::{Length, Time};
 
 use crate::circular::CircularOrbit;
+use crate::groundtrack::subsatellite_point;
 use crate::groundtrack::GeoPoint;
 use crate::kepler::{KeplerError, OrbitalElements};
-use crate::groundtrack::subsatellite_point;
 
 /// Orbit regimes with qualitatively different radiation environments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -236,8 +236,7 @@ mod tests {
     #[test]
     fn inclined_leo_spends_a_few_percent_in_saa() {
         let elements =
-            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(53.0))
-                .unwrap();
+            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(53.0)).unwrap();
         let saa = SouthAtlanticAnomaly::default();
         let f = saa.transit_fraction(&elements, 16).unwrap();
         assert!(f > 0.01 && f < 0.20, "SAA transit fraction {f}");
@@ -246,13 +245,11 @@ mod tests {
     #[test]
     fn equatorial_leo_misses_default_saa_center_latitude_partially() {
         // An equatorial orbit clips only the top of the SAA ellipse.
-        let elements =
-            OrbitalElements::circular(Length::from_km(6_921.0), Angle::ZERO).unwrap();
+        let elements = OrbitalElements::circular(Length::from_km(6_921.0), Angle::ZERO).unwrap();
         let saa = SouthAtlanticAnomaly::default();
         let f_eq = saa.transit_fraction(&elements, 4).unwrap();
         let inclined =
-            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(30.0))
-                .unwrap();
+            OrbitalElements::circular(Length::from_km(6_921.0), Angle::from_degrees(30.0)).unwrap();
         let f_inc = saa.transit_fraction(&inclined, 4).unwrap();
         assert!(
             f_inc >= f_eq,

@@ -258,12 +258,7 @@ mod tests {
     }
 
     fn arb_vec3() -> impl Strategy<Value = Vec3> {
-        (
-            -1e7f64..1e7,
-            -1e7f64..1e7,
-            -1e7f64..1e7,
-        )
-            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+        (-1e7f64..1e7, -1e7f64..1e7, -1e7f64..1e7).prop_map(|(x, y, z)| Vec3::new(x, y, z))
     }
 
     proptest! {

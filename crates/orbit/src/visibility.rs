@@ -114,7 +114,9 @@ pub fn expected_station_contacts_per_rev(
     elevation_mask: Angle,
     station_count: usize,
 ) -> f64 {
-    let lambda = pass_geometry(orbit, elevation_mask).max_central_angle.as_radians();
+    let lambda = pass_geometry(orbit, elevation_mask)
+        .max_central_angle
+        .as_radians();
     // Fraction of the sphere within angular distance lambda of a great
     // circle: sin(lambda).
     let band_fraction = lambda.sin();

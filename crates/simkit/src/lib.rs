@@ -80,9 +80,7 @@ impl<E> Ord for Scheduled<E> {
 /// (see [`Scheduler::enable_probe`]). Everything here depends only on
 /// the event stream, so two runs with the same seed produce identical
 /// counters.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedulerCounters {
     /// Events pushed onto the calendar.
     pub scheduled: u64,
@@ -121,7 +119,10 @@ impl SchedulerReport {
                 self.counters.peak_queue_depth.into(),
             ),
             ("sim_time_s".to_string(), self.sim_time.as_secs().into()),
-            ("wall_ms".to_string(), (self.wall.as_secs_f64() * 1e3).into()),
+            (
+                "wall_ms".to_string(),
+                (self.wall.as_secs_f64() * 1e3).into(),
+            ),
             (
                 "sim_s_per_wall_s".to_string(),
                 self.sim_seconds_per_wall_second.into(),
@@ -282,8 +283,7 @@ impl<E> Scheduler<E> {
         self.seq += 1;
         if let Some(p) = self.probe.as_mut() {
             p.counters.scheduled += 1;
-            p.counters.peak_queue_depth =
-                p.counters.peak_queue_depth.max(self.heap.len() as u64);
+            p.counters.peak_queue_depth = p.counters.peak_queue_depth.max(self.heap.len() as u64);
         }
     }
 
@@ -302,9 +302,7 @@ impl<E> Scheduler<E> {
 
     /// Time of the next pending event.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap
-            .peek()
-            .map(|Reverse(s)| Time::from_secs(s.time_s))
+        self.heap.peek().map(|Reverse(s)| Time::from_secs(s.time_s))
     }
 
     /// Pops the next event, advancing the clock to its time.
@@ -419,10 +417,15 @@ mod tests {
         let mut s = Scheduler::new();
         s.schedule_at(Time::from_secs(1.0), ());
         let mut ticks = 0u32;
-        run_until(&mut s, &mut ticks, Time::from_secs(10.0), |t, sched, _ev| {
-            *t += 1;
-            sched.schedule_in(Time::from_secs(1.0), ());
-        });
+        run_until(
+            &mut s,
+            &mut ticks,
+            Time::from_secs(10.0),
+            |t, sched, _ev| {
+                *t += 1;
+                sched.schedule_in(Time::from_secs(1.0), ());
+            },
+        );
         assert_eq!(ticks, 10);
         assert_eq!(s.len(), 1, "the 11th tick remains scheduled");
     }

@@ -290,7 +290,10 @@ fn sinks() -> &'static RwLock<Vec<Arc<dyn Sink>>> {
 /// Installs a sink; telemetry is enabled once at least one sink is
 /// installed.
 pub fn install(sink: Arc<dyn Sink>) {
-    sinks().write().unwrap_or_else(|e| e.into_inner()).push(sink);
+    sinks()
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(sink);
     ENABLED.store(true, Ordering::Relaxed);
 }
 

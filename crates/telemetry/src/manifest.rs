@@ -174,10 +174,8 @@ mod tests {
 
     #[test]
     fn write_to_produces_the_named_file() {
-        let dir = std::env::temp_dir().join(format!(
-            "telemetry_manifest_test_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("telemetry_manifest_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let mut m = RunManifest::new("smoke", 7);
         m.finish();

@@ -159,15 +159,12 @@ impl Metrics {
 
     /// Adds `by` to the named counter (creating it at zero).
     pub fn inc(&self, name: &str, by: u64) {
-        self.with_cells(|cells| {
-            match cells
-                .entry(name.to_string())
-                .or_insert(Cell::Counter(0))
-            {
+        self.with_cells(
+            |cells| match cells.entry(name.to_string()).or_insert(Cell::Counter(0)) {
                 Cell::Counter(v) => *v += by,
                 other => *other = Cell::Counter(by),
-            }
-        });
+            },
+        );
     }
 
     /// Sets the named gauge.

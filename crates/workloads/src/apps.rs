@@ -203,10 +203,7 @@ impl Application {
     /// Whether the kernel is deep-learning based (everything except the
     /// custom DSP traffic monitor and k-means clustering).
     pub fn is_deep_learning(self) -> bool {
-        !matches!(
-            self.kernel(),
-            KernelKind::CustomDsp | KernelKind::KMeans
-        )
+        !matches!(self.kernel(), KernelKind::CustomDsp | KernelKind::KMeans)
     }
 
     /// Whether the application has tight latency requirements (Sec. 9:
@@ -276,7 +273,10 @@ mod tests {
 
     #[test]
     fn majority_is_deep_learning() {
-        let dl = Application::ALL.iter().filter(|a| a.is_deep_learning()).count();
+        let dl = Application::ALL
+            .iter()
+            .filter(|a| a.is_deep_learning())
+            .count();
         assert_eq!(dl, 8, "8 of 10 kernels are DNNs");
     }
 

@@ -289,16 +289,25 @@ mod tests {
     fn xavier_beats_3090_on_lightweight_apps_only() {
         // TM and LSC run *more* efficiently on the Xavier (Table 6): tiny
         // kernels waste a big GPU.
-        for app in [Application::TrafficMonitoring, Application::LandSurfaceClustering] {
+        for app in [
+            Application::TrafficMonitoring,
+            Application::LandSurfaceClustering,
+        ] {
             let x = measurement(app, Device::JetsonAgxXavier).unwrap();
             let g = measurement(app, Device::Rtx3090).unwrap();
-            assert!(x.kpixels_per_sec_per_watt > g.kpixels_per_sec_per_watt, "{app}");
+            assert!(
+                x.kpixels_per_sec_per_watt > g.kpixels_per_sec_per_watt,
+                "{app}"
+            );
         }
         // Heavy DNNs favour the 3090.
         for app in [Application::FloodDetection, Application::CropMonitoring] {
             let x = measurement(app, Device::JetsonAgxXavier).unwrap();
             let g = measurement(app, Device::Rtx3090).unwrap();
-            assert!(g.kpixels_per_sec_per_watt > x.kpixels_per_sec_per_watt, "{app}");
+            assert!(
+                g.kpixels_per_sec_per_watt > x.kpixels_per_sec_per_watt,
+                "{app}"
+            );
         }
     }
 }

@@ -95,8 +95,8 @@ mod tests {
         // The hardware model's efficiency ladder (used by Fig. 14) must
         // be consistent with the MLPerf dataset it is derived from.
         let data_ratio = efficiency_ratio(Device::CloudAi100, Device::A100).unwrap();
-        let model_ratio = Device::CloudAi100.efficiency_vs_rtx3090()
-            / Device::A100.efficiency_vs_rtx3090();
+        let model_ratio =
+            Device::CloudAi100.efficiency_vs_rtx3090() / Device::A100.efficiency_vs_rtx3090();
         assert!((data_ratio / model_ratio - 1.0).abs() < 0.1);
     }
 

@@ -1,7 +1,8 @@
-//! Co-design explorer: for an ISL-bottlenecked configuration, sweep
-//! k-list sizes and SµDC splitting factors (Sec. 8) and report the
-//! cheapest mix that feeds the constellation — including the optical
-//! transmit-power bill of each option.
+//! Co-design explorer, end to end on the explore engine: build the
+//! Fig. 13 `k × split` grid (densified beyond the paper's four-by-four),
+//! sweep it in parallel, extract the capacity/power Pareto frontier, and
+//! report the most efficient mixes — then sanity-check the winner against
+//! the ISL-feasibility story of Sec. 8 and the GEO alternative.
 //!
 //! ```sh
 //! cargo run --example codesign_explorer
@@ -10,78 +11,110 @@
 use comms::optical::OpticalTerminal;
 use constellation::topology::{ClusterTopology, Formation, GeoStar};
 use constellation::OrbitalPlane;
-use sudc::sizing::SudcSpec;
+use explore::{pareto_indices, top_k_indices, Constraint, ExecOptions, Objective};
+use sudc::codesign::{fig13_point, fig13_space, CodesignPoint};
 use units::{Angle, DataRate, Length};
-use workloads::{Application, Device};
 
 fn main() {
-    // A bottlenecked scenario: 1 m imagery, no discard, 10 Gbit/s ISLs.
+    // 1. Parameter space: every even k up to 32 × splits 1..=16 — an
+    //    8× denser grid than Fig. 13, cheap because the sweep is
+    //    parallel and each cell is a closed-form model.
+    let ks: Vec<usize> = (1..=16).map(|i| 2 * i).collect();
+    let splits: Vec<usize> = (1..=16).collect();
+    let space = fig13_space(&ks, &splits);
+    println!(
+        "=== co-design space: {} k-values × {} splits = {} points ===",
+        ks.len(),
+        splits.len(),
+        space.len()
+    );
+
+    // 2. Parallel sweep. The engine merges results in space order, so
+    //    the output is identical for any thread count.
+    let outcome = explore::sweep(&space, &ExecOptions::auto(), |&(k, split)| {
+        fig13_point(k, split)
+    });
+    let stats = &outcome.stats;
+    println!(
+        "swept {} points on {} thread(s) in {:.2} ms ({:.0} points/s, {} steals)\n",
+        stats.evaluated,
+        stats.threads,
+        stats.wall.as_secs_f64() * 1e3,
+        stats.points_per_sec(),
+        stats.steals
+    );
+
+    // 3. Pareto frontier: maximise aggregate ingest capacity while
+    //    minimising ISL transmit power (both normalised to an unsplit
+    //    ring, as in Fig. 13).
+    let objectives = [
+        Objective::<CodesignPoint>::maximize("capacity", |p| p.capacity_norm),
+        Objective::<CodesignPoint>::minimize("power", |p| p.power_norm),
+    ];
+    let feasible = [Constraint::<CodesignPoint>::new("k fits the ring", |p| {
+        p.k <= 32
+    })];
+    let frontier = pareto_indices(&outcome.results, &objectives, &feasible);
+    println!(
+        "Pareto frontier (max capacity, min power): {} of {} points",
+        frontier.len(),
+        outcome.results.len()
+    );
+    println!(
+        "{:>4} {:>6} {:>10} {:>8}",
+        "k", "split", "capacity", "power"
+    );
+    for &i in &frontier {
+        let p = &outcome.results[i];
+        println!(
+            "{:>4} {:>6} {:>10.1} {:>8.1}",
+            p.k, p.split, p.capacity_norm, p.power_norm
+        );
+    }
+
+    // 4. Top-k by efficiency (capacity per unit power) — the scalarised
+    //    view of the same trade.
+    let by_efficiency = Objective::<CodesignPoint>::maximize("cap/power", |p| p.capacity_per_power);
+    let top = top_k_indices(&outcome.results, &by_efficiency, &feasible, 3);
+    println!("\nmost efficient mixes:");
+    for &i in &top {
+        let p = &outcome.results[i];
+        println!(
+            "  {}-list × {} SµDC(s): {:.2} capacity per unit power",
+            p.k, p.split, p.capacity_per_power
+        );
+    }
+
+    // 5. Ground the winner in the physical scenario of Sec. 8: 1 m
+    //    imagery, no discard, 10 Gbit/s ISLs on the reference ring.
     let resolution = Length::from_m(1.0);
-    let discard = 0.0;
     let isl = DataRate::from_gbps(10.0);
     let plane = OrbitalPlane::paper_reference();
     let n = plane.satellite_count();
-    let per_sat = imagery::FrameSpec::paper().data_rate_with_discard(resolution, discard);
-    let spec = SudcSpec::paper_4kw(Device::Rtx3090);
-    let app = Application::AirPollution;
-
-    let compute_sudcs =
-        sudc::sizing::sudcs_needed(&spec, app, resolution, discard, n).expect("measured");
-    println!(
-        "=== {n}-satellite ring at {resolution}, {per_sat} per satellite, {isl} ISLs ==="
-    );
-    println!("compute needs only {compute_sudcs} × {spec}\n");
-
-    println!("k-list × split options (need ingest for all {n} satellites):");
-    println!("{:>4} {:>6} {:>10} {:>14} {:>16}", "k", "split", "ingest", "feasible?", "ISL power");
+    let per_sat = imagery::FrameSpec::paper().data_rate_with_discard(resolution, 0.0);
     let terminal = OpticalTerminal::leo_class();
-    let max_k = ClusterTopology::max_k(&plane, Formation::OrbitSpaced);
-    let mut best: Option<(usize, usize, f64)> = None;
-    for k in [2usize, 4, 8, 16] {
-        for split in [1usize, 2, 4, 8] {
-            let topo = ClusterTopology::k_list(k, Formation::OrbitSpaced);
-            let per_cluster = topo.supportable_satellites(isl, per_sat);
-            let ingest = per_cluster.saturating_mul(split);
-            let los_ok = k <= max_k;
-            let _sufficient_compute = split >= compute_sudcs.min(split * 8);
-            let links = k * split;
-            let dist = topo.link_distance(plane.link_distance(1));
-            let power = terminal.power_for(isl, dist) * links as f64;
-            println!(
-                "{k:>4} {split:>6} {ingest:>10} {:>14} {:>16}",
-                if !los_ok {
-                    "no (LOS)"
-                } else if ingest >= n {
-                    "yes"
-                } else {
-                    "no (ingest)"
-                },
-                format!("{power}")
-            );
-            if ingest >= n && los_ok {
-                let w = power.as_watts();
-                if best.map(|(_, _, bw)| w < bw).unwrap_or(true) {
-                    best = Some((k, split, w));
-                }
-            }
-        }
-    }
-    match best {
-        Some((k, split, w)) => println!(
-            "\ncheapest feasible mix: {k}-list × {split} SµDC(s), ~{w:.0} W of optical transmit power"
-        ),
-        None => println!("\nno LEO ring mix feeds this constellation — consider GEO"),
+    if let Some(&i) = top.first() {
+        let p = &outcome.results[i];
+        let topo = ClusterTopology::k_list(p.k, Formation::OrbitSpaced);
+        let ingest = topo
+            .supportable_satellites(isl, per_sat)
+            .saturating_mul(p.split);
+        let dist = topo.link_distance(plane.link_distance(1));
+        let power = terminal.power_for(isl, dist) * (p.k * p.split) as f64;
+        println!(
+            "\nwinner on the {n}-satellite ring at {resolution} ({per_sat}/sat): \
+             ingests {ingest} satellites, ~{power} of optical transmit power"
+        );
     }
 
-    // The GEO alternative (Sec. 9, Fig. 15).
+    // 6. The GEO alternative (Sec. 9, Fig. 15).
     let star = GeoStar::paper();
     let leo = plane.orbit();
     let covered = star.continuous_coverage(leo, Angle::from_degrees(53.0));
     let range = star.max_uplink_range(leo, Angle::from_degrees(53.0));
-    let geo_terminal = OpticalTerminal::leo_geo_class();
-    let uplink_power = geo_terminal.power_for(per_sat, range);
+    let uplink_power = OpticalTerminal::leo_geo_class().power_for(per_sat, range);
     println!(
-        "\nGEO star: 3 SµDCs at 120° — continuous coverage: {covered}, worst range {range}, \
+        "GEO star: 3 SµDCs at 120° — continuous coverage: {covered}, worst range {range}, \
          ~{uplink_power} per satellite uplink at its own data rate"
     );
 }

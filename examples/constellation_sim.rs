@@ -13,7 +13,10 @@ use workloads::Application;
 
 fn print_report(label: &str, r: &sudc::sim::SimReport) {
     println!("--- {label} ---");
-    println!("  frames: {} generated, {} kept, {} processed", r.generated, r.kept, r.processed);
+    println!(
+        "  frames: {} generated, {} kept, {} processed",
+        r.generated, r.kept, r.processed
+    );
     println!("  achieved discard rate: {:.1}%", r.discard_rate * 100.0);
     println!(
         "  latency: mean {:.2} s, max {:.2} s",

@@ -28,7 +28,10 @@ fn main() {
         Application::TrafficMonitoring,
     ];
 
-    println!("=== Mission: {satellites} satellites at {resolution}, {:.0}% early discard ===\n", discard * 100.0);
+    println!(
+        "=== Mission: {satellites} satellites at {resolution}, {:.0}% early discard ===\n",
+        discard * 100.0
+    );
 
     // 1. How much data?
     let frame = imagery::FrameSpec::paper();

@@ -163,7 +163,10 @@ fn walker_mega_constellation_fleet_sizing() {
     let res = Length::from_cm(50.0);
     let per_cluster =
         sudc::bottleneck::ring_supportable(comms::IslClass::Gbps10.capacity(), res, 0.95);
-    assert!(per_cluster > 0, "10 Gbit/s must carry something at 50 cm/95%");
+    assert!(
+        per_cluster > 0,
+        "10 Gbit/s must carry something at 50 cm/95%"
+    );
 
     let fleet = w.sudcs_for_ring_clusters(per_cluster);
     // One SµDC per plane when a cluster covers a whole 32-sat plane.

@@ -42,11 +42,7 @@ fn table8_full_grid() {
     for (res, grid) in grids {
         for (ed, cells) in grid.iter() {
             for (i, gbps) in [1.0, 10.0, 100.0].into_iter().enumerate() {
-                let got = sudc::bottleneck::ring_supportable(
-                    DataRate::from_gbps(gbps),
-                    res,
-                    *ed,
-                );
+                let got = sudc::bottleneck::ring_supportable(DataRate::from_gbps(gbps), res, *ed);
                 assert_eq!(
                     got, cells[i],
                     "Table 8 cell ({res}, ED {ed}, {gbps} Gbit/s)"
@@ -119,9 +115,13 @@ fn fig16_hardening_multipliers() {
     let base_spec = SudcSpec::paper_4kw(Device::Rtx3090);
     let mut found = false;
     for app in Application::ALL {
-        let Some(base) =
-            sudcs_needed(&base_spec, app, Length::from_cm(30.0), 0.5, PAPER_CONSTELLATION)
-        else {
+        let Some(base) = sudcs_needed(
+            &base_spec,
+            app,
+            Length::from_cm(30.0),
+            0.5,
+            PAPER_CONSTELLATION,
+        ) else {
             continue;
         };
         if base != 3 {
@@ -145,7 +145,10 @@ fn fig16_hardening_multipliers() {
         assert!((5..=6).contains(&dmr), "{app}: DMR {dmr}");
         assert!((8..=9).contains(&tmr), "{app}: TMR {tmr}");
     }
-    assert!(found, "no application needs exactly 3 SµDCs at 30 cm / 50% ED");
+    assert!(
+        found,
+        "no application needs exactly 3 SµDCs at 30 cm / 50% ED"
+    );
 }
 
 /// Table 3's ECR arithmetic and the Sec. 4 best-case 400× bound.
@@ -156,7 +159,10 @@ fn table3_and_best_case_ecr() {
         let expected = 1.0 / (1.0 - c.discard_rate());
         assert!((c.ecr() - expected).abs() < 1e-12);
     }
-    assert_eq!(imagery::discard::best_case_combined_with_compression(4.0), 400.0);
+    assert_eq!(
+        imagery::discard::best_case_combined_with_compression(4.0),
+        400.0
+    );
 }
 
 /// Sec. 3's ground-segment numbers: 160 stations, ~$3/min, and the

@@ -70,7 +70,10 @@ fn compute_cluster_count_matches_sizing_model() {
         !under.stable,
         "half the model's clusters should overload: {under:?}"
     );
-    assert!(over.stable, "the model's cluster count should sustain: {over:?}");
+    assert!(
+        over.stable,
+        "the model's cluster count should sustain: {over:?}"
+    );
 }
 
 /// Goodput degrades monotonically as the SµDC count drops below the
@@ -93,9 +96,19 @@ fn goodput_degrades_gracefully_with_fewer_sudcs() {
 /// saturation.
 #[test]
 fn latency_reflects_load() {
-    let light = simulate(Application::AirPollution, Length::from_m(3.0), 0.95, 10.0, 4);
+    let light = simulate(
+        Application::AirPollution,
+        Length::from_m(3.0),
+        0.95,
+        10.0,
+        4,
+    );
     let heavy = simulate(Application::AirPollution, Length::from_m(1.0), 0.0, 1.0, 1);
-    assert!(light.mean_latency_s < 2.0, "unloaded latency {}", light.mean_latency_s);
+    assert!(
+        light.mean_latency_s < 2.0,
+        "unloaded latency {}",
+        light.mean_latency_s
+    );
     assert!(
         heavy.mean_latency_s > 5.0 * light.mean_latency_s,
         "saturated latency {} vs {}",

@@ -61,11 +61,16 @@ fn experiment_run_emits_spans_and_a_complete_manifest() {
     // The manifest carries the seed, the experiment id, and a real
     // duration.
     let json = manifest.to_json();
-    assert!(json.contains(&format!(r#""seed":{}"#, sudc::sim::PAPER_SEED)), "{json}");
+    assert!(
+        json.contains(&format!(r#""seed":{}"#, sudc::sim::PAPER_SEED)),
+        "{json}"
+    );
     assert!(json.contains(r#""experiments":["placement"]"#), "{json}");
     assert!(manifest.duration_s() > 0.0);
     let path = manifest.write_to(&dir).unwrap();
-    assert!(fs::read_to_string(&path).unwrap().contains(r#""tool":"smoke""#));
+    assert!(fs::read_to_string(&path)
+        .unwrap()
+        .contains(r#""tool":"smoke""#));
 
     let _ = fs::remove_dir_all(&dir);
 }
