@@ -36,6 +36,11 @@ struct Cli {
     threads: usize,
     no_cache: bool,
     bench: bool,
+    faults: Option<String>,
+    seed: Option<u64>,
+    minutes: Option<f64>,
+    clusters: Option<usize>,
+    out_dir: Option<PathBuf>,
 }
 
 /// Parses an `--axis name=SPEC` argument. SPEC is a comma list
@@ -104,6 +109,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         threads: 4,
         no_cache: false,
         bench: false,
+        faults: None,
+        seed: None,
+        minutes: None,
+        clusters: None,
+        out_dir: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -132,6 +142,39 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--no-cache" => cli.no_cache = true,
             "--bench" => cli.bench = true,
+            "--faults" => {
+                let name = it.next().ok_or("--faults requires a scenario name")?;
+                cli.faults = Some(name.clone());
+            }
+            "--seed" => {
+                let n = it.next().ok_or("--seed requires a number")?;
+                cli.seed = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| format!("--seed wants an integer, got '{n}'"))?,
+                );
+            }
+            "--minutes" => {
+                let n = it.next().ok_or("--minutes requires a duration")?;
+                cli.minutes = Some(
+                    n.parse::<f64>()
+                        .ok()
+                        .filter(|&m| m > 0.0 && m.is_finite())
+                        .ok_or_else(|| format!("--minutes wants a positive number, got '{n}'"))?,
+                );
+            }
+            "--clusters" => {
+                let n = it.next().ok_or("--clusters requires a count")?;
+                cli.clusters = Some(
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| format!("--clusters wants a count >= 1, got '{n}'"))?,
+                );
+            }
+            "--out-dir" => {
+                let path = it.next().ok_or("--out-dir requires a path")?;
+                cli.out_dir = Some(PathBuf::from(path));
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag} (try `repro help`)"));
             }
@@ -169,6 +212,10 @@ fn main() -> ExitCode {
 
     if cli.ids.first().map(String::as_str) == Some("explore") {
         return run_explore(&cli);
+    }
+
+    if cli.ids.first().map(String::as_str) == Some("sim") {
+        return run_sim(&cli);
     }
 
     // Telemetry: stderr pretty-printer at the chosen verbosity, plus an
@@ -285,6 +332,233 @@ fn main() -> ExitCode {
         vec![
             ("experiments".to_string(), (timings.len() as u64).into()),
             ("duration_s".to_string(), manifest.duration_s().into()),
+            ("failed".to_string(), failed.into()),
+        ],
+    );
+    telemetry::flush();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `repro sim [--faults <scenario>]` — run the constellation simulator
+/// under a named fault scenario next to its fault-free baseline (same
+/// config, same seed) and write an availability/goodput comparison
+/// artifact (`results/faults_<scenario>.{txt,csv,json}`) plus fault
+/// metrics (`faults.*`, `sim.reroutes`, `sim.availability`).
+fn run_sim(cli: &Cli) -> ExitCode {
+    use sudc::sim::{run, FaultModel, SimConfig};
+
+    let operands: Vec<String> = cli.ids[1..].to_vec();
+    if operands.first().map(String::as_str) == Some("list") {
+        println!("available fault scenarios:");
+        for name in FaultModel::scenario_names() {
+            println!("  {name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !operands.is_empty() {
+        eprintln!(
+            "error: unexpected operand '{}' (usage: repro sim [list] [--faults <scenario>])",
+            operands[0]
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let scenario = cli.faults.clone().unwrap_or_else(|| "none".to_string());
+    let Some(model) = FaultModel::scenario(&scenario) else {
+        eprintln!("error: unknown fault scenario '{scenario}' (try `repro sim list`)");
+        return ExitCode::FAILURE;
+    };
+
+    let stderr_level = if cli.trace {
+        Level::Debug
+    } else if cli.quiet {
+        Level::Warn
+    } else {
+        Level::Info
+    };
+    telemetry::set_min_level(if cli.trace { Level::Debug } else { Level::Info });
+    telemetry::install(Arc::new(telemetry::sink::StderrSink::new(stderr_level)));
+    if let Some(path) = &cli.jsonl {
+        match telemetry::sink::JsonlSink::create(path) {
+            Ok(sink) => telemetry::install(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("error: cannot open {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seed = cli.seed.unwrap_or(sudc::sim::PAPER_SEED);
+    let minutes = cli.minutes.unwrap_or(2.0);
+    let clusters = cli.clusters.unwrap_or(4);
+
+    // Paper-reference ring (Table 8 regime) split into clusters so that
+    // cluster outages have somewhere to reroute to.
+    let mut cfg = SimConfig::paper_reference(
+        workloads::Application::AirPollution,
+        units::Length::from_m(3.0),
+        0.95,
+    );
+    cfg.clusters = clusters;
+    cfg.duration = units::Time::from_minutes(minutes);
+    cfg.seed = seed;
+
+    let baseline = run(&cfg);
+    cfg.faults = model;
+    let faulted = run(&cfg);
+
+    let mut manifest = RunManifest::new("sim", seed);
+    manifest.param("scenario", scenario.as_str());
+    manifest.param("minutes", minutes);
+    manifest.param("clusters", clusters as u64);
+    let metrics = telemetry::Metrics::new();
+    metrics.inc("faults.link_outages", faulted.faults.link_outages);
+    metrics.inc("faults.cluster_outages", faulted.faults.cluster_outages);
+    metrics.inc("faults.retries", faulted.faults.retries);
+    metrics.inc("sim.reroutes", faulted.faults.reroutes);
+    metrics.inc("faults.frames_corrupted", faulted.faults.frames_corrupted);
+    metrics.inc("faults.frames_shed", faulted.faults.frames_shed);
+    metrics.inc("faults.undeliverable", faulted.faults.undeliverable);
+    metrics.gauge("sim.availability", faulted.faults.availability);
+    metrics.gauge("sim.goodput", faulted.goodput);
+    metrics.gauge("sim.goodput_baseline", baseline.goodput);
+
+    let id = format!("faults_{scenario}");
+    let mut result = sudc::experiments::ExperimentResult::new(
+        &id,
+        &format!("Fault injection: '{scenario}' vs fault-free baseline (seed {seed})"),
+        &["metric", "baseline", "faulted"],
+    );
+    let fmt4 = |v: f64| format!("{v:.4}");
+    let pairs: Vec<(&str, String, String)> = vec![
+        (
+            "generated",
+            baseline.generated.to_string(),
+            faulted.generated.to_string(),
+        ),
+        ("kept", baseline.kept.to_string(), faulted.kept.to_string()),
+        (
+            "processed",
+            baseline.processed.to_string(),
+            faulted.processed.to_string(),
+        ),
+        ("goodput", fmt4(baseline.goodput), fmt4(faulted.goodput)),
+        (
+            "mean_latency_s",
+            fmt4(baseline.mean_latency_s),
+            fmt4(faulted.mean_latency_s),
+        ),
+        (
+            "availability",
+            fmt4(baseline.faults.availability),
+            fmt4(faulted.faults.availability),
+        ),
+        (
+            "link_outages",
+            baseline.faults.link_outages.to_string(),
+            faulted.faults.link_outages.to_string(),
+        ),
+        (
+            "cluster_outages",
+            baseline.faults.cluster_outages.to_string(),
+            faulted.faults.cluster_outages.to_string(),
+        ),
+        (
+            "retries",
+            baseline.faults.retries.to_string(),
+            faulted.faults.retries.to_string(),
+        ),
+        (
+            "reroutes",
+            baseline.faults.reroutes.to_string(),
+            faulted.faults.reroutes.to_string(),
+        ),
+        (
+            "undeliverable",
+            baseline.faults.undeliverable.to_string(),
+            faulted.faults.undeliverable.to_string(),
+        ),
+        (
+            "frames_shed",
+            baseline.faults.frames_shed.to_string(),
+            faulted.faults.frames_shed.to_string(),
+        ),
+        (
+            "frames_corrupted",
+            baseline.faults.frames_corrupted.to_string(),
+            faulted.faults.frames_corrupted.to_string(),
+        ),
+        (
+            "lost_to_failures",
+            baseline.lost_to_failures.to_string(),
+            faulted.lost_to_failures.to_string(),
+        ),
+        (
+            "stable",
+            baseline.stable.to_string(),
+            faulted.stable.to_string(),
+        ),
+    ];
+    for (name, a, b) in pairs {
+        result.push_row([name.to_string(), a, b]);
+    }
+    result.note(format!(
+        "paper-reference ring, {clusters} clusters, {minutes} simulated minutes, seed {seed}"
+    ));
+    result.note(
+        "same seed + same scenario reproduces this file byte-for-byte \
+         (see scripts/verify.sh determinism gate)",
+    );
+
+    let out_dir = cli.out_dir.clone().unwrap_or_else(bench::results_dir);
+    manifest.record_experiment(&id);
+    manifest.finish();
+
+    let mut failed = false;
+    if !cli.quiet {
+        println!("{}", result.to_text_table());
+    }
+    match bench::write_artifacts_to(&out_dir, &result) {
+        Ok(path) => {
+            if !cli.quiet {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("error writing artifacts for {id}: {e}");
+            failed = true;
+        }
+    }
+    if let Err(e) = manifest.write_to(&out_dir) {
+        eprintln!("error writing run manifest: {e}");
+        failed = true;
+    }
+    let metrics_path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| out_dir.join("BENCH_sim.json"));
+    if let Err(e) = bench::write_bench_json(&metrics_path, &manifest, &[], &metrics) {
+        eprintln!("error writing {}: {e}", metrics_path.display());
+        failed = true;
+    } else if !cli.quiet {
+        println!("wrote {}", metrics_path.display());
+    }
+
+    telemetry::info(
+        "sim.done",
+        vec![
+            ("scenario".to_string(), scenario.as_str().into()),
+            (
+                "availability".to_string(),
+                faulted.faults.availability.into(),
+            ),
+            ("goodput".to_string(), faulted.goodput.into()),
+            ("reroutes".to_string(), faulted.faults.reroutes.into()),
             ("failed".to_string(), failed.into()),
         ],
     );
@@ -492,6 +766,10 @@ fn usage() {
                                       explore engine (default: all sweeps\n\
                                       plus a throughput benchmark)\n\
            repro explore list         list sweeps and their axes\n\
+           repro sim                  run the constellation simulator under\n\
+                                      a fault scenario next to its fault-free\n\
+                                      baseline (availability/goodput report)\n\
+           repro sim list             list fault scenarios\n\
          \n\
          flags:\n\
            --trace                    debug-level telemetry on stderr\n\
@@ -507,6 +785,14 @@ fn usage() {
            --threads <n>              worker threads (default 4; 1 = sequential)\n\
            --no-cache                 skip the results/cache/ memo store\n\
            --bench                    force the seq-vs-parallel benchmark\n\
+         \n\
+         sim flags:\n\
+           --faults <scenario>        fault scenario (default none;\n\
+                                      see `repro sim list`)\n\
+           --seed <n>                 RNG seed (default the paper seed)\n\
+           --minutes <m>              simulated minutes (default 2)\n\
+           --clusters <c>             SµDC count (default 4)\n\
+           --out-dir <path>           artifact directory (default results/)\n\
          \n\
          artifacts are written to results/<id>.txt, .csv, and .json;\n\
          every run also writes a results/*_manifest.json and the\n\

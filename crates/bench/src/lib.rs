@@ -26,7 +26,18 @@ pub fn results_dir() -> PathBuf {
 ///
 /// Returns any filesystem error from writing.
 pub fn write_artifacts(result: &ExperimentResult) -> io::Result<PathBuf> {
-    let dir = results_dir();
+    write_artifacts_to(&results_dir(), result)
+}
+
+/// Like [`write_artifacts`], but into an explicit directory (created if
+/// missing) — used by `repro sim --out-dir` and the determinism gate,
+/// which diffs two same-seed runs written to separate directories.
+///
+/// # Errors
+///
+/// Returns any filesystem error from writing.
+pub fn write_artifacts_to(dir: &Path, result: &ExperimentResult) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
     let txt = dir.join(format!("{}.txt", result.id));
     fs::write(&txt, result.to_text_table())?;
     fs::write(dir.join(format!("{}.csv", result.id)), result.to_csv())?;

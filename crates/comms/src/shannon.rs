@@ -23,8 +23,23 @@ pub fn capacity(b: Frequency, snr: f64) -> DataRate {
 
 /// Inverse of [`capacity`] in the SNR direction: the linear SNR required to
 /// reach `target` over bandwidth `b`.
+///
+/// Computed as `exp_m1((target/b)·ln 2)` for full precision at small
+/// spectral efficiencies. The result **saturates at [`f64::MAX`]** when
+/// `target/b` exceeds ~1024 bit/s/Hz (where `2^(target/b)` overflows the
+/// f64 range) instead of silently returning `f64::INFINITY`; use
+/// [`required_snr_checked`] to detect that regime explicitly.
 pub fn required_snr(b: Frequency, target: DataRate) -> f64 {
-    2f64.powf(target.as_bps() / b.as_hz()) - 1.0
+    required_snr_checked(b, target).unwrap_or(f64::MAX)
+}
+
+/// Like [`required_snr`], but returns `None` when the required SNR
+/// overflows the representable `f64` range (no physical transmitter
+/// reaches such SNRs; the target needs more bandwidth, not more power).
+pub fn required_snr_checked(b: Frequency, target: DataRate) -> Option<f64> {
+    let bits_per_hz = target.as_bps() / b.as_hz();
+    let snr = (bits_per_hz * std::f64::consts::LN_2).exp_m1();
+    snr.is_finite().then_some(snr)
 }
 
 /// Inverse of [`capacity`] in the bandwidth direction: the bandwidth needed
@@ -124,6 +139,36 @@ mod tests {
         // (1+19)^2 - 1 = 399 → 21× the SNR for 2× the capacity.
         assert!((mult - 399.0 / 19.0).abs() < 1e-9);
         assert!(mult > 20.0);
+    }
+
+    #[test]
+    fn required_snr_saturates_instead_of_overflowing() {
+        // 2 Tbit/s over 1 Hz wants 2^2e12 − 1: far beyond f64 range. The
+        // saturating form stays finite; the checked form reports None.
+        let b = Frequency::from_hz(1.0);
+        let target = DataRate::from_gbps(2_000.0);
+        let snr = required_snr(b, target);
+        assert!(snr.is_finite(), "got {snr}");
+        assert_eq!(snr, f64::MAX);
+        assert_eq!(required_snr_checked(b, target), None);
+        // Just below the overflow knee (~1024 bit/s/Hz) stays finite and
+        // checked agrees with the saturating form.
+        let near = DataRate::from_bps(1_000.0);
+        let f = required_snr(Frequency::from_hz(1.0), near);
+        assert!(f.is_finite() && f > 1e300);
+        assert_eq!(required_snr_checked(Frequency::from_hz(1.0), near), Some(f));
+    }
+
+    #[test]
+    fn required_snr_is_precise_at_tiny_spectral_efficiency() {
+        // For target/b = 1e-12 bit/s/Hz, SNR ≈ ln2 · 1e-12. The old
+        // 2^x − 1 formulation lost all significant digits here.
+        let snr = required_snr(Frequency::from_hz(1e12), DataRate::from_bps(1.0));
+        let expected = std::f64::consts::LN_2 * 1e-12;
+        assert!(
+            (snr - expected).abs() / expected < 1e-9,
+            "got {snr}, want {expected}"
+        );
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Fault-injection configuration for the ring simulator (Sec. 9).
+//!
+//! A [`FaultModel`] switches on seeded stochastic failure processes in
+//! [`super::run`]: transient ISL outages with MTBF/MTTR repair, SEU-driven
+//! compute degradation and silent frame corruption tied to the orbit's
+//! radiation environment, stochastic SµDC cluster outages generalising the
+//! deterministic `SimConfig::failures` list, bounded retry with
+//! exponential backoff, and load shedding once the in-flight backlog
+//! crosses a threshold. [`FaultModel::none`] (the default) injects
+//! nothing: fault-free runs remain byte-identical to the pre-fault
+//! simulator because no fault RNG stream is ever drawn.
+
+use orbit::circular::CircularOrbit;
+use serde::{Deserialize, Serialize};
+use units::{DataSize, Time};
+
+/// Transient ISL link outages: each satellite's outgoing link alternates
+/// exponentially-distributed up (`mtbf`) and down (`mttr`) periods,
+/// independently per satellite (its own RNG stream).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkOutageSpec {
+    /// Mean time between failures (mean up-time).
+    pub mtbf: Time,
+    /// Mean time to repair (mean down-time).
+    pub mttr: Time,
+}
+
+/// Single-event-upset compute degradation. `upsets_per_frame` is the raw
+/// bit-flip rate per processed frame; the simulator folds it through
+/// [`workloads::hardening::silent_error_rate`] (silent output corruption)
+/// and [`workloads::hardening::detected_error_rate`] (detected errors that
+/// cost a recompute, stretching mean service time) for the configured
+/// `SudcSpec` hardening strategy and application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeuSpec {
+    /// Raw radiation-induced bit flips per processed frame.
+    pub upsets_per_frame: f64,
+}
+
+impl SeuSpec {
+    /// Derives the per-frame upset rate from the orbit's radiation
+    /// environment: `leo_upsets_per_frame` (the benign-LEO baseline) is
+    /// scaled by [`orbit::radiation::seu_rate_multiplier`] for the given
+    /// orbit and SAA transit fraction.
+    pub fn for_orbit(orbit: CircularOrbit, saa_fraction: f64, leo_upsets_per_frame: f64) -> Self {
+        Self {
+            upsets_per_frame: leo_upsets_per_frame
+                * orbit::radiation::seu_rate_multiplier(orbit, saa_fraction),
+        }
+    }
+}
+
+/// Stochastic whole-SµDC outages (alternating renewal, like
+/// [`LinkOutageSpec`] but per cluster). Generalises the deterministic
+/// `SimConfig::failures` list: a down SµDC serves nothing, frames arriving
+/// at it are rerouted (or lost), and work finishing during an outage dies
+/// with the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterOutageSpec {
+    /// Mean time between cluster failures.
+    pub mtbf: Time,
+    /// Mean time to recover a failed cluster.
+    pub mttr: Time,
+}
+
+/// Graceful degradation: once the in-flight backlog exceeds
+/// `backlog_threshold`, newly kept frames are shed (dropped at the source)
+/// with a probability that escalates linearly from `shed_probability` at
+/// the threshold to 1.0 at twice the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationSpec {
+    /// Backlog level at which shedding starts.
+    pub backlog_threshold: DataSize,
+    /// Shed probability right at the threshold (escalates beyond it).
+    pub shed_probability: f64,
+}
+
+/// Bounded retry with exponential backoff for transmissions that find
+/// their link down: attempt `max_retries` retries with delays
+/// `base_backoff · factor^attempt`, then fall back to reverse-direction
+/// rerouting (and finally drop the frame if both directions are dead).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrySpec {
+    /// Maximum retry attempts before rerouting.
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_backoff: Time,
+    /// Multiplicative backoff growth per attempt (≥ 1).
+    pub factor: f64,
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_backoff: Time::from_secs(0.05),
+            factor: 2.0,
+        }
+    }
+}
+
+/// The full fault-injection model. All processes are optional and
+/// independent; [`FaultModel::none`] (also `Default`) disables everything.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Transient ISL outages.
+    #[serde(default)]
+    pub link_outages: Option<LinkOutageSpec>,
+    /// SEU compute degradation and frame corruption.
+    #[serde(default)]
+    pub seu: Option<SeuSpec>,
+    /// Stochastic SµDC cluster outages.
+    #[serde(default)]
+    pub cluster_outages: Option<ClusterOutageSpec>,
+    /// Backlog-triggered load shedding.
+    #[serde(default)]
+    pub degradation: Option<DegradationSpec>,
+    /// Retry policy for transmissions blocked by a link outage.
+    #[serde(default)]
+    pub retry: RetrySpec,
+}
+
+impl FaultModel {
+    /// No faults: the simulator behaves exactly as without a fault model
+    /// (byte-identical reports for the same config and seed).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault process is enabled.
+    pub fn active(&self) -> bool {
+        self.link_outages.is_some()
+            || self.seu.is_some()
+            || self.cluster_outages.is_some()
+            || self.degradation.is_some()
+    }
+
+    /// Names of the built-in scenarios accepted by [`FaultModel::scenario`].
+    pub fn scenario_names() -> &'static [&'static str] {
+        &[
+            "none",
+            "flaky_links",
+            "seu_storm",
+            "cluster_loss",
+            "combined",
+        ]
+    }
+
+    /// Looks up a named fault scenario:
+    ///
+    /// - `none` — no faults (byte-identical baseline);
+    /// - `flaky_links` — ISL outages (MTBF 45 s, MTTR 6 s) exercising
+    ///   retry and reverse-direction rerouting;
+    /// - `seu_storm` — an elevated upset rate (0.8 flips/frame, the SAA /
+    ///   solar-storm regime) degrading and corrupting compute;
+    /// - `cluster_loss` — whole-SµDC outages (MTBF 90 s, MTTR 30 s);
+    /// - `combined` — all of the above, milder, plus backlog shedding.
+    pub fn scenario(name: &str) -> Option<Self> {
+        let model = match name {
+            "none" => Self::none(),
+            "flaky_links" => Self {
+                link_outages: Some(LinkOutageSpec {
+                    mtbf: Time::from_secs(45.0),
+                    mttr: Time::from_secs(6.0),
+                }),
+                ..Self::none()
+            },
+            "seu_storm" => Self {
+                seu: Some(SeuSpec {
+                    upsets_per_frame: 0.8,
+                }),
+                ..Self::none()
+            },
+            "cluster_loss" => Self {
+                cluster_outages: Some(ClusterOutageSpec {
+                    mtbf: Time::from_secs(90.0),
+                    mttr: Time::from_secs(30.0),
+                }),
+                ..Self::none()
+            },
+            "combined" => Self {
+                link_outages: Some(LinkOutageSpec {
+                    mtbf: Time::from_secs(60.0),
+                    mttr: Time::from_secs(5.0),
+                }),
+                seu: Some(SeuSpec {
+                    upsets_per_frame: 0.3,
+                }),
+                cluster_outages: Some(ClusterOutageSpec {
+                    mtbf: Time::from_secs(150.0),
+                    mttr: Time::from_secs(20.0),
+                }),
+                degradation: Some(DegradationSpec {
+                    backlog_threshold: DataSize::from_gigabytes(0.25),
+                    shed_probability: 0.5,
+                }),
+                ..Self::none()
+            },
+            _ => return None,
+        };
+        Some(model)
+    }
+}
+
+/// Per-run fault statistics, all zero (and `availability = 1`) for
+/// fault-free runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// ISL outage windows that began within the horizon, summed over links.
+    pub link_outages: u64,
+    /// SµDC outage windows that began within the horizon.
+    pub cluster_outages: u64,
+    /// Transmissions retried after finding their link down.
+    pub retries: u64,
+    /// Frames switched to reverse-direction routing (dead link after
+    /// exhausted retries, or arrival at a dead SµDC).
+    pub reroutes: u64,
+    /// Frames dropped because no route delivered them (both directions
+    /// dead or the hop budget ran out).
+    pub undeliverable: u64,
+    /// Frames shed at the source by backlog-triggered degradation.
+    pub frames_shed: u64,
+    /// Processed frames whose output was silently corrupted by an SEU.
+    pub frames_corrupted: u64,
+    /// Mean availability of the modelled outage processes over the
+    /// horizon (1.0 when no outage process is configured).
+    pub availability: f64,
+}
+
+impl Default for FaultSummary {
+    fn default() -> Self {
+        Self {
+            link_outages: 0,
+            cluster_outages: 0,
+            retries: 0,
+            reroutes: 0,
+            undeliverable: 0,
+            frames_shed: 0,
+            frames_corrupted: 0,
+            availability: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_default() {
+        assert!(!FaultModel::none().active());
+        assert_eq!(FaultModel::none(), FaultModel::default());
+    }
+
+    #[test]
+    fn every_named_scenario_resolves() {
+        for name in FaultModel::scenario_names() {
+            let m = FaultModel::scenario(name)
+                .unwrap_or_else(|| panic!("scenario {name} must resolve"));
+            assert_eq!(m.active(), *name != "none", "{name}");
+        }
+        assert!(FaultModel::scenario("not_a_scenario").is_none());
+    }
+
+    #[test]
+    fn seu_spec_scales_with_radiation_environment() {
+        use units::Length;
+        let leo = CircularOrbit::from_altitude(Length::from_km(550.0));
+        let benign = SeuSpec::for_orbit(leo, 0.0, 0.01);
+        assert!((benign.upsets_per_frame - 0.01).abs() < 1e-12);
+        let saa = SeuSpec::for_orbit(leo, 0.05, 0.01);
+        assert!(saa.upsets_per_frame > benign.upsets_per_frame);
+        let geo = SeuSpec::for_orbit(CircularOrbit::geostationary(), 0.0, 0.01);
+        assert!(geo.upsets_per_frame > saa.upsets_per_frame);
+    }
+
+    // Named `serde_transparent` so offline stub harnesses (whose serde
+    // stub cannot round-trip) can skip it alongside the other such tests.
+    #[test]
+    fn fault_model_serde_transparent_round_trip_with_defaults() {
+        let m = FaultModel::scenario("combined").unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: FaultModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        // Older configs without a faults block deserialize to none().
+        let empty: FaultModel = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, FaultModel::none());
+    }
+
+    #[test]
+    fn default_summary_is_clean() {
+        let s = FaultSummary::default();
+        assert_eq!(s.retries + s.reroutes + s.frames_corrupted, 0);
+        assert_eq!(s.availability, 1.0);
+    }
+}

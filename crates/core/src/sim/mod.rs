@@ -1,4 +1,9 @@
 //! Frame-level discrete-event simulation of an EO constellation feeding
 //! SµDCs (placeholder module file; see submodules).
+pub mod faults;
 pub mod model;
+pub use faults::{
+    ClusterOutageSpec, DegradationSpec, FaultModel, FaultSummary, LinkOutageSpec, RetrySpec,
+    SeuSpec,
+};
 pub use model::*;

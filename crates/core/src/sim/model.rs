@@ -15,12 +15,14 @@ use imagery::earth::EarthModel;
 use imagery::FrameSpec;
 use orbit::groundtrack::subsatellite_point;
 use serde::{Deserialize, Serialize};
+use simkit::faults::{Backoff, OutageProcess};
 use simkit::rng::{coin, RngFactory};
 use simkit::stats::Tally;
 use simkit::Scheduler;
 use units::{DataRate, DataSize, Length, Time};
 use workloads::Application;
 
+use crate::sim::faults::{FaultModel, FaultSummary};
 use crate::sizing::SudcSpec;
 
 /// The workspace-wide default RNG seed used by the paper-reference
@@ -86,6 +88,12 @@ pub struct SimConfig {
     /// Used to quantify the Sec. 9 resilience argument for splitting and
     /// disaggregation.
     pub failures: Vec<(usize, Time)>,
+    /// Stochastic fault-injection model (link outages, SEUs, cluster
+    /// outages, load shedding). [`FaultModel::none`] — the default, and
+    /// what older serialized configs deserialize to — leaves the
+    /// simulation byte-identical to the fault-unaware simulator.
+    #[serde(default)]
+    pub faults: FaultModel,
     /// RNG seed.
     pub seed: u64,
 }
@@ -107,6 +115,7 @@ impl SimConfig {
             frame: FrameSpec::paper(),
             duration: Time::from_minutes(5.0),
             failures: Vec::new(),
+            faults: FaultModel::none(),
             seed: PAPER_SEED,
         }
     }
@@ -140,6 +149,15 @@ struct FrameInFlight {
     created: Time,
     bits: f64,
     pixels: f64,
+    /// ISL hops taken so far (bounds rerouted frames).
+    hops: u32,
+    /// Routing direction: `true` once the frame fell back to
+    /// reverse-direction (away-from-home-SµDC) routing around a fault.
+    reversed: bool,
+    /// Which way a reversed frame walks the global ring: `true` for
+    /// `+stride`, `false` for `-stride` (chosen opposite to the frame's
+    /// forward direction at the point of rerouting).
+    rev_up: bool,
 }
 
 /// Simulation events.
@@ -150,8 +168,20 @@ enum Ev {
     /// A frame finishes crossing the ISL out of `from` and arrives at the
     /// next node toward the SµDC.
     Hop { frame: FrameInFlight, from: usize },
-    /// The SµDC of `cluster` finishes processing a frame.
-    Done { cluster: usize, created: Time },
+    /// A transmission blocked by a link outage retries from `from` after
+    /// exponential backoff (`attempt` retries already spent).
+    Retry {
+        frame: FrameInFlight,
+        from: usize,
+        attempt: u32,
+    },
+    /// The SµDC of `cluster` finishes processing a frame; `corrupted`
+    /// marks outputs silently ruined by an SEU.
+    Done {
+        cluster: usize,
+        created: Time,
+        corrupted: bool,
+    },
 }
 
 /// Aggregated results of one simulation run.
@@ -184,6 +214,10 @@ pub struct SimReport {
     /// Event-calendar counters (deterministic for a given config/seed).
     #[serde(default)]
     pub scheduler: simkit::SchedulerCounters,
+    /// Fault-injection statistics (all zero with `availability = 1` for
+    /// fault-free runs).
+    #[serde(default)]
+    pub faults: FaultSummary,
 }
 
 /// Per-run mutable state.
@@ -202,6 +236,34 @@ struct State {
     latency: Tally,
     earth: EarthModel,
     rng_factory: RngFactory,
+    /// Forward-direction ISL outage process per satellite (present only
+    /// when `cfg.faults.link_outages` is set; never drawn otherwise).
+    link_out_fwd: Option<Vec<OutageProcess>>,
+    /// Reverse-direction ISL outage process per satellite — the fallback
+    /// path is separate hardware with independent failures.
+    link_out_rev: Option<Vec<OutageProcess>>,
+    /// Stochastic SµDC outage process per cluster.
+    cluster_out: Option<Vec<OutageProcess>>,
+    /// Retry policy for outage-blocked transmissions.
+    backoff: Backoff,
+    /// Whether the SEU process is enabled (gates all SEU draws).
+    seu_active: bool,
+    /// Probability a processed frame's output is silently corrupted.
+    seu_p_corrupt: f64,
+    /// Mean-service-time stretch from detected-and-recomputed errors.
+    seu_service_factor: f64,
+    /// SEU coin draws per cluster (RNG stream keying).
+    seu_draws: Vec<u64>,
+    /// Load shedding: `(backlog threshold bits, base shed probability)`.
+    shed: Option<(f64, f64)>,
+    /// Shed coin draws so far (RNG stream keying).
+    shed_draws: u64,
+    /// Fault counters folded into [`FaultSummary`] at the end.
+    retries: u64,
+    reroutes: u64,
+    undeliverable: u64,
+    frames_shed: u64,
+    frames_corrupted: u64,
 }
 
 impl State {
@@ -250,6 +312,93 @@ impl State {
         self.next_hop(sat).is_none()
     }
 
+    /// Next position for a reverse-routed frame: a fixed `±stride` walk
+    /// around the global ring, guaranteed to pass every SµDC's ingest
+    /// window (which is `2·stride + 1 > stride` positions wide).
+    fn reverse_next(&self, sat: usize, rev_up: bool) -> usize {
+        let n = self.cfg.plane.satellite_count();
+        let stride = self.cfg.ingest_links / 2;
+        if rev_up {
+            (sat + stride) % n
+        } else {
+            (sat + n - stride % n) % n
+        }
+    }
+
+    /// The global-ring direction *opposite* to `sat`'s forward routing
+    /// direction (satellites below their arc centre forward `+stride`, so
+    /// their reverse walk is `-stride`, and vice versa).
+    fn reverse_direction_up(&self, sat: usize) -> bool {
+        let m = self.cfg.cluster_size();
+        let offset = sat - (sat / m) * m;
+        offset >= m / 2
+    }
+
+    /// If ring position `p` sits within one chain stride of a *live*
+    /// SµDC, returns that cluster for ingest; reverse-routed frames keep
+    /// walking otherwise.
+    fn reversed_delivery(&mut self, p: usize, now: Time) -> Option<usize> {
+        let n = self.cfg.plane.satellite_count();
+        let m = self.cfg.cluster_size();
+        let stride = self.cfg.ingest_links / 2;
+        let cluster = p / m;
+        let center = cluster * m + m / 2;
+        let d = p.abs_diff(center);
+        let ring_distance = d.min(n - d);
+        (ring_distance <= stride && !self.cluster_failed(cluster, now)).then_some(cluster)
+    }
+
+    /// Whether cluster `c` is down at `now` — either past a deterministic
+    /// `failures` entry or inside a stochastic outage window.
+    fn cluster_failed(&mut self, c: usize, now: Time) -> bool {
+        if self
+            .cfg
+            .failures
+            .iter()
+            .any(|&(cc, at)| cc == c && now >= at)
+        {
+            return true;
+        }
+        match self.cluster_out.as_mut() {
+            Some(procs) => !procs[c].is_up(now.as_secs()),
+            None => false,
+        }
+    }
+
+    /// Whether `sat`'s link in the frame's travel direction is up at `t`.
+    /// Always `true` when no outage model is configured.
+    fn link_up(&mut self, sat: usize, reversed: bool, t: Time) -> bool {
+        let procs = if reversed {
+            self.link_out_rev.as_mut()
+        } else {
+            self.link_out_fwd.as_mut()
+        };
+        match procs {
+            Some(v) => v[sat].is_up(t.as_secs()),
+            None => true,
+        }
+    }
+
+    /// Backlog-triggered load shedding: sheds a newly kept frame with a
+    /// probability escalating from the configured base at the threshold
+    /// to 1.0 at twice the threshold.
+    fn should_shed(&mut self, sat: usize) -> bool {
+        let Some((threshold, base)) = self.shed else {
+            return false;
+        };
+        if self.queued_bits <= threshold {
+            return false;
+        }
+        let over = (self.queued_bits - threshold) / threshold;
+        let p = (base + (1.0 - base) * over).min(1.0);
+        self.shed_draws += 1;
+        let mut rng = self.rng_factory.stream(
+            "shed",
+            ((sat as u64) << 32) | (self.shed_draws & 0xFFFF_FFFF),
+        );
+        coin(&mut rng, p)
+    }
+
     fn keep_frame(&mut self, sat: usize, now: Time) -> bool {
         match self.cfg.discard {
             DiscardPolicy::Uniform(p) => {
@@ -285,6 +434,50 @@ impl State {
     }
 }
 
+/// Routes a frame out of `sat`, honouring link outages: an up link
+/// transmits ([`depart`]); a down link retries with exponential backoff,
+/// then falls back to reverse-direction routing, and a frame whose both
+/// directions are dead is dropped as undeliverable. With no outage model
+/// this is exactly [`depart`].
+fn dispatch(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    mut frame: FrameInFlight,
+    sat: usize,
+    now: Time,
+    attempt: u32,
+) {
+    if st.link_out_fwd.is_some() {
+        let start = st.link_free[sat].max(now);
+        if !st.link_up(sat, frame.reversed, start) {
+            if let Some(delay) = st.backoff.delay_s(attempt) {
+                st.retries += 1;
+                sched.schedule_at(
+                    now + Time::from_secs(delay),
+                    Ev::Retry {
+                        frame,
+                        from: sat,
+                        attempt: attempt + 1,
+                    },
+                );
+            } else if frame.reversed || st.cfg.topology != SimTopology::Ring {
+                // Both directions exhausted their retries (or there is no
+                // ring to fall back to): the frame dies.
+                st.undeliverable += 1;
+                st.queued_bits -= frame.bits;
+            } else {
+                // Forward path dead: fall back to the reverse ring.
+                st.reroutes += 1;
+                frame.reversed = true;
+                frame.rev_up = st.reverse_direction_up(sat);
+                dispatch(st, sched, frame, sat, now, 0);
+            }
+            return;
+        }
+    }
+    depart(st, sched, frame, sat, now);
+}
+
 /// Schedules the frame's transmission over `sat`'s outgoing ISL.
 fn depart(st: &mut State, sched: &mut Scheduler<Ev>, frame: FrameInFlight, sat: usize, now: Time) {
     let start = st.link_free[sat].max(now);
@@ -300,6 +493,41 @@ fn depart(st: &mut State, sched: &mut Scheduler<Ev>, frame: FrameInFlight, sat: 
     sched.schedule_at(done + prop, Ev::Hop { frame, from: sat });
 }
 
+/// Enters a frame into `cluster`'s compute queue and schedules its
+/// completion, applying the SEU service stretch and corruption coin when
+/// the SEU process is enabled (no draws otherwise).
+fn ingest(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    frame: FrameInFlight,
+    cluster: usize,
+    now: Time,
+    pixel_capacity: f64,
+) {
+    let start = st.sudc_free[cluster].max(now);
+    let mut service_s = frame.pixels / pixel_capacity;
+    let mut corrupted = false;
+    if st.seu_active {
+        service_s *= st.seu_service_factor;
+        st.seu_draws[cluster] += 1;
+        let mut rng = st.rng_factory.stream(
+            "seu",
+            ((cluster as u64) << 32) | (st.seu_draws[cluster] & 0xFFFF_FFFF),
+        );
+        corrupted = coin(&mut rng, st.seu_p_corrupt);
+    }
+    let done = start + Time::from_secs(service_s);
+    st.sudc_free[cluster] = done;
+    sched.schedule_at(
+        done,
+        Ev::Done {
+            cluster,
+            created: frame.created,
+            corrupted,
+        },
+    );
+}
+
 /// Runs the simulation and returns its report.
 ///
 /// # Panics
@@ -312,6 +540,47 @@ pub fn run(cfg: &SimConfig) -> SimReport {
     let clusters = cfg.clusters;
     let _ = cfg.cluster_size(); // validate divisibility
 
+    let rng_factory = RngFactory::new(cfg.seed);
+    // Fault processes draw from dedicated RNG streams so that enabling
+    // (or disabling) them never perturbs discard/shed/SEU draws — and a
+    // FaultModel::none() run never touches them at all.
+    let outage_ring = |label: &str, count: usize, mtbf: Time, mttr: Time| {
+        (0..count)
+            .map(|i| {
+                OutageProcess::new(
+                    rng_factory.stream(label, i as u64),
+                    mtbf.as_secs(),
+                    mttr.as_secs(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let link_out_fwd = cfg
+        .faults
+        .link_outages
+        .map(|s| outage_ring("link_outage", n, s.mtbf, s.mttr));
+    let link_out_rev = cfg
+        .faults
+        .link_outages
+        .map(|s| outage_ring("link_outage_rev", n, s.mtbf, s.mttr));
+    let cluster_out = cfg
+        .faults
+        .cluster_outages
+        .map(|s| outage_ring("cluster_outage", clusters, s.mtbf, s.mttr));
+    let (seu_active, seu_p_corrupt, seu_service_factor) = match cfg.faults.seu {
+        Some(seu) => {
+            let h = cfg.sudc.hardening;
+            let p = workloads::hardening::silent_error_rate(h, cfg.app, seu.upsets_per_frame)
+                .clamp(0.0, 1.0);
+            let stretch = 1.0
+                + workloads::hardening::detected_error_rate(h, cfg.app, seu.upsets_per_frame)
+                    .max(0.0);
+            (true, p, stretch)
+        }
+        None => (false, 0.0, 1.0),
+    };
+    let retry = cfg.faults.retry;
+
     let mut st = State {
         cfg: cfg.clone(),
         link_free: vec![Time::ZERO; n],
@@ -323,7 +592,29 @@ pub fn run(cfg: &SimConfig) -> SimReport {
         lost_to_failures: 0,
         latency: Tally::new(),
         earth: EarthModel::paper(cfg.seed),
-        rng_factory: RngFactory::new(cfg.seed),
+        rng_factory,
+        link_out_fwd,
+        link_out_rev,
+        cluster_out,
+        backoff: Backoff::new(
+            retry.base_backoff.as_secs(),
+            retry.factor,
+            retry.max_retries,
+        ),
+        seu_active,
+        seu_p_corrupt,
+        seu_service_factor,
+        seu_draws: vec![0; clusters],
+        shed: cfg
+            .faults
+            .degradation
+            .map(|d| (d.backlog_threshold.as_bits(), d.shed_probability)),
+        shed_draws: 0,
+        retries: 0,
+        reroutes: 0,
+        undeliverable: 0,
+        frames_shed: 0,
+        frames_corrupted: 0,
     };
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
@@ -350,49 +641,91 @@ pub fn run(cfg: &SimConfig) -> SimReport {
                 st.generated += 1;
                 if st.keep_frame(sat, now) {
                     st.kept += 1;
-                    st.queued_bits += bits_per_frame;
-                    let frame = FrameInFlight {
-                        created: now,
-                        bits: bits_per_frame,
-                        pixels: pixels_per_frame,
-                    };
-                    depart(st, sched, frame, sat, now);
+                    if st.should_shed(sat) {
+                        // Backlog-triggered graceful degradation: drop at
+                        // the source rather than swamp the ring.
+                        st.frames_shed += 1;
+                    } else {
+                        st.queued_bits += bits_per_frame;
+                        let frame = FrameInFlight {
+                            created: now,
+                            bits: bits_per_frame,
+                            pixels: pixels_per_frame,
+                            hops: 0,
+                            reversed: false,
+                            rev_up: false,
+                        };
+                        dispatch(st, sched, frame, sat, now, 0);
+                    }
                 }
                 sched.schedule_in(st.cfg.frame.period, Ev::Generate { sat });
             }
+            Ev::Hop { frame, from } if frame.reversed => {
+                // Reverse-routed frames walk the global ring until they
+                // pass a live SµDC's ingest window (or run out of hops).
+                let p = st.reverse_next(from, frame.rev_up);
+                if let Some(cluster) = st.reversed_delivery(p, now) {
+                    st.queued_bits -= frame.bits;
+                    ingest(st, sched, frame, cluster, now, pixel_capacity);
+                } else if frame.hops as usize > 2 * st.cfg.plane.satellite_count() {
+                    st.undeliverable += 1;
+                    st.queued_bits -= frame.bits;
+                } else {
+                    let mut f = frame;
+                    f.hops += 1;
+                    dispatch(st, sched, f, p, now, 0);
+                }
+            }
             Ev::Hop { frame, from } => match st.next_hop(from) {
-                Some(next) => depart(st, sched, frame, next, now),
+                Some(next) => {
+                    let mut f = frame;
+                    f.hops += 1;
+                    dispatch(st, sched, f, next, now, 0);
+                }
                 None => {
                     // Arrived at the SµDC: enter the compute queue —
                     // unless the SµDC has failed, in which case the frame
-                    // is lost.
-                    st.queued_bits -= frame.bits;
+                    // is rerouted (ring + active faults) or lost.
                     let cluster = st.cluster_of(from);
-                    if st
-                        .cfg
-                        .failures
-                        .iter()
-                        .any(|&(c, at)| c == cluster && now >= at)
-                    {
-                        st.lost_to_failures += 1;
+                    if st.cluster_failed(cluster, now) {
+                        if st.cfg.topology == SimTopology::Ring && st.cfg.faults.active() {
+                            st.reroutes += 1;
+                            let mut f = frame;
+                            f.reversed = true;
+                            f.rev_up = st.reverse_direction_up(from);
+                            f.hops += 1;
+                            dispatch(st, sched, f, from, now, 0);
+                        } else {
+                            st.queued_bits -= frame.bits;
+                            st.lost_to_failures += 1;
+                        }
                         return;
                     }
-                    let start = st.sudc_free[cluster].max(now);
-                    let service = Time::from_secs(frame.pixels / pixel_capacity);
-                    let done = start + service;
-                    st.sudc_free[cluster] = done;
-                    sched.schedule_at(
-                        done,
-                        Ev::Done {
-                            cluster,
-                            created: frame.created,
-                        },
-                    );
+                    st.queued_bits -= frame.bits;
+                    ingest(st, sched, frame, cluster, now, pixel_capacity);
                 }
             },
-            Ev::Done { created, .. } => {
-                st.processed += 1;
-                st.latency.record((now - created).as_secs());
+            Ev::Retry {
+                frame,
+                from,
+                attempt,
+            } => dispatch(st, sched, frame, from, now, attempt),
+            Ev::Done {
+                cluster,
+                created,
+                corrupted,
+            } => {
+                if st.cluster_failed(cluster, now) {
+                    // The SµDC died while (or after) serving this frame:
+                    // queued work dies with the cluster instead of being
+                    // credited as processed.
+                    st.lost_to_failures += 1;
+                } else if corrupted {
+                    st.frames_corrupted += 1;
+                } else {
+                    st.processed += 1;
+                    st.latency.record((now - created).as_secs());
+                }
             }
         }
     });
@@ -421,9 +754,65 @@ pub fn run(cfg: &SimConfig) -> SimReport {
     let per_cluster_ingest = cfg.ingest_links as f64 * cfg.isl_capacity.as_bps();
     let stable = goodput > 0.9 && residual.as_bits() < per_cluster_ingest * clusters as f64 * 3.0;
 
+    // Fold the fault processes into the summary: count outage windows
+    // that began within the horizon and average availability over every
+    // modelled process (1.0 when nothing is modelled).
+    let mut fault_summary = FaultSummary {
+        retries: st.retries,
+        reroutes: st.reroutes,
+        undeliverable: st.undeliverable,
+        frames_shed: st.frames_shed,
+        frames_corrupted: st.frames_corrupted,
+        ..FaultSummary::default()
+    };
+    {
+        let mut avail_sum = 0.0;
+        let mut avail_count = 0usize;
+        for procs in [st.link_out_fwd.as_mut(), st.link_out_rev.as_mut()]
+            .into_iter()
+            .flatten()
+        {
+            for p in procs.iter_mut() {
+                fault_summary.link_outages += p.outages_before(horizon) as u64;
+                avail_sum += p.availability_until(horizon);
+                avail_count += 1;
+            }
+        }
+        if let Some(procs) = st.cluster_out.as_mut() {
+            for p in procs.iter_mut() {
+                fault_summary.cluster_outages += p.outages_before(horizon) as u64;
+                avail_sum += p.availability_until(horizon);
+                avail_count += 1;
+            }
+        }
+        if avail_count > 0 {
+            fault_summary.availability = avail_sum / avail_count as f64;
+        }
+    }
+
     if telemetry::level_enabled(telemetry::Level::Debug) {
         if let Some(rep) = sched.probe_report() {
             telemetry::debug("sim.scheduler", rep.fields());
+        }
+        if cfg.faults.active() {
+            telemetry::debug(
+                "sim.faults",
+                vec![
+                    ("link_outages".into(), fault_summary.link_outages.into()),
+                    (
+                        "cluster_outages".into(),
+                        fault_summary.cluster_outages.into(),
+                    ),
+                    ("retries".into(), fault_summary.retries.into()),
+                    ("reroutes".into(), fault_summary.reroutes.into()),
+                    (
+                        "frames_corrupted".into(),
+                        fault_summary.frames_corrupted.into(),
+                    ),
+                    ("frames_shed".into(), fault_summary.frames_shed.into()),
+                    ("availability".into(), fault_summary.availability.into()),
+                ],
+            );
         }
     }
 
@@ -445,6 +834,7 @@ pub fn run(cfg: &SimConfig) -> SimReport {
         goodput,
         stable,
         scheduler: sched.probe_counters().unwrap_or_default(),
+        faults: fault_summary,
     }
 }
 
@@ -686,6 +1076,128 @@ mod tests {
     fn no_failures_means_no_losses() {
         let r = quick(Application::AirPollution, 3.0, 0.95, 2);
         assert_eq!(r.lost_to_failures, 0);
+        assert_eq!(r.faults, crate::sim::FaultSummary::default());
+        assert_eq!(r.faults.availability, 1.0);
+    }
+
+    #[test]
+    fn queued_work_dies_with_the_cluster() {
+        // Regression: frames already *inside* a SµDC's compute queue when
+        // it fails must not be credited as processed. With one cluster
+        // failing at T, the processed count must equal a fault-free run
+        // truncated at T — everything completing after T died with the
+        // SµDC. (Previously the failure check ran only at frame arrival,
+        // so in-queue frames kept completing on dead hardware.)
+        let t_fail = Time::from_secs(61.3);
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.duration = Time::from_minutes(2.0);
+        cfg.failures = vec![(0, t_fail)];
+        let failed = run(&cfg);
+
+        let mut truncated = cfg.clone();
+        truncated.failures.clear();
+        truncated.duration = t_fail;
+        let baseline = run(&truncated);
+
+        assert_eq!(
+            failed.processed, baseline.processed,
+            "no frame may finish on a dead SµDC: {failed:?}"
+        );
+        assert!(failed.lost_to_failures > 0);
+    }
+
+    fn with_scenario(app: Application, res_m: f64, discard: f64, scenario: &str) -> SimConfig {
+        let mut cfg = SimConfig::paper_reference(app, Length::from_m(res_m), discard);
+        cfg.duration = Time::from_minutes(2.0);
+        cfg.faults = crate::sim::FaultModel::scenario(scenario).expect("known scenario");
+        cfg
+    }
+
+    #[test]
+    fn flaky_links_retry_reroute_and_degrade() {
+        let cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "flaky_links");
+        let r = run(&cfg);
+        assert_eq!(r, run(&cfg), "same seed, same faults, same report");
+        assert!(r.faults.link_outages > 0, "{:?}", r.faults);
+        assert!(r.faults.retries > 0, "{:?}", r.faults);
+        assert!(r.faults.reroutes > 0, "{:?}", r.faults);
+        assert!(r.faults.availability < 1.0 && r.faults.availability > 0.5);
+
+        let mut clean = cfg.clone();
+        clean.faults = crate::sim::FaultModel::none();
+        let baseline = run(&clean);
+        assert!(
+            r.goodput <= baseline.goodput,
+            "{} vs {}",
+            r.goodput,
+            baseline.goodput
+        );
+        // Every kept frame is accounted for: processed, corrupted, lost,
+        // or still somewhere in flight at the horizon.
+        assert!(r.processed + r.faults.undeliverable + r.lost_to_failures <= r.kept);
+    }
+
+    #[test]
+    fn seu_storm_corrupts_output_and_slows_compute() {
+        let cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "seu_storm");
+        let r = run(&cfg);
+        let mut clean = cfg.clone();
+        clean.faults = crate::sim::FaultModel::none();
+        let baseline = run(&clean);
+        assert!(r.faults.frames_corrupted > 0, "{:?}", r.faults);
+        assert!(r.processed < baseline.processed);
+        assert!(r.goodput < baseline.goodput);
+        // Corruption is silent: the work was still done, only wasted.
+        assert_eq!(r.kept, baseline.kept, "SEUs do not change the discard draw");
+    }
+
+    #[test]
+    fn cluster_outages_reroute_to_live_sudcs() {
+        let mut cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "cluster_loss");
+        cfg.clusters = 4;
+        let r = run(&cfg);
+        assert!(r.faults.cluster_outages > 0, "{:?}", r.faults);
+        assert!(r.faults.reroutes > 0, "{:?}", r.faults);
+        // Rerouting keeps goodput well above the availability floor a
+        // lose-everything policy would imply.
+        let mut clean = cfg.clone();
+        clean.faults = crate::sim::FaultModel::none();
+        let baseline = run(&clean);
+        assert!(r.goodput <= baseline.goodput);
+        assert!(
+            r.processed as f64 > 0.5 * baseline.processed as f64,
+            "rerouting should preserve most throughput: {r:?}"
+        );
+    }
+
+    #[test]
+    fn combined_scenario_sheds_load_under_backlog() {
+        // TM at 1 m with no discard swamps a plain ring: the backlog
+        // crosses the combined scenario's shedding threshold and sources
+        // start dropping frames instead of feeding the pile-up.
+        let cfg = with_scenario(Application::TrafficMonitoring, 1.0, 0.0, "combined");
+        let r = run(&cfg);
+        assert_eq!(r, run(&cfg), "combined scenario stays deterministic");
+        assert!(r.faults.frames_shed > 0, "{:?}", r.faults);
+        assert!(r.faults.link_outages > 0);
+        assert!(r.kept > r.processed);
+    }
+
+    #[test]
+    fn fault_free_runs_ignore_fault_plumbing() {
+        // A FaultModel::none() run must report exactly what the simulator
+        // reported before fault injection existed: zero fault statistics
+        // and identical core counters regardless of the retry policy.
+        let mut a = SimConfig::paper_reference(Application::OilSpill, Length::from_m(1.0), 0.5);
+        a.duration = Time::from_minutes(1.0);
+        let mut b = a.clone();
+        b.faults.retry = crate::sim::RetrySpec {
+            max_retries: 99,
+            base_backoff: Time::from_secs(7.0),
+            factor: 3.0,
+        };
+        assert_eq!(run(&a), run(&b), "retry policy is inert without outages");
     }
 
     #[test]

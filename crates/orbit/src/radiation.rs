@@ -171,6 +171,26 @@ pub fn annual_dose_krad(orbit: CircularOrbit, saa_fraction: f64) -> f64 {
     }
 }
 
+/// Effective single-event-upset rate multiplier (relative to benign LEO)
+/// for a circular orbit, accounting for SAA transits at LEO the same way
+/// [`annual_dose_krad`] does: for the transit fraction of the time a LEO
+/// satellite sees inner-belt-like flux (derated by the same 0.1 shielding
+/// factor).
+///
+/// This is the orbit-side input to the simulator's SEU fault model: the
+/// per-frame upset rate scales linearly with it.
+pub fn seu_rate_multiplier(orbit: CircularOrbit, saa_fraction: f64) -> f64 {
+    let regime = RadiationRegime::from_altitude(orbit.altitude());
+    let base = regime.seu_multiplier();
+    match regime {
+        RadiationRegime::Leo => {
+            base * (1.0 - saa_fraction)
+                + RadiationRegime::InnerBelt.seu_multiplier() * 0.1 * saa_fraction
+        }
+        _ => base,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +284,20 @@ mod tests {
         let some = annual_dose_krad(leo, 0.05);
         assert!(some > none);
         assert!((none - 1.0).abs() < 1e-9, "clean LEO is ~1 krad/yr");
+    }
+
+    #[test]
+    fn seu_multiplier_rises_with_saa_exposure_and_altitude() {
+        let leo = CircularOrbit::from_altitude(Length::from_km(550.0));
+        let clean = seu_rate_multiplier(leo, 0.0);
+        let saa = seu_rate_multiplier(leo, 0.05);
+        assert!((clean - 1.0).abs() < 1e-9, "benign LEO is the baseline");
+        assert!(saa > clean, "SAA transits raise the upset rate");
+        let geo = CircularOrbit::geostationary();
+        assert!(
+            seu_rate_multiplier(geo, 0.0) > seu_rate_multiplier(leo, 0.05),
+            "the outer belt out-radiates any LEO SAA exposure"
+        );
     }
 
     #[test]

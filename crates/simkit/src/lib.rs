@@ -7,7 +7,9 @@
 //!
 //! * [`Scheduler`] — a stable event calendar (ties broken by insertion
 //!   order, so runs are exactly reproducible),
-//! * [`rng`] — seeded, splittable random streams, and
+//! * [`rng`] — seeded, splittable random streams,
+//! * [`faults`] — stochastic up/down outage processes and bounded
+//!   exponential backoff for fault injection, and
 //! * [`stats`] — counters, tallies, time-weighted integrals, and
 //!   histograms.
 //!
@@ -28,6 +30,7 @@
 //! assert_eq!(order, vec!["hello", "world"]);
 //! ```
 
+pub mod faults;
 pub mod rng;
 pub mod stats;
 
@@ -486,7 +489,108 @@ mod tests {
         assert!(report.fields().iter().any(|(k, _)| k == "sim_s_per_wall_s"));
     }
 
+    #[test]
+    #[should_panic(expected = "delay must be non-negative")]
+    fn nan_delay_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_in(Time::from_secs(f64::NAN), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn infinite_delay_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_in(Time::from_secs(f64::INFINITY), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn nan_absolute_time_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_at(Time::from_secs(f64::NAN), ());
+    }
+
+    #[test]
+    fn pop_until_pops_event_exactly_at_horizon() {
+        let mut s = Scheduler::new();
+        s.schedule_at(Time::from_secs(5.0), "on-the-line");
+        let ev = s.pop_until(Time::from_secs(5.0));
+        assert_eq!(ev.map(|e| e.payload), Some("on-the-line"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_calendar_but_keeps_probe_counters() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.enable_probe();
+        for i in 0..5 {
+            s.schedule_at(Time::from_secs(i as f64), i);
+        }
+        s.pop();
+        let before = s.probe_counters().unwrap();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(
+            s.probe_counters().unwrap(),
+            before,
+            "clear() must not rewrite history"
+        );
+        // Scheduling after clear continues the same counters.
+        s.schedule_at(Time::from_secs(9.0), 9);
+        let after = s.probe_counters().unwrap();
+        assert_eq!(after.scheduled, before.scheduled + 1);
+        assert_eq!(after.processed, before.processed);
+    }
+
     proptest! {
+        /// Probe counters remain internally consistent across arbitrary
+        /// schedule/pop/clear sequences: processed never exceeds
+        /// scheduled, the peak queue depth is bounded by scheduled, and
+        /// `clear()` never alters any counter.
+        #[test]
+        fn probe_counters_consistent_across_ops(
+            ops in prop::collection::vec(0u8..=2, 1..100)
+        ) {
+            let mut s: Scheduler<usize> = Scheduler::new();
+            s.enable_probe();
+            let mut expect_scheduled = 0u64;
+            let mut expect_processed = 0u64;
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    0 => {
+                        s.schedule_in(Time::from_secs(1.0), i);
+                        expect_scheduled += 1;
+                    }
+                    1 => {
+                        if s.pop().is_some() {
+                            expect_processed += 1;
+                        }
+                    }
+                    _ => {
+                        let before = s.probe_counters().unwrap();
+                        s.clear();
+                        prop_assert_eq!(s.probe_counters().unwrap(), before);
+                        prop_assert!(s.is_empty());
+                    }
+                }
+                let c = s.probe_counters().unwrap();
+                prop_assert_eq!(c.scheduled, expect_scheduled);
+                prop_assert_eq!(c.processed, expect_processed);
+                prop_assert!(c.processed <= c.scheduled);
+                prop_assert!(c.peak_queue_depth <= c.scheduled);
+                prop_assert!(s.len() as u64 <= c.scheduled - c.processed);
+            }
+        }
+
+        /// `pop_until` at exactly an event's timestamp pops it, for any
+        /// timestamp.
+        #[test]
+        fn pop_until_is_inclusive_at_any_timestamp(t in 0.0f64..1e9) {
+            let mut s = Scheduler::new();
+            s.schedule_at(Time::from_secs(t), ());
+            prop_assert!(s.pop_until(Time::from_secs(t)).is_some());
+        }
+
         #[test]
         fn pops_are_globally_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
             let mut s = Scheduler::new();

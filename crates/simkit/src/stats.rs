@@ -226,12 +226,23 @@ impl Histogram {
     }
 
     /// Approximate quantile (0..=1) by bucket interpolation.
+    ///
+    /// Uses the ceiling-rank convention: `quantile(q)` is the midpoint
+    /// of the bucket holding the `max(1, ceil(q·n))`-th smallest sample,
+    /// so `quantile(0.0)` is clamped to the lowest non-empty bucket and
+    /// `quantile(1.0)` to the highest, rather than reporting the
+    /// configured `lo`/`hi` bounds no sample is anywhere near. Ranks
+    /// landing in the underflow (overflow) bin return `lo` (`hi`), the
+    /// tightest bound known for those samples. An empty histogram
+    /// returns `lo`.
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.total();
         if total == 0 {
             return self.lo;
         }
-        let target = (q.clamp(0.0, 1.0) * total as f64).round() as u64;
+        // Ceiling rank, at least 1: low quantiles always name the rank
+        // of an actual sample instead of tie-breaking through rank 0.
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut cum = self.underflow;
         if cum >= target {
             return self.lo;
@@ -239,7 +250,7 @@ impl Histogram {
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
         for (i, &c) in self.buckets.iter().enumerate() {
             cum += c;
-            if cum >= target {
+            if c > 0 && cum >= target {
                 return self.lo + width * (i as f64 + 0.5);
             }
         }
@@ -328,6 +339,57 @@ mod tests {
         let mut h = Histogram::new(0.0, 1.0, 4);
         h.record(0.9);
         assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_zero_clamps_to_lowest_nonempty_bucket() {
+        // Single sample deep in the range: q=0 must not report the
+        // configured lo bound (the pre-fix behaviour) but the sample's
+        // own bucket.
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(0.9);
+        assert_eq!(h.quantile(0.0), 0.875, "lowest non-empty bucket midpoint");
+        assert_eq!(h.quantile(1.0), 0.875);
+    }
+
+    #[test]
+    fn quantile_one_clamps_to_highest_nonempty_bucket() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(1.5);
+        h.record(4.5);
+        assert_eq!(h.quantile(1.0), 4.5);
+        assert_eq!(h.quantile(0.0), 1.5);
+    }
+
+    #[test]
+    fn quantile_ranks_in_under_and_overflow_return_bounds() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-5.0); // underflow
+        h.record(0.4);
+        h.record(9.0); // overflow
+        assert_eq!(h.quantile(0.0), 0.0, "rank 1 is the underflow sample");
+        assert_eq!(h.quantile(0.5), 0.25, "rank 2 is the in-range sample");
+        assert_eq!(h.quantile(1.0), 1.0, "rank 3 is the overflow sample");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_lo() {
+        let h = Histogram::new(2.0, 4.0, 4);
+        assert_eq!(h.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn low_quantiles_tie_break_consistently() {
+        // 10 samples in one bucket: every q in (0, 0.1] targets rank 1,
+        // and q=0 clamps to the same rank — no round()-based flip-flop
+        // between lo and the bucket midpoint.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..10 {
+            h.record(7.5);
+        }
+        for q in [0.0, 0.01, 0.04, 0.05, 0.06, 0.1, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 7.5, "q={q}");
+        }
     }
 
     #[test]
@@ -435,18 +497,14 @@ mod tests {
             }
             let mut sorted = samples.clone();
             sorted.sort_by(f64::total_cmp);
-            // Mirror the implementation's rank convention.
-            let target = (q * sorted.len() as f64).round() as usize;
+            // Mirror the implementation's ceiling-rank convention.
+            let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[target - 1];
             let got = h.quantile(q);
-            if target == 0 {
-                prop_assert_eq!(got, 0.0);
-            } else {
-                let exact = sorted[target - 1];
-                prop_assert!(
-                    (got - exact).abs() <= width / 2.0 + 1e-12,
-                    "quantile({q}) = {got}, exact rank statistic {exact}"
-                );
-            }
+            prop_assert!(
+                (got - exact).abs() <= width / 2.0 + 1e-12,
+                "quantile({q}) = {got}, exact rank statistic {exact}"
+            );
         }
 
         /// Tally mean/min/max agree with the naive recomputation.

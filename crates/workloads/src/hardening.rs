@@ -101,6 +101,25 @@ pub fn silent_error_rate(strategy: Hardening, app: Application, raw_flip_rate: f
     }
 }
 
+/// Expected fraction of inferences a strategy *detects* as corrupted and
+/// must recompute, per the same flip model as [`silent_error_rate`].
+///
+/// This drives the simulator's SEU compute-degradation: detected errors
+/// cost a re-run, stretching mean service time by `1 + rate`. `None`
+/// detects nothing; software hardening catches ~95% of consequential
+/// flips; DMR detects essentially all of them (that is its whole
+/// budget); TMR corrects by majority vote in-line, so no recompute.
+pub fn detected_error_rate(strategy: Hardening, app: Application, raw_flip_rate: f64) -> f64 {
+    let vulnerable = if app.is_deep_learning() { 0.1 } else { 0.4 };
+    let unprotected = raw_flip_rate * vulnerable;
+    match strategy {
+        Hardening::None => 0.0,
+        Hardening::Software => unprotected * 0.95,
+        Hardening::DualRedundancy => unprotected,
+        Hardening::TripleRedundancy => 0.0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +166,29 @@ mod tests {
         let ml = silent_error_rate(Hardening::None, Application::OilSpill, raw);
         let dsp = silent_error_rate(Hardening::None, Application::TrafficMonitoring, raw);
         assert!(ml < dsp, "DNNs absorb flips better than exact DSP code");
+    }
+
+    #[test]
+    fn detection_complements_silent_errors() {
+        let raw = 1e-3;
+        let app = Application::TrafficMonitoring;
+        // No hardening: everything consequential slips through silently.
+        assert_eq!(detected_error_rate(Hardening::None, app, raw), 0.0);
+        // Detection + residual silent errors never exceed the unprotected
+        // consequential-flip rate for detect-and-recompute strategies.
+        let unprotected = raw * 0.4;
+        for h in [Hardening::Software, Hardening::DualRedundancy] {
+            let caught = detected_error_rate(h, app, raw);
+            let slipped = silent_error_rate(h, app, raw);
+            assert!(caught > 0.0, "{h} detects something");
+            assert!(caught <= unprotected, "{h} cannot detect more than occurs");
+            assert!(slipped < unprotected, "{h} must reduce silent errors");
+        }
+        // TMR votes errors away in-line: no recompute.
+        assert_eq!(
+            detected_error_rate(Hardening::TripleRedundancy, app, raw),
+            0.0
+        );
     }
 
     #[test]

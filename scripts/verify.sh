@@ -3,12 +3,14 @@
 #
 #   scripts/verify.sh
 #
-# Runs the full workspace build + test suite, checks formatting, and —
-# when the cargo registry is unreachable (offline containers cannot
-# resolve the external dev-dependencies) — falls back to building and
-# unit-testing the zero-dependency crates (`telemetry`, `explore`) with
-# bare rustc so the gate still exercises real code instead of silently
-# passing.
+# Runs the full workspace build + test suite, checks formatting, runs
+# the fault-injection determinism gate (two same-seed `repro sim` runs
+# must produce byte-identical reports), and — when the cargo registry is
+# unreachable (offline containers cannot resolve the external
+# dev-dependencies) — falls back to building and unit-testing the
+# zero-dependency code (`telemetry`, `explore`, and simkit's rng/faults
+# modules) with bare rustc so the gate still exercises real code instead
+# of silently passing.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,6 +46,48 @@ else
         echo "FAIL: explore standalone build/test"
         failed=1
     fi
+    # simkit's rng + faults modules are dependency-free by design: stitch
+    # them into a shim crate so the fault primitives stay tested offline.
+    {
+        printf '#[path = "%s/crates/simkit/src/rng.rs"]\npub mod rng;\n' "$PWD"
+        printf '#[path = "%s/crates/simkit/src/faults.rs"]\npub mod faults;\n' "$PWD"
+    } >"$tmp/simkit_faults.rs"
+    if ! rustc_build simkit_faults "$tmp/simkit_faults.rs"; then
+        echo "FAIL: simkit rng/faults standalone build/test"
+        failed=1
+    fi
+fi
+
+echo "== fault-injection determinism gate =="
+if [ -x target/release/repro ]; then
+    da="$(mktemp -d)"
+    db="$(mktemp -d)"
+    gate_ok=1
+    for runDir in "$da" "$db"; do
+        if ! ./target/release/repro --quiet sim --faults flaky_links \
+            --out-dir "$runDir" >/dev/null; then
+            gate_ok=0
+        fi
+    done
+    if [ "$gate_ok" -eq 1 ]; then
+        for ext in txt csv json; do
+            if ! diff -q "$da/faults_flaky_links.$ext" \
+                "$db/faults_flaky_links.$ext" >/dev/null; then
+                echo "FAIL: same-seed fault runs differ (faults_flaky_links.$ext)"
+                gate_ok=0
+            fi
+        done
+    else
+        echo "FAIL: repro sim --faults flaky_links did not run cleanly"
+    fi
+    if [ "$gate_ok" -eq 1 ]; then
+        echo "ok: two same-seed fault runs produced byte-identical reports"
+    else
+        failed=1
+    fi
+    rm -rf "$da" "$db"
+else
+    echo "warn: target/release/repro not built; skipping determinism gate"
 fi
 
 echo "== cargo fmt --check =="

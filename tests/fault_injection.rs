@@ -1,0 +1,130 @@
+//! End-to-end tests of the fault-injection subsystem: scenario registry,
+//! fault-free byte-identity, seeded determinism, and the availability /
+//! goodput degradation contract the `repro sim` report is built on.
+
+use sudc::sim::{run, FaultModel, SimConfig};
+use units::{Length, Time};
+use workloads::Application;
+
+fn reference(clusters: usize) -> SimConfig {
+    let mut cfg = SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+    cfg.clusters = clusters;
+    cfg.duration = Time::from_minutes(2.0);
+    cfg
+}
+
+/// A `FaultModel::none()` run is indistinguishable from a config that
+/// never mentioned faults — same report, field for field, so seeded
+/// artifacts (results/simval.*) stay byte-identical.
+#[test]
+fn fault_free_scenario_is_identical_to_legacy_simulation() {
+    let legacy = reference(4);
+    let mut explicit = legacy.clone();
+    explicit.faults = FaultModel::scenario("none").expect("none is registered");
+    assert_eq!(run(&legacy), run(&explicit));
+    let r = run(&legacy);
+    assert_eq!(r.faults, sudc::sim::FaultSummary::default());
+}
+
+/// Every named scenario replays exactly under the same seed.
+#[test]
+fn seeded_fault_scenarios_are_deterministic() {
+    for name in FaultModel::scenario_names() {
+        let mut cfg = reference(4);
+        cfg.faults = FaultModel::scenario(name).expect("registered scenario");
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a, b, "scenario '{name}' must replay byte-for-byte");
+    }
+}
+
+/// Different seeds drive different fault draws (the processes are really
+/// stochastic, not schedule artifacts).
+#[test]
+fn different_seeds_change_fault_draws() {
+    let mut cfg = reference(4);
+    cfg.faults = FaultModel::scenario("flaky_links").expect("registered scenario");
+    let a = run(&cfg);
+    cfg.seed ^= 0x5EED_F00D;
+    let b = run(&cfg);
+    assert_ne!(
+        (a.faults.link_outages, a.faults.retries, a.processed),
+        (b.faults.link_outages, b.faults.retries, b.processed),
+        "a different seed must perturb the outage processes"
+    );
+}
+
+/// The availability/goodput contract behind `repro sim`: every fault
+/// scenario keeps goodput at or below the fault-free baseline, and the
+/// outage scenarios report sub-unity availability with observable
+/// recovery actions (retries, reroutes).
+#[test]
+fn fault_scenarios_degrade_goodput_and_report_availability() {
+    let baseline = run(&reference(4));
+    assert_eq!(baseline.goodput, 1.0, "reference config is loss-free");
+
+    for name in ["flaky_links", "cluster_loss", "combined"] {
+        let mut cfg = reference(4);
+        cfg.faults = FaultModel::scenario(name).expect("registered scenario");
+        let r = run(&cfg);
+        assert!(
+            r.goodput <= baseline.goodput,
+            "'{name}' goodput {} above baseline {}",
+            r.goodput,
+            baseline.goodput
+        );
+        assert!(
+            r.faults.availability < 1.0 && r.faults.availability > 0.0,
+            "'{name}' availability {}",
+            r.faults.availability
+        );
+        assert!(
+            r.faults.link_outages + r.faults.cluster_outages > 0,
+            "'{name}' observed no outages: {:?}",
+            r.faults
+        );
+        assert!(
+            r.faults.retries + r.faults.reroutes > 0,
+            "'{name}' took no recovery action: {:?}",
+            r.faults
+        );
+    }
+}
+
+/// SEU corruption consumes compute without producing good output: the
+/// corrupted frames explain the goodput gap exactly.
+#[test]
+fn seu_corruption_accounts_for_the_goodput_gap() {
+    let baseline = run(&reference(1));
+    let mut cfg = reference(1);
+    cfg.faults = FaultModel::scenario("seu_storm").expect("registered scenario");
+    let r = run(&cfg);
+    assert!(r.faults.frames_corrupted > 0);
+    assert_eq!(
+        r.processed + r.faults.frames_corrupted,
+        baseline.processed,
+        "every missing good frame must be a corrupted one: {r:?}"
+    );
+}
+
+/// The scenario registry exposes exactly the documented names and
+/// rejects unknown ones (the `repro sim --faults` error path).
+#[test]
+fn scenario_registry_matches_documentation() {
+    let names = FaultModel::scenario_names();
+    assert_eq!(
+        names,
+        &[
+            "none",
+            "flaky_links",
+            "seu_storm",
+            "cluster_loss",
+            "combined"
+        ]
+    );
+    for name in names {
+        assert!(FaultModel::scenario(name).is_some());
+    }
+    assert!(FaultModel::scenario("flaky-links").is_none());
+    assert!(FaultModel::scenario("").is_none());
+}
