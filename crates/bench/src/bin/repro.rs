@@ -41,6 +41,10 @@ struct Cli {
     minutes: Option<f64>,
     clusters: Option<usize>,
     out_dir: Option<PathBuf>,
+    rule: Option<String>,
+    format: Option<String>,
+    update_baseline: bool,
+    verbose: bool,
 }
 
 /// Parses an `--axis name=SPEC` argument. SPEC is a comma list
@@ -114,6 +118,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         minutes: None,
         clusters: None,
         out_dir: None,
+        rule: None,
+        format: None,
+        update_baseline: false,
+        verbose: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -175,6 +183,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let path = it.next().ok_or("--out-dir requires a path")?;
                 cli.out_dir = Some(PathBuf::from(path));
             }
+            "--rule" => {
+                let id = it.next().ok_or("--rule requires a rule id")?;
+                cli.rule = Some(id.clone());
+            }
+            "--format" => {
+                let fmt = it.next().ok_or("--format requires text|json")?;
+                if fmt != "text" && fmt != "json" {
+                    return Err(format!("--format wants text or json, got '{fmt}'"));
+                }
+                cli.format = Some(fmt.clone());
+            }
+            "--update-baseline" => cli.update_baseline = true,
+            "--verbose" => cli.verbose = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag} (try `repro help`)"));
             }
@@ -216,6 +237,10 @@ fn main() -> ExitCode {
 
     if cli.ids.first().map(String::as_str) == Some("sim") {
         return run_sim(&cli);
+    }
+
+    if cli.ids.first().map(String::as_str) == Some("lint") {
+        return run_lint(&cli);
     }
 
     // Telemetry: stderr pretty-printer at the chosen verbosity, plus an
@@ -262,6 +287,7 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for id in &ids {
+        // lint:allow(wall-clock-in-model) harness wall-time report, not model time
         let started = Instant::now();
         match experiments::run(id) {
             Some(result) => {
@@ -571,6 +597,181 @@ fn run_sim(cli: &Cli) -> ExitCode {
     }
 }
 
+/// `repro lint [--rule <id>] [--format text|json] [--update-baseline]`
+/// — run the workspace static-analysis engine (`sudc-lint`) and gate
+/// against the ratcheting baseline in `results/lint_baseline.json`:
+/// grandfathered violations pass, new ones fail, and the baseline may
+/// only shrink.
+fn run_lint(cli: &Cli) -> ExitCode {
+    use sudc_lint::{lint_workspace, ratchet, report, rule_by_id, Baseline};
+
+    let operands: Vec<String> = cli.ids[1..].to_vec();
+    if operands.first().map(String::as_str) == Some("rules") {
+        println!("lint rules:");
+        for r in sudc_lint::RULES {
+            println!("  {:28} [{}]  {}", r.id, r.severity.label(), r.summary);
+            println!("  {:28}        fix: {}", "", r.hint);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !operands.is_empty() {
+        eprintln!(
+            "error: unexpected operand '{}' (usage: repro lint [rules] [--rule <id>] \
+             [--format text|json] [--update-baseline])",
+            operands[0]
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let only = match &cli.rule {
+        Some(id) => match rule_by_id(id) {
+            Some(r) => Some(r.id),
+            None => {
+                eprintln!("error: unknown rule '{id}' (try `repro lint rules`)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let format = cli.format.as_deref().unwrap_or("text");
+    if cli.update_baseline && only.is_some() {
+        eprintln!("error: --update-baseline covers all rules; drop --rule");
+        return ExitCode::FAILURE;
+    }
+
+    let stderr_level = if cli.trace {
+        Level::Debug
+    } else if cli.quiet {
+        Level::Warn
+    } else {
+        Level::Info
+    };
+    telemetry::set_min_level(if cli.trace { Level::Debug } else { Level::Info });
+    telemetry::install(Arc::new(telemetry::sink::StderrSink::new(stderr_level)));
+    if let Some(path) = &cli.jsonl {
+        match telemetry::sink::JsonlSink::create(path) {
+            Ok(sink) => telemetry::install(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("error: cannot open {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let results_dir = bench::results_dir();
+    let root = results_dir
+        .parent()
+        .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf);
+    let baseline_path = results_dir.join("lint_baseline.json");
+
+    let run = match lint_workspace(&root, only) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut manifest = RunManifest::new("lint", 0);
+    manifest.param("rule", only.unwrap_or("all"));
+    manifest.param("format", format);
+    manifest.param("update_baseline", cli.update_baseline);
+    manifest.param("files", run.files as u64);
+    let metrics = telemetry::Metrics::new();
+    metrics.inc("lint.files", run.files as u64);
+    metrics.inc("lint.lines", run.lines);
+    for (id, n) in run.counts_by_rule() {
+        metrics.inc(&format!("lint.rule.{id}"), n as u64);
+    }
+
+    let committed = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.update_baseline {
+        let next = Baseline::from_diags(&run.diagnostics);
+        if !committed.is_empty() && next.total() > committed.total() {
+            eprintln!(
+                "error: refusing to grow the baseline ({} -> {} violations); \
+                 the ratchet only turns one way — fix the new violations or \
+                 suppress them with `// lint:allow(<rule>) <reason>`",
+                committed.total(),
+                next.total()
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = next.save(&baseline_path) {
+            eprintln!("error writing {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        if !cli.quiet {
+            println!(
+                "wrote {} ({} grandfathered violations in {} file:rule entries, was {})",
+                baseline_path.display(),
+                next.total(),
+                next.len(),
+                committed.total()
+            );
+        }
+        telemetry::flush();
+        return ExitCode::SUCCESS;
+    }
+
+    // A --rule scan only sees that rule's diagnostics, so compare
+    // against the matching slice of the baseline.
+    let baseline = match only {
+        Some(id) => committed.for_rule(id),
+        None => committed,
+    };
+    let outcome = ratchet(&baseline, &run.diagnostics);
+    metrics.inc("lint.new", outcome.new.len() as u64);
+    metrics.inc("lint.grandfathered", outcome.grandfathered as u64);
+    metrics.inc("lint.fixed", outcome.fixed);
+
+    match format {
+        "json" => print!("{}", report::render_json(&run, &outcome)),
+        _ => print!("{}", report::render_text(&run, &outcome, cli.verbose)),
+    }
+
+    manifest.record_experiment("lint");
+    manifest.finish();
+    let mut failed = !outcome.new.is_empty();
+    let metrics_path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| results_dir.join("BENCH_lint.json"));
+    if let Err(e) = bench::write_bench_json(&metrics_path, &manifest, &[], &metrics) {
+        eprintln!("error writing {}: {e}", metrics_path.display());
+        failed = true;
+    } else if !cli.quiet && format != "json" {
+        println!("wrote {}", metrics_path.display());
+    }
+
+    telemetry::info(
+        "lint.done",
+        vec![
+            ("files".to_string(), (run.files as u64).into()),
+            (
+                "findings".to_string(),
+                (run.diagnostics.len() as u64).into(),
+            ),
+            ("new".to_string(), (outcome.new.len() as u64).into()),
+            ("fixed".to_string(), outcome.fixed.into()),
+        ],
+    );
+    telemetry::flush();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `repro explore [sweep...]` — run named design-space sweeps through
 /// the explore engine, write grid + Pareto-frontier artifacts, and
 /// record throughput/cache statistics in `BENCH_explore.json`.
@@ -770,6 +971,11 @@ fn usage() {
                                       a fault scenario next to its fault-free\n\
                                       baseline (availability/goodput report)\n\
            repro sim list             list fault scenarios\n\
+           repro lint                 run workspace static analysis and gate\n\
+                                      against results/lint_baseline.json\n\
+                                      (new violations fail; baseline only\n\
+                                      shrinks)\n\
+           repro lint rules           list lint rules and fix hints\n\
          \n\
          flags:\n\
            --trace                    debug-level telemetry on stderr\n\
@@ -793,6 +999,13 @@ fn usage() {
            --minutes <m>              simulated minutes (default 2)\n\
            --clusters <c>             SµDC count (default 4)\n\
            --out-dir <path>           artifact directory (default results/)\n\
+         \n\
+         lint flags:\n\
+           --rule <id>                restrict the scan to one rule\n\
+           --format text|json         report format (default text)\n\
+           --verbose                  list grandfathered findings too\n\
+           --update-baseline          regenerate results/lint_baseline.json\n\
+                                      (refuses to grow the violation count)\n\
          \n\
          artifacts are written to results/<id>.txt, .csv, and .json;\n\
          every run also writes a results/*_manifest.json and the\n\

@@ -132,12 +132,7 @@ pub fn predict_passes(
             });
         }
     }
-    windows.sort_by(|a, b| {
-        a.start
-            .as_secs()
-            .partial_cmp(&b.start.as_secs())
-            .expect("finite")
-    });
+    windows.sort_by(|a, b| a.start.as_secs().total_cmp(&b.start.as_secs()));
     Ok(windows)
 }
 

@@ -71,11 +71,11 @@ impl GsaasProvider {
 
     /// Stations in a region.
     pub fn in_region(&self, region: Region) -> u32 {
-        let idx = Region::ALL
+        Region::ALL
             .iter()
-            .position(|r| *r == region)
-            .expect("region in ALL");
-        self.stations[idx]
+            .zip(self.stations)
+            .find(|(r, _)| **r == region)
+            .map_or(0, |(_, count)| count)
     }
 }
 

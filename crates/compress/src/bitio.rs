@@ -22,8 +22,9 @@ impl BitWriter {
             self.bytes.push(0);
         }
         if bit {
-            let last = self.bytes.last_mut().expect("byte pushed above");
-            *last |= 1 << (7 - self.bit_pos);
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= 1 << (7 - self.bit_pos);
+            }
         }
         self.bit_pos = (self.bit_pos + 1) % 8;
     }

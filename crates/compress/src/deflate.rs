@@ -87,10 +87,12 @@ const DIST_CODES: [(u16, u8); 30] = [
 fn length_symbol(len: u16) -> (usize, u64, u8) {
     debug_assert!((3..=258).contains(&len));
     // Last code whose base ≤ len.
+    // The first base is 3 and `len` is asserted >= 3, so the search
+    // always hits; clamping to the first code keeps this infallible.
     let idx = LENGTH_CODES
         .iter()
         .rposition(|&(base, _)| base <= len)
-        .expect("len >= 3");
+        .unwrap_or(0);
     let (base, extra) = LENGTH_CODES[idx];
     (257 + idx, u64::from(len - base), extra)
 }
@@ -98,10 +100,12 @@ fn length_symbol(len: u16) -> (usize, u64, u8) {
 /// Maps a distance (1..=32768) to (symbol, extra-bit value, extra bits).
 fn distance_symbol(dist: u16) -> (usize, u64, u8) {
     debug_assert!(dist >= 1);
+    // The first base is 1 and `dist` is asserted >= 1 — same clamp as
+    // `length_symbol`.
     let idx = DIST_CODES
         .iter()
         .rposition(|&(base, _)| base <= dist)
-        .expect("dist >= 1");
+        .unwrap_or(0);
     let (base, extra) = DIST_CODES[idx];
     (idx, u64::from(dist - base), extra)
 }

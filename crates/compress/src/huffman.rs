@@ -255,8 +255,9 @@ fn build_lengths(freqs: &[u64]) -> Vec<u8> {
         .collect();
     let mut next_id = used.len();
     while heap.len() > 1 {
-        let a = heap.pop().expect("len > 1");
-        let b = heap.pop().expect("len > 1");
+        let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+            break;
+        };
         parent[a.id] = next_id;
         parent[b.id] = next_id;
         heap.push(Node {
@@ -299,13 +300,17 @@ fn limit_lengths(lengths: &mut [u8]) {
     let mut kraft: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
     // While over-subscribed, lengthen the shortest-affordable codes.
     while kraft > unit {
-        // Find a symbol with the longest length < MAX that we can extend.
-        let (idx, _) = lengths
+        // Find a symbol with the longest length < MAX that we can
+        // extend; if none exists the sum cannot be reduced further, so
+        // stop rather than spin.
+        let Some((idx, _)) = lengths
             .iter()
             .enumerate()
             .filter(|(_, &l)| l > 0 && l < MAX_CODE_LEN)
             .max_by_key(|(_, &l)| l)
-            .expect("kraft oversubscription must be fixable");
+        else {
+            break;
+        };
         kraft -= unit >> lengths[idx];
         lengths[idx] += 1;
         kraft += unit >> lengths[idx];

@@ -96,26 +96,25 @@ fn unfilter_row(filter: Filter, row: &mut [u8], prev: &[u8], bpp: usize) {
 /// The minimum-sum-of-absolute-differences heuristic PNG encoders use to
 /// pick a filter per row.
 fn choose_filter(row: &[u8], prev: &[u8], bpp: usize) -> (Filter, Vec<u8>) {
-    let candidates = [
-        Filter::None,
-        Filter::Sub,
-        Filter::Up,
-        Filter::Average,
-        Filter::Paeth,
-    ];
-    candidates
-        .into_iter()
-        .map(|f| {
-            let filtered = filter_row(f, row, prev, bpp);
-            let score: u64 = filtered
-                .iter()
-                .map(|&b| u64::from((b as i8).unsigned_abs()))
-                .sum();
-            (score, f, filtered)
-        })
-        .min_by_key(|(score, _, _)| *score)
-        .map(|(_, f, filtered)| (f, filtered))
-        .expect("non-empty candidate list")
+    let score_of = |f: Filter| {
+        let filtered = filter_row(f, row, prev, bpp);
+        let score: u64 = filtered
+            .iter()
+            .map(|&b| u64::from((b as i8).unsigned_abs()))
+            .sum();
+        (score, f, filtered)
+    };
+    // Seed with Filter::None, then keep the first strict improvement —
+    // same first-minimum-wins tie-break as min_by_key, without the
+    // empty-iterator case.
+    let mut best = score_of(Filter::None);
+    for f in [Filter::Sub, Filter::Up, Filter::Average, Filter::Paeth] {
+        let cand = score_of(f);
+        if cand.0 < best.0 {
+            best = cand;
+        }
+    }
+    (best.1, best.2)
 }
 
 /// The PNG-like codec.

@@ -36,7 +36,9 @@ pub fn mse(a: &Raster, b: &Raster) -> Result<f64, CodecError> {
 /// Returns [`CodecError`] on geometry mismatch.
 pub fn psnr(a: &Raster, b: &Raster) -> Result<f64, CodecError> {
     let m = mse(a, b)?;
-    if m == 0.0 {
+    // MSE is a mean of squares, so `<= 0.0` is exactly the identical-
+    // image case.
+    if m <= 0.0 {
         return Ok(f64::INFINITY);
     }
     Ok(10.0 * (255.0f64 * 255.0 / m).log10())
@@ -73,21 +75,23 @@ pub struct RateDistortion {
 /// Measures the rate–distortion point of the quantised DWT codec at a
 /// given shift on an image.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the codec fails to decode its own output (internal error).
-pub fn dwt_rate_distortion(image: &Raster, quant_shift: u8) -> RateDistortion {
+/// Returns [`CodecError`] if the codec fails to round-trip its own
+/// output (an internal invariant violation, surfaced as an error so
+/// library callers can report it with context).
+pub fn dwt_rate_distortion(image: &Raster, quant_shift: u8) -> Result<RateDistortion, CodecError> {
     use crate::dwt::DwtCodec;
     use crate::RasterCodec;
     let codec = DwtCodec::lossy(quant_shift);
     let packed = codec.compress_raster(image);
     let back = codec
         .decompress_raster(&packed, image.width(), image.height(), image.channels())
-        .expect("codec decodes its own output");
+        .map_err(|e| CodecError::new(format!("DWT self-decode failed: {e}")))?;
     let rd = RateDistortion {
         ratio: image.data().len() as f64 / packed.len() as f64,
-        psnr_db: psnr(image, &back).expect("same geometry"),
-        max_error: max_abs_error(image, &back).expect("same geometry"),
+        psnr_db: psnr(image, &back)?,
+        max_error: max_abs_error(image, &back)?,
     };
     if telemetry::level_enabled(telemetry::Level::Debug) {
         telemetry::debug(
@@ -100,7 +104,7 @@ pub fn dwt_rate_distortion(image: &Raster, quant_shift: u8) -> RateDistortion {
             ],
         );
     }
-    rd
+    Ok(rd)
 }
 
 #[cfg(test)]
@@ -148,7 +152,7 @@ mod tests {
         let mut prev_ratio = 0.0;
         let mut prev_psnr = f64::INFINITY;
         for shift in [0u8, 1, 2, 3, 4] {
-            let rd = dwt_rate_distortion(&img, shift);
+            let rd = dwt_rate_distortion(&img, shift).expect("codec round-trips");
             assert!(
                 rd.ratio >= prev_ratio * 0.99,
                 "ratio should grow with quantisation: {} after {prev_ratio}",
@@ -173,7 +177,7 @@ mod tests {
         // Pick the most aggressive quantisation that stays quasi-lossless
         // (PSNR ≥ 35 dB).
         let rd = (0u8..=4)
-            .map(|s| dwt_rate_distortion(&img, s))
+            .map(|s| dwt_rate_distortion(&img, s).expect("codec round-trips"))
             .filter(|rd| rd.psnr_db >= 35.0)
             .last()
             .expect("some quantisation stays quasi-lossless");

@@ -85,7 +85,7 @@ pub fn median_rf_rate(year_from: u32, year_to: u32) -> Option<DataRate> {
     if rates.is_empty() {
         return None;
     }
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates.sort_by(f64::total_cmp);
     Some(DataRate::from_bps(rates[rates.len() / 2]))
 }
 

@@ -32,6 +32,7 @@ pub fn table1() -> ExperimentResult {
             c.imaging.to_string(),
             c.spatial_resolution.to_string(),
             match c.temporal_resolution {
+                // lint:allow(float-eq) exact sentinel: Some(0 s) encodes "continuous" in Table 1
                 Some(t) if t.as_secs() == 0.0 => "continuous".to_string(),
                 Some(t) => format!("{t}"),
                 None => "high-frequency".to_string(),

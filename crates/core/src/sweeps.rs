@@ -201,7 +201,9 @@ fn axis_usize(
     axis_f64(def, overrides, name)
         .into_iter()
         .map(|v| {
-            if v >= 0.0 && v.fract() == 0.0 && v <= usize::MAX as f64 {
+            // fract() of the non-negative v is non-negative, so
+            // `<= 0.0` is exactly the integer-valued check.
+            if v >= 0.0 && v.fract() <= 0.0 && v <= usize::MAX as f64 {
                 Ok(v as usize)
             } else {
                 Err(format!(
@@ -755,7 +757,7 @@ mod tests {
             &lengths(&[3.0, 1.0, 0.3, 0.1]),
             &[0.0, 0.5, 0.95, 0.99],
         );
-        let cli_hashes: std::collections::HashSet<u64> =
+        let cli_hashes: std::collections::BTreeSet<u64> =
             cli.ids().iter().map(|id| id.hash).collect();
         let shared = figure
             .ids()

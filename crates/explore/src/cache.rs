@@ -6,7 +6,7 @@
 //! whose model changed. One snapshot file per sweep, written with keys
 //! sorted, so the file itself is deterministic and diff-friendly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -33,7 +33,7 @@ pub trait Cacheable: Sized {
 pub struct Cache {
     path: Option<PathBuf>,
     version_hash: u64,
-    map: HashMap<u64, String>,
+    map: BTreeMap<u64, String>,
     dirty: bool,
 }
 
@@ -47,7 +47,7 @@ impl Cache {
         let mut cache = Cache {
             path: Some(path.clone()),
             version_hash: fnv1a(version.as_bytes()),
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             dirty: false,
         };
         if let Ok(text) = fs::read_to_string(&path) {
@@ -70,7 +70,7 @@ impl Cache {
         Cache {
             path: None,
             version_hash: fnv1a(version.as_bytes()),
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             dirty: false,
         }
     }
@@ -130,12 +130,12 @@ impl Cache {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        let mut entries: Vec<(&u64, &String)> = self.map.iter().collect();
-        entries.sort_by_key(|(k, _)| **k);
-        let mut out = String::with_capacity(entries.len() * 32 + HEADER.len());
+        // BTreeMap iterates in key order, so the snapshot is already
+        // sorted and deterministic.
+        let mut out = String::with_capacity(self.map.len() * 32 + HEADER.len());
         out.push_str(HEADER);
         out.push('\n');
-        for (key, value) in entries {
+        for (key, value) in &self.map {
             out.push_str(&format!("{key:016x}\t{value}\n"));
         }
         fs::write(path, out)?;

@@ -112,6 +112,7 @@ where
     F: Fn(&P) -> R + Sync,
 {
     let mut span = telemetry::span!("explore.sweep", space = space.name(), points = space.len());
+    // lint:allow(wall-clock-in-model) throughput stats time the harness, not the model
     let started = Instant::now();
     let indices: Vec<usize> = (0..space.len()).collect();
     let (pairs, steals) = run_indices(&indices, opts, |i| eval(space.point(i)));
@@ -144,6 +145,7 @@ where
     F: Fn(&P) -> R + Sync,
 {
     let mut span = telemetry::span!("explore.sweep", space = space.name(), points = space.len());
+    // lint:allow(wall-clock-in-model) throughput stats time the harness, not the model
     let started = Instant::now();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(space.len());
     let mut misses: Vec<usize> = Vec::new();

@@ -160,7 +160,7 @@ pub fn top_k_indices<R>(
             feasible(r, std::slice::from_ref(objective), constraints).map(|s| (i, s[0]))
         })
         .collect();
-    scored.sort_by(|(ia, sa), (ib, sb)| sa.partial_cmp(sb).unwrap().then(ia.cmp(ib)));
+    scored.sort_by(|(ia, sa), (ib, sb)| sa.total_cmp(sb).then(ia.cmp(ib)));
     scored.truncate(k);
     scored.into_iter().map(|(i, _)| i).collect()
 }

@@ -149,7 +149,7 @@ impl EarthModel {
     /// thresholds must be calibrated from the field's own distribution
     /// rather than assumed uniform.
     fn field_quantile(values: &mut Vec<f64>, fraction: f64) -> f64 {
-        values.sort_by(|a, b| a.partial_cmp(b).expect("noise is finite"));
+        values.sort_by(f64::total_cmp);
         let idx = ((values.len() as f64 - 1.0) * fraction.clamp(0.0, 1.0)).round() as usize;
         values[idx]
     }

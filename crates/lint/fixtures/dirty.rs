@@ -1,0 +1,49 @@
+//! Golden fixture: every rule fires exactly where an expected-diagnostic
+//! marker says (checked by `tests/lint_gate.rs`). This file is never
+//! compiled, and `crates/lint/fixtures/` sits outside the workspace
+//! scan roots, so nothing here reaches the committed baseline.
+
+use std::collections::HashMap; //~ nondeterministic-iteration
+use std::collections::HashSet; //~ nondeterministic-iteration
+
+pub fn order(m: &HashMap<String, u32>, s: &HashSet<u32>) -> usize { //~ nondeterministic-iteration
+    m.len() + s.len()
+}
+
+pub fn elapsed() -> u64 {
+    let t = Instant::now(); //~ wall-clock-in-model
+    t.elapsed().as_secs()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() //~ wall-clock-in-model
+}
+
+pub fn draws() -> u64 {
+    let mut ad_hoc = thread_rng(); //~ unseeded-rng
+    let mut stream = Rng64::seed_from_u64(42); //~ unseeded-rng
+    ad_hoc.next_u64() + stream.next_u64()
+}
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0 //~ float-eq
+}
+
+pub fn never(x: f64) -> bool {
+    x != f64::NAN //~ float-eq
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap() //~ unwrap-in-lib
+}
+
+pub fn must(o: Option<u32>) -> u32 {
+    o.expect("present") //~ unwrap-in-lib
+}
+
+pub fn boom() -> ! {
+    panic!("unreachable"); //~ unwrap-in-lib
+}
+
+// TODO: tighten this bound once sizing lands. //~ todo-marker
+pub const BOUND: u32 = 8;

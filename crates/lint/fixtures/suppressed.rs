@@ -1,0 +1,22 @@
+//! Golden fixture: every violation here carries a
+//! `// lint:allow(<rule>) <reason>` suppression — trailing, on the
+//! line above, and the `all` wildcard — so nothing fires (checked by
+//! `tests/lint_gate.rs`).
+
+pub fn exact_zero(x: f64) -> bool {
+    // lint:allow(float-eq) dispatch on an exact sentinel value
+    x == 0.0
+}
+
+pub fn sized(m: &HashMap<u32, u32>) -> usize { // lint:allow(nondeterministic-iteration) size query only, never iterated
+    m.len()
+}
+
+pub fn forced(o: Option<u32>) -> u32 {
+    o.expect("populated at construction") // lint:allow(unwrap-in-lib) invariant documented at the call site
+}
+
+pub fn wall() -> u64 {
+    // lint:allow(all) wildcard suppression exercised by the gate
+    Instant::now().elapsed().as_secs()
+}

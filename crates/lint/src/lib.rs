@@ -1,0 +1,392 @@
+//! `sudc-lint` — workspace static analysis for determinism.
+//!
+//! The reproduction's headline guarantee is bit-exact determinism:
+//! fault-free runs must stay byte-identical to `results/simval.*` and
+//! same-seed sweeps must replay exactly. This crate is the *static*
+//! half of that guarantee: a zero-dependency lint engine (a hand-rolled
+//! string/char/comment-aware lexer plus a rule registry) that catches
+//! the usual ways determinism rots — `HashMap` iteration in result
+//! paths, wall-clock reads in model code, ad-hoc RNG streams, float
+//! `==`, stray `unwrap()` in library paths, and leftover to-do markers.
+//!
+//! Violations already in the tree are grandfathered by a committed
+//! ratcheting [`baseline`](crate::baseline) — new ones fail the build,
+//! and the baseline may only shrink. Use
+//! `// lint:allow(rule-id) reason` for intentional exceptions.
+//!
+//! ```
+//! let diags = sudc_lint::lint_source(
+//!     "crates/core/src/model.rs",
+//!     "fn f(x: f64) -> bool { x == 0.25 }",
+//!     None,
+//! );
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "float-eq");
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod baseline;
+pub mod jsonv;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use baseline::{ratchet, Baseline, Ratchet};
+pub use rules::{rule_by_id, RuleInfo, RULES};
+pub use source::SourceFile;
+
+/// Severity class of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Correctness-relevant; the default for determinism rules.
+    Deny,
+    /// Hygiene; still ratcheted, but presented as a warning.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase label (`deny` / `warn`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id.
+    pub rule: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// What fired, with the offending token in backticks.
+    pub message: String,
+    /// Fix guidance from the rule.
+    pub hint: &'static str,
+    /// The violating source line, trimmed.
+    pub snippet: String,
+    /// 16-hex-digit content address: FNV-1a of `rule:snippet`. Stable
+    /// across line moves; see [`baseline`].
+    pub fingerprint: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at a token position, deriving snippet and
+    /// fingerprint from the source line.
+    pub fn new(
+        rule: &RuleInfo,
+        file: &SourceFile,
+        line: u32,
+        col: u32,
+        message: String,
+    ) -> Diagnostic {
+        let snippet = file.line_text(line).trim().to_string();
+        let fingerprint = format!(
+            "{:016x}",
+            fnv1a(format!("{}:{snippet}", rule.id).as_bytes())
+        );
+        Diagnostic {
+            file: file.path.clone(),
+            line,
+            col,
+            rule: rule.id,
+            severity: rule.severity,
+            message,
+            hint: rule.hint,
+            snippet,
+            fingerprint,
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash (the same construction the explore cache uses).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Lints one in-memory source file. `only` restricts to a single rule
+/// id (unknown ids yield no diagnostics — validate with
+/// [`rule_by_id`] first).
+pub fn lint_source(rel_path: &str, src: &str, only: Option<&str>) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel_path, src);
+    let mut out = Vec::new();
+    for rule in RULES {
+        if only.is_some_and(|id| id != rule.id) {
+            continue;
+        }
+        rule.check(&file, &mut out);
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// A completed workspace scan.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Files scanned.
+    pub files: usize,
+    /// Total source lines scanned.
+    pub lines: u64,
+    /// All diagnostics, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintRun {
+    /// Diagnostic count per rule id, in registry order (zero-count
+    /// rules included, so reports always show the full registry).
+    pub fn counts_by_rule(&self) -> Vec<(&'static str, usize)> {
+        RULES
+            .iter()
+            .map(|r| {
+                (
+                    r.id,
+                    self.diagnostics.iter().filter(|d| d.rule == r.id).count(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The source roots a workspace scan covers, relative to the workspace
+/// root. Fixture directories (`crates/lint/fixtures/`) are deliberately
+/// outside these roots.
+const SCAN_ROOTS: &[&str] = &["crates", "tests", "examples"];
+
+/// Whether a crates-relative path is lintable source: `src/` trees,
+/// bench harnesses, and the workspace-level `tests/` and `examples/`.
+fn lintable(rel: &str) -> bool {
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    if rel.starts_with("tests/") || rel.starts_with("examples/") {
+        return true;
+    }
+    rel.starts_with("crates/") && (rel.contains("/src/") || rel.contains("/benches/"))
+}
+
+/// Recursively collects lintable files under `root`, sorted by
+/// workspace-relative path so scans are deterministic.
+fn collect_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            if path.is_dir() {
+                walk(&path, root, out)?;
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if lintable(&rel) {
+                    out.push((rel, path));
+                }
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every Rust source file in the workspace rooted at `root`.
+/// Emits telemetry (`lint.scan` span, `lint.files`/`lint.lines`
+/// counters) when a sink is installed.
+///
+/// # Errors
+///
+/// Returns a message when the tree cannot be walked or a file cannot
+/// be read.
+pub fn lint_workspace(root: &Path, only: Option<&str>) -> Result<LintRun, String> {
+    let mut span = telemetry::span!("lint.scan");
+    let files = collect_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    if files.is_empty() {
+        return Err(format!(
+            "no lintable sources under {} (expected crates/, tests/, examples/)",
+            root.display()
+        ));
+    }
+    let mut run = LintRun {
+        files: 0,
+        lines: 0,
+        diagnostics: Vec::new(),
+    };
+    for (rel, path) in &files {
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        run.files += 1;
+        run.lines += src.lines().count() as u64;
+        run.diagnostics.extend(lint_source(rel, &src, only));
+    }
+    run.diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    span.record("files", run.files as u64);
+    span.record("lines", run.lines);
+    span.record("findings", run.diagnostics.len() as u64);
+    span.exit();
+    Ok(run)
+}
+
+/// Locates the workspace root: `CARGO_MANIFEST_DIR/../..` under cargo,
+/// else the current directory (the bare-rustc fallback in
+/// `scripts/verify.sh` runs from the repo root).
+pub fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let manifest = PathBuf::from(dir);
+            manifest
+                .parent()
+                .and_then(Path::parent)
+                .map_or(manifest.clone(), Path::to_path_buf)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+/// The workspace-relative baseline path.
+pub const BASELINE_REL_PATH: &str = "results/lint_baseline.json";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_sorts_and_filters() {
+        let src = "fn f(x: f64) -> bool {\n    let _ = x == 0.0;\n    Some(1).unwrap() == 1\n}\n";
+        let all = lint_source("crates/core/src/m.rs", src, None);
+        assert_eq!(all.len(), 2);
+        assert!(all[0].line <= all[1].line);
+        let only = lint_source("crates/core/src/m.rs", src, Some("float-eq"));
+        assert_eq!(only.len(), 1);
+        assert_eq!(only[0].rule, "float-eq");
+    }
+
+    #[test]
+    fn fingerprints_are_content_addressed() {
+        let a = lint_source(
+            "crates/core/src/m.rs",
+            "fn f(x: f64) -> bool { x == 0.5 }\n",
+            None,
+        );
+        let b = lint_source(
+            "crates/core/src/m.rs",
+            "// shifted\nfn f(x: f64) -> bool { x == 0.5 }\n",
+            None,
+        );
+        assert_eq!(a[0].fingerprint, b[0].fingerprint, "line moves are stable");
+        let c = lint_source(
+            "crates/core/src/m.rs",
+            "fn f(x: f64) -> bool { x == 0.75 }\n",
+            None,
+        );
+        assert_ne!(a[0].fingerprint, c[0].fingerprint);
+    }
+
+    #[test]
+    fn lintable_path_filter() {
+        assert!(lintable("crates/core/src/lib.rs"));
+        assert!(lintable("crates/bench/benches/sim_bench.rs"));
+        assert!(lintable("tests/integration.rs"));
+        assert!(lintable("examples/quickstart.rs"));
+        assert!(
+            !lintable("crates/lint/fixtures/dirty.rs"),
+            "fixtures excluded"
+        );
+        assert!(!lintable("crates/core/Cargo.toml"));
+        assert!(!lintable("results/simval.txt"));
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_kebab_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.id), "duplicate id {}", r.id);
+            assert!(
+                r.id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{} not kebab-case",
+                r.id
+            );
+            assert!(rule_by_id(r.id).is_some());
+        }
+        assert!(rule_by_id("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn counts_by_rule_covers_the_registry() {
+        let run = LintRun {
+            files: 1,
+            lines: 1,
+            diagnostics: lint_source(
+                "crates/core/src/m.rs",
+                "fn f(x: f64) -> bool { x == 0.5 }\n",
+                None,
+            ),
+        };
+        let counts = run.counts_by_rule();
+        assert_eq!(counts.len(), RULES.len());
+        assert_eq!(
+            counts
+                .iter()
+                .find(|(id, _)| *id == "float-eq")
+                .map(|(_, n)| *n),
+            Some(1)
+        );
+    }
+
+    /// The real gate: the workspace tree must be ratchet-clean against
+    /// the committed baseline. Under cargo this runs from the crate
+    /// dir; under the bare-rustc verify fallback it runs from the repo
+    /// root — `workspace_root` handles both.
+    #[test]
+    fn workspace_is_ratchet_clean() {
+        let root = workspace_root();
+        if !root.join("crates").is_dir() {
+            // Detached test binary with no tree next to it: nothing to
+            // scan, and nothing to regress.
+            return;
+        }
+        let run = lint_workspace(&root, None).expect("workspace scans");
+        assert!(run.files > 0);
+        let base = Baseline::load(&root.join(BASELINE_REL_PATH)).expect("baseline parses");
+        let outcome = ratchet(&base, &run.diagnostics);
+        assert!(
+            outcome.new.is_empty(),
+            "new lint violations (run `repro lint` for details):\n{}",
+            outcome
+                .new
+                .iter()
+                .map(|d| format!("  {}:{}: {}: {}", d.file, d.line, d.rule, d.message))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Report rendering for `repro lint`.
+//!
+//! Two formats: a human `text` report (per-diagnostic lines with
+//! snippets and fix hints, then a per-rule summary and the ratchet
+//! verdict) and a machine `json` report (one document with the same
+//! content, encoded with `telemetry::json`).
+
+use telemetry::json::{JsonArray, JsonObject};
+
+use crate::baseline::Ratchet;
+use crate::{Diagnostic, LintRun, RULES};
+
+/// Renders the human-readable report.
+pub fn render_text(run: &LintRun, outcome: &Ratchet, verbose: bool) -> String {
+    let mut out = String::new();
+    let show: Vec<&Diagnostic> = if verbose {
+        run.diagnostics.iter().collect()
+    } else {
+        outcome.new.iter().collect()
+    };
+    for d in &show {
+        out.push_str(&format!(
+            "{}:{}:{}: {} [{}]: {}\n    {}\n    fix: {}\n",
+            d.file,
+            d.line,
+            d.col,
+            d.severity.label(),
+            d.rule,
+            d.message,
+            d.snippet,
+            d.hint
+        ));
+    }
+    if !show.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("rule counts:\n");
+    for (id, n) in run.counts_by_rule() {
+        out.push_str(&format!("  {id:<28} {n}\n"));
+    }
+    out.push_str(&format!(
+        "\nscanned {} files, {} lines: {} finding(s) — {} new, {} grandfathered, {} fixed vs baseline\n",
+        run.files,
+        run.lines,
+        run.diagnostics.len(),
+        outcome.new.len(),
+        outcome.grandfathered,
+        outcome.fixed
+    ));
+    out.push_str(if outcome.new.is_empty() {
+        "lint: PASS (ratchet clean)\n"
+    } else {
+        "lint: FAIL (new violations; fix them or add `// lint:allow(<rule>) <reason>`)\n"
+    });
+    out
+}
+
+/// Renders the machine-readable report.
+pub fn render_json(run: &LintRun, outcome: &Ratchet) -> String {
+    let mut rules = JsonArray::new();
+    for (id, n) in run.counts_by_rule() {
+        let info = RULES.iter().find(|r| r.id == id);
+        let mut obj = JsonObject::new();
+        obj.field_str("id", id).field_u64("count", n as u64);
+        if let Some(info) = info {
+            obj.field_str("severity", info.severity.label());
+        }
+        rules.push_raw(&obj.finish());
+    }
+    let mut new = JsonArray::new();
+    for d in &outcome.new {
+        new.push_raw(&diag_json(d));
+    }
+    let mut root = JsonObject::new();
+    root.field_str("tool", "sudc-lint")
+        .field_u64("files", run.files as u64)
+        .field_u64("lines", run.lines)
+        .field_u64("findings", run.diagnostics.len() as u64)
+        .field_u64("grandfathered", outcome.grandfathered as u64)
+        .field_u64("fixed", outcome.fixed)
+        .field_bool("pass", outcome.new.is_empty())
+        .field_raw("rules", &rules.finish())
+        .field_raw("new", &new.finish());
+    root.finish() + "\n"
+}
+
+fn diag_json(d: &Diagnostic) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_str("file", &d.file)
+        .field_u64("line", u64::from(d.line))
+        .field_u64("col", u64::from(d.col))
+        .field_str("rule", d.rule)
+        .field_str("severity", d.severity.label())
+        .field_str("message", &d.message)
+        .field_str("snippet", &d.snippet)
+        .field_str("fingerprint", &d.fingerprint);
+    obj.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_source, ratchet, Baseline};
+
+    fn sample() -> (LintRun, Ratchet) {
+        let diags = lint_source(
+            "crates/core/src/m.rs",
+            "fn f(x: f64) -> bool { x == 0.5 }\n",
+            None,
+        );
+        let run = LintRun {
+            files: 1,
+            lines: 1,
+            diagnostics: diags,
+        };
+        let outcome = ratchet(&Baseline::default(), &run.diagnostics);
+        (run, outcome)
+    }
+
+    #[test]
+    fn text_report_shows_new_findings_and_verdict() {
+        let (run, outcome) = sample();
+        let text = render_text(&run, &outcome, false);
+        assert!(text.contains("crates/core/src/m.rs:1:"), "{text}");
+        assert!(text.contains("[float-eq]"));
+        assert!(text.contains("fix:"));
+        assert!(text.contains("lint: FAIL"));
+        assert!(text.contains("1 new, 0 grandfathered"));
+    }
+
+    #[test]
+    fn clean_text_report_passes() {
+        let (run, _) = sample();
+        let base = Baseline::from_diags(&run.diagnostics);
+        let outcome = ratchet(&base, &run.diagnostics);
+        let text = render_text(&run, &outcome, false);
+        assert!(text.contains("lint: PASS"));
+        assert!(
+            !text.contains("fix:"),
+            "grandfathered findings are not listed"
+        );
+    }
+
+    #[test]
+    fn json_report_parses_and_carries_the_verdict() {
+        let (run, outcome) = sample();
+        let doc = crate::jsonv::parse(&render_json(&run, &outcome)).expect("valid json");
+        assert_eq!(doc.get("pass"), Some(&crate::jsonv::Json::Bool(false)));
+        assert_eq!(
+            doc.get("findings").and_then(crate::jsonv::Json::as_u64),
+            Some(1)
+        );
+        let new = doc
+            .get("new")
+            .and_then(crate::jsonv::Json::as_arr)
+            .expect("array");
+        assert_eq!(new.len(), 1);
+        assert_eq!(
+            new[0].get("rule").and_then(crate::jsonv::Json::as_str),
+            Some("float-eq")
+        );
+        let rules = doc
+            .get("rules")
+            .and_then(crate::jsonv::Json::as_arr)
+            .expect("rules");
+        assert_eq!(rules.len(), RULES.len());
+    }
+}

@@ -1,0 +1,468 @@
+//! The rule registry and the individual determinism rules.
+//!
+//! Every rule is a token-pattern matcher over a [`SourceFile`]; the
+//! lexer guarantees matches inside strings and comments never fire.
+//! Rules respect inline suppressions ([`SourceFile::allowed`]) and,
+//! where noted, skip `#[cfg(test)]` / `#[test]` regions.
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+use crate::{Diagnostic, Severity};
+
+/// Static description of one lint rule.
+pub struct RuleInfo {
+    /// Stable rule id, as used in `lint:allow(...)` and the baseline.
+    pub id: &'static str,
+    /// Severity class (presentation only — the ratchet fails on any
+    /// new violation).
+    pub severity: Severity,
+    /// One-line description of what the rule catches.
+    pub summary: &'static str,
+    /// How to fix a violation.
+    pub hint: &'static str,
+    check: fn(&RuleInfo, &SourceFile, &mut Vec<Diagnostic>),
+}
+
+impl std::fmt::Debug for RuleInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleInfo").field("id", &self.id).finish()
+    }
+}
+
+impl RuleInfo {
+    /// Runs the rule over one file, appending diagnostics.
+    pub fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        (self.check)(self, file, out);
+    }
+}
+
+/// All rules, in presentation order.
+pub static RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "nondeterministic-iteration",
+        severity: Severity::Deny,
+        summary: "HashMap/HashSet in a sim/result/sweep path (iteration order varies run to run)",
+        hint: "use BTreeMap/BTreeSet, or collect and sort before iterating",
+        check: check_nondeterministic_iteration,
+    },
+    RuleInfo {
+        id: "wall-clock-in-model",
+        severity: Severity::Deny,
+        summary: "Instant::now/SystemTime::now outside the telemetry and simkit timing shims",
+        hint: "model code must take time from the simulation clock; route wall-clock \
+               measurement through telemetry spans or simkit's scheduler probe",
+        check: check_wall_clock,
+    },
+    RuleInfo {
+        id: "unseeded-rng",
+        severity: Severity::Deny,
+        summary: "RNG constructed outside simkit::rng::RngFactory streams",
+        hint: "derive per-entity streams with RngFactory::stream(label, index) so draws \
+               replay under the run seed",
+        check: check_unseeded_rng,
+    },
+    RuleInfo {
+        id: "float-eq",
+        severity: Severity::Deny,
+        summary: "`==`/`!=` against a float literal",
+        hint: "compare with an explicit epsilon, or restructure the guard \
+               (e.g. `x <= 0.0` for a non-negative quantity)",
+        check: check_float_eq,
+    },
+    RuleInfo {
+        id: "unwrap-in-lib",
+        severity: Severity::Deny,
+        summary: "unwrap()/expect()/panic! in non-test library code",
+        hint: "return Result with a contextual error (see the CellError pattern in \
+               sudc::experiments), or restructure so the failure case cannot occur",
+        check: check_unwrap_in_lib,
+    },
+    RuleInfo {
+        id: "todo-marker",
+        severity: Severity::Warn,
+        summary: "to-do/fix-me marker left in a comment",
+        hint: "resolve the marker or file it as a tracked issue",
+        check: check_todo_marker,
+    },
+];
+
+/// Looks a rule up by id.
+pub fn rule_by_id(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Paths whose iteration order feeds simulation results, sweep rows, or
+/// report artifacts.
+fn in_sim_result_path(path: &str) -> bool {
+    [
+        "crates/core/",
+        "crates/simkit/",
+        "crates/explore/",
+        "crates/bench/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+        || path.starts_with("tests/")
+}
+
+/// Library code proper: `crates/*/src/**` (integration tests, examples,
+/// and benches are harness code).
+fn is_lib_code(path: &str) -> bool {
+    path.starts_with("crates/") && path.contains("/src/") && !path.contains("/benches/")
+}
+
+fn emit(rule: &RuleInfo, file: &SourceFile, tok: &Tok, message: String, out: &mut Vec<Diagnostic>) {
+    if file.allowed(rule.id, tok.line) {
+        return;
+    }
+    out.push(Diagnostic::new(rule, file, tok.line, tok.col, message));
+}
+
+/// Matches `recv`, `"::"`, `member` at code position `i`.
+fn path_seq(file: &SourceFile, i: usize, recv: &[&str], member: &[&str]) -> bool {
+    let id = |i: usize, names: &[&str]| {
+        file.code_tok(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && names.contains(&t.text.as_str()))
+    };
+    let sep = file
+        .code_tok(i + 1)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == "::");
+    id(i, recv) && sep && id(i + 2, member)
+}
+
+fn check_nondeterministic_iteration(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_sim_result_path(&file.path) {
+        return;
+    }
+    // One diagnostic per line: a single declaration usually mentions
+    // the type several times (`let m: HashMap<..> = HashMap::new()`).
+    let mut last_line = 0u32;
+    for i in 0..file.code.len() {
+        let Some(t) = file.code_tok(i) else { break };
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && t.line != last_line
+        {
+            last_line = t.line;
+            emit(
+                rule,
+                file,
+                t,
+                format!("`{}` in a sim/result/sweep path", t.text),
+                out,
+            );
+        }
+    }
+}
+
+fn check_wall_clock(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.path.starts_with("crates/telemetry/") || file.path.starts_with("crates/simkit/") {
+        return;
+    }
+    for i in 0..file.code.len() {
+        if !path_seq(file, i, &["Instant", "SystemTime"], &["now"]) {
+            continue;
+        }
+        let Some(t) = file.code_tok(i) else { continue };
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        emit(
+            rule,
+            file,
+            t,
+            format!(
+                "`{}::now()` outside the telemetry/simkit timing shims",
+                t.text
+            ),
+            out,
+        );
+    }
+}
+
+fn check_unseeded_rng(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.path.starts_with("crates/simkit/") {
+        return;
+    }
+    for i in 0..file.code.len() {
+        let Some(t) = file.code_tok(i) else { break };
+        let hit = (t.kind == TokKind::Ident
+            && (t.text == "thread_rng" || t.text == "from_entropy"))
+            || path_seq(file, i, &["Rng64"], &["seed_from_u64"]);
+        if !hit || file.in_test_code(t.line) {
+            continue;
+        }
+        emit(
+            rule,
+            file,
+            t,
+            format!("`{}`: RNG constructed outside RngFactory streams", t.text),
+            out,
+        );
+    }
+}
+
+/// Float-literal detection around a comparison operator, including
+/// `f64::NAN`-style constant paths.
+fn is_floaty_at(file: &SourceFile, i: usize) -> bool {
+    const FLOAT_CONSTS: &[&str] = &["NAN", "INFINITY", "NEG_INFINITY", "EPSILON"];
+    let Some(t) = file.code_tok(i) else {
+        return false;
+    };
+    t.kind == TokKind::Float
+        || (t.kind == TokKind::Ident
+            && (t.text == "f32" || t.text == "f64")
+            && path_seq(file, i, &["f32", "f64"], FLOAT_CONSTS))
+}
+
+/// Like [`is_floaty_at`] but looking backwards from the operator: the
+/// token before it is either a float literal or the constant at the end
+/// of an `f64::NAN` path.
+fn is_floaty_before(file: &SourceFile, op: usize) -> bool {
+    if op == 0 {
+        return false;
+    }
+    if file
+        .code_tok(op - 1)
+        .is_some_and(|t| t.kind == TokKind::Float)
+    {
+        return true;
+    }
+    op >= 3
+        && path_seq(
+            file,
+            op - 3,
+            &["f32", "f64"],
+            &["NAN", "INFINITY", "NEG_INFINITY", "EPSILON"],
+        )
+}
+
+fn check_float_eq(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_lib_code(&file.path) {
+        return;
+    }
+    for i in 0..file.code.len() {
+        let Some(t) = file.code_tok(i) else { break };
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        if !(is_floaty_at(file, i + 1) || is_floaty_before(file, i)) {
+            continue;
+        }
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        emit(
+            rule,
+            file,
+            t,
+            format!("`{}` against a float literal", t.text),
+            out,
+        );
+    }
+}
+
+fn check_unwrap_in_lib(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_lib_code(&file.path) {
+        return;
+    }
+    let punct = |i: usize, s: &str| {
+        file.code_tok(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    };
+    for i in 0..file.code.len() {
+        let Some(t) = file.code_tok(i) else { break };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let call = match t.text.as_str() {
+            // `.unwrap()` / `.expect(` as method calls only.
+            "unwrap" | "expect" if i > 0 && punct(i - 1, ".") && punct(i + 1, "(") => {
+                format!(".{}()", t.text)
+            }
+            "panic" if punct(i + 1, "!") && punct(i + 2, "(") => "panic!".to_string(),
+            _ => continue,
+        };
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        emit(
+            rule,
+            file,
+            t,
+            format!("`{call}` in non-test library code"),
+            out,
+        );
+    }
+}
+
+fn check_todo_marker(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const MARKERS: &[&str] = &["TODO", "FIXME", "XXX", "HACK"];
+    for t in file.tokens.iter().filter(|t| t.is_comment()) {
+        let Some(marker) = MARKERS.iter().find(|m| contains_word(&t.text, m)) else {
+            continue;
+        };
+        emit(
+            rule,
+            file,
+            t,
+            format!("`{marker}` marker in a comment"),
+            out,
+        );
+    }
+}
+
+/// Case-sensitive whole-word containment (neighbors must not be
+/// alphanumeric).
+fn contains_word(haystack: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre = haystack[..start].chars().next_back();
+        let post = haystack[end..].chars().next();
+        let boundary = |c: Option<char>| c.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary(pre) && boundary(post) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        for rule in RULES {
+            rule.check(&file, &mut out);
+        }
+        out
+    }
+
+    fn rule_ids(path: &str, src: &str) -> Vec<&'static str> {
+        diags(path, src).iter().map(|d| d.rule).collect()
+    }
+
+    const LIB: &str = "crates/core/src/model.rs";
+
+    #[test]
+    fn hashmap_fires_only_in_sim_result_paths() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let hits = rule_ids(LIB, src);
+        assert_eq!(
+            hits.iter()
+                .filter(|r| **r == "nondeterministic-iteration")
+                .count(),
+            2,
+            "one per line: {hits:?}"
+        );
+        assert!(
+            !rule_ids("crates/compress/src/lzw.rs", src).contains(&"nondeterministic-iteration"),
+            "lookup-only crates are out of scope"
+        );
+    }
+
+    #[test]
+    fn hashset_in_test_code_still_fires_in_result_paths() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert!(rule_ids(LIB, src).contains(&"nondeterministic-iteration"));
+    }
+
+    #[test]
+    fn wall_clock_respects_shim_crates_and_tests() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(rule_ids(LIB, src).contains(&"wall-clock-in-model"));
+        assert!(rule_ids("crates/telemetry/src/lib.rs", src).is_empty());
+        assert!(rule_ids("crates/simkit/src/lib.rs", src).is_empty());
+        let test_src = "#[test]\nfn t() { let t = SystemTime::now(); }\n";
+        assert!(!rule_ids(LIB, test_src).contains(&"wall-clock-in-model"));
+    }
+
+    #[test]
+    fn unseeded_rng_flags_adhoc_streams() {
+        let src = "fn f() { let r = Rng64::seed_from_u64(1); }\n";
+        assert!(rule_ids(LIB, src).contains(&"unseeded-rng"));
+        assert!(rule_ids("crates/simkit/src/rng.rs", src).is_empty());
+        let ok = "fn f(fac: &RngFactory) { let r = fac.stream(\"sat\", 0); }\n";
+        assert!(!rule_ids(LIB, ok).contains(&"unseeded-rng"));
+    }
+
+    #[test]
+    fn float_eq_catches_literals_on_either_side() {
+        assert!(rule_ids(LIB, "fn f(x: f64) -> bool { x == 0.0 }\n").contains(&"float-eq"));
+        assert!(rule_ids(LIB, "fn f(x: f64) -> bool { 1.5 != x }\n").contains(&"float-eq"));
+        assert!(
+            rule_ids(LIB, "fn f(x: f64) -> bool { x == f64::INFINITY }\n").contains(&"float-eq")
+        );
+        assert!(!rule_ids(LIB, "fn f(x: u32) -> bool { x == 0 }\n").contains(&"float-eq"));
+        assert!(
+            !rule_ids(LIB, "fn f(x: f64) -> bool { x <= 0.0 }\n").contains(&"float-eq"),
+            "ordered comparisons are the sanctioned restructure"
+        );
+    }
+
+    #[test]
+    fn unwrap_rule_covers_methods_and_panic_bang() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert!(rule_ids(LIB, src).contains(&"unwrap-in-lib"));
+        assert!(rule_ids(LIB, "fn f() { panic!(\"boom\"); }\n").contains(&"unwrap-in-lib"));
+        assert!(
+            !rule_ids(LIB, "fn f(o: Option<u32>) -> u32 { o.unwrap_or(0) }\n")
+                .contains(&"unwrap-in-lib"),
+            "unwrap_or is fine"
+        );
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(!rule_ids(LIB, test_src).contains(&"unwrap-in-lib"));
+        assert!(
+            !rule_ids("tests/integration.rs", src).contains(&"unwrap-in-lib"),
+            "integration tests are harness code"
+        );
+    }
+
+    #[test]
+    fn expect_needs_a_receiver() {
+        // `expect` as a free identifier (e.g. a local named expect) is
+        // not a method call.
+        assert!(!rule_ids(LIB, "fn f() { let expect = 3; }\n").contains(&"unwrap-in-lib"));
+    }
+
+    #[test]
+    fn todo_markers_fire_in_comments_only() {
+        assert!(rule_ids(LIB, "// T\u{4f}DO: finish this\nfn f() {}\n").contains(&"todo-marker"));
+        assert!(!rule_ids(LIB, "fn f() { let s = \"T\u{4f}DO\"; }\n").contains(&"todo-marker"));
+        assert!(
+            !rule_ids(LIB, "// mastodon county\nfn f() {}\n").contains(&"todo-marker"),
+            "word boundaries respected"
+        );
+    }
+
+    #[test]
+    fn suppressions_silence_exactly_the_named_rule() {
+        let src =
+            "fn f(x: f64) -> bool {\n    // lint:allow(float-eq) exact sentinel\n    x == 0.0\n}\n";
+        assert!(!rule_ids(LIB, src).contains(&"float-eq"));
+        let wrong = "fn f(x: f64) -> bool {\n    // lint:allow(unwrap-in-lib) wrong rule\n    x == 0.0\n}\n";
+        assert!(rule_ids(LIB, wrong).contains(&"float-eq"));
+    }
+
+    #[test]
+    fn diagnostics_carry_position_and_fingerprint() {
+        let d = diags(LIB, "fn f(x: f64) -> bool {\n    x == 0.0\n}\n");
+        let d = d.iter().find(|d| d.rule == "float-eq").expect("fires");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.snippet, "x == 0.0");
+        assert_eq!(d.fingerprint.len(), 16);
+        assert!(d.fingerprint.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire_code_rules() {
+        let src = "fn f() {\n    let s = \"x.unwrap() == 0.0 HashMap\";\n    // mentions Instant::now() in prose\n}\n";
+        let hits = rule_ids(LIB, src);
+        assert!(hits.is_empty(), "got {hits:?}");
+    }
+}

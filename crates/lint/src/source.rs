@@ -1,0 +1,317 @@
+//! Per-file analysis context: tokens, test-code regions, and inline
+//! suppressions.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+
+/// One inline suppression comment: `// lint:allow(rule-id) reason`.
+///
+/// A suppression applies to its own line and the next line (so it can
+/// trail the violating expression or sit on the line above it) and is
+/// only honored when a non-empty reason follows the closing paren —
+/// unexplained suppressions are ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allow {
+    /// Rule ids listed in the parens (`all` matches every rule).
+    pub rules: Vec<String>,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Justification text after the closing paren.
+    pub reason: String,
+}
+
+/// A lexed source file plus the derived facts rules need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Source split into lines (for snippets and fingerprints).
+    pub lines: Vec<String>,
+    /// All tokens, comments included.
+    pub tokens: Vec<Tok>,
+    /// Indices into `tokens` of the non-comment tokens.
+    pub code: Vec<usize>,
+    /// Inclusive 1-based line ranges of `#[test]` / `#[cfg(test)]`
+    /// items.
+    test_ranges: Vec<(u32, u32)>,
+    /// Parsed suppression comments (reasonless ones excluded).
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and derives test regions and suppressions.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let tokens = tokenize(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let test_ranges = test_ranges(&tokens, &code);
+        let allows = parse_allows(&tokens);
+        SourceFile {
+            path: path.to_string(),
+            lines: src.lines().map(str::to_string).collect(),
+            tokens,
+            code,
+            test_ranges,
+            allows,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[test]` / `#[cfg(test)]` item.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Whether `rule` is suppressed at `line` by an adjacent
+    /// `lint:allow` comment (same line or the line above).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            (a.line == line || a.line + 1 == line)
+                && a.rules.iter().any(|r| r == rule || r == "all")
+        })
+    }
+
+    /// The source text of a 1-based line (empty for out-of-range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map_or("", String::as_str)
+    }
+
+    /// The code token at `self.code[i]`, if in range.
+    pub fn code_tok(&self, i: usize) -> Option<&Tok> {
+        self.code.get(i).map(|&idx| &self.tokens[idx])
+    }
+}
+
+/// Whether the attribute token span (between `[` and `]`) marks test
+/// code: `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`, but not
+/// `#[cfg(not(test))]`.
+fn is_test_attr(attr_idents: &[&str]) -> bool {
+    match attr_idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => attr_idents.contains(&"test") && !attr_idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// Finds the inclusive line ranges covered by test-gated items.
+fn test_ranges(tokens: &[Tok], code: &[usize]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let tok = |i: usize| -> &Tok { &tokens[code[i]] };
+    let is_punct = |i: usize, s: &str| {
+        code.get(i)
+            .is_some_and(|&idx| tokens[idx].kind == TokKind::Punct && tokens[idx].text == s)
+    };
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(is_punct(i, "#") && is_punct(i + 1, "[")) {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = tok(i).line;
+        // Collect idents until the matching `]`.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < code.len() {
+            match (&tok(j).kind, tok(j).text.as_str()) {
+                (TokKind::Punct, "[") => depth += 1,
+                (TokKind::Punct, "]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (TokKind::Ident, id) => idents.push(id),
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr(&idents) {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = j + 1;
+        while is_punct(k, "#") && is_punct(k + 1, "[") {
+            let mut d = 0i32;
+            k += 1;
+            while k < code.len() {
+                if is_punct(k, "[") {
+                    d += 1;
+                } else if is_punct(k, "]") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // The item body is the first `{ … }` group at nesting depth 0
+        // (a `;` first means a body-less item, e.g. a gated `use`).
+        let mut nest = 0i32;
+        let mut end_line = attr_start_line;
+        while k < code.len() {
+            let t = tok(k);
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => nest += 1,
+                    ")" | "]" => nest -= 1,
+                    "{" => {
+                        nest += 1;
+                        if nest == 1 {
+                            // Consume to the matching close brace.
+                            k += 1;
+                            while k < code.len() && nest > 0 {
+                                let t = tok(k);
+                                if t.kind == TokKind::Punct {
+                                    match t.text.as_str() {
+                                        "{" => nest += 1,
+                                        "}" => nest -= 1,
+                                        _ => {}
+                                    }
+                                }
+                                end_line = t.line;
+                                k += 1;
+                            }
+                            break;
+                        }
+                    }
+                    ";" if nest == 0 => {
+                        end_line = t.line;
+                        k += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        ranges.push((attr_start_line, end_line));
+        i = k;
+    }
+    ranges
+}
+
+/// Extracts `lint:allow(...)` suppressions from comment tokens.
+fn parse_allows(tokens: &[Tok]) -> Vec<Allow> {
+    const MARKER: &str = "lint:allow(";
+    let mut allows = Vec::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        let Some(start) = t.text.find(MARKER) else {
+            continue;
+        };
+        let after = &t.text[start + MARKER.len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = after[close + 1..]
+            .trim_end_matches("*/")
+            .trim()
+            .trim_start_matches(['-', ':', '—'])
+            .trim()
+            .to_string();
+        if rules.is_empty() || reason.is_empty() {
+            continue;
+        }
+        allows.push(Allow {
+            rules,
+            line: t.line,
+            reason,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_lines_are_test_code() {
+        let src = "pub fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn helper() {}\n}\n\
+                   pub fn lib2() {}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(5));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_covered() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\n\
+                   fn explodes() {\n    boom();\n}\nfn lib() {}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn real() {\n    body();\n}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn gated_use_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() {\n    x();\n}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(4));
+    }
+
+    #[test]
+    fn allow_requires_a_reason() {
+        let src = "// lint:allow(float-eq) exact sentinel comparison\n\
+                   let a = x == 0.0;\n\
+                   // lint:allow(float-eq)\n\
+                   let b = y == 0.0;\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.allowed("float-eq", 2), "reasoned allow applies below");
+        assert!(f.allowed("float-eq", 1), "and on its own line");
+        assert!(!f.allowed("float-eq", 4), "reasonless allow is ignored");
+        assert!(!f.allowed("unwrap-in-lib", 2), "other rules unaffected");
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src = "let a = x == 0.0; // lint:allow(float-eq, unwrap-in-lib) boundary sentinel\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.allowed("float-eq", 1));
+        assert!(f.allowed("unwrap-in-lib", 1));
+        assert!(!f.allowed("todo-marker", 1));
+    }
+
+    #[test]
+    fn allow_all_matches_every_rule() {
+        let src = "// lint:allow(all) generated code\nlet a = m.unwrap();\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.allowed("unwrap-in-lib", 2));
+        assert!(f.allowed("float-eq", 2));
+    }
+
+    #[test]
+    fn allow_inside_string_literal_is_inert() {
+        let src = "let s = \"lint:allow(float-eq) nope\";\nlet a = x == 0.0;\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(!f.allowed("float-eq", 2));
+    }
+}

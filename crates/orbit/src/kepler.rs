@@ -420,7 +420,9 @@ pub fn solve_kepler(m: f64, e: f64) -> Result<f64, KeplerError> {
         return Err(KeplerError::UnsupportedEccentricity(e));
     }
     let m = m.rem_euclid(std::f64::consts::TAU);
-    if e == 0.0 {
+    // `e` is validated non-negative above, so this is the exact
+    // circular-orbit case without a float equality.
+    if e <= 0.0 {
         return Ok(m);
     }
 
@@ -488,6 +490,21 @@ mod tests {
             Angle::from_degrees(10.0),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn circular_boundary_returns_mean_anomaly_exactly() {
+        // e == 0.0 takes the restructured `e <= 0.0` fast path and must
+        // stay bit-exact; the smallest positive e must converge to
+        // essentially the same answer, so the guard has no seam.
+        for m in [0.0, 0.5, 1.0, 3.0, std::f64::consts::TAU - 1e-9] {
+            let exact = solve_kepler(m, 0.0).unwrap();
+            assert_eq!(exact.to_bits(), m.to_bits(), "m={m}");
+            let near = solve_kepler(m, f64::MIN_POSITIVE).unwrap();
+            assert!((near - m).abs() < 1e-12, "m={m} near={near}");
+        }
+        let tiny = solve_kepler(1.0, 1e-15).unwrap();
+        assert!((tiny - 1.0).abs() < 1e-12);
     }
 
     #[test]

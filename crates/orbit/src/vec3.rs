@@ -125,8 +125,10 @@ impl Vec3 {
     /// Returns 0 if either vector is zero.
     #[inline]
     pub fn angle_to(self, rhs: Self) -> f64 {
+        // A product of norms is non-negative, so `<= 0.0` is exactly
+        // the zero-vector case.
         let denom = self.norm() * rhs.norm();
-        if denom == 0.0 {
+        if denom <= 0.0 {
             return 0.0;
         }
         (self.dot(rhs) / denom).clamp(-1.0, 1.0).acos()
@@ -227,6 +229,18 @@ mod tests {
         assert_eq!(c, Vec3::Z);
         assert_eq!(Vec3::Y.cross(Vec3::X), -Vec3::Z);
         assert_eq!(c.dot(Vec3::X), 0.0);
+    }
+
+    #[test]
+    fn angle_to_zero_vector_is_zero_without_nan() {
+        // The restructured `denom <= 0.0` guard must catch the exact
+        // zero-vector case (denom == 0.0) and return 0, never NaN.
+        assert_eq!(Vec3::ZERO.angle_to(Vec3::X), 0.0);
+        assert_eq!(Vec3::X.angle_to(Vec3::ZERO), 0.0);
+        assert_eq!(Vec3::ZERO.angle_to(Vec3::ZERO), 0.0);
+        // Denormal-scale vectors still produce a finite angle.
+        let tiny = Vec3::new(f64::MIN_POSITIVE, 0.0, 0.0);
+        assert!(tiny.angle_to(Vec3::Y).is_finite());
     }
 
     #[test]

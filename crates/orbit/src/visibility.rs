@@ -35,7 +35,9 @@ pub fn has_line_of_sight(a: Vec3, b: Vec3, grazing_altitude: Length) -> bool {
     let r_block = EARTH_RADIUS_M + grazing_altitude.as_m();
     let ab = b - a;
     let len2 = ab.norm_squared();
-    if len2 == 0.0 {
+    // A squared norm is non-negative, so `<= 0.0` is exactly the
+    // degenerate coincident-endpoint case.
+    if len2 <= 0.0 {
         return a.norm() >= r_block;
     }
     // Parameter of closest approach of the infinite line to the origin.
@@ -49,7 +51,7 @@ pub fn has_line_of_sight(a: Vec3, b: Vec3, grazing_altitude: Length) -> bool {
 pub fn segment_grazing_altitude(a: Vec3, b: Vec3) -> Length {
     let ab = b - a;
     let len2 = ab.norm_squared();
-    let t = if len2 == 0.0 {
+    let t = if len2 <= 0.0 {
         0.0
     } else {
         (-a.dot(ab) / len2).clamp(0.0, 1.0)
@@ -210,6 +212,23 @@ pub fn geo_star_coverage(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degenerate_zero_length_segment_uses_endpoint_altitude() {
+        // a == b makes len2 exactly 0.0: the restructured `<= 0.0`
+        // guard must take the degenerate branch, not divide by zero.
+        let above = Vec3::new(7_000_000.0, 0.0, 0.0);
+        assert!(has_line_of_sight(above, above, Length::ZERO));
+        let below = Vec3::new(1_000.0, 0.0, 0.0);
+        assert!(!has_line_of_sight(below, below, Length::ZERO));
+        let alt = segment_grazing_altitude(above, above);
+        assert!((alt.as_m() - (7_000_000.0 - EARTH_RADIUS_M)).abs() < 1e-6);
+        assert!(alt.as_m().is_finite());
+        // A nearby non-degenerate segment agrees with the limit.
+        let nudged = above + Vec3::new(0.0, 1e-3, 0.0);
+        let near = segment_grazing_altitude(above, nudged);
+        assert!((near.as_m() - alt.as_m()).abs() < 1e-3);
+    }
 
     #[test]
     fn opposite_leo_satellites_are_occluded() {

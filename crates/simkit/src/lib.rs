@@ -71,10 +71,10 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Total order: time, then insertion sequence. Times are finite by
-        // construction (schedule_* validates).
+        // construction (schedule_* validates), so IEEE total order
+        // agrees with the numeric order here.
         self.time_s
-            .partial_cmp(&other.time_s)
-            .expect("event times are finite")
+            .total_cmp(&other.time_s)
             .then(self.seq.cmp(&other.seq))
     }
 }

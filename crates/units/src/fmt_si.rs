@@ -27,6 +27,7 @@ const PREFIXES: &[(f64, &str)] = &[
 /// Values are rounded to at most three significant-looking decimals; exact
 /// multiples print without a fractional part.
 pub fn si(value: f64, unit: &str) -> String {
+    // lint:allow(float-eq) exact sentinel: only true zero prints "0 <unit>"
     if value == 0.0 {
         return format!("0 {unit}");
     }

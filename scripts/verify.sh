@@ -5,12 +5,13 @@
 #
 # Runs the full workspace build + test suite, checks formatting, runs
 # the fault-injection determinism gate (two same-seed `repro sim` runs
-# must produce byte-identical reports), and — when the cargo registry is
-# unreachable (offline containers cannot resolve the external
-# dev-dependencies) — falls back to building and unit-testing the
-# zero-dependency code (`telemetry`, `explore`, and simkit's rng/faults
-# modules) with bare rustc so the gate still exercises real code instead
-# of silently passing.
+# must produce byte-identical reports), runs the static-analysis gate
+# (`repro lint` must be ratchet-clean against results/lint_baseline.json),
+# and — when the cargo registry is unreachable (offline containers cannot
+# resolve the external dev-dependencies) — falls back to building and
+# unit-testing the zero-dependency code (`telemetry`, `explore`,
+# `sudc-lint`, and simkit's rng/faults modules) with bare rustc so the
+# gate still exercises real code instead of silently passing.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,6 +45,25 @@ else
     if ! rustc_build explore crates/explore/src/lib.rs \
         --extern telemetry="$tmp/libtelemetry.rlib"; then
         echo "FAIL: explore standalone build/test"
+        failed=1
+    fi
+    # The lint engine is zero-dep (telemetry only) so the static-analysis
+    # gate runs offline too: its unit tests include the workspace ratchet
+    # check, and the lint_gate harness drives the golden fixtures.
+    if ! rustc_build sudc_lint crates/lint/src/lib.rs \
+        --extern telemetry="$tmp/libtelemetry.rlib"; then
+        echo "FAIL: sudc-lint standalone build/test"
+        failed=1
+    fi
+    if rustc --edition 2021 --test --crate-name lint_gate \
+        -o "$tmp/lint_gate_tests" -L "dependency=$tmp" \
+        --extern sudc_lint="$tmp/libsudc_lint.rlib" tests/lint_gate.rs; then
+        if ! "$tmp/lint_gate_tests" -q; then
+            echo "FAIL: lint golden-fixture gate"
+            failed=1
+        fi
+    else
+        echo "FAIL: lint_gate standalone build"
         failed=1
     fi
     # simkit's rng + faults modules are dependency-free by design: stitch
@@ -88,6 +108,21 @@ if [ -x target/release/repro ]; then
     rm -rf "$da" "$db"
 else
     echo "warn: target/release/repro not built; skipping determinism gate"
+fi
+
+echo "== static-analysis gate (repro lint) =="
+if [ -x target/release/repro ]; then
+    # New violations (anything not grandfathered by the committed
+    # baseline) fail; the baseline may only shrink.
+    if ./target/release/repro --quiet lint >/dev/null; then
+        echo "ok: workspace is ratchet-clean against results/lint_baseline.json"
+    else
+        echo "FAIL: repro lint found new violations (run ./target/release/repro lint)"
+        failed=1
+    fi
+else
+    echo "warn: target/release/repro not built; lint ratchet covered by the"
+    echo "      sudc-lint standalone tests above"
 fi
 
 echo "== cargo fmt --check =="

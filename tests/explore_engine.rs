@@ -80,6 +80,26 @@ fn warm_cache_rerun_evaluates_nothing_and_matches() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn sweep_row_order_matches_committed_artifacts() {
+    // The explore cache moved from HashMap to BTreeMap; sweep output
+    // must not have depended on hash order. The regenerated codesign
+    // grid has to match the committed results/ CSV byte-for-byte.
+    let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") else {
+        return;
+    };
+    let committed = std::path::Path::new(manifest).join("../../results/explore_codesign.csv");
+    let committed = std::fs::read_to_string(&committed)
+        .unwrap_or_else(|e| panic!("missing artifact {}: {e}", committed.display()));
+    let run = sudc::sweeps::run("codesign", &[], &ExecOptions::threads(4), None)
+        .expect("codesign sweep runs");
+    assert_eq!(
+        run.grid.to_csv(),
+        committed,
+        "sweep row order drifted from the committed artifact"
+    );
+}
+
 /// Brute-force dominance: `i` is on the frontier iff no feasible point
 /// is at least as good everywhere and strictly better somewhere.
 fn brute_force_front<R>(

@@ -1,0 +1,162 @@
+//! Golden-fixture gate for the `sudc-lint` engine.
+//!
+//! The fixtures under `crates/lint/fixtures/` annotate expected
+//! diagnostics rustc-UI-style: a `//~ <rule-id>` marker on the
+//! violating line. This harness lints each fixture (under a synthetic
+//! `crates/core/src/...` path so every path-scoped rule applies) and
+//! requires the diagnostic set to match the markers exactly — no
+//! misses, no extras. It also exercises the ratchet end to end:
+//! a baseline built the way `repro lint --update-baseline` builds it
+//! must pass, fail on a synthetic new violation, and pass again after
+//! an update.
+
+use std::collections::BTreeSet;
+use std::fs;
+
+use sudc_lint::{lint_source, ratchet, rule_by_id, workspace_root, Baseline, RULES};
+
+/// Synthetic scan path placing fixtures in lib code inside a
+/// sim/result path, so every rule is in scope.
+const FIXTURE_SCAN_PREFIX: &str = "crates/core/src/fixtures/";
+
+fn fixture(name: &str) -> (String, String) {
+    let path = workspace_root().join("crates/lint/fixtures").join(name);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    (format!("{FIXTURE_SCAN_PREFIX}{name}"), src)
+}
+
+/// Parses `//~ rule-id [rule-id ...]` markers into (line, rule) pairs.
+fn expected_markers(src: &str) -> BTreeSet<(u32, String)> {
+    let mut out = BTreeSet::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        for rule in line[pos + 3..].split_whitespace() {
+            assert!(
+                rule_by_id(rule).is_some(),
+                "marker names unknown rule `{rule}`"
+            );
+            out.insert((idx as u32 + 1, rule.to_string()));
+        }
+    }
+    out
+}
+
+fn actual(path: &str, src: &str) -> BTreeSet<(u32, String)> {
+    lint_source(path, src, None)
+        .into_iter()
+        .map(|d| (d.line, d.rule.to_string()))
+        .collect()
+}
+
+#[test]
+fn dirty_fixture_matches_golden_markers_exactly() {
+    let (path, src) = fixture("dirty.rs");
+    let expected = expected_markers(&src);
+    let got = actual(&path, &src);
+    assert_eq!(
+        got, expected,
+        "diagnostics must match //~ markers (missing = rule regressed, extra = rule over-fires)"
+    );
+    let fired: BTreeSet<&str> = lint_source(&path, &src, None)
+        .iter()
+        .map(|d| d.rule)
+        .collect();
+    for rule in RULES {
+        assert!(
+            fired.contains(rule.id),
+            "rule {} never fires in dirty.rs",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let (path, src) = fixture("clean.rs");
+    assert!(
+        expected_markers(&src).is_empty(),
+        "clean.rs must carry no markers"
+    );
+    let got = lint_source(&path, &src, None);
+    assert!(
+        got.is_empty(),
+        "clean fixture fired: {:?}",
+        got.iter().map(|d| (d.line, d.rule)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn suppressed_fixture_is_silent() {
+    let (path, src) = fixture("suppressed.rs");
+    let got = lint_source(&path, &src, None);
+    assert!(
+        got.is_empty(),
+        "suppressions ignored: {:?}",
+        got.iter().map(|d| (d.line, d.rule)).collect::<Vec<_>>()
+    );
+    // The same code with suppressions stripped must fire — otherwise
+    // this fixture would pass vacuously.
+    let stripped: String = src
+        .lines()
+        .map(|l| match l.find("// lint:allow") {
+            Some(pos) => format!("{}\n", &l[..pos]),
+            None => format!("{l}\n"),
+        })
+        .collect();
+    assert!(
+        !lint_source(&path, &stripped, None).is_empty(),
+        "stripping lint:allow must re-arm the rules"
+    );
+}
+
+#[test]
+fn rule_filter_restricts_fixture_scan() {
+    let (path, src) = fixture("dirty.rs");
+    let only = lint_source(&path, &src, Some("float-eq"));
+    assert!(!only.is_empty());
+    assert!(only.iter().all(|d| d.rule == "float-eq"));
+}
+
+#[test]
+fn ratchet_fails_on_new_violation_and_passes_after_update() {
+    let (path, src) = fixture("dirty.rs");
+    let diags = lint_source(&path, &src, None);
+    // What `repro lint --update-baseline` writes, via the same JSON
+    // round-trip the CLI performs.
+    let base = Baseline::parse(&Baseline::from_diags(&diags).to_json()).expect("round-trips");
+    assert!(
+        ratchet(&base, &diags).new.is_empty(),
+        "grandfathered tree passes"
+    );
+
+    let grown = format!("{src}\npub fn extra(o: Option<u32>) -> u32 {{\n    o.unwrap()\n}}\n");
+    let grown_diags = lint_source(&path, &grown, None);
+    let r = ratchet(&base, &grown_diags);
+    assert_eq!(r.new.len(), 1, "exactly the added violation is new");
+    assert_eq!(r.new[0].rule, "unwrap-in-lib");
+
+    let updated = Baseline::from_diags(&grown_diags);
+    assert!(
+        ratchet(&updated, &grown_diags).new.is_empty(),
+        "after --update-baseline the grown tree passes again"
+    );
+    assert_eq!(updated.total(), base.total() + 1);
+}
+
+#[test]
+fn fixtures_stay_outside_the_workspace_scan() {
+    let root = workspace_root();
+    if !root.join("crates").is_dir() {
+        return;
+    }
+    let run = sudc_lint::lint_workspace(&root, None).expect("workspace scans");
+    assert!(
+        run.diagnostics
+            .iter()
+            .all(|d| !d.file.contains("fixtures/")),
+        "fixture violations leaked into the workspace scan"
+    );
+}
