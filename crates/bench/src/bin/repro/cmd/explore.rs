@@ -1,0 +1,210 @@
+//! `repro explore [sweep...]` — run named design-space sweeps through
+//! the explore engine, write grid + Pareto-frontier artifacts, and
+//! record throughput/cache statistics in `BENCH_explore.json`.
+
+use std::process::ExitCode;
+
+use telemetry::RunManifest;
+
+use crate::Cli;
+
+/// `repro explore list` — print every sweep with its axes and defaults.
+fn print_sweep_list() {
+    println!("available sweeps:");
+    for def in sudc::sweeps::all() {
+        println!("  {:10}  {}", def.name, def.title);
+        for axis in &def.axes {
+            let default: Vec<String> = axis
+                .default
+                .iter()
+                .map(|&v| {
+                    if axis.integer {
+                        format!("{}", v as i64)
+                    } else {
+                        format!("{v}")
+                    }
+                })
+                .collect();
+            println!(
+                "              --axis {}=…  {} (default {})",
+                axis.name,
+                axis.help,
+                default.join(",")
+            );
+        }
+    }
+}
+
+/// Runs the seq-vs-parallel throughput benchmark, printing per-space
+/// rows and flagging any sequential/parallel divergence via `failed`.
+fn run_bench(
+    cli: &Cli,
+    metrics: &telemetry::Metrics,
+    failed: &mut bool,
+) -> Vec<bench::ExploreBenchRow> {
+    let rows = bench::explore_bench(cli.threads.max(2), 3);
+    for row in &rows {
+        metrics.observe("explore.bench.speedup", row.speedup);
+        if !cli.quiet {
+            println!(
+                "bench {}: {} points, seq {:.1} ms, {} threads {:.1} ms, \
+                 {:.2}x on {} core(s), identical={}",
+                row.space,
+                row.points,
+                row.seq_ms,
+                row.threads,
+                row.par_ms,
+                row.speedup,
+                row.cores,
+                row.identical
+            );
+        }
+        if !row.identical {
+            eprintln!(
+                "error: parallel sweep of {} diverged from sequential",
+                row.space
+            );
+            *failed = true;
+        }
+    }
+    rows
+}
+
+/// Folds one finished sweep into the run's metrics and report rows and
+/// writes its grid + frontier artifacts.
+fn record_sweep(
+    cli: &Cli,
+    name: &str,
+    run: &sudc::sweeps::SweepRun,
+    metrics: &telemetry::Metrics,
+    reports: &mut Vec<bench::SweepReportRow>,
+    failed: &mut bool,
+) {
+    metrics.inc("explore.points", run.stats.points as u64);
+    metrics.inc("explore.evaluated", run.stats.evaluated as u64);
+    metrics.inc("explore.cache_hits", run.stats.cache_hits as u64);
+    metrics.inc("explore.steals", run.stats.steals as u64);
+    metrics.observe("explore.points_per_sec", run.stats.points_per_sec());
+    if !cli.quiet {
+        println!("{}", run.frontier.to_text_table());
+    }
+    reports.push(bench::SweepReportRow::from_stats(
+        name,
+        &run.stats,
+        run.frontier.rows.len(),
+        run.cache_written.is_some(),
+    ));
+    let results_dir = bench::results_dir();
+    for result in [&run.grid, &run.frontier] {
+        if !super::emit_artifacts(&results_dir, result, cli.quiet) {
+            *failed = true;
+        }
+    }
+    if !cli.quiet {
+        println!();
+    }
+}
+
+pub fn exec(cli: &Cli) -> ExitCode {
+    let names: Vec<String> = cli.ids[1..].to_vec();
+
+    if names.first().map(String::as_str) == Some("list") {
+        print_sweep_list();
+        return ExitCode::SUCCESS;
+    }
+
+    let names: Vec<String> = if names.is_empty() {
+        sudc::sweeps::all()
+            .iter()
+            .map(|d| d.name.to_string())
+            .collect()
+    } else {
+        names
+    };
+    if !cli.axes.is_empty() && names.len() != 1 {
+        eprintln!(
+            "error: --axis needs exactly one sweep name (got {})",
+            names.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let opts = if cli.threads <= 1 {
+        explore::ExecOptions::sequential()
+    } else {
+        explore::ExecOptions::threads(cli.threads)
+    };
+    let results_dir = bench::results_dir();
+    let cache_dir = (!cli.no_cache).then(|| results_dir.join("cache"));
+
+    let mut manifest = RunManifest::new("explore", sudc::sim::PAPER_SEED);
+    manifest.param("threads", cli.threads as u64);
+    manifest.param("cached", !cli.no_cache);
+    manifest.param("sweep_count", names.len() as u64);
+    let metrics = telemetry::Metrics::new();
+    let mut reports: Vec<bench::SweepReportRow> = Vec::new();
+    let mut failed = false;
+
+    for name in &names {
+        match sudc::sweeps::run(name, &cli.axes, &opts, cache_dir.as_deref()) {
+            Ok(run) => {
+                manifest.record_experiment(&run.grid.id);
+                record_sweep(cli, name, &run, &metrics, &mut reports, &mut failed);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    // Throughput benchmark: sequential vs parallel on dense versions of
+    // the Fig. 13 and Fig. 11 spaces. Runs in the default all-sweeps
+    // mode or on request; skipped when specific sweeps were named.
+    let bench_rows = if cli.bench || cli.ids.len() == 1 {
+        run_bench(cli, &metrics, &mut failed)
+    } else {
+        Vec::new()
+    };
+
+    manifest.finish();
+    match manifest.write_to(&results_dir) {
+        Ok(path) => telemetry::info(
+            "explore.manifest",
+            vec![("path".to_string(), path.display().to_string().into())],
+        ),
+        Err(e) => {
+            eprintln!("error writing run manifest: {e}");
+            failed = true;
+        }
+    }
+
+    let report_path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| results_dir.join("BENCH_explore.json"));
+    if let Err(e) =
+        bench::write_explore_json(&report_path, &manifest, &reports, &bench_rows, &metrics)
+    {
+        eprintln!("error writing {}: {e}", report_path.display());
+        failed = true;
+    } else if !cli.quiet {
+        println!("wrote {}", report_path.display());
+    }
+
+    telemetry::info(
+        "explore.done",
+        vec![
+            ("sweeps".to_string(), (reports.len() as u64).into()),
+            ("duration_s".to_string(), manifest.duration_s().into()),
+            ("failed".to_string(), failed.into()),
+        ],
+    );
+    telemetry::flush();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,216 @@
+//! `repro lint [--rule <id>] [--format text|json] [--update-baseline]`
+//! — run the workspace static-analysis engine (`sudc-lint`) and gate
+//! against the ratcheting baseline in `results/lint_baseline.json`:
+//! grandfathered violations pass, new ones fail, and per rule the
+//! baseline may only shrink (a rule absent from the committed baseline
+//! may grandfather its offenders once, so new rules can land ratcheted).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sudc_lint::{lint_workspace, ratchet, report, rule_by_id, Baseline};
+use telemetry::RunManifest;
+
+use crate::Cli;
+
+/// Sums a baseline's grandfathered violations per rule id (entry keys
+/// are `<file>:<rule>`; paths never contain `:`).
+fn totals_by_rule(baseline: &Baseline) -> BTreeMap<String, u64> {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for (key, prints) in &baseline.entries {
+        let rule = key.rsplit_once(':').map_or(key.as_str(), |(_, r)| r);
+        *totals.entry(rule.to_string()).or_default() += prints.values().sum::<u64>();
+    }
+    totals
+}
+
+/// The ratchet check behind `--update-baseline`: per rule already in
+/// the committed baseline the count may only shrink; rules the
+/// committed baseline has never seen may grandfather offenders once.
+/// Returns the offending `(rule, committed, next)` on refusal.
+fn baseline_growth(committed: &Baseline, next: &Baseline) -> Option<(String, u64, u64)> {
+    if committed.is_empty() {
+        return None;
+    }
+    let before = totals_by_rule(committed);
+    for (rule, &after) in &totals_by_rule(next) {
+        match before.get(rule) {
+            Some(&b) if after > b => return Some((rule.clone(), b, after)),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `--update-baseline`: regenerate the committed baseline from this
+/// scan, subject to [`baseline_growth`]'s one-way ratchet.
+fn update_baseline(
+    cli: &Cli,
+    committed: &Baseline,
+    diags: &[sudc_lint::Diagnostic],
+    baseline_path: &std::path::Path,
+) -> ExitCode {
+    let next = Baseline::from_diags(diags);
+    if let Some((rule, before, after)) = baseline_growth(committed, &next) {
+        eprintln!(
+            "error: refusing to grow the baseline for rule '{rule}' \
+             ({before} -> {after} violations); the ratchet only turns one \
+             way — fix the new violations or suppress them with \
+             `// lint:allow({rule}) <reason>`"
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = next.save(baseline_path) {
+        eprintln!("error writing {}: {e}", baseline_path.display());
+        return ExitCode::FAILURE;
+    }
+    if !cli.quiet {
+        println!(
+            "wrote {} ({} grandfathered violations in {} file:rule entries, was {})",
+            baseline_path.display(),
+            next.total(),
+            next.len(),
+            committed.total()
+        );
+    }
+    telemetry::flush();
+    ExitCode::SUCCESS
+}
+
+/// Handles `repro lint rules` and rejects stray operands; `None` means
+/// proceed into the scan.
+fn handle_operands(cli: &Cli) -> Option<ExitCode> {
+    let operands = &cli.ids[1..];
+    if operands.first().map(String::as_str) == Some("rules") {
+        println!("lint rules:");
+        for r in sudc_lint::RULES {
+            println!("  {:28} [{}]  {}", r.id, r.severity.label(), r.summary);
+            println!("  {:28}        fix: {}", "", r.hint);
+        }
+        return Some(ExitCode::SUCCESS);
+    }
+    if let Some(op) = operands.first() {
+        eprintln!(
+            "error: unexpected operand '{op}' (usage: repro lint [rules] [--rule <id>] \
+             [--format text|json] [--update-baseline])"
+        );
+        return Some(ExitCode::FAILURE);
+    }
+    None
+}
+
+pub fn exec(cli: &Cli) -> ExitCode {
+    if let Some(code) = handle_operands(cli) {
+        return code;
+    }
+
+    let only = match &cli.rule {
+        Some(id) => match rule_by_id(id) {
+            Some(r) => Some(r.id),
+            None => {
+                eprintln!("error: unknown rule '{id}' (try `repro lint rules`)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let format = cli.format.as_deref().unwrap_or("text");
+    if cli.update_baseline && only.is_some() {
+        eprintln!("error: --update-baseline covers all rules; drop --rule");
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) = super::install_telemetry(cli) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let results_dir = bench::results_dir();
+    let root = results_dir
+        .parent()
+        .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf);
+    let baseline_path = results_dir.join("lint_baseline.json");
+
+    let run = match lint_workspace(&root, only) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut manifest = RunManifest::new("lint", 0);
+    manifest.param("rule", only.unwrap_or("all"));
+    manifest.param("format", format);
+    manifest.param("update_baseline", cli.update_baseline);
+    manifest.param("files", run.files as u64);
+    let metrics = telemetry::Metrics::new();
+    metrics.inc("lint.files", run.files as u64);
+    metrics.inc("lint.lines", run.lines);
+    for (id, n) in run.counts_by_rule() {
+        metrics.inc(&format!("lint.rule.{id}"), n as u64);
+    }
+
+    let committed = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.update_baseline {
+        return update_baseline(cli, &committed, &run.diagnostics, &baseline_path);
+    }
+
+    // A --rule scan only sees that rule's diagnostics, so compare
+    // against the matching slice of the baseline.
+    let baseline = match only {
+        Some(id) => committed.for_rule(id),
+        None => committed,
+    };
+    let outcome = ratchet(&baseline, &run.diagnostics);
+    metrics.inc("lint.new", outcome.new.len() as u64);
+    metrics.inc("lint.grandfathered", outcome.grandfathered as u64);
+    metrics.inc("lint.fixed", outcome.fixed);
+
+    match format {
+        "json" => print!("{}", report::render_json(&run, &outcome)),
+        _ => print!("{}", report::render_text(&run, &outcome, cli.verbose)),
+    }
+
+    manifest.record_experiment("lint");
+    manifest.finish();
+    let mut failed = !outcome.new.is_empty();
+    let metrics_path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| results_dir.join("BENCH_lint.json"));
+    if let Err(e) = bench::write_bench_json(&metrics_path, &manifest, &[], &metrics) {
+        eprintln!("error writing {}: {e}", metrics_path.display());
+        failed = true;
+    } else if !cli.quiet && format != "json" {
+        println!("wrote {}", metrics_path.display());
+    }
+
+    telemetry::info(
+        "lint.done",
+        vec![
+            ("files".to_string(), (run.files as u64).into()),
+            (
+                "findings".to_string(),
+                (run.diagnostics.len() as u64).into(),
+            ),
+            ("new".to_string(), (outcome.new.len() as u64).into()),
+            ("fixed".to_string(), outcome.fixed.into()),
+        ],
+    );
+    telemetry::flush();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

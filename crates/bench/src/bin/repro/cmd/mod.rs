@@ -1,0 +1,65 @@
+//! `repro` subcommands, one module each, plus the plumbing they share:
+//! telemetry installation and the txt/csv/json artifact-triplet writer.
+
+pub mod explore;
+pub mod lint;
+pub mod run;
+pub mod sim;
+
+use std::path::Path;
+use std::sync::Arc;
+
+use telemetry::Level;
+
+use crate::Cli;
+
+/// Installs the stderr telemetry pretty-printer at the verbosity the
+/// flags ask for, plus an optional JSONL event log.
+pub fn install_telemetry(cli: &Cli) -> Result<(), String> {
+    let stderr_level = if cli.trace {
+        Level::Debug
+    } else if cli.quiet {
+        Level::Warn
+    } else {
+        Level::Info
+    };
+    telemetry::set_min_level(if cli.trace { Level::Debug } else { Level::Info });
+    telemetry::install(Arc::new(telemetry::sink::StderrSink::new(stderr_level)));
+    if let Some(path) = &cli.jsonl {
+        match telemetry::sink::JsonlSink::create(path) {
+            Ok(sink) => telemetry::install(Arc::new(sink)),
+            Err(e) => return Err(format!("cannot open {}: {e}", path.display())),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one result's txt/csv/json artifact triplet into `dir`,
+/// printing the path (unless `quiet`) and the error on failure.
+/// Returns `false` when the write failed, so callers can fold it into
+/// their exit status.
+pub fn emit_artifacts(
+    dir: &Path,
+    result: &sudc::experiments::ExperimentResult,
+    quiet: bool,
+) -> bool {
+    match bench::write_artifacts_to(dir, result) {
+        Ok(path) => {
+            if !quiet {
+                println!("wrote {}", path.display());
+            }
+            true
+        }
+        Err(e) => {
+            telemetry::error(
+                "repro.write_failed",
+                vec![
+                    ("id".to_string(), result.id.as_str().into()),
+                    ("error".to_string(), e.to_string().into()),
+                ],
+            );
+            eprintln!("error writing artifacts for {}: {e}", result.id);
+            false
+        }
+    }
+}

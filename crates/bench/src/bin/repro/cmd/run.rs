@@ -1,0 +1,112 @@
+//! `repro <id>... | all` — run experiments and write their artifacts.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::ExperimentTiming;
+use sudc::experiments;
+use telemetry::RunManifest;
+
+use crate::Cli;
+
+pub fn exec(cli: &Cli) -> ExitCode {
+    if let Err(e) = super::install_telemetry(cli) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let ids: Vec<String> = if cli.ids.first().map(String::as_str) == Some("all") {
+        experiments::all()
+            .iter()
+            .map(|e| e.id.to_string())
+            .collect()
+    } else {
+        cli.ids.clone()
+    };
+    if ids.is_empty() {
+        eprintln!("error: no experiment ids given (try `repro list`)");
+        return ExitCode::FAILURE;
+    }
+
+    let results_dir = bench::results_dir();
+    let mut manifest = RunManifest::new("repro", sudc::sim::PAPER_SEED);
+    manifest.param("trace", cli.trace);
+    manifest.param("quiet", cli.quiet);
+    manifest.param("experiment_count", ids.len() as u64);
+    let metrics = telemetry::Metrics::new();
+    let mut timings: Vec<ExperimentTiming> = Vec::new();
+
+    let mut failed = false;
+    for id in &ids {
+        // lint:allow(wall-clock-in-model) harness wall-time report, not model time
+        let started = Instant::now();
+        match experiments::run(id) {
+            Some(result) => {
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                manifest.record_experiment(id);
+                metrics.inc("experiments.completed", 1);
+                metrics.observe("experiment.wall_ms", wall_ms);
+                timings.push(ExperimentTiming {
+                    id: id.clone(),
+                    wall_ms,
+                    rows: result.rows.len(),
+                    notes: result.notes.len(),
+                });
+                if !cli.quiet {
+                    println!("{}", result.to_text_table());
+                }
+                if super::emit_artifacts(&results_dir, &result, cli.quiet) {
+                    if !cli.quiet {
+                        println!();
+                    }
+                } else {
+                    failed = true;
+                }
+            }
+            None => {
+                metrics.inc("experiments.unknown", 1);
+                eprintln!("unknown experiment id: {id} (try `repro list`)");
+                failed = true;
+            }
+        }
+    }
+    manifest.finish();
+
+    match manifest.write_to(&results_dir) {
+        Ok(path) => telemetry::info(
+            "repro.manifest",
+            vec![("path".to_string(), path.display().to_string().into())],
+        ),
+        Err(e) => {
+            eprintln!("error writing run manifest: {e}");
+            failed = true;
+        }
+    }
+
+    let metrics_path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| results_dir.join("BENCH_repro.json"));
+    if let Err(e) = bench::write_bench_json(&metrics_path, &manifest, &timings, &metrics) {
+        eprintln!("error writing {}: {e}", metrics_path.display());
+        failed = true;
+    } else if !cli.quiet {
+        println!("wrote {}", metrics_path.display());
+    }
+
+    telemetry::info(
+        "repro.done",
+        vec![
+            ("experiments".to_string(), (timings.len() as u64).into()),
+            ("duration_s".to_string(), manifest.duration_s().into()),
+            ("failed".to_string(), failed.into()),
+        ],
+    );
+    telemetry::flush();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

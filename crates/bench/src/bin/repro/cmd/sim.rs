@@ -1,0 +1,328 @@
+//! `repro sim [--faults <scenario>] [--topology <shape>]` — run the
+//! constellation simulator under a named fault scenario next to its
+//! fault-free baseline (same config, same seed) and write an
+//! availability/goodput comparison artifact
+//! (`results/faults_<scenario>[_<topology>].{txt,csv,json}`) plus fault
+//! metrics (`faults.*`, `sim.reroutes`, `sim.availability`).
+
+use std::process::ExitCode;
+
+use sudc::sim::{try_run, FaultModel, SimConfig, SimTopology};
+use telemetry::RunManifest;
+
+use crate::Cli;
+
+/// One parsed `--topology` argument: the shape, the ingest-link
+/// override it implies, and how it appears in artifact ids and notes.
+struct TopologyChoice {
+    topology: SimTopology,
+    ingest_links: Option<usize>,
+    /// Artifact-id suffix; empty for the default ring so existing
+    /// `faults_<scenario>` artifacts keep their byte-identical names.
+    slug: String,
+    /// Human label for the report note.
+    label: String,
+}
+
+/// Parses `ring`, `klist:<k>`, `geo`, or `split:<factor>`.
+fn parse_topology(arg: &str) -> Result<TopologyChoice, String> {
+    if let Some(k) = arg.strip_prefix("klist:") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| format!("--topology klist wants an integer k, got '{arg}'"))?;
+        return Ok(TopologyChoice {
+            topology: SimTopology::Ring,
+            ingest_links: Some(k),
+            slug: format!("_klist{k}"),
+            label: format!("{k}-list ring"),
+        });
+    }
+    if let Some(factor) = arg.strip_prefix("split:") {
+        let factor: usize = factor
+            .parse()
+            .map_err(|_| format!("--topology split wants an integer factor, got '{arg}'"))?;
+        return Ok(TopologyChoice {
+            topology: SimTopology::SplitRing { factor },
+            ingest_links: None,
+            slug: format!("_split{factor}"),
+            label: format!("split ring (factor {factor})"),
+        });
+    }
+    match arg {
+        "ring" => Ok(TopologyChoice {
+            topology: SimTopology::Ring,
+            ingest_links: None,
+            slug: String::new(),
+            label: "ring".to_string(),
+        }),
+        "geo" => Ok(TopologyChoice {
+            topology: SimTopology::GeoStar,
+            ingest_links: None,
+            slug: "_geo".to_string(),
+            label: "GEO star".to_string(),
+        }),
+        _ => Err(format!(
+            "unknown topology '{arg}' (want ring, klist:<k>, geo, or split:<factor>)"
+        )),
+    }
+}
+
+/// Handles `repro sim list` and rejects stray operands; `None` means
+/// proceed into the run.
+fn handle_operands(cli: &Cli) -> Option<ExitCode> {
+    let operands = &cli.ids[1..];
+    if operands.first().map(String::as_str) == Some("list") {
+        println!("available fault scenarios:");
+        for name in FaultModel::scenario_names() {
+            println!("  {name}");
+        }
+        return Some(ExitCode::SUCCESS);
+    }
+    if let Some(op) = operands.first() {
+        eprintln!(
+            "error: unexpected operand '{op}' (usage: repro sim [list] [--faults <scenario>] \
+             [--topology <shape>])"
+        );
+        return Some(ExitCode::FAILURE);
+    }
+    None
+}
+
+pub fn exec(cli: &Cli) -> ExitCode {
+    if let Some(code) = handle_operands(cli) {
+        return code;
+    }
+
+    let scenario = cli.faults.clone().unwrap_or_else(|| "none".to_string());
+    let Some(model) = FaultModel::scenario(&scenario) else {
+        eprintln!("error: unknown fault scenario '{scenario}' (try `repro sim list`)");
+        return ExitCode::FAILURE;
+    };
+    let choice = match parse_topology(cli.topology.as_deref().unwrap_or("ring")) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Err(e) = super::install_telemetry(cli) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let seed = cli.seed.unwrap_or(sudc::sim::PAPER_SEED);
+    let minutes = cli.minutes.unwrap_or(2.0);
+    let clusters = cli.clusters.unwrap_or(4);
+
+    // Paper-reference plane (Table 8 regime) split into clusters so that
+    // cluster outages have somewhere to reroute to.
+    let mut cfg = SimConfig::paper_reference(
+        workloads::Application::AirPollution,
+        units::Length::from_m(3.0),
+        0.95,
+    );
+    cfg.topology = choice.topology;
+    if let Some(k) = choice.ingest_links {
+        cfg.ingest_links = k;
+    }
+    cfg.clusters = clusters;
+    cfg.duration = units::Time::from_minutes(minutes);
+    cfg.seed = seed;
+
+    // Validate once up front so bad --clusters/--topology combinations
+    // produce a diagnostic instead of a panic.
+    let baseline = match try_run(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: invalid sim configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    cfg.faults = model;
+    let faulted = match try_run(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: invalid sim configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut manifest = RunManifest::new("sim", seed);
+    manifest.param("scenario", scenario.as_str());
+    manifest.param("topology", choice.label.as_str());
+    manifest.param("minutes", minutes);
+    manifest.param("clusters", clusters as u64);
+    let metrics = fault_metrics(&baseline, &faulted);
+
+    let result = comparison_result(
+        &scenario, &choice, seed, minutes, clusters, &baseline, &faulted,
+    );
+
+    let out_dir = cli.out_dir.clone().unwrap_or_else(bench::results_dir);
+    manifest.record_experiment(&result.id);
+    manifest.finish();
+
+    let mut failed = false;
+    if !cli.quiet {
+        println!("{}", result.to_text_table());
+    }
+    if !super::emit_artifacts(&out_dir, &result, cli.quiet) {
+        failed = true;
+    }
+    if let Err(e) = manifest.write_to(&out_dir) {
+        eprintln!("error writing run manifest: {e}");
+        failed = true;
+    }
+    let metrics_path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| out_dir.join("BENCH_sim.json"));
+    if let Err(e) = bench::write_bench_json(&metrics_path, &manifest, &[], &metrics) {
+        eprintln!("error writing {}: {e}", metrics_path.display());
+        failed = true;
+    } else if !cli.quiet {
+        println!("wrote {}", metrics_path.display());
+    }
+
+    telemetry::info(
+        "sim.done",
+        vec![
+            ("scenario".to_string(), scenario.as_str().into()),
+            (
+                "availability".to_string(),
+                faulted.faults.availability.into(),
+            ),
+            ("goodput".to_string(), faulted.goodput.into()),
+            ("reroutes".to_string(), faulted.faults.reroutes.into()),
+            ("failed".to_string(), failed.into()),
+        ],
+    );
+    telemetry::flush();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Fault counters and availability/goodput gauges for `BENCH_sim.json`.
+fn fault_metrics(
+    baseline: &sudc::sim::SimReport,
+    faulted: &sudc::sim::SimReport,
+) -> telemetry::Metrics {
+    let metrics = telemetry::Metrics::new();
+    metrics.inc("faults.link_outages", faulted.faults.link_outages);
+    metrics.inc("faults.cluster_outages", faulted.faults.cluster_outages);
+    metrics.inc("faults.retries", faulted.faults.retries);
+    metrics.inc("sim.reroutes", faulted.faults.reroutes);
+    metrics.inc("faults.frames_corrupted", faulted.faults.frames_corrupted);
+    metrics.inc("faults.frames_shed", faulted.faults.frames_shed);
+    metrics.inc("faults.undeliverable", faulted.faults.undeliverable);
+    metrics.gauge("sim.availability", faulted.faults.availability);
+    metrics.gauge("sim.goodput", faulted.goodput);
+    metrics.gauge("sim.goodput_baseline", baseline.goodput);
+    metrics
+}
+
+/// Builds the baseline-vs-faulted comparison artifact
+/// (`faults_<scenario>[_<topology>]`), one metric per row.
+fn comparison_result(
+    scenario: &str,
+    choice: &TopologyChoice,
+    seed: u64,
+    minutes: f64,
+    clusters: usize,
+    baseline: &sudc::sim::SimReport,
+    faulted: &sudc::sim::SimReport,
+) -> sudc::experiments::ExperimentResult {
+    let id = format!("faults_{scenario}{}", choice.slug);
+    let mut result = sudc::experiments::ExperimentResult::new(
+        &id,
+        &format!("Fault injection: '{scenario}' vs fault-free baseline (seed {seed})"),
+        &["metric", "baseline", "faulted"],
+    );
+    let fmt4 = |v: f64| format!("{v:.4}");
+    let pairs: Vec<(&str, String, String)> = vec![
+        (
+            "generated",
+            baseline.generated.to_string(),
+            faulted.generated.to_string(),
+        ),
+        ("kept", baseline.kept.to_string(), faulted.kept.to_string()),
+        (
+            "processed",
+            baseline.processed.to_string(),
+            faulted.processed.to_string(),
+        ),
+        ("goodput", fmt4(baseline.goodput), fmt4(faulted.goodput)),
+        (
+            "mean_latency_s",
+            fmt4(baseline.mean_latency_s),
+            fmt4(faulted.mean_latency_s),
+        ),
+        (
+            "availability",
+            fmt4(baseline.faults.availability),
+            fmt4(faulted.faults.availability),
+        ),
+        (
+            "link_outages",
+            baseline.faults.link_outages.to_string(),
+            faulted.faults.link_outages.to_string(),
+        ),
+        (
+            "cluster_outages",
+            baseline.faults.cluster_outages.to_string(),
+            faulted.faults.cluster_outages.to_string(),
+        ),
+        (
+            "retries",
+            baseline.faults.retries.to_string(),
+            faulted.faults.retries.to_string(),
+        ),
+        (
+            "reroutes",
+            baseline.faults.reroutes.to_string(),
+            faulted.faults.reroutes.to_string(),
+        ),
+        (
+            "undeliverable",
+            baseline.faults.undeliverable.to_string(),
+            faulted.faults.undeliverable.to_string(),
+        ),
+        (
+            "frames_shed",
+            baseline.faults.frames_shed.to_string(),
+            faulted.faults.frames_shed.to_string(),
+        ),
+        (
+            "frames_corrupted",
+            baseline.faults.frames_corrupted.to_string(),
+            faulted.faults.frames_corrupted.to_string(),
+        ),
+        (
+            "lost_to_failures",
+            baseline.lost_to_failures.to_string(),
+            faulted.lost_to_failures.to_string(),
+        ),
+        (
+            "stable",
+            baseline.stable.to_string(),
+            faulted.stable.to_string(),
+        ),
+    ];
+    for (name, a, b) in pairs {
+        result.push_row([name.to_string(), a, b]);
+    }
+    result.note(format!(
+        "paper-reference {}, {clusters} clusters, {minutes} simulated minutes, seed {seed}",
+        choice.label
+    ));
+    result.note(
+        "same seed + same scenario reproduces this file byte-for-byte \
+         (see scripts/verify.sh determinism gate)",
+    );
+    result
+}

@@ -1,0 +1,314 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                     # list experiment ids
+//! repro <id> [<id>...]           # run specific experiments
+//! repro all                      # run everything (writes results/*.{txt,csv,json})
+//!
+//! flags:
+//!   --trace                      # debug-level telemetry on stderr
+//!   --quiet                      # suppress tables; warnings only
+//!   --metrics-out <path>         # machine-readable report (default results/BENCH_repro.json)
+//!   --jsonl <path>               # structured event log (JSON lines)
+//! ```
+//!
+//! Every run writes `results/repro_manifest.json` (seed, build, the
+//! experiment list, and timings) and a machine-readable
+//! `BENCH_repro.json` with per-experiment wall times.
+//!
+//! Each subcommand lives in its own module under [`cmd`]: `run`
+//! (experiments), `explore` (design-space sweeps), `sim` (fault-scenario
+//! simulation), and `lint` (static analysis).
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sudc::experiments;
+
+mod cmd;
+
+/// Parsed command line, shared by every subcommand (each reads the
+/// flags it understands).
+pub struct Cli {
+    pub ids: Vec<String>,
+    pub trace: bool,
+    pub quiet: bool,
+    pub metrics_out: Option<PathBuf>,
+    pub jsonl: Option<PathBuf>,
+    pub axes: Vec<(String, Vec<f64>)>,
+    pub threads: usize,
+    pub no_cache: bool,
+    pub bench: bool,
+    pub faults: Option<String>,
+    pub topology: Option<String>,
+    pub seed: Option<u64>,
+    pub minutes: Option<f64>,
+    pub clusters: Option<usize>,
+    pub out_dir: Option<PathBuf>,
+    pub rule: Option<String>,
+    pub format: Option<String>,
+    pub update_baseline: bool,
+    pub verbose: bool,
+}
+
+/// Parses an `--axis name=SPEC` argument. SPEC is a comma list
+/// (`2,4,8,16`), an inclusive integer range (`1..8`), or a
+/// `start:stop:step` float range (`0:0.99:0.05`, stop inclusive up to
+/// rounding).
+fn parse_axis_spec(arg: &str) -> Result<(String, Vec<f64>), String> {
+    let (name, spec) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("--axis wants name=values, got '{arg}'"))?;
+    if name.is_empty() {
+        return Err(format!("--axis wants name=values, got '{arg}'"));
+    }
+    let bad = |what: &str| format!("axis '{name}': cannot parse '{what}' in '{spec}'");
+    let values = if let Some((a, b)) = spec.split_once("..") {
+        let lo: i64 = a.parse().map_err(|_| bad(a))?;
+        let hi: i64 = b.parse().map_err(|_| bad(b))?;
+        if lo > hi {
+            return Err(format!("axis '{name}': empty range {lo}..{hi}"));
+        }
+        (lo..=hi).map(|v| v as f64).collect()
+    } else if spec.matches(':').count() == 2 {
+        let mut parts = spec.split(':');
+        let start: f64 = parts
+            .next()
+            .map_or(Err(bad(spec)), |p| p.parse().map_err(|_| bad(p)))?;
+        let stop: f64 = parts
+            .next()
+            .map_or(Err(bad(spec)), |p| p.parse().map_err(|_| bad(p)))?;
+        let step: f64 = parts
+            .next()
+            .map_or(Err(bad(spec)), |p| p.parse().map_err(|_| bad(p)))?;
+        if !(step > 0.0) || !start.is_finite() || !stop.is_finite() {
+            return Err(format!("axis '{name}': bad range '{spec}' (need step > 0)"));
+        }
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        loop {
+            let v = start + i as f64 * step;
+            if v > stop + step * 1e-9 {
+                break;
+            }
+            out.push(v);
+            i += 1;
+        }
+        out
+    } else {
+        spec.split(',')
+            .map(|p| p.trim().parse::<f64>().map_err(|_| bad(p)))
+            .collect::<Result<Vec<f64>, String>>()?
+    };
+    if values.is_empty() {
+        return Err(format!("axis '{name}': no values in '{spec}'"));
+    }
+    Ok((name.to_string(), values))
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        ids: Vec::new(),
+        trace: false,
+        quiet: false,
+        metrics_out: None,
+        jsonl: None,
+        axes: Vec::new(),
+        threads: 4,
+        no_cache: false,
+        bench: false,
+        faults: None,
+        topology: None,
+        seed: None,
+        minutes: None,
+        clusters: None,
+        out_dir: None,
+        rule: None,
+        format: None,
+        update_baseline: false,
+        verbose: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => cli.trace = true,
+            "--quiet" => cli.quiet = true,
+            "--metrics-out" => {
+                let path = it.next().ok_or("--metrics-out requires a path")?;
+                cli.metrics_out = Some(PathBuf::from(path));
+            }
+            "--jsonl" => {
+                let path = it.next().ok_or("--jsonl requires a path")?;
+                cli.jsonl = Some(PathBuf::from(path));
+            }
+            "--axis" => {
+                let spec = it.next().ok_or("--axis requires name=values")?;
+                cli.axes.push(parse_axis_spec(spec)?);
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads requires a count")?;
+                cli.threads = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--threads wants a count >= 1, got '{n}'"))?;
+            }
+            "--no-cache" => cli.no_cache = true,
+            "--bench" => cli.bench = true,
+            "--faults" => {
+                let name = it.next().ok_or("--faults requires a scenario name")?;
+                cli.faults = Some(name.clone());
+            }
+            "--topology" => {
+                let name = it
+                    .next()
+                    .ok_or("--topology requires ring|klist:<k>|geo|split:<factor>")?;
+                cli.topology = Some(name.clone());
+            }
+            "--seed" => {
+                let n = it.next().ok_or("--seed requires a number")?;
+                cli.seed = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| format!("--seed wants an integer, got '{n}'"))?,
+                );
+            }
+            "--minutes" => {
+                let n = it.next().ok_or("--minutes requires a duration")?;
+                cli.minutes = Some(
+                    n.parse::<f64>()
+                        .ok()
+                        .filter(|&m| m > 0.0 && m.is_finite())
+                        .ok_or_else(|| format!("--minutes wants a positive number, got '{n}'"))?,
+                );
+            }
+            "--clusters" => {
+                let n = it.next().ok_or("--clusters requires a count")?;
+                cli.clusters = Some(
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| format!("--clusters wants a count >= 1, got '{n}'"))?,
+                );
+            }
+            "--out-dir" => {
+                let path = it.next().ok_or("--out-dir requires a path")?;
+                cli.out_dir = Some(PathBuf::from(path));
+            }
+            "--rule" => {
+                let id = it.next().ok_or("--rule requires a rule id")?;
+                cli.rule = Some(id.clone());
+            }
+            "--format" => {
+                let fmt = it.next().ok_or("--format requires text|json")?;
+                if fmt != "text" && fmt != "json" {
+                    return Err(format!("--format wants text or json, got '{fmt}'"));
+                }
+                cli.format = Some(fmt.clone());
+            }
+            "--update-baseline" => cli.update_baseline = true,
+            "--verbose" => cli.verbose = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag} (try `repro help`)"));
+            }
+            id => cli.ids.push(id.to_string()),
+        }
+    }
+    if cli.trace && cli.quiet {
+        return Err("--trace and --quiet are mutually exclusive".to_string());
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cli.ids.first().map(String::as_str) {
+        Some("list") => {
+            println!("available experiments:");
+            for e in experiments::all() {
+                println!("  {:9}  {:9}  {}", e.id, e.paper_ref, e.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("explore") => cmd::explore::exec(&cli),
+        Some("sim") => cmd::sim::exec(&cli),
+        Some("lint") => cmd::lint::exec(&cli),
+        _ => cmd::run::exec(&cli),
+    }
+}
+
+fn usage() {
+    println!(
+        "repro — regenerate the Space Microdatacenters paper's tables and figures\n\
+         \n\
+         usage:\n\
+           repro list                 list experiment ids\n\
+           repro <id> [<id>...]       run specific experiments\n\
+           repro all                  run everything\n\
+           repro explore [sweep...]   run design-space sweeps through the\n\
+                                      explore engine (default: all sweeps\n\
+                                      plus a throughput benchmark)\n\
+           repro explore list         list sweeps and their axes\n\
+           repro sim                  run the constellation simulator under\n\
+                                      a fault scenario next to its fault-free\n\
+                                      baseline (availability/goodput report)\n\
+           repro sim list             list fault scenarios\n\
+           repro lint                 run workspace static analysis and gate\n\
+                                      against results/lint_baseline.json\n\
+                                      (new violations fail; baseline only\n\
+                                      shrinks)\n\
+           repro lint rules           list lint rules and fix hints\n\
+         \n\
+         flags:\n\
+           --trace                    debug-level telemetry on stderr\n\
+           --quiet                    suppress tables; warnings only\n\
+           --metrics-out <path>       machine-readable report\n\
+                                      (default results/BENCH_repro.json,\n\
+                                      or BENCH_explore.json for explore)\n\
+           --jsonl <path>             structured event log (JSON lines)\n\
+         \n\
+         explore flags:\n\
+           --axis name=VALUES         override one axis (one sweep only);\n\
+                                      VALUES is 2,4,8 or 1..8 or 0:0.9:0.1\n\
+           --threads <n>              worker threads (default 4; 1 = sequential)\n\
+           --no-cache                 skip the results/cache/ memo store\n\
+           --bench                    force the seq-vs-parallel benchmark\n\
+         \n\
+         sim flags:\n\
+           --faults <scenario>        fault scenario (default none;\n\
+                                      see `repro sim list`)\n\
+           --topology <shape>         ingest topology: ring (default),\n\
+                                      klist:<k>, geo, or split:<factor>\n\
+                                      (Sec. 8 SµDC splitting)\n\
+           --seed <n>                 RNG seed (default the paper seed)\n\
+           --minutes <m>              simulated minutes (default 2)\n\
+           --clusters <c>             SµDC count (default 4)\n\
+           --out-dir <path>           artifact directory (default results/)\n\
+         \n\
+         lint flags:\n\
+           --rule <id>                restrict the scan to one rule\n\
+           --format text|json         report format (default text)\n\
+           --verbose                  list grandfathered findings too\n\
+           --update-baseline          regenerate results/lint_baseline.json\n\
+                                      (refuses to grow the violation count;\n\
+                                      rules new to the baseline may add\n\
+                                      grandfathered entries once)\n\
+         \n\
+         artifacts are written to results/<id>.txt, .csv, and .json;\n\
+         every run also writes a results/*_manifest.json and the\n\
+         machine-readable wall-time report"
+    );
+}

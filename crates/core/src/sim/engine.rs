@@ -1,0 +1,952 @@
+//! The sim engine's event loop: composes the topology, transport, and
+//! service layers into the frame-level discrete-event simulation.
+//!
+//! The loop owns only the things no single layer can: the event
+//! calendar, frame bookkeeping (generated/kept/processed counters, the
+//! in-flight backlog), the early-discard draw, and report assembly.
+//! Routing questions go to [`super::topology`], link timing and outages
+//! to [`super::transport`], compute and SEU/shedding to
+//! [`super::service`]. Because every RNG draw comes from a stateless
+//! stream keyed exactly as in the pre-refactor monolith, seeded runs —
+//! fault-free and faulted alike — replay byte-identically.
+
+use imagery::earth::EarthModel;
+use orbit::groundtrack::subsatellite_point;
+use simkit::rng::{coin, RngFactory};
+use simkit::stats::Tally;
+use simkit::Scheduler;
+use units::{DataSize, Time};
+
+use crate::sim::faults::FaultSummary;
+use crate::sim::model::{ConfigError, DiscardPolicy, SimConfig, SimReport};
+use crate::sim::service::Service;
+use crate::sim::topology::{self, Topology};
+use crate::sim::transport::Transport;
+
+/// A frame moving through the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FrameInFlight {
+    created: Time,
+    bits: f64,
+    pixels: f64,
+    /// ISL hops taken so far (bounds rerouted frames).
+    hops: u32,
+    /// Routing direction: `true` once the frame fell back to
+    /// reverse-direction (away-from-home-SµDC) routing around a fault.
+    reversed: bool,
+    /// Which way a reversed frame walks the global ring: `true` for
+    /// `+stride`, `false` for `-stride` (chosen opposite to the frame's
+    /// forward direction at the point of rerouting).
+    rev_up: bool,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// Satellite `sat` images a frame.
+    Generate { sat: usize },
+    /// A frame finishes crossing the ISL out of `from` and arrives at the
+    /// next node toward the SµDC.
+    Hop { frame: FrameInFlight, from: usize },
+    /// A transmission blocked by a link outage retries from `from` after
+    /// exponential backoff (`attempt` retries already spent).
+    Retry {
+        frame: FrameInFlight,
+        from: usize,
+        attempt: u32,
+    },
+    /// The SµDC of `cluster` finishes processing a frame; `corrupted`
+    /// marks outputs silently ruined by an SEU.
+    Done {
+        cluster: usize,
+        created: Time,
+        corrupted: bool,
+    },
+}
+
+/// Per-run mutable state: the three layers plus the engine's own frame
+/// bookkeeping.
+struct State {
+    cfg: SimConfig,
+    topo: Box<dyn Topology>,
+    transport: Transport,
+    service: Service,
+    /// Bits in flight (accepted but not yet at a SµDC).
+    queued_bits: f64,
+    /// Per-frame payload constants for this configuration.
+    frame_bits: f64,
+    frame_pixels: f64,
+    generated: u64,
+    kept: u64,
+    processed: u64,
+    lost_to_failures: u64,
+    latency: Tally,
+    earth: EarthModel,
+    rng_factory: RngFactory,
+    /// Fault counters folded into [`FaultSummary`] at the end.
+    retries: u64,
+    reroutes: u64,
+    undeliverable: u64,
+    frames_shed: u64,
+    frames_corrupted: u64,
+}
+
+impl State {
+    fn new(cfg: &SimConfig) -> Self {
+        let n = cfg.plane.satellite_count();
+        let rng_factory = RngFactory::new(cfg.seed);
+        let topo = topology::from_config(cfg);
+        let transport = Transport::new(
+            n,
+            cfg.isl_capacity,
+            topo.hop_distance(&cfg.plane),
+            cfg.faults.link_outages,
+            cfg.faults.retry,
+            rng_factory,
+        );
+        // lint:allow(unwrap-in-lib) documented precondition: try_run validates first
+        let pixel_capacity = cfg
+            .unit_pixel_capacity()
+            .expect("application must be measured on the SµDC device");
+        let service = Service::new(cfg, topo.units(), pixel_capacity, rng_factory);
+        Self {
+            cfg: cfg.clone(),
+            topo,
+            transport,
+            service,
+            queued_bits: 0.0,
+            frame_bits: cfg.frame.frame_size(cfg.resolution).as_bits(),
+            frame_pixels: cfg.frame.pixels_at(cfg.resolution),
+            generated: 0,
+            kept: 0,
+            processed: 0,
+            lost_to_failures: 0,
+            latency: Tally::new(),
+            earth: EarthModel::paper(cfg.seed),
+            rng_factory,
+            retries: 0,
+            reroutes: 0,
+            undeliverable: 0,
+            frames_shed: 0,
+            frames_corrupted: 0,
+        }
+    }
+
+    fn keep_frame(&mut self, sat: usize, now: Time) -> bool {
+        match self.cfg.discard {
+            DiscardPolicy::Uniform(p) => {
+                let mut rng = self.rng_factory.stream(
+                    "discard",
+                    ((sat as u64) << 32) | (self.generated & 0xFFFF_FFFF),
+                );
+                !coin(&mut rng, p)
+            }
+            DiscardPolicy::ClearLandOnly => {
+                let pos = self
+                    .cfg
+                    .plane
+                    .position(sat, now)
+                    // lint:allow(unwrap-in-lib) sat < n by construction
+                    .expect("plane propagation is valid");
+                let point = subsatellite_point(pos, now);
+                // Sub-solar longitude drifts with time of day; start at 0.
+                let subsolar = (now.as_secs() / 86_400.0 * 360.0) % 360.0;
+                let truth = self.earth.ground_truth(&point, subsolar);
+                !truth.night && !truth.cloudy && !truth.ocean
+            }
+        }
+    }
+}
+
+/// Routes a frame out of `sat`, honouring link outages: an up link
+/// transmits; a down link retries with exponential backoff, then falls
+/// back to reverse-direction routing, and a frame whose both directions
+/// are dead is dropped as undeliverable. With no outage model this is
+/// exactly the transmit path.
+fn dispatch(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    mut frame: FrameInFlight,
+    sat: usize,
+    now: Time,
+    attempt: u32,
+) {
+    if st.transport.outages_modelled() {
+        let start = st.transport.next_start(sat, now);
+        if !st.transport.link_up(sat, frame.reversed, start) {
+            if let Some(delay) = st.transport.retry_delay_s(attempt) {
+                st.retries += 1;
+                sched.schedule_at(
+                    now + Time::from_secs(delay),
+                    Ev::Retry {
+                        frame,
+                        from: sat,
+                        attempt: attempt + 1,
+                    },
+                );
+            } else if frame.reversed || !st.topo.supports_reverse() {
+                // Both directions exhausted their retries (or there is no
+                // ring to fall back to): the frame dies.
+                st.undeliverable += 1;
+                st.queued_bits -= frame.bits;
+            } else {
+                // Forward path dead: fall back to the reverse ring.
+                st.reroutes += 1;
+                frame.reversed = true;
+                frame.rev_up = st.topo.reverse_direction_up(sat);
+                dispatch(st, sched, frame, sat, now, 0);
+            }
+            return;
+        }
+    }
+    let arrival = st.transport.transmit(sat, now, frame.bits);
+    sched.schedule_at(arrival, Ev::Hop { frame, from: sat });
+}
+
+/// Hands a frame that reached its SµDC to the service layer and
+/// schedules its completion.
+fn enqueue(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    frame: FrameInFlight,
+    cluster: usize,
+    now: Time,
+) {
+    let (done, corrupted) = st.service.admit(frame.pixels, cluster, now);
+    sched.schedule_at(
+        done,
+        Ev::Done {
+            cluster,
+            created: frame.created,
+            corrupted,
+        },
+    );
+}
+
+/// Satellite `sat` images a frame: draw the discard (and possibly shed)
+/// coins, launch survivors into the network, and schedule the next
+/// imaging period.
+fn on_generate(st: &mut State, sched: &mut Scheduler<Ev>, sat: usize, now: Time) {
+    st.generated += 1;
+    if st.keep_frame(sat, now) {
+        st.kept += 1;
+        if st.service.should_shed(sat, st.queued_bits) {
+            // Backlog-triggered graceful degradation: drop at the source
+            // rather than swamp the ring.
+            st.frames_shed += 1;
+        } else {
+            st.queued_bits += st.frame_bits;
+            let frame = FrameInFlight {
+                created: now,
+                bits: st.frame_bits,
+                pixels: st.frame_pixels,
+                hops: 0,
+                reversed: false,
+                rev_up: false,
+            };
+            dispatch(st, sched, frame, sat, now, 0);
+        }
+    }
+    sched.schedule_in(st.cfg.frame.period, Ev::Generate { sat });
+}
+
+/// A reverse-routed frame walks the global ring until it passes a live
+/// SµDC's ingest window (or runs out of hops).
+fn on_reverse_hop(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    frame: FrameInFlight,
+    from: usize,
+    now: Time,
+) {
+    let p = st.topo.reverse_next(from, frame.rev_up);
+    let delivery = match st.topo.reverse_window(p) {
+        Some(c) if !st.service.cluster_failed(c, now) => Some(c),
+        _ => None,
+    };
+    if let Some(cluster) = delivery {
+        st.queued_bits -= frame.bits;
+        enqueue(st, sched, frame, cluster, now);
+    } else if frame.hops as usize > 2 * st.cfg.plane.satellite_count() {
+        st.undeliverable += 1;
+        st.queued_bits -= frame.bits;
+    } else {
+        let mut f = frame;
+        f.hops += 1;
+        dispatch(st, sched, f, p, now, 0);
+    }
+}
+
+/// A forward-routed frame arrives at the next node: relay onward, or
+/// enter the home SµDC's compute queue — unless that SµDC has failed, in
+/// which case the frame is rerouted (ring + active faults) or lost.
+fn on_forward_hop(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    frame: FrameInFlight,
+    from: usize,
+    now: Time,
+) {
+    match st.topo.next_hop(from) {
+        Some(next) => {
+            let mut f = frame;
+            f.hops += 1;
+            dispatch(st, sched, f, next, now, 0);
+        }
+        None => {
+            let cluster = st.topo.home_cluster(from);
+            if st.service.cluster_failed(cluster, now) {
+                if st.topo.supports_reverse() && st.cfg.faults.active() {
+                    st.reroutes += 1;
+                    let mut f = frame;
+                    f.reversed = true;
+                    f.rev_up = st.topo.reverse_direction_up(from);
+                    f.hops += 1;
+                    dispatch(st, sched, f, from, now, 0);
+                } else {
+                    st.queued_bits -= frame.bits;
+                    st.lost_to_failures += 1;
+                }
+                return;
+            }
+            st.queued_bits -= frame.bits;
+            enqueue(st, sched, frame, cluster, now);
+        }
+    }
+}
+
+/// A SµDC finishes a frame. Work completing on a cluster that died in
+/// the meantime dies with it instead of being credited as processed.
+fn on_done(st: &mut State, cluster: usize, created: Time, corrupted: bool, now: Time) {
+    if st.service.cluster_failed(cluster, now) {
+        st.lost_to_failures += 1;
+    } else if corrupted {
+        st.frames_corrupted += 1;
+    } else {
+        st.processed += 1;
+        st.latency.record((now - created).as_secs());
+    }
+}
+
+/// Assembles the report: utilisation from the layers' busy-time
+/// high-water marks, stability from goodput and residual backlog, and
+/// the fault summary folded out of the outage processes.
+fn report(mut st: State, sched: &Scheduler<Ev>, cfg: &SimConfig) -> SimReport {
+    let n = cfg.plane.satellite_count();
+    let units = st.topo.units();
+    // Utilisation: scheduled busy time of ingest links and SµDC pipelines
+    // relative to the horizon (values beyond the horizon mean saturation).
+    let horizon = cfg.duration.as_secs();
+    let ingest: Vec<f64> = (0..n)
+        .filter(|&s| st.topo.next_hop(s).is_none())
+        .map(|s| (st.transport.busy_s(s) / horizon).min(1.0))
+        .collect();
+    let ingest_utilization = ingest.iter().sum::<f64>() / ingest.len().max(1) as f64;
+    let compute_utilization = (0..units)
+        .map(|c| (st.service.busy_s(c) / horizon).min(1.0))
+        .sum::<f64>()
+        / units as f64;
+
+    let goodput = if st.kept == 0 {
+        1.0
+    } else {
+        st.processed as f64 / st.kept as f64
+    };
+    // Stable if goodput is near 1 and residual backlog is within a few
+    // seconds of ingest work.
+    let residual = DataSize::from_bits(st.queued_bits.max(0.0));
+    let per_cluster_ingest = cfg.ingest_links as f64 * cfg.isl_capacity.as_bps();
+    let stable = goodput > 0.9 && residual.as_bits() < per_cluster_ingest * units as f64 * 3.0;
+
+    // Fold the fault processes into the summary: count outage windows
+    // that began within the horizon and average availability over every
+    // modelled process (1.0 when nothing is modelled).
+    let mut fault_summary = FaultSummary {
+        retries: st.retries,
+        reroutes: st.reroutes,
+        undeliverable: st.undeliverable,
+        frames_shed: st.frames_shed,
+        frames_corrupted: st.frames_corrupted,
+        ..FaultSummary::default()
+    };
+    let mut avail = (0.0, 0usize);
+    st.transport
+        .fold_outages(horizon, &mut fault_summary, &mut avail);
+    st.service
+        .fold_outages(horizon, &mut fault_summary, &mut avail);
+    if avail.1 > 0 {
+        fault_summary.availability = avail.0 / avail.1 as f64;
+    }
+
+    if telemetry::level_enabled(telemetry::Level::Debug) {
+        if let Some(rep) = sched.probe_report() {
+            telemetry::debug("sim.scheduler", rep.fields());
+        }
+        if cfg.faults.active() {
+            telemetry::debug(
+                "sim.faults",
+                vec![
+                    ("link_outages".into(), fault_summary.link_outages.into()),
+                    (
+                        "cluster_outages".into(),
+                        fault_summary.cluster_outages.into(),
+                    ),
+                    ("retries".into(), fault_summary.retries.into()),
+                    ("reroutes".into(), fault_summary.reroutes.into()),
+                    (
+                        "frames_corrupted".into(),
+                        fault_summary.frames_corrupted.into(),
+                    ),
+                    ("frames_shed".into(), fault_summary.frames_shed.into()),
+                    ("availability".into(), fault_summary.availability.into()),
+                ],
+            );
+        }
+    }
+
+    SimReport {
+        generated: st.generated,
+        kept: st.kept,
+        processed: st.processed,
+        discard_rate: if st.generated == 0 {
+            0.0
+        } else {
+            1.0 - st.kept as f64 / st.generated as f64
+        },
+        mean_latency_s: st.latency.mean(),
+        max_latency_s: st.latency.max().unwrap_or(0.0),
+        ingest_utilization,
+        compute_utilization,
+        residual_backlog: residual,
+        lost_to_failures: st.lost_to_failures,
+        goodput,
+        stable,
+        scheduler: sched.probe_counters().unwrap_or_default(),
+        faults: fault_summary,
+    }
+}
+
+/// Runs the simulation, reporting invalid configurations as a
+/// diagnostic instead of panicking.
+///
+/// # Panics
+///
+/// Panics if the (application, device) pair has no measurement.
+pub fn try_run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
+    cfg.validate()?;
+    let n = cfg.plane.satellite_count();
+    let mut st = State::new(cfg);
+
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    sched.enable_probe();
+    // Stagger first frames uniformly over one period to avoid a thundering
+    // herd at t = 0.
+    let period = cfg.frame.period;
+    for sat in 0..n {
+        let offset = period * (sat as f64 / n as f64);
+        sched.schedule_at(offset, Ev::Generate { sat });
+    }
+
+    simkit::run_until(&mut sched, &mut st, cfg.duration, |st, sched, ev| {
+        let now = ev.time;
+        match ev.payload {
+            Ev::Generate { sat } => on_generate(st, sched, sat, now),
+            Ev::Hop { frame, from } if frame.reversed => {
+                on_reverse_hop(st, sched, frame, from, now)
+            }
+            Ev::Hop { frame, from } => on_forward_hop(st, sched, frame, from, now),
+            Ev::Retry {
+                frame,
+                from,
+                attempt,
+            } => dispatch(st, sched, frame, from, now, attempt),
+            Ev::Done {
+                cluster,
+                created,
+                corrupted,
+            } => on_done(st, cluster, created, corrupted, now),
+        }
+    });
+
+    Ok(report(st, &sched, cfg))
+}
+
+/// Runs the simulation and returns its report.
+///
+/// # Panics
+///
+/// Panics on invalid configurations (zero clusters, cluster size not
+/// dividing the ring) and if the (application, device) pair has no
+/// measurement.
+pub fn run(cfg: &SimConfig) -> SimReport {
+    // lint:allow(unwrap-in-lib) legacy panicking wrapper; the fallible path is try_run
+    try_run(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::model::SimTopology;
+    use crate::sizing::SudcSpec;
+    use units::{DataRate, Length};
+    use workloads::{Application, Device};
+
+    fn quick(app: Application, res_m: f64, discard: f64, clusters: usize) -> SimReport {
+        let mut cfg = SimConfig::paper_reference(app, Length::from_m(res_m), discard);
+        cfg.clusters = clusters;
+        cfg.duration = Time::from_minutes(2.0);
+        run(&cfg)
+    }
+
+    #[test]
+    fn generation_count_matches_schedule() {
+        let r = quick(Application::AirPollution, 3.0, 0.0, 1);
+        // 64 satellites × (120 s / 1.5 s) = 5120 frames, plus satellite
+        // 0's frame landing exactly on the closed horizon boundary.
+        assert_eq!(r.generated, 64 * 80 + 1);
+        assert_eq!(r.kept, r.generated);
+        assert_eq!(r.discard_rate, 0.0);
+    }
+
+    #[test]
+    fn uniform_discard_rate_is_achieved() {
+        let r = quick(Application::AirPollution, 3.0, 0.95, 1);
+        assert!(
+            (r.discard_rate - 0.95).abs() < 0.02,
+            "achieved {}",
+            r.discard_rate
+        );
+    }
+
+    #[test]
+    fn easy_configuration_is_stable_with_low_latency() {
+        // 3 m, 95% discard, 10 Gbit/s, APP on a 4 kW 3090: trivially
+        // sustainable.
+        let r = quick(Application::AirPollution, 3.0, 0.95, 1);
+        assert!(r.stable, "{r:?}");
+        assert!(r.goodput > 0.95);
+        assert!(r.mean_latency_s < 5.0, "mean latency {}", r.mean_latency_s);
+    }
+
+    #[test]
+    fn isl_overload_is_detected() {
+        // 30 cm no discard: per-sat rate ≈ 20 Gbit/s ≫ 2 × 10 Gbit/s
+        // ingest. Backlog must explode even though TM compute is cheap.
+        let r = quick(Application::TrafficMonitoring, 0.3, 0.0, 1);
+        assert!(!r.stable, "{r:?}");
+        assert!(r.goodput < 0.5);
+        assert!(r.ingest_utilization > 0.95);
+    }
+
+    #[test]
+    fn compute_overload_is_detected() {
+        // 1 m, 50% discard: ingest is 64 × 1.8 Gbit/s × 0.5 ≈ 58 Gbit/s
+        // split over many relay chains — but FD compute (307 kpx/s/W ×
+        // 4 kW ≈ 1.23 Gpx/s) is under the 64 × 75.5 Mpx/s × 0.5 ≈
+        // 2.4 Gpx/s demand.
+        let r = quick(Application::FloodDetection, 1.0, 0.5, 1);
+        assert!(!r.stable, "{r:?}");
+        assert!(r.compute_utilization > 0.95);
+    }
+
+    #[test]
+    fn splitting_into_clusters_restores_stability() {
+        let one = quick(Application::FloodDetection, 1.0, 0.5, 1);
+        let four = quick(Application::FloodDetection, 1.0, 0.5, 4);
+        assert!(!one.stable);
+        assert!(four.stable, "{four:?}");
+    }
+
+    #[test]
+    fn classifier_discard_is_aggressive() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::CropMonitoring, Length::from_m(3.0), 0.0);
+        cfg.discard = DiscardPolicy::ClearLandOnly;
+        cfg.clusters = 4;
+        cfg.duration = Time::from_minutes(3.0);
+        let r = run(&cfg);
+        // Clear daytime land ≈ (1 − night 0.5) × (1 − ocean 0.7) ×
+        // (1 − cloud 0.67) ≈ 5% kept; the orbit samples latitudes
+        // unevenly so allow a wide band around the Table 3 composite.
+        assert!(
+            r.discard_rate > 0.80 && r.discard_rate < 0.999,
+            "achieved {}",
+            r.discard_rate
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = quick(Application::UrbanEmergency, 1.0, 0.5, 2);
+        let b = quick(Application::UrbanEmergency, 1.0, 0.5, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scheduler_counters_are_populated_and_reproducible() {
+        let a = quick(Application::AirPollution, 3.0, 0.5, 1);
+        let b = quick(Application::AirPollution, 3.0, 0.5, 1);
+        assert!(a.scheduler.scheduled > 0, "{:?}", a.scheduler);
+        assert!(a.scheduler.processed > 0);
+        assert!(a.scheduler.peak_queue_depth > 0);
+        // Horizon cutoff: some scheduled events go unprocessed.
+        assert!(a.scheduler.processed <= a.scheduler.scheduled);
+        assert_eq!(
+            a.scheduler, b.scheduler,
+            "counters must be seed-deterministic"
+        );
+    }
+
+    #[test]
+    fn different_seed_changes_discard_draws() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::UrbanEmergency, Length::from_m(1.0), 0.5);
+        cfg.duration = Time::from_minutes(1.0);
+        let a = run(&cfg);
+        cfg.seed ^= 0xDEAD_BEEF;
+        let b = run(&cfg);
+        assert_ne!(a.kept, b.kept, "seed should perturb the discard coin");
+    }
+
+    #[test]
+    fn ai100_sudc_processes_more() {
+        let mut cfg = SimConfig::paper_reference(Application::OilSpill, Length::from_m(1.0), 0.5);
+        cfg.duration = Time::from_minutes(2.0);
+        let gpu = run(&cfg);
+        cfg.sudc = SudcSpec::paper_4kw(Device::CloudAi100);
+        let acc = run(&cfg);
+        assert!(acc.processed >= gpu.processed);
+        assert!(acc.compute_utilization < gpu.compute_utilization);
+    }
+
+    #[test]
+    fn klist_ingest_relieves_the_isl_bottleneck() {
+        // TM at 1 m / no discard: 64 × 1.81 Gbit/s of frames against a
+        // single SµDC. A plain ring (2 × 10 Gbit/s ingest) drowns; a
+        // 16-list (16 × 10 Gbit/s) carries it, and TM compute
+        // (10.4 Gpx/s at 4 kW) absorbs the 4.8 Gpx/s demand.
+        let mut cfg =
+            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_m(1.0), 0.0);
+        cfg.duration = Time::from_minutes(2.0);
+        let ring = run(&cfg);
+        assert!(!ring.stable, "{ring:?}");
+
+        cfg.ingest_links = 16;
+        let klist = run(&cfg);
+        assert!(klist.stable, "{klist:?}");
+        assert!(klist.goodput > ring.goodput + 0.3);
+    }
+
+    #[test]
+    fn klist_scaling_matches_sec8_factor() {
+        // Sec. 8: "the number of EO satellites supported by a k-list
+        // topology cluster is k/2 times those shown in Table 8". At a
+        // capacity where a ring supports 10 of 16 satellites per
+        // cluster, a 4-list supports 20 ≥ 16.
+        let mut cfg =
+            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_m(1.0), 0.0);
+        cfg.clusters = 4; // 16 satellites each
+        cfg.duration = Time::from_minutes(2.0);
+        let ring = run(&cfg);
+        assert!(!ring.stable, "ring supports only 10 of 16: {ring:?}");
+        cfg.ingest_links = 4;
+        let four = run(&cfg);
+        assert!(four.stable, "4-list supports 20 ≥ 16: {four:?}");
+    }
+
+    #[test]
+    fn geo_star_carries_what_a_ring_cannot() {
+        // 30 cm imagery without discard generates ~20 Gbit/s per
+        // satellite: no LEO ring arc can relay 64 of those through two
+        // (or even sixteen) 10 Gbit/s ingest links. With dedicated
+        // 25 Gbit/s LEO→GEO uplinks and three large GEO SµDCs, the
+        // network side clears — exactly the Sec. 9 argument for the star.
+        let mut cfg =
+            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_cm(30.0), 0.0);
+        cfg.duration = Time::from_minutes(1.5);
+        cfg.ingest_links = 16;
+        let ring = run(&cfg);
+        assert!(!ring.stable, "{ring:?}");
+
+        cfg.topology = SimTopology::GeoStar;
+        cfg.clusters = 3;
+        cfg.isl_capacity = DataRate::from_gbps(25.0);
+        cfg.sudc = SudcSpec::station_256kw(Device::Rtx3090);
+        let star = run(&cfg);
+        assert!(star.stable, "{star:?}");
+        // GEO adds ~0.13 s of propagation to every frame.
+        assert!(
+            star.mean_latency_s > 0.12,
+            "latency {}",
+            star.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn single_sudc_failure_loses_everything_after_it() {
+        // One SµDC, fails at the midpoint: roughly half the frames are
+        // lost — the all-eggs-in-one-basket case of Sec. 9.
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.duration = Time::from_minutes(2.0);
+        cfg.failures = vec![(0, Time::from_minutes(1.0))];
+        let r = run(&cfg);
+        let lost_frac = r.lost_to_failures as f64 / r.kept as f64;
+        assert!(
+            (0.35..0.65).contains(&lost_frac),
+            "lost fraction {lost_frac}"
+        );
+        assert!(!r.stable);
+    }
+
+    #[test]
+    fn split_fleet_degrades_gracefully_under_one_failure() {
+        // Four SµDCs, one fails: ~1/4 of frames lost, the rest keep
+        // flowing — the resilience payoff of splitting/disaggregation.
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.clusters = 4;
+        cfg.duration = Time::from_minutes(2.0);
+        cfg.failures = vec![(2, Time::ZERO)];
+        let r = run(&cfg);
+        let lost_frac = r.lost_to_failures as f64 / r.kept as f64;
+        assert!(
+            (0.15..0.35).contains(&lost_frac),
+            "lost fraction {lost_frac}"
+        );
+        assert!(
+            r.processed as f64 / r.kept as f64 > 0.6,
+            "surviving clusters keep processing: {r:?}"
+        );
+    }
+
+    #[test]
+    fn no_failures_means_no_losses() {
+        let r = quick(Application::AirPollution, 3.0, 0.95, 2);
+        assert_eq!(r.lost_to_failures, 0);
+        assert_eq!(r.faults, crate::sim::FaultSummary::default());
+        assert_eq!(r.faults.availability, 1.0);
+    }
+
+    #[test]
+    fn queued_work_dies_with_the_cluster() {
+        // Regression: frames already *inside* a SµDC's compute queue when
+        // it fails must not be credited as processed. With one cluster
+        // failing at T, the processed count must equal a fault-free run
+        // truncated at T — everything completing after T died with the
+        // SµDC. (Previously the failure check ran only at frame arrival,
+        // so in-queue frames kept completing on dead hardware.)
+        let t_fail = Time::from_secs(61.3);
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.duration = Time::from_minutes(2.0);
+        cfg.failures = vec![(0, t_fail)];
+        let failed = run(&cfg);
+
+        let mut truncated = cfg.clone();
+        truncated.failures.clear();
+        truncated.duration = t_fail;
+        let baseline = run(&truncated);
+
+        assert_eq!(
+            failed.processed, baseline.processed,
+            "no frame may finish on a dead SµDC: {failed:?}"
+        );
+        assert!(failed.lost_to_failures > 0);
+    }
+
+    fn with_scenario(app: Application, res_m: f64, discard: f64, scenario: &str) -> SimConfig {
+        let mut cfg = SimConfig::paper_reference(app, Length::from_m(res_m), discard);
+        cfg.duration = Time::from_minutes(2.0);
+        cfg.faults = crate::sim::FaultModel::scenario(scenario).expect("known scenario");
+        cfg
+    }
+
+    #[test]
+    fn flaky_links_retry_reroute_and_degrade() {
+        let cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "flaky_links");
+        let r = run(&cfg);
+        assert_eq!(r, run(&cfg), "same seed, same faults, same report");
+        assert!(r.faults.link_outages > 0, "{:?}", r.faults);
+        assert!(r.faults.retries > 0, "{:?}", r.faults);
+        assert!(r.faults.reroutes > 0, "{:?}", r.faults);
+        assert!(r.faults.availability < 1.0 && r.faults.availability > 0.5);
+
+        let mut clean = cfg.clone();
+        clean.faults = crate::sim::FaultModel::none();
+        let baseline = run(&clean);
+        assert!(
+            r.goodput <= baseline.goodput,
+            "{} vs {}",
+            r.goodput,
+            baseline.goodput
+        );
+        // Every kept frame is accounted for: processed, corrupted, lost,
+        // or still somewhere in flight at the horizon.
+        assert!(r.processed + r.faults.undeliverable + r.lost_to_failures <= r.kept);
+    }
+
+    #[test]
+    fn seu_storm_corrupts_output_and_slows_compute() {
+        let cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "seu_storm");
+        let r = run(&cfg);
+        let mut clean = cfg.clone();
+        clean.faults = crate::sim::FaultModel::none();
+        let baseline = run(&clean);
+        assert!(r.faults.frames_corrupted > 0, "{:?}", r.faults);
+        assert!(r.processed < baseline.processed);
+        assert!(r.goodput < baseline.goodput);
+        // Corruption is silent: the work was still done, only wasted.
+        assert_eq!(r.kept, baseline.kept, "SEUs do not change the discard draw");
+    }
+
+    #[test]
+    fn cluster_outages_reroute_to_live_sudcs() {
+        let mut cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "cluster_loss");
+        cfg.clusters = 4;
+        let r = run(&cfg);
+        assert!(r.faults.cluster_outages > 0, "{:?}", r.faults);
+        assert!(r.faults.reroutes > 0, "{:?}", r.faults);
+        // Rerouting keeps goodput well above the availability floor a
+        // lose-everything policy would imply.
+        let mut clean = cfg.clone();
+        clean.faults = crate::sim::FaultModel::none();
+        let baseline = run(&clean);
+        assert!(r.goodput <= baseline.goodput);
+        assert!(
+            r.processed as f64 > 0.5 * baseline.processed as f64,
+            "rerouting should preserve most throughput: {r:?}"
+        );
+    }
+
+    #[test]
+    fn combined_scenario_sheds_load_under_backlog() {
+        // TM at 1 m with no discard swamps a plain ring: the backlog
+        // crosses the combined scenario's shedding threshold and sources
+        // start dropping frames instead of feeding the pile-up.
+        let cfg = with_scenario(Application::TrafficMonitoring, 1.0, 0.0, "combined");
+        let r = run(&cfg);
+        assert_eq!(r, run(&cfg), "combined scenario stays deterministic");
+        assert!(r.faults.frames_shed > 0, "{:?}", r.faults);
+        assert!(r.faults.link_outages > 0);
+        assert!(r.kept > r.processed);
+    }
+
+    #[test]
+    fn fault_free_runs_ignore_fault_plumbing() {
+        // A FaultModel::none() run must report exactly what the simulator
+        // reported before fault injection existed: zero fault statistics
+        // and identical core counters regardless of the retry policy.
+        let mut a = SimConfig::paper_reference(Application::OilSpill, Length::from_m(1.0), 0.5);
+        a.duration = Time::from_minutes(1.0);
+        let mut b = a.clone();
+        b.faults.retry = crate::sim::RetrySpec {
+            max_retries: 99,
+            base_backoff: Time::from_secs(7.0),
+            factor: 3.0,
+        };
+        assert_eq!(run(&a), run(&b), "retry policy is inert without outages");
+    }
+
+    #[test]
+    fn geo_star_does_not_require_divisible_clusters() {
+        // 64 satellites over 3 GEO nodes: fine for a star, illegal for a
+        // ring.
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.topology = SimTopology::GeoStar;
+        cfg.clusters = 3;
+        cfg.duration = Time::from_minutes(1.0);
+        let r = run(&cfg);
+        assert!(r.stable, "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even ingest_links")]
+    fn odd_klist_panics() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.0);
+        cfg.ingest_links = 3;
+        let _ = run(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the ring")]
+    fn invalid_cluster_count_panics() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.0);
+        cfg.clusters = 7; // 64 % 7 != 0
+        let _ = run(&cfg);
+    }
+
+    #[test]
+    fn try_run_reports_bad_configs_as_errors() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.0);
+        cfg.ingest_links = 3;
+        assert!(try_run(&cfg).is_err());
+        cfg.ingest_links = 2;
+        cfg.clusters = 7;
+        assert!(try_run(&cfg).is_err());
+        cfg.clusters = 4;
+        assert!(try_run(&cfg).is_ok());
+    }
+
+    #[test]
+    fn split_factor_one_matches_the_plain_ring_exactly() {
+        let mut ring =
+            SimConfig::paper_reference(Application::FloodDetection, Length::from_m(1.0), 0.5);
+        ring.clusters = 4;
+        ring.duration = Time::from_minutes(2.0);
+        let mut split = ring.clone();
+        split.topology = SimTopology::SplitRing { factor: 1 };
+        assert_eq!(run(&ring), run(&split), "factor 1 is the identity split");
+    }
+
+    #[test]
+    fn split_ring_relieves_the_isl_bottleneck() {
+        // TM at 1 m / no discard over one arc drowns a plain ring (the
+        // klist test above); splitting the arc into 8 sub-SµDCs shortens
+        // every relay chain 8×, which clears the network side while TM
+        // compute is cheap enough that power/8 per sub-SµDC still keeps
+        // up — the paper's Sec. 8 splitting argument.
+        let mut cfg =
+            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_m(1.0), 0.0);
+        cfg.duration = Time::from_minutes(2.0);
+        let ring = run(&cfg);
+        assert!(!ring.stable, "{ring:?}");
+
+        cfg.topology = SimTopology::SplitRing { factor: 8 };
+        let split = run(&cfg);
+        assert!(split.stable, "{split:?}");
+        assert!(split.goodput > ring.goodput + 0.3);
+    }
+
+    #[test]
+    fn split_ring_divides_compute_not_multiplies_it() {
+        // FD at 1 m / 50% discard is compute-bound: splitting divides
+        // each sub-SµDC's capacity by the factor, so total compute is
+        // unchanged and the configuration must stay overloaded (unlike
+        // adding whole clusters, which multiplies compute).
+        let mut cfg =
+            SimConfig::paper_reference(Application::FloodDetection, Length::from_m(1.0), 0.5);
+        cfg.duration = Time::from_minutes(2.0);
+        let whole = run(&cfg);
+        assert!(!whole.stable, "{whole:?}");
+
+        cfg.topology = SimTopology::SplitRing { factor: 4 };
+        let split = run(&cfg);
+        assert!(!split.stable, "splitting adds no compute: {split:?}");
+        assert!(split.compute_utilization > 0.95);
+    }
+
+    #[test]
+    fn split_ring_is_seed_deterministic() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.clusters = 2;
+        cfg.topology = SimTopology::SplitRing { factor: 4 };
+        cfg.duration = Time::from_minutes(2.0);
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+}

@@ -1,9 +1,29 @@
 //! Frame-level discrete-event simulation of an EO constellation feeding
-//! SµDCs (placeholder module file; see submodules).
+//! SµDCs, as a layered engine:
+//!
+//! ```text
+//! topology  (where frames go: ring / k-list / geo star / split ring)
+//!    ↓
+//! transport (when they move: ISL occupancy, outages, retry/backoff)
+//!    ↓
+//! service   (what happens on arrival: compute queue, SEU, shedding)
+//!    ↓
+//! engine    (event loop + collectors → SimReport)
+//! ```
+//!
+//! `model` holds the configuration and report types; `faults` the
+//! fault-injection model. Seeded runs replay byte-identically across
+//! the layer seams — see DESIGN.md for the contract.
+pub mod engine;
 pub mod faults;
 pub mod model;
+pub mod service;
+pub mod topology;
+pub mod transport;
+pub use engine::{run, try_run};
 pub use faults::{
     ClusterOutageSpec, DegradationSpec, FaultModel, FaultSummary, LinkOutageSpec, RetrySpec,
     SeuSpec,
 };
 pub use model::*;
+pub use topology::Topology;

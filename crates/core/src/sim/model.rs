@@ -1,5 +1,5 @@
-//! Frame-level discrete-event simulation of an EO constellation feeding
-//! ring-topology SµDCs.
+//! Configuration and report types for the frame-level discrete-event
+//! simulation of an EO constellation feeding SµDCs.
 //!
 //! Every 1.5 s each EO satellite images a frame. Surviving frames (early
 //! discard is either a uniform coin or driven by the procedural Earth
@@ -9,16 +9,15 @@
 //! end-to-end latency, link and compute utilisation, and backlog — and is
 //! used to cross-validate the closed-form Table 8 / Fig. 11 model (see
 //! `tests/sim_vs_model.rs`).
+//!
+//! The simulation itself lives in the layered engine next door:
+//! [`super::topology`] (where frames go), [`super::transport`] (when
+//! they move), [`super::service`] (what happens on arrival), and
+//! [`super::engine`] (the event loop composing them).
 
 use constellation::OrbitalPlane;
-use imagery::earth::EarthModel;
 use imagery::FrameSpec;
-use orbit::groundtrack::subsatellite_point;
 use serde::{Deserialize, Serialize};
-use simkit::faults::{Backoff, OutageProcess};
-use simkit::rng::{coin, RngFactory};
-use simkit::stats::Tally;
-use simkit::Scheduler;
 use units::{DataRate, DataSize, Length, Time};
 use workloads::Application;
 
@@ -40,6 +39,14 @@ pub enum SimTopology {
     /// whichever-node-is-visible); no relaying, ~0.13 s of uplink
     /// propagation delay.
     GeoStar,
+    /// SµDC splitting (Sec. 8): each of the `clusters` arcs is served by
+    /// `factor` smaller SµDCs sized at `power/factor`, so the ring has
+    /// `clusters × factor` service units over proportionally shorter
+    /// arcs. `factor = 1` is exactly [`SimTopology::Ring`].
+    SplitRing {
+        /// How many sub-SµDCs share each original arc.
+        factor: usize,
+    },
 }
 
 /// How frames are selected for early discard.
@@ -54,6 +61,71 @@ pub enum DiscardPolicy {
     ClearLandOnly,
 }
 
+/// Why a [`SimConfig`] cannot be simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `clusters` is zero.
+    NoClusters,
+    /// `ingest_links` is odd or below 2 (k-lists stripe arc sides into
+    /// `k/2` chains, so `k` must be even).
+    OddIngestLinks {
+        /// The rejected `ingest_links` value.
+        ingest_links: usize,
+    },
+    /// A ring topology whose `clusters` does not divide the satellite
+    /// count into equal arcs.
+    IndivisibleRing {
+        /// Satellites in the ring.
+        satellites: usize,
+        /// The rejected cluster count.
+        clusters: usize,
+    },
+    /// A [`SimTopology::SplitRing`] with `factor == 0`.
+    ZeroSplitFactor,
+    /// A [`SimTopology::SplitRing`] whose `clusters × factor` service
+    /// units do not divide the ring into equal sub-arcs.
+    IndivisibleSplit {
+        /// Satellites in the ring.
+        satellites: usize,
+        /// Configured cluster count.
+        clusters: usize,
+        /// The rejected split factor.
+        factor: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::NoClusters => write!(f, "need at least one cluster"),
+            ConfigError::OddIngestLinks { ingest_links } => {
+                write!(
+                    f,
+                    "k-lists require even ingest_links >= 2 (got {ingest_links})"
+                )
+            }
+            ConfigError::IndivisibleRing {
+                satellites,
+                clusters,
+            } => write!(
+                f,
+                "clusters must divide the ring evenly ({satellites} % {clusters} != 0)"
+            ),
+            ConfigError::ZeroSplitFactor => write!(f, "split factor must be at least 1"),
+            ConfigError::IndivisibleSplit {
+                satellites,
+                clusters,
+                factor,
+            } => write!(
+                f,
+                "split factor must divide the ring evenly ({satellites} % {clusters}*{factor} != 0)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -63,7 +135,8 @@ pub struct SimConfig {
     pub topology: SimTopology,
     /// Number of SµDCs. For [`SimTopology::Ring`] each owns an equal arc
     /// of the ring; for [`SimTopology::GeoStar`] satellites are assigned
-    /// round-robin.
+    /// round-robin; for [`SimTopology::SplitRing`] each arc is further
+    /// split `factor` ways.
     pub clusters: usize,
     /// Ingest ISLs per SµDC (even, ≥ 2): the k of a k-list topology.
     /// `2` is the plain ring; larger k stripes each arc side into `k/2`
@@ -75,7 +148,9 @@ pub struct SimConfig {
     pub resolution: Length,
     /// Early-discard policy.
     pub discard: DiscardPolicy,
-    /// The SµDC design point (device + power + hardening).
+    /// The SµDC design point (device + power + hardening). A
+    /// [`SimTopology::SplitRing`] divides this budget: each sub-SµDC
+    /// serves at `pixel_capacity / factor`.
     pub sudc: SudcSpec,
     /// Application every frame is processed by.
     pub app: Application,
@@ -120,68 +195,74 @@ impl SimConfig {
         }
     }
 
-    /// Satellites per cluster.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `clusters` is zero or does not divide the ring.
-    pub fn cluster_size(&self) -> usize {
-        assert!(self.clusters > 0, "need at least one cluster");
-        assert!(
-            self.ingest_links >= 2 && self.ingest_links % 2 == 0,
-            "k-lists require even ingest_links >= 2"
-        );
-        let n = self.plane.satellite_count();
-        if self.topology == SimTopology::Ring {
-            assert!(
-                n % self.clusters == 0,
-                "clusters must divide the ring evenly ({n} % {} != 0)",
-                self.clusters
-            );
+    /// Checks the configuration is simulatable: at least one cluster, an
+    /// even `ingest_links ≥ 2`, and (for ring shapes) service arcs that
+    /// divide the ring evenly. Used by [`super::engine::try_run`] and
+    /// the CLI so bad `--clusters`/`--ingest-links` values produce a
+    /// diagnostic instead of a panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.clusters == 0 {
+            return Err(ConfigError::NoClusters);
         }
-        n.div_ceil(self.clusters)
+        if self.ingest_links < 2 || self.ingest_links % 2 != 0 {
+            return Err(ConfigError::OddIngestLinks {
+                ingest_links: self.ingest_links,
+            });
+        }
+        let n = self.plane.satellite_count();
+        match self.topology {
+            SimTopology::Ring => {
+                if n % self.clusters != 0 {
+                    return Err(ConfigError::IndivisibleRing {
+                        satellites: n,
+                        clusters: self.clusters,
+                    });
+                }
+            }
+            SimTopology::SplitRing { factor } => {
+                if factor == 0 {
+                    return Err(ConfigError::ZeroSplitFactor);
+                }
+                if n % (self.clusters * factor) != 0 {
+                    return Err(ConfigError::IndivisibleSplit {
+                        satellites: n,
+                        clusters: self.clusters,
+                        factor,
+                    });
+                }
+            }
+            SimTopology::GeoStar => {}
+        }
+        Ok(())
     }
-}
 
-/// A frame moving through the network.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct FrameInFlight {
-    created: Time,
-    bits: f64,
-    pixels: f64,
-    /// ISL hops taken so far (bounds rerouted frames).
-    hops: u32,
-    /// Routing direction: `true` once the frame fell back to
-    /// reverse-direction (away-from-home-SµDC) routing around a fault.
-    reversed: bool,
-    /// Which way a reversed frame walks the global ring: `true` for
-    /// `+stride`, `false` for `-stride` (chosen opposite to the frame's
-    /// forward direction at the point of rerouting).
-    rev_up: bool,
-}
+    /// Number of SµDC service units frames can be delivered to:
+    /// `clusters`, times the split factor for [`SimTopology::SplitRing`].
+    pub fn units(&self) -> usize {
+        match self.topology {
+            SimTopology::SplitRing { factor } => self.clusters * factor,
+            _ => self.clusters,
+        }
+    }
 
-/// Simulation events.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Ev {
-    /// Satellite `sat` images a frame.
-    Generate { sat: usize },
-    /// A frame finishes crossing the ISL out of `from` and arrives at the
-    /// next node toward the SµDC.
-    Hop { frame: FrameInFlight, from: usize },
-    /// A transmission blocked by a link outage retries from `from` after
-    /// exponential backoff (`attempt` retries already spent).
-    Retry {
-        frame: FrameInFlight,
-        from: usize,
-        attempt: u32,
-    },
-    /// The SµDC of `cluster` finishes processing a frame; `corrupted`
-    /// marks outputs silently ruined by an SEU.
-    Done {
-        cluster: usize,
-        created: Time,
-        corrupted: bool,
-    },
+    /// Satellites per SµDC service arc. Meaningful only for
+    /// configurations that pass [`SimConfig::validate`].
+    pub fn cluster_size(&self) -> usize {
+        self.plane.satellite_count().div_ceil(self.units().max(1))
+    }
+
+    /// The pixel rate one service unit sustains: the SµDC design point's
+    /// capacity, divided by the split factor for
+    /// [`SimTopology::SplitRing`] (each sub-SµDC gets `power/factor`).
+    ///
+    /// `None` when the (application, device) pair has no measurement.
+    pub fn unit_pixel_capacity(&self) -> Option<f64> {
+        let capacity = self.sudc.pixel_capacity(self.app)?;
+        Some(match self.topology {
+            SimTopology::SplitRing { factor } => capacity / factor as f64,
+            _ => capacity,
+        })
+    }
 }
 
 /// Aggregated results of one simulation run.
@@ -220,1014 +301,76 @@ pub struct SimReport {
     pub faults: FaultSummary,
 }
 
-/// Per-run mutable state.
-struct State {
-    cfg: SimConfig,
-    /// Next free time of each satellite's outgoing ISL (toward its SµDC).
-    link_free: Vec<Time>,
-    /// Next free time of each SµDC's compute pipeline.
-    sudc_free: Vec<Time>,
-    /// Bits in flight (accepted but not yet at a SµDC).
-    queued_bits: f64,
-    generated: u64,
-    kept: u64,
-    processed: u64,
-    lost_to_failures: u64,
-    latency: Tally,
-    earth: EarthModel,
-    rng_factory: RngFactory,
-    /// Forward-direction ISL outage process per satellite (present only
-    /// when `cfg.faults.link_outages` is set; never drawn otherwise).
-    link_out_fwd: Option<Vec<OutageProcess>>,
-    /// Reverse-direction ISL outage process per satellite — the fallback
-    /// path is separate hardware with independent failures.
-    link_out_rev: Option<Vec<OutageProcess>>,
-    /// Stochastic SµDC outage process per cluster.
-    cluster_out: Option<Vec<OutageProcess>>,
-    /// Retry policy for outage-blocked transmissions.
-    backoff: Backoff,
-    /// Whether the SEU process is enabled (gates all SEU draws).
-    seu_active: bool,
-    /// Probability a processed frame's output is silently corrupted.
-    seu_p_corrupt: f64,
-    /// Mean-service-time stretch from detected-and-recomputed errors.
-    seu_service_factor: f64,
-    /// SEU coin draws per cluster (RNG stream keying).
-    seu_draws: Vec<u64>,
-    /// Load shedding: `(backlog threshold bits, base shed probability)`.
-    shed: Option<(f64, f64)>,
-    /// Shed coin draws so far (RNG stream keying).
-    shed_draws: u64,
-    /// Fault counters folded into [`FaultSummary`] at the end.
-    retries: u64,
-    reroutes: u64,
-    undeliverable: u64,
-    frames_shed: u64,
-    frames_corrupted: u64,
-}
-
-impl State {
-    /// Index of the SµDC cluster satellite `sat` belongs to.
-    fn cluster_of(&self, sat: usize) -> usize {
-        match self.cfg.topology {
-            SimTopology::Ring => sat / self.cfg.cluster_size(),
-            SimTopology::GeoStar => sat % self.cfg.clusters,
-        }
-    }
-
-    /// The next node on `sat`'s path to its SµDC: `Some(next_sat)` to
-    /// keep relaying, or `None` when the hop lands on the SµDC.
-    ///
-    /// The SµDC sits at the centre of its arc. In a plain ring each
-    /// satellite forwards to its neighbour toward the centre; in a
-    /// k-list, each arc side is striped into `k/2` chains whose links
-    /// stride `k/2` positions, so `k` links land on the SµDC (Fig. 12a).
-    fn next_hop(&self, sat: usize) -> Option<usize> {
-        if self.cfg.topology == SimTopology::GeoStar {
-            return None; // direct uplink, no relaying
-        }
-        let m = self.cfg.cluster_size();
-        let cluster = self.cluster_of(sat);
-        let offset = sat - cluster * m;
-        let center = m / 2;
-        if offset == center || m == 1 {
-            return None; // co-located with the SµDC: direct ingest
-        }
-        let stride = self.cfg.ingest_links / 2;
-        let distance = offset.abs_diff(center);
-        if distance <= stride {
-            return None; // within one chain stride of the SµDC: ingest
-        }
-        let next = if offset < center {
-            offset + stride
-        } else {
-            offset - stride
-        };
-        Some(cluster * m + next)
-    }
-
-    /// Whether `sat`'s outgoing link lands directly on the SµDC (an
-    /// ingest link, measured for utilisation).
-    fn is_ingest(&self, sat: usize) -> bool {
-        self.next_hop(sat).is_none()
-    }
-
-    /// Next position for a reverse-routed frame: a fixed `±stride` walk
-    /// around the global ring, guaranteed to pass every SµDC's ingest
-    /// window (which is `2·stride + 1 > stride` positions wide).
-    fn reverse_next(&self, sat: usize, rev_up: bool) -> usize {
-        let n = self.cfg.plane.satellite_count();
-        let stride = self.cfg.ingest_links / 2;
-        if rev_up {
-            (sat + stride) % n
-        } else {
-            (sat + n - stride % n) % n
-        }
-    }
-
-    /// The global-ring direction *opposite* to `sat`'s forward routing
-    /// direction (satellites below their arc centre forward `+stride`, so
-    /// their reverse walk is `-stride`, and vice versa).
-    fn reverse_direction_up(&self, sat: usize) -> bool {
-        let m = self.cfg.cluster_size();
-        let offset = sat - (sat / m) * m;
-        offset >= m / 2
-    }
-
-    /// If ring position `p` sits within one chain stride of a *live*
-    /// SµDC, returns that cluster for ingest; reverse-routed frames keep
-    /// walking otherwise.
-    fn reversed_delivery(&mut self, p: usize, now: Time) -> Option<usize> {
-        let n = self.cfg.plane.satellite_count();
-        let m = self.cfg.cluster_size();
-        let stride = self.cfg.ingest_links / 2;
-        let cluster = p / m;
-        let center = cluster * m + m / 2;
-        let d = p.abs_diff(center);
-        let ring_distance = d.min(n - d);
-        (ring_distance <= stride && !self.cluster_failed(cluster, now)).then_some(cluster)
-    }
-
-    /// Whether cluster `c` is down at `now` — either past a deterministic
-    /// `failures` entry or inside a stochastic outage window.
-    fn cluster_failed(&mut self, c: usize, now: Time) -> bool {
-        if self
-            .cfg
-            .failures
-            .iter()
-            .any(|&(cc, at)| cc == c && now >= at)
-        {
-            return true;
-        }
-        match self.cluster_out.as_mut() {
-            Some(procs) => !procs[c].is_up(now.as_secs()),
-            None => false,
-        }
-    }
-
-    /// Whether `sat`'s link in the frame's travel direction is up at `t`.
-    /// Always `true` when no outage model is configured.
-    fn link_up(&mut self, sat: usize, reversed: bool, t: Time) -> bool {
-        let procs = if reversed {
-            self.link_out_rev.as_mut()
-        } else {
-            self.link_out_fwd.as_mut()
-        };
-        match procs {
-            Some(v) => v[sat].is_up(t.as_secs()),
-            None => true,
-        }
-    }
-
-    /// Backlog-triggered load shedding: sheds a newly kept frame with a
-    /// probability escalating from the configured base at the threshold
-    /// to 1.0 at twice the threshold.
-    fn should_shed(&mut self, sat: usize) -> bool {
-        let Some((threshold, base)) = self.shed else {
-            return false;
-        };
-        if self.queued_bits <= threshold {
-            return false;
-        }
-        let over = (self.queued_bits - threshold) / threshold;
-        let p = (base + (1.0 - base) * over).min(1.0);
-        self.shed_draws += 1;
-        let mut rng = self.rng_factory.stream(
-            "shed",
-            ((sat as u64) << 32) | (self.shed_draws & 0xFFFF_FFFF),
-        );
-        coin(&mut rng, p)
-    }
-
-    fn keep_frame(&mut self, sat: usize, now: Time) -> bool {
-        match self.cfg.discard {
-            DiscardPolicy::Uniform(p) => {
-                let mut rng = self.rng_factory.stream(
-                    "discard",
-                    ((sat as u64) << 32) | (self.generated & 0xFFFF_FFFF),
-                );
-                !coin(&mut rng, p)
-            }
-            DiscardPolicy::ClearLandOnly => {
-                let pos = self
-                    .cfg
-                    .plane
-                    .position(sat, now)
-                    .expect("plane propagation is valid");
-                let point = subsatellite_point(pos, now);
-                // Sub-solar longitude drifts with time of day; start at 0.
-                let subsolar = (now.as_secs() / 86_400.0 * 360.0) % 360.0;
-                let truth = self.earth.ground_truth(&point, subsolar);
-                !truth.night && !truth.cloudy && !truth.ocean
-            }
-        }
-    }
-
-    fn link_busy_estimate(&self, sat: usize) -> f64 {
-        // Busy time ≈ the link's high-water mark: with back-to-back
-        // traffic link_free tracks total transmission time scheduled.
-        self.link_free[sat].as_secs()
-    }
-
-    fn sudc_busy_estimate(&self, cluster: usize) -> f64 {
-        self.sudc_free[cluster].as_secs()
-    }
-}
-
-/// Routes a frame out of `sat`, honouring link outages: an up link
-/// transmits ([`depart`]); a down link retries with exponential backoff,
-/// then falls back to reverse-direction routing, and a frame whose both
-/// directions are dead is dropped as undeliverable. With no outage model
-/// this is exactly [`depart`].
-fn dispatch(
-    st: &mut State,
-    sched: &mut Scheduler<Ev>,
-    mut frame: FrameInFlight,
-    sat: usize,
-    now: Time,
-    attempt: u32,
-) {
-    if st.link_out_fwd.is_some() {
-        let start = st.link_free[sat].max(now);
-        if !st.link_up(sat, frame.reversed, start) {
-            if let Some(delay) = st.backoff.delay_s(attempt) {
-                st.retries += 1;
-                sched.schedule_at(
-                    now + Time::from_secs(delay),
-                    Ev::Retry {
-                        frame,
-                        from: sat,
-                        attempt: attempt + 1,
-                    },
-                );
-            } else if frame.reversed || st.cfg.topology != SimTopology::Ring {
-                // Both directions exhausted their retries (or there is no
-                // ring to fall back to): the frame dies.
-                st.undeliverable += 1;
-                st.queued_bits -= frame.bits;
-            } else {
-                // Forward path dead: fall back to the reverse ring.
-                st.reroutes += 1;
-                frame.reversed = true;
-                frame.rev_up = st.reverse_direction_up(sat);
-                dispatch(st, sched, frame, sat, now, 0);
-            }
-            return;
-        }
-    }
-    depart(st, sched, frame, sat, now);
-}
-
-/// Schedules the frame's transmission over `sat`'s outgoing ISL.
-fn depart(st: &mut State, sched: &mut Scheduler<Ev>, frame: FrameInFlight, sat: usize, now: Time) {
-    let start = st.link_free[sat].max(now);
-    let tx = Time::from_secs(frame.bits / st.cfg.isl_capacity.as_bps());
-    // Propagation delay: one ring hop, or the LEO→GEO slant range.
-    let hop_distance = match st.cfg.topology {
-        SimTopology::Ring => st.cfg.plane.link_distance(1),
-        SimTopology::GeoStar => Length::from_km(38_000.0),
-    };
-    let prop = Time::from_secs(hop_distance.as_m() / units::constants::SPEED_OF_LIGHT_M_PER_S);
-    let done = start + tx;
-    st.link_free[sat] = done;
-    sched.schedule_at(done + prop, Ev::Hop { frame, from: sat });
-}
-
-/// Enters a frame into `cluster`'s compute queue and schedules its
-/// completion, applying the SEU service stretch and corruption coin when
-/// the SEU process is enabled (no draws otherwise).
-fn ingest(
-    st: &mut State,
-    sched: &mut Scheduler<Ev>,
-    frame: FrameInFlight,
-    cluster: usize,
-    now: Time,
-    pixel_capacity: f64,
-) {
-    let start = st.sudc_free[cluster].max(now);
-    let mut service_s = frame.pixels / pixel_capacity;
-    let mut corrupted = false;
-    if st.seu_active {
-        service_s *= st.seu_service_factor;
-        st.seu_draws[cluster] += 1;
-        let mut rng = st.rng_factory.stream(
-            "seu",
-            ((cluster as u64) << 32) | (st.seu_draws[cluster] & 0xFFFF_FFFF),
-        );
-        corrupted = coin(&mut rng, st.seu_p_corrupt);
-    }
-    let done = start + Time::from_secs(service_s);
-    st.sudc_free[cluster] = done;
-    sched.schedule_at(
-        done,
-        Ev::Done {
-            cluster,
-            created: frame.created,
-            corrupted,
-        },
-    );
-}
-
-/// Runs the simulation and returns its report.
-///
-/// # Panics
-///
-/// Panics on invalid configurations (zero clusters, cluster size not
-/// dividing the ring) and if the (application, device) pair has no
-/// measurement.
-pub fn run(cfg: &SimConfig) -> SimReport {
-    let n = cfg.plane.satellite_count();
-    let clusters = cfg.clusters;
-    let _ = cfg.cluster_size(); // validate divisibility
-
-    let rng_factory = RngFactory::new(cfg.seed);
-    // Fault processes draw from dedicated RNG streams so that enabling
-    // (or disabling) them never perturbs discard/shed/SEU draws — and a
-    // FaultModel::none() run never touches them at all.
-    let outage_ring = |label: &str, count: usize, mtbf: Time, mttr: Time| {
-        (0..count)
-            .map(|i| {
-                OutageProcess::new(
-                    rng_factory.stream(label, i as u64),
-                    mtbf.as_secs(),
-                    mttr.as_secs(),
-                )
-            })
-            .collect::<Vec<_>>()
-    };
-    let link_out_fwd = cfg
-        .faults
-        .link_outages
-        .map(|s| outage_ring("link_outage", n, s.mtbf, s.mttr));
-    let link_out_rev = cfg
-        .faults
-        .link_outages
-        .map(|s| outage_ring("link_outage_rev", n, s.mtbf, s.mttr));
-    let cluster_out = cfg
-        .faults
-        .cluster_outages
-        .map(|s| outage_ring("cluster_outage", clusters, s.mtbf, s.mttr));
-    let (seu_active, seu_p_corrupt, seu_service_factor) = match cfg.faults.seu {
-        Some(seu) => {
-            let h = cfg.sudc.hardening;
-            let p = workloads::hardening::silent_error_rate(h, cfg.app, seu.upsets_per_frame)
-                .clamp(0.0, 1.0);
-            let stretch = 1.0
-                + workloads::hardening::detected_error_rate(h, cfg.app, seu.upsets_per_frame)
-                    .max(0.0);
-            (true, p, stretch)
-        }
-        None => (false, 0.0, 1.0),
-    };
-    let retry = cfg.faults.retry;
-
-    let mut st = State {
-        cfg: cfg.clone(),
-        link_free: vec![Time::ZERO; n],
-        sudc_free: vec![Time::ZERO; clusters],
-        queued_bits: 0.0,
-        generated: 0,
-        kept: 0,
-        processed: 0,
-        lost_to_failures: 0,
-        latency: Tally::new(),
-        earth: EarthModel::paper(cfg.seed),
-        rng_factory,
-        link_out_fwd,
-        link_out_rev,
-        cluster_out,
-        backoff: Backoff::new(
-            retry.base_backoff.as_secs(),
-            retry.factor,
-            retry.max_retries,
-        ),
-        seu_active,
-        seu_p_corrupt,
-        seu_service_factor,
-        seu_draws: vec![0; clusters],
-        shed: cfg
-            .faults
-            .degradation
-            .map(|d| (d.backlog_threshold.as_bits(), d.shed_probability)),
-        shed_draws: 0,
-        retries: 0,
-        reroutes: 0,
-        undeliverable: 0,
-        frames_shed: 0,
-        frames_corrupted: 0,
-    };
-
-    let mut sched: Scheduler<Ev> = Scheduler::new();
-    sched.enable_probe();
-    // Stagger first frames uniformly over one period to avoid a thundering
-    // herd at t = 0.
-    let period = cfg.frame.period;
-    for sat in 0..n {
-        let offset = period * (sat as f64 / n as f64);
-        sched.schedule_at(offset, Ev::Generate { sat });
-    }
-
-    let bits_per_frame = cfg.frame.frame_size(cfg.resolution).as_bits();
-    let pixels_per_frame = cfg.frame.pixels_at(cfg.resolution);
-    let pixel_capacity = cfg
-        .sudc
-        .pixel_capacity(cfg.app)
-        .expect("application must be measured on the SµDC device");
-
-    simkit::run_until(&mut sched, &mut st, cfg.duration, |st, sched, ev| {
-        let now = ev.time;
-        match ev.payload {
-            Ev::Generate { sat } => {
-                st.generated += 1;
-                if st.keep_frame(sat, now) {
-                    st.kept += 1;
-                    if st.should_shed(sat) {
-                        // Backlog-triggered graceful degradation: drop at
-                        // the source rather than swamp the ring.
-                        st.frames_shed += 1;
-                    } else {
-                        st.queued_bits += bits_per_frame;
-                        let frame = FrameInFlight {
-                            created: now,
-                            bits: bits_per_frame,
-                            pixels: pixels_per_frame,
-                            hops: 0,
-                            reversed: false,
-                            rev_up: false,
-                        };
-                        dispatch(st, sched, frame, sat, now, 0);
-                    }
-                }
-                sched.schedule_in(st.cfg.frame.period, Ev::Generate { sat });
-            }
-            Ev::Hop { frame, from } if frame.reversed => {
-                // Reverse-routed frames walk the global ring until they
-                // pass a live SµDC's ingest window (or run out of hops).
-                let p = st.reverse_next(from, frame.rev_up);
-                if let Some(cluster) = st.reversed_delivery(p, now) {
-                    st.queued_bits -= frame.bits;
-                    ingest(st, sched, frame, cluster, now, pixel_capacity);
-                } else if frame.hops as usize > 2 * st.cfg.plane.satellite_count() {
-                    st.undeliverable += 1;
-                    st.queued_bits -= frame.bits;
-                } else {
-                    let mut f = frame;
-                    f.hops += 1;
-                    dispatch(st, sched, f, p, now, 0);
-                }
-            }
-            Ev::Hop { frame, from } => match st.next_hop(from) {
-                Some(next) => {
-                    let mut f = frame;
-                    f.hops += 1;
-                    dispatch(st, sched, f, next, now, 0);
-                }
-                None => {
-                    // Arrived at the SµDC: enter the compute queue —
-                    // unless the SµDC has failed, in which case the frame
-                    // is rerouted (ring + active faults) or lost.
-                    let cluster = st.cluster_of(from);
-                    if st.cluster_failed(cluster, now) {
-                        if st.cfg.topology == SimTopology::Ring && st.cfg.faults.active() {
-                            st.reroutes += 1;
-                            let mut f = frame;
-                            f.reversed = true;
-                            f.rev_up = st.reverse_direction_up(from);
-                            f.hops += 1;
-                            dispatch(st, sched, f, from, now, 0);
-                        } else {
-                            st.queued_bits -= frame.bits;
-                            st.lost_to_failures += 1;
-                        }
-                        return;
-                    }
-                    st.queued_bits -= frame.bits;
-                    ingest(st, sched, frame, cluster, now, pixel_capacity);
-                }
-            },
-            Ev::Retry {
-                frame,
-                from,
-                attempt,
-            } => dispatch(st, sched, frame, from, now, attempt),
-            Ev::Done {
-                cluster,
-                created,
-                corrupted,
-            } => {
-                if st.cluster_failed(cluster, now) {
-                    // The SµDC died while (or after) serving this frame:
-                    // queued work dies with the cluster instead of being
-                    // credited as processed.
-                    st.lost_to_failures += 1;
-                } else if corrupted {
-                    st.frames_corrupted += 1;
-                } else {
-                    st.processed += 1;
-                    st.latency.record((now - created).as_secs());
-                }
-            }
-        }
-    });
-
-    // Utilisation: scheduled busy time of ingest links and SµDC pipelines
-    // relative to the horizon (values beyond the horizon mean saturation).
-    let horizon = cfg.duration.as_secs();
-    let ingest: Vec<f64> = (0..n)
-        .filter(|&s| st.is_ingest(s))
-        .map(|s| (st.link_busy_estimate(s) / horizon).min(1.0))
-        .collect();
-    let ingest_utilization = ingest.iter().sum::<f64>() / ingest.len().max(1) as f64;
-    let compute_utilization = (0..clusters)
-        .map(|c| (st.sudc_busy_estimate(c) / horizon).min(1.0))
-        .sum::<f64>()
-        / clusters as f64;
-
-    let goodput = if st.kept == 0 {
-        1.0
-    } else {
-        st.processed as f64 / st.kept as f64
-    };
-    // Stable if goodput is near 1 and residual backlog is within a few
-    // seconds of ingest work.
-    let residual = DataSize::from_bits(st.queued_bits.max(0.0));
-    let per_cluster_ingest = cfg.ingest_links as f64 * cfg.isl_capacity.as_bps();
-    let stable = goodput > 0.9 && residual.as_bits() < per_cluster_ingest * clusters as f64 * 3.0;
-
-    // Fold the fault processes into the summary: count outage windows
-    // that began within the horizon and average availability over every
-    // modelled process (1.0 when nothing is modelled).
-    let mut fault_summary = FaultSummary {
-        retries: st.retries,
-        reroutes: st.reroutes,
-        undeliverable: st.undeliverable,
-        frames_shed: st.frames_shed,
-        frames_corrupted: st.frames_corrupted,
-        ..FaultSummary::default()
-    };
-    {
-        let mut avail_sum = 0.0;
-        let mut avail_count = 0usize;
-        for procs in [st.link_out_fwd.as_mut(), st.link_out_rev.as_mut()]
-            .into_iter()
-            .flatten()
-        {
-            for p in procs.iter_mut() {
-                fault_summary.link_outages += p.outages_before(horizon) as u64;
-                avail_sum += p.availability_until(horizon);
-                avail_count += 1;
-            }
-        }
-        if let Some(procs) = st.cluster_out.as_mut() {
-            for p in procs.iter_mut() {
-                fault_summary.cluster_outages += p.outages_before(horizon) as u64;
-                avail_sum += p.availability_until(horizon);
-                avail_count += 1;
-            }
-        }
-        if avail_count > 0 {
-            fault_summary.availability = avail_sum / avail_count as f64;
-        }
-    }
-
-    if telemetry::level_enabled(telemetry::Level::Debug) {
-        if let Some(rep) = sched.probe_report() {
-            telemetry::debug("sim.scheduler", rep.fields());
-        }
-        if cfg.faults.active() {
-            telemetry::debug(
-                "sim.faults",
-                vec![
-                    ("link_outages".into(), fault_summary.link_outages.into()),
-                    (
-                        "cluster_outages".into(),
-                        fault_summary.cluster_outages.into(),
-                    ),
-                    ("retries".into(), fault_summary.retries.into()),
-                    ("reroutes".into(), fault_summary.reroutes.into()),
-                    (
-                        "frames_corrupted".into(),
-                        fault_summary.frames_corrupted.into(),
-                    ),
-                    ("frames_shed".into(), fault_summary.frames_shed.into()),
-                    ("availability".into(), fault_summary.availability.into()),
-                ],
-            );
-        }
-    }
-
-    SimReport {
-        generated: st.generated,
-        kept: st.kept,
-        processed: st.processed,
-        discard_rate: if st.generated == 0 {
-            0.0
-        } else {
-            1.0 - st.kept as f64 / st.generated as f64
-        },
-        mean_latency_s: st.latency.mean(),
-        max_latency_s: st.latency.max().unwrap_or(0.0),
-        ingest_utilization,
-        compute_utilization,
-        residual_backlog: residual,
-        lost_to_failures: st.lost_to_failures,
-        goodput,
-        stable,
-        scheduler: sched.probe_counters().unwrap_or_default(),
-        faults: fault_summary,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workloads::Device;
 
-    fn quick(app: Application, res_m: f64, discard: f64, clusters: usize) -> SimReport {
-        let mut cfg = SimConfig::paper_reference(app, Length::from_m(res_m), discard);
-        cfg.clusters = clusters;
-        cfg.duration = Time::from_minutes(2.0);
-        run(&cfg)
+    fn cfg() -> SimConfig {
+        SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95)
     }
 
     #[test]
-    fn generation_count_matches_schedule() {
-        let r = quick(Application::AirPollution, 3.0, 0.0, 1);
-        // 64 satellites × (120 s / 1.5 s) = 5120 frames, plus satellite
-        // 0's frame landing exactly on the closed horizon boundary.
-        assert_eq!(r.generated, 64 * 80 + 1);
-        assert_eq!(r.kept, r.generated);
-        assert_eq!(r.discard_rate, 0.0);
+    fn paper_reference_validates() {
+        assert_eq!(cfg().validate(), Ok(()));
     }
 
     #[test]
-    fn uniform_discard_rate_is_achieved() {
-        let r = quick(Application::AirPollution, 3.0, 0.95, 1);
-        assert!(
-            (r.discard_rate - 0.95).abs() < 0.02,
-            "achieved {}",
-            r.discard_rate
-        );
+    fn zero_clusters_is_rejected() {
+        let mut c = cfg();
+        c.clusters = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoClusters));
     }
 
     #[test]
-    fn easy_configuration_is_stable_with_low_latency() {
-        // 3 m, 95% discard, 10 Gbit/s, APP on a 4 kW 3090: trivially
-        // sustainable.
-        let r = quick(Application::AirPollution, 3.0, 0.95, 1);
-        assert!(r.stable, "{r:?}");
-        assert!(r.goodput > 0.95);
-        assert!(r.mean_latency_s < 5.0, "mean latency {}", r.mean_latency_s);
+    fn odd_ingest_links_are_rejected_with_a_diagnostic() {
+        let mut c = cfg();
+        c.ingest_links = 3;
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::OddIngestLinks { ingest_links: 3 });
+        // The legacy assert message survives for should_panic matchers.
+        assert!(err.to_string().contains("even ingest_links"));
     }
 
     #[test]
-    fn isl_overload_is_detected() {
-        // 30 cm no discard: per-sat rate ≈ 20 Gbit/s ≫ 2 × 10 Gbit/s
-        // ingest. Backlog must explode even though TM compute is cheap.
-        let r = quick(Application::TrafficMonitoring, 0.3, 0.0, 1);
-        assert!(!r.stable, "{r:?}");
-        assert!(r.goodput < 0.5);
-        assert!(r.ingest_utilization > 0.95);
+    fn indivisible_ring_is_rejected_with_a_diagnostic() {
+        let mut c = cfg();
+        c.clusters = 7; // 64 % 7 != 0
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("divide the ring"), "{err}");
     }
 
     #[test]
-    fn compute_overload_is_detected() {
-        // 1 m, 50% discard: ingest is 64 × 1.8 Gbit/s × 0.5 ≈ 58 Gbit/s
-        // split over many relay chains — but FD compute (307 kpx/s/W ×
-        // 4 kW ≈ 1.23 Gpx/s) is under the 64 × 75.5 Mpx/s × 0.5 ≈
-        // 2.4 Gpx/s demand.
-        let r = quick(Application::FloodDetection, 1.0, 0.5, 1);
-        assert!(!r.stable, "{r:?}");
-        assert!(r.compute_utilization > 0.95);
+    fn geo_star_skips_the_divisibility_check() {
+        let mut c = cfg();
+        c.topology = SimTopology::GeoStar;
+        c.clusters = 7;
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
-    fn splitting_into_clusters_restores_stability() {
-        let one = quick(Application::FloodDetection, 1.0, 0.5, 1);
-        let four = quick(Application::FloodDetection, 1.0, 0.5, 4);
-        assert!(!one.stable);
-        assert!(four.stable, "{four:?}");
+    fn split_ring_validation_and_units() {
+        let mut c = cfg();
+        c.clusters = 4;
+        c.topology = SimTopology::SplitRing { factor: 4 };
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.units(), 16);
+        assert_eq!(c.cluster_size(), 4);
+
+        c.topology = SimTopology::SplitRing { factor: 0 };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSplitFactor));
+
+        c.topology = SimTopology::SplitRing { factor: 3 }; // 64 % 12 != 0
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("divide the ring"), "{err}");
     }
 
     #[test]
-    fn classifier_discard_is_aggressive() {
-        let mut cfg =
-            SimConfig::paper_reference(Application::CropMonitoring, Length::from_m(3.0), 0.0);
-        cfg.discard = DiscardPolicy::ClearLandOnly;
-        cfg.clusters = 4;
-        cfg.duration = Time::from_minutes(3.0);
-        let r = run(&cfg);
-        // Clear daytime land ≈ (1 − night 0.5) × (1 − ocean 0.7) ×
-        // (1 − cloud 0.67) ≈ 5% kept; the orbit samples latitudes
-        // unevenly so allow a wide band around the Table 3 composite.
-        assert!(
-            r.discard_rate > 0.80 && r.discard_rate < 0.999,
-            "achieved {}",
-            r.discard_rate
-        );
-    }
-
-    #[test]
-    fn determinism_same_seed_same_report() {
-        let a = quick(Application::UrbanEmergency, 1.0, 0.5, 2);
-        let b = quick(Application::UrbanEmergency, 1.0, 0.5, 2);
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn scheduler_counters_are_populated_and_reproducible() {
-        let a = quick(Application::AirPollution, 3.0, 0.5, 1);
-        let b = quick(Application::AirPollution, 3.0, 0.5, 1);
-        assert!(a.scheduler.scheduled > 0, "{:?}", a.scheduler);
-        assert!(a.scheduler.processed > 0);
-        assert!(a.scheduler.peak_queue_depth > 0);
-        // Horizon cutoff: some scheduled events go unprocessed.
-        assert!(a.scheduler.processed <= a.scheduler.scheduled);
-        assert_eq!(
-            a.scheduler, b.scheduler,
-            "counters must be seed-deterministic"
-        );
-    }
-
-    #[test]
-    fn different_seed_changes_discard_draws() {
-        let mut cfg =
-            SimConfig::paper_reference(Application::UrbanEmergency, Length::from_m(1.0), 0.5);
-        cfg.duration = Time::from_minutes(1.0);
-        let a = run(&cfg);
-        cfg.seed ^= 0xDEAD_BEEF;
-        let b = run(&cfg);
-        assert_ne!(a.kept, b.kept, "seed should perturb the discard coin");
-    }
-
-    #[test]
-    fn ai100_sudc_processes_more() {
-        let mut cfg = SimConfig::paper_reference(Application::OilSpill, Length::from_m(1.0), 0.5);
-        cfg.duration = Time::from_minutes(2.0);
-        let gpu = run(&cfg);
-        cfg.sudc = SudcSpec::paper_4kw(Device::CloudAi100);
-        let acc = run(&cfg);
-        assert!(acc.processed >= gpu.processed);
-        assert!(acc.compute_utilization < gpu.compute_utilization);
-    }
-
-    #[test]
-    fn klist_ingest_relieves_the_isl_bottleneck() {
-        // TM at 1 m / no discard: 64 × 1.81 Gbit/s of frames against a
-        // single SµDC. A plain ring (2 × 10 Gbit/s ingest) drowns; a
-        // 16-list (16 × 10 Gbit/s) carries it, and TM compute
-        // (10.4 Gpx/s at 4 kW) absorbs the 4.8 Gpx/s demand.
-        let mut cfg =
-            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_m(1.0), 0.0);
-        cfg.duration = Time::from_minutes(2.0);
-        let ring = run(&cfg);
-        assert!(!ring.stable, "{ring:?}");
-
-        cfg.ingest_links = 16;
-        let klist = run(&cfg);
-        assert!(klist.stable, "{klist:?}");
-        assert!(klist.goodput > ring.goodput + 0.3);
-    }
-
-    #[test]
-    fn klist_scaling_matches_sec8_factor() {
-        // Sec. 8: "the number of EO satellites supported by a k-list
-        // topology cluster is k/2 times those shown in Table 8". At a
-        // capacity where a ring supports 10 of 16 satellites per
-        // cluster, a 4-list supports 20 ≥ 16.
-        let mut cfg =
-            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_m(1.0), 0.0);
-        cfg.clusters = 4; // 16 satellites each
-        cfg.duration = Time::from_minutes(2.0);
-        let ring = run(&cfg);
-        assert!(!ring.stable, "ring supports only 10 of 16: {ring:?}");
-        cfg.ingest_links = 4;
-        let four = run(&cfg);
-        assert!(four.stable, "4-list supports 20 ≥ 16: {four:?}");
-    }
-
-    #[test]
-    fn geo_star_carries_what_a_ring_cannot() {
-        // 30 cm imagery without discard generates ~20 Gbit/s per
-        // satellite: no LEO ring arc can relay 64 of those through two
-        // (or even sixteen) 10 Gbit/s ingest links. With dedicated
-        // 25 Gbit/s LEO→GEO uplinks and three large GEO SµDCs, the
-        // network side clears — exactly the Sec. 9 argument for the star.
-        let mut cfg =
-            SimConfig::paper_reference(Application::TrafficMonitoring, Length::from_cm(30.0), 0.0);
-        cfg.duration = Time::from_minutes(1.5);
-        cfg.ingest_links = 16;
-        let ring = run(&cfg);
-        assert!(!ring.stable, "{ring:?}");
-
-        cfg.topology = SimTopology::GeoStar;
-        cfg.clusters = 3;
-        cfg.isl_capacity = DataRate::from_gbps(25.0);
-        cfg.sudc = SudcSpec::station_256kw(Device::Rtx3090);
-        let star = run(&cfg);
-        assert!(star.stable, "{star:?}");
-        // GEO adds ~0.13 s of propagation to every frame.
-        assert!(
-            star.mean_latency_s > 0.12,
-            "latency {}",
-            star.mean_latency_s
-        );
-    }
-
-    #[test]
-    fn single_sudc_failure_loses_everything_after_it() {
-        // One SµDC, fails at the midpoint: roughly half the frames are
-        // lost — the all-eggs-in-one-basket case of Sec. 9.
-        let mut cfg =
-            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
-        cfg.duration = Time::from_minutes(2.0);
-        cfg.failures = vec![(0, Time::from_minutes(1.0))];
-        let r = run(&cfg);
-        let lost_frac = r.lost_to_failures as f64 / r.kept as f64;
-        assert!(
-            (0.35..0.65).contains(&lost_frac),
-            "lost fraction {lost_frac}"
-        );
-        assert!(!r.stable);
-    }
-
-    #[test]
-    fn split_fleet_degrades_gracefully_under_one_failure() {
-        // Four SµDCs, one fails: ~1/4 of frames lost, the rest keep
-        // flowing — the resilience payoff of splitting/disaggregation.
-        let mut cfg =
-            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
-        cfg.clusters = 4;
-        cfg.duration = Time::from_minutes(2.0);
-        cfg.failures = vec![(2, Time::ZERO)];
-        let r = run(&cfg);
-        let lost_frac = r.lost_to_failures as f64 / r.kept as f64;
-        assert!(
-            (0.15..0.35).contains(&lost_frac),
-            "lost fraction {lost_frac}"
-        );
-        assert!(
-            r.processed as f64 / r.kept as f64 > 0.6,
-            "surviving clusters keep processing: {r:?}"
-        );
-    }
-
-    #[test]
-    fn no_failures_means_no_losses() {
-        let r = quick(Application::AirPollution, 3.0, 0.95, 2);
-        assert_eq!(r.lost_to_failures, 0);
-        assert_eq!(r.faults, crate::sim::FaultSummary::default());
-        assert_eq!(r.faults.availability, 1.0);
-    }
-
-    #[test]
-    fn queued_work_dies_with_the_cluster() {
-        // Regression: frames already *inside* a SµDC's compute queue when
-        // it fails must not be credited as processed. With one cluster
-        // failing at T, the processed count must equal a fault-free run
-        // truncated at T — everything completing after T died with the
-        // SµDC. (Previously the failure check ran only at frame arrival,
-        // so in-queue frames kept completing on dead hardware.)
-        let t_fail = Time::from_secs(61.3);
-        let mut cfg =
-            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
-        cfg.duration = Time::from_minutes(2.0);
-        cfg.failures = vec![(0, t_fail)];
-        let failed = run(&cfg);
-
-        let mut truncated = cfg.clone();
-        truncated.failures.clear();
-        truncated.duration = t_fail;
-        let baseline = run(&truncated);
-
-        assert_eq!(
-            failed.processed, baseline.processed,
-            "no frame may finish on a dead SµDC: {failed:?}"
-        );
-        assert!(failed.lost_to_failures > 0);
-    }
-
-    fn with_scenario(app: Application, res_m: f64, discard: f64, scenario: &str) -> SimConfig {
-        let mut cfg = SimConfig::paper_reference(app, Length::from_m(res_m), discard);
-        cfg.duration = Time::from_minutes(2.0);
-        cfg.faults = crate::sim::FaultModel::scenario(scenario).expect("known scenario");
-        cfg
-    }
-
-    #[test]
-    fn flaky_links_retry_reroute_and_degrade() {
-        let cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "flaky_links");
-        let r = run(&cfg);
-        assert_eq!(r, run(&cfg), "same seed, same faults, same report");
-        assert!(r.faults.link_outages > 0, "{:?}", r.faults);
-        assert!(r.faults.retries > 0, "{:?}", r.faults);
-        assert!(r.faults.reroutes > 0, "{:?}", r.faults);
-        assert!(r.faults.availability < 1.0 && r.faults.availability > 0.5);
-
-        let mut clean = cfg.clone();
-        clean.faults = crate::sim::FaultModel::none();
-        let baseline = run(&clean);
-        assert!(
-            r.goodput <= baseline.goodput,
-            "{} vs {}",
-            r.goodput,
-            baseline.goodput
-        );
-        // Every kept frame is accounted for: processed, corrupted, lost,
-        // or still somewhere in flight at the horizon.
-        assert!(r.processed + r.faults.undeliverable + r.lost_to_failures <= r.kept);
-    }
-
-    #[test]
-    fn seu_storm_corrupts_output_and_slows_compute() {
-        let cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "seu_storm");
-        let r = run(&cfg);
-        let mut clean = cfg.clone();
-        clean.faults = crate::sim::FaultModel::none();
-        let baseline = run(&clean);
-        assert!(r.faults.frames_corrupted > 0, "{:?}", r.faults);
-        assert!(r.processed < baseline.processed);
-        assert!(r.goodput < baseline.goodput);
-        // Corruption is silent: the work was still done, only wasted.
-        assert_eq!(r.kept, baseline.kept, "SEUs do not change the discard draw");
-    }
-
-    #[test]
-    fn cluster_outages_reroute_to_live_sudcs() {
-        let mut cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "cluster_loss");
-        cfg.clusters = 4;
-        let r = run(&cfg);
-        assert!(r.faults.cluster_outages > 0, "{:?}", r.faults);
-        assert!(r.faults.reroutes > 0, "{:?}", r.faults);
-        // Rerouting keeps goodput well above the availability floor a
-        // lose-everything policy would imply.
-        let mut clean = cfg.clone();
-        clean.faults = crate::sim::FaultModel::none();
-        let baseline = run(&clean);
-        assert!(r.goodput <= baseline.goodput);
-        assert!(
-            r.processed as f64 > 0.5 * baseline.processed as f64,
-            "rerouting should preserve most throughput: {r:?}"
-        );
-    }
-
-    #[test]
-    fn combined_scenario_sheds_load_under_backlog() {
-        // TM at 1 m with no discard swamps a plain ring: the backlog
-        // crosses the combined scenario's shedding threshold and sources
-        // start dropping frames instead of feeding the pile-up.
-        let cfg = with_scenario(Application::TrafficMonitoring, 1.0, 0.0, "combined");
-        let r = run(&cfg);
-        assert_eq!(r, run(&cfg), "combined scenario stays deterministic");
-        assert!(r.faults.frames_shed > 0, "{:?}", r.faults);
-        assert!(r.faults.link_outages > 0);
-        assert!(r.kept > r.processed);
-    }
-
-    #[test]
-    fn fault_free_runs_ignore_fault_plumbing() {
-        // A FaultModel::none() run must report exactly what the simulator
-        // reported before fault injection existed: zero fault statistics
-        // and identical core counters regardless of the retry policy.
-        let mut a = SimConfig::paper_reference(Application::OilSpill, Length::from_m(1.0), 0.5);
-        a.duration = Time::from_minutes(1.0);
-        let mut b = a.clone();
-        b.faults.retry = crate::sim::RetrySpec {
-            max_retries: 99,
-            base_backoff: Time::from_secs(7.0),
-            factor: 3.0,
-        };
-        assert_eq!(run(&a), run(&b), "retry policy is inert without outages");
-    }
-
-    #[test]
-    fn geo_star_does_not_require_divisible_clusters() {
-        // 64 satellites over 3 GEO nodes: fine for a star, illegal for a
-        // ring.
-        let mut cfg =
-            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
-        cfg.topology = SimTopology::GeoStar;
-        cfg.clusters = 3;
-        cfg.duration = Time::from_minutes(1.0);
-        let r = run(&cfg);
-        assert!(r.stable, "{r:?}");
-    }
-
-    #[test]
-    #[should_panic(expected = "even ingest_links")]
-    fn odd_klist_panics() {
-        let mut cfg =
-            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.0);
-        cfg.ingest_links = 3;
-        let _ = run(&cfg);
-    }
-
-    #[test]
-    #[should_panic(expected = "divide the ring")]
-    fn invalid_cluster_count_panics() {
-        let mut cfg =
-            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.0);
-        cfg.clusters = 7; // 64 % 7 != 0
-        let _ = run(&cfg);
+    fn split_capacity_is_divided_per_unit() {
+        let mut c = cfg();
+        c.clusters = 4;
+        let whole = c.unit_pixel_capacity().unwrap();
+        c.topology = SimTopology::SplitRing { factor: 4 };
+        let split = c.unit_pixel_capacity().unwrap();
+        assert!((split - whole / 4.0).abs() < 1e-9);
     }
 }

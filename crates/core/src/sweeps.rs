@@ -68,6 +68,19 @@ pub fn all() -> Vec<SweepDef> {
             ],
         },
         SweepDef {
+            name: "split",
+            title: "Sec. 8 SµDC splitting on the DES: goodput vs split factor",
+            axes: vec![
+                AxisSpec {
+                    name: "factor",
+                    help: "SµDC split factor (clusters × factor must divide the ring)",
+                    default: vec![1.0, 2.0, 4.0, 8.0],
+                    integer: true,
+                },
+                ed_axis(vec![0.0, 0.5, 0.95]),
+            ],
+        },
+        SweepDef {
             name: "sizing",
             title: "Fig. 9-style SµDC counts (RTX 3090), all applications",
             axes: vec![
@@ -171,6 +184,7 @@ pub fn run(
     }
     match def.name {
         "codesign" => run_codesign(&def, overrides, opts, cache_dir),
+        "split" => run_split(&def, overrides, opts, cache_dir),
         "sizing" => run_sizing(&def, overrides, opts, cache_dir),
         "table8" => run_table8(&def, overrides, opts, cache_dir),
         "bottleneck" => run_bottleneck(&def, overrides, opts, cache_dir),
@@ -361,6 +375,91 @@ fn run_codesign(
     ))
 }
 
+/// Fixed SµDC count of the split sweep's reference ring: matches the
+/// `repro sim` default so the factor-1 column reproduces that regime.
+const SPLIT_SWEEP_CLUSTERS: usize = 4;
+
+/// Builds the paper-reference [`crate::sim::SimConfig`] the split sweep
+/// evaluates: 1 simulated minute of `AirPollution` at 3 m, the ring
+/// served by [`SPLIT_SWEEP_CLUSTERS`] SµDCs each split `factor` ways.
+fn split_sweep_config(factor: usize, ed: f64) -> crate::sim::SimConfig {
+    let mut cfg =
+        crate::sim::SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), ed);
+    cfg.topology = crate::sim::SimTopology::SplitRing { factor };
+    cfg.clusters = SPLIT_SWEEP_CLUSTERS;
+    cfg.duration = units::Time::from_minutes(1.0);
+    cfg
+}
+
+fn run_split(
+    def: &SweepDef,
+    overrides: &[(String, Vec<f64>)],
+    opts: &ExecOptions,
+    cache_dir: Option<&Path>,
+) -> Result<SweepRun, String> {
+    let factors = axis_usize(def, overrides, "factor")?;
+    let eds = axis_f64(def, overrides, "ed");
+    for &f in &factors {
+        split_sweep_config(f, 0.0)
+            .validate()
+            .map_err(|e| format!("axis 'factor': {e}"))?;
+    }
+    let mut points = Vec::new();
+    for &factor in &factors {
+        for &ed in &eds {
+            points.push((factor, ed));
+        }
+    }
+    let space = Space::from_points("split", points, |&(factor, ed)| {
+        format!("factor={factor};ed={ed}")
+    });
+    let mut cache = open_cache(cache_dir, "split", "split-v1");
+    let out = explore::sweep_cached(&space, opts, &mut cache, |&(factor, ed)| {
+        let report = crate::sim::run(&split_sweep_config(factor, ed));
+        SplitCell {
+            factor,
+            discard_rate: ed,
+            goodput: report.goodput,
+            mean_latency_s: report.mean_latency_s,
+            compute_utilization: report.compute_utilization,
+            stable: report.stable,
+        }
+    });
+    let cache_written = cache.save().map_err(|e| format!("cache save: {e}"))?;
+
+    Ok(artifacts(
+        "split",
+        "SµDC splitting under the DES: per-unit ISL relief vs split factor (Sec. 8)",
+        &[
+            "split",
+            "ED",
+            "goodput",
+            "mean latency (s)",
+            "compute util",
+            "stable",
+        ],
+        &out.results,
+        |c: &SplitCell| {
+            vec![
+                c.factor.to_string(),
+                ed_label(c.discard_rate),
+                format!("{:.4}", c.goodput),
+                format!("{:.4}", c.mean_latency_s),
+                format!("{:.4}", c.compute_utilization),
+                c.stable.to_string(),
+            ]
+        },
+        &[
+            Objective::maximize("goodput", |c: &SplitCell| c.goodput),
+            Objective::minimize("split factor", |c: &SplitCell| c.factor as f64),
+            Objective::minimize("ED", |c: &SplitCell| c.discard_rate),
+        ],
+        &[],
+        out.stats,
+        cache_written,
+    ))
+}
+
 fn run_sizing(
     def: &SweepDef,
     overrides: &[(String, Vec<f64>)],
@@ -538,6 +637,49 @@ fn run_bottleneck(
 
 fn lengths(meters: &[f64]) -> Vec<Length> {
     meters.iter().map(|&m| Length::from_m(m)).collect()
+}
+
+/// One cell of the split sweep: the DES outcome of serving the
+/// paper-reference ring with each SµDC split `factor` ways.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitCell {
+    /// SµDC split factor (1 = the plain ring).
+    pub factor: usize,
+    /// Early-discard target the frames were generated under.
+    pub discard_rate: f64,
+    /// Processed / kept over the run.
+    pub goodput: f64,
+    /// Mean end-to-end latency, seconds.
+    pub mean_latency_s: f64,
+    /// Mean per-unit compute utilisation.
+    pub compute_utilization: f64,
+    /// Whether the backlog stayed bounded.
+    pub stable: bool,
+}
+
+impl explore::Cacheable for SplitCell {
+    fn encode(&self) -> String {
+        explore::Enc::new()
+            .usize(self.factor)
+            .f64(self.discard_rate)
+            .f64(self.goodput)
+            .f64(self.mean_latency_s)
+            .f64(self.compute_utilization)
+            .bool(self.stable)
+            .finish()
+    }
+
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = explore::Dec::new(s);
+        Some(Self {
+            factor: d.usize()?,
+            discard_rate: d.f64()?,
+            goodput: d.f64()?,
+            mean_latency_s: d.f64()?,
+            compute_utilization: d.f64()?,
+            stable: d.bool()?,
+        })
+    }
 }
 
 /// One cell of the CLI sizing sweep: a [`SizingRow`] tagged with the
@@ -738,6 +880,50 @@ mod tests {
         assert_eq!(cold.grid.rows, warm.grid.rows);
         assert_eq!(cold.frontier.rows, warm.frontier.rows);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn split_sweep_rejects_indivisible_factors() {
+        let bad = vec![("factor".to_string(), vec![3.0])];
+        assert!(run("split", &bad, &ExecOptions::sequential(), None)
+            .unwrap_err()
+            .contains("divide the ring"));
+    }
+
+    #[test]
+    fn split_sweep_caches_its_des_runs() {
+        let dir = std::env::temp_dir().join(format!("sudc_split_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let overrides = vec![
+            ("factor".to_string(), vec![1.0, 4.0]),
+            ("ed".to_string(), vec![0.95]),
+        ];
+        let cold = run("split", &overrides, &ExecOptions::sequential(), Some(&dir)).unwrap();
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert_eq!(cold.stats.evaluated, 2);
+
+        let warm = run("split", &overrides, &ExecOptions::sequential(), Some(&dir)).unwrap();
+        assert_eq!(
+            warm.stats.evaluated, 0,
+            "warm split sweep replays the cache"
+        );
+        assert_eq!(warm.stats.cache_hits, warm.stats.points);
+        assert_eq!(cold.grid.rows, warm.grid.rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn split_cell_cache_round_trips() {
+        use explore::Cacheable;
+        let cell = SplitCell {
+            factor: 4,
+            discard_rate: 0.95,
+            goodput: 0.875,
+            mean_latency_s: 1.5,
+            compute_utilization: 0.25,
+            stable: true,
+        };
+        assert_eq!(SplitCell::decode(&cell.encode()), Some(cell));
     }
 
     #[test]

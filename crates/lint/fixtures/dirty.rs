@@ -47,3 +47,126 @@ pub fn boom() -> ! {
 
 // TODO: tighten this bound once sizing lands. //~ todo-marker
 pub const BOUND: u32 = 8;
+
+pub fn long_tail(mut acc: u64) -> u64 { //~ long-function
+    acc = acc.wrapping_add(0);
+    acc = acc.wrapping_add(1);
+    acc = acc.wrapping_add(2);
+    acc = acc.wrapping_add(3);
+    acc = acc.wrapping_add(4);
+    acc = acc.wrapping_add(5);
+    acc = acc.wrapping_add(6);
+    acc = acc.wrapping_add(7);
+    acc = acc.wrapping_add(8);
+    acc = acc.wrapping_add(9);
+    acc = acc.wrapping_add(10);
+    acc = acc.wrapping_add(11);
+    acc = acc.wrapping_add(12);
+    acc = acc.wrapping_add(13);
+    acc = acc.wrapping_add(14);
+    acc = acc.wrapping_add(15);
+    acc = acc.wrapping_add(16);
+    acc = acc.wrapping_add(17);
+    acc = acc.wrapping_add(18);
+    acc = acc.wrapping_add(19);
+    acc = acc.wrapping_add(20);
+    acc = acc.wrapping_add(21);
+    acc = acc.wrapping_add(22);
+    acc = acc.wrapping_add(23);
+    acc = acc.wrapping_add(24);
+    acc = acc.wrapping_add(25);
+    acc = acc.wrapping_add(26);
+    acc = acc.wrapping_add(27);
+    acc = acc.wrapping_add(28);
+    acc = acc.wrapping_add(29);
+    acc = acc.wrapping_add(30);
+    acc = acc.wrapping_add(31);
+    acc = acc.wrapping_add(32);
+    acc = acc.wrapping_add(33);
+    acc = acc.wrapping_add(34);
+    acc = acc.wrapping_add(35);
+    acc = acc.wrapping_add(36);
+    acc = acc.wrapping_add(37);
+    acc = acc.wrapping_add(38);
+    acc = acc.wrapping_add(39);
+    acc = acc.wrapping_add(40);
+    acc = acc.wrapping_add(41);
+    acc = acc.wrapping_add(42);
+    acc = acc.wrapping_add(43);
+    acc = acc.wrapping_add(44);
+    acc = acc.wrapping_add(45);
+    acc = acc.wrapping_add(46);
+    acc = acc.wrapping_add(47);
+    acc = acc.wrapping_add(48);
+    acc = acc.wrapping_add(49);
+    acc = acc.wrapping_add(50);
+    acc = acc.wrapping_add(51);
+    acc = acc.wrapping_add(52);
+    acc = acc.wrapping_add(53);
+    acc = acc.wrapping_add(54);
+    acc = acc.wrapping_add(55);
+    acc = acc.wrapping_add(56);
+    acc = acc.wrapping_add(57);
+    acc = acc.wrapping_add(58);
+    acc = acc.wrapping_add(59);
+    acc = acc.wrapping_add(60);
+    acc = acc.wrapping_add(61);
+    acc = acc.wrapping_add(62);
+    acc = acc.wrapping_add(63);
+    acc = acc.wrapping_add(64);
+    acc = acc.wrapping_add(65);
+    acc = acc.wrapping_add(66);
+    acc = acc.wrapping_add(67);
+    acc = acc.wrapping_add(68);
+    acc = acc.wrapping_add(69);
+    acc = acc.wrapping_add(70);
+    acc = acc.wrapping_add(71);
+    acc = acc.wrapping_add(72);
+    acc = acc.wrapping_add(73);
+    acc = acc.wrapping_add(74);
+    acc = acc.wrapping_add(75);
+    acc = acc.wrapping_add(76);
+    acc = acc.wrapping_add(77);
+    acc = acc.wrapping_add(78);
+    acc = acc.wrapping_add(79);
+    acc = acc.wrapping_add(80);
+    acc = acc.wrapping_add(81);
+    acc = acc.wrapping_add(82);
+    acc = acc.wrapping_add(83);
+    acc = acc.wrapping_add(84);
+    acc = acc.wrapping_add(85);
+    acc = acc.wrapping_add(86);
+    acc = acc.wrapping_add(87);
+    acc = acc.wrapping_add(88);
+    acc = acc.wrapping_add(89);
+    acc = acc.wrapping_add(90);
+    acc = acc.wrapping_add(91);
+    acc = acc.wrapping_add(92);
+    acc = acc.wrapping_add(93);
+    acc = acc.wrapping_add(94);
+    acc = acc.wrapping_add(95);
+    acc = acc.wrapping_add(96);
+    acc = acc.wrapping_add(97);
+    acc = acc.wrapping_add(98);
+    acc = acc.wrapping_add(99);
+    acc = acc.wrapping_add(100);
+    acc = acc.wrapping_add(101);
+    acc = acc.wrapping_add(102);
+    acc = acc.wrapping_add(103);
+    acc = acc.wrapping_add(104);
+    acc = acc.wrapping_add(105);
+    acc = acc.wrapping_add(106);
+    acc = acc.wrapping_add(107);
+    acc = acc.wrapping_add(108);
+    acc = acc.wrapping_add(109);
+    acc = acc.wrapping_add(110);
+    acc = acc.wrapping_add(111);
+    acc = acc.wrapping_add(112);
+    acc = acc.wrapping_add(113);
+    acc = acc.wrapping_add(114);
+    acc = acc.wrapping_add(115);
+    acc = acc.wrapping_add(116);
+    acc = acc.wrapping_add(117);
+    acc = acc.wrapping_add(118);
+    acc
+}

@@ -78,6 +78,14 @@ pub static RULES: &[RuleInfo] = &[
         check: check_unwrap_in_lib,
     },
     RuleInfo {
+        id: "long-function",
+        severity: Severity::Warn,
+        summary: "function spans more than 120 lines",
+        hint: "extract helpers or split the function along its phases (see the sim \
+               engine's topology/transport/service layering)",
+        check: check_long_function,
+    },
+    RuleInfo {
         id: "todo-marker",
         severity: Severity::Warn,
         summary: "to-do/fix-me marker left in a comment",
@@ -296,6 +304,89 @@ fn check_unwrap_in_lib(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnos
     }
 }
 
+/// Lines a function may span (`fn` keyword through closing brace)
+/// before `long-function` fires.
+const MAX_FN_LINES: u32 = 120;
+
+/// Finds the token index of a function body's opening `{`, scanning
+/// forward from the token after `fn`. Returns `None` for bodiless
+/// items: trait method declarations (`;`) and `fn(...)` pointer types
+/// (ended by `,`, `}`, or an enclosing closing bracket).
+fn fn_body_start(file: &SourceFile, mut j: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    loop {
+        let t = file.code_tok(j)?;
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return None;
+                    }
+                }
+                "{" if depth == 0 => return Some(j),
+                ";" | "," | "}" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+}
+
+/// The line of the `}` closing the brace block opened at token `start`.
+fn block_end_line(file: &SourceFile, start: usize) -> Option<u32> {
+    let mut depth = 0i32;
+    let mut k = start;
+    while let Some(t) = file.code_tok(k) {
+        if t.kind == TokKind::Punct {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(t.line);
+                }
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+fn check_long_function(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_lib_code(&file.path) {
+        return;
+    }
+    for i in 0..file.code.len() {
+        let Some(t) = file.code_tok(i) else { break };
+        if t.kind != TokKind::Ident || t.text != "fn" || file.in_test_code(t.line) {
+            continue;
+        }
+        let Some(start) = fn_body_start(file, i + 1) else {
+            continue;
+        };
+        let Some(end_line) = block_end_line(file, start) else {
+            continue;
+        };
+        let lines = end_line.saturating_sub(t.line) + 1;
+        if lines <= MAX_FN_LINES {
+            continue;
+        }
+        let name = file
+            .code_tok(i + 1)
+            .filter(|n| n.kind == TokKind::Ident)
+            .map_or_else(|| "<fn>".to_string(), |n| n.text.clone());
+        emit(
+            rule,
+            file,
+            t,
+            format!("`{name}` spans {lines} lines (max {MAX_FN_LINES})"),
+            out,
+        );
+    }
+}
+
 fn check_todo_marker(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic>) {
     const MARKERS: &[&str] = &["TODO", "FIXME", "XXX", "HACK"];
     for t in file.tokens.iter().filter(|t| t.is_comment()) {
@@ -428,6 +519,46 @@ mod tests {
         // `expect` as a free identifier (e.g. a local named expect) is
         // not a method call.
         assert!(!rule_ids(LIB, "fn f() { let expect = 3; }\n").contains(&"unwrap-in-lib"));
+    }
+
+    /// A syntactically valid function whose `fn`-to-`}` span is
+    /// exactly `lines` lines.
+    fn fn_of_lines(lines: u32) -> String {
+        let body: String = (0..lines - 2)
+            .map(|i| format!("    let _x{i} = {i};\n"))
+            .collect();
+        format!("fn f() {{\n{body}}}\n")
+    }
+
+    #[test]
+    fn long_functions_fire_past_the_line_budget() {
+        assert!(!rule_ids(LIB, &fn_of_lines(120)).contains(&"long-function"));
+        let hits = diags(LIB, &fn_of_lines(121));
+        let d = hits
+            .iter()
+            .find(|d| d.rule == "long-function")
+            .expect("121-line fn fires");
+        assert_eq!(d.line, 1, "anchored at the fn keyword");
+        assert!(d.message.contains("`f` spans 121 lines"), "{}", d.message);
+    }
+
+    #[test]
+    fn long_function_skips_tests_and_bodiless_items() {
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n{}}}\n", fn_of_lines(130));
+        assert!(!rule_ids(LIB, &in_tests).contains(&"long-function"));
+        let trait_decl = "trait T {\n    fn f(&self) -> u32;\n}\n";
+        assert!(!rule_ids(LIB, trait_decl).contains(&"long-function"));
+        let fn_ptr = "struct S {\n    hook: fn(&u32) -> bool,\n}\n";
+        assert!(!rule_ids(LIB, fn_ptr).contains(&"long-function"));
+    }
+
+    #[test]
+    fn long_function_respects_suppressions() {
+        let src = format!(
+            "// lint:allow(long-function) generated table\n{}",
+            fn_of_lines(200)
+        );
+        assert!(!rule_ids(LIB, &src).contains(&"long-function"));
     }
 
     #[test]

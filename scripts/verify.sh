@@ -4,8 +4,9 @@
 #   scripts/verify.sh
 #
 # Runs the full workspace build + test suite, checks formatting, runs
-# the fault-injection determinism gate (two same-seed `repro sim` runs
-# must produce byte-identical reports), runs the static-analysis gate
+# the determinism gate (two same-seed `repro sim` runs of every topology
+# shape — ring, klist:4, geo, split:4 — must produce byte-identical
+# fault reports), runs the static-analysis gate
 # (`repro lint` must be ratchet-clean against results/lint_baseline.json),
 # and — when the cargo registry is unreachable (offline containers cannot
 # resolve the external dev-dependencies) — falls back to building and
@@ -78,34 +79,46 @@ else
     fi
 fi
 
-echo "== fault-injection determinism gate =="
+echo "== determinism gate (topology matrix × fault injection) =="
 if [ -x target/release/repro ]; then
-    da="$(mktemp -d)"
-    db="$(mktemp -d)"
+    # Every topology shape must replay byte-identically under the same
+    # seed, faults included: two runs of each cell are byte-diffed.
+    # topology argument → artifact-id suffix (empty for the ring).
+    matrix="ring: klist:4:_klist4 geo:_geo split:4:_split4"
     gate_ok=1
-    for runDir in "$da" "$db"; do
-        if ! ./target/release/repro --quiet sim --faults flaky_links \
-            --out-dir "$runDir" >/dev/null; then
-            gate_ok=0
-        fi
-    done
-    if [ "$gate_ok" -eq 1 ]; then
-        for ext in txt csv json; do
-            if ! diff -q "$da/faults_flaky_links.$ext" \
-                "$db/faults_flaky_links.$ext" >/dev/null; then
-                echo "FAIL: same-seed fault runs differ (faults_flaky_links.$ext)"
-                gate_ok=0
+    for cell in $matrix; do
+        topo="${cell%:*}"
+        suffix="${cell##*:}"
+        da="$(mktemp -d)"
+        db="$(mktemp -d)"
+        cell_ok=1
+        for runDir in "$da" "$db"; do
+            if ! ./target/release/repro --quiet sim --faults flaky_links \
+                --topology "$topo" --out-dir "$runDir" >/dev/null; then
+                cell_ok=0
             fi
         done
-    else
-        echo "FAIL: repro sim --faults flaky_links did not run cleanly"
-    fi
-    if [ "$gate_ok" -eq 1 ]; then
-        echo "ok: two same-seed fault runs produced byte-identical reports"
-    else
+        if [ "$cell_ok" -eq 1 ]; then
+            for ext in txt csv json; do
+                if ! diff -q "$da/faults_flaky_links$suffix.$ext" \
+                    "$db/faults_flaky_links$suffix.$ext" >/dev/null; then
+                    echo "FAIL: same-seed runs differ ($topo, faults_flaky_links$suffix.$ext)"
+                    cell_ok=0
+                fi
+            done
+        else
+            echo "FAIL: repro sim --topology $topo did not run cleanly"
+        fi
+        if [ "$cell_ok" -eq 1 ]; then
+            echo "ok: $topo replays byte-identically under the same seed"
+        else
+            gate_ok=0
+        fi
+        rm -rf "$da" "$db"
+    done
+    if [ "$gate_ok" -ne 1 ]; then
         failed=1
     fi
-    rm -rf "$da" "$db"
 else
     echo "warn: target/release/repro not built; skipping determinism gate"
 fi

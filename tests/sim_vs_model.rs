@@ -2,10 +2,25 @@
 //! the discrete-event simulator, beyond the cases baked into the simval
 //! experiment.
 
-use sudc::sim::{run, DiscardPolicy, SimConfig};
+use sudc::sim::{run, DiscardPolicy, FaultModel, SimConfig, SimTopology};
 use sudc::sizing::SudcSpec;
 use units::{DataRate, Length, Time};
 use workloads::{Application, Device};
+
+fn config(
+    app: Application,
+    res: Length,
+    discard: f64,
+    isl_gbps: f64,
+    clusters: usize,
+) -> SimConfig {
+    let mut cfg = SimConfig::paper_reference(app, res, discard);
+    cfg.isl_capacity = DataRate::from_gbps(isl_gbps);
+    cfg.clusters = clusters;
+    cfg.discard = DiscardPolicy::Uniform(discard);
+    cfg.duration = Time::from_minutes(2.0);
+    cfg
+}
 
 fn simulate(
     app: Application,
@@ -14,12 +29,7 @@ fn simulate(
     isl_gbps: f64,
     clusters: usize,
 ) -> sudc::sim::SimReport {
-    let mut cfg = SimConfig::paper_reference(app, res, discard);
-    cfg.isl_capacity = DataRate::from_gbps(isl_gbps);
-    cfg.clusters = clusters;
-    cfg.discard = DiscardPolicy::Uniform(discard);
-    cfg.duration = Time::from_minutes(2.0);
-    run(&cfg)
+    run(&config(app, res, discard, isl_gbps, clusters))
 }
 
 /// Table 8 predicts each ring cluster of 16 satellites needs ≥16
@@ -115,6 +125,156 @@ fn latency_reflects_load() {
         heavy.mean_latency_s,
         light.mean_latency_s
     );
+}
+
+/// Sec. 8 k-lists: striping each arc side into `k/2` relay chains
+/// multiplies the Table 8 ingest bound by `k/2`. Pick an ISL capacity
+/// where the plain ring (k = 2) cannot feed its 16-satellite arcs but
+/// the generalised closed-form bound says k = 4 can, and check the
+/// simulator flips to stable exactly there (and stays stable at k = 8).
+#[test]
+fn klist_relieves_the_isl_bound_where_the_model_says() {
+    let res = Length::from_m(1.0);
+    let discard = 0.5;
+    let clusters = 4; // 16-satellite arcs
+    let per_cluster = sudc::bottleneck::ring_supportable(DataRate::from_gbps(5.0), res, discard);
+    assert!(per_cluster < 16, "ring bound must bind: {per_cluster}");
+    assert!(2 * per_cluster >= 16, "k=4 bound must clear 16");
+
+    // The Fig. 13 codesign model prices the same scaling: aggregate
+    // capacity grows as k/2 while ISL power grows as (k/2)².
+    let c2 = sudc::codesign::fig13_point(2, 1);
+    let c4 = sudc::codesign::fig13_point(4, 1);
+    let c8 = sudc::codesign::fig13_point(8, 1);
+    assert!((c4.capacity_norm / c2.capacity_norm - 2.0).abs() < 1e-9);
+    assert!((c8.capacity_norm / c2.capacity_norm - 4.0).abs() < 1e-9);
+    assert!(
+        c4.power_norm > 2.0 * c2.power_norm,
+        "k-lists buy capacity with power"
+    );
+
+    let mut cfg = config(Application::TrafficMonitoring, res, discard, 5.0, clusters);
+    let ring = run(&cfg);
+    assert!(!ring.stable, "k=2 should overload at 5 Gbit/s: {ring:?}");
+    for k in [4usize, 8] {
+        cfg.ingest_links = k;
+        let report = run(&cfg);
+        assert!(
+            report.stable,
+            "k={k} should sustain at 5 Gbit/s: {report:?}"
+        );
+        assert!(
+            report.goodput > ring.goodput,
+            "k={k} goodput {} vs ring {}",
+            report.goodput,
+            ring.goodput
+        );
+    }
+}
+
+/// Fig. 15 GEO star: direct uplinks remove the relay bottleneck
+/// entirely (the same 5 Gbit/s links that overload the ring carry one
+/// satellite's stream each), at the price of ~0.13 s of LEO→GEO
+/// propagation — but the compute sizing model still binds.
+#[test]
+fn geo_star_trades_relay_bound_for_uplink_latency() {
+    let res = Length::from_m(1.0);
+    let discard = 0.5;
+
+    // ISL-bound case: the ring overloads, the star does not.
+    let mut cfg = config(Application::TrafficMonitoring, res, discard, 5.0, 4);
+    let ring = run(&cfg);
+    assert!(!ring.stable, "ring should overload at 5 Gbit/s: {ring:?}");
+    cfg.topology = SimTopology::GeoStar;
+    let star = run(&cfg);
+    assert!(star.stable, "direct uplinks should sustain: {star:?}");
+    let uplink_s = 38_000e3 / 299_792_458.0;
+    assert!(
+        star.mean_latency_s > uplink_s,
+        "GEO latency {} must include the {uplink_s:.3} s uplink",
+        star.mean_latency_s
+    );
+
+    // Compute-bound case: no topology rescues an undersized SµDC fleet,
+    // exactly as the Fig. 9 sizing model prescribes.
+    let app = Application::OilSpill;
+    let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+    let needed = sudc::sizing::sudcs_needed(&spec, app, res, discard, 64).unwrap();
+    let mut cfg = config(app, res, discard, 100.0, (needed / 2).max(1));
+    cfg.topology = SimTopology::GeoStar;
+    let starved = run(&cfg);
+    assert!(
+        !starved.stable,
+        "half the sizing model's SµDCs should overload even in GEO: {starved:?}"
+    );
+}
+
+/// Sec. 8 SµDC splitting: a split ring multiplies ingest capacity (the
+/// Fig. 13 model says linearly in the factor) because each sub-arc is
+/// shorter — but it divides per-unit compute, so it cannot rescue a
+/// compute-bound configuration.
+#[test]
+fn split_ring_relieves_isl_but_not_compute_per_the_models() {
+    let res = Length::from_m(1.0);
+    let discard = 0.5;
+
+    // Closed-form anchor: splitting scales capacity and power linearly.
+    let base = sudc::codesign::fig13_point(2, 1);
+    let split4 = sudc::codesign::fig13_point(2, 4);
+    assert!((split4.capacity_norm / base.capacity_norm - 4.0).abs() < 1e-9);
+    assert!((split4.power_norm / base.power_norm - 4.0).abs() < 1e-9);
+
+    // ISL-bound case: factor 4 shrinks 16-satellite arcs to 4, under
+    // the Table 8 bound for 5 Gbit/s links, so the sim goes stable.
+    let per_cluster = sudc::bottleneck::ring_supportable(DataRate::from_gbps(5.0), res, discard);
+    assert!(per_cluster >= 4, "sub-arc of 4 must fit the bound");
+    let mut cfg = config(Application::TrafficMonitoring, res, discard, 5.0, 4);
+    let ring = run(&cfg);
+    assert!(!ring.stable, "unsplit ring should overload: {ring:?}");
+    cfg.topology = SimTopology::SplitRing { factor: 4 };
+    let split = run(&cfg);
+    assert!(split.stable, "factor 4 should sustain: {split:?}");
+
+    // Compute-bound case: splitting leaves total compute unchanged, so
+    // an undersized fleet stays undersized at any factor.
+    let app = Application::OilSpill;
+    let spec = SudcSpec::paper_4kw(Device::Rtx3090);
+    let needed = sudc::sizing::sudcs_needed(&spec, app, res, discard, 64).unwrap();
+    let starved_clusters = (needed / 2).max(1);
+    let mut cfg = config(app, res, discard, 100.0, starved_clusters);
+    let whole = run(&cfg);
+    assert!(!whole.stable, "undersized fleet should overload: {whole:?}");
+    cfg.topology = SimTopology::SplitRing { factor: 2 };
+    let split = run(&cfg);
+    assert!(!split.stable, "splitting must not mint compute: {split:?}");
+}
+
+/// Every topology replays byte-for-byte under the same seed — the
+/// refactored engine's determinism contract, checked across the whole
+/// shape matrix, with and without fault injection.
+#[test]
+fn topology_matrix_is_deterministic_under_the_same_seed() {
+    let shapes: [(&str, SimTopology, usize); 4] = [
+        ("ring", SimTopology::Ring, 2),
+        ("klist4", SimTopology::Ring, 4),
+        ("geo", SimTopology::GeoStar, 2),
+        ("split4", SimTopology::SplitRing { factor: 4 }, 2),
+    ];
+    for (name, topology, ingest_links) in shapes {
+        let mut cfg = config(
+            Application::AirPollution,
+            Length::from_m(3.0),
+            0.95,
+            10.0,
+            4,
+        );
+        cfg.topology = topology;
+        cfg.ingest_links = ingest_links;
+        cfg.duration = Time::from_minutes(1.0);
+        assert_eq!(run(&cfg), run(&cfg), "{name}: fault-free replay diverged");
+        cfg.faults = FaultModel::scenario("combined").expect("combined scenario");
+        assert_eq!(run(&cfg), run(&cfg), "{name}: faulted replay diverged");
+    }
 }
 
 /// The simval experiment's own agreement note reports full agreement.
