@@ -1,0 +1,201 @@
+//! `repro bench sim` — the simulator perf gate. Runs the paper-reference
+//! constellation under the `combined` fault scenario with the flight
+//! recorder off and on, reports events/sec, frames/sec, peak
+//! event-queue depth, and the measured recorder overhead, and writes
+//! `results/BENCH_sim.json` for scripts/verify.sh to check.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sudc::sim::{try_run, try_run_recorded, FaultModel, SimConfig, SimReport};
+use telemetry::trace::Recorder;
+use telemetry::RunManifest;
+
+use crate::Cli;
+
+/// Best-of repetitions per arm; wall time is noisy, counters are not.
+const REPS: usize = 15;
+
+/// Recorder ring for the "on" arm — the same size `repro sim --record`
+/// uses, so the gate exercises the recorder's cache-resident zero-copy
+/// batch path. In-memory only (no sink): the gate measures
+/// instrumentation cost, not disk bandwidth.
+const RECORDER_RING: usize = 4096;
+
+/// Best-of-[`REPS`] wall seconds for both arms, *interleaved*: each
+/// repetition times a recorder-off run immediately followed by a
+/// recorder-on run, so both arms sample the same CPU-frequency and
+/// scheduler conditions. (Two sequential arm blocks drift apart by more
+/// than the overhead being measured.) Returns (best_off_s, best_on_s,
+/// report, per-run trace events); the report is deterministic across
+/// reps, and sequence numbering continues across reps, so the trace
+/// count is a `last_seq` delta.
+fn timed_pairs(cfg: &SimConfig, rec: &Arc<Recorder>) -> Result<(f64, f64, SimReport, u64), String> {
+    let mut best_off_s = f64::INFINITY;
+    let mut best_on_s = f64::INFINITY;
+    let mut report = None;
+    let mut trace_events = 0;
+    for _ in 0..REPS {
+        // lint:allow(wall-clock-in-model) harness benchmark timing, not model time
+        let off_started = Instant::now();
+        let off_report = try_run(cfg).map_err(|e| e.to_string())?;
+        best_off_s = best_off_s.min(off_started.elapsed().as_secs_f64());
+        let before = rec.last_seq();
+        // lint:allow(wall-clock-in-model) harness benchmark timing, not model time
+        let on_started = Instant::now();
+        try_run_recorded(cfg, rec.clone()).map_err(|e| e.to_string())?;
+        best_on_s = best_on_s.min(on_started.elapsed().as_secs_f64());
+        trace_events = rec.last_seq() - before;
+        report = Some(off_report);
+    }
+    let report = report.ok_or_else(|| "no repetitions ran".to_string())?;
+    Ok((best_off_s, best_on_s, report, trace_events))
+}
+
+/// The perf-gate config: same plane as `repro sim`, so the gate
+/// exercises exactly the code the fault experiments run.
+fn gate_config(cli: &Cli, model: FaultModel) -> SimConfig {
+    let mut cfg = SimConfig::paper_reference(
+        workloads::Application::AirPollution,
+        units::Length::from_m(3.0),
+        0.95,
+    );
+    // Paper-reference constellation default (one SµDC): frames cross
+    // many ISL hops, so the gate's per-event work matches the paper's
+    // routing-heavy regime rather than a trivially local one.
+    cfg.clusters = cli.clusters.unwrap_or(1);
+    // Long enough that each arm's wall time is tens of milliseconds —
+    // the overhead figure is a difference of two wall clocks, and
+    // millisecond-scale runs drown it in scheduler noise.
+    cfg.duration = units::Time::from_minutes(cli.minutes.unwrap_or(30.0));
+    cfg.seed = cli.seed.unwrap_or(sudc::sim::PAPER_SEED);
+    cfg.faults = model;
+    cfg
+}
+
+struct GateFigures {
+    events_per_sec: f64,
+    frames_per_sec: f64,
+    peak_queue_depth: u64,
+    trace_events: u64,
+    overhead_pct: f64,
+}
+
+fn gate_metrics(report: &SimReport, fig: &GateFigures) -> telemetry::Metrics {
+    let metrics = telemetry::Metrics::new();
+    metrics.gauge("sim.events_per_sec", fig.events_per_sec);
+    metrics.gauge("sim.frames_per_sec", fig.frames_per_sec);
+    metrics.gauge("sim.peak_queue_depth", fig.peak_queue_depth as f64);
+    metrics.gauge("sim.recorder_overhead_pct", fig.overhead_pct);
+    metrics.inc("sim.events_processed", report.scheduler.processed);
+    metrics.inc("sim.frames_generated", report.generated);
+    metrics.inc("sim.trace_events", fig.trace_events);
+    metrics
+}
+
+fn print_figures(scenario: &str, minutes: f64, fig: &GateFigures) {
+    println!("sim perf gate ('{scenario}', {minutes} simulated minutes, best of {REPS}):");
+    println!("  events/sec          {:>14.0}", fig.events_per_sec);
+    println!("  frames/sec          {:>14.0}", fig.frames_per_sec);
+    println!("  peak queue depth    {:>14}", fig.peak_queue_depth);
+    println!("  trace events        {:>14}", fig.trace_events);
+    println!("  recorder overhead   {:>13.2}%", fig.overhead_pct);
+}
+
+pub fn exec(cli: &Cli) -> ExitCode {
+    match cli.ids[1..].first().map(String::as_str) {
+        Some("sim") => {}
+        Some(op) => {
+            eprintln!("error: unknown bench target '{op}' (usage: repro bench sim)");
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!("error: usage: repro bench sim");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = super::install_telemetry(cli) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let scenario = cli.faults.clone().unwrap_or_else(|| "combined".to_string());
+    let Some(model) = FaultModel::scenario(&scenario) else {
+        eprintln!("error: unknown fault scenario '{scenario}' (try `repro sim list`)");
+        return ExitCode::FAILURE;
+    };
+    let cfg = gate_config(cli, model);
+    let minutes = cfg.duration.as_secs() / 60.0;
+
+    // One in-memory recorder shared by every "on" rep: the ring is
+    // allocated (and page-warm after rep 1) outside the timed regions,
+    // so best-of measures instrumentation cost, not first-touch faults.
+    // Timeline cadence scales with the gate's 30-minute horizon: each
+    // snapshot tick scans every modelled link, so a 5-second cadence
+    // (the interactive `repro sim --record` default, sized for
+    // minutes-long runs) would make tick scans — not per-event
+    // recording — the dominant measured cost.
+    let cadence_s = cli.cadence.unwrap_or(60.0);
+    let rec = Arc::new(Recorder::new(RECORDER_RING).timeline(cadence_s));
+    let (best_off_s, best_on_s, report, trace_events) = match timed_pairs(&cfg, &rec) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: invalid sim configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let fig = GateFigures {
+        events_per_sec: report.scheduler.processed as f64 / best_off_s.max(1e-9),
+        frames_per_sec: report.generated as f64 / best_off_s.max(1e-9),
+        peak_queue_depth: report.scheduler.peak_queue_depth,
+        trace_events,
+        overhead_pct: ((best_on_s - best_off_s) / best_off_s.max(1e-9) * 100.0).max(0.0),
+    };
+    let metrics = gate_metrics(&report, &fig);
+
+    let mut manifest = RunManifest::new("bench_sim", cfg.seed);
+    manifest.param("scenario", scenario.as_str());
+    manifest.param("minutes", minutes);
+    manifest.param("clusters", cfg.clusters as u64);
+    manifest.param("reps", REPS as u64);
+    manifest.param("cadence_s", cadence_s);
+    manifest.finish();
+    if super::deterministic(cli) {
+        manifest.strip_timings();
+    }
+
+    if !cli.quiet {
+        print_figures(&scenario, minutes, &fig);
+    }
+
+    let out_dir = cli.out_dir.clone().unwrap_or_else(::bench::results_dir);
+    let metrics_path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| out_dir.join("BENCH_sim.json"));
+    let mut failed = false;
+    if let Err(e) = ::bench::write_bench_json(&metrics_path, &manifest, &[], &metrics) {
+        eprintln!("error writing {}: {e}", metrics_path.display());
+        failed = true;
+    } else if !cli.quiet {
+        println!("wrote {}", metrics_path.display());
+    }
+
+    telemetry::info(
+        "bench.sim.done",
+        vec![
+            ("events_per_sec".to_string(), fig.events_per_sec.into()),
+            ("overhead_pct".to_string(), fig.overhead_pct.into()),
+            ("failed".to_string(), failed.into()),
+        ],
+    );
+    telemetry::flush();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -84,16 +84,26 @@ fn record_sweep(
     metrics.inc("explore.evaluated", run.stats.evaluated as u64);
     metrics.inc("explore.cache_hits", run.stats.cache_hits as u64);
     metrics.inc("explore.steals", run.stats.steals as u64);
-    metrics.observe("explore.points_per_sec", run.stats.points_per_sec());
+    let det = super::deterministic(cli);
+    if !det {
+        metrics.observe("explore.points_per_sec", run.stats.points_per_sec());
+    }
     if !cli.quiet {
         println!("{}", run.frontier.to_text_table());
     }
-    reports.push(bench::SweepReportRow::from_stats(
+    let mut row = bench::SweepReportRow::from_stats(
         name,
         &run.stats,
         run.frontier.rows.len(),
         run.cache_written.is_some(),
-    ));
+    );
+    if det {
+        // Deterministic mode: the wall-derived fields are the only
+        // nondeterministic ones in the sweep report.
+        row.wall_ms = 0.0;
+        row.points_per_sec = 0.0;
+    }
+    reports.push(row);
     let results_dir = bench::results_dir();
     for result in [&run.grid, &run.frontier] {
         if !super::emit_artifacts(&results_dir, result, cli.quiet) {
@@ -160,14 +170,18 @@ pub fn exec(cli: &Cli) -> ExitCode {
 
     // Throughput benchmark: sequential vs parallel on dense versions of
     // the Fig. 13 and Fig. 11 spaces. Runs in the default all-sweeps
-    // mode or on request; skipped when specific sweeps were named.
-    let bench_rows = if cli.bench || cli.ids.len() == 1 {
+    // mode or on request; skipped when specific sweeps were named and
+    // in deterministic mode (its rows are pure wall time).
+    let bench_rows = if !super::deterministic(cli) && (cli.bench || cli.ids.len() == 1) {
         run_bench(cli, &metrics, &mut failed)
     } else {
         Vec::new()
     };
 
     manifest.finish();
+    if super::deterministic(cli) {
+        manifest.strip_timings();
+    }
     match manifest.write_to(&results_dir) {
         Ok(path) => telemetry::info(
             "explore.manifest",

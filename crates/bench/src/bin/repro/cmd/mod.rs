@@ -1,10 +1,12 @@
 //! `repro` subcommands, one module each, plus the plumbing they share:
 //! telemetry installation and the txt/csv/json artifact-triplet writer.
 
+pub mod bench;
 pub mod explore;
 pub mod lint;
 pub mod run;
 pub mod sim;
+pub mod trace;
 
 use std::path::Path;
 use std::sync::Arc;
@@ -34,6 +36,13 @@ pub fn install_telemetry(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Whether artifacts must omit wall-clock timing fields — `--no-timings`
+/// or `REPRO_DETERMINISTIC=1` — so two same-seed full runs byte-diff
+/// identical, not merely "identical modulo timings".
+pub fn deterministic(cli: &Cli) -> bool {
+    cli.no_timings || std::env::var("REPRO_DETERMINISTIC").is_ok_and(|v| v == "1")
+}
+
 /// Writes one result's txt/csv/json artifact triplet into `dir`,
 /// printing the path (unless `quiet`) and the error on failure.
 /// Returns `false` when the write failed, so callers can fold it into
@@ -43,7 +52,9 @@ pub fn emit_artifacts(
     result: &sudc::experiments::ExperimentResult,
     quiet: bool,
 ) -> bool {
-    match bench::write_artifacts_to(dir, result) {
+    // `::bench` is the library crate; plain `bench` here would resolve
+    // to the `repro bench` subcommand module above.
+    match ::bench::write_artifacts_to(dir, result) {
         Ok(path) => {
             if !quiet {
                 println!("wrote {}", path.display());

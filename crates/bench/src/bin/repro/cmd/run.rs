@@ -35,6 +35,7 @@ pub fn exec(cli: &Cli) -> ExitCode {
     manifest.param("experiment_count", ids.len() as u64);
     let metrics = telemetry::Metrics::new();
     let mut timings: Vec<ExperimentTiming> = Vec::new();
+    let det = super::deterministic(cli);
 
     let mut failed = false;
     for id in &ids {
@@ -42,7 +43,13 @@ pub fn exec(cli: &Cli) -> ExitCode {
         let started = Instant::now();
         match experiments::run(id) {
             Some(result) => {
-                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                // Deterministic mode zeroes the only nondeterministic
+                // artifact field so double runs byte-diff clean.
+                let wall_ms = if det {
+                    0.0
+                } else {
+                    started.elapsed().as_secs_f64() * 1e3
+                };
                 manifest.record_experiment(id);
                 metrics.inc("experiments.completed", 1);
                 metrics.observe("experiment.wall_ms", wall_ms);
@@ -71,6 +78,9 @@ pub fn exec(cli: &Cli) -> ExitCode {
         }
     }
     manifest.finish();
+    if det {
+        manifest.strip_timings();
+    }
 
     match manifest.write_to(&results_dir) {
         Ok(path) => telemetry::info(

@@ -1,16 +1,25 @@
-//! `repro sim [--faults <scenario>] [--topology <shape>]` — run the
-//! constellation simulator under a named fault scenario next to its
-//! fault-free baseline (same config, same seed) and write an
-//! availability/goodput comparison artifact
+//! `repro sim [--faults <scenario>] [--topology <shape>] [--record
+//! <path>]` — run the constellation simulator under a named fault
+//! scenario next to its fault-free baseline (same config, same seed)
+//! and write an availability/goodput comparison artifact
 //! (`results/faults_<scenario>[_<topology>].{txt,csv,json}`) plus fault
-//! metrics (`faults.*`, `sim.reroutes`, `sim.availability`).
+//! metrics (`faults.*`, `sim.reroutes`, `sim.availability`) in
+//! `BENCH_sim_faults.json`. With `--record`, the faulted run also
+//! streams a sim-time-stamped JSONL flight log (analyze with `repro
+//! trace`); recording never perturbs the simulation.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use sudc::sim::{try_run, FaultModel, SimConfig, SimTopology};
+use sudc::sim::{try_run, try_run_recorded, FaultModel, SimConfig, SimTopology};
+use telemetry::trace::Recorder;
 use telemetry::RunManifest;
 
 use crate::Cli;
+
+/// Ring capacity of the in-process recorder. The JSONL sink sees every
+/// event regardless; the ring only backs in-memory inspection.
+const RECORDER_RING: usize = 4096;
 
 /// One parsed `--topology` argument: the shape, the ingest-link
 /// override it implies, and how it appears in artifact ids and notes.
@@ -88,6 +97,76 @@ fn handle_operands(cli: &Cli) -> Option<ExitCode> {
     None
 }
 
+/// The paper-reference plane (Table 8 regime) split into clusters so
+/// that cluster outages have somewhere to reroute to.
+fn reference_config(
+    choice: &TopologyChoice,
+    clusters: usize,
+    minutes: f64,
+    seed: u64,
+) -> SimConfig {
+    let mut cfg = SimConfig::paper_reference(
+        workloads::Application::AirPollution,
+        units::Length::from_m(3.0),
+        0.95,
+    );
+    cfg.topology = choice.topology;
+    if let Some(k) = choice.ingest_links {
+        cfg.ingest_links = k;
+    }
+    cfg.clusters = clusters;
+    cfg.duration = units::Time::from_minutes(minutes);
+    cfg.seed = seed;
+    cfg
+}
+
+/// Writes the comparison artifact, run manifest, and fault metrics;
+/// returns `true` when every write succeeded.
+fn emit_outputs(
+    cli: &Cli,
+    manifest: &RunManifest,
+    result: &sudc::experiments::ExperimentResult,
+    metrics: &telemetry::Metrics,
+) -> bool {
+    let out_dir = cli.out_dir.clone().unwrap_or_else(bench::results_dir);
+    let mut ok = true;
+    if !cli.quiet {
+        println!("{}", result.to_text_table());
+    }
+    if !super::emit_artifacts(&out_dir, result, cli.quiet) {
+        ok = false;
+    }
+    if let Err(e) = manifest.write_to(&out_dir) {
+        eprintln!("error writing run manifest: {e}");
+        ok = false;
+    }
+    // `BENCH_sim.json` proper is the perf gate owned by `repro bench
+    // sim`; the fault-comparison metrics live next to it.
+    let metrics_path = cli
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| out_dir.join("BENCH_sim_faults.json"));
+    if let Err(e) = bench::write_bench_json(&metrics_path, manifest, &[], metrics) {
+        eprintln!("error writing {}: {e}", metrics_path.display());
+        ok = false;
+    } else if !cli.quiet {
+        println!("wrote {}", metrics_path.display());
+    }
+    ok
+}
+
+/// Builds the JSONL-backed flight recorder when `--record` was given.
+fn make_recorder(cli: &Cli) -> Result<Option<Arc<Recorder>>, String> {
+    let Some(path) = cli.record.as_deref() else {
+        return Ok(None);
+    };
+    let sink = telemetry::sink::JsonlSink::create(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    Ok(Some(Arc::new(
+        Recorder::with_sink(RECORDER_RING, Arc::new(sink)).timeline(cli.cadence.unwrap_or(5.0)),
+    )))
+}
+
 pub fn exec(cli: &Cli) -> ExitCode {
     if let Some(code) = handle_operands(cli) {
         return code;
@@ -115,20 +194,7 @@ pub fn exec(cli: &Cli) -> ExitCode {
     let minutes = cli.minutes.unwrap_or(2.0);
     let clusters = cli.clusters.unwrap_or(4);
 
-    // Paper-reference plane (Table 8 regime) split into clusters so that
-    // cluster outages have somewhere to reroute to.
-    let mut cfg = SimConfig::paper_reference(
-        workloads::Application::AirPollution,
-        units::Length::from_m(3.0),
-        0.95,
-    );
-    cfg.topology = choice.topology;
-    if let Some(k) = choice.ingest_links {
-        cfg.ingest_links = k;
-    }
-    cfg.clusters = clusters;
-    cfg.duration = units::Time::from_minutes(minutes);
-    cfg.seed = seed;
+    let mut cfg = reference_config(&choice, clusters, minutes, seed);
 
     // Validate once up front so bad --clusters/--topology combinations
     // produce a diagnostic instead of a panic.
@@ -140,13 +206,29 @@ pub fn exec(cli: &Cli) -> ExitCode {
         }
     };
     cfg.faults = model;
-    let faulted = match try_run(&cfg) {
+    let recorder = match make_recorder(cli) {
+        Ok(rec) => rec,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let faulted = match match &recorder {
+        Some(rec) => try_run_recorded(&cfg, rec.clone()),
+        None => try_run(&cfg),
+    } {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: invalid sim configuration: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let (Some(path), Some(rec)) = (cli.record.as_deref(), &recorder) {
+        rec.flush();
+        if !cli.quiet {
+            println!("wrote {}", path.display());
+        }
+    }
 
     let mut manifest = RunManifest::new("sim", seed);
     manifest.param("scenario", scenario.as_str());
@@ -159,31 +241,12 @@ pub fn exec(cli: &Cli) -> ExitCode {
         &scenario, &choice, seed, minutes, clusters, &baseline, &faulted,
     );
 
-    let out_dir = cli.out_dir.clone().unwrap_or_else(bench::results_dir);
     manifest.record_experiment(&result.id);
     manifest.finish();
-
-    let mut failed = false;
-    if !cli.quiet {
-        println!("{}", result.to_text_table());
+    if super::deterministic(cli) {
+        manifest.strip_timings();
     }
-    if !super::emit_artifacts(&out_dir, &result, cli.quiet) {
-        failed = true;
-    }
-    if let Err(e) = manifest.write_to(&out_dir) {
-        eprintln!("error writing run manifest: {e}");
-        failed = true;
-    }
-    let metrics_path = cli
-        .metrics_out
-        .clone()
-        .unwrap_or_else(|| out_dir.join("BENCH_sim.json"));
-    if let Err(e) = bench::write_bench_json(&metrics_path, &manifest, &[], &metrics) {
-        eprintln!("error writing {}: {e}", metrics_path.display());
-        failed = true;
-    } else if !cli.quiet {
-        println!("wrote {}", metrics_path.display());
-    }
+    let failed = !emit_outputs(cli, &manifest, &result, &metrics);
 
     telemetry::info(
         "sim.done",

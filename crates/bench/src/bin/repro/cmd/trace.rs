@@ -1,0 +1,106 @@
+//! `repro trace <path>` — analyze a JSONL flight log recorded with
+//! `repro sim --record`: lifecycle completeness, per-hop latency
+//! breakdown, loss attribution by cause, the top-k slowest frames, and
+//! the slowest frame's critical path. All analysis lives in
+//! `telemetry::trace::TraceLog`; this module only formats it.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use telemetry::trace::{TraceKind, TraceLog};
+
+use crate::Cli;
+
+/// How many of the slowest frames to list.
+const TOP_K: usize = 10;
+
+pub fn exec(cli: &Cli) -> ExitCode {
+    let operands = &cli.ids[1..];
+    let [path] = operands else {
+        eprintln!("error: usage: repro trace <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let log = match TraceLog::read_path(Path::new(path)) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if log.is_empty() {
+        eprintln!("error: {path} holds no trace events (recorded with `repro sim --record`?)");
+        return ExitCode::FAILURE;
+    }
+
+    let frames = log.frames();
+    let complete = frames.keys().filter(|&&f| log.is_complete(f)).count();
+    let snapshots = log.count_kind(TraceKind::SnapshotNet)
+        + log.count_kind(TraceKind::SnapshotLinks)
+        + log.count_kind(TraceKind::SnapshotCluster);
+    println!("flight log {path}");
+    println!(
+        "  {} events, {} frames ({} with a complete causal lifecycle), {} timeline snapshots",
+        log.len(),
+        frames.len(),
+        complete,
+        snapshots
+    );
+
+    let losses = log.loss_attribution();
+    if losses.is_empty() {
+        println!("\nloss attribution: no frames lost");
+    } else {
+        println!("\nloss attribution (kept frames that produced no good output):");
+        for (cause, count) in &losses {
+            println!("  {cause:<18} {count}");
+        }
+    }
+
+    println!("\nper-hop latency breakdown (critical-path transitions):");
+    println!(
+        "  {:<22} {:>7} {:>12} {:>12} {:>12}",
+        "transition", "count", "total s", "mean s", "max s"
+    );
+    for seg in log.hop_breakdown() {
+        println!(
+            "  {:<22} {:>7} {:>12.4} {:>12.6} {:>12.6}",
+            seg.label,
+            seg.count,
+            seg.total_s,
+            seg.mean_s(),
+            seg.max_s
+        );
+    }
+
+    let slowest = log.slowest_frames(TOP_K);
+    println!("\ntop {} slowest completed frames:", slowest.len());
+    for (frame, latency) in &slowest {
+        let path_kinds: Vec<&str> = log
+            .critical_path(*frame)
+            .iter()
+            .map(|e| e.kind.as_str())
+            .collect();
+        println!(
+            "  frame {frame:<8} {latency:>10.4} s  {}",
+            path_kinds.join(" → ")
+        );
+    }
+
+    if let Some((frame, latency)) = slowest.first() {
+        println!("\ncritical path of the slowest frame ({frame}, {latency:.4} s end-to-end):");
+        for ev in log.critical_path(*frame) {
+            let unit = ev.unit.map_or(String::new(), |u| format!(" unit {u}"));
+            let cause = ev
+                .cause
+                .map_or(String::new(), |c| format!(" cause {}", c.as_str()));
+            let value = ev.value.map_or(String::new(), |v| format!(" value {v:.6}"));
+            println!(
+                "  t={:>10.4}s  {:<14}{unit}{cause}{value}",
+                ev.t_s,
+                ev.kind.as_str()
+            );
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -50,6 +50,9 @@ pub struct Cli {
     pub format: Option<String>,
     pub update_baseline: bool,
     pub verbose: bool,
+    pub record: Option<PathBuf>,
+    pub cadence: Option<f64>,
+    pub no_timings: bool,
 }
 
 /// Parses an `--axis name=SPEC` argument. SPEC is a comma list
@@ -128,6 +131,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         format: None,
         update_baseline: false,
         verbose: false,
+        record: None,
+        cadence: None,
+        no_timings: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -208,6 +214,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--update-baseline" => cli.update_baseline = true,
             "--verbose" => cli.verbose = true,
+            "--record" => {
+                let path = it.next().ok_or("--record requires a path")?;
+                cli.record = Some(PathBuf::from(path));
+            }
+            "--cadence" => {
+                let n = it.next().ok_or("--cadence requires sim-time seconds")?;
+                cli.cadence = Some(
+                    n.parse::<f64>()
+                        .ok()
+                        .filter(|&c| c > 0.0 && c.is_finite())
+                        .ok_or_else(|| format!("--cadence wants positive seconds, got '{n}'"))?,
+                );
+            }
+            "--no-timings" => cli.no_timings = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag} (try `repro help`)"));
             }
@@ -245,6 +265,8 @@ fn main() -> ExitCode {
         }
         Some("explore") => cmd::explore::exec(&cli),
         Some("sim") => cmd::sim::exec(&cli),
+        Some("trace") => cmd::trace::exec(&cli),
+        Some("bench") => cmd::bench::exec(&cli),
         Some("lint") => cmd::lint::exec(&cli),
         _ => cmd::run::exec(&cli),
     }
@@ -266,6 +288,13 @@ fn usage() {
                                       a fault scenario next to its fault-free\n\
                                       baseline (availability/goodput report)\n\
            repro sim list             list fault scenarios\n\
+           repro trace <path>         analyze a flight log recorded with\n\
+                                      `repro sim --record` (per-hop latency\n\
+                                      breakdown, critical paths, loss\n\
+                                      attribution, top-k slowest frames)\n\
+           repro bench sim            measure simulator throughput and\n\
+                                      flight-recorder overhead; writes\n\
+                                      results/BENCH_sim.json\n\
            repro lint                 run workspace static analysis and gate\n\
                                       against results/lint_baseline.json\n\
                                       (new violations fail; baseline only\n\
@@ -279,6 +308,9 @@ fn usage() {
                                       (default results/BENCH_repro.json,\n\
                                       or BENCH_explore.json for explore)\n\
            --jsonl <path>             structured event log (JSON lines)\n\
+           --no-timings               zero every wall-clock field in\n\
+                                      artifacts so same-seed runs byte-diff\n\
+                                      clean (also: REPRO_DETERMINISTIC=1)\n\
          \n\
          explore flags:\n\
            --axis name=VALUES         override one axis (one sweep only);\n\
@@ -297,6 +329,12 @@ fn usage() {
            --minutes <m>              simulated minutes (default 2)\n\
            --clusters <c>             SµDC count (default 4)\n\
            --out-dir <path>           artifact directory (default results/)\n\
+           --record <path>            write a JSONL flight log of the faulted\n\
+                                      run (sim-time-stamped trace events;\n\
+                                      analyze with `repro trace`)\n\
+           --cadence <s>              metrics-timeline snapshot cadence in\n\
+                                      sim-time seconds (default 5; needs\n\
+                                      --record)\n\
          \n\
          lint flags:\n\
            --rule <id>                restrict the scan to one rule\n\

@@ -10,11 +10,14 @@
 //! stream keyed exactly as in the pre-refactor monolith, seeded runs —
 //! fault-free and faulted alike — replay byte-identically.
 
+use std::sync::Arc;
+
 use imagery::earth::EarthModel;
 use orbit::groundtrack::subsatellite_point;
 use simkit::rng::{coin, RngFactory};
 use simkit::stats::Tally;
 use simkit::Scheduler;
+use telemetry::trace::{Recorder, TraceCause, TraceKind, TraceRecord};
 use units::{DataSize, Time};
 
 use crate::sim::faults::FaultSummary;
@@ -26,6 +29,9 @@ use crate::sim::transport::Transport;
 /// A frame moving through the network.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct FrameInFlight {
+    /// Frame id for the flight recorder (the value of the engine's
+    /// `generated` counter when the frame was imaged; ids start at 1).
+    id: u64,
     created: Time,
     bits: f64,
     pixels: f64,
@@ -38,6 +44,9 @@ struct FrameInFlight {
     /// `+stride`, `false` for `-stride` (chosen opposite to the frame's
     /// forward direction at the point of rerouting).
     rev_up: bool,
+    /// `seq` of the frame's most recent trace event (0 when recording
+    /// is off), so the next event can link its causal parent.
+    last_seq: u64,
 }
 
 /// Simulation events.
@@ -58,10 +67,13 @@ enum Ev {
     /// The SµDC of `cluster` finishes processing a frame; `corrupted`
     /// marks outputs silently ruined by an SEU.
     Done {
+        frame: FrameInFlight,
         cluster: usize,
-        created: Time,
         corrupted: bool,
     },
+    /// Flight-recorder timeline tick (scheduled only in recorded runs
+    /// with a cadence; never present otherwise).
+    Snapshot,
 }
 
 /// Per-run mutable state: the three layers plus the engine's own frame
@@ -89,10 +101,22 @@ struct State {
     undeliverable: u64,
     frames_shed: u64,
     frames_corrupted: u64,
+    /// Flight recorder; `None` keeps every trace site a dead branch
+    /// (same zero-cost-when-off discipline as `SchedulerCounters`).
+    recorder: Option<Arc<Recorder>>,
+    /// Locally buffered trace events: the engine numbers events itself
+    /// and hands whole batches to the recorder, paying one lock (and,
+    /// on the recorder's fast path, zero copies) per `tbatch` events
+    /// instead of per event.
+    tbuf: Vec<TraceRecord>,
+    /// Batch size before a hand-off ([`Recorder::batch_hint`]).
+    tbatch: usize,
+    /// Next `seq` continues the recorder's numbering ([`Recorder::last_seq`]).
+    tseq: u64,
 }
 
 impl State {
-    fn new(cfg: &SimConfig) -> Self {
+    fn new(cfg: &SimConfig, recorder: Option<Arc<Recorder>>) -> Self {
         let n = cfg.plane.satellite_count();
         let rng_factory = RngFactory::new(cfg.seed);
         let topo = topology::from_config(cfg);
@@ -129,6 +153,41 @@ impl State {
             undeliverable: 0,
             frames_shed: 0,
             frames_corrupted: 0,
+            tbuf: Vec::with_capacity(recorder.as_ref().map_or(0, |r| r.batch_hint())),
+            tbatch: recorder.as_ref().map_or(usize::MAX, |r| r.batch_hint()),
+            tseq: recorder.as_ref().map_or(0, |r| r.last_seq()),
+            recorder,
+        }
+    }
+
+    /// Records a trace event and returns its `seq` for parent linkage;
+    /// a single branch and no work when recording is off (returns 0).
+    /// When on, the event lands in the local buffer with an
+    /// engine-assigned `seq` and is handed to the recorder in batches.
+    /// Observer only: never draws RNG or touches sim state, so recorded
+    /// and unrecorded runs replay identically.
+    #[inline(always)]
+    fn trace(&mut self, ev: TraceRecord) -> u64 {
+        if self.recorder.is_none() {
+            return 0;
+        }
+        self.tseq += 1;
+        self.tbuf.push(ev);
+        if self.tbuf.len() >= self.tbatch {
+            self.drain_trace();
+        }
+        self.tseq
+    }
+
+    /// Hands the buffered batch to the recorder (one lock, bulk slice
+    /// copy, events numbered exactly as `tseq` predicted) and gets the
+    /// cleared buffer back with its capacity — and cache warmth —
+    /// intact.
+    #[cold]
+    #[inline(never)]
+    fn drain_trace(&mut self) {
+        if let Some(rec) = &self.recorder {
+            rec.record_batch(&mut self.tbuf);
         }
     }
 
@@ -176,6 +235,14 @@ fn dispatch(
         if !st.transport.link_up(sat, frame.reversed, start) {
             if let Some(delay) = st.transport.retry_delay_s(attempt) {
                 st.retries += 1;
+                frame.last_seq = st.trace(
+                    TraceRecord::at(now.as_secs(), TraceKind::Retry)
+                        .frame(frame.id)
+                        .unit(sat)
+                        .cause(TraceCause::LinkDown)
+                        .parent(frame.last_seq)
+                        .value(delay),
+                );
                 sched.schedule_at(
                     now + Time::from_secs(delay),
                     Ev::Retry {
@@ -189,17 +256,38 @@ fn dispatch(
                 // ring to fall back to): the frame dies.
                 st.undeliverable += 1;
                 st.queued_bits -= frame.bits;
+                st.trace(
+                    TraceRecord::at(now.as_secs(), TraceKind::Undeliverable)
+                        .frame(frame.id)
+                        .unit(sat)
+                        .cause(TraceCause::RetriesExhausted)
+                        .parent(frame.last_seq),
+                );
             } else {
                 // Forward path dead: fall back to the reverse ring.
                 st.reroutes += 1;
                 frame.reversed = true;
                 frame.rev_up = st.topo.reverse_direction_up(sat);
+                frame.last_seq = st.trace(
+                    TraceRecord::at(now.as_secs(), TraceKind::Reroute)
+                        .frame(frame.id)
+                        .unit(sat)
+                        .cause(TraceCause::LinkDown)
+                        .parent(frame.last_seq),
+                );
                 dispatch(st, sched, frame, sat, now, 0);
             }
             return;
         }
     }
     let arrival = st.transport.transmit(sat, now, frame.bits);
+    frame.last_seq = st.trace(
+        TraceRecord::at(now.as_secs(), TraceKind::Hop)
+            .frame(frame.id)
+            .unit(sat)
+            .parent(frame.last_seq)
+            .value((arrival - now).as_secs()),
+    );
     sched.schedule_at(arrival, Ev::Hop { frame, from: sat });
 }
 
@@ -208,16 +296,23 @@ fn dispatch(
 fn enqueue(
     st: &mut State,
     sched: &mut Scheduler<Ev>,
-    frame: FrameInFlight,
+    mut frame: FrameInFlight,
     cluster: usize,
     now: Time,
 ) {
     let (done, corrupted) = st.service.admit(frame.pixels, cluster, now);
+    frame.last_seq = st.trace(
+        TraceRecord::at(now.as_secs(), TraceKind::Enqueued)
+            .frame(frame.id)
+            .unit(cluster)
+            .parent(frame.last_seq)
+            .value((done - now).as_secs()),
+    );
     sched.schedule_at(
         done,
         Ev::Done {
+            frame,
             cluster,
-            created: frame.created,
             corrupted,
         },
     );
@@ -228,24 +323,49 @@ fn enqueue(
 /// imaging period.
 fn on_generate(st: &mut State, sched: &mut Scheduler<Ev>, sat: usize, now: Time) {
     st.generated += 1;
+    let id = st.generated;
     if st.keep_frame(sat, now) {
         st.kept += 1;
+        let sensed = st.trace(
+            TraceRecord::at(now.as_secs(), TraceKind::Sensed)
+                .frame(id)
+                .unit(sat),
+        );
         if st.service.should_shed(sat, st.queued_bits) {
             // Backlog-triggered graceful degradation: drop at the source
             // rather than swamp the ring.
             st.frames_shed += 1;
+            st.trace(
+                TraceRecord::at(now.as_secs(), TraceKind::Shed)
+                    .frame(id)
+                    .unit(sat)
+                    .cause(TraceCause::Backlog)
+                    .parent(sensed),
+            );
         } else {
             st.queued_bits += st.frame_bits;
             let frame = FrameInFlight {
+                id,
                 created: now,
                 bits: st.frame_bits,
                 pixels: st.frame_pixels,
                 hops: 0,
                 reversed: false,
                 rev_up: false,
+                last_seq: sensed,
             };
             dispatch(st, sched, frame, sat, now, 0);
         }
+    } else {
+        // Policy discards fold sense + drop into one event: both happen
+        // at the same sim instant, and ~95% of frames end here, so the
+        // fold halves the trace cost of the paper's dominant path.
+        st.trace(
+            TraceRecord::at(now.as_secs(), TraceKind::Discarded)
+                .frame(id)
+                .unit(sat)
+                .cause(TraceCause::Policy),
+        );
     }
     sched.schedule_in(st.cfg.frame.period, Ev::Generate { sat });
 }
@@ -270,6 +390,13 @@ fn on_reverse_hop(
     } else if frame.hops as usize > 2 * st.cfg.plane.satellite_count() {
         st.undeliverable += 1;
         st.queued_bits -= frame.bits;
+        st.trace(
+            TraceRecord::at(now.as_secs(), TraceKind::Undeliverable)
+                .frame(frame.id)
+                .unit(p)
+                .cause(TraceCause::HopLimit)
+                .parent(frame.last_seq),
+        );
     } else {
         let mut f = frame;
         f.hops += 1;
@@ -302,10 +429,24 @@ fn on_forward_hop(
                     f.reversed = true;
                     f.rev_up = st.topo.reverse_direction_up(from);
                     f.hops += 1;
+                    f.last_seq = st.trace(
+                        TraceRecord::at(now.as_secs(), TraceKind::Reroute)
+                            .frame(f.id)
+                            .unit(from)
+                            .cause(TraceCause::ClusterDown)
+                            .parent(f.last_seq),
+                    );
                     dispatch(st, sched, f, from, now, 0);
                 } else {
                     st.queued_bits -= frame.bits;
                     st.lost_to_failures += 1;
+                    st.trace(
+                        TraceRecord::at(now.as_secs(), TraceKind::LostCluster)
+                            .frame(frame.id)
+                            .unit(cluster)
+                            .cause(TraceCause::ClusterDown)
+                            .parent(frame.last_seq),
+                    );
                 }
                 return;
             }
@@ -317,14 +458,66 @@ fn on_forward_hop(
 
 /// A SµDC finishes a frame. Work completing on a cluster that died in
 /// the meantime dies with it instead of being credited as processed.
-fn on_done(st: &mut State, cluster: usize, created: Time, corrupted: bool, now: Time) {
+fn on_done(st: &mut State, frame: FrameInFlight, cluster: usize, corrupted: bool, now: Time) {
+    let latency = (now - frame.created).as_secs();
     if st.service.cluster_failed(cluster, now) {
         st.lost_to_failures += 1;
+        st.trace(
+            TraceRecord::at(now.as_secs(), TraceKind::LostCluster)
+                .frame(frame.id)
+                .unit(cluster)
+                .cause(TraceCause::ClusterDown)
+                .parent(frame.last_seq),
+        );
     } else if corrupted {
         st.frames_corrupted += 1;
+        st.trace(
+            TraceRecord::at(now.as_secs(), TraceKind::Corrupted)
+                .frame(frame.id)
+                .unit(cluster)
+                .cause(TraceCause::Seu)
+                .parent(frame.last_seq)
+                .value(latency),
+        );
     } else {
         st.processed += 1;
-        st.latency.record((now - created).as_secs());
+        st.latency.record(latency);
+        st.trace(
+            TraceRecord::at(now.as_secs(), TraceKind::Served)
+                .frame(frame.id)
+                .unit(cluster)
+                .parent(frame.last_seq)
+                .value(latency),
+        );
+    }
+}
+
+/// Flight-recorder timeline tick: snapshots the backlog, modelled link
+/// state, and per-cluster queue depth at the configured sim-time
+/// cadence, then reschedules itself. Pure observer — the outage-process
+/// queries it makes are lazy advancements the in-order event loop would
+/// perform anyway, so recorded runs replay byte-identically.
+fn on_snapshot(st: &mut State, sched: &mut Scheduler<Ev>, now: Time) {
+    let t = now.as_secs();
+    st.trace(TraceRecord::at(t, TraceKind::SnapshotNet).value(st.queued_bits.max(0.0)));
+    if let Some((up, total)) = st.transport.link_states(now) {
+        st.trace(
+            TraceRecord::at(t, TraceKind::SnapshotLinks)
+                .unit(total as usize)
+                .value(up as f64),
+        );
+    }
+    for c in 0..st.topo.units() {
+        let mut ev = TraceRecord::at(t, TraceKind::SnapshotCluster)
+            .unit(c)
+            .value(st.service.queue_depth_s(c, now));
+        if st.service.cluster_failed(c, now) {
+            ev = ev.cause(TraceCause::ClusterDown);
+        }
+        st.trace(ev);
+    }
+    if let Some(cadence) = st.recorder.as_ref().and_then(|r| r.timeline_cadence_s()) {
+        sched.schedule_at(now + Time::from_secs(cadence), Ev::Snapshot);
     }
 }
 
@@ -433,9 +626,27 @@ fn report(mut st: State, sched: &Scheduler<Ev>, cfg: &SimConfig) -> SimReport {
 ///
 /// Panics if the (application, device) pair has no measurement.
 pub fn try_run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
+    try_run_with(cfg, None)
+}
+
+/// Runs the simulation with the flight recorder attached: every frame
+/// lifecycle step is recorded as a sim-time-stamped trace event, and —
+/// when the recorder has a timeline cadence — per-cluster queue depth,
+/// link state, and backlog are snapshotted on that cadence. The report
+/// is identical to [`try_run`]'s except for the scheduler counters
+/// (timeline ticks are scheduled events).
+///
+/// # Panics
+///
+/// Panics if the (application, device) pair has no measurement.
+pub fn try_run_recorded(cfg: &SimConfig, recorder: Arc<Recorder>) -> Result<SimReport, ConfigError> {
+    try_run_with(cfg, Some(recorder))
+}
+
+fn try_run_with(cfg: &SimConfig, recorder: Option<Arc<Recorder>>) -> Result<SimReport, ConfigError> {
     cfg.validate()?;
     let n = cfg.plane.satellite_count();
-    let mut st = State::new(cfg);
+    let mut st = State::new(cfg, recorder);
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
     sched.enable_probe();
@@ -445,6 +656,9 @@ pub fn try_run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
     for sat in 0..n {
         let offset = period * (sat as f64 / n as f64);
         sched.schedule_at(offset, Ev::Generate { sat });
+    }
+    if let Some(cadence) = st.recorder.as_ref().and_then(|r| r.timeline_cadence_s()) {
+        sched.schedule_at(Time::from_secs(cadence), Ev::Snapshot);
     }
 
     simkit::run_until(&mut sched, &mut st, cfg.duration, |st, sched, ev| {
@@ -461,13 +675,18 @@ pub fn try_run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
                 attempt,
             } => dispatch(st, sched, frame, from, now, attempt),
             Ev::Done {
+                frame,
                 cluster,
-                created,
                 corrupted,
-            } => on_done(st, cluster, created, corrupted, now),
+            } => on_done(st, frame, cluster, corrupted, now),
+            Ev::Snapshot => on_snapshot(st, sched, now),
         }
     });
 
+    st.drain_trace();
+    if let Some(rec) = &st.recorder {
+        rec.flush();
+    }
     Ok(report(st, &sched, cfg))
 }
 
@@ -938,6 +1157,46 @@ mod tests {
         let split = run(&cfg);
         assert!(!split.stable, "splitting adds no compute: {split:?}");
         assert!(split.compute_utilization > 0.95);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_simulation() {
+        let cfg = with_scenario(Application::AirPollution, 3.0, 0.95, "combined");
+        let plain = run(&cfg);
+        let rec = Arc::new(Recorder::new(1 << 20).timeline(5.0));
+        let mut recorded = try_run_recorded(&cfg, rec.clone()).expect("valid config");
+        // Timeline ticks are scheduled events, so only the scheduler
+        // counters may differ; every simulation outcome must match.
+        recorded.scheduler = plain.scheduler;
+        assert_eq!(recorded, plain);
+        assert!(!rec.is_empty(), "the recorder saw the run");
+    }
+
+    #[test]
+    fn recorded_run_emits_sensed_and_terminal_events() {
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.duration = Time::from_minutes(1.0);
+        let rec = Arc::new(Recorder::new(1 << 20));
+        let r = try_run_recorded(&cfg, rec.clone()).expect("valid config");
+        let log = telemetry::trace::TraceLog::from_events(rec.events());
+        assert_eq!(
+            log.count_kind(TraceKind::Sensed),
+            r.kept,
+            "kept frames root at Sensed; policy discards are single-event"
+        );
+        assert_eq!(log.count_kind(TraceKind::Served), r.processed);
+        assert_eq!(
+            log.count_kind(TraceKind::Discarded),
+            r.generated - r.kept,
+            "every policy discard is traced"
+        );
+        assert_eq!(
+            rec.timeline_cadence_s(),
+            None,
+            "no cadence, no snapshot ticks"
+        );
+        assert_eq!(log.count_kind(TraceKind::SnapshotNet), 0);
     }
 
     #[test]

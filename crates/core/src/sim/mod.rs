@@ -20,7 +20,7 @@ pub mod model;
 pub mod service;
 pub mod topology;
 pub mod transport;
-pub use engine::{run, try_run};
+pub use engine::{run, try_run, try_run_recorded};
 pub use faults::{
     ClusterOutageSpec, DegradationSpec, FaultModel, FaultSummary, LinkOutageSpec, RetrySpec,
     SeuSpec,

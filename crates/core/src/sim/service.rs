@@ -136,6 +136,14 @@ impl Service {
         self.sudc_free[c].as_secs()
     }
 
+    /// Flight-recorder timeline snapshot: outstanding work in unit
+    /// `c`'s compute queue at `now`, in seconds of service time (0 when
+    /// the pipeline is idle). This is the per-unit backlog signal future
+    /// `Policy` controllers consume.
+    pub fn queue_depth_s(&self, c: usize, now: Time) -> f64 {
+        (self.sudc_free[c].as_secs() - now.as_secs()).max(0.0)
+    }
+
     /// Folds the cluster outage processes into the fault summary,
     /// mirroring [`super::transport::Transport::fold_outages`].
     pub fn fold_outages(
@@ -200,6 +208,16 @@ mod tests {
         assert!(!svc.cluster_failed(0, Time::from_secs(20.0)));
         assert!(!svc.cluster_failed(1, Time::from_secs(9.9)));
         assert!(svc.cluster_failed(1, Time::from_secs(10.0)));
+    }
+
+    #[test]
+    fn queue_depth_drains_with_time() {
+        let mut svc = Service::new(&cfg(), 1, 1000.0, RngFactory::new(1));
+        assert_eq!(svc.queue_depth_s(0, Time::ZERO), 0.0, "idle pipeline");
+        let _ = svc.admit(500.0, 0, Time::ZERO); // 0.5 s of work
+        assert!((svc.queue_depth_s(0, Time::ZERO) - 0.5).abs() < 1e-12);
+        assert!((svc.queue_depth_s(0, Time::from_secs(0.3)) - 0.2).abs() < 1e-12);
+        assert_eq!(svc.queue_depth_s(0, Time::from_secs(2.0)), 0.0, "drained");
     }
 
     #[test]

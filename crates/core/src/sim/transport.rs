@@ -120,6 +120,29 @@ impl Transport {
         self.link_free[sat].as_secs()
     }
 
+    /// Flight-recorder timeline snapshot of modelled link state at `t`:
+    /// `(links up, links modelled)` across both ring directions, or
+    /// `None` when no outage model is configured. Querying advances the
+    /// lazy outage processes to `t`, which is idempotent for the
+    /// in-order event loop — recorded runs stay byte-identical to
+    /// unrecorded ones.
+    pub fn link_states(&mut self, t: Time) -> Option<(u64, u64)> {
+        if !self.outages_modelled() {
+            return None;
+        }
+        let (mut up, mut total) = (0u64, 0u64);
+        for procs in [self.out_fwd.as_mut(), self.out_rev.as_mut()]
+            .into_iter()
+            .flatten()
+        {
+            for p in procs.iter_mut() {
+                total += 1;
+                up += u64::from(p.is_up(t.as_secs()));
+            }
+        }
+        Some((up, total))
+    }
+
     /// Folds the link outage processes into the fault summary: counts
     /// outage windows that began within the horizon and accumulates
     /// availability into `(sum, count)` for the run-wide average.
@@ -191,6 +214,30 @@ mod tests {
         t.fold_outages(1e6, &mut summary, &mut avail);
         assert_eq!(summary.link_outages, 0);
         assert_eq!(avail.1, 0);
+    }
+
+    #[test]
+    fn link_states_snapshot_counts_both_directions() {
+        let mut quiet = quiet(4);
+        assert_eq!(quiet.link_states(Time::from_secs(10.0)), None);
+
+        let spec = LinkOutageSpec {
+            mtbf: Time::from_secs(100.0),
+            mttr: Time::from_secs(10.0),
+        };
+        let mut t = Transport::new(
+            8,
+            DataRate::from_gbps(10.0),
+            Length::from_km(60.0),
+            Some(spec),
+            RetrySpec::default(),
+            RngFactory::new(42),
+        );
+        let (up, total) = t.link_states(Time::from_secs(50.0)).expect("modelled");
+        assert_eq!(total, 16, "8 satellites × 2 directions");
+        assert!(up <= total);
+        // Idempotent: asking again at the same time changes nothing.
+        assert_eq!(t.link_states(Time::from_secs(50.0)), Some((up, total)));
     }
 
     #[test]

@@ -22,7 +22,19 @@ pub fn first(v: &[u32]) -> u32 {
     v.first().copied().unwrap_or(0)
 }
 
-pub const PROSE: &str = "HashMap Instant::now() thread_rng x == 0.0 .unwrap()";
+pub struct Stamp {
+    pub unix_ms: u64,
+}
+
+pub fn sim_time_stamp(t_s: f64) -> Stamp {
+    // A struct-literal `unix_ms` field derived from sim-time is the
+    // sanctioned pattern; only `unix_ms()` calls are wall-clock.
+    Stamp {
+        unix_ms: (t_s * 1e3) as u64,
+    }
+}
+
+pub const PROSE: &str = "HashMap Instant::now() thread_rng x == 0.0 .unwrap() unix_ms()";
 
 #[cfg(test)]
 mod tests {

@@ -11,12 +11,16 @@ pub fn order(m: &HashMap<String, u32>, s: &HashSet<u32>) -> usize { //~ nondeter
 }
 
 pub fn elapsed() -> u64 {
-    let t = Instant::now(); //~ wall-clock-in-model
+    let t = Instant::now(); //~ wall-clock-in-model wall-clock-in-trace
     t.elapsed().as_secs()
 }
 
 pub fn stamp() -> SystemTime {
-    SystemTime::now() //~ wall-clock-in-model
+    SystemTime::now() //~ wall-clock-in-model wall-clock-in-trace
+}
+
+pub fn stamped_event() -> u64 {
+    unix_ms() //~ wall-clock-in-trace
 }
 
 pub fn draws() -> u64 {

@@ -54,6 +54,15 @@ pub static RULES: &[RuleInfo] = &[
         check: check_wall_clock,
     },
     RuleInfo {
+        id: "wall-clock-in-trace",
+        severity: Severity::Deny,
+        summary: "wall-clock source (unix_ms()/Instant::now/SystemTime::now) inside the \
+                  flight-recorder path",
+        hint: "trace timestamps must be sim-time: stamp events from the scheduler clock \
+               (t_s) and derive unix_ms as a pure function of it",
+        check: check_wall_clock_in_trace,
+    },
+    RuleInfo {
         id: "unseeded-rng",
         severity: Severity::Deny,
         summary: "RNG constructed outside simkit::rng::RngFactory streams",
@@ -183,6 +192,39 @@ fn check_wall_clock(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic
                 "`{}::now()` outside the telemetry/simkit timing shims",
                 t.text
             ),
+            out,
+        );
+    }
+}
+
+/// The flight-recorder path: everything recorded there must be
+/// timestamped in sim-time so double runs byte-diff clean.
+fn in_trace_path(path: &str) -> bool {
+    path.starts_with("crates/core/src/sim/") || path == "crates/telemetry/src/trace.rs"
+}
+
+fn check_wall_clock_in_trace(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_trace_path(&file.path) {
+        return;
+    }
+    let punct = |i: usize, s: &str| {
+        file.code_tok(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    };
+    for i in 0..file.code.len() {
+        let Some(t) = file.code_tok(i) else { break };
+        // `unix_ms(` as a call — a bare `unix_ms` field write stays
+        // legal (TraceEvent::to_event derives it from sim-time).
+        let hit = (t.kind == TokKind::Ident && t.text == "unix_ms" && punct(i + 1, "("))
+            || path_seq(file, i, &["Instant", "SystemTime"], &["now"]);
+        if !hit || file.in_test_code(t.line) {
+            continue;
+        }
+        emit(
+            rule,
+            file,
+            t,
+            format!("`{}`: wall-clock source in the flight-recorder path", t.text),
             out,
         );
     }
@@ -471,6 +513,37 @@ mod tests {
         assert!(rule_ids("crates/simkit/src/lib.rs", src).is_empty());
         let test_src = "#[test]\nfn t() { let t = SystemTime::now(); }\n";
         assert!(!rule_ids(LIB, test_src).contains(&"wall-clock-in-model"));
+    }
+
+    #[test]
+    fn trace_wall_clock_is_scoped_to_the_recorder_path() {
+        const SIM: &str = "crates/core/src/sim/engine.rs";
+        const TRACE: &str = "crates/telemetry/src/trace.rs";
+        let call = "fn f() -> u64 { unix_ms() }\n";
+        assert!(rule_ids(SIM, call).contains(&"wall-clock-in-trace"));
+        assert!(rule_ids(TRACE, call).contains(&"wall-clock-in-trace"));
+        assert!(
+            !rule_ids(LIB, call).contains(&"wall-clock-in-trace"),
+            "model code outside the recorder path is wall-clock-in-model's business"
+        );
+        let now = "fn f() { let t = Instant::now(); }\n";
+        assert!(rule_ids(SIM, now).contains(&"wall-clock-in-trace"));
+        assert!(
+            rule_ids(TRACE, now).contains(&"wall-clock-in-trace"),
+            "the telemetry shim exemption does not extend to trace.rs"
+        );
+    }
+
+    #[test]
+    fn trace_wall_clock_allows_field_writes_and_test_code() {
+        const TRACE: &str = "crates/telemetry/src/trace.rs";
+        let field = "fn f(t_s: f64) -> Event { Event { unix_ms: (t_s * 1e3) as u64 } }\n";
+        assert!(
+            !rule_ids(TRACE, field).contains(&"wall-clock-in-trace"),
+            "a struct-literal field named unix_ms is the sanctioned sim-time derivation"
+        );
+        let test_src = "#[test]\nfn t() { let _ = unix_ms(); }\n";
+        assert!(!rule_ids(TRACE, test_src).contains(&"wall-clock-in-trace"));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod sink;
+pub mod trace;
 
 pub use manifest::RunManifest;
 pub use metrics::{Metric, MetricKind, Metrics};

@@ -78,6 +78,16 @@ impl RunManifest {
         }
     }
 
+    /// Zeroes every wall-clock field (deterministic mode: `repro
+    /// --no-timings` / `REPRO_DETERMINISTIC=1`), so two same-seed runs
+    /// write byte-identical manifests. Call after
+    /// [`finish`](Self::finish); a later `finish` will not re-stamp.
+    pub fn strip_timings(&mut self) {
+        self.started_unix_ms = 0;
+        self.finished_unix_ms = Some(0);
+        self.duration_s = Some(0.0);
+    }
+
     /// Run duration in seconds: frozen if [`finish`](Self::finish) was
     /// called, else the elapsed time so far.
     pub fn duration_s(&self) -> f64 {
@@ -170,6 +180,23 @@ mod tests {
             m
         };
         assert_eq!(strip(&mk()), strip(&mk()));
+    }
+
+    #[test]
+    fn strip_timings_makes_whole_manifests_byte_identical() {
+        let mk = || {
+            let mut m = RunManifest::new("repro", 9);
+            m.record_experiment("fig8");
+            m.finish();
+            m.strip_timings();
+            m.to_json()
+        };
+        let first = mk();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(first, mk(), "stripped manifests carry no wall clock");
+        assert!(first.contains(r#""started_unix_ms":0"#), "{first}");
+        assert!(first.contains(r#""finished_unix_ms":0"#));
+        assert!(first.contains(r#""duration_s":0"#));
     }
 
     #[test]

@@ -91,6 +91,19 @@ impl Hist {
         }
     }
 
+    /// Folds `other` into `self`: counts and sums add, min/max widen,
+    /// and buckets add element-wise. Merging an empty histogram (in
+    /// either direction) is the identity.
+    fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
     /// Approximate quantile from the log buckets, clamped to the exact
     /// observed [min, max].
     fn quantile(&self, q: f64) -> f64 {
@@ -124,8 +137,8 @@ pub struct Metric {
     /// Metric kind.
     pub kind: MetricKind,
     /// Kind-specific summary fields (`count` for counters; `value` for
-    /// gauges; `count`/`sum`/`mean`/`min`/`max`/`p50`/`p90`/`p99` for
-    /// histograms).
+    /// gauges; `count`/`sum`/`mean`/`min`/`max`/`p50`/`p90`/`p99`/
+    /// `p999` for histograms).
     pub fields: Vec<(String, Value)>,
 }
 
@@ -217,6 +230,28 @@ impl Metrics {
         self.len() == 0
     }
 
+    /// Folds every cell of `other` into this registry: counters add,
+    /// gauges take `other`'s value (last-wins, matching [`gauge`]
+    /// semantics), histograms merge bucket-wise. Names only in `other`
+    /// are copied over; a kind clash resolves in favour of `other`.
+    ///
+    /// [`gauge`]: Self::gauge
+    pub fn merge_from(&self, other: &Metrics) {
+        let theirs = other.with_cells(|cells| cells.clone());
+        self.with_cells(|cells| {
+            for (name, cell) in theirs {
+                match (cells.get_mut(&name), &cell) {
+                    (Some(Cell::Counter(mine)), Cell::Counter(v)) => *mine += v,
+                    (Some(Cell::Histogram(mine)), Cell::Histogram(h)) => mine.merge(h),
+                    (Some(existing), _) => *existing = cell,
+                    (None, _) => {
+                        cells.insert(name, cell);
+                    }
+                }
+            }
+        });
+    }
+
     /// Snapshots every metric, sorted by name.
     pub fn snapshot(&self) -> Vec<Metric> {
         self.with_cells(|cells| {
@@ -245,6 +280,7 @@ impl Metrics {
                             ("p50".to_string(), Value::F64(h.quantile(0.5))),
                             ("p90".to_string(), Value::F64(h.quantile(0.9))),
                             ("p99".to_string(), Value::F64(h.quantile(0.99))),
+                            ("p999".to_string(), Value::F64(h.quantile(0.999))),
                         ],
                     },
                 })
@@ -371,6 +407,116 @@ mod tests {
         assert_eq!(Hist::bucket_index(f64::NAN), 0);
         assert!(Hist::bucket_index(1e300) < BUCKETS);
         assert_eq!(Hist::bucket_index(1.0), 33);
+    }
+
+    fn histogram_field(m: &Metrics, name: &str, key: &str) -> f64 {
+        let snap = m.snapshot();
+        let h = snap.iter().find(|s| s.name == name).unwrap();
+        match h.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+            Some(Value::F64(f)) => *f,
+            Some(Value::U64(u)) => *u as f64,
+            other => panic!("{key} missing or non-numeric: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity_both_ways() {
+        let a = Metrics::new();
+        for v in [1.0, 2.0, 4.0] {
+            a.observe("lat", v);
+        }
+        let before = a.snapshot();
+
+        // Empty into populated: nothing changes (min/max/count intact).
+        a.merge_from(&Metrics::new());
+        assert_eq!(a.snapshot(), before);
+
+        // Populated into empty: the empty side adopts it exactly.
+        let c = Metrics::new();
+        c.merge_from(&a);
+        assert_eq!(c.snapshot(), before);
+    }
+
+    #[test]
+    fn merged_histograms_match_observing_everything_in_one() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        let combined = Metrics::new();
+        for v in [0.5, 1.0, 3.0] {
+            a.observe("lat", v);
+            combined.observe("lat", v);
+        }
+        for v in [8.0, 16.0] {
+            b.observe("lat", v);
+            combined.observe("lat", v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), combined.snapshot());
+        assert_eq!(histogram_field(&a, "lat", "count"), 5.0);
+        assert_eq!(histogram_field(&a, "lat", "min"), 0.5);
+        assert_eq!(histogram_field(&a, "lat", "max"), 16.0);
+    }
+
+    #[test]
+    fn merge_from_adds_counters_and_overwrites_gauges() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.inc("events", 2);
+        b.inc("events", 3);
+        a.gauge("depth", 1.0);
+        b.gauge("depth", 9.0);
+        b.inc("only_b", 7);
+        a.merge_from(&b);
+        assert_eq!(a.counter_value("events"), 5);
+        assert_eq!(a.gauge_value("depth"), Some(9.0));
+        assert_eq!(a.counter_value("only_b"), 7);
+    }
+
+    /// The PR 3 ceil-rank fix: with one sample, every quantile —
+    /// including the new p999 — is that sample; target rank never
+    /// rounds to zero.
+    #[test]
+    fn p999_uses_ceil_rank_and_clamps_to_observed_range() {
+        let m = Metrics::new();
+        m.observe("single", 7.0);
+        assert_eq!(histogram_field(&m, "single", "p999"), 7.0);
+
+        // 1000 equal samples: p999 targets rank 999, same bucket.
+        let n = Metrics::new();
+        for _ in 0..1000 {
+            n.observe("v", 3.0);
+        }
+        assert_eq!(histogram_field(&n, "v", "p999"), 3.0);
+
+        // A 1-in-100 outlier: p999 (ceil rank 100 of 100) must reach
+        // the outlier bucket while p99 (ceil rank 99) stays in the
+        // bulk — the ranks straddle the outlier.
+        let o = Metrics::new();
+        for _ in 0..99 {
+            o.observe("w", 1.0);
+        }
+        o.observe("w", 1e6);
+        let p999 = histogram_field(&o, "w", "p999");
+        assert!(p999 > 1e5, "p999 must land in the outlier bucket: {p999}");
+        let p99 = histogram_field(&o, "w", "p99");
+        assert!(p99 < 2.0, "p99 stays in the bulk: {p99}");
+    }
+
+    #[test]
+    fn merged_empty_histograms_stay_empty() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.observe("lat", 1.0);
+        b.observe("lat", 2.0);
+        // Construct two empty hists via merge identity checks.
+        let mut empty = Hist::new();
+        empty.merge(&Hist::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.quantile(0.999), 0.0, "empty quantile is 0");
+        assert_eq!(empty.mean(), 0.0);
+        // And a sanity check that the non-empty merge stays finite.
+        a.merge_from(&b);
+        assert!(histogram_field(&a, "lat", "p999").is_finite());
     }
 
     #[test]

@@ -1,0 +1,1118 @@
+//! Deterministic flight recorder: sim-time-stamped causal trace events.
+//!
+//! The simulator's end-of-run aggregates (`SimReport`, `FaultSummary`)
+//! cannot answer *where* a frame spent its latency or *why* it was
+//! lost. This module is the observability substrate for that: the sim
+//! engine records one [`TraceEvent`] per lifecycle step — sensed, hop,
+//! retry, reroute, enqueued, served, shed, lost — each stamped with
+//! **simulation time** (never the host clock), linked to its causal
+//! parent event, and tagged with a machine-readable [`TraceCause`].
+//!
+//! A [`Recorder`] keeps the most recent events in a bounded ring and
+//! optionally streams every event to a [`Sink`] (the JSONL sink turns
+//! a run into a replayable flight log). The recorder draws no
+//! randomness and stamps no wall clock, so two same-seed recorded runs
+//! produce byte-identical logs — and a run with recording off is
+//! bit-for-bit the run that never knew the recorder existed.
+//!
+//! [`TraceLog`] parses a recorded JSONL file back into events and
+//! answers the analysis questions behind `repro trace <path>`: per-hop
+//! latency breakdown, critical-path extraction, loss attribution by
+//! cause, and the top-k slowest frames.
+//!
+//! ```
+//! use telemetry::trace::{Recorder, TraceEvent, TraceKind, TraceRecord};
+//!
+//! let rec = Recorder::new(1024);
+//! let sensed = rec.record(TraceRecord::at(0.25, TraceKind::Sensed).frame(1).unit(3));
+//! rec.record(
+//!     TraceRecord::at(0.75, TraceKind::Served)
+//!         .frame(1)
+//!         .unit(0)
+//!         .parent(sensed)
+//!         .value(0.5),
+//! );
+//! assert_eq!(rec.len(), 2);
+//! let line = rec.events()[1].to_event().to_json();
+//! let back = TraceEvent::parse_line(&line).unwrap();
+//! assert_eq!(back.kind, TraceKind::Served);
+//! ```
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::{Event, EventKind, Level, Sink, Value};
+
+/// Name prefix of trace events in the shared JSONL schema
+/// (`"name":"trace.<kind>"`), keeping them distinguishable from
+/// ordinary telemetry when both share a sink.
+pub const EVENT_PREFIX: &str = "trace.";
+
+/// One step of a frame's lifecycle (or a timeline snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceKind {
+    /// A satellite imaged a frame (every generated frame starts here).
+    Sensed,
+    /// The discard policy dropped the frame at the source. Sense and
+    /// drop happen at the same sim instant, so this is the frame's
+    /// *only* event (no separate [`Sensed`](Self::Sensed) root) — the
+    /// dominant ~95%-of-frames path stays one record, not two.
+    Discarded,
+    /// Backlog-triggered load shedding dropped the frame at the source.
+    Shed,
+    /// The frame crossed one ISL; `value` is the full per-hop latency
+    /// (queue wait + transmission + propagation), `unit` the sender.
+    Hop,
+    /// An outage-blocked transmission backs off; `value` is the delay.
+    Retry,
+    /// The frame fell back to another route (dead link or dead SµDC).
+    Reroute,
+    /// Every route died: the frame was dropped in the network.
+    Undeliverable,
+    /// The frame entered a SµDC compute queue; `value` is queue wait
+    /// plus service time, `unit` the cluster.
+    Enqueued,
+    /// The SµDC produced good output; `value` is end-to-end latency.
+    Served,
+    /// The SµDC's output was silently ruined by an SEU; `value` is
+    /// end-to-end latency.
+    Corrupted,
+    /// The frame (in flight or in queue) died with a failed cluster.
+    LostCluster,
+    /// Timeline: total in-flight backlog, bits (`value`).
+    SnapshotNet,
+    /// Timeline: ISL links currently up (`value`) of `unit` modelled.
+    SnapshotLinks,
+    /// Timeline: cluster `unit`'s queue depth in seconds of work
+    /// (`value`); `cause` is `ClusterDown` while the unit is out.
+    SnapshotCluster,
+}
+
+/// Every kind, in declaration order (schema iteration for tests and
+/// reports).
+pub const KINDS: &[TraceKind] = &[
+    TraceKind::Sensed,
+    TraceKind::Discarded,
+    TraceKind::Shed,
+    TraceKind::Hop,
+    TraceKind::Retry,
+    TraceKind::Reroute,
+    TraceKind::Undeliverable,
+    TraceKind::Enqueued,
+    TraceKind::Served,
+    TraceKind::Corrupted,
+    TraceKind::LostCluster,
+    TraceKind::SnapshotNet,
+    TraceKind::SnapshotLinks,
+    TraceKind::SnapshotCluster,
+];
+
+impl TraceKind {
+    /// Snake-case name used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Sensed => "sensed",
+            TraceKind::Discarded => "discarded",
+            TraceKind::Shed => "shed",
+            TraceKind::Hop => "hop",
+            TraceKind::Retry => "retry",
+            TraceKind::Reroute => "reroute",
+            TraceKind::Undeliverable => "undeliverable",
+            TraceKind::Enqueued => "enqueued",
+            TraceKind::Served => "served",
+            TraceKind::Corrupted => "corrupted",
+            TraceKind::LostCluster => "lost_cluster",
+            TraceKind::SnapshotNet => "snapshot_net",
+            TraceKind::SnapshotLinks => "snapshot_links",
+            TraceKind::SnapshotCluster => "snapshot_cluster",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        KINDS.iter().copied().find(|k| k.as_str() == name)
+    }
+
+    /// Whether this kind ends a frame's lifecycle.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TraceKind::Discarded
+                | TraceKind::Shed
+                | TraceKind::Undeliverable
+                | TraceKind::Served
+                | TraceKind::Corrupted
+                | TraceKind::LostCluster
+        )
+    }
+
+    /// Whether this kind is a *loss* terminal — a kept frame that never
+    /// produced good output (discards are policy, not loss).
+    pub fn is_loss(self) -> bool {
+        matches!(
+            self,
+            TraceKind::Shed
+                | TraceKind::Undeliverable
+                | TraceKind::Corrupted
+                | TraceKind::LostCluster
+        )
+    }
+
+    /// Whether this kind is a timeline snapshot (no frame attached).
+    pub fn is_snapshot(self) -> bool {
+        matches!(
+            self,
+            TraceKind::SnapshotNet | TraceKind::SnapshotLinks | TraceKind::SnapshotCluster
+        )
+    }
+}
+
+/// Machine-readable reason attached to retries, reroutes, and losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceCause {
+    /// The configured discard policy (uniform coin or classifier).
+    Policy,
+    /// Backlog crossed the graceful-degradation shedding threshold.
+    Backlog,
+    /// An ISL outage window.
+    LinkDown,
+    /// A SµDC outage (stochastic window or injected failure).
+    ClusterDown,
+    /// The retry budget ran out in both routing directions.
+    RetriesExhausted,
+    /// A rerouted frame exceeded the ring-walk hop bound.
+    HopLimit,
+    /// A single-event upset silently corrupted the output.
+    Seu,
+}
+
+/// Every cause, in declaration order.
+pub const CAUSES: &[TraceCause] = &[
+    TraceCause::Policy,
+    TraceCause::Backlog,
+    TraceCause::LinkDown,
+    TraceCause::ClusterDown,
+    TraceCause::RetriesExhausted,
+    TraceCause::HopLimit,
+    TraceCause::Seu,
+];
+
+impl TraceKind {
+    /// Dense code for the packed [`TraceRecord`] representation.
+    #[inline]
+    fn code(self) -> u8 {
+        // Fieldless enum in `KINDS` declaration order.
+        self as u8
+    }
+
+    #[inline]
+    fn from_code(code: u8) -> TraceKind {
+        KINDS.get(code as usize).copied().unwrap_or(TraceKind::Sensed)
+    }
+}
+
+impl TraceCause {
+    /// Snake-case name used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceCause::Policy => "policy",
+            TraceCause::Backlog => "backlog",
+            TraceCause::LinkDown => "link_down",
+            TraceCause::ClusterDown => "cluster_down",
+            TraceCause::RetriesExhausted => "retries_exhausted",
+            TraceCause::HopLimit => "hop_limit",
+            TraceCause::Seu => "seu",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn from_name(name: &str) -> Option<TraceCause> {
+        CAUSES.iter().copied().find(|c| c.as_str() == name)
+    }
+}
+
+/// One recorded flight-recorder event. `seq` is assigned by the
+/// [`Recorder`] and doubles as the causal address other events point
+/// at through `parent`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Recorder-assigned sequence number (1-based; 0 = unassigned).
+    pub seq: u64,
+    /// Simulation time, seconds.
+    pub t_s: f64,
+    /// Lifecycle step or snapshot kind.
+    pub kind: TraceKind,
+    /// Frame id (the engine's generation counter), absent on snapshots.
+    pub frame: Option<u64>,
+    /// Satellite or cluster index, depending on `kind`.
+    pub unit: Option<u64>,
+    /// Why it happened, where a reason exists.
+    pub cause: Option<TraceCause>,
+    /// `seq` of the causally preceding event for the same frame.
+    pub parent: Option<u64>,
+    /// Kind-specific measurement (latency, delay, depth, backlog).
+    pub value: Option<f64>,
+}
+
+impl TraceEvent {
+    /// Starts an event at sim time `t_s` with every payload field
+    /// empty; chain the builder methods to fill them in.
+    #[inline]
+    pub fn at(t_s: f64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            t_s,
+            kind,
+            frame: None,
+            unit: None,
+            cause: None,
+            parent: None,
+            value: None,
+        }
+    }
+
+    /// Attaches the frame id.
+    #[inline]
+    pub fn frame(mut self, id: u64) -> TraceEvent {
+        self.frame = Some(id);
+        self
+    }
+
+    /// Attaches the satellite/cluster index.
+    #[inline]
+    pub fn unit(mut self, unit: usize) -> TraceEvent {
+        self.unit = Some(unit as u64);
+        self
+    }
+
+    /// Attaches the cause.
+    #[inline]
+    pub fn cause(mut self, cause: TraceCause) -> TraceEvent {
+        self.cause = Some(cause);
+        self
+    }
+
+    /// Links the causal parent (`seq` of the preceding event).
+    #[inline]
+    pub fn parent(mut self, seq: u64) -> TraceEvent {
+        self.parent = Some(seq);
+        self
+    }
+
+    /// Attaches the kind-specific measurement.
+    #[inline]
+    pub fn value(mut self, v: f64) -> TraceEvent {
+        self.value = Some(v);
+        self
+    }
+
+    /// Wraps the trace event in the shared [`Event`] schema. `ts_ms`
+    /// carries **sim-time milliseconds** (derived from `t_s`), never
+    /// the host clock, so recorded logs are seed-deterministic.
+    pub fn to_event(&self) -> Event {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("seq".to_string(), Value::U64(self.seq)),
+            ("t_s".to_string(), Value::F64(self.t_s)),
+        ];
+        if let Some(frame) = self.frame {
+            fields.push(("frame".to_string(), Value::U64(frame)));
+        }
+        if let Some(unit) = self.unit {
+            fields.push(("unit".to_string(), Value::U64(unit)));
+        }
+        if let Some(cause) = self.cause {
+            fields.push(("cause".to_string(), Value::Str(cause.as_str().to_string())));
+        }
+        if let Some(parent) = self.parent {
+            fields.push(("parent".to_string(), Value::U64(parent)));
+        }
+        if let Some(value) = self.value {
+            fields.push(("value".to_string(), Value::F64(value)));
+        }
+        Event {
+            level: Level::Debug,
+            kind: EventKind::Instant,
+            name: format!("{EVENT_PREFIX}{}", self.kind.as_str()),
+            fields,
+            // Sim-time milliseconds — the wall-clock-in-trace lint rule
+            // keeps the host clock out of this path.
+            unix_ms: (self.t_s * 1e3) as u64,
+            elapsed_ns: None,
+        }
+    }
+
+    /// Reconstructs a trace event from a dispatched [`Event`] (the
+    /// in-memory mirror of [`parse_line`](Self::parse_line)).
+    pub fn from_event(ev: &Event) -> Option<TraceEvent> {
+        let kind = TraceKind::from_name(ev.name.strip_prefix(EVENT_PREFIX)?)?;
+        let u64_of = |key: &str| match ev.field(key) {
+            Some(Value::U64(v)) => Some(*v),
+            _ => None,
+        };
+        let f64_of = |key: &str| match ev.field(key) {
+            Some(Value::F64(v)) => Some(*v),
+            _ => None,
+        };
+        Some(TraceEvent {
+            seq: u64_of("seq")?,
+            t_s: f64_of("t_s")?,
+            kind,
+            frame: u64_of("frame"),
+            unit: u64_of("unit"),
+            cause: match ev.field("cause") {
+                Some(Value::Str(s)) => TraceCause::from_name(s),
+                _ => None,
+            },
+            parent: u64_of("parent"),
+            value: f64_of("value"),
+        })
+    }
+
+    /// Parses one JSONL line produced by [`to_event`](Self::to_event)
+    /// + `Event::to_json`. Returns `None` for lines that are not trace
+    /// events (other telemetry sharing the sink is skipped, not an
+    /// error). The trace schema is flat — no nested objects or commas
+    /// inside field values — so a hand-rolled scan is exact.
+    pub fn parse_line(line: &str) -> Option<TraceEvent> {
+        let name = str_value_after(line, "\"name\":\"")?;
+        let kind = TraceKind::from_name(name.strip_prefix(EVENT_PREFIX)?)?;
+        let body = {
+            let pat = "\"fields\":{";
+            let start = line.find(pat)? + pat.len();
+            let rest = &line[start..];
+            &rest[..rest.find('}')?]
+        };
+        let mut ev = TraceEvent::at(0.0, kind);
+        let mut saw_seq = false;
+        for pair in body.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, raw) = pair.split_once(':')?;
+            let key = key.trim().trim_matches('"');
+            match key {
+                "seq" => {
+                    ev.seq = raw.parse().ok()?;
+                    saw_seq = true;
+                }
+                "t_s" => ev.t_s = raw.parse().ok()?,
+                "frame" => ev.frame = Some(raw.parse().ok()?),
+                "unit" => ev.unit = Some(raw.parse().ok()?),
+                "parent" => ev.parent = Some(raw.parse().ok()?),
+                "value" => ev.value = raw.parse().ok(),
+                "cause" => ev.cause = TraceCause::from_name(raw.trim_matches('"')),
+                _ => {}
+            }
+        }
+        saw_seq.then_some(ev)
+    }
+}
+
+/// Finds the string value following `pat` (up to the closing quote).
+/// Trace names and causes are identifier-safe, so no unescaping is
+/// needed.
+fn str_value_after<'a>(line: &'a str, pat: &str) -> Option<&'a str> {
+    let start = line.find(pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// The packed, in-flight form of a trace event — what producers build
+/// and what the [`Recorder`] ring stores. 32 bytes instead of
+/// [`TraceEvent`]'s Option-heavy ~96, and no `seq` field at all: a
+/// record's sequence number is its position in the recorder's stream
+/// (batch base + offset), so the hot path never writes one.
+///
+/// The builder API mirrors [`TraceEvent`]'s; [`expand`](Self::expand)
+/// produces the rich analysis form. Absent fields use in-band
+/// sentinels (`u32::MAX` frame, `u16::MAX` unit, `parent == 0`, NaN
+/// value), which [`expand`](Self::expand) maps back to `None`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    t_s: f64,
+    /// NaN = absent; the sim only ever records finite measurements.
+    value: f64,
+    parent: u64,
+    frame: u32,
+    unit: u16,
+    kind_code: u8,
+    /// 0 = none, else index into [`CAUSES`] plus one.
+    cause_code: u8,
+}
+
+const NO_FRAME: u32 = u32::MAX;
+const NO_UNIT: u16 = u16::MAX;
+
+impl TraceRecord {
+    /// Starts a record at sim time `t_s` with every payload field
+    /// empty; chain the builder methods to fill them in.
+    #[inline]
+    pub fn at(t_s: f64, kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            t_s,
+            value: f64::NAN,
+            parent: 0,
+            frame: NO_FRAME,
+            unit: NO_UNIT,
+            kind_code: kind.code(),
+            cause_code: 0,
+        }
+    }
+
+    /// Attaches the frame id (ids above `u32::MAX - 1` saturate into
+    /// the "absent" sentinel; the engine's counters stay far below it).
+    #[inline]
+    pub fn frame(mut self, id: u64) -> TraceRecord {
+        self.frame = id.min(u64::from(NO_FRAME)) as u32;
+        self
+    }
+
+    /// Attaches the satellite/cluster index (indices above
+    /// `u16::MAX - 1` saturate into the "absent" sentinel; constellation
+    /// sizes stay far below it).
+    #[inline]
+    pub fn unit(mut self, unit: usize) -> TraceRecord {
+        self.unit = (unit as u64).min(u64::from(NO_UNIT)) as u16;
+        self
+    }
+
+    /// Attaches the cause.
+    #[inline]
+    pub fn cause(mut self, cause: TraceCause) -> TraceRecord {
+        self.cause_code = cause as u8 + 1;
+        self
+    }
+
+    /// Links the causal parent (`seq` of the preceding event; 0 — the
+    /// never-assigned seq — means no parent).
+    #[inline]
+    pub fn parent(mut self, seq: u64) -> TraceRecord {
+        self.parent = seq;
+        self
+    }
+
+    /// Attaches the kind-specific measurement (must be finite — NaN is
+    /// the in-band "absent" sentinel, and the sim has no NaN metrics).
+    #[inline]
+    pub fn value(mut self, v: f64) -> TraceRecord {
+        debug_assert!(!v.is_nan(), "NaN is the absent-value sentinel");
+        self.value = v;
+        self
+    }
+
+    /// Expands into the rich analysis form under sequence number `seq`.
+    pub fn expand(&self, seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_s: self.t_s,
+            kind: TraceKind::from_code(self.kind_code),
+            frame: (self.frame != NO_FRAME).then(|| u64::from(self.frame)),
+            unit: (self.unit != NO_UNIT).then(|| u64::from(self.unit)),
+            cause: self
+                .cause_code
+                .checked_sub(1)
+                .and_then(|i| CAUSES.get(i as usize).copied()),
+            parent: (self.parent != 0).then_some(self.parent),
+            value: (!self.value.is_nan()).then_some(self.value),
+        }
+    }
+}
+
+struct Inner {
+    /// Flat circular storage: grows lazily to `capacity`, then `head`
+    /// wraps and new records overwrite the oldest in place. No
+    /// per-record allocation, ever — after the first wrap the ring's
+    /// memory is fixed and warm.
+    buf: Vec<TraceRecord>,
+    /// Next write position once `buf` has reached capacity; during the
+    /// grow phase it trails `buf.len()`.
+    head: usize,
+    next_seq: u64,
+}
+
+impl Inner {
+    /// Appends `events` in order, overwriting the oldest records past
+    /// `cap`. Bulk slice copies — the cost per record is one 32-byte
+    /// memcpy, which is what keeps batched recording cheap.
+    fn push_slice(&mut self, cap: usize, events: &[TraceRecord]) {
+        self.next_seq += events.len() as u64;
+        // A chunk larger than the whole ring keeps only its tail.
+        let mut src = if events.len() > cap {
+            &events[events.len() - cap..]
+        } else {
+            events
+        };
+        if self.buf.len() < cap {
+            let take = src.len().min(cap - self.buf.len());
+            self.buf.extend_from_slice(&src[..take]);
+            src = &src[take..];
+            self.head = self.buf.len() % cap;
+        }
+        if src.is_empty() {
+            return;
+        }
+        let first = src.len().min(cap - self.head);
+        self.buf[self.head..self.head + first].copy_from_slice(&src[..first]);
+        let rest = src.len() - first;
+        self.buf[..rest].copy_from_slice(&src[first..]);
+        self.head = (self.head + src.len()) % cap;
+    }
+
+    /// Records evicted so far: everything numbered minus everything
+    /// retained.
+    fn dropped(&self) -> u64 {
+        self.next_seq - 1 - self.buf.len() as u64
+    }
+}
+
+/// A bounded, thread-safe flight recorder. Keeps the most recent
+/// `capacity` events in a ring (drop-oldest) and streams every event
+/// to the optional sink as it happens, so the on-disk log is complete
+/// even when the ring wraps.
+///
+/// The recorder is deliberately *not* wired into the global telemetry
+/// dispatcher: a flight log must stay pure trace (no interleaved
+/// harness events) and must not be gated by the global min-level.
+pub struct Recorder {
+    capacity: usize,
+    cadence_s: Option<f64>,
+    sink: Option<Arc<dyn Sink>>,
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    /// An in-memory recorder keeping the last `capacity` events
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Recorder {
+        Recorder {
+            capacity: capacity.max(1),
+            cadence_s: None,
+            sink: None,
+            inner: Mutex::new(Inner {
+                buf: Vec::new(),
+                head: 0,
+                next_seq: 1,
+            }),
+        }
+    }
+
+    /// A recorder that additionally streams every event to `sink`.
+    pub fn with_sink(capacity: usize, sink: Arc<dyn Sink>) -> Recorder {
+        let mut rec = Recorder::new(capacity);
+        rec.sink = Some(sink);
+        rec
+    }
+
+    /// Enables the metrics timeline at a sim-time cadence in seconds
+    /// (builder style; non-positive or non-finite cadences disable it).
+    pub fn timeline(mut self, cadence_s: f64) -> Recorder {
+        self.cadence_s = (cadence_s > 0.0 && cadence_s.is_finite()).then_some(cadence_s);
+        self
+    }
+
+    /// The configured timeline cadence, if any.
+    pub fn timeline_cadence_s(&self) -> Option<f64> {
+        self.cadence_s
+    }
+
+    /// Records one event: assigns its `seq`, appends it to the ring
+    /// (dropping the oldest past capacity), streams it to the sink,
+    /// and returns the assigned `seq` for parent linkage.
+    pub fn record(&self, ev: TraceRecord) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.push_slice(self.capacity, std::slice::from_ref(&ev));
+        drop(inner);
+        if let Some(sink) = &self.sink {
+            sink.emit(&ev.expand(seq).to_event());
+        }
+        seq
+    }
+
+    /// `seq` of the most recently recorded event (0 when none yet).
+    /// A single producer batching locally can predict its events'
+    /// numbers — `last_seq() + 1`, `+ 2`, … — and hand them over later
+    /// via [`Recorder::record_batch`].
+    pub fn last_seq(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.next_seq - 1
+    }
+
+    /// Appends a whole producer batch under one lock with bulk slice
+    /// copies, then clears `events` (its capacity survives, so a
+    /// producer's scratch buffer stays allocation-free and cache-warm
+    /// run after run). This is what keeps the sim engine's recording
+    /// overhead in the low single digits. Events are numbered
+    /// consecutively from the recorder's current sequence, matching
+    /// what a single producer predicted from [`Recorder::last_seq`].
+    pub fn record_batch(&self, events: &mut Vec<TraceRecord>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let base = inner.next_seq;
+        if self.sink.is_none() && events.len() == self.capacity {
+            // Zero-copy fast path: a batch exactly the ring's size
+            // evicts every retained record anyway, so the ring takes
+            // the producer's Vec wholesale and hands its old storage
+            // back as the producer's next scratch buffer.
+            inner.next_seq += events.len() as u64;
+            std::mem::swap(&mut inner.buf, events);
+            inner.head = 0;
+            drop(inner);
+            events.clear();
+            return;
+        }
+        inner.push_slice(self.capacity, events);
+        drop(inner);
+        if let Some(sink) = &self.sink {
+            for (i, ev) in events.iter().enumerate() {
+                sink.emit(&ev.expand(base + i as u64).to_event());
+            }
+        }
+        events.clear();
+    }
+
+    /// The batch size a producer should buffer before calling
+    /// [`record_batch`](Self::record_batch): the ring's capacity (so a
+    /// full batch takes the zero-copy path), clamped to keep producer
+    /// scratch buffers reasonable against tiny or enormous rings.
+    pub fn batch_hint(&self) -> usize {
+        self.capacity.clamp(64, 8192)
+    }
+
+    /// Snapshot of the ring, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let n = inner.buf.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // During the grow phase `head == n`, so `start` is 0; once the
+        // ring has wrapped, the oldest retained record sits at `head`.
+        let start = inner.head % n;
+        let oldest = inner.next_seq - n as u64;
+        (0..n)
+            .map(|i| inner.buf[(start + i) % n].expand(oldest + i as u64))
+            .collect()
+    }
+
+    /// Events currently held in the ring.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.buf.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring so far (still on the sink).
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.dropped()
+    }
+
+    /// Flushes the sink (call before reading the log back).
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("capacity", &self.capacity)
+            .field("cadence_s", &self.cadence_s)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Aggregate statistics for one lifecycle transition (e.g.
+/// `sensed→hop`), accumulated over every frame's critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// `<from>→<to>` label of the transition.
+    pub label: String,
+    /// Transitions observed.
+    pub count: u64,
+    /// Total sim-time spent in this transition, seconds.
+    pub total_s: f64,
+    /// Largest single transition, seconds.
+    pub max_s: f64,
+}
+
+impl Segment {
+    /// Mean time per transition.
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_s / self.count as f64
+        }
+    }
+}
+
+/// A parsed flight log plus the analyses `repro trace` runs on it.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// Every trace event, sorted by `seq`.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Builds a log from in-memory events (a recorder ring snapshot).
+    pub fn from_events(mut events: Vec<TraceEvent>) -> TraceLog {
+        events.sort_by_key(|e| e.seq);
+        TraceLog { events }
+    }
+
+    /// Parses JSONL text, skipping lines that are not trace events.
+    pub fn parse(text: &str) -> TraceLog {
+        TraceLog::from_events(text.lines().filter_map(TraceEvent::parse_line).collect())
+    }
+
+    /// Reads and parses a JSONL flight log from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error from reading the file.
+    pub fn read_path(path: &Path) -> io::Result<TraceLog> {
+        Ok(TraceLog::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// Total events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Frame-indexed view: frame id → its events in `seq` order.
+    pub fn frames(&self) -> BTreeMap<u64, Vec<&TraceEvent>> {
+        let mut out: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+        for ev in &self.events {
+            if let Some(frame) = ev.frame {
+                out.entry(frame).or_default().push(ev);
+            }
+        }
+        out
+    }
+
+    /// One frame's events in `seq` order.
+    pub fn lifecycle(&self, frame: u64) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.frame == Some(frame))
+            .collect()
+    }
+
+    /// The frame's terminal event, if it reached one.
+    pub fn terminal(&self, frame: u64) -> Option<&TraceEvent> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.frame == Some(frame) && e.kind.is_terminal())
+    }
+
+    /// Walks `parent` links backwards from the frame's terminal event
+    /// and returns the causal chain oldest-first. The chain stops
+    /// early if an ancestor was evicted from a ring-only log.
+    pub fn critical_path(&self, frame: u64) -> Vec<&TraceEvent> {
+        let by_seq: BTreeMap<u64, &TraceEvent> =
+            self.events.iter().map(|e| (e.seq, e)).collect();
+        let mut chain = Vec::new();
+        let mut cursor = self.terminal(frame);
+        while let Some(ev) = cursor {
+            chain.push(ev);
+            cursor = ev.parent.and_then(|p| by_seq.get(&p).copied());
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Whether the frame's causal lifecycle is fully reconstructible:
+    /// the parent chain runs unbroken from a terminal event back to its
+    /// `Sensed` origin. A policy discard is a complete single-event
+    /// lifecycle — sense and drop share one record by design.
+    pub fn is_complete(&self, frame: u64) -> bool {
+        let path = self.critical_path(frame);
+        match (path.first(), path.last()) {
+            (Some(first), Some(last)) => {
+                (first.kind == TraceKind::Sensed || first.kind == TraceKind::Discarded)
+                    && last.kind.is_terminal()
+            }
+            _ => false,
+        }
+    }
+
+    /// Loss terminals grouped by cause label (frames that were kept
+    /// but never produced good output; discards are excluded).
+    pub fn loss_attribution(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for ev in self.events.iter().filter(|e| e.kind.is_loss()) {
+            let label = ev.cause.map_or("unattributed", TraceCause::as_str);
+            *out.entry(label).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Events of one kind.
+    pub fn count_kind(&self, kind: TraceKind) -> u64 {
+        self.events.iter().filter(|e| e.kind == kind).count() as u64
+    }
+
+    /// The `k` slowest completed frames (served or corrupted) as
+    /// `(frame, end-to-end latency seconds)`, slowest first; ties
+    /// break toward the lower frame id.
+    pub fn slowest_frames(&self, k: usize) -> Vec<(u64, f64)> {
+        let mut done: Vec<(u64, f64)> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Served | TraceKind::Corrupted))
+            .filter_map(|e| Some((e.frame?, e.value?)))
+            .collect();
+        done.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        done.truncate(k);
+        done
+    }
+
+    /// Per-transition latency breakdown over every frame's critical
+    /// path, sorted by label.
+    pub fn hop_breakdown(&self) -> Vec<Segment> {
+        let mut segs: BTreeMap<String, Segment> = BTreeMap::new();
+        for frame in self.frames().keys() {
+            let path = self.critical_path(*frame);
+            for pair in path.windows(2) {
+                let dt = (pair[1].t_s - pair[0].t_s).max(0.0);
+                let label = format!("{}→{}", pair[0].kind.as_str(), pair[1].kind.as_str());
+                let seg = segs.entry(label.clone()).or_insert(Segment {
+                    label,
+                    count: 0,
+                    total_s: 0.0,
+                    max_s: 0.0,
+                });
+                seg.count += 1;
+                seg.total_s += dt;
+                seg.max_s = seg.max_s.max(dt);
+            }
+        }
+        segs.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    fn full_event() -> TraceEvent {
+        TraceEvent::at(12.625, TraceKind::Retry)
+            .frame(42)
+            .unit(7)
+            .cause(TraceCause::LinkDown)
+            .parent(9)
+            .value(0.05)
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_every_field() {
+        let mut ev = full_event();
+        ev.seq = 10;
+        let line = ev.to_event().to_json();
+        let back = TraceEvent::parse_line(&line).expect("parses");
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn sparse_events_round_trip_with_fields_absent() {
+        let mut ev = TraceEvent::at(0.0, TraceKind::SnapshotNet).value(1.5e9);
+        ev.seq = 1;
+        let back = TraceEvent::parse_line(&ev.to_event().to_json()).expect("parses");
+        assert_eq!(back, ev);
+        assert_eq!(back.frame, None);
+        assert_eq!(back.cause, None);
+    }
+
+    #[test]
+    fn every_kind_and_cause_survives_the_name_round_trip() {
+        for kind in KINDS {
+            assert_eq!(TraceKind::from_name(kind.as_str()), Some(*kind));
+        }
+        for cause in CAUSES {
+            assert_eq!(TraceCause::from_name(cause.as_str()), Some(*cause));
+        }
+        assert_eq!(TraceKind::from_name("no-such"), None);
+        assert_eq!(TraceCause::from_name("no-such"), None);
+    }
+
+    #[test]
+    fn timestamps_are_sim_time_not_wall_time() {
+        let mut ev = TraceEvent::at(3.25, TraceKind::Sensed);
+        ev.seq = 1;
+        let wrapped = ev.to_event();
+        assert_eq!(wrapped.unix_ms, 3250, "ts_ms must be sim-time ms");
+        assert!(wrapped.name.starts_with(EVENT_PREFIX));
+    }
+
+    #[test]
+    fn parse_line_skips_non_trace_telemetry() {
+        let other = r#"{"ts_ms":1,"level":"info","kind":"event","name":"repro.done","fields":{"failed":false}}"#;
+        assert_eq!(TraceEvent::parse_line(other), None);
+        assert_eq!(TraceEvent::parse_line("not json at all"), None);
+        assert_eq!(TraceEvent::parse_line(""), None);
+    }
+
+    #[test]
+    fn recorder_assigns_monotonic_seqs_and_drops_oldest() {
+        let rec = Recorder::new(2);
+        let a = rec.record(TraceRecord::at(0.0, TraceKind::Sensed).frame(1));
+        let b = rec.record(TraceRecord::at(1.0, TraceKind::Hop).frame(1).parent(a));
+        let c = rec.record(TraceRecord::at(2.0, TraceKind::Served).frame(1).parent(b));
+        assert_eq!((a, b, c), (1, 2, 3));
+        assert_eq!(rec.len(), 2, "capacity bounds the ring");
+        assert_eq!(rec.dropped(), 1);
+        let kept: Vec<u64> = rec.events().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![2, 3], "oldest event evicted first");
+    }
+
+    #[test]
+    fn recorder_streams_every_event_to_its_sink() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::with_sink(1, sink.clone());
+        rec.record(TraceRecord::at(0.0, TraceKind::Sensed).frame(1));
+        rec.record(TraceRecord::at(1.0, TraceKind::Shed).frame(1).cause(TraceCause::Backlog));
+        assert_eq!(rec.len(), 1, "ring wrapped");
+        let streamed = sink.events();
+        assert_eq!(streamed.len(), 2, "the sink sees the full log");
+        let back = TraceEvent::from_event(&streamed[1]).expect("trace event");
+        assert_eq!(back.kind, TraceKind::Shed);
+        assert_eq!(back.cause, Some(TraceCause::Backlog));
+    }
+
+    #[test]
+    fn timeline_cadence_rejects_nonsense() {
+        assert_eq!(Recorder::new(8).timeline(5.0).timeline_cadence_s(), Some(5.0));
+        assert_eq!(Recorder::new(8).timeline(0.0).timeline_cadence_s(), None);
+        assert_eq!(Recorder::new(8).timeline(-1.0).timeline_cadence_s(), None);
+        assert_eq!(Recorder::new(8).timeline_cadence_s(), None);
+    }
+
+    /// A two-frame log: frame 1 served after two hops with a retry,
+    /// frame 2 shed at the source.
+    fn sample_log() -> TraceLog {
+        let rec = Recorder::new(64);
+        let s1 = rec.record(TraceRecord::at(0.0, TraceKind::Sensed).frame(1).unit(0));
+        let r1 = rec.record(
+            TraceRecord::at(0.1, TraceKind::Retry)
+                .frame(1)
+                .unit(0)
+                .cause(TraceCause::LinkDown)
+                .parent(s1)
+                .value(0.1),
+        );
+        let h1 = rec.record(TraceRecord::at(0.3, TraceKind::Hop).frame(1).unit(0).parent(r1).value(0.2));
+        let h2 = rec.record(TraceRecord::at(0.6, TraceKind::Hop).frame(1).unit(1).parent(h1).value(0.3));
+        let q1 = rec.record(TraceRecord::at(0.7, TraceKind::Enqueued).frame(1).unit(0).parent(h2).value(0.1));
+        rec.record(
+            TraceRecord::at(0.8, TraceKind::Served)
+                .frame(1)
+                .unit(0)
+                .parent(q1)
+                .value(0.8),
+        );
+        let s2 = rec.record(TraceRecord::at(1.0, TraceKind::Sensed).frame(2).unit(3));
+        rec.record(
+            TraceRecord::at(1.0, TraceKind::Shed)
+                .frame(2)
+                .unit(3)
+                .cause(TraceCause::Backlog)
+                .parent(s2),
+        );
+        rec.record(TraceRecord::at(5.0, TraceKind::SnapshotNet).value(0.0));
+        TraceLog::from_events(rec.events())
+    }
+
+    #[test]
+    fn lifecycles_reconstruct_and_complete() {
+        let log = sample_log();
+        assert_eq!(log.frames().len(), 2, "snapshots carry no frame");
+        assert!(log.is_complete(1));
+        assert!(log.is_complete(2));
+        assert!(!log.is_complete(99), "unknown frame is not complete");
+        let path = log.critical_path(1);
+        let kinds: Vec<TraceKind> = path.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::Sensed,
+                TraceKind::Retry,
+                TraceKind::Hop,
+                TraceKind::Hop,
+                TraceKind::Enqueued,
+                TraceKind::Served,
+            ]
+        );
+    }
+
+    #[test]
+    fn loss_attribution_counts_loss_terminals_by_cause() {
+        let log = sample_log();
+        let losses = log.loss_attribution();
+        assert_eq!(losses.get("backlog"), Some(&1));
+        assert_eq!(losses.len(), 1, "the served frame is not a loss");
+        assert_eq!(log.count_kind(TraceKind::Shed), 1);
+    }
+
+    #[test]
+    fn slowest_frames_rank_by_latency() {
+        let log = sample_log();
+        let top = log.slowest_frames(10);
+        assert_eq!(top, vec![(1, 0.8)], "only frame 1 completed");
+        assert!(log.slowest_frames(0).is_empty());
+    }
+
+    #[test]
+    fn hop_breakdown_aggregates_critical_path_transitions() {
+        let log = sample_log();
+        let segs = log.hop_breakdown();
+        let seg = |label: &str| segs.iter().find(|s| s.label == label);
+        let hops = seg("hop→hop").expect("two consecutive hops");
+        assert_eq!(hops.count, 1);
+        assert!((hops.total_s - 0.3).abs() < 1e-12);
+        assert!((seg("sensed→retry").expect("retry first").mean_s() - 0.1).abs() < 1e-12);
+        assert!(seg("sensed→shed").is_some(), "shed path appears too");
+    }
+
+    #[test]
+    fn parse_round_trips_a_whole_log() {
+        let rec = Recorder::new(64);
+        let s = rec.record(TraceRecord::at(0.5, TraceKind::Sensed).frame(7).unit(2));
+        rec.record(
+            TraceRecord::at(0.9, TraceKind::Undeliverable)
+                .frame(7)
+                .unit(2)
+                .cause(TraceCause::RetriesExhausted)
+                .parent(s),
+        );
+        let text: String = rec
+            .events()
+            .iter()
+            .map(|e| format!("{}\n", e.to_event().to_json()))
+            .collect();
+        let log = TraceLog::parse(&text);
+        assert_eq!(log.events, rec.events());
+        assert!(log.is_complete(7));
+        assert_eq!(log.loss_attribution().get("retries_exhausted"), Some(&1));
+    }
+}

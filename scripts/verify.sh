@@ -6,13 +6,16 @@
 # Runs the full workspace build + test suite, checks formatting, runs
 # the determinism gate (two same-seed `repro sim` runs of every topology
 # shape — ring, klist:4, geo, split:4 — must produce byte-identical
-# fault reports), runs the static-analysis gate
-# (`repro lint` must be ratchet-clean against results/lint_baseline.json),
-# and — when the cargo registry is unreachable (offline containers cannot
-# resolve the external dev-dependencies) — falls back to building and
-# unit-testing the zero-dependency code (`telemetry`, `explore`,
-# `sudc-lint`, and simkit's rng/faults modules) with bare rustc so the
-# gate still exercises real code instead of silently passing.
+# fault reports AND byte-identical flight-recorder traces), checks the
+# committed BENCH_sim.json perf-gate artifact, runs the static-analysis
+# gate (`repro lint` must be ratchet-clean against
+# results/lint_baseline.json), and — when the cargo registry is
+# unreachable (offline containers cannot resolve the external
+# dev-dependencies) — falls back to building and unit-testing the
+# zero-dependency code (`telemetry` including `telemetry::trace`,
+# `explore`, `sudc-lint`, and simkit's rng/faults modules) with bare
+# rustc so the gate still exercises real code instead of silently
+# passing.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -94,7 +97,8 @@ if [ -x target/release/repro ]; then
         cell_ok=1
         for runDir in "$da" "$db"; do
             if ! ./target/release/repro --quiet sim --faults flaky_links \
-                --topology "$topo" --out-dir "$runDir" >/dev/null; then
+                --topology "$topo" --out-dir "$runDir" \
+                --record "$runDir/trace.jsonl" >/dev/null; then
                 cell_ok=0
             fi
         done
@@ -106,6 +110,12 @@ if [ -x target/release/repro ]; then
                     cell_ok=0
                 fi
             done
+            # The flight-recorder trace is sim-time-stamped throughout,
+            # so it must byte-diff clean too.
+            if ! diff -q "$da/trace.jsonl" "$db/trace.jsonl" >/dev/null; then
+                echo "FAIL: same-seed flight-recorder traces differ ($topo)"
+                cell_ok=0
+            fi
         else
             echo "FAIL: repro sim --topology $topo did not run cleanly"
         fi
@@ -121,6 +131,35 @@ if [ -x target/release/repro ]; then
     fi
 else
     echo "warn: target/release/repro not built; skipping determinism gate"
+fi
+
+echo "== sim perf gate (results/BENCH_sim.json) =="
+if [ -f results/BENCH_sim.json ]; then
+    bench_ok=1
+    for key in sim.events_per_sec sim.frames_per_sec sim.peak_queue_depth \
+        sim.recorder_overhead_pct; do
+        if ! grep -q "\"$key\"" results/BENCH_sim.json; then
+            echo "FAIL: results/BENCH_sim.json is missing \"$key\""
+            bench_ok=0
+        fi
+    done
+    if [ "$bench_ok" -eq 1 ]; then
+        echo "ok: BENCH_sim.json present with the perf-gate schema"
+        # Refresh it when the binary is available so the committed
+        # figures track the current code (wall-clock fields change run
+        # to run; the schema is the gate).
+        if [ -x target/release/repro ]; then
+            if ! ./target/release/repro --quiet bench sim >/dev/null; then
+                echo "FAIL: repro bench sim did not run cleanly"
+                failed=1
+            fi
+        fi
+    else
+        failed=1
+    fi
+else
+    echo "FAIL: results/BENCH_sim.json missing (run ./target/release/repro bench sim)"
+    failed=1
 fi
 
 echo "== static-analysis gate (repro lint) =="

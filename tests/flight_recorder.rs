@@ -1,0 +1,227 @@
+//! End-to-end tests of the flight recorder: recorder-off byte-identity
+//! with the committed seeded artifacts, recorder-on determinism across
+//! the topology matrix, and the causal-lifecycle / loss-attribution
+//! contract `repro trace` is built on.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use sudc::sim::{run, try_run_recorded, FaultModel, SimConfig, SimTopology};
+use telemetry::trace::{Recorder, TraceKind, TraceLog};
+use units::{Length, Time};
+use workloads::Application;
+
+fn reference(clusters: usize) -> SimConfig {
+    let mut cfg = SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+    cfg.clusters = clusters;
+    cfg.duration = Time::from_minutes(2.0);
+    cfg
+}
+
+/// The verify.sh topology matrix, as config edits.
+fn topology_matrix() -> Vec<(&'static str, SimConfig)> {
+    let mut klist = reference(4);
+    klist.ingest_links = 4;
+    let mut geo = reference(4);
+    geo.topology = SimTopology::GeoStar;
+    let mut split = reference(4);
+    split.topology = SimTopology::SplitRing { factor: 4 };
+    vec![
+        ("ring", reference(4)),
+        ("klist:4", klist),
+        ("geo", geo),
+        ("split:4", split),
+    ]
+}
+
+fn recorded(cfg: &SimConfig, cadence: Option<f64>) -> (sudc::sim::SimReport, Vec<telemetry::trace::TraceEvent>) {
+    let mut rec = Recorder::new(1 << 20);
+    if let Some(c) = cadence {
+        rec = rec.timeline(c);
+    }
+    let rec = Arc::new(rec);
+    let report = try_run_recorded(cfg, rec.clone()).expect("reference config is valid");
+    assert_eq!(rec.dropped(), 0, "ring must be large enough for the whole run");
+    (report, rec.events())
+}
+
+/// Serializes a trace the way `repro sim --record` writes it, so string
+/// equality here is exactly the verify.sh byte-diff gate.
+fn to_jsonl(events: &[telemetry::trace::TraceEvent]) -> String {
+    events
+        .iter()
+        .map(|e| {
+            let mut line = e.to_event().to_json();
+            line.push('\n');
+            line
+        })
+        .collect()
+}
+
+/// Recording off: the simulation is the pre-recorder simulation, field
+/// for field, for every scenario. This is the "zero-cost when off"
+/// contract at the report level.
+#[test]
+fn recorder_off_reports_match_plain_runs_for_every_scenario() {
+    for name in FaultModel::scenario_names() {
+        let mut cfg = reference(4);
+        cfg.faults = FaultModel::scenario(name).expect("registered scenario");
+        let plain = run(&cfg);
+        let again = run(&cfg);
+        assert_eq!(plain, again, "scenario '{name}' must replay byte-for-byte");
+    }
+}
+
+/// The committed seeded artifacts (results/simval.*) were produced with
+/// no recorder; a fault-free run today must regenerate them byte for
+/// byte, proving instrumented code paths changed nothing.
+#[test]
+fn seeded_simval_artifacts_stay_byte_identical() {
+    let result = sudc::experiments::run("simval").expect("simval is registered");
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let txt = std::fs::read_to_string(dir.join("simval.txt")).expect("committed simval.txt");
+    let csv = std::fs::read_to_string(dir.join("simval.csv")).expect("committed simval.csv");
+    assert_eq!(result.to_text_table(), txt, "simval.txt drifted");
+    assert_eq!(result.to_csv(), csv, "simval.csv drifted");
+}
+
+/// Recorder-on double runs emit byte-identical JSONL across the whole
+/// topology matrix — every trace timestamp is sim-time, so there is
+/// nothing wall-clock-shaped to drift.
+#[test]
+fn recorded_traces_are_byte_identical_across_the_topology_matrix() {
+    for (label, mut cfg) in topology_matrix() {
+        cfg.faults = FaultModel::scenario("flaky_links").expect("registered scenario");
+        let (report_a, events_a) = recorded(&cfg, Some(5.0));
+        let (report_b, events_b) = recorded(&cfg, Some(5.0));
+        assert_eq!(report_a, report_b, "topology '{label}' report must replay");
+        assert_eq!(
+            to_jsonl(&events_a),
+            to_jsonl(&events_b),
+            "topology '{label}' trace must byte-diff clean"
+        );
+        assert!(!events_a.is_empty(), "topology '{label}' recorded nothing");
+    }
+}
+
+/// The `repro trace` contract on a `combined` run: every frame that
+/// reached a terminal has a complete causal lifecycle (Sensed first,
+/// terminal last, parent links intact), and loss attribution sums
+/// exactly to the FaultSummary counters.
+#[test]
+fn combined_run_lifecycles_and_loss_attribution_match_fault_summary() {
+    let mut cfg = reference(4);
+    cfg.faults = FaultModel::scenario("combined").expect("registered scenario");
+    let (report, events) = recorded(&cfg, None);
+    let log = TraceLog::from_events(events);
+
+    // Kind-for-counter accounting against the engine's own summary.
+    // Kept frames root at Sensed; policy discards fold sense + drop
+    // into a single Discarded event.
+    assert_eq!(log.count_kind(TraceKind::Sensed), report.kept);
+    assert_eq!(
+        log.count_kind(TraceKind::Discarded),
+        report.generated - report.kept
+    );
+    assert_eq!(log.count_kind(TraceKind::Served), report.processed);
+    assert_eq!(log.count_kind(TraceKind::Shed), report.faults.frames_shed);
+    assert_eq!(
+        log.count_kind(TraceKind::Undeliverable),
+        report.faults.undeliverable
+    );
+    assert_eq!(
+        log.count_kind(TraceKind::Corrupted),
+        report.faults.frames_corrupted
+    );
+    assert_eq!(
+        log.count_kind(TraceKind::LostCluster),
+        report.lost_to_failures
+    );
+    assert_eq!(log.count_kind(TraceKind::Retry), report.faults.retries);
+    assert_eq!(log.count_kind(TraceKind::Reroute), report.faults.reroutes);
+
+    // Attribution by cause sums exactly to the lost-frame total.
+    let losses = log.loss_attribution();
+    let attributed: u64 = losses.values().sum();
+    assert_eq!(
+        attributed,
+        report.faults.frames_shed
+            + report.faults.undeliverable
+            + report.faults.frames_corrupted
+            + report.lost_to_failures,
+        "loss attribution must account for every lost frame: {losses:?}"
+    );
+    assert!(
+        !losses.contains_key("unattributed"),
+        "every loss event must carry a cause: {losses:?}"
+    );
+
+    // Every frame that reached a terminal reconstructs end to end.
+    let frames = log.frames();
+    let mut complete = 0u64;
+    for &frame in frames.keys() {
+        if log.terminal(frame).is_some() {
+            assert!(
+                log.is_complete(frame),
+                "frame {frame} has a terminal but a broken causal chain"
+            );
+            complete += 1;
+        }
+    }
+    assert!(complete > 0, "combined run terminated no frames");
+    // Frames still in flight at the horizon are the only incomplete ones.
+    assert!(
+        complete <= frames.len() as u64,
+        "terminal count exceeds frame count"
+    );
+}
+
+/// Round trip through the JSONL wire format loses nothing the analyzer
+/// needs: the parsed log reproduces the in-memory analysis.
+#[test]
+fn jsonl_round_trip_preserves_the_analysis() {
+    let mut cfg = reference(4);
+    cfg.faults = FaultModel::scenario("combined").expect("registered scenario");
+    let (_, events) = recorded(&cfg, Some(10.0));
+    let direct = TraceLog::from_events(events.clone());
+    let parsed = TraceLog::parse(&to_jsonl(&events));
+    assert_eq!(parsed.len(), direct.len());
+    assert_eq!(parsed.loss_attribution(), direct.loss_attribution());
+    assert_eq!(parsed.slowest_frames(10), direct.slowest_frames(10));
+    assert_eq!(
+        parsed.frames().len(),
+        direct.frames().len(),
+        "frame index must survive the wire format"
+    );
+}
+
+/// The sim-time timeline: with a cadence set, snapshot events appear at
+/// exact cadence multiples and carry per-cluster depth plus link state.
+#[test]
+fn timeline_snapshots_land_on_the_sim_time_cadence() {
+    let mut cfg = reference(4);
+    cfg.faults = FaultModel::scenario("flaky_links").expect("registered scenario");
+    let (_, events) = recorded(&cfg, Some(7.5));
+    let nets: Vec<&telemetry::trace::TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::SnapshotNet)
+        .collect();
+    assert!(!nets.is_empty(), "cadence 7.5s over 120s must snapshot");
+    for (i, ev) in nets.iter().enumerate() {
+        let expected = 7.5 * (i as f64 + 1.0);
+        assert!(
+            (ev.t_s - expected).abs() < 1e-9,
+            "snapshot {i} at t={} expected {expected}",
+            ev.t_s
+        );
+    }
+    let clusters = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::SnapshotCluster && (e.t_s - 7.5).abs() < 1e-9)
+        .count();
+    assert_eq!(clusters, 4, "one cluster snapshot per SµDC per tick");
+    assert!(
+        events.iter().any(|e| e.kind == TraceKind::SnapshotLinks),
+        "flaky_links models outages, so link state must be snapshotted"
+    );
+}

@@ -16,8 +16,9 @@ use std::fs;
 use sudc_lint::{lint_source, ratchet, rule_by_id, workspace_root, Baseline, RULES};
 
 /// Synthetic scan path placing fixtures in lib code inside a
-/// sim/result path, so every rule is in scope.
-const FIXTURE_SCAN_PREFIX: &str = "crates/core/src/fixtures/";
+/// sim/result path that is also flight-recorder territory, so every
+/// rule — including `wall-clock-in-trace` — is in scope.
+const FIXTURE_SCAN_PREFIX: &str = "crates/core/src/sim/fixtures/";
 
 fn fixture(name: &str) -> (String, String) {
     let path = workspace_root().join("crates/lint/fixtures").join(name);
