@@ -115,6 +115,54 @@ fn record_sweep(
     }
 }
 
+/// Folds a sweep's headline gauges (today: the serve capacity
+/// frontier) into the explore metrics and returns a standalone copy
+/// destined for `BENCH_serve.json`.
+fn sweep_gauges(
+    run: &sudc::sweeps::SweepRun,
+    metrics: &telemetry::Metrics,
+) -> Option<telemetry::Metrics> {
+    if run.metrics.is_empty() {
+        return None;
+    }
+    let m = telemetry::Metrics::new();
+    for &(key, value) in &run.metrics {
+        m.gauge(key, value);
+        metrics.gauge(key, value);
+    }
+    Some(m)
+}
+
+/// Writes the explore run manifest into the results directory.
+fn write_manifest(manifest: &RunManifest, results_dir: &std::path::Path, failed: &mut bool) {
+    match manifest.write_to(results_dir) {
+        Ok(path) => telemetry::info(
+            "explore.manifest",
+            vec![("path".to_string(), path.display().to_string().into())],
+        ),
+        Err(e) => {
+            eprintln!("error writing run manifest: {e}");
+            *failed = true;
+        }
+    }
+}
+
+/// Writes the serve capacity-frontier gauges to `BENCH_serve.json`.
+fn write_serve_bench(
+    cli: &Cli,
+    path: &std::path::Path,
+    manifest: &RunManifest,
+    metrics: &telemetry::Metrics,
+    failed: &mut bool,
+) {
+    if let Err(e) = bench::write_bench_json(path, manifest, &[], metrics) {
+        eprintln!("error writing {}: {e}", path.display());
+        *failed = true;
+    } else if !cli.quiet {
+        println!("wrote {}", path.display());
+    }
+}
+
 pub fn exec(cli: &Cli) -> ExitCode {
     let names: Vec<String> = cli.ids[1..].to_vec();
 
@@ -154,12 +202,18 @@ pub fn exec(cli: &Cli) -> ExitCode {
     let metrics = telemetry::Metrics::new();
     let mut reports: Vec<bench::SweepReportRow> = Vec::new();
     let mut failed = false;
+    // Headline gauges from sweeps that surface them (today: the serve
+    // capacity frontier), written to their own BENCH_serve.json below.
+    let mut serve_metrics: Option<telemetry::Metrics> = None;
 
     for name in &names {
         match sudc::sweeps::run(name, &cli.axes, &opts, cache_dir.as_deref()) {
             Ok(run) => {
                 manifest.record_experiment(&run.grid.id);
                 record_sweep(cli, name, &run, &metrics, &mut reports, &mut failed);
+                if let Some(m) = sweep_gauges(&run, &metrics) {
+                    serve_metrics = Some(m);
+                }
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -182,16 +236,7 @@ pub fn exec(cli: &Cli) -> ExitCode {
     if super::deterministic(cli) {
         manifest.strip_timings();
     }
-    match manifest.write_to(&results_dir) {
-        Ok(path) => telemetry::info(
-            "explore.manifest",
-            vec![("path".to_string(), path.display().to_string().into())],
-        ),
-        Err(e) => {
-            eprintln!("error writing run manifest: {e}");
-            failed = true;
-        }
-    }
+    write_manifest(&manifest, &results_dir, &mut failed);
 
     let report_path = cli
         .metrics_out
@@ -204,6 +249,16 @@ pub fn exec(cli: &Cli) -> ExitCode {
         failed = true;
     } else if !cli.quiet {
         println!("wrote {}", report_path.display());
+    }
+
+    if let Some(m) = &serve_metrics {
+        write_serve_bench(
+            cli,
+            &results_dir.join("BENCH_serve.json"),
+            &manifest,
+            m,
+            &mut failed,
+        );
     }
 
     telemetry::info(

@@ -5,15 +5,134 @@ pub mod bench;
 pub mod explore;
 pub mod lint;
 pub mod run;
+pub mod serve;
 pub mod sim;
 pub mod trace;
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use sudc::sim::{SimConfig, SimTopology};
+use telemetry::trace::Recorder;
 use telemetry::Level;
 
 use crate::Cli;
+
+/// Ring capacity of the in-process flight recorder. The JSONL sink sees
+/// every event regardless; the ring only backs in-memory inspection.
+const RECORDER_RING: usize = 4096;
+
+/// One parsed `--topology` argument: the shape, the ingest-link
+/// override it implies, and how it appears in artifact ids and notes.
+pub struct TopologyChoice {
+    pub topology: SimTopology,
+    pub ingest_links: Option<usize>,
+    /// Artifact-id suffix; empty for the default ring so existing
+    /// `faults_<scenario>` artifacts keep their byte-identical names.
+    pub slug: String,
+    /// Human label for the report note.
+    pub label: String,
+}
+
+/// Parses `ring`, `klist:<k>`, `geo`, or `split:<factor>`.
+pub fn parse_topology(arg: &str) -> Result<TopologyChoice, String> {
+    if let Some(k) = arg.strip_prefix("klist:") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| format!("--topology klist wants an integer k, got '{arg}'"))?;
+        return Ok(TopologyChoice {
+            topology: SimTopology::Ring,
+            ingest_links: Some(k),
+            slug: format!("_klist{k}"),
+            label: format!("{k}-list ring"),
+        });
+    }
+    if let Some(factor) = arg.strip_prefix("split:") {
+        let factor: usize = factor
+            .parse()
+            .map_err(|_| format!("--topology split wants an integer factor, got '{arg}'"))?;
+        return Ok(TopologyChoice {
+            topology: SimTopology::SplitRing { factor },
+            ingest_links: None,
+            slug: format!("_split{factor}"),
+            label: format!("split ring (factor {factor})"),
+        });
+    }
+    match arg {
+        "ring" => Ok(TopologyChoice {
+            topology: SimTopology::Ring,
+            ingest_links: None,
+            slug: String::new(),
+            label: "ring".to_string(),
+        }),
+        "geo" => Ok(TopologyChoice {
+            topology: SimTopology::GeoStar,
+            ingest_links: None,
+            slug: "_geo".to_string(),
+            label: "GEO star".to_string(),
+        }),
+        _ => Err(format!(
+            "unknown topology '{arg}' (want ring, klist:<k>, geo, or split:<factor>)"
+        )),
+    }
+}
+
+/// The simulator flags `repro sim` and the serve path share —
+/// `--seed`, `--minutes`, `--clusters`, `--topology`, `--out-dir` —
+/// parsed once with identical defaults so both command paths name and
+/// place their artifacts the same way.
+pub struct SimParams {
+    pub seed: u64,
+    pub minutes: f64,
+    pub clusters: usize,
+    pub choice: TopologyChoice,
+    pub out_dir: PathBuf,
+}
+
+impl SimParams {
+    pub fn from_cli(cli: &Cli) -> Result<SimParams, String> {
+        Ok(SimParams {
+            seed: cli.seed.unwrap_or(sudc::sim::PAPER_SEED),
+            minutes: cli.minutes.unwrap_or(2.0),
+            clusters: cli.clusters.unwrap_or(4),
+            choice: parse_topology(cli.topology.as_deref().unwrap_or("ring"))?,
+            // `::bench` is the library crate; plain `bench` here would
+            // resolve to the `repro bench` subcommand module above.
+            out_dir: cli.out_dir.clone().unwrap_or_else(::bench::results_dir),
+        })
+    }
+
+    /// The paper-reference plane (Table 8 regime) under these
+    /// parameters, split into clusters so that cluster outages have
+    /// somewhere to reroute to.
+    pub fn reference_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper_reference(
+            workloads::Application::AirPollution,
+            units::Length::from_m(3.0),
+            0.95,
+        );
+        cfg.topology = self.choice.topology;
+        if let Some(k) = self.choice.ingest_links {
+            cfg.ingest_links = k;
+        }
+        cfg.clusters = self.clusters;
+        cfg.duration = units::Time::from_minutes(self.minutes);
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// Builds the JSONL-backed flight recorder when `--record` was given.
+pub fn make_recorder(cli: &Cli) -> Result<Option<Arc<Recorder>>, String> {
+    let Some(path) = cli.record.as_deref() else {
+        return Ok(None);
+    };
+    let sink = telemetry::sink::JsonlSink::create(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    Ok(Some(Arc::new(
+        Recorder::with_sink(RECORDER_RING, Arc::new(sink)).timeline(cli.cadence.unwrap_or(5.0)),
+    )))
+}
 
 /// Installs the stderr telemetry pretty-printer at the verbosity the
 /// flags ask for, plus an optional JSONL event log.

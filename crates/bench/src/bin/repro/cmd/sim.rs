@@ -9,80 +9,24 @@
 //! trace`); recording never perturbs the simulation.
 
 use std::process::ExitCode;
-use std::sync::Arc;
 
-use sudc::sim::{try_run, try_run_recorded, FaultModel, SimConfig, SimTopology};
-use telemetry::trace::Recorder;
+use sudc::sim::{try_run, try_run_recorded, FaultModel, ServeScenario};
 use telemetry::RunManifest;
 
+use super::{SimParams, TopologyChoice};
 use crate::Cli;
-
-/// Ring capacity of the in-process recorder. The JSONL sink sees every
-/// event regardless; the ring only backs in-memory inspection.
-const RECORDER_RING: usize = 4096;
-
-/// One parsed `--topology` argument: the shape, the ingest-link
-/// override it implies, and how it appears in artifact ids and notes.
-struct TopologyChoice {
-    topology: SimTopology,
-    ingest_links: Option<usize>,
-    /// Artifact-id suffix; empty for the default ring so existing
-    /// `faults_<scenario>` artifacts keep their byte-identical names.
-    slug: String,
-    /// Human label for the report note.
-    label: String,
-}
-
-/// Parses `ring`, `klist:<k>`, `geo`, or `split:<factor>`.
-fn parse_topology(arg: &str) -> Result<TopologyChoice, String> {
-    if let Some(k) = arg.strip_prefix("klist:") {
-        let k: usize = k
-            .parse()
-            .map_err(|_| format!("--topology klist wants an integer k, got '{arg}'"))?;
-        return Ok(TopologyChoice {
-            topology: SimTopology::Ring,
-            ingest_links: Some(k),
-            slug: format!("_klist{k}"),
-            label: format!("{k}-list ring"),
-        });
-    }
-    if let Some(factor) = arg.strip_prefix("split:") {
-        let factor: usize = factor
-            .parse()
-            .map_err(|_| format!("--topology split wants an integer factor, got '{arg}'"))?;
-        return Ok(TopologyChoice {
-            topology: SimTopology::SplitRing { factor },
-            ingest_links: None,
-            slug: format!("_split{factor}"),
-            label: format!("split ring (factor {factor})"),
-        });
-    }
-    match arg {
-        "ring" => Ok(TopologyChoice {
-            topology: SimTopology::Ring,
-            ingest_links: None,
-            slug: String::new(),
-            label: "ring".to_string(),
-        }),
-        "geo" => Ok(TopologyChoice {
-            topology: SimTopology::GeoStar,
-            ingest_links: None,
-            slug: "_geo".to_string(),
-            label: "GEO star".to_string(),
-        }),
-        _ => Err(format!(
-            "unknown topology '{arg}' (want ring, klist:<k>, geo, or split:<factor>)"
-        )),
-    }
-}
 
 /// Handles `repro sim list` and rejects stray operands; `None` means
 /// proceed into the run.
 fn handle_operands(cli: &Cli) -> Option<ExitCode> {
     let operands = &cli.ids[1..];
     if operands.first().map(String::as_str) == Some("list") {
-        println!("available fault scenarios:");
+        println!("available fault scenarios (--faults):");
         for name in FaultModel::scenario_names() {
+            println!("  {name}");
+        }
+        println!("available serve scenarios (--serve):");
+        for name in ServeScenario::scenario_names() {
             println!("  {name}");
         }
         return Some(ExitCode::SUCCESS);
@@ -90,45 +34,23 @@ fn handle_operands(cli: &Cli) -> Option<ExitCode> {
     if let Some(op) = operands.first() {
         eprintln!(
             "error: unexpected operand '{op}' (usage: repro sim [list] [--faults <scenario>] \
-             [--topology <shape>])"
+             [--serve <scenario>] [--topology <shape>])"
         );
         return Some(ExitCode::FAILURE);
     }
     None
 }
 
-/// The paper-reference plane (Table 8 regime) split into clusters so
-/// that cluster outages have somewhere to reroute to.
-fn reference_config(
-    choice: &TopologyChoice,
-    clusters: usize,
-    minutes: f64,
-    seed: u64,
-) -> SimConfig {
-    let mut cfg = SimConfig::paper_reference(
-        workloads::Application::AirPollution,
-        units::Length::from_m(3.0),
-        0.95,
-    );
-    cfg.topology = choice.topology;
-    if let Some(k) = choice.ingest_links {
-        cfg.ingest_links = k;
-    }
-    cfg.clusters = clusters;
-    cfg.duration = units::Time::from_minutes(minutes);
-    cfg.seed = seed;
-    cfg
-}
-
 /// Writes the comparison artifact, run manifest, and fault metrics;
 /// returns `true` when every write succeeded.
 fn emit_outputs(
     cli: &Cli,
+    params: &SimParams,
     manifest: &RunManifest,
     result: &sudc::experiments::ExperimentResult,
     metrics: &telemetry::Metrics,
 ) -> bool {
-    let out_dir = cli.out_dir.clone().unwrap_or_else(bench::results_dir);
+    let out_dir = params.out_dir.clone();
     let mut ok = true;
     if !cli.quiet {
         println!("{}", result.to_text_table());
@@ -155,21 +77,12 @@ fn emit_outputs(
     ok
 }
 
-/// Builds the JSONL-backed flight recorder when `--record` was given.
-fn make_recorder(cli: &Cli) -> Result<Option<Arc<Recorder>>, String> {
-    let Some(path) = cli.record.as_deref() else {
-        return Ok(None);
-    };
-    let sink = telemetry::sink::JsonlSink::create(path)
-        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
-    Ok(Some(Arc::new(
-        Recorder::with_sink(RECORDER_RING, Arc::new(sink)).timeline(cli.cadence.unwrap_or(5.0)),
-    )))
-}
-
 pub fn exec(cli: &Cli) -> ExitCode {
     if let Some(code) = handle_operands(cli) {
         return code;
+    }
+    if cli.serve.is_some() {
+        return super::serve::exec(cli);
     }
 
     let scenario = cli.faults.clone().unwrap_or_else(|| "none".to_string());
@@ -177,8 +90,8 @@ pub fn exec(cli: &Cli) -> ExitCode {
         eprintln!("error: unknown fault scenario '{scenario}' (try `repro sim list`)");
         return ExitCode::FAILURE;
     };
-    let choice = match parse_topology(cli.topology.as_deref().unwrap_or("ring")) {
-        Ok(c) => c,
+    let params = match SimParams::from_cli(cli) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -190,11 +103,7 @@ pub fn exec(cli: &Cli) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let seed = cli.seed.unwrap_or(sudc::sim::PAPER_SEED);
-    let minutes = cli.minutes.unwrap_or(2.0);
-    let clusters = cli.clusters.unwrap_or(4);
-
-    let mut cfg = reference_config(&choice, clusters, minutes, seed);
+    let mut cfg = params.reference_config();
 
     // Validate once up front so bad --clusters/--topology combinations
     // produce a diagnostic instead of a panic.
@@ -206,7 +115,7 @@ pub fn exec(cli: &Cli) -> ExitCode {
         }
     };
     cfg.faults = model;
-    let recorder = match make_recorder(cli) {
+    let recorder = match super::make_recorder(cli) {
         Ok(rec) => rec,
         Err(e) => {
             eprintln!("error: {e}");
@@ -230,23 +139,21 @@ pub fn exec(cli: &Cli) -> ExitCode {
         }
     }
 
-    let mut manifest = RunManifest::new("sim", seed);
+    let mut manifest = RunManifest::new("sim", params.seed);
     manifest.param("scenario", scenario.as_str());
-    manifest.param("topology", choice.label.as_str());
-    manifest.param("minutes", minutes);
-    manifest.param("clusters", clusters as u64);
+    manifest.param("topology", params.choice.label.as_str());
+    manifest.param("minutes", params.minutes);
+    manifest.param("clusters", params.clusters as u64);
     let metrics = fault_metrics(&baseline, &faulted);
 
-    let result = comparison_result(
-        &scenario, &choice, seed, minutes, clusters, &baseline, &faulted,
-    );
+    let result = comparison_result(&scenario, &params, &baseline, &faulted);
 
     manifest.record_experiment(&result.id);
     manifest.finish();
     if super::deterministic(cli) {
         manifest.strip_timings();
     }
-    let failed = !emit_outputs(cli, &manifest, &result, &metrics);
+    let failed = !emit_outputs(cli, &params, &manifest, &result, &metrics);
 
     telemetry::info(
         "sim.done",
@@ -293,14 +200,13 @@ fn fault_metrics(
 /// (`faults_<scenario>[_<topology>]`), one metric per row.
 fn comparison_result(
     scenario: &str,
-    choice: &TopologyChoice,
-    seed: u64,
-    minutes: f64,
-    clusters: usize,
+    params: &SimParams,
     baseline: &sudc::sim::SimReport,
     faulted: &sudc::sim::SimReport,
 ) -> sudc::experiments::ExperimentResult {
-    let id = format!("faults_{scenario}{}", choice.slug);
+    let TopologyChoice { slug, label, .. } = &params.choice;
+    let (seed, minutes, clusters) = (params.seed, params.minutes, params.clusters);
+    let id = format!("faults_{scenario}{slug}");
     let mut result = sudc::experiments::ExperimentResult::new(
         &id,
         &format!("Fault injection: '{scenario}' vs fault-free baseline (seed {seed})"),
@@ -380,8 +286,7 @@ fn comparison_result(
         result.push_row([name.to_string(), a, b]);
     }
     result.note(format!(
-        "paper-reference {}, {clusters} clusters, {minutes} simulated minutes, seed {seed}",
-        choice.label
+        "paper-reference {label}, {clusters} clusters, {minutes} simulated minutes, seed {seed}"
     ));
     result.note(
         "same seed + same scenario reproduces this file byte-for-byte \

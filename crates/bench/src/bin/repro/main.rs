@@ -41,6 +41,7 @@ pub struct Cli {
     pub no_cache: bool,
     pub bench: bool,
     pub faults: Option<String>,
+    pub serve: Option<String>,
     pub topology: Option<String>,
     pub seed: Option<u64>,
     pub minutes: Option<f64>,
@@ -122,6 +123,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         no_cache: false,
         bench: false,
         faults: None,
+        serve: None,
         topology: None,
         seed: None,
         minutes: None,
@@ -165,6 +167,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--faults" => {
                 let name = it.next().ok_or("--faults requires a scenario name")?;
                 cli.faults = Some(name.clone());
+            }
+            "--serve" => {
+                let name = it.next().ok_or("--serve requires a scenario name")?;
+                cli.serve = Some(name.clone());
             }
             "--topology" => {
                 let name = it
@@ -287,7 +293,10 @@ fn usage() {
            repro sim                  run the constellation simulator under\n\
                                       a fault scenario next to its fault-free\n\
                                       baseline (availability/goodput report)\n\
-           repro sim list             list fault scenarios\n\
+           repro sim --serve <name>   run the multi-tenant user-traffic\n\
+                                      serving layer on the reference plane\n\
+                                      (per-tenant SLO attainment report)\n\
+           repro sim list             list fault and serve scenarios\n\
            repro trace <path>         analyze a flight log recorded with\n\
                                       `repro sim --record` (per-hop latency\n\
                                       breakdown, critical paths, loss\n\
@@ -322,6 +331,12 @@ fn usage() {
          sim flags:\n\
            --faults <scenario>        fault scenario (default none;\n\
                                       see `repro sim list`)\n\
+           --serve <scenario>         serve a multi-tenant user-traffic\n\
+                                      scenario instead of the fault\n\
+                                      comparison (steady, surge,\n\
+                                      closed_loop, under_faults); with\n\
+                                      --faults, that fault model overrides\n\
+                                      the scenario's own\n\
            --topology <shape>         ingest topology: ring (default),\n\
                                       klist:<k>, geo, or split:<factor>\n\
                                       (Sec. 8 SµDC splitting)\n\

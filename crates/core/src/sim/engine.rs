@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use imagery::earth::EarthModel;
 use orbit::groundtrack::subsatellite_point;
-use simkit::rng::{coin, RngFactory};
+use simkit::rng::{coin, exponential, RngFactory};
 use simkit::stats::Tally;
 use simkit::Scheduler;
 use telemetry::trace::{Recorder, TraceCause, TraceKind, TraceRecord};
@@ -22,6 +22,9 @@ use units::{DataSize, Time};
 
 use crate::sim::faults::FaultSummary;
 use crate::sim::model::{ConfigError, DiscardPolicy, SimConfig, SimReport};
+use crate::sim::serve::{
+    admit as serve_admit, Admission, LoadModel, Request, ServeState, OPEN_SLOT,
+};
 use crate::sim::service::Service;
 use crate::sim::topology::{self, Topology};
 use crate::sim::transport::Transport;
@@ -74,6 +77,32 @@ enum Ev {
     /// Flight-recorder timeline tick (scheduled only in recorded runs
     /// with a cadence; never present otherwise).
     Snapshot,
+    /// Tenant `tenant`'s load generator produces a request (closed-loop
+    /// submissions carry their concurrency `slot`; open-loop arrivals
+    /// carry [`OPEN_SLOT`]). Never scheduled in non-serve runs.
+    ServeArrival { tenant: u32, slot: u32 },
+    /// A request finishes crossing the ISL out of `from`.
+    ServeHop { req: Request, from: usize },
+    /// An outage-blocked request transmission retries from `from` after
+    /// exponential backoff (`attempt` retries already spent).
+    ServeRetry {
+        req: Request,
+        from: usize,
+        attempt: u32,
+    },
+    /// Flush-timer deadline for the (cluster, tenant) batch queue; the
+    /// `epoch` invalidates timers armed before a dispatch.
+    ServeBatchTimer {
+        cluster: u32,
+        tenant: u32,
+        epoch: u64,
+    },
+    /// SµDC `cluster` finishes the in-service batch `batch`.
+    ServeBatchDone {
+        batch: u64,
+        cluster: u32,
+        corrupted: bool,
+    },
 }
 
 /// Per-run mutable state: the three layers plus the engine's own frame
@@ -101,6 +130,10 @@ struct State {
     undeliverable: u64,
     frames_shed: u64,
     frames_corrupted: u64,
+    /// Serving-layer runtime; `None` for pure EO-frame runs, which then
+    /// schedule no serve events and draw no serve RNG streams — keeping
+    /// them byte-identical to the serve-unaware engine.
+    serve: Option<ServeState>,
     /// Flight recorder; `None` keeps every trace site a dead branch
     /// (same zero-cost-when-off discipline as `SchedulerCounters`).
     recorder: Option<Arc<Recorder>>,
@@ -133,6 +166,10 @@ impl State {
             .unit_pixel_capacity()
             .expect("application must be measured on the SµDC device");
         let service = Service::new(cfg, topo.units(), pixel_capacity, rng_factory);
+        let serve = cfg
+            .serve
+            .as_ref()
+            .map(|sc| ServeState::new(sc, topo.units(), pixel_capacity));
         Self {
             cfg: cfg.clone(),
             topo,
@@ -153,6 +190,7 @@ impl State {
             undeliverable: 0,
             frames_shed: 0,
             frames_corrupted: 0,
+            serve,
             tbuf: Vec::with_capacity(recorder.as_ref().map_or(0, |r| r.batch_hint())),
             tbatch: recorder.as_ref().map_or(usize::MAX, |r| r.batch_hint()),
             tseq: recorder.as_ref().map_or(0, |r| r.last_seq()),
@@ -521,6 +559,495 @@ fn on_snapshot(st: &mut State, sched: &mut Scheduler<Ev>, now: Time) {
     }
 }
 
+/// Draws tenant `t`'s next open-loop Poisson interarrival gap (seconds)
+/// from the dedicated `serve_arrival` stream, keyed by tenant and draw
+/// ordinal in the same `(id << 32) | ordinal` style as the frame-side
+/// streams. `None` for closed-loop tenants (and non-serve runs).
+fn serve_next_interarrival(st: &mut State, t: usize) -> Option<f64> {
+    let factory = st.rng_factory;
+    let serve = st.serve.as_mut()?;
+    let tr = &mut serve.tenants[t];
+    let LoadModel::Open { rate_rps } = tr.spec.load else {
+        return None;
+    };
+    tr.arrival_draws += 1;
+    let mut rng = factory.stream(
+        "serve_arrival",
+        ((t as u64) << 32) | (tr.arrival_draws & 0xFFFF_FFFF),
+    );
+    Some(exponential(&mut rng, 1.0 / rate_rps))
+}
+
+/// Draws tenant `t`'s next closed-loop think time (seconds) from the
+/// dedicated `serve_think` stream; 0 for open-loop tenants or a zero
+/// mean (no draw is spent in either case).
+fn serve_think_delay(st: &mut State, t: usize) -> f64 {
+    let factory = st.rng_factory;
+    let Some(serve) = st.serve.as_mut() else {
+        return 0.0;
+    };
+    let tr = &mut serve.tenants[t];
+    let LoadModel::Closed { think_s, .. } = tr.spec.load else {
+        return 0.0;
+    };
+    if think_s <= 0.0 {
+        return 0.0;
+    }
+    tr.think_draws += 1;
+    let mut rng = factory.stream(
+        "serve_think",
+        ((t as u64) << 32) | (tr.think_draws & 0xFFFF_FFFF),
+    );
+    exponential(&mut rng, think_s)
+}
+
+/// Seeds the serve load generators at t = 0: every open-loop tenant
+/// draws its first Poisson gap, every closed-loop slot draws an initial
+/// think time (staggering the slots' first submissions).
+fn serve_start(st: &mut State, sched: &mut Scheduler<Ev>) {
+    let plans: Vec<(usize, LoadModel)> = match st.serve.as_ref() {
+        Some(serve) => serve
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(t, tr)| (t, tr.spec.load))
+            .collect(),
+        None => return,
+    };
+    for (t, load) in plans {
+        let tenant = t as u32;
+        match load {
+            LoadModel::Open { .. } => {
+                if let Some(gap) = serve_next_interarrival(st, t) {
+                    sched.schedule_at(
+                        Time::from_secs(gap),
+                        Ev::ServeArrival {
+                            tenant,
+                            slot: OPEN_SLOT,
+                        },
+                    );
+                }
+            }
+            LoadModel::Closed { concurrency, .. } => {
+                for slot in 0..concurrency {
+                    let think = serve_think_delay(st, t);
+                    sched.schedule_at(
+                        Time::from_secs(think),
+                        Ev::ServeArrival {
+                            tenant,
+                            slot: slot as u32,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Closes out a request slot: decrements the tenant's in-flight count
+/// and, for closed-loop tenants, schedules the slot's next submission
+/// after a think-time draw — so outstanding requests can never exceed
+/// the configured concurrency.
+fn serve_finish_slot(st: &mut State, sched: &mut Scheduler<Ev>, tenant: u32, slot: u32, now: Time) {
+    let t = tenant as usize;
+    if let Some(serve) = st.serve.as_mut() {
+        let tr = &mut serve.tenants[t];
+        tr.inflight = tr.inflight.saturating_sub(1);
+    }
+    if slot != OPEN_SLOT {
+        let think = serve_think_delay(st, t);
+        sched.schedule_at(
+            now + Time::from_secs(think),
+            Ev::ServeArrival { tenant, slot },
+        );
+    }
+}
+
+/// An admitted request dies in the network or on dead hardware: counted
+/// against its tenant, traced as a rejection, and its slot handed back.
+fn serve_lose(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    req: &Request,
+    unit: usize,
+    cause: TraceCause,
+    now: Time,
+) {
+    if let Some(serve) = st.serve.as_mut() {
+        serve.tenants[req.tenant as usize].lost += 1;
+    }
+    st.trace(
+        TraceRecord::at(now.as_secs(), TraceKind::ReqRejected)
+            .frame(req.id)
+            .unit(unit)
+            .cause(cause)
+            .parent(req.last_seq),
+    );
+    serve_finish_slot(st, sched, req.tenant, req.slot, now);
+}
+
+/// A load generator produces a request: pick its entry satellite from
+/// the `serve_source` stream, run admission against the destination
+/// SµDC's compute backlog, and launch admitted requests into the
+/// network. Open-loop generators reschedule themselves unconditionally
+/// — arrivals are exogenous, rejections included.
+fn on_serve_arrival(st: &mut State, sched: &mut Scheduler<Ev>, tenant: u32, slot: u32, now: Time) {
+    let t = tenant as usize;
+    if slot == OPEN_SLOT {
+        if let Some(gap) = serve_next_interarrival(st, t) {
+            sched.schedule_at(
+                now + Time::from_secs(gap),
+                Ev::ServeArrival { tenant, slot },
+            );
+        }
+    }
+    let factory = st.rng_factory;
+    let n = st.cfg.plane.satellite_count() as u64;
+    let (id, bits, pixels, sat) = {
+        let Some(serve) = st.serve.as_mut() else {
+            return;
+        };
+        let id = serve.begin_request(t);
+        let mut rng = factory.stream("serve_source", serve.arrivals);
+        let sat = rng.next_below(n) as usize;
+        let spec = &serve.tenants[t].spec;
+        (id, spec.request_bits, spec.request_pixels, sat)
+    };
+    let arrived = st.trace(
+        TraceRecord::at(now.as_secs(), TraceKind::ReqArrived)
+            .frame(id)
+            .unit(sat),
+    );
+    // Admission reads the backlog of the SµDC the entry satellite's
+    // relay chain ends at.
+    let mut tail = sat;
+    while let Some(next) = st.topo.next_hop(tail) {
+        tail = next;
+    }
+    let cluster = st.topo.home_cluster(tail);
+    let backlog_s = st.service.queue_depth_s(cluster, now);
+    let verdict = {
+        let Some(serve) = st.serve.as_mut() else {
+            return;
+        };
+        let class = serve.tenants[t].spec.class;
+        let verdict = serve_admit(
+            &serve.cfg,
+            &mut serve.tenants[t].bucket,
+            class,
+            backlog_s,
+            now,
+        );
+        let tr = &mut serve.tenants[t];
+        match verdict {
+            Admission::Admit => tr.admitted += 1,
+            Admission::Throttled => tr.throttled += 1,
+            Admission::Shed => tr.shed += 1,
+        }
+        verdict
+    };
+    match verdict {
+        Admission::Admit => {
+            let last_seq = st.trace(
+                TraceRecord::at(now.as_secs(), TraceKind::ReqAdmitted)
+                    .frame(id)
+                    .unit(sat)
+                    .parent(arrived),
+            );
+            let req = Request {
+                id,
+                tenant,
+                created: now,
+                bits,
+                pixels,
+                slot,
+                last_seq,
+            };
+            serve_dispatch(st, sched, req, sat, now, 0);
+        }
+        Admission::Throttled => {
+            st.trace(
+                TraceRecord::at(now.as_secs(), TraceKind::ReqRejected)
+                    .frame(id)
+                    .unit(sat)
+                    .cause(TraceCause::Throttled)
+                    .parent(arrived),
+            );
+            serve_finish_slot(st, sched, tenant, slot, now);
+        }
+        Admission::Shed => {
+            st.trace(
+                TraceRecord::at(now.as_secs(), TraceKind::ReqRejected)
+                    .frame(id)
+                    .unit(sat)
+                    .cause(TraceCause::Backlog)
+                    .parent(arrived),
+            );
+            serve_finish_slot(st, sched, tenant, slot, now);
+        }
+    }
+}
+
+/// Routes a request out of `sat` over the same ISLs the frame workload
+/// rides, honouring link outages: a down link retries with the frames'
+/// backoff policy, but requests never fall back to reverse routing — a
+/// request whose forward path exhausts its retries is lost (and
+/// reported per tenant), since re-serving from the ground beats a
+/// multi-second detour for interactive traffic.
+fn serve_dispatch(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    mut req: Request,
+    sat: usize,
+    now: Time,
+    attempt: u32,
+) {
+    if st.transport.outages_modelled() {
+        let start = st.transport.next_start(sat, now);
+        if !st.transport.link_up(sat, false, start) {
+            if let Some(delay) = st.transport.retry_delay_s(attempt) {
+                if let Some(serve) = st.serve.as_mut() {
+                    serve.retries += 1;
+                }
+                req.last_seq = st.trace(
+                    TraceRecord::at(now.as_secs(), TraceKind::Retry)
+                        .frame(req.id)
+                        .unit(sat)
+                        .cause(TraceCause::LinkDown)
+                        .parent(req.last_seq)
+                        .value(delay),
+                );
+                sched.schedule_at(
+                    now + Time::from_secs(delay),
+                    Ev::ServeRetry {
+                        req,
+                        from: sat,
+                        attempt: attempt + 1,
+                    },
+                );
+            } else {
+                serve_lose(st, sched, &req, sat, TraceCause::LinkDown, now);
+            }
+            return;
+        }
+    }
+    let arrival = st.transport.transmit(sat, now, req.bits);
+    req.last_seq = st.trace(
+        TraceRecord::at(now.as_secs(), TraceKind::Hop)
+            .frame(req.id)
+            .unit(sat)
+            .parent(req.last_seq)
+            .value((arrival - now).as_secs()),
+    );
+    sched.schedule_at(arrival, Ev::ServeHop { req, from: sat });
+}
+
+/// A request arrives at the next node: relay onward, or enter its home
+/// SµDC's batch queue — dying if that SµDC is down (requests have no
+/// reverse fallback).
+fn on_serve_hop(st: &mut State, sched: &mut Scheduler<Ev>, req: Request, from: usize, now: Time) {
+    match st.topo.next_hop(from) {
+        Some(next) => serve_dispatch(st, sched, req, next, now, 0),
+        None => {
+            let cluster = st.topo.home_cluster(from);
+            if st.service.cluster_failed(cluster, now) {
+                serve_lose(st, sched, &req, cluster, TraceCause::ClusterDown, now);
+                return;
+            }
+            let t = req.tenant as usize;
+            if let Some(serve) = st.serve.as_mut() {
+                serve.batcher.push(cluster, req);
+            }
+            serve_drain_queue(st, sched, cluster, t, now, false);
+        }
+    }
+}
+
+/// Dispatches every batch the policy says is ready on the (cluster,
+/// tenant) queue — `force` flushes regardless, for fired deadline
+/// timers — then arms the straggler flush timer for any remainder.
+fn serve_drain_queue(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    cluster: usize,
+    tenant: usize,
+    now: Time,
+    force: bool,
+) {
+    loop {
+        let depth_s = st.service.queue_depth_s(cluster, now);
+        let ready = match st.serve.as_ref() {
+            Some(serve) => {
+                serve.batcher.len(cluster, tenant) > 0
+                    && (force || serve.batcher.ready(cluster, tenant, depth_s))
+            }
+            None => false,
+        };
+        if !ready {
+            break;
+        }
+        serve_dispatch_batch(st, sched, cluster, tenant, now);
+    }
+    let timer = st
+        .serve
+        .as_mut()
+        .and_then(|serve| serve.batcher.arm_timer(cluster, tenant));
+    if let Some((deadline_s, epoch)) = timer {
+        sched.schedule_at(
+            Time::from_secs(deadline_s).max(now),
+            Ev::ServeBatchTimer {
+                cluster: cluster as u32,
+                tenant: tenant as u32,
+                epoch,
+            },
+        );
+    }
+}
+
+/// Pulls one batch off the queue into the SµDC compute pipeline: the
+/// saturating throughput model prices the batch, the shared pipeline
+/// (frames included) runs it FIFO, and an active SEU window can
+/// silently corrupt the whole batch's outputs.
+fn serve_dispatch_batch(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    cluster: usize,
+    tenant: usize,
+    now: Time,
+) {
+    let (mut batch, service_s) = {
+        let Some(serve) = st.serve.as_mut() else {
+            return;
+        };
+        let Some(batch) = serve.batcher.dispatch(cluster, tenant) else {
+            return;
+        };
+        let service_s = serve.service_seconds(tenant, batch.reqs.len());
+        (batch, service_s)
+    };
+    let (done, corrupted) = st.service.admit_batch(service_s, cluster, now);
+    let size = batch.reqs.len() as f64;
+    for req in &mut batch.reqs {
+        req.last_seq = st.trace(
+            TraceRecord::at(now.as_secs(), TraceKind::ReqBatched)
+                .frame(req.id)
+                .unit(cluster)
+                .parent(req.last_seq)
+                .value(size),
+        );
+    }
+    let batch_id = match st.serve.as_mut() {
+        Some(serve) => serve.batcher.store(batch),
+        None => return,
+    };
+    sched.schedule_at(
+        done,
+        Ev::ServeBatchDone {
+            batch: batch_id,
+            cluster: cluster as u32,
+            corrupted,
+        },
+    );
+}
+
+/// A flush-timer deadline fires: stale epochs (the queue dispatched in
+/// the meantime) are ignored; a live timer on a non-empty queue flushes
+/// it.
+fn on_serve_batch_timer(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    cluster: usize,
+    tenant: usize,
+    epoch: u64,
+    now: Time,
+) {
+    let live = match st.serve.as_mut() {
+        Some(serve) => serve.batcher.timer_fired(cluster, tenant, epoch),
+        None => false,
+    };
+    if live {
+        serve_drain_queue(st, sched, cluster, tenant, now, true);
+    }
+}
+
+/// A SµDC finishes a batch: score every request against its tenant's
+/// SLO deadline (work completing on a cluster that died mid-service
+/// dies with it), hand closed-loop slots back, then re-examine the
+/// cluster's queues — the pipeline just freed capacity an adaptive
+/// policy may want to use.
+fn on_serve_batch_done(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    batch_id: u64,
+    cluster: usize,
+    corrupted: bool,
+    now: Time,
+) {
+    let batch = match st.serve.as_mut() {
+        Some(serve) => serve.batcher.take(batch_id),
+        None => None,
+    };
+    let Some(batch) = batch else {
+        return;
+    };
+    let dead = st.service.cluster_failed(cluster, now);
+    for req in &batch.reqs {
+        if dead {
+            serve_lose(st, sched, req, cluster, TraceCause::ClusterDown, now);
+            continue;
+        }
+        let latency = (now - req.created).as_secs();
+        let t = req.tenant as usize;
+        let on_time = {
+            let Some(serve) = st.serve.as_mut() else {
+                return;
+            };
+            let tr = &mut serve.tenants[t];
+            if corrupted {
+                // The output is silently wrong: an SLO violation even
+                // when it would have been on time.
+                tr.violations += 1;
+                None
+            } else {
+                tr.completed += 1;
+                tr.latency_ms.record(latency * 1e3);
+                let ok = latency <= tr.spec.slo_deadline_s;
+                if ok {
+                    tr.on_time += 1;
+                } else {
+                    tr.violations += 1;
+                }
+                Some(ok)
+            }
+        };
+        let record = match on_time {
+            Some(true) => TraceRecord::at(now.as_secs(), TraceKind::ReqCompleted)
+                .frame(req.id)
+                .unit(cluster)
+                .parent(req.last_seq)
+                .value(latency),
+            Some(false) => TraceRecord::at(now.as_secs(), TraceKind::SloViolated)
+                .frame(req.id)
+                .unit(cluster)
+                .cause(TraceCause::Backlog)
+                .parent(req.last_seq)
+                .value(latency),
+            None => TraceRecord::at(now.as_secs(), TraceKind::SloViolated)
+                .frame(req.id)
+                .unit(cluster)
+                .cause(TraceCause::Seu)
+                .parent(req.last_seq)
+                .value(latency),
+        };
+        st.trace(record);
+        serve_finish_slot(st, sched, req.tenant, req.slot, now);
+    }
+    let tenants = st.serve.as_ref().map_or(0, |serve| serve.tenants.len());
+    for t in 0..tenants {
+        serve_drain_queue(st, sched, cluster, t, now, false);
+    }
+}
+
 /// Assembles the report: utilisation from the layers' busy-time
 /// high-water marks, stability from goodput and residual backlog, and
 /// the fault summary folded out of the outage processes.
@@ -616,6 +1143,7 @@ fn report(mut st: State, sched: &Scheduler<Ev>, cfg: &SimConfig) -> SimReport {
         stable,
         scheduler: sched.probe_counters().unwrap_or_default(),
         faults: fault_summary,
+        serve: st.serve.as_ref().map(|s| s.report(horizon)),
     }
 }
 
@@ -639,11 +1167,17 @@ pub fn try_run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
 /// # Panics
 ///
 /// Panics if the (application, device) pair has no measurement.
-pub fn try_run_recorded(cfg: &SimConfig, recorder: Arc<Recorder>) -> Result<SimReport, ConfigError> {
+pub fn try_run_recorded(
+    cfg: &SimConfig,
+    recorder: Arc<Recorder>,
+) -> Result<SimReport, ConfigError> {
     try_run_with(cfg, Some(recorder))
 }
 
-fn try_run_with(cfg: &SimConfig, recorder: Option<Arc<Recorder>>) -> Result<SimReport, ConfigError> {
+fn try_run_with(
+    cfg: &SimConfig,
+    recorder: Option<Arc<Recorder>>,
+) -> Result<SimReport, ConfigError> {
     cfg.validate()?;
     let n = cfg.plane.satellite_count();
     let mut st = State::new(cfg, recorder);
@@ -660,6 +1194,7 @@ fn try_run_with(cfg: &SimConfig, recorder: Option<Arc<Recorder>>) -> Result<SimR
     if let Some(cadence) = st.recorder.as_ref().and_then(|r| r.timeline_cadence_s()) {
         sched.schedule_at(Time::from_secs(cadence), Ev::Snapshot);
     }
+    serve_start(&mut st, &mut sched);
 
     simkit::run_until(&mut sched, &mut st, cfg.duration, |st, sched, ev| {
         let now = ev.time;
@@ -680,6 +1215,21 @@ fn try_run_with(cfg: &SimConfig, recorder: Option<Arc<Recorder>>) -> Result<SimR
                 corrupted,
             } => on_done(st, frame, cluster, corrupted, now),
             Ev::Snapshot => on_snapshot(st, sched, now),
+            Ev::ServeArrival { tenant, slot } => on_serve_arrival(st, sched, tenant, slot, now),
+            Ev::ServeHop { req, from } => on_serve_hop(st, sched, req, from, now),
+            Ev::ServeRetry { req, from, attempt } => {
+                serve_dispatch(st, sched, req, from, now, attempt)
+            }
+            Ev::ServeBatchTimer {
+                cluster,
+                tenant,
+                epoch,
+            } => on_serve_batch_timer(st, sched, cluster as usize, tenant as usize, epoch, now),
+            Ev::ServeBatchDone {
+                batch,
+                cluster,
+                corrupted,
+            } => on_serve_batch_done(st, sched, batch, cluster as usize, corrupted, now),
         }
     });
 
@@ -1197,6 +1747,137 @@ mod tests {
             "no cadence, no snapshot ticks"
         );
         assert_eq!(log.count_kind(TraceKind::SnapshotNet), 0);
+    }
+
+    fn serve_cfg(scenario: &str) -> SimConfig {
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.clusters = 4;
+        cfg.duration = Time::from_minutes(2.0);
+        let sc = crate::sim::ServeScenario::scenario(scenario).expect("registered scenario");
+        cfg.serve = Some(sc.serve);
+        cfg.faults = sc.faults;
+        cfg
+    }
+
+    #[test]
+    fn steady_scenario_serves_within_slo_alongside_frames() {
+        let r = run(&serve_cfg("steady"));
+        let serve = r.serve.expect("serve runs embed a ServeReport");
+        assert!(serve.offered() > 0);
+        assert!(serve.completed() > 0);
+        assert!(serve.requests_per_sec > 0.0);
+        assert!(serve.batch_efficiency > 0.0 && serve.batch_efficiency <= 1.0);
+        let premium = &serve.tenants[0];
+        assert!(premium.slo_attainment > 0.9, "{premium:?}");
+        assert!(premium.p99_ms >= premium.p50_ms);
+        assert!(premium.goodput_rps > 0.0);
+        // The frame workload keeps flowing alongside the serving traffic.
+        assert!(r.processed > 0);
+    }
+
+    #[test]
+    fn surge_scenario_sheds_or_throttles_excess_load() {
+        let r = run(&serve_cfg("surge"));
+        let serve = r.serve.expect("serve report");
+        assert!(serve.shed_rate > 0.0, "{serve:?}");
+        let turned_away: u64 = serve.tenants.iter().map(|t| t.throttled + t.shed).sum();
+        assert!(turned_away > 0, "{serve:?}");
+        // Class shedding sacrifices best-effort traffic first: premium
+        // loses a smaller fraction of its offered load to the backlog
+        // threshold than the best-effort survey flood does.
+        let premium = &serve.tenants[0];
+        let best_effort = &serve.tenants[2];
+        let shed_frac = |t: &crate::sim::serve::TenantReport| t.shed as f64 / t.offered as f64;
+        assert!(
+            shed_frac(premium) < shed_frac(best_effort),
+            "premium shed {} vs best-effort shed {}",
+            shed_frac(premium),
+            shed_frac(best_effort)
+        );
+    }
+
+    #[test]
+    fn closed_loop_peak_inflight_respects_concurrency() {
+        let cfg = serve_cfg("closed_loop");
+        let specs = cfg.serve.clone().expect("serve cfg").tenants;
+        let r = run(&cfg);
+        let serve = r.serve.expect("serve report");
+        for (tr, spec) in serve.tenants.iter().zip(&specs) {
+            let crate::sim::LoadModel::Closed { concurrency, .. } = spec.load else {
+                panic!("closed_loop tenants are closed-loop")
+            };
+            assert!(
+                tr.peak_inflight <= concurrency as u64,
+                "{}: peak {} > concurrency {}",
+                tr.name,
+                tr.peak_inflight,
+                concurrency
+            );
+            assert!(tr.completed > 0, "{tr:?}");
+        }
+    }
+
+    #[test]
+    fn every_serve_scenario_is_seed_deterministic() {
+        for name in crate::sim::ServeScenario::scenario_names() {
+            let cfg = serve_cfg(name);
+            assert_eq!(run(&cfg), run(&cfg), "{name}");
+        }
+    }
+
+    #[test]
+    fn faulted_serve_runs_lose_or_violate_but_stay_accounted() {
+        let r = run(&serve_cfg("under_faults"));
+        let serve = r.serve.expect("serve report");
+        let lost: u64 = serve.tenants.iter().map(|t| t.lost).sum();
+        let violations: u64 = serve.tenants.iter().map(|t| t.violations).sum();
+        assert!(
+            lost + violations > 0,
+            "the combined fault scenario must bite the serving layer: {serve:?}"
+        );
+        for tr in &serve.tenants {
+            assert_eq!(
+                tr.offered,
+                tr.admitted + tr.throttled + tr.shed,
+                "every offered request gets a verdict: {tr:?}"
+            );
+            assert!(
+                tr.completed + tr.lost <= tr.admitted,
+                "completions and losses come out of admissions: {tr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_overlay_does_not_change_non_serve_reports() {
+        // Belt and braces for the byte-identity gate: a config with
+        // `serve: None` must produce the exact report it did before the
+        // serving layer existed — same seed, same counters, bit for bit.
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.duration = Time::from_minutes(2.0);
+        let plain = run(&cfg);
+        assert_eq!(plain.serve, None);
+        assert_eq!(plain, run(&cfg));
+    }
+
+    #[test]
+    fn recorded_serve_run_traces_the_request_lifecycle() {
+        let cfg = serve_cfg("steady");
+        let plain = run(&cfg);
+        let rec = Arc::new(Recorder::new(1 << 20));
+        let mut recorded = try_run_recorded(&cfg, rec.clone()).expect("valid config");
+        recorded.scheduler = plain.scheduler.clone();
+        assert_eq!(recorded, plain, "recording must not perturb serving");
+        let log = telemetry::trace::TraceLog::from_events(rec.events());
+        let serve = plain.serve.expect("serve report");
+        assert_eq!(log.count_kind(TraceKind::ReqArrived), serve.offered());
+        let on_time: u64 = serve.tenants.iter().map(|t| t.on_time).sum();
+        assert_eq!(log.count_kind(TraceKind::ReqCompleted), on_time);
+        let violations: u64 = serve.tenants.iter().map(|t| t.violations).sum();
+        assert_eq!(log.count_kind(TraceKind::SloViolated), violations);
+        assert!(log.count_kind(TraceKind::ReqBatched) > 0);
     }
 
     #[test]

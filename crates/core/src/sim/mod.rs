@@ -12,11 +12,14 @@
 //! ```
 //!
 //! `model` holds the configuration and report types; `faults` the
-//! fault-injection model. Seeded runs replay byte-identically across
-//! the layer seams — see DESIGN.md for the contract.
+//! fault-injection model; `serve` the multi-tenant user-traffic
+//! serving layer riding the same links and pipelines. Seeded runs
+//! replay byte-identically across the layer seams — see DESIGN.md for
+//! the contract.
 pub mod engine;
 pub mod faults;
 pub mod model;
+pub mod serve;
 pub mod service;
 pub mod topology;
 pub mod transport;
@@ -26,4 +29,5 @@ pub use faults::{
     SeuSpec,
 };
 pub use model::*;
+pub use serve::{BatchPolicy, LoadModel, ServeConfig, ServeReport, ServeScenario, TenantClass};
 pub use topology::Topology;

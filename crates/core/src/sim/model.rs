@@ -22,6 +22,7 @@ use units::{DataRate, DataSize, Length, Time};
 use workloads::Application;
 
 use crate::sim::faults::{FaultModel, FaultSummary};
+use crate::sim::serve::{ServeConfig, ServeReport};
 use crate::sizing::SudcSpec;
 
 /// The workspace-wide default RNG seed used by the paper-reference
@@ -92,6 +93,20 @@ pub enum ConfigError {
         /// The rejected split factor.
         factor: usize,
     },
+    /// A serve layer configured with no tenants.
+    NoTenants,
+    /// An open-loop tenant with a non-positive arrival rate.
+    ZeroArrivalRate {
+        /// Index of the offending tenant.
+        tenant: usize,
+    },
+    /// A closed-loop tenant with zero concurrency slots.
+    ZeroServeConcurrency {
+        /// Index of the offending tenant.
+        tenant: usize,
+    },
+    /// A fixed batching policy of size zero, or `max_batch == 0`.
+    ZeroBatchSize,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -120,6 +135,19 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "split factor must divide the ring evenly ({satellites} % {clusters}*{factor} != 0)"
             ),
+            ConfigError::NoTenants => write!(f, "serve layer needs at least one tenant"),
+            ConfigError::ZeroArrivalRate { tenant } => {
+                write!(f, "open-loop tenant {tenant} needs a positive arrival rate")
+            }
+            ConfigError::ZeroServeConcurrency { tenant } => {
+                write!(
+                    f,
+                    "closed-loop tenant {tenant} needs at least one concurrency slot"
+                )
+            }
+            ConfigError::ZeroBatchSize => {
+                write!(f, "batching needs a batch size of at least 1")
+            }
         }
     }
 }
@@ -169,6 +197,12 @@ pub struct SimConfig {
     /// simulation byte-identical to the fault-unaware simulator.
     #[serde(default)]
     pub faults: FaultModel,
+    /// The user-traffic serving layer. `None` — the default, and what
+    /// older serialized configs deserialize to — schedules no serve
+    /// events and draws no serve RNG streams, leaving the simulation
+    /// byte-identical to the serve-unaware engine.
+    #[serde(default)]
+    pub serve: Option<ServeConfig>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -191,6 +225,7 @@ impl SimConfig {
             duration: Time::from_minutes(5.0),
             failures: Vec::new(),
             faults: FaultModel::none(),
+            serve: None,
             seed: PAPER_SEED,
         }
     }
@@ -232,6 +267,9 @@ impl SimConfig {
                 }
             }
             SimTopology::GeoStar => {}
+        }
+        if let Some(serve) = &self.serve {
+            serve.validate()?;
         }
         Ok(())
     }
@@ -299,6 +337,10 @@ pub struct SimReport {
     /// fault-free runs).
     #[serde(default)]
     pub faults: FaultSummary,
+    /// Serving-layer outcomes: per-tenant SLO attainment and aggregate
+    /// throughput. `None` for runs without a serve layer.
+    #[serde(default)]
+    pub serve: Option<ServeReport>,
 }
 
 #[cfg(test)]
@@ -362,6 +404,19 @@ mod tests {
         c.topology = SimTopology::SplitRing { factor: 3 }; // 64 % 12 != 0
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("divide the ring"), "{err}");
+    }
+
+    #[test]
+    fn serve_validation_flows_through_the_sim_config() {
+        use crate::sim::serve::{ServeConfig, ServeScenario};
+
+        let mut c = cfg();
+        c.serve = Some(ServeConfig::defaults()); // no tenants
+        assert_eq!(c.validate(), Err(ConfigError::NoTenants));
+        assert!(c.validate().unwrap_err().to_string().contains("tenant"));
+
+        c.serve = Some(ServeScenario::scenario("steady").unwrap().serve);
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

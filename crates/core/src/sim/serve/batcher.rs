@@ -1,0 +1,322 @@
+//! The dynamic batcher: per-(SµDC, tenant) request queues that exploit
+//! the saturating batch-throughput model. Three policies decide when a
+//! queue fires into the shared compute pipeline: fixed-size,
+//! deadline-triggered, and adaptive (backlog-aware). Dispatch order and
+//! timing are pure functions of queue state and sim time — no RNG —
+//! and stale deadline timers are invalidated by a per-queue epoch
+//! counter, so serve runs replay byte-identically.
+
+use std::collections::BTreeMap;
+
+use crate::sim::serve::config::{BatchPolicy, ServeConfig};
+use crate::sim::serve::state::Request;
+
+/// A dispatched batch riding one SµDC pipeline slot.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Tenant every request in the batch belongs to.
+    pub tenant: u32,
+    /// The batched requests, in arrival order.
+    pub reqs: Vec<Request>,
+}
+
+/// One (SµDC, tenant) queue.
+#[derive(Debug, Clone, Default)]
+struct Queue {
+    reqs: Vec<Request>,
+    /// Bumped on every dispatch; a timer event carrying an older epoch
+    /// is stale and ignored.
+    epoch: u64,
+    /// Whether a flush timer is outstanding for the current epoch.
+    timer_armed: bool,
+}
+
+/// All queues plus the in-service batch table.
+#[derive(Debug)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    max_batch: usize,
+    /// Saturation knee of the batch-throughput curve.
+    knee: f64,
+    flush_wait_s: f64,
+    tenants: usize,
+    queues: Vec<Queue>,
+    /// Batches currently in the compute pipeline, by batch id (a
+    /// `BTreeMap` keeps any iteration deterministic).
+    in_service: BTreeMap<u64, Batch>,
+    next_batch_id: u64,
+    /// Batches dispatched so far.
+    pub batches_dispatched: u64,
+    /// Requests dispatched inside those batches.
+    pub requests_batched: u64,
+    /// Σ over batches of `size × (min(size, knee) / knee)` — the
+    /// request-weighted batch efficiency numerator.
+    efficiency_weighted: f64,
+}
+
+impl Batcher {
+    /// Empty queues for `units` SµDCs × the configured tenants.
+    pub fn new(cfg: &ServeConfig, units: usize) -> Batcher {
+        let tenants = cfg.tenants.len();
+        Batcher {
+            policy: cfg.batch,
+            max_batch: cfg.max_batch.max(1),
+            knee: cfg.saturation_batch.max(1.0),
+            flush_wait_s: cfg.flush_wait_s.max(0.0),
+            tenants,
+            queues: (0..units * tenants).map(|_| Queue::default()).collect(),
+            in_service: BTreeMap::new(),
+            next_batch_id: 0,
+            batches_dispatched: 0,
+            requests_batched: 0,
+            efficiency_weighted: 0.0,
+        }
+    }
+
+    fn index(&self, cluster: usize, tenant: usize) -> usize {
+        cluster * self.tenants + tenant
+    }
+
+    /// Queued requests for one (SµDC, tenant) queue.
+    pub fn len(&self, cluster: usize, tenant: usize) -> usize {
+        self.queues[self.index(cluster, tenant)].reqs.len()
+    }
+
+    /// Current timer epoch of one queue.
+    pub fn epoch(&self, cluster: usize, tenant: usize) -> u64 {
+        self.queues[self.index(cluster, tenant)].epoch
+    }
+
+    /// Appends an arrived request to its queue (arrival order).
+    pub fn push(&mut self, cluster: usize, req: Request) {
+        let i = self.index(cluster, req.tenant as usize);
+        self.queues[i].reqs.push(req);
+    }
+
+    /// Whether the queue should dispatch now, given the SµDC pipeline's
+    /// backlog depth (`depth_s` seconds of queued service time).
+    pub fn ready(&self, cluster: usize, tenant: usize, depth_s: f64) -> bool {
+        let len = self.len(cluster, tenant);
+        if len == 0 {
+            return false;
+        }
+        match self.policy {
+            BatchPolicy::Fixed { size } => len >= size,
+            BatchPolicy::Deadline { .. } => len >= self.max_batch,
+            BatchPolicy::Adaptive => {
+                if depth_s <= 0.0 {
+                    // Pipeline idle: latency first, dispatch whatever
+                    // is queued.
+                    true
+                } else {
+                    // Pipeline busy: accumulate to the knee so the
+                    // waiting costs buy saturated throughput.
+                    let target = (self.knee.ceil() as usize).min(self.max_batch);
+                    len >= target
+                }
+            }
+        }
+    }
+
+    /// Arms the flush timer for the queue's head request: returns the
+    /// absolute deadline (seconds) and the epoch the timer must carry.
+    /// `None` when the queue is empty or a timer is already armed for
+    /// this epoch.
+    pub fn arm_timer(&mut self, cluster: usize, tenant: usize) -> Option<(f64, u64)> {
+        let wait = match self.policy {
+            BatchPolicy::Deadline { max_wait_s } => max_wait_s.max(0.0),
+            _ => self.flush_wait_s,
+        };
+        let i = self.index(cluster, tenant);
+        let q = &mut self.queues[i];
+        let head = q.reqs.first()?;
+        if q.timer_armed {
+            return None;
+        }
+        q.timer_armed = true;
+        Some((head.created.as_secs() + wait, q.epoch))
+    }
+
+    /// Handles a fired timer: stale epochs are ignored; a live timer on
+    /// a non-empty queue asks the engine to flush it.
+    pub fn timer_fired(&mut self, cluster: usize, tenant: usize, epoch: u64) -> bool {
+        let i = self.index(cluster, tenant);
+        let q = &mut self.queues[i];
+        if q.epoch != epoch {
+            return false;
+        }
+        q.timer_armed = false;
+        !q.reqs.is_empty()
+    }
+
+    /// Takes up to `max_batch` requests off the queue's head as a new
+    /// batch, bumping the epoch (stale timers die) and the dispatch
+    /// statistics. `None` when the queue is empty.
+    pub fn dispatch(&mut self, cluster: usize, tenant: usize) -> Option<Batch> {
+        let max_batch = self.max_batch;
+        let knee = self.knee;
+        let i = self.index(cluster, tenant);
+        let q = &mut self.queues[i];
+        if q.reqs.is_empty() {
+            return None;
+        }
+        let n = q.reqs.len().min(max_batch);
+        let reqs: Vec<Request> = q.reqs.drain(..n).collect();
+        q.epoch += 1;
+        q.timer_armed = false;
+        self.batches_dispatched += 1;
+        self.requests_batched += n as u64;
+        self.efficiency_weighted += n as f64 * ((n as f64).min(knee) / knee);
+        Some(Batch {
+            tenant: tenant as u32,
+            reqs,
+        })
+    }
+
+    /// Stores a dispatched batch as in-service, returning its id for
+    /// the completion event.
+    pub fn store(&mut self, batch: Batch) -> u64 {
+        self.next_batch_id += 1;
+        let id = self.next_batch_id;
+        self.in_service.insert(id, batch);
+        id
+    }
+
+    /// Removes and returns a completed in-service batch.
+    pub fn take(&mut self, id: u64) -> Option<Batch> {
+        self.in_service.remove(&id)
+    }
+
+    /// Request-weighted mean batch efficiency: `throughput(batch) /
+    /// throughput(knee)` averaged over every dispatched request (1 when
+    /// nothing was dispatched).
+    pub fn mean_efficiency(&self) -> f64 {
+        if self.requests_batched == 0 {
+            1.0
+        } else {
+            self.efficiency_weighted / self.requests_batched as f64
+        }
+    }
+
+    /// Mean dispatched batch size (0 when nothing was dispatched).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches_dispatched == 0 {
+            0.0
+        } else {
+            self.requests_batched as f64 / self.batches_dispatched as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units::Time;
+
+    fn req(id: u64, tenant: u32, t_s: f64) -> Request {
+        Request {
+            id,
+            tenant,
+            created: Time::from_secs(t_s),
+            bits: 1.0e6,
+            pixels: 1.0e6,
+            slot: crate::sim::serve::state::OPEN_SLOT,
+            last_seq: 0,
+        }
+    }
+
+    fn cfg(policy: BatchPolicy) -> ServeConfig {
+        use crate::sim::serve::config::{TenantClass, TenantSpec};
+        ServeConfig {
+            tenants: vec![
+                TenantSpec::interactive("a", TenantClass::Premium, 10.0),
+                TenantSpec::interactive("b", TenantClass::Standard, 10.0),
+            ],
+            batch: policy,
+            max_batch: 4,
+            flush_wait_s: 0.1,
+            saturation_batch: 4.0,
+            ..ServeConfig::defaults()
+        }
+    }
+
+    #[test]
+    fn fixed_fires_at_size_and_not_before() {
+        let mut b = Batcher::new(&cfg(BatchPolicy::Fixed { size: 3 }), 2);
+        b.push(0, req(1, 0, 0.0));
+        b.push(0, req(2, 0, 0.1));
+        assert!(!b.ready(0, 0, 5.0));
+        b.push(0, req(3, 0, 0.2));
+        assert!(b.ready(0, 0, 5.0));
+        let batch = b.dispatch(0, 0).expect("ready queue dispatches");
+        assert_eq!(batch.reqs.len(), 3);
+        assert_eq!(batch.reqs[0].id, 1, "arrival order preserved");
+        assert_eq!(b.len(0, 0), 0);
+    }
+
+    #[test]
+    fn deadline_waits_for_the_timer_below_the_cap() {
+        let mut b = Batcher::new(&cfg(BatchPolicy::Deadline { max_wait_s: 0.05 }), 1);
+        b.push(0, req(1, 0, 1.0));
+        assert!(!b.ready(0, 0, 0.0), "below max_batch: the timer decides");
+        let (deadline, epoch) = b.arm_timer(0, 0).expect("arms once");
+        assert!((deadline - 1.05).abs() < 1e-12);
+        assert_eq!(b.arm_timer(0, 0), None, "one timer per epoch");
+        assert!(b.timer_fired(0, 0, epoch), "live timer flushes");
+        for i in 2..=5 {
+            b.push(0, req(i, 0, 1.0));
+        }
+        assert!(b.ready(0, 0, 0.0), "the cap fires early");
+    }
+
+    #[test]
+    fn adaptive_dispatches_immediately_when_idle_and_batches_when_busy() {
+        let mut b = Batcher::new(&cfg(BatchPolicy::Adaptive), 1);
+        b.push(0, req(1, 0, 0.0));
+        assert!(b.ready(0, 0, 0.0), "idle pipeline: latency first");
+        assert!(!b.ready(0, 0, 1.0), "busy pipeline: accumulate");
+        for i in 2..=4 {
+            b.push(0, req(i, 0, 0.0));
+        }
+        assert!(b.ready(0, 0, 1.0), "knee reached: saturated batch");
+    }
+
+    #[test]
+    fn dispatch_bumps_the_epoch_and_invalidates_stale_timers() {
+        let mut b = Batcher::new(&cfg(BatchPolicy::Deadline { max_wait_s: 0.05 }), 1);
+        b.push(0, req(1, 0, 0.0));
+        let (_, epoch) = b.arm_timer(0, 0).expect("arms");
+        let batch = b.dispatch(0, 0).expect("non-empty");
+        let id = b.store(batch);
+        assert!(!b.timer_fired(0, 0, epoch), "stale epoch is ignored");
+        assert_eq!(b.take(id).expect("stored").reqs.len(), 1);
+        assert_eq!(b.take(id).map(|batch| batch.reqs.len()), None);
+    }
+
+    #[test]
+    fn efficiency_is_request_weighted_against_the_knee() {
+        let mut b = Batcher::new(&cfg(BatchPolicy::Fixed { size: 1 }), 1);
+        // One batch of 1 (efficiency 1/4) and one of 4 (efficiency 1).
+        b.push(0, req(1, 0, 0.0));
+        let first = b.dispatch(0, 0).expect("one queued");
+        b.store(first);
+        for i in 2..=5 {
+            b.push(0, req(i, 0, 0.0));
+        }
+        let second = b.dispatch(0, 0).expect("four queued");
+        assert_eq!(second.reqs.len(), 4);
+        // (1 × 0.25 + 4 × 1.0) / 5 = 0.85
+        assert!((b.mean_efficiency() - 0.85).abs() < 1e-12);
+        assert!((b.mean_batch() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queues_are_isolated_per_cluster_and_tenant() {
+        let mut b = Batcher::new(&cfg(BatchPolicy::Fixed { size: 1 }), 2);
+        b.push(0, req(1, 0, 0.0));
+        b.push(1, req(2, 1, 0.0));
+        assert_eq!(b.len(0, 0), 1);
+        assert_eq!(b.len(0, 1), 0);
+        assert_eq!(b.len(1, 1), 1);
+    }
+}

@@ -35,6 +35,9 @@ pub struct Service {
     seu_service_factor: f64,
     /// SEU coin draws per unit (RNG stream keying).
     seu_draws: Vec<u64>,
+    /// SEU coin draws per unit for serve-layer batches (separate stream
+    /// keying so serving never perturbs the EO frame pipeline's draws).
+    serve_seu_draws: Vec<u64>,
     /// Load shedding: `(backlog threshold bits, base shed probability)`.
     shed: Option<(f64, f64)>,
     /// Shed coin draws so far (RNG stream keying).
@@ -67,6 +70,7 @@ impl Service {
             seu_p_corrupt,
             seu_service_factor,
             seu_draws: vec![0; units],
+            serve_seu_draws: vec![0; units],
             shed: cfg
                 .faults
                 .degradation
@@ -123,6 +127,31 @@ impl Service {
             let mut rng = self.rng.stream(
                 "seu",
                 ((c as u64) << 32) | (self.seu_draws[c] & 0xFFFF_FFFF),
+            );
+            corrupted = coin(&mut rng, self.seu_p_corrupt);
+        }
+        let done = start + Time::from_secs(service_s);
+        self.sudc_free[c] = done;
+        (done, corrupted)
+    }
+
+    /// Enters `service_s` seconds of serve-layer batch-inference work
+    /// into unit `c`'s compute pipeline — the *same* pipeline the EO
+    /// frame queue uses, so user traffic and frame analysis genuinely
+    /// contend — applying the SEU stretch and corruption coin from the
+    /// serve-dedicated `serve_seu` stream (EO-frame `seu` draws are
+    /// untouched, preserving non-serve byte-identity). Returns the
+    /// completion time and whether the batch output was corrupted.
+    pub fn admit_batch(&mut self, service_s: f64, c: usize, now: Time) -> (Time, bool) {
+        let start = self.sudc_free[c].max(now);
+        let mut service_s = service_s;
+        let mut corrupted = false;
+        if self.seu_active {
+            service_s *= self.seu_service_factor;
+            self.serve_seu_draws[c] += 1;
+            let mut rng = self.rng.stream(
+                "serve_seu",
+                ((c as u64) << 32) | (self.serve_seu_draws[c] & 0xFFFF_FFFF),
             );
             corrupted = coin(&mut rng, self.seu_p_corrupt);
         }

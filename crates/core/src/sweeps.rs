@@ -19,6 +19,7 @@ use crate::bottleneck::{fig11_row, Fig11Row, Table8Cell};
 use crate::codesign::{fig13_point, paper_fig13_axes, CodesignPoint};
 use crate::experiments::figures::{ed_label, res_label};
 use crate::experiments::ExperimentResult;
+use crate::sim::serve::{BatchPolicy, ServeConfig, TenantClass, TenantSpec};
 use crate::sizing::{sizing_point, SizingRow, SudcSpec, PAPER_CONSTELLATION};
 
 /// One overridable numeric axis of a named sweep.
@@ -78,6 +79,30 @@ pub fn all() -> Vec<SweepDef> {
                     integer: true,
                 },
                 ed_axis(vec![0.0, 0.5, 0.95]),
+            ],
+        },
+        SweepDef {
+            name: "serve",
+            title: "User-traffic capacity frontier: rate × tenant mix × batching (DES)",
+            axes: vec![
+                AxisSpec {
+                    name: "rate",
+                    help: "total offered load (requests/s)",
+                    default: vec![250.0, 1000.0, 2000.0, 4000.0],
+                    integer: false,
+                },
+                AxisSpec {
+                    name: "premium",
+                    help: "premium share of the offered load, in (0, 1)",
+                    default: vec![0.25, 0.5, 0.75],
+                    integer: false,
+                },
+                AxisSpec {
+                    name: "policy",
+                    help: "batch policy: 0 fixed, 1 deadline, 2 adaptive",
+                    default: vec![0.0, 1.0, 2.0],
+                    integer: true,
+                },
             ],
         },
         SweepDef {
@@ -152,6 +177,9 @@ pub struct SweepRun {
     pub stats: SweepStats,
     /// Cache snapshot written this run, if the cache was dirty.
     pub cache_written: Option<PathBuf>,
+    /// Sweep-specific headline gauges (name → value) the CLI surfaces
+    /// in machine-readable reports; empty for most sweeps.
+    pub metrics: Vec<(&'static str, f64)>,
 }
 
 /// Runs the named sweep with numeric axis overrides.
@@ -185,6 +213,7 @@ pub fn run(
     match def.name {
         "codesign" => run_codesign(&def, overrides, opts, cache_dir),
         "split" => run_split(&def, overrides, opts, cache_dir),
+        "serve" => run_serve(&def, overrides, opts, cache_dir),
         "sizing" => run_sizing(&def, overrides, opts, cache_dir),
         "table8" => run_table8(&def, overrides, opts, cache_dir),
         "bottleneck" => run_bottleneck(&def, overrides, opts, cache_dir),
@@ -317,6 +346,7 @@ fn artifacts<R>(
         frontier,
         stats,
         cache_written,
+        metrics: Vec::new(),
     }
 }
 
@@ -458,6 +488,169 @@ fn run_split(
         out.stats,
         cache_written,
     ))
+}
+
+/// Builds the paper-reference [`crate::sim::SimConfig`] the serve sweep
+/// evaluates: 1 simulated minute of the reference frame plane
+/// ([`SPLIT_SWEEP_CLUSTERS`] SµDCs, `AirPollution` at 3 m, 0.95 ED)
+/// with a two-tenant serving overlay — a premium interactive tenant
+/// carrying `premium` of the `rate` requests/s and a best-effort
+/// analytics tenant carrying the rest — batched under `policy`.
+fn serve_sweep_config(rate: f64, premium: f64, policy: BatchPolicy) -> crate::sim::SimConfig {
+    let mut cfg = crate::sim::SimConfig::paper_reference(
+        Application::AirPollution,
+        Length::from_m(3.0),
+        0.95,
+    );
+    cfg.clusters = SPLIT_SWEEP_CLUSTERS;
+    cfg.duration = units::Time::from_minutes(1.0);
+    let mut serve = ServeConfig::defaults();
+    serve.batch = policy;
+    serve.tenants = vec![
+        TenantSpec::interactive("premium", TenantClass::Premium, rate * premium),
+        TenantSpec::analytics("analytics", rate * (1.0 - premium)),
+    ];
+    cfg.serve = Some(serve);
+    cfg
+}
+
+/// Evaluates one serve-sweep cell through the DES.
+fn serve_cell(rate: f64, premium: f64, code: usize) -> ServeCell {
+    let fallback = ServeCell {
+        rate_rps: rate,
+        premium_share: premium,
+        policy: code,
+        requests_per_sec: 0.0,
+        attainment: 0.0,
+        premium_attainment: 0.0,
+        batch_efficiency: 0.0,
+        shed_rate: 1.0,
+        stable: false,
+    };
+    let Some(policy) = BatchPolicy::from_code(code) else {
+        return fallback;
+    };
+    let report = crate::sim::run(&serve_sweep_config(rate, premium, policy));
+    let Some(serve) = report.serve else {
+        return fallback;
+    };
+    let offered = serve.offered();
+    let on_time: u64 = serve.tenants.iter().map(|t| t.on_time).sum();
+    ServeCell {
+        rate_rps: rate,
+        premium_share: premium,
+        policy: code,
+        requests_per_sec: serve.requests_per_sec,
+        attainment: if offered == 0 {
+            1.0
+        } else {
+            on_time as f64 / offered as f64
+        },
+        premium_attainment: serve.tenants.first().map_or(1.0, |t| t.slo_attainment),
+        batch_efficiency: serve.batch_efficiency,
+        shed_rate: serve.shed_rate,
+        stable: report.stable,
+    }
+}
+
+fn run_serve(
+    def: &SweepDef,
+    overrides: &[(String, Vec<f64>)],
+    opts: &ExecOptions,
+    cache_dir: Option<&Path>,
+) -> Result<SweepRun, String> {
+    let rates = axis_f64(def, overrides, "rate");
+    let shares = axis_f64(def, overrides, "premium");
+    let policies = axis_usize(def, overrides, "policy")?;
+    for &r in &rates {
+        if !(r > 0.0) || !r.is_finite() {
+            return Err(format!("axis 'rate' needs positive requests/s, got {r}"));
+        }
+    }
+    for &s in &shares {
+        if !(s > 0.0 && s < 1.0) {
+            return Err(format!("axis 'premium' needs values in (0, 1), got {s}"));
+        }
+    }
+    for &p in &policies {
+        if BatchPolicy::from_code(p).is_none() {
+            return Err(format!(
+                "axis 'policy' wants 0 (fixed), 1 (deadline), or 2 (adaptive), got {p}"
+            ));
+        }
+    }
+    let mut points = Vec::new();
+    for &rate in &rates {
+        for &share in &shares {
+            for &policy in &policies {
+                points.push((rate, share, policy));
+            }
+        }
+    }
+    let space = Space::from_points("serve", points, |&(rate, share, policy)| {
+        format!("rate={rate};premium={share};policy={policy}")
+    });
+    let mut cache = open_cache(cache_dir, "serve", "serve-v1");
+    let out = explore::sweep_cached(&space, opts, &mut cache, |&(rate, share, policy)| {
+        serve_cell(rate, share, policy)
+    });
+    let cache_written = cache.save().map_err(|e| format!("cache save: {e}"))?;
+
+    // Headline capacity: the highest completed-request throughput among
+    // stable operating points (any point if none were stable).
+    let peak = out
+        .results
+        .iter()
+        .filter(|c| c.stable)
+        .chain(out.results.iter())
+        .max_by(|a, b| a.requests_per_sec.total_cmp(&b.requests_per_sec))
+        .copied();
+
+    let policy_label = |code: usize| BatchPolicy::from_code(code).map_or("?", BatchPolicy::as_str);
+    let mut sweep = artifacts(
+        "serve",
+        "User-traffic capacity frontier: completed req/s vs SLO attainment (DES)",
+        &[
+            "rate (rps)",
+            "premium",
+            "policy",
+            "req/s",
+            "attainment",
+            "premium att",
+            "batch eff",
+            "shed rate",
+            "stable",
+        ],
+        &out.results,
+        |c: &ServeCell| {
+            vec![
+                trim_float(c.rate_rps),
+                trim_float(c.premium_share),
+                policy_label(c.policy).to_string(),
+                format!("{:.1}", c.requests_per_sec),
+                format!("{:.4}", c.attainment),
+                format!("{:.4}", c.premium_attainment),
+                format!("{:.4}", c.batch_efficiency),
+                format!("{:.4}", c.shed_rate),
+                c.stable.to_string(),
+            ]
+        },
+        &[
+            Objective::maximize("req/s", |c: &ServeCell| c.requests_per_sec),
+            Objective::maximize("SLO attainment", |c: &ServeCell| c.attainment),
+        ],
+        &[Constraint::new("bounded backlog", |c: &ServeCell| c.stable)],
+        out.stats,
+        cache_written,
+    );
+    if let Some(p) = peak {
+        sweep.metrics = vec![
+            ("serve.requests_per_sec", p.requests_per_sec),
+            ("serve.batch_efficiency", p.batch_efficiency),
+            ("serve.shed_rate", p.shed_rate),
+        ];
+    }
+    Ok(sweep)
 }
 
 fn run_sizing(
@@ -677,6 +870,61 @@ impl explore::Cacheable for SplitCell {
             goodput: d.f64()?,
             mean_latency_s: d.f64()?,
             compute_utilization: d.f64()?,
+            stable: d.bool()?,
+        })
+    }
+}
+
+/// One cell of the serve sweep: the DES serving outcome at one offered
+/// rate, tenant mix, and batching policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeCell {
+    /// Total offered load across both tenants, requests/s.
+    pub rate_rps: f64,
+    /// Premium tenant's share of the offered load, in (0, 1).
+    pub premium_share: f64,
+    /// Batch policy code ([`BatchPolicy::code`]).
+    pub policy: usize,
+    /// Completed requests per simulated second.
+    pub requests_per_sec: f64,
+    /// On-time completions over offered requests, both tenants.
+    pub attainment: f64,
+    /// The premium tenant's SLO attainment.
+    pub premium_attainment: f64,
+    /// Request-weighted mean batch efficiency.
+    pub batch_efficiency: f64,
+    /// Requests turned away (throttled + shed + lost) over offered.
+    pub shed_rate: f64,
+    /// Whether the run's backlog stayed bounded.
+    pub stable: bool,
+}
+
+impl explore::Cacheable for ServeCell {
+    fn encode(&self) -> String {
+        explore::Enc::new()
+            .f64(self.rate_rps)
+            .f64(self.premium_share)
+            .usize(self.policy)
+            .f64(self.requests_per_sec)
+            .f64(self.attainment)
+            .f64(self.premium_attainment)
+            .f64(self.batch_efficiency)
+            .f64(self.shed_rate)
+            .bool(self.stable)
+            .finish()
+    }
+
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = explore::Dec::new(s);
+        Some(Self {
+            rate_rps: d.f64()?,
+            premium_share: d.f64()?,
+            policy: d.usize()?,
+            requests_per_sec: d.f64()?,
+            attainment: d.f64()?,
+            premium_attainment: d.f64()?,
+            batch_efficiency: d.f64()?,
+            shed_rate: d.f64()?,
             stable: d.bool()?,
         })
     }
@@ -910,6 +1158,53 @@ mod tests {
         assert_eq!(warm.stats.cache_hits, warm.stats.points);
         assert_eq!(cold.grid.rows, warm.grid.rows);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_sweep_rejects_bad_axes() {
+        let bad_share = vec![("premium".to_string(), vec![1.0])];
+        assert!(run("serve", &bad_share, &ExecOptions::sequential(), None)
+            .unwrap_err()
+            .contains("(0, 1)"));
+        let bad_rate = vec![("rate".to_string(), vec![0.0])];
+        assert!(run("serve", &bad_rate, &ExecOptions::sequential(), None)
+            .unwrap_err()
+            .contains("positive requests/s"));
+        let bad_policy = vec![("policy".to_string(), vec![5.0])];
+        assert!(run("serve", &bad_policy, &ExecOptions::sequential(), None)
+            .unwrap_err()
+            .contains("adaptive"));
+    }
+
+    #[test]
+    fn serve_sweep_surfaces_capacity_metrics() {
+        let overrides = vec![
+            ("rate".to_string(), vec![200.0]),
+            ("premium".to_string(), vec![0.5]),
+            ("policy".to_string(), vec![2.0]),
+        ];
+        let run = run("serve", &overrides, &ExecOptions::sequential(), None).unwrap();
+        assert_eq!(run.grid.rows.len(), 1);
+        let rps = run
+            .metrics
+            .iter()
+            .find(|(k, _)| *k == "serve.requests_per_sec")
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert!(rps > 0.0, "peak throughput {rps} not positive");
+        assert!(run
+            .metrics
+            .iter()
+            .any(|(k, _)| *k == "serve.batch_efficiency"));
+        assert!(run.metrics.iter().any(|(k, _)| *k == "serve.shed_rate"));
+    }
+
+    #[test]
+    fn serve_cell_cache_round_trips() {
+        use explore::Cacheable;
+        let cell = serve_cell(200.0, 0.5, 2);
+        assert!(cell.requests_per_sec > 0.0);
+        assert_eq!(ServeCell::decode(&cell.encode()), Some(cell));
     }
 
     #[test]

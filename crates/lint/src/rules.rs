@@ -224,7 +224,10 @@ fn check_wall_clock_in_trace(rule: &RuleInfo, file: &SourceFile, out: &mut Vec<D
             rule,
             file,
             t,
-            format!("`{}`: wall-clock source in the flight-recorder path", t.text),
+            format!(
+                "`{}`: wall-clock source in the flight-recorder path",
+                t.text
+            ),
             out,
         );
     }

@@ -55,7 +55,7 @@ pub mod sink;
 pub mod trace;
 
 pub use manifest::RunManifest;
-pub use metrics::{Metric, MetricKind, Metrics};
+pub use metrics::{Histogram, Metric, MetricKind, Metrics};
 pub use sink::Sink;
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};

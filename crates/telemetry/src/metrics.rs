@@ -122,6 +122,60 @@ impl Hist {
     }
 }
 
+/// A standalone log2-bucket latency histogram with the same buckets,
+/// merge semantics, and clamped quantiles as the registry's internal
+/// histograms — for callers (like the sim's serving layer) that need
+/// deterministic per-key percentiles embedded in their own reports
+/// rather than the global metrics registry.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Hist,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { inner: Hist::new() }
+    }
+
+    /// Records one sample (non-positive and non-finite samples land in
+    /// bucket zero).
+    pub fn record(&mut self, value: f64) {
+        self.inner.record(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.inner.mean()
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.inner.count == 0 {
+            0.0
+        } else {
+            self.inner.max
+        }
+    }
+
+    /// Approximate quantile from the log buckets, clamped to the exact
+    /// observed range (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.inner.quantile(q)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Cell {
     Counter(u64),

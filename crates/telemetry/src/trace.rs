@@ -88,6 +88,23 @@ pub enum TraceKind {
     /// Timeline: cluster `unit`'s queue depth in seconds of work
     /// (`value`); `cause` is `ClusterDown` while the unit is out.
     SnapshotCluster,
+    /// A tenant's inference request arrived at its ground-entry
+    /// satellite (`unit`); every serving-layer lifecycle starts here.
+    ReqArrived,
+    /// The per-tenant admission controller accepted the request.
+    ReqAdmitted,
+    /// Admission refused the request (token bucket empty or
+    /// backlog-triggered class shedding); a terminal loss.
+    ReqRejected,
+    /// The request joined a dispatched batch at a SµDC (`unit` is the
+    /// cluster, `value` the batch size it rode in).
+    ReqBatched,
+    /// The SµDC finished the request inside its SLO deadline; `value`
+    /// is end-to-end latency.
+    ReqCompleted,
+    /// The request finished but blew its SLO deadline (or was ruined
+    /// by an SEU); `value` is end-to-end latency.
+    SloViolated,
 }
 
 /// Every kind, in declaration order (schema iteration for tests and
@@ -107,6 +124,12 @@ pub const KINDS: &[TraceKind] = &[
     TraceKind::SnapshotNet,
     TraceKind::SnapshotLinks,
     TraceKind::SnapshotCluster,
+    TraceKind::ReqArrived,
+    TraceKind::ReqAdmitted,
+    TraceKind::ReqRejected,
+    TraceKind::ReqBatched,
+    TraceKind::ReqCompleted,
+    TraceKind::SloViolated,
 ];
 
 impl TraceKind {
@@ -127,6 +150,12 @@ impl TraceKind {
             TraceKind::SnapshotNet => "snapshot_net",
             TraceKind::SnapshotLinks => "snapshot_links",
             TraceKind::SnapshotCluster => "snapshot_cluster",
+            TraceKind::ReqArrived => "req_arrived",
+            TraceKind::ReqAdmitted => "req_admitted",
+            TraceKind::ReqRejected => "req_rejected",
+            TraceKind::ReqBatched => "req_batched",
+            TraceKind::ReqCompleted => "req_completed",
+            TraceKind::SloViolated => "slo_violated",
         }
     }
 
@@ -145,6 +174,9 @@ impl TraceKind {
                 | TraceKind::Served
                 | TraceKind::Corrupted
                 | TraceKind::LostCluster
+                | TraceKind::ReqRejected
+                | TraceKind::ReqCompleted
+                | TraceKind::SloViolated
         )
     }
 
@@ -157,6 +189,7 @@ impl TraceKind {
                 | TraceKind::Undeliverable
                 | TraceKind::Corrupted
                 | TraceKind::LostCluster
+                | TraceKind::ReqRejected
         )
     }
 
@@ -186,6 +219,8 @@ pub enum TraceCause {
     HopLimit,
     /// A single-event upset silently corrupted the output.
     Seu,
+    /// A tenant's admission token bucket ran dry (rate throttling).
+    Throttled,
 }
 
 /// Every cause, in declaration order.
@@ -197,6 +232,7 @@ pub const CAUSES: &[TraceCause] = &[
     TraceCause::RetriesExhausted,
     TraceCause::HopLimit,
     TraceCause::Seu,
+    TraceCause::Throttled,
 ];
 
 impl TraceKind {
@@ -209,7 +245,10 @@ impl TraceKind {
 
     #[inline]
     fn from_code(code: u8) -> TraceKind {
-        KINDS.get(code as usize).copied().unwrap_or(TraceKind::Sensed)
+        KINDS
+            .get(code as usize)
+            .copied()
+            .unwrap_or(TraceKind::Sensed)
     }
 }
 
@@ -224,6 +263,7 @@ impl TraceCause {
             TraceCause::RetriesExhausted => "retries_exhausted",
             TraceCause::HopLimit => "hop_limit",
             TraceCause::Seu => "seu",
+            TraceCause::Throttled => "throttled",
         }
     }
 
@@ -829,8 +869,7 @@ impl TraceLog {
     /// and returns the causal chain oldest-first. The chain stops
     /// early if an ancestor was evicted from a ring-only log.
     pub fn critical_path(&self, frame: u64) -> Vec<&TraceEvent> {
-        let by_seq: BTreeMap<u64, &TraceEvent> =
-            self.events.iter().map(|e| (e.seq, e)).collect();
+        let by_seq: BTreeMap<u64, &TraceEvent> = self.events.iter().map(|e| (e.seq, e)).collect();
         let mut chain = Vec::new();
         let mut cursor = self.terminal(frame);
         while let Some(ev) = cursor {
@@ -843,14 +882,17 @@ impl TraceLog {
 
     /// Whether the frame's causal lifecycle is fully reconstructible:
     /// the parent chain runs unbroken from a terminal event back to its
-    /// `Sensed` origin. A policy discard is a complete single-event
-    /// lifecycle — sense and drop share one record by design.
+    /// `Sensed` (or, for serving-layer requests, `ReqArrived`) origin.
+    /// A policy discard is a complete single-event lifecycle — sense
+    /// and drop share one record by design.
     pub fn is_complete(&self, frame: u64) -> bool {
         let path = self.critical_path(frame);
         match (path.first(), path.last()) {
             (Some(first), Some(last)) => {
-                (first.kind == TraceKind::Sensed || first.kind == TraceKind::Discarded)
-                    && last.kind.is_terminal()
+                matches!(
+                    first.kind,
+                    TraceKind::Sensed | TraceKind::Discarded | TraceKind::ReqArrived
+                ) && last.kind.is_terminal()
             }
             _ => false,
         }
@@ -872,14 +914,23 @@ impl TraceLog {
         self.events.iter().filter(|e| e.kind == kind).count() as u64
     }
 
-    /// The `k` slowest completed frames (served or corrupted) as
-    /// `(frame, end-to-end latency seconds)`, slowest first; ties
-    /// break toward the lower frame id.
+    /// The `k` slowest completed frames or requests (served, corrupted,
+    /// request completed, or SLO-violated) as `(frame, end-to-end
+    /// latency seconds)`, slowest first; ties break toward the lower
+    /// frame id.
     pub fn slowest_frames(&self, k: usize) -> Vec<(u64, f64)> {
         let mut done: Vec<(u64, f64)> = self
             .events
             .iter()
-            .filter(|e| matches!(e.kind, TraceKind::Served | TraceKind::Corrupted))
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::Served
+                        | TraceKind::Corrupted
+                        | TraceKind::ReqCompleted
+                        | TraceKind::SloViolated
+                )
+            })
             .filter_map(|e| Some((e.frame?, e.value?)))
             .collect();
         done.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -991,7 +1042,11 @@ mod tests {
         let sink = Arc::new(MemorySink::new());
         let rec = Recorder::with_sink(1, sink.clone());
         rec.record(TraceRecord::at(0.0, TraceKind::Sensed).frame(1));
-        rec.record(TraceRecord::at(1.0, TraceKind::Shed).frame(1).cause(TraceCause::Backlog));
+        rec.record(
+            TraceRecord::at(1.0, TraceKind::Shed)
+                .frame(1)
+                .cause(TraceCause::Backlog),
+        );
         assert_eq!(rec.len(), 1, "ring wrapped");
         let streamed = sink.events();
         assert_eq!(streamed.len(), 2, "the sink sees the full log");
@@ -1001,8 +1056,94 @@ mod tests {
     }
 
     #[test]
+    fn request_lifecycle_survives_the_flight_recorder_round_trip() {
+        // A served request, an SLO violation, and a throttled reject
+        // pushed through the packed ring, re-expanded, serialized to
+        // JSONL, and parsed back: every serve kind and the new cause
+        // must survive, and the analyses must see them.
+        let rec = Recorder::new(64);
+        let a1 = rec.record(
+            TraceRecord::at(0.0, TraceKind::ReqArrived)
+                .frame(100)
+                .unit(3),
+        );
+        let d1 = rec.record(
+            TraceRecord::at(0.0, TraceKind::ReqAdmitted)
+                .frame(100)
+                .parent(a1),
+        );
+        let b1 = rec.record(
+            TraceRecord::at(0.4, TraceKind::ReqBatched)
+                .frame(100)
+                .unit(0)
+                .parent(d1)
+                .value(4.0),
+        );
+        rec.record(
+            TraceRecord::at(0.9, TraceKind::ReqCompleted)
+                .frame(100)
+                .unit(0)
+                .parent(b1)
+                .value(0.9),
+        );
+        let a2 = rec.record(
+            TraceRecord::at(1.0, TraceKind::ReqArrived)
+                .frame(101)
+                .unit(5),
+        );
+        rec.record(
+            TraceRecord::at(1.0, TraceKind::ReqRejected)
+                .frame(101)
+                .unit(5)
+                .cause(TraceCause::Throttled)
+                .parent(a2),
+        );
+        let a3 = rec.record(
+            TraceRecord::at(2.0, TraceKind::ReqArrived)
+                .frame(102)
+                .unit(1),
+        );
+        let d3 = rec.record(
+            TraceRecord::at(2.0, TraceKind::ReqAdmitted)
+                .frame(102)
+                .parent(a3),
+        );
+        rec.record(
+            TraceRecord::at(4.5, TraceKind::SloViolated)
+                .frame(102)
+                .unit(2)
+                .parent(d3)
+                .value(2.5),
+        );
+
+        let lines: Vec<String> = rec
+            .events()
+            .iter()
+            .map(|e| e.to_event().to_json())
+            .collect();
+        let log = TraceLog::parse(&lines.join("\n"));
+        assert_eq!(log.len(), 9, "every record survives the JSONL round trip");
+        for frame in [100, 101, 102] {
+            assert!(
+                log.is_complete(frame),
+                "request {frame} lifecycle reconstructs"
+            );
+        }
+        assert_eq!(log.loss_attribution().get("throttled"), Some(&1));
+        let slowest = log.slowest_frames(2);
+        assert_eq!(
+            slowest,
+            vec![(102, 2.5), (100, 0.9)],
+            "tail latency attribution sees completed and violated requests"
+        );
+    }
+
+    #[test]
     fn timeline_cadence_rejects_nonsense() {
-        assert_eq!(Recorder::new(8).timeline(5.0).timeline_cadence_s(), Some(5.0));
+        assert_eq!(
+            Recorder::new(8).timeline(5.0).timeline_cadence_s(),
+            Some(5.0)
+        );
         assert_eq!(Recorder::new(8).timeline(0.0).timeline_cadence_s(), None);
         assert_eq!(Recorder::new(8).timeline(-1.0).timeline_cadence_s(), None);
         assert_eq!(Recorder::new(8).timeline_cadence_s(), None);
@@ -1021,9 +1162,27 @@ mod tests {
                 .parent(s1)
                 .value(0.1),
         );
-        let h1 = rec.record(TraceRecord::at(0.3, TraceKind::Hop).frame(1).unit(0).parent(r1).value(0.2));
-        let h2 = rec.record(TraceRecord::at(0.6, TraceKind::Hop).frame(1).unit(1).parent(h1).value(0.3));
-        let q1 = rec.record(TraceRecord::at(0.7, TraceKind::Enqueued).frame(1).unit(0).parent(h2).value(0.1));
+        let h1 = rec.record(
+            TraceRecord::at(0.3, TraceKind::Hop)
+                .frame(1)
+                .unit(0)
+                .parent(r1)
+                .value(0.2),
+        );
+        let h2 = rec.record(
+            TraceRecord::at(0.6, TraceKind::Hop)
+                .frame(1)
+                .unit(1)
+                .parent(h1)
+                .value(0.3),
+        );
+        let q1 = rec.record(
+            TraceRecord::at(0.7, TraceKind::Enqueued)
+                .frame(1)
+                .unit(0)
+                .parent(h2)
+                .value(0.1),
+        );
         rec.record(
             TraceRecord::at(0.8, TraceKind::Served)
                 .frame(1)

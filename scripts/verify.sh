@@ -6,8 +6,10 @@
 # Runs the full workspace build + test suite, checks formatting, runs
 # the determinism gate (two same-seed `repro sim` runs of every topology
 # shape — ring, klist:4, geo, split:4 — must produce byte-identical
-# fault reports AND byte-identical flight-recorder traces), checks the
-# committed BENCH_sim.json perf-gate artifact, runs the static-analysis
+# fault reports AND byte-identical flight-recorder traces, with the same
+# bar for `repro sim --serve` SLO reports), checks the committed
+# BENCH_sim.json perf-gate and BENCH_serve.json capacity-frontier
+# artifacts, runs the static-analysis
 # gate (`repro lint` must be ratchet-clean against
 # results/lint_baseline.json), and — when the cargo registry is
 # unreachable (offline containers cannot resolve the external
@@ -129,6 +131,44 @@ if [ -x target/release/repro ]; then
     if [ "$gate_ok" -ne 1 ]; then
         failed=1
     fi
+
+    # The serving layer rides the same RNG-stream discipline: two
+    # same-seed serve runs of every topology shape must byte-diff clean.
+    echo "== determinism gate (topology matrix × user-traffic serving) =="
+    serve_ok=1
+    for cell in $matrix; do
+        topo="${cell%:*}"
+        suffix="${cell##*:}"
+        da="$(mktemp -d)"
+        db="$(mktemp -d)"
+        cell_ok=1
+        for runDir in "$da" "$db"; do
+            if ! ./target/release/repro --quiet sim --serve steady \
+                --minutes 1 --topology "$topo" --out-dir "$runDir" >/dev/null; then
+                cell_ok=0
+            fi
+        done
+        if [ "$cell_ok" -eq 1 ]; then
+            for ext in txt csv json; do
+                if ! diff -q "$da/serve_steady$suffix.$ext" \
+                    "$db/serve_steady$suffix.$ext" >/dev/null; then
+                    echo "FAIL: same-seed serve runs differ ($topo, serve_steady$suffix.$ext)"
+                    cell_ok=0
+                fi
+            done
+        else
+            echo "FAIL: repro sim --serve steady --topology $topo did not run cleanly"
+        fi
+        if [ "$cell_ok" -eq 1 ]; then
+            echo "ok: serve on $topo replays byte-identically under the same seed"
+        else
+            serve_ok=0
+        fi
+        rm -rf "$da" "$db"
+    done
+    if [ "$serve_ok" -ne 1 ]; then
+        failed=1
+    fi
 else
     echo "warn: target/release/repro not built; skipping determinism gate"
 fi
@@ -159,6 +199,35 @@ if [ -f results/BENCH_sim.json ]; then
     fi
 else
     echo "FAIL: results/BENCH_sim.json missing (run ./target/release/repro bench sim)"
+    failed=1
+fi
+
+echo "== serve capacity gate (results/BENCH_serve.json) =="
+if [ -f results/BENCH_serve.json ]; then
+    serve_bench_ok=1
+    for key in serve.requests_per_sec serve.batch_efficiency serve.shed_rate; do
+        if ! grep -q "\"$key\"" results/BENCH_serve.json; then
+            echo "FAIL: results/BENCH_serve.json is missing \"$key\""
+            serve_bench_ok=0
+        fi
+    done
+    if [ "$serve_bench_ok" -eq 1 ]; then
+        echo "ok: BENCH_serve.json present with the capacity-frontier schema"
+        # Refresh the committed frontier from the current code; the
+        # sweep is seeded and REPRO_DETERMINISTIC strips wall clocks, so
+        # an unchanged serving layer rewrites the same bytes.
+        if [ -x target/release/repro ]; then
+            if ! REPRO_DETERMINISTIC=1 ./target/release/repro --quiet \
+                explore serve >/dev/null; then
+                echo "FAIL: repro explore serve did not run cleanly"
+                failed=1
+            fi
+        fi
+    else
+        failed=1
+    fi
+else
+    echo "FAIL: results/BENCH_serve.json missing (run ./target/release/repro explore serve)"
     failed=1
 fi
 

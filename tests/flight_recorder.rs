@@ -34,14 +34,21 @@ fn topology_matrix() -> Vec<(&'static str, SimConfig)> {
     ]
 }
 
-fn recorded(cfg: &SimConfig, cadence: Option<f64>) -> (sudc::sim::SimReport, Vec<telemetry::trace::TraceEvent>) {
+fn recorded(
+    cfg: &SimConfig,
+    cadence: Option<f64>,
+) -> (sudc::sim::SimReport, Vec<telemetry::trace::TraceEvent>) {
     let mut rec = Recorder::new(1 << 20);
     if let Some(c) = cadence {
         rec = rec.timeline(c);
     }
     let rec = Arc::new(rec);
     let report = try_run_recorded(cfg, rec.clone()).expect("reference config is valid");
-    assert_eq!(rec.dropped(), 0, "ring must be large enough for the whole run");
+    assert_eq!(
+        rec.dropped(),
+        0,
+        "ring must be large enough for the whole run"
+    );
     (report, rec.events())
 }
 
