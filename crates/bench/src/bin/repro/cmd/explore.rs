@@ -42,7 +42,7 @@ fn run_bench(
     metrics: &telemetry::Metrics,
     failed: &mut bool,
 ) -> Vec<bench::ExploreBenchRow> {
-    let rows = bench::explore_bench(cli.threads.max(2), 3);
+    let rows = bench::explore_bench(cli.threads.unwrap_or(4).max(2), 3);
     for row in &rows {
         metrics.observe("explore.bench.speedup", row.speedup);
         if !cli.quiet {
@@ -187,16 +187,17 @@ pub fn exec(cli: &Cli) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let opts = if cli.threads <= 1 {
+    let threads = cli.threads.unwrap_or(4);
+    let opts = if threads <= 1 {
         explore::ExecOptions::sequential()
     } else {
-        explore::ExecOptions::threads(cli.threads)
+        explore::ExecOptions::threads(threads)
     };
     let results_dir = bench::results_dir();
     let cache_dir = (!cli.no_cache).then(|| results_dir.join("cache"));
 
     let mut manifest = RunManifest::new("explore", sudc::sim::PAPER_SEED);
-    manifest.param("threads", cli.threads as u64);
+    manifest.param("threads", threads as u64);
     manifest.param("cached", !cli.no_cache);
     manifest.param("sweep_count", names.len() as u64);
     let metrics = telemetry::Metrics::new();

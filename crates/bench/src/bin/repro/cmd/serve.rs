@@ -10,7 +10,9 @@
 
 use std::process::ExitCode;
 
-use sudc::sim::{try_run, try_run_recorded, FaultModel, ServeReport, ServeScenario};
+use sudc::sim::{
+    try_run, try_run_recorded, try_run_threads, FaultModel, ServeReport, ServeScenario,
+};
 use telemetry::RunManifest;
 
 use super::SimParams;
@@ -56,9 +58,14 @@ pub fn exec(cli: &Cli) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match match &recorder {
-        Some(rec) => try_run_recorded(&cfg, rec.clone()),
-        None => try_run(&cfg),
+    // Serve scenarios are ineligible for sharding (tenant state spans
+    // clusters), so --threads degrades to the sequential engine inside
+    // try_run_threads — accepted here so the flag is uniform across
+    // `repro sim` modes.
+    let report = match match (&recorder, cli.threads) {
+        (Some(rec), _) => try_run_recorded(&cfg, rec.clone()),
+        (None, Some(n)) => try_run_threads(&cfg, n),
+        (None, None) => try_run(&cfg),
     } {
         Ok(report) => report,
         Err(e) => {

@@ -10,7 +10,7 @@
 
 use std::process::ExitCode;
 
-use sudc::sim::{try_run, try_run_recorded, FaultModel, ServeScenario};
+use sudc::sim::{try_run, try_run_recorded, try_run_threads, FaultModel, ServeScenario};
 use telemetry::RunManifest;
 
 use super::{SimParams, TopologyChoice};
@@ -105,9 +105,16 @@ pub fn exec(cli: &Cli) -> ExitCode {
 
     let mut cfg = params.reference_config();
 
+    // Without --threads, runs take the legacy sequential loop; with it,
+    // the sharded parallel engine (byte-identical at every count).
+    let runner = |cfg: &sudc::sim::SimConfig| match cli.threads {
+        Some(n) => try_run_threads(cfg, n),
+        None => try_run(cfg),
+    };
+
     // Validate once up front so bad --clusters/--topology combinations
     // produce a diagnostic instead of a panic.
-    let baseline = match try_run(&cfg) {
+    let baseline = match runner(&cfg) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: invalid sim configuration: {e}");
@@ -122,9 +129,12 @@ pub fn exec(cli: &Cli) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Recorded runs need the sequential loop's total event order, so
+    // --record always runs unsharded (--threads is documented as
+    // ignored there) — the recorder observing can't change the report.
     let faulted = match match &recorder {
         Some(rec) => try_run_recorded(&cfg, rec.clone()),
-        None => try_run(&cfg),
+        None => runner(&cfg),
     } {
         Ok(report) => report,
         Err(e) => {

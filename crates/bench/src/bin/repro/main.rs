@@ -37,7 +37,13 @@ pub struct Cli {
     pub metrics_out: Option<PathBuf>,
     pub jsonl: Option<PathBuf>,
     pub axes: Vec<(String, Vec<f64>)>,
-    pub threads: usize,
+    /// `--threads <n>`: `None` means the flag was absent — explore
+    /// defaults to 4 workers, while `repro sim` runs the legacy
+    /// sequential loop (so existing invocations and their committed
+    /// artifacts are untouched). `Some(n)` routes sim runs through the
+    /// sharded parallel engine, whose output is byte-identical at every
+    /// thread count.
+    pub threads: Option<usize>,
     pub no_cache: bool,
     pub bench: bool,
     pub faults: Option<String>,
@@ -119,7 +125,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         metrics_out: None,
         jsonl: None,
         axes: Vec::new(),
-        threads: 4,
+        threads: None,
         no_cache: false,
         bench: false,
         faults: None,
@@ -156,11 +162,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--threads" => {
                 let n = it.next().ok_or("--threads requires a count")?;
-                cli.threads = n
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| format!("--threads wants a count >= 1, got '{n}'"))?;
+                cli.threads = Some(
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--threads wants a count >= 1, got '{n}'"))?,
+                );
             }
             "--no-cache" => cli.no_cache = true,
             "--bench" => cli.bench = true,
@@ -350,6 +357,10 @@ fn usage() {
            --cadence <s>              metrics-timeline snapshot cadence in\n\
                                       sim-time seconds (default 5; needs\n\
                                       --record)\n\
+           --threads <n>              run the sharded parallel event loop\n\
+                                      with n workers (byte-identical at\n\
+                                      every n; omit for the sequential\n\
+                                      loop; ignored with --record)\n\
          \n\
          lint flags:\n\
            --rule <id>                restrict the scan to one rule\n\

@@ -29,15 +29,16 @@ use crate::sim::service::Service;
 use crate::sim::topology::{self, Topology};
 use crate::sim::transport::Transport;
 
-/// A frame moving through the network.
+/// A frame moving through the network. Deliberately slim — every frame
+/// in a run carries the same payload, so the per-frame bit/pixel sizes
+/// live once in [`State`] (`frame_bits` / `frame_pixels`) instead of
+/// riding along in every queued event.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct FrameInFlight {
+pub(super) struct FrameInFlight {
     /// Frame id for the flight recorder (the value of the engine's
     /// `generated` counter when the frame was imaged; ids start at 1).
     id: u64,
     created: Time,
-    bits: f64,
-    pixels: f64,
     /// ISL hops taken so far (bounds rerouted frames).
     hops: u32,
     /// Routing direction: `true` once the frame fell back to
@@ -52,9 +53,10 @@ struct FrameInFlight {
     last_seq: u64,
 }
 
-/// Simulation events.
+/// Simulation events. `pub(super)` so the sharded runner in
+/// [`super::parallel`] can seed and exchange them.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Ev {
+pub(super) enum Ev {
     /// Satellite `sat` images a frame.
     Generate { sat: usize },
     /// A frame finishes crossing the ISL out of `from` and arrives at the
@@ -105,9 +107,26 @@ enum Ev {
     },
 }
 
+/// One event-loop shard's identity in a sharded parallel run (see
+/// [`super::parallel`]): each shard owns one service unit's satellites
+/// and exchanges the only cross-shard traffic — reverse-routed frame
+/// hops — through its outbox at conservative lookahead-window barriers.
+pub(super) struct ShardCtx {
+    /// This shard's index == the service unit it owns.
+    index: usize,
+    /// Total satellite count across all shards (the frame-id stride).
+    n_total: u64,
+    /// Per-satellite generate ordinals (indexed by global satellite
+    /// id); only this shard's satellites are ever touched.
+    gen_ordinal: Vec<u64>,
+    /// Events destined for other shards: `(shard, fire time, event)`,
+    /// drained by the runner at each window barrier.
+    outbox: Vec<(usize, Time, Ev)>,
+}
+
 /// Per-run mutable state: the three layers plus the engine's own frame
 /// bookkeeping.
-struct State {
+pub(super) struct State {
     cfg: SimConfig,
     topo: Box<dyn Topology>,
     transport: Transport,
@@ -134,6 +153,9 @@ struct State {
     /// schedule no serve events and draw no serve RNG streams — keeping
     /// them byte-identical to the serve-unaware engine.
     serve: Option<ServeState>,
+    /// Shard identity in a sharded parallel run; `None` in the
+    /// sequential engine, which keeps every sharded branch dead.
+    shard: Option<ShardCtx>,
     /// Flight recorder; `None` keeps every trace site a dead branch
     /// (same zero-cost-when-off discipline as `SchedulerCounters`).
     recorder: Option<Arc<Recorder>>,
@@ -149,7 +171,7 @@ struct State {
 }
 
 impl State {
-    fn new(cfg: &SimConfig, recorder: Option<Arc<Recorder>>) -> Self {
+    pub(super) fn new(cfg: &SimConfig, recorder: Option<Arc<Recorder>>) -> Self {
         let n = cfg.plane.satellite_count();
         let rng_factory = RngFactory::new(cfg.seed);
         let topo = topology::from_config(cfg);
@@ -191,11 +213,73 @@ impl State {
             frames_shed: 0,
             frames_corrupted: 0,
             serve,
+            shard: None,
             tbuf: Vec::with_capacity(recorder.as_ref().map_or(0, |r| r.batch_hint())),
             tbatch: recorder.as_ref().map_or(usize::MAX, |r| r.batch_hint()),
             tseq: recorder.as_ref().map_or(0, |r| r.last_seq()),
             recorder,
         }
+    }
+
+    /// Builds the state for shard `index` of a sharded parallel run:
+    /// identical to [`State::new`] (every shard holds the full layer
+    /// state so per-index reads need no translation) plus the shard
+    /// identity that switches frame-id assignment to the analytic form
+    /// and routes cross-shard hops through the outbox.
+    pub(super) fn new_sharded(cfg: &SimConfig, index: usize) -> Self {
+        let mut st = State::new(cfg, None);
+        st.shard = Some(ShardCtx {
+            index,
+            n_total: cfg.plane.satellite_count() as u64,
+            gen_ordinal: vec![0; cfg.plane.satellite_count()],
+            outbox: Vec::new(),
+        });
+        st
+    }
+
+    /// Minimum time one of this run's frames spends crossing a hop —
+    /// the conservative lookahead bound the sharded parallel runner
+    /// windows on.
+    pub(super) fn lookahead_floor_s(&self) -> f64 {
+        self.transport.min_latency_s(self.frame_bits)
+    }
+
+    /// Drains the shard's cross-shard outbox (empty vec when sequential).
+    pub(super) fn take_outbox(&mut self) -> Vec<(usize, Time, Ev)> {
+        match self.shard.as_mut() {
+            Some(ctx) => std::mem::take(&mut ctx.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Folds co-shard `other` into `self` after a sharded run finishes:
+    /// integer counters add, the latency tallies merge with the
+    /// parallel Welford combine, and the per-index transport/service
+    /// state `other` owned moves over — so the merged state folds its
+    /// report exactly like a sequential run over the same indices.
+    /// Shards must be absorbed in ascending index order (the report's
+    /// f64 accumulation order is part of the byte-identity contract).
+    pub(super) fn absorb_shard(&mut self, other: &mut State) {
+        let Some(idx) = other.shard.as_ref().map(|c| c.index) else {
+            unreachable!("absorb_shard is only called on sharded states");
+        };
+        for s in 0..self.cfg.plane.satellite_count() {
+            if self.topo.home_cluster(s) == idx {
+                self.transport.adopt(&mut other.transport, s);
+            }
+        }
+        self.service.adopt(&mut other.service, idx);
+        self.queued_bits += other.queued_bits;
+        self.generated += other.generated;
+        self.kept += other.kept;
+        self.processed += other.processed;
+        self.lost_to_failures += other.lost_to_failures;
+        self.latency.merge(&other.latency);
+        self.retries += other.retries;
+        self.reroutes += other.reroutes;
+        self.undeliverable += other.undeliverable;
+        self.frames_shed += other.frames_shed;
+        self.frames_corrupted += other.frames_corrupted;
     }
 
     /// Records a trace event and returns its `seq` for parent linkage;
@@ -229,13 +313,12 @@ impl State {
         }
     }
 
-    fn keep_frame(&mut self, sat: usize, now: Time) -> bool {
+    fn keep_frame(&mut self, sat: usize, id: u64, now: Time) -> bool {
         match self.cfg.discard {
             DiscardPolicy::Uniform(p) => {
-                let mut rng = self.rng_factory.stream(
-                    "discard",
-                    ((sat as u64) << 32) | (self.generated & 0xFFFF_FFFF),
-                );
+                let mut rng = self
+                    .rng_factory
+                    .stream("discard", ((sat as u64) << 32) | (id & 0xFFFF_FFFF));
                 !coin(&mut rng, p)
             }
             DiscardPolicy::ClearLandOnly => {
@@ -293,7 +376,7 @@ fn dispatch(
                 // Both directions exhausted their retries (or there is no
                 // ring to fall back to): the frame dies.
                 st.undeliverable += 1;
-                st.queued_bits -= frame.bits;
+                st.queued_bits -= st.frame_bits;
                 st.trace(
                     TraceRecord::at(now.as_secs(), TraceKind::Undeliverable)
                         .frame(frame.id)
@@ -318,7 +401,7 @@ fn dispatch(
             return;
         }
     }
-    let arrival = st.transport.transmit(sat, now, frame.bits);
+    let arrival = st.transport.transmit(sat, now, st.frame_bits);
     frame.last_seq = st.trace(
         TraceRecord::at(now.as_secs(), TraceKind::Hop)
             .frame(frame.id)
@@ -326,6 +409,24 @@ fn dispatch(
             .parent(frame.last_seq)
             .value((arrival - now).as_secs()),
     );
+    // Sharded runs: a reverse-routed hop is the only event whose
+    // handler touches another shard's state (the walk's next position
+    // can sit in a different arc). It travels through the outbox and is
+    // delivered at the next window barrier — safe because `arrival` is
+    // at least one full transmission + propagation ahead of `now`,
+    // which exceeds the runner's conservative lookahead window.
+    if frame.reversed {
+        if let Some(ctx) = st.shard.as_mut() {
+            let dest = st
+                .topo
+                .home_cluster(st.topo.reverse_next(sat, frame.rev_up));
+            if dest != ctx.index {
+                ctx.outbox
+                    .push((dest, arrival, Ev::Hop { frame, from: sat }));
+                return;
+            }
+        }
+    }
     sched.schedule_at(arrival, Ev::Hop { frame, from: sat });
 }
 
@@ -338,7 +439,7 @@ fn enqueue(
     cluster: usize,
     now: Time,
 ) {
-    let (done, corrupted) = st.service.admit(frame.pixels, cluster, now);
+    let (done, corrupted) = st.service.admit(st.frame_pixels, cluster, now);
     frame.last_seq = st.trace(
         TraceRecord::at(now.as_secs(), TraceKind::Enqueued)
             .frame(frame.id)
@@ -361,8 +462,21 @@ fn enqueue(
 /// imaging period.
 fn on_generate(st: &mut State, sched: &mut Scheduler<Ev>, sat: usize, now: Time) {
     st.generated += 1;
-    let id = st.generated;
-    if st.keep_frame(sat, now) {
+    // Frame ids must match across shard layouts: the staggered generate
+    // schedule fires satellite `sat`'s k-th frame as the (k·n + sat +
+    // 1)-th generate event globally, so a shard computes the id its
+    // event would have carried in the sequential loop analytically. The
+    // sequential engine keeps the counter form — the same value, and
+    // byte-identical to every run recorded before sharding existed.
+    let id = match st.shard.as_mut() {
+        Some(ctx) => {
+            let k = ctx.gen_ordinal[sat];
+            ctx.gen_ordinal[sat] = k + 1;
+            k * ctx.n_total + sat as u64 + 1
+        }
+        None => st.generated,
+    };
+    if st.keep_frame(sat, id, now) {
         st.kept += 1;
         let sensed = st.trace(
             TraceRecord::at(now.as_secs(), TraceKind::Sensed)
@@ -385,8 +499,6 @@ fn on_generate(st: &mut State, sched: &mut Scheduler<Ev>, sat: usize, now: Time)
             let frame = FrameInFlight {
                 id,
                 created: now,
-                bits: st.frame_bits,
-                pixels: st.frame_pixels,
                 hops: 0,
                 reversed: false,
                 rev_up: false,
@@ -423,11 +535,11 @@ fn on_reverse_hop(
         _ => None,
     };
     if let Some(cluster) = delivery {
-        st.queued_bits -= frame.bits;
+        st.queued_bits -= st.frame_bits;
         enqueue(st, sched, frame, cluster, now);
     } else if frame.hops as usize > 2 * st.cfg.plane.satellite_count() {
         st.undeliverable += 1;
-        st.queued_bits -= frame.bits;
+        st.queued_bits -= st.frame_bits;
         st.trace(
             TraceRecord::at(now.as_secs(), TraceKind::Undeliverable)
                 .frame(frame.id)
@@ -476,7 +588,7 @@ fn on_forward_hop(
                     );
                     dispatch(st, sched, f, from, now, 0);
                 } else {
-                    st.queued_bits -= frame.bits;
+                    st.queued_bits -= st.frame_bits;
                     st.lost_to_failures += 1;
                     st.trace(
                         TraceRecord::at(now.as_secs(), TraceKind::LostCluster)
@@ -488,7 +600,7 @@ fn on_forward_hop(
                 }
                 return;
             }
-            st.queued_bits -= frame.bits;
+            st.queued_bits -= st.frame_bits;
             enqueue(st, sched, frame, cluster, now);
         }
     }
@@ -644,23 +756,36 @@ fn serve_start(st: &mut State, sched: &mut Scheduler<Ev>) {
     }
 }
 
-/// Closes out a request slot: decrements the tenant's in-flight count
-/// and, for closed-loop tenants, schedules the slot's next submission
-/// after a think-time draw — so outstanding requests can never exceed
-/// the configured concurrency.
-fn serve_finish_slot(st: &mut State, sched: &mut Scheduler<Ev>, tenant: u32, slot: u32, now: Time) {
-    let t = tenant as usize;
-    if let Some(serve) = st.serve.as_mut() {
-        let tr = &mut serve.tenants[t];
-        tr.inflight = tr.inflight.saturating_sub(1);
-    }
+/// Hands a request slot back to its load generator: for closed-loop
+/// tenants, schedules the slot's next submission after a think-time
+/// draw — so outstanding requests can never exceed the configured
+/// concurrency. Open-loop slots are exogenous and need nothing.
+fn serve_requeue_slot(
+    st: &mut State,
+    sched: &mut Scheduler<Ev>,
+    tenant: u32,
+    slot: u32,
+    now: Time,
+) {
     if slot != OPEN_SLOT {
-        let think = serve_think_delay(st, t);
+        let think = serve_think_delay(st, tenant as usize);
         sched.schedule_at(
             now + Time::from_secs(think),
             Ev::ServeArrival { tenant, slot },
         );
     }
+}
+
+/// Closes out an *admitted* request: decrements the tenant's in-flight
+/// gauge and requeues the slot. Rejected requests never entered the
+/// gauge (see [`ServeState::begin_request`]) and use
+/// [`serve_requeue_slot`] directly.
+fn serve_finish_slot(st: &mut State, sched: &mut Scheduler<Ev>, tenant: u32, slot: u32, now: Time) {
+    if let Some(serve) = st.serve.as_mut() {
+        let tr = &mut serve.tenants[tenant as usize];
+        tr.inflight = tr.inflight.saturating_sub(1);
+    }
+    serve_requeue_slot(st, sched, tenant, slot, now);
 }
 
 /// An admitted request dies in the network or on dead hardware: counted
@@ -738,11 +863,12 @@ fn on_serve_arrival(st: &mut State, sched: &mut Scheduler<Ev>, tenant: u32, slot
             backlog_s,
             now,
         );
-        let tr = &mut serve.tenants[t];
         match verdict {
-            Admission::Admit => tr.admitted += 1,
-            Admission::Throttled => tr.throttled += 1,
-            Admission::Shed => tr.shed += 1,
+            // Only admitted requests enter the inflight gauge; rejected
+            // ones bounce at the gate without ever being outstanding.
+            Admission::Admit => serve.note_admitted(t),
+            Admission::Throttled => serve.tenants[t].throttled += 1,
+            Admission::Shed => serve.tenants[t].shed += 1,
         }
         verdict
     };
@@ -773,7 +899,7 @@ fn on_serve_arrival(st: &mut State, sched: &mut Scheduler<Ev>, tenant: u32, slot
                     .cause(TraceCause::Throttled)
                     .parent(arrived),
             );
-            serve_finish_slot(st, sched, tenant, slot, now);
+            serve_requeue_slot(st, sched, tenant, slot, now);
         }
         Admission::Shed => {
             st.trace(
@@ -783,7 +909,7 @@ fn on_serve_arrival(st: &mut State, sched: &mut Scheduler<Ev>, tenant: u32, slot
                     .cause(TraceCause::Backlog)
                     .parent(arrived),
             );
-            serve_finish_slot(st, sched, tenant, slot, now);
+            serve_requeue_slot(st, sched, tenant, slot, now);
         }
     }
 }
@@ -888,13 +1014,15 @@ fn serve_drain_queue(
         }
         serve_dispatch_batch(st, sched, cluster, tenant, now);
     }
+    // The batcher never hands back a deadline in the past (leftover
+    // heads re-anchor at `now`), so the deadline schedules as-is.
     let timer = st
         .serve
         .as_mut()
-        .and_then(|serve| serve.batcher.arm_timer(cluster, tenant));
+        .and_then(|serve| serve.batcher.arm_timer(cluster, tenant, now.as_secs()));
     if let Some((deadline_s, epoch)) = timer {
         sched.schedule_at(
-            Time::from_secs(deadline_s).max(now),
+            Time::from_secs(deadline_s),
             Ev::ServeBatchTimer {
                 cluster: cluster as u32,
                 tenant: tenant as u32,
@@ -1048,10 +1176,58 @@ fn on_serve_batch_done(
     }
 }
 
+/// Handles one popped event — the complete event-loop dispatch table,
+/// shared verbatim by the sequential loop in [`try_run_with`] and every
+/// shard of [`super::parallel::try_run_threads`], so the two runners
+/// cannot drift apart behaviourally.
+#[inline(always)] // the sequential loop had this match inlined at the pop site; keep it there
+pub(super) fn step(st: &mut State, sched: &mut Scheduler<Ev>, ev: simkit::Event<Ev>) {
+    let now = ev.time;
+    match ev.payload {
+        Ev::Generate { sat } => on_generate(st, sched, sat, now),
+        Ev::Hop { frame, from } if frame.reversed => on_reverse_hop(st, sched, frame, from, now),
+        Ev::Hop { frame, from } => on_forward_hop(st, sched, frame, from, now),
+        Ev::Retry {
+            frame,
+            from,
+            attempt,
+        } => dispatch(st, sched, frame, from, now, attempt),
+        Ev::Done {
+            frame,
+            cluster,
+            corrupted,
+        } => on_done(st, frame, cluster, corrupted, now),
+        Ev::Snapshot => on_snapshot(st, sched, now),
+        Ev::ServeArrival { tenant, slot } => on_serve_arrival(st, sched, tenant, slot, now),
+        Ev::ServeHop { req, from } => on_serve_hop(st, sched, req, from, now),
+        Ev::ServeRetry { req, from, attempt } => serve_dispatch(st, sched, req, from, now, attempt),
+        Ev::ServeBatchTimer {
+            cluster,
+            tenant,
+            epoch,
+        } => on_serve_batch_timer(st, sched, cluster as usize, tenant as usize, epoch, now),
+        Ev::ServeBatchDone {
+            batch,
+            cluster,
+            corrupted,
+        } => on_serve_batch_done(st, sched, batch, cluster as usize, corrupted, now),
+    }
+}
+
+/// Seeds satellite `sat`'s first imaging event, staggered uniformly
+/// over one period to avoid a thundering herd at t = 0. Shared by the
+/// sequential loop (all satellites) and each parallel shard (its own
+/// satellites, in the same ascending order).
+pub(super) fn seed_generate(sched: &mut Scheduler<Ev>, cfg: &SimConfig, sat: usize) {
+    let n = cfg.plane.satellite_count();
+    let offset = cfg.frame.period * (sat as f64 / n as f64);
+    sched.schedule_at(offset, Ev::Generate { sat });
+}
+
 /// Assembles the report: utilisation from the layers' busy-time
 /// high-water marks, stability from goodput and residual backlog, and
 /// the fault summary folded out of the outage processes.
-fn report(mut st: State, sched: &Scheduler<Ev>, cfg: &SimConfig) -> SimReport {
+pub(super) fn report(mut st: State, sched: &Scheduler<Ev>, cfg: &SimConfig) -> SimReport {
     let n = cfg.plane.satellite_count();
     let units = st.topo.units();
     // Utilisation: scheduled busy time of ingest links and SµDC pipelines
@@ -1184,54 +1360,15 @@ fn try_run_with(
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
     sched.enable_probe();
-    // Stagger first frames uniformly over one period to avoid a thundering
-    // herd at t = 0.
-    let period = cfg.frame.period;
     for sat in 0..n {
-        let offset = period * (sat as f64 / n as f64);
-        sched.schedule_at(offset, Ev::Generate { sat });
+        seed_generate(&mut sched, cfg, sat);
     }
     if let Some(cadence) = st.recorder.as_ref().and_then(|r| r.timeline_cadence_s()) {
         sched.schedule_at(Time::from_secs(cadence), Ev::Snapshot);
     }
     serve_start(&mut st, &mut sched);
 
-    simkit::run_until(&mut sched, &mut st, cfg.duration, |st, sched, ev| {
-        let now = ev.time;
-        match ev.payload {
-            Ev::Generate { sat } => on_generate(st, sched, sat, now),
-            Ev::Hop { frame, from } if frame.reversed => {
-                on_reverse_hop(st, sched, frame, from, now)
-            }
-            Ev::Hop { frame, from } => on_forward_hop(st, sched, frame, from, now),
-            Ev::Retry {
-                frame,
-                from,
-                attempt,
-            } => dispatch(st, sched, frame, from, now, attempt),
-            Ev::Done {
-                frame,
-                cluster,
-                corrupted,
-            } => on_done(st, frame, cluster, corrupted, now),
-            Ev::Snapshot => on_snapshot(st, sched, now),
-            Ev::ServeArrival { tenant, slot } => on_serve_arrival(st, sched, tenant, slot, now),
-            Ev::ServeHop { req, from } => on_serve_hop(st, sched, req, from, now),
-            Ev::ServeRetry { req, from, attempt } => {
-                serve_dispatch(st, sched, req, from, now, attempt)
-            }
-            Ev::ServeBatchTimer {
-                cluster,
-                tenant,
-                epoch,
-            } => on_serve_batch_timer(st, sched, cluster as usize, tenant as usize, epoch, now),
-            Ev::ServeBatchDone {
-                batch,
-                cluster,
-                corrupted,
-            } => on_serve_batch_done(st, sched, batch, cluster as usize, corrupted, now),
-        }
-    });
+    simkit::run_until(&mut sched, &mut st, cfg.duration, step);
 
     st.drain_trace();
     if let Some(rec) = &st.recorder {
@@ -1816,6 +1953,36 @@ mod tests {
             );
             assert!(tr.completed > 0, "{tr:?}");
         }
+    }
+
+    #[test]
+    fn throttled_requests_stay_off_the_inflight_gauge() {
+        // A starved token bucket (zero refill, burst 1) admits exactly
+        // one request; every later arrival bounces at the gate. Before
+        // the accounting fix, rejected requests transited the inflight
+        // gauge between begin_request and the verdict, inflating
+        // peak_inflight past the number of requests ever admitted.
+        use crate::sim::serve::{ServeConfig, TenantClass, TenantSpec};
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.clusters = 4;
+        cfg.duration = Time::from_minutes(1.0);
+        let mut tenant = TenantSpec::interactive("starved", TenantClass::Standard, 50.0);
+        tenant.rate_limit_rps = 0.0;
+        tenant.burst = 1.0;
+        cfg.serve = Some(ServeConfig {
+            tenants: vec![tenant],
+            ..ServeConfig::defaults()
+        });
+        let r = run(&cfg);
+        let serve = r.serve.expect("serve report");
+        let tr = &serve.tenants[0];
+        assert_eq!(tr.admitted, 1, "burst-1 bucket admits exactly once: {tr:?}");
+        assert!(tr.throttled > 0, "the rest must bounce: {tr:?}");
+        assert_eq!(
+            tr.peak_inflight, 1,
+            "peak inflight counts admitted requests only: {tr:?}"
+        );
     }
 
     #[test]

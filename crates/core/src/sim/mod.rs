@@ -19,6 +19,7 @@
 pub mod engine;
 pub mod faults;
 pub mod model;
+pub mod parallel;
 pub mod serve;
 pub mod service;
 pub mod topology;
@@ -29,5 +30,6 @@ pub use faults::{
     SeuSpec,
 };
 pub use model::*;
+pub use parallel::try_run_threads;
 pub use serve::{BatchPolicy, LoadModel, ServeConfig, ServeReport, ServeScenario, TenantClass};
 pub use topology::Topology;

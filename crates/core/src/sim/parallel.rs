@@ -1,0 +1,430 @@
+//! Sharded parallel event loop with conservative time-windowed
+//! lookahead.
+//!
+//! The layered engine's state partitions cleanly along service-unit
+//! lines: every forward relay chain stays inside its home arc, the
+//! transport/service/RNG state an event touches is indexed by the
+//! satellite or unit it happens at, and the only traffic that ever
+//! crosses an arc boundary is a reverse-routed frame walking the global
+//! ring around a fault. That makes the home cluster a natural shard:
+//! each shard runs the *same* event loop ([`super::engine::step`]) over
+//! its own satellites, and the single cross-shard edge — a reversed hop
+//! — is exchanged through per-shard outboxes at window barriers.
+//!
+//! ## Lookahead and byte-identity
+//!
+//! A reversed hop scheduled at `now` fires no earlier than `now` plus
+//! one full serialization + propagation delay (an idle link; a busy one
+//! is later still). Windows are sized at [`LOOKAHEAD_SAFETY`] × that
+//! minimum hop latency, so an event emitted inside window `k` always
+//! fires strictly after window `k` ends — delivering outboxes at the
+//! barrier can never violate causality, and each shard's event order is
+//! a pure function of its own state plus the (deterministically
+//! ordered) barrier deliveries. Window boundaries, shard claiming, and
+//! delivery order are all independent of the worker count, so an
+//! N-thread run is byte-identical to a 1-thread run by construction.
+//! Fault-free runs schedule no reversed hops at all; every event stays
+//! shard-local, each shard processes exactly the sequential loop's
+//! event subsequence, and the merged report reproduces the sequential
+//! one (`results/simval.*`) — counters and per-index folds exactly,
+//! merged f64 accumulations to within ulps of the artifacts' printed
+//! precision.
+//!
+//! Runs the sharding cannot serve — serve scenarios (tenant state spans
+//! clusters), backlog-triggered degradation (sheds on the *global*
+//! backlog), recorded runs (one totally-ordered trace log), and
+//! single-unit topologies — fall back to the sequential engine at every
+//! thread count, preserving identity trivially.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, PoisonError};
+
+use simkit::Scheduler;
+use units::Time;
+
+use crate::sim::engine::{self, Ev, State};
+use crate::sim::model::{ConfigError, SimConfig, SimReport};
+use crate::sim::topology;
+
+/// Fraction of the one-hop minimum latency used as the lookahead
+/// window. The margin absorbs floating-point rounding in the
+/// transport's arrival arithmetic (each add rounds, so an arrival can
+/// land ulps short of the exact sum) with room to spare.
+const LOOKAHEAD_SAFETY: f64 = 0.75;
+
+/// One event-loop shard: its slice of the world plus its own calendar.
+struct Shard {
+    st: State,
+    sched: Scheduler<Ev>,
+}
+
+/// Runs the simulation on `threads` worker threads by sharding the
+/// event loop per service unit, returning a report byte-identical to
+/// the same call with any other thread count. Configurations the
+/// sharding cannot serve (serve scenarios, global-backlog degradation,
+/// single-unit topologies) run on the sequential engine instead — at
+/// every thread count, so identity still holds.
+///
+/// # Panics
+///
+/// Panics if the (application, device) pair has no measurement, or if a
+/// worker thread panics mid-run.
+pub fn try_run_threads(cfg: &SimConfig, threads: usize) -> Result<SimReport, ConfigError> {
+    cfg.validate()?;
+    if !shardable(cfg) {
+        return engine::try_run(cfg);
+    }
+    Ok(run_sharded(cfg, threads.max(1)))
+}
+
+/// Whether the configuration partitions along service-unit lines. The
+/// forward-chain containment check is true for every shipped topology
+/// (arcs own their relay chains); it is verified rather than assumed so
+/// a future shape that breaks it degrades to the sequential engine
+/// instead of corrupting state.
+fn shardable(cfg: &SimConfig) -> bool {
+    if cfg.serve.is_some() || cfg.faults.degradation.is_some() {
+        return false;
+    }
+    let topo = topology::from_config(cfg);
+    if topo.units() < 2 {
+        return false;
+    }
+    let n = cfg.plane.satellite_count();
+    (0..n).all(|s| match topo.next_hop(s) {
+        Some(next) => topo.home_cluster(next) == topo.home_cluster(s),
+        None => true,
+    })
+}
+
+/// Pops and handles `sh`'s events that fire before `wend_s` (exclusive
+/// — boundary events belong to the next window) and within the horizon
+/// (inclusive, matching the sequential loop's closed end).
+fn run_window(sh: &mut Shard, wend_s: f64, duration: Time) {
+    while let Some(t) = sh.sched.next_time() {
+        if t.as_secs() >= wend_s || t > duration {
+            break;
+        }
+        let Some(ev) = sh.sched.pop() else {
+            break;
+        };
+        engine::step(&mut sh.st, &mut sh.sched, ev);
+    }
+}
+
+/// Drains every shard's outbox in ascending shard order and schedules
+/// the events on their destination calendars — the single point where
+/// shards interact, and deliberately single-threaded so delivery order
+/// (hence destination-side tie-breaking) never depends on worker
+/// timing. Returns how many events crossed.
+fn exchange(shards: &mut [Shard]) -> u64 {
+    let mut crossed = 0u64;
+    for i in 0..shards.len() {
+        let moved = shards[i].st.take_outbox();
+        crossed += moved.len() as u64;
+        for (dest, at, ev) in moved {
+            shards[dest].sched.schedule_at(at, ev);
+        }
+    }
+    crossed
+}
+
+/// Start of window `k`; multiplication (not accumulation) so boundaries
+/// are identical no matter how a runner iterates to them.
+fn window_start(k: u64, lookahead_s: f64) -> f64 {
+    if k == 0 {
+        0.0
+    } else {
+        k as f64 * lookahead_s
+    }
+}
+
+fn run_sharded(cfg: &SimConfig, threads: usize) -> SimReport {
+    let topo = topology::from_config(cfg);
+    let units = topo.units();
+    let n = cfg.plane.satellite_count();
+
+    let mut shards: Vec<Shard> = (0..units)
+        .map(|i| {
+            let mut sched = Scheduler::new();
+            sched.enable_probe();
+            Shard {
+                st: State::new_sharded(cfg, i),
+                sched,
+            }
+        })
+        .collect();
+    // Seed each satellite's first imaging event on its home shard in
+    // ascending satellite order — per-shard insertion order (the
+    // schedulers' tie-breaker) is part of the determinism contract.
+    for sat in 0..n {
+        engine::seed_generate(&mut shards[topo.home_cluster(sat)].sched, cfg, sat);
+    }
+
+    // Cross-shard traffic exists only where reverse routing can
+    // activate; without it the whole horizon is one window and shards
+    // free-run to completion with a single barrier.
+    let can_reverse = topo.supports_reverse() && cfg.faults.active();
+    let lookahead_s = if can_reverse {
+        LOOKAHEAD_SAFETY * shards[0].st.lookahead_floor_s()
+    } else {
+        f64::INFINITY
+    };
+
+    let duration = cfg.duration;
+    let workers = threads.min(units);
+    let (windows, crossed) = if workers <= 1 {
+        run_windows_inline(&mut shards, lookahead_s, duration)
+    } else {
+        run_windows_threaded(&mut shards, workers, lookahead_s, duration)
+    };
+
+    // Merge in ascending shard order: f64 merge order is part of the
+    // thread-count-identity contract.
+    let mut iter = shards.into_iter();
+    let Some(mut base) = iter.next() else {
+        unreachable!("shardable() requires at least two units");
+    };
+    for mut other in iter {
+        base.st.absorb_shard(&mut other.st);
+        if let Some(counters) = other.sched.probe_counters() {
+            base.sched.absorb_probe(&counters);
+        }
+    }
+
+    if telemetry::level_enabled(telemetry::Level::Debug) {
+        telemetry::debug(
+            "sim.parallel",
+            vec![
+                ("shards".to_string(), (units as u64).into()),
+                ("workers".to_string(), (workers as u64).into()),
+                ("windows".to_string(), windows.into()),
+                ("cross_shard_events".to_string(), crossed.into()),
+                (
+                    "lookahead_s".to_string(),
+                    if lookahead_s.is_finite() {
+                        lookahead_s
+                    } else {
+                        0.0
+                    }
+                    .into(),
+                ),
+            ],
+        );
+    }
+
+    engine::report(base.st, &base.sched, cfg)
+}
+
+/// The windowed loop on the calling thread — the same barrier-step
+/// algorithm as [`run_windows_threaded`] minus the threads, so a
+/// 1-thread run retraces an N-thread run's windows exactly.
+fn run_windows_inline(shards: &mut [Shard], lookahead_s: f64, duration: Time) -> (u64, u64) {
+    let duration_s = duration.as_secs();
+    let (mut windows, mut crossed) = (0u64, 0u64);
+    let mut k = 0u64;
+    while window_start(k, lookahead_s) <= duration_s {
+        let wend = if lookahead_s.is_finite() {
+            (k + 1) as f64 * lookahead_s
+        } else {
+            f64::INFINITY
+        };
+        for sh in shards.iter_mut() {
+            run_window(sh, wend, duration);
+        }
+        windows += 1;
+        crossed += exchange(shards);
+        k += 1;
+    }
+    (windows, crossed)
+}
+
+/// The windowed loop across `workers` scoped threads: per window, the
+/// main thread publishes the window end, workers claim shards off a
+/// shared cursor and run them to the boundary, and after the closing
+/// barrier the main thread alone exchanges outboxes. Which worker runs
+/// which shard varies run to run; nothing a shard computes depends on
+/// it.
+fn run_windows_threaded(
+    shards: &mut Vec<Shard>,
+    workers: usize,
+    lookahead_s: f64,
+    duration: Time,
+) -> (u64, u64) {
+    let duration_s = duration.as_secs();
+    let (mut windows, mut crossed) = (0u64, 0u64);
+
+    let cells: Vec<Mutex<Shard>> = std::mem::take(shards).into_iter().map(Mutex::new).collect();
+    let done = AtomicBool::new(false);
+    let wend_bits = AtomicU64::new(0);
+    let cursor = AtomicUsize::new(0);
+    let start_barrier = Barrier::new(workers + 1);
+    let end_barrier = Barrier::new(workers + 1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                start_barrier.wait();
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                let wend = f64::from_bits(wend_bits.load(Ordering::Acquire));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    // A poisoned lock means a sibling worker panicked;
+                    // bail and let the scope propagate its panic.
+                    let Ok(mut sh) = cells[i].lock() else {
+                        return;
+                    };
+                    run_window(&mut sh, wend, duration);
+                }
+                end_barrier.wait();
+            });
+        }
+
+        let mut k = 0u64;
+        loop {
+            if window_start(k, lookahead_s) > duration_s {
+                done.store(true, Ordering::Release);
+                start_barrier.wait();
+                break;
+            }
+            let wend = if lookahead_s.is_finite() {
+                (k + 1) as f64 * lookahead_s
+            } else {
+                f64::INFINITY
+            };
+            wend_bits.store(wend.to_bits(), Ordering::Release);
+            cursor.store(0, Ordering::Release);
+            start_barrier.wait();
+            end_barrier.wait();
+            windows += 1;
+            // Workers are parked before the next start barrier: the
+            // main thread owns every shard here.
+            for i in 0..cells.len() {
+                let moved = cells[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .st
+                    .take_outbox();
+                crossed += moved.len() as u64;
+                for (dest, at, ev) in moved {
+                    cells[dest]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .sched
+                        .schedule_at(at, ev);
+                }
+            }
+            k += 1;
+        }
+    });
+
+    *shards = cells
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect();
+    (windows, crossed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::faults::FaultModel;
+    use crate::sim::model::SimTopology;
+    use units::Length;
+    use workloads::Application;
+
+    fn base_cfg(clusters: usize) -> SimConfig {
+        let mut cfg =
+            SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95);
+        cfg.clusters = clusters;
+        cfg.duration = Time::from_minutes(2.0);
+        cfg
+    }
+
+    /// Every field except the scheduler probe (whose peak-depth merge
+    /// is an aggregate bound, not the sequential global peak).
+    fn assert_matches_sequential(par: &SimReport, seq: &SimReport) {
+        assert_eq!(par.generated, seq.generated);
+        assert_eq!(par.kept, seq.kept);
+        assert_eq!(par.processed, seq.processed);
+        assert_eq!(par.lost_to_failures, seq.lost_to_failures);
+        assert_eq!(par.goodput, seq.goodput);
+        assert_eq!(par.stable, seq.stable);
+        assert_eq!(par.faults, seq.faults);
+        assert_eq!(par.ingest_utilization, seq.ingest_utilization);
+        assert_eq!(par.compute_utilization, seq.compute_utilization);
+        assert!((par.mean_latency_s - seq.mean_latency_s).abs() < 1e-9);
+        assert_eq!(par.max_latency_s, seq.max_latency_s);
+        assert_eq!(
+            par.scheduler.scheduled + par.scheduler.processed,
+            seq.scheduler.scheduled + seq.scheduler.processed,
+            "event totals must merge exactly"
+        );
+    }
+
+    #[test]
+    fn fault_free_sharded_run_matches_the_sequential_engine() {
+        let cfg = base_cfg(4);
+        let seq = engine::try_run(&cfg).expect("valid config");
+        let par = try_run_threads(&cfg, 4).expect("valid config");
+        assert_matches_sequential(&par, &seq);
+    }
+
+    #[test]
+    fn thread_counts_are_byte_identical_across_the_matrix() {
+        for (topology, ingest) in [
+            (SimTopology::Ring, 2),
+            (SimTopology::Ring, 4),
+            (SimTopology::GeoStar, 2),
+            (SimTopology::SplitRing { factor: 4 }, 2),
+        ] {
+            for scenario in ["none", "flaky_links", "seu_storm"] {
+                let mut cfg = base_cfg(4);
+                cfg.topology = topology;
+                cfg.ingest_links = ingest;
+                cfg.faults = FaultModel::scenario(scenario).expect("registered scenario");
+                if topology == SimTopology::GeoStar {
+                    cfg.clusters = 3;
+                }
+                let one = try_run_threads(&cfg, 1).expect("valid config");
+                let four = try_run_threads(&cfg, 4).expect("valid config");
+                assert_eq!(one, four, "{topology:?} {scenario} t1 vs t4");
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_sharded_runs_exchange_cross_shard_hops_and_stay_deterministic() {
+        let mut cfg = base_cfg(4);
+        cfg.faults = FaultModel::scenario("flaky_links").expect("registered scenario");
+        let a = try_run_threads(&cfg, 4).expect("valid config");
+        let b = try_run_threads(&cfg, 4).expect("valid config");
+        assert_eq!(a, b, "same seed, same report");
+        assert!(a.faults.retries > 0, "outages must bite: {:?}", a.faults);
+        // The sequential engine agrees on the schedule-shaped counters
+        // even under faults (reverse traffic changes only f64 details).
+        let seq = engine::try_run(&cfg).expect("valid config");
+        assert_eq!(a.generated, seq.generated);
+    }
+
+    #[test]
+    fn ineligible_configurations_fall_back_to_the_sequential_engine() {
+        // Single unit: nothing to shard.
+        let one_cluster = base_cfg(1);
+        let seq = engine::try_run(&one_cluster).expect("valid config");
+        let par = try_run_threads(&one_cluster, 4).expect("valid config");
+        assert_eq!(seq, par, "fallback must be the sequential engine");
+
+        // Global-backlog degradation reads state no shard owns.
+        let mut degraded = base_cfg(4);
+        degraded.faults = FaultModel::scenario("combined").expect("registered scenario");
+        let seq = engine::try_run(&degraded).expect("valid config");
+        let par = try_run_threads(&degraded, 4).expect("valid config");
+        assert_eq!(seq, par, "degradation falls back to sequential");
+    }
+}

@@ -134,6 +134,65 @@ mod tests {
         );
     }
 
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Refill caps at the burst ceiling no matter how the
+            /// take/idle pattern interleaves, and never goes negative.
+            #[test]
+            fn refill_never_exceeds_burst(
+                rate in 0.0f64..50.0,
+                burst in 0.0f64..20.0,
+                steps in proptest::collection::vec((0.0f64..5.0, any::<bool>()), 1..64)
+            ) {
+                let mut b = TokenBucket::new(rate, burst);
+                let cap = burst.max(1.0);
+                let mut now_s = 0.0;
+                for (dt, spend) in steps {
+                    now_s += dt;
+                    if spend {
+                        b.take(Time::from_secs(now_s));
+                    }
+                    prop_assert!(
+                        b.available() <= cap + 1e-9,
+                        "tokens {} above cap {cap}",
+                        b.available()
+                    );
+                    prop_assert!(b.available() >= 0.0);
+                }
+            }
+
+            /// Conservation: a run can never admit more requests than
+            /// were offered, nor more than the initial burst plus
+            /// everything the rate refilled over the elapsed sim time.
+            #[test]
+            fn admitted_is_bounded_by_offered_and_refill(
+                rate in 0.0f64..50.0,
+                burst in 0.0f64..20.0,
+                dts in proptest::collection::vec(0.0f64..2.0, 1..128)
+            ) {
+                let mut b = TokenBucket::new(rate, burst);
+                let offered = dts.len() as u64;
+                let mut admitted = 0u64;
+                let mut now_s = 0.0;
+                for dt in dts {
+                    now_s += dt;
+                    if b.take(Time::from_secs(now_s)) {
+                        admitted += 1;
+                    }
+                }
+                prop_assert!(admitted <= offered);
+                let budget = burst.max(1.0) + rate * now_s;
+                prop_assert!(
+                    (admitted as f64) <= budget + 1e-6,
+                    "admitted {admitted} above token budget {budget}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn throttling_is_checked_before_shedding_and_spends_the_token() {
         let cfg = ServeConfig::defaults();

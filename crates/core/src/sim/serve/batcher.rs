@@ -6,8 +6,6 @@
 //! and stale deadline timers are invalidated by a per-queue epoch
 //! counter, so serve runs replay byte-identically.
 
-use std::collections::BTreeMap;
-
 use crate::sim::serve::config::{BatchPolicy, ServeConfig};
 use crate::sim::serve::state::Request;
 
@@ -41,10 +39,13 @@ pub struct Batcher {
     flush_wait_s: f64,
     tenants: usize,
     queues: Vec<Queue>,
-    /// Batches currently in the compute pipeline, by batch id (a
-    /// `BTreeMap` keeps any iteration deterministic).
-    in_service: BTreeMap<u64, Batch>,
-    next_batch_id: u64,
+    /// Batches currently in the compute pipeline, slab-indexed by batch
+    /// id. Freed slots are reused LIFO, so the table stays dense and
+    /// store/take are O(1) with no tree rebalancing or per-batch
+    /// allocation; slot reuse order is a pure function of completion
+    /// order, so ids stay deterministic.
+    in_service: Vec<Option<Batch>>,
+    free_slots: Vec<u32>,
     /// Batches dispatched so far.
     pub batches_dispatched: u64,
     /// Requests dispatched inside those batches.
@@ -65,8 +66,8 @@ impl Batcher {
             flush_wait_s: cfg.flush_wait_s.max(0.0),
             tenants,
             queues: (0..units * tenants).map(|_| Queue::default()).collect(),
-            in_service: BTreeMap::new(),
-            next_batch_id: 0,
+            in_service: Vec::new(),
+            free_slots: Vec::new(),
             batches_dispatched: 0,
             requests_batched: 0,
             efficiency_weighted: 0.0,
@@ -122,7 +123,13 @@ impl Batcher {
     /// absolute deadline (seconds) and the epoch the timer must carry.
     /// `None` when the queue is empty or a timer is already armed for
     /// this epoch.
-    pub fn arm_timer(&mut self, cluster: usize, tenant: usize) -> Option<(f64, u64)> {
+    ///
+    /// The deadline anchors to the head's creation time, but never to a
+    /// point already in the past: a head left over from a partial drain
+    /// (more than `max_batch` requests queued) re-anchors at `now_s`,
+    /// so the leftovers wait a full flush window instead of firing an
+    /// immediate timer on every drain cycle.
+    pub fn arm_timer(&mut self, cluster: usize, tenant: usize, now_s: f64) -> Option<(f64, u64)> {
         let wait = match self.policy {
             BatchPolicy::Deadline { max_wait_s } => max_wait_s.max(0.0),
             _ => self.flush_wait_s,
@@ -134,7 +141,13 @@ impl Batcher {
             return None;
         }
         q.timer_armed = true;
-        Some((head.created.as_secs() + wait, q.epoch))
+        let anchored = head.created.as_secs() + wait;
+        let deadline = if anchored < now_s {
+            now_s + wait
+        } else {
+            anchored
+        };
+        Some((deadline, q.epoch))
     }
 
     /// Handles a fired timer: stale epochs are ignored; a live timer on
@@ -173,18 +186,29 @@ impl Batcher {
         })
     }
 
-    /// Stores a dispatched batch as in-service, returning its id for
-    /// the completion event.
+    /// Stores a dispatched batch as in-service, returning its slab id
+    /// for the completion event. Ids are live only while the batch is
+    /// in the pipeline; freed slots are reused.
     pub fn store(&mut self, batch: Batch) -> u64 {
-        self.next_batch_id += 1;
-        let id = self.next_batch_id;
-        self.in_service.insert(id, batch);
-        id
+        match self.free_slots.pop() {
+            Some(slot) => {
+                self.in_service[slot as usize] = Some(batch);
+                slot as u64
+            }
+            None => {
+                self.in_service.push(Some(batch));
+                (self.in_service.len() - 1) as u64
+            }
+        }
     }
 
     /// Removes and returns a completed in-service batch.
     pub fn take(&mut self, id: u64) -> Option<Batch> {
-        self.in_service.remove(&id)
+        let batch = self.in_service.get_mut(id as usize)?.take();
+        if batch.is_some() {
+            self.free_slots.push(id as u32);
+        }
+        batch
     }
 
     /// Request-weighted mean batch efficiency: `throughput(batch) /
@@ -259,9 +283,9 @@ mod tests {
         let mut b = Batcher::new(&cfg(BatchPolicy::Deadline { max_wait_s: 0.05 }), 1);
         b.push(0, req(1, 0, 1.0));
         assert!(!b.ready(0, 0, 0.0), "below max_batch: the timer decides");
-        let (deadline, epoch) = b.arm_timer(0, 0).expect("arms once");
+        let (deadline, epoch) = b.arm_timer(0, 0, 1.0).expect("arms once");
         assert!((deadline - 1.05).abs() < 1e-12);
-        assert_eq!(b.arm_timer(0, 0), None, "one timer per epoch");
+        assert_eq!(b.arm_timer(0, 0, 1.0), None, "one timer per epoch");
         assert!(b.timer_fired(0, 0, epoch), "live timer flushes");
         for i in 2..=5 {
             b.push(0, req(i, 0, 1.0));
@@ -285,12 +309,40 @@ mod tests {
     fn dispatch_bumps_the_epoch_and_invalidates_stale_timers() {
         let mut b = Batcher::new(&cfg(BatchPolicy::Deadline { max_wait_s: 0.05 }), 1);
         b.push(0, req(1, 0, 0.0));
-        let (_, epoch) = b.arm_timer(0, 0).expect("arms");
+        let (_, epoch) = b.arm_timer(0, 0, 0.0).expect("arms");
         let batch = b.dispatch(0, 0).expect("non-empty");
         let id = b.store(batch);
         assert!(!b.timer_fired(0, 0, epoch), "stale epoch is ignored");
         assert_eq!(b.take(id).expect("stored").reqs.len(), 1);
         assert_eq!(b.take(id).map(|batch| batch.reqs.len()), None);
+    }
+
+    #[test]
+    fn leftover_heads_reanchor_their_timer_at_now() {
+        // Six requests created at t=1.0 against max_batch=4: dispatch
+        // drains four, leaving a head whose created-anchored deadline
+        // (1.05) is already past by the drain cycle at t=2.0. The new
+        // timer must wait a full window from now, not fire immediately.
+        let mut b = Batcher::new(&cfg(BatchPolicy::Deadline { max_wait_s: 0.05 }), 1);
+        for i in 1..=6 {
+            b.push(0, req(i, 0, 1.0));
+        }
+        let batch = b.dispatch(0, 0).expect("over the cap");
+        assert_eq!(batch.reqs.len(), 4);
+        assert_eq!(b.len(0, 0), 2, "partial drain leaves a tail");
+        let (deadline, _) = b.arm_timer(0, 0, 2.0).expect("re-arms for the tail");
+        assert!(
+            (deadline - 2.05).abs() < 1e-12,
+            "leftover head re-anchors at now + wait, got {deadline}"
+        );
+    }
+
+    #[test]
+    fn fresh_heads_keep_their_created_anchor() {
+        let mut b = Batcher::new(&cfg(BatchPolicy::Deadline { max_wait_s: 0.05 }), 1);
+        b.push(0, req(1, 0, 3.0));
+        let (deadline, _) = b.arm_timer(0, 0, 3.0).expect("arms");
+        assert!((deadline - 3.05).abs() < 1e-12);
     }
 
     #[test]

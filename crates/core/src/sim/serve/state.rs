@@ -140,14 +140,25 @@ impl ServeState {
     }
 
     /// Registers a new arrival for `tenant`: bumps the generators'
-    /// counters and returns the request's trace id.
+    /// counters and returns the request's trace id. The inflight gauge
+    /// is *not* touched here — requests the admission gate turns away
+    /// never enter the system, so only [`ServeState::note_admitted`]
+    /// counts them.
     pub fn begin_request(&mut self, tenant: usize) -> u64 {
         self.arrivals += 1;
         let t = &mut self.tenants[tenant];
         t.offered += 1;
+        REQ_ID_BASE + self.arrivals
+    }
+
+    /// Counts an admitted request into the inflight gauge (and its
+    /// high-water mark). Pairs with the decrement when the request
+    /// completes or is lost.
+    pub fn note_admitted(&mut self, tenant: usize) {
+        let t = &mut self.tenants[tenant];
+        t.admitted += 1;
         t.inflight += 1;
         t.peak_inflight = t.peak_inflight.max(t.inflight);
-        REQ_ID_BASE + self.arrivals
     }
 
     /// Service time of a `batch_len`-request batch for `tenant` on one
@@ -228,6 +239,13 @@ mod tests {
         assert_eq!(st.begin_request(0), REQ_ID_BASE + 1);
         assert_eq!(st.begin_request(1), REQ_ID_BASE + 2);
         assert_eq!(st.tenants[0].offered, 1);
+        assert_eq!(
+            st.tenants[0].peak_inflight, 0,
+            "offered-but-not-admitted requests stay off the inflight gauge"
+        );
+        st.note_admitted(0);
+        assert_eq!(st.tenants[0].admitted, 1);
+        assert_eq!(st.tenants[0].inflight, 1);
         assert_eq!(st.tenants[0].peak_inflight, 1);
     }
 

@@ -165,6 +165,20 @@ impl Service {
         self.sudc_free[c].as_secs()
     }
 
+    /// Takes unit `c`'s compute state — pipeline high-water mark, SEU
+    /// draw counters, and the stochastic outage process — from `donor`,
+    /// the shard that owned `c` in a sharded run, mirroring
+    /// [`super::transport::Transport::adopt`].
+    pub fn adopt(&mut self, donor: &mut Service, c: usize) {
+        self.sudc_free[c] = donor.sudc_free[c];
+        self.seu_draws[c] = donor.seu_draws[c];
+        self.serve_seu_draws[c] = donor.serve_seu_draws[c];
+        if let (Some(mine), Some(theirs)) = (self.cluster_out.as_mut(), donor.cluster_out.as_mut())
+        {
+            std::mem::swap(&mut mine[c], &mut theirs[c]);
+        }
+    }
+
     /// Flight-recorder timeline snapshot: outstanding work in unit
     /// `c`'s compute queue at `now`, in seconds of service time (0 when
     /// the pipeline is idle). This is the per-unit backlog signal future

@@ -18,8 +18,9 @@ use crate::sim::model::{SimConfig, SimTopology};
 /// Positions are global ring indices `0..n`; service units (SµDCs) are
 /// indexed `0..units()`. Implementations must be pure functions of the
 /// configuration — all the stochastic machinery (outages, retries)
-/// lives in the transport and service layers.
-pub trait Topology {
+/// lives in the transport and service layers. `Send` so the sharded
+/// parallel runner can hand each shard's state to a worker thread.
+pub trait Topology: Send {
     /// Number of SµDC service units frames can be delivered to.
     fn units(&self) -> usize;
 

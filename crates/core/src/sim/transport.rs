@@ -120,6 +120,30 @@ impl Transport {
         self.link_free[sat].as_secs()
     }
 
+    /// Minimum time a `bits`-sized transmission spends in flight —
+    /// serialization plus one-hop propagation, with an idle link. This
+    /// is the conservative lookahead bound the sharded parallel runner
+    /// windows on: no event can cross between shards faster than one
+    /// full hop.
+    pub fn min_latency_s(&self, bits: f64) -> f64 {
+        bits / self.capacity_bps + self.hop_prop.as_secs()
+    }
+
+    /// Takes satellite `sat`'s link state — the occupancy high-water
+    /// mark and both directions' outage processes — from `donor`, the
+    /// shard that owned `sat` in a sharded run. After every owned index
+    /// is adopted, the merged transport folds its outage summary and
+    /// reads busy time exactly like a sequential run's would.
+    pub fn adopt(&mut self, donor: &mut Transport, sat: usize) {
+        self.link_free[sat] = donor.link_free[sat];
+        if let (Some(mine), Some(theirs)) = (self.out_fwd.as_mut(), donor.out_fwd.as_mut()) {
+            std::mem::swap(&mut mine[sat], &mut theirs[sat]);
+        }
+        if let (Some(mine), Some(theirs)) = (self.out_rev.as_mut(), donor.out_rev.as_mut()) {
+            std::mem::swap(&mut mine[sat], &mut theirs[sat]);
+        }
+    }
+
     /// Flight-recorder timeline snapshot of modelled link state at `t`:
     /// `(links up, links modelled)` across both ring directions, or
     /// `None` when no outage model is configured. Querying advances the

@@ -590,7 +590,10 @@ fn run_serve(
     let space = Space::from_points("serve", points, |&(rate, share, policy)| {
         format!("rate={rate};premium={share};policy={policy}")
     });
-    let mut cache = open_cache(cache_dir, "serve", "serve-v1");
+    // v2: serve-layer accounting fixes (inflight counted only on
+    // admission; leftover batch timers re-anchored at `now`) changed
+    // cell results, so v1 cache entries are stale.
+    let mut cache = open_cache(cache_dir, "serve", "serve-v2");
     let out = explore::sweep_cached(&space, opts, &mut cache, |&(rate, share, policy)| {
         serve_cell(rate, share, policy)
     });

@@ -36,6 +36,30 @@ impl Tally {
         self.max = self.max.max(value);
     }
 
+    /// Folds another tally into this one (Chan et al.'s parallel
+    /// Welford combine), as if the other tally's samples had been
+    /// recorded here. Merge order is significant at the floating-point
+    /// ulp level, so parallel reductions must fold partials in a fixed
+    /// order to stay deterministic.
+    pub fn merge(&mut self, other: &Tally) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / total);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / total);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -291,6 +315,41 @@ mod tests {
         assert_eq!(t.mean(), 0.0);
         assert_eq!(t.variance(), 0.0);
         assert_eq!(t.min(), None);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_tallies() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut whole = Tally::new();
+        let mut left = Tally::new();
+        let mut right = Tally::new();
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i < 3 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Tally::new();
+        a.record(3.0);
+        a.record(5.0);
+        let snapshot = a.clone();
+        a.merge(&Tally::new());
+        assert_eq!(a, snapshot, "merging an empty tally changes nothing");
+        let mut empty = Tally::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot, "merging into an empty tally copies");
     }
 
     #[test]

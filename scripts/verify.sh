@@ -7,9 +7,13 @@
 # the determinism gate (two same-seed `repro sim` runs of every topology
 # shape — ring, klist:4, geo, split:4 — must produce byte-identical
 # fault reports AND byte-identical flight-recorder traces, with the same
-# bar for `repro sim --serve` SLO reports), checks the committed
-# BENCH_sim.json perf-gate and BENCH_serve.json capacity-frontier
-# artifacts, runs the static-analysis
+# bar for `repro sim --serve` SLO reports), runs the thread-count
+# identity gate (1-worker vs 4-worker `repro sim --threads` runs of
+# every matrix cell — fault-free, faulted, and serve — must byte-diff
+# clean), checks the committed
+# BENCH_sim.json perf-gate (with a >5% events/sec regression ratchet
+# and wall-clock coherence checks) and BENCH_serve.json
+# capacity-frontier artifacts, runs the static-analysis
 # gate (`repro lint` must be ratchet-clean against
 # results/lint_baseline.json), and — when the cargo registry is
 # unreachable (offline containers cannot resolve the external
@@ -169,6 +173,51 @@ if [ -x target/release/repro ]; then
     if [ "$serve_ok" -ne 1 ]; then
         failed=1
     fi
+
+    # The sharded parallel event loop must be byte-identical at every
+    # worker count: a 1-worker and a 4-worker run of each matrix cell,
+    # fault-free and faulted and serving, must produce byte-identical
+    # output directories (REPRO_DETERMINISTIC strips the wall-clock
+    # manifest fields, so whole directories diff clean).
+    echo "== thread-count identity gate (1 vs 4 workers) =="
+    threads_ok=1
+    for cell in $matrix; do
+        topo="${cell%:*}"
+        topo_ok=1
+        for variant in "--faults none" "--faults flaky_links" "--serve steady --minutes 1"; do
+            d1="$(mktemp -d)"
+            d4="$(mktemp -d)"
+            cell_ok=1
+            for pair in "1:$d1" "4:$d4"; do
+                # shellcheck disable=SC2086 # $variant is a flag list
+                if ! REPRO_DETERMINISTIC=1 ./target/release/repro --quiet sim \
+                    $variant --topology "$topo" --threads "${pair%%:*}" \
+                    --out-dir "${pair#*:}" >/dev/null; then
+                    cell_ok=0
+                fi
+            done
+            if [ "$cell_ok" -eq 1 ]; then
+                if ! diff -r "$d1" "$d4" >/dev/null; then
+                    echo "FAIL: 1-thread and 4-thread runs differ ($topo, $variant)"
+                    cell_ok=0
+                fi
+            else
+                echo "FAIL: repro sim $variant --topology $topo --threads did not run cleanly"
+            fi
+            if [ "$cell_ok" -ne 1 ]; then
+                topo_ok=0
+            fi
+            rm -rf "$d1" "$d4"
+        done
+        if [ "$topo_ok" -eq 1 ]; then
+            echo "ok: $topo is byte-identical across 1 and 4 workers (fault-free, faulted, serve)"
+        else
+            threads_ok=0
+        fi
+    done
+    if [ "$threads_ok" -ne 1 ]; then
+        failed=1
+    fi
 else
     echo "warn: target/release/repro not built; skipping determinism gate"
 fi
@@ -186,10 +235,39 @@ if [ -f results/BENCH_sim.json ]; then
     if [ "$bench_ok" -eq 1 ]; then
         echo "ok: BENCH_sim.json present with the perf-gate schema"
         # Refresh it when the binary is available so the committed
-        # figures track the current code (wall-clock fields change run
-        # to run; the schema is the gate).
-        if [ -x target/release/repro ]; then
-            if ! ./target/release/repro --quiet bench sim >/dev/null; then
+        # figures track the current code, ratcheting events/sec against
+        # the committed figure (>5% regression fails). The refresh runs
+        # under REPRO_DETERMINISTIC so the manifest's wall-clock fields
+        # are stripped coherently (all three zeroed).
+        if [ -x target/release/repro ] && command -v jq >/dev/null 2>&1; then
+            prev_eps="$(jq -r '.metrics["sim.events_per_sec"].value' results/BENCH_sim.json)"
+            if ! REPRO_DETERMINISTIC=1 ./target/release/repro --quiet bench sim >/dev/null; then
+                echo "FAIL: repro bench sim did not run cleanly"
+                failed=1
+            else
+                new_eps="$(jq -r '.metrics["sim.events_per_sec"].value' results/BENCH_sim.json)"
+                if jq -e -n --argjson new "$new_eps" --argjson prev "$prev_eps" \
+                    '$new >= 0.95 * $prev' >/dev/null; then
+                    echo "ok: events/sec ratchet holds ($new_eps vs committed $prev_eps)"
+                else
+                    echo "FAIL: events/sec regressed >5% ($new_eps vs committed $prev_eps)"
+                    failed=1
+                fi
+                for key in sim.threads.1.events_per_sec sim.threads.2.events_per_sec \
+                    sim.threads.4.events_per_sec; do
+                    if ! grep -q "\"$key\"" results/BENCH_sim.json; then
+                        echo "FAIL: refreshed BENCH_sim.json is missing \"$key\" (thread-scaling rows)"
+                        failed=1
+                    fi
+                done
+                if [ ! -f BENCH_sim.json ]; then
+                    echo "FAIL: repo-root BENCH_sim.json was not refreshed alongside results/"
+                    failed=1
+                fi
+            fi
+        elif [ -x target/release/repro ]; then
+            echo "warn: jq not installed; refreshing without the events/sec ratchet"
+            if ! REPRO_DETERMINISTIC=1 ./target/release/repro --quiet bench sim >/dev/null; then
                 echo "FAIL: repro bench sim did not run cleanly"
                 failed=1
             fi
@@ -229,6 +307,28 @@ if [ -f results/BENCH_serve.json ]; then
 else
     echo "FAIL: results/BENCH_serve.json missing (run ./target/release/repro explore serve)"
     failed=1
+fi
+
+echo "== bench-manifest coherence gate =="
+# Committed bench artifacts are refreshed under REPRO_DETERMINISTIC, so
+# their manifests must strip every wall-clock field the same way: all
+# three zeroed. (An artifact with started == finished next to a nonzero
+# duration is self-contradictory.)
+if command -v jq >/dev/null 2>&1; then
+    for f in results/BENCH_sim.json BENCH_sim.json results/BENCH_serve.json; do
+        if [ -f "$f" ]; then
+            if jq -e '.manifest
+                | .started_unix_ms == 0 and .finished_unix_ms == 0 and .duration_s == 0' \
+                "$f" >/dev/null; then
+                echo "ok: $f wall-clock fields are stripped coherently"
+            else
+                echo "FAIL: $f manifest timings are incoherent (expect all three zeroed)"
+                failed=1
+            fi
+        fi
+    done
+else
+    echo "warn: jq not installed; skipping coherence checks"
 fi
 
 echo "== static-analysis gate (repro lint) =="
