@@ -1,15 +1,23 @@
-//! `repro lint [--rule <id>] [--format text|json] [--update-baseline]`
-//! — run the workspace static-analysis engine (`sudc-lint`) and gate
-//! against the ratcheting baseline in `results/lint_baseline.json`:
-//! grandfathered violations pass, new ones fail, and per rule the
-//! baseline may only shrink (a rule absent from the committed baseline
-//! may grandfather its offenders once, so new rules can land ratcheted).
+//! `repro lint [--rule <id>] [--format text|json] [--update-baseline]
+//! [--audit determinism]` — run the workspace static-analysis engine
+//! (`sudc-lint`) and gate against the ratcheting baseline in
+//! `results/lint_baseline.json`: grandfathered violations pass, new
+//! ones fail, and per rule the baseline may only shrink (a rule absent
+//! from the committed baseline may grandfather its offenders once, so
+//! new rules can land ratcheted).
+//!
+//! The scan runs as an explicit pipeline — load, lexical pass, semantic
+//! analysis (symbols → call graph → taint reachability), semantic pass
+//! — with per-phase wall times in `BENCH_lint.json` (zeroed under
+//! `--no-timings`). `--audit determinism` additionally writes the
+//! committed `results/lint_audit.json` artifact, which carries no
+//! wall-clock fields and is byte-identical across runs.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sudc_lint::{lint_workspace, ratchet, report, rule_by_id, Baseline};
+use sudc_lint::{ratchet, report, rule_by_id, Analysis, Baseline, LintRun};
 use telemetry::RunManifest;
 
 use crate::Cli;
@@ -100,26 +108,138 @@ fn handle_operands(cli: &Cli) -> Option<ExitCode> {
     None
 }
 
-pub fn exec(cli: &Cli) -> ExitCode {
-    if let Some(code) = handle_operands(cli) {
-        return code;
-    }
+/// Wall time of each scan phase, milliseconds. All zero under
+/// `--no-timings` so metric artifacts stay byte-comparable.
+struct PhaseTimes {
+    load_ms: u64,
+    lexical_ms: u64,
+    semantic_ms: u64,
+    /// Semantic throughput over analyze + semantic pass, per second.
+    files_per_sec: u64,
+    lines_per_sec: u64,
+}
 
+/// Runs the scan as an explicit pipeline so each phase can be timed:
+/// load + lex, lexical rules, semantic analysis + rules, canonical
+/// sort. Returns the merged run, the analysis (for `--audit`), and the
+/// phase wall times.
+fn scan<'a>(
+    ws: &'a sudc_lint::Workspace,
+    only: Option<&'static str>,
+    timed: bool,
+) -> (LintRun, Analysis<'a>, PhaseTimes) {
+    // lint:allow(wall-clock-in-model) harness phase timing, not model time
+    let t_lex = std::time::Instant::now();
+    let mut diagnostics = sudc_lint::lexical_pass(ws, only);
+    let lexical = t_lex.elapsed();
+    // lint:allow(wall-clock-in-model) harness phase timing, not model time
+    let t_sem = std::time::Instant::now();
+    let analysis = sudc_lint::analyze(&ws.files);
+    diagnostics.extend(sudc_lint::semantic_pass(&analysis, only));
+    let semantic = t_sem.elapsed();
+    sudc_lint::sort_diagnostics(&mut diagnostics);
+    let run = LintRun {
+        files: ws.files.len(),
+        lines: ws.lines,
+        diagnostics,
+    };
+    let throughput = |count: u64| {
+        if timed && semantic.as_secs_f64() > 0.0 {
+            (count as f64 / semantic.as_secs_f64()) as u64
+        } else {
+            0
+        }
+    };
+    let times = PhaseTimes {
+        load_ms: 0,
+        lexical_ms: if timed { lexical.as_millis() as u64 } else { 0 },
+        semantic_ms: if timed {
+            semantic.as_millis() as u64
+        } else {
+            0
+        },
+        files_per_sec: throughput(run.files as u64),
+        lines_per_sec: throughput(run.lines),
+    };
+    (run, analysis, times)
+}
+
+/// Validates the flag combination: `--rule` must name a known rule,
+/// `--update-baseline` and `--audit` cover all rules (no `--rule`), and
+/// the only audit is `determinism`. Returns the `--rule` restriction.
+fn validate_flags(cli: &Cli) -> Result<Option<&'static str>, ExitCode> {
     let only = match &cli.rule {
         Some(id) => match rule_by_id(id) {
             Some(r) => Some(r.id),
             None => {
                 eprintln!("error: unknown rule '{id}' (try `repro lint rules`)");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         },
         None => None,
     };
-    let format = cli.format.as_deref().unwrap_or("text");
     if cli.update_baseline && only.is_some() {
         eprintln!("error: --update-baseline covers all rules; drop --rule");
-        return ExitCode::FAILURE;
+        return Err(ExitCode::FAILURE);
     }
+    match cli.audit.as_deref() {
+        None | Some("determinism") => {}
+        Some(other) => {
+            eprintln!("error: unknown audit '{other}' (only 'determinism' exists)");
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    if cli.audit.is_some() && (only.is_some() || cli.update_baseline) {
+        eprintln!("error: --audit covers all rules; drop --rule/--update-baseline");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(only)
+}
+
+/// Records scan counters and per-phase wall times into the metrics set.
+fn record_metrics(metrics: &telemetry::Metrics, run: &LintRun, times: &PhaseTimes) {
+    metrics.inc("lint.files", run.files as u64);
+    metrics.inc("lint.lines", run.lines);
+    metrics.inc("lint.load_ms", times.load_ms);
+    metrics.inc("lint.lexical_ms", times.lexical_ms);
+    metrics.inc("lint.semantic_ms", times.semantic_ms);
+    metrics.inc("lint.semantic_files_per_sec", times.files_per_sec);
+    metrics.inc("lint.semantic_lines_per_sec", times.lines_per_sec);
+    for (id, n) in run.counts_by_rule() {
+        metrics.inc(&format!("lint.rule.{id}"), n as u64);
+    }
+}
+
+/// `--audit`: writes the committed audit artifact (default
+/// `results/lint_audit.json`, or into `--out-dir`). Returns `false` on
+/// an IO failure.
+fn write_audit(cli: &Cli, doc: &str, results_dir: &std::path::Path, format: &str) -> bool {
+    let audit_dir = cli
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| results_dir.to_path_buf());
+    let audit_path = audit_dir.join("lint_audit.json");
+    if let Err(e) = std::fs::create_dir_all(&audit_dir)
+        .and_then(|()| std::fs::write(&audit_path, doc.as_bytes()))
+    {
+        eprintln!("error writing {}: {e}", audit_path.display());
+        return false;
+    }
+    if !cli.quiet && format != "json" {
+        println!("wrote {}", audit_path.display());
+    }
+    true
+}
+
+pub fn exec(cli: &Cli) -> ExitCode {
+    if let Some(code) = handle_operands(cli) {
+        return code;
+    }
+    let only = match validate_flags(cli) {
+        Ok(only) => only,
+        Err(code) => return code,
+    };
+    let format = cli.format.as_deref().unwrap_or("text");
 
     if let Err(e) = super::install_telemetry(cli) {
         eprintln!("error: {e}");
@@ -132,25 +252,30 @@ pub fn exec(cli: &Cli) -> ExitCode {
         .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf);
     let baseline_path = results_dir.join("lint_baseline.json");
 
-    let run = match lint_workspace(&root, only) {
-        Ok(run) => run,
+    let timed = !super::deterministic(cli);
+    // lint:allow(wall-clock-in-model) harness phase timing, not model time
+    let t_load = std::time::Instant::now();
+    let ws = match sudc_lint::Workspace::load(&root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let load = t_load.elapsed();
+    let (run, analysis, mut times) = scan(&ws, only, timed);
+    if timed {
+        times.load_ms = load.as_millis() as u64;
+    }
 
     let mut manifest = RunManifest::new("lint", 0);
     manifest.param("rule", only.unwrap_or("all"));
     manifest.param("format", format);
     manifest.param("update_baseline", cli.update_baseline);
+    manifest.param("audit", cli.audit.as_deref().unwrap_or("none"));
     manifest.param("files", run.files as u64);
     let metrics = telemetry::Metrics::new();
-    metrics.inc("lint.files", run.files as u64);
-    metrics.inc("lint.lines", run.lines);
-    for (id, n) in run.counts_by_rule() {
-        metrics.inc(&format!("lint.rule.{id}"), n as u64);
-    }
+    record_metrics(&metrics, &run, &times);
 
     let committed = match Baseline::load(&baseline_path) {
         Ok(b) => b,
@@ -183,6 +308,11 @@ pub fn exec(cli: &Cli) -> ExitCode {
     manifest.record_experiment("lint");
     manifest.finish();
     let mut failed = !outcome.new.is_empty();
+
+    if cli.audit.is_some() {
+        let doc = report::render_audit(&run, &outcome, &analysis);
+        failed |= !write_audit(cli, &doc, &results_dir, format);
+    }
     let metrics_path = cli
         .metrics_out
         .clone()

@@ -56,6 +56,10 @@ pub struct Cli {
     pub rule: Option<String>,
     pub format: Option<String>,
     pub update_baseline: bool,
+    /// `--audit <name>`: run a named workspace audit after the scan and
+    /// write its committed artifact (only `determinism` exists, writing
+    /// `results/lint_audit.json` — byte-identical across runs).
+    pub audit: Option<String>,
     pub verbose: bool,
     pub record: Option<PathBuf>,
     pub cadence: Option<f64>,
@@ -138,6 +142,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         rule: None,
         format: None,
         update_baseline: false,
+        audit: None,
         verbose: false,
         record: None,
         cadence: None,
@@ -226,6 +231,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.format = Some(fmt.clone());
             }
             "--update-baseline" => cli.update_baseline = true,
+            "--audit" => {
+                let name = it
+                    .next()
+                    .ok_or("--audit requires an audit name (determinism)")?;
+                cli.audit = Some(name.clone());
+            }
             "--verbose" => cli.verbose = true,
             "--record" => {
                 let path = it.next().ok_or("--record requires a path")?;
@@ -316,6 +327,13 @@ fn usage() {
                                       (new violations fail; baseline only\n\
                                       shrinks)\n\
            repro lint rules           list lint rules and fix hints\n\
+           repro lint --audit determinism\n\
+                                      run the semantic determinism audit\n\
+                                      (symbol table, call graph, taint\n\
+                                      reachability) and write\n\
+                                      results/lint_audit.json — the\n\
+                                      artifact is byte-identical across\n\
+                                      runs and committed\n\
          \n\
          flags:\n\
            --trace                    debug-level telemetry on stderr\n\
@@ -370,6 +388,9 @@ fn usage() {
                                       (refuses to grow the violation count;\n\
                                       rules new to the baseline may add\n\
                                       grandfathered entries once)\n\
+           --audit <name>             also write the named audit artifact\n\
+                                      (determinism -> lint_audit.json in\n\
+                                      --out-dir, default results/)\n\
          \n\
          artifacts are written to results/<id>.txt, .csv, and .json;\n\
          every run also writes a results/*_manifest.json and the\n\

@@ -100,12 +100,15 @@ impl explore::Cacheable for Table8Cell {
     }
 }
 
-/// Stable index of an ISL class (cache encoding).
+/// Stable index of an ISL class (cache encoding). Exhaustive match in
+/// `IslClass::ALL` order, so adding a class is a compile error here
+/// rather than a runtime lookup that could miss.
 pub(crate) fn isl_index(isl: IslClass) -> u64 {
-    IslClass::ALL
-        .iter()
-        .position(|&c| c == isl)
-        .expect("every ISL class is in ALL") as u64
+    match isl {
+        IslClass::Gbps1 => 0,
+        IslClass::Gbps10 => 1,
+        IslClass::Gbps100 => 2,
+    }
 }
 
 /// Inverse of [`isl_index`].

@@ -88,8 +88,10 @@ fn model_predicts_stable(c: &Case) -> bool {
     let spec = SudcSpec::paper_4kw(Device::Rtx3090);
     let demand =
         imagery::FrameSpec::paper().pixel_rate(c.resolution, c.discard) * per_cluster as f64;
-    let capacity = spec.pixel_capacity(c.app).expect("measured app");
-    demand <= capacity
+    // An unmeasured (application, device) pair has no service rate, so
+    // the model cannot predict stability for it.
+    spec.pixel_capacity(c.app)
+        .is_some_and(|capacity| demand <= capacity)
 }
 
 /// Runs the cross-validation grid.

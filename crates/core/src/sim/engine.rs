@@ -171,7 +171,15 @@ pub(super) struct State {
 }
 
 impl State {
-    pub(super) fn new(cfg: &SimConfig, recorder: Option<Arc<Recorder>>) -> Self {
+    /// Builds the full layer state. `pixel_capacity` is the validated
+    /// per-unit service rate — callers obtain it from
+    /// [`SimConfig::unit_pixel_capacity`] after `validate()`, so
+    /// construction itself cannot fail.
+    pub(super) fn new(
+        cfg: &SimConfig,
+        recorder: Option<Arc<Recorder>>,
+        pixel_capacity: f64,
+    ) -> Self {
         let n = cfg.plane.satellite_count();
         let rng_factory = RngFactory::new(cfg.seed);
         let topo = topology::from_config(cfg);
@@ -183,10 +191,6 @@ impl State {
             cfg.faults.retry,
             rng_factory,
         );
-        // lint:allow(unwrap-in-lib) documented precondition: try_run validates first
-        let pixel_capacity = cfg
-            .unit_pixel_capacity()
-            .expect("application must be measured on the SµDC device");
         let service = Service::new(cfg, topo.units(), pixel_capacity, rng_factory);
         let serve = cfg
             .serve
@@ -226,8 +230,8 @@ impl State {
     /// state so per-index reads need no translation) plus the shard
     /// identity that switches frame-id assignment to the analytic form
     /// and routes cross-shard hops through the outbox.
-    pub(super) fn new_sharded(cfg: &SimConfig, index: usize) -> Self {
-        let mut st = State::new(cfg, None);
+    pub(super) fn new_sharded(cfg: &SimConfig, index: usize, pixel_capacity: f64) -> Self {
+        let mut st = State::new(cfg, None, pixel_capacity);
         st.shard = Some(ShardCtx {
             index,
             n_total: cfg.plane.satellite_count() as u64,
@@ -261,6 +265,7 @@ impl State {
     /// f64 accumulation order is part of the byte-identity contract).
     pub(super) fn absorb_shard(&mut self, other: &mut State) {
         let Some(idx) = other.shard.as_ref().map(|c| c.index) else {
+            // lint:allow(panic-reachable-from-event-loop) statically unreachable: run_sharded absorbs only new_sharded states
             unreachable!("absorb_shard is only called on sharded states");
         };
         for s in 0..self.cfg.plane.satellite_count() {
@@ -326,7 +331,7 @@ impl State {
                     .cfg
                     .plane
                     .position(sat, now)
-                    // lint:allow(unwrap-in-lib) sat < n by construction
+                    // lint:allow(unwrap-in-lib, panic-reachable-from-event-loop) sat < n by construction
                     .expect("plane propagation is valid");
                 let point = subsatellite_point(pos, now);
                 // Sub-solar longitude drifts with time of day; start at 0.
@@ -1323,12 +1328,9 @@ pub(super) fn report(mut st: State, sched: &Scheduler<Ev>, cfg: &SimConfig) -> S
     }
 }
 
-/// Runs the simulation, reporting invalid configurations as a
-/// diagnostic instead of panicking.
-///
-/// # Panics
-///
-/// Panics if the (application, device) pair has no measurement.
+/// Runs the simulation, reporting invalid configurations (including an
+/// unmeasured application/device pair) as a diagnostic instead of
+/// panicking.
 pub fn try_run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
     try_run_with(cfg, None)
 }
@@ -1339,10 +1341,6 @@ pub fn try_run(cfg: &SimConfig) -> Result<SimReport, ConfigError> {
 /// link state, and backlog are snapshotted on that cadence. The report
 /// is identical to [`try_run`]'s except for the scheduler counters
 /// (timeline ticks are scheduled events).
-///
-/// # Panics
-///
-/// Panics if the (application, device) pair has no measurement.
 pub fn try_run_recorded(
     cfg: &SimConfig,
     recorder: Arc<Recorder>,
@@ -1355,8 +1353,11 @@ fn try_run_with(
     recorder: Option<Arc<Recorder>>,
 ) -> Result<SimReport, ConfigError> {
     cfg.validate()?;
+    let pixel_capacity = cfg
+        .unit_pixel_capacity()
+        .ok_or(ConfigError::UnmeasuredWorkload)?;
     let n = cfg.plane.satellite_count();
-    let mut st = State::new(cfg, recorder);
+    let mut st = State::new(cfg, recorder, pixel_capacity);
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
     sched.enable_probe();

@@ -107,6 +107,9 @@ pub enum ConfigError {
     },
     /// A fixed batching policy of size zero, or `max_batch == 0`.
     ZeroBatchSize,
+    /// The configured (application, device) pair has no pixel-capacity
+    /// measurement, so no service rate can be derived.
+    UnmeasuredWorkload,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -147,6 +150,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroBatchSize => {
                 write!(f, "batching needs a batch size of at least 1")
+            }
+            ConfigError::UnmeasuredWorkload => {
+                write!(
+                    f,
+                    "the (application, device) pair has no pixel-capacity measurement"
+                )
             }
         }
     }
@@ -231,10 +240,11 @@ impl SimConfig {
     }
 
     /// Checks the configuration is simulatable: at least one cluster, an
-    /// even `ingest_links ≥ 2`, and (for ring shapes) service arcs that
-    /// divide the ring evenly. Used by [`super::engine::try_run`] and
-    /// the CLI so bad `--clusters`/`--ingest-links` values produce a
-    /// diagnostic instead of a panic.
+    /// even `ingest_links ≥ 2`, (for ring shapes) service arcs that
+    /// divide the ring evenly, and an (application, device) pair with a
+    /// pixel-capacity measurement. Used by [`super::engine::try_run`]
+    /// and the CLI so bad `--clusters`/`--ingest-links`/workload values
+    /// produce a diagnostic instead of a panic.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.clusters == 0 {
             return Err(ConfigError::NoClusters);
@@ -270,6 +280,9 @@ impl SimConfig {
         }
         if let Some(serve) = &self.serve {
             serve.validate()?;
+        }
+        if self.unit_pixel_capacity().is_none() {
+            return Err(ConfigError::UnmeasuredWorkload);
         }
         Ok(())
     }

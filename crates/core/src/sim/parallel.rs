@@ -67,14 +67,16 @@ struct Shard {
 ///
 /// # Panics
 ///
-/// Panics if the (application, device) pair has no measurement, or if a
-/// worker thread panics mid-run.
+/// Panics if a worker thread panics mid-run.
 pub fn try_run_threads(cfg: &SimConfig, threads: usize) -> Result<SimReport, ConfigError> {
     cfg.validate()?;
     if !shardable(cfg) {
         return engine::try_run(cfg);
     }
-    Ok(run_sharded(cfg, threads.max(1)))
+    let pixel_capacity = cfg
+        .unit_pixel_capacity()
+        .ok_or(ConfigError::UnmeasuredWorkload)?;
+    Ok(run_sharded(cfg, threads.max(1), pixel_capacity))
 }
 
 /// Whether the configuration partitions along service-unit lines. The
@@ -139,7 +141,7 @@ fn window_start(k: u64, lookahead_s: f64) -> f64 {
     }
 }
 
-fn run_sharded(cfg: &SimConfig, threads: usize) -> SimReport {
+fn run_sharded(cfg: &SimConfig, threads: usize, pixel_capacity: f64) -> SimReport {
     let topo = topology::from_config(cfg);
     let units = topo.units();
     let n = cfg.plane.satellite_count();
@@ -149,7 +151,7 @@ fn run_sharded(cfg: &SimConfig, threads: usize) -> SimReport {
             let mut sched = Scheduler::new();
             sched.enable_probe();
             Shard {
-                st: State::new_sharded(cfg, i),
+                st: State::new_sharded(cfg, i, pixel_capacity),
                 sched,
             }
         })
@@ -183,6 +185,7 @@ fn run_sharded(cfg: &SimConfig, threads: usize) -> SimReport {
     // thread-count-identity contract.
     let mut iter = shards.into_iter();
     let Some(mut base) = iter.next() else {
+        // lint:allow(panic-reachable-from-event-loop) statically unreachable: shardable() admits only unit counts >= 2
         unreachable!("shardable() requires at least two units");
     };
     for mut other in iter {

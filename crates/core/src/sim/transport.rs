@@ -49,6 +49,7 @@ impl Transport {
         let outage_ring = |label: &str, mtbf: Time, mttr: Time| {
             (0..n)
                 .map(|i| {
+                    // lint:allow(rng-stream-discipline) label is forwarded verbatim from the two literal call sites below
                     OutageProcess::new(rng.stream(label, i as u64), mtbf.as_secs(), mttr.as_secs())
                 })
                 .collect::<Vec<_>>()

@@ -187,11 +187,22 @@ impl explore::Cacheable for SizingRow {
 }
 
 /// Stable index of an application in Table 5 order (cache encoding).
+/// Exhaustive match in `Application::ALL` order, so adding an
+/// application is a compile error here rather than a runtime lookup
+/// that could miss.
 pub(crate) fn app_index(app: Application) -> u64 {
-    Application::ALL
-        .iter()
-        .position(|&a| a == app)
-        .expect("every application is in ALL") as u64
+    match app {
+        Application::AirPollution => 0,
+        Application::CropMonitoring => 1,
+        Application::FloodDetection => 2,
+        Application::AircraftDetection => 3,
+        Application::ForageQuality => 4,
+        Application::UrbanEmergency => 5,
+        Application::PanopticSegmentation => 6,
+        Application::OilSpill => 7,
+        Application::TrafficMonitoring => 8,
+        Application::LandSurfaceClustering => 9,
+    }
 }
 
 /// Inverse of [`app_index`].

@@ -221,19 +221,22 @@ pub fn run(
     }
 }
 
+/// Axis values for `name`: the override if given, else the def's
+/// declared default. An axis the def never declared yields no values —
+/// the sweep comes out empty (and visibly wrong in the artifact) rather
+/// than panicking mid-run.
 fn axis_f64(def: &SweepDef, overrides: &[(String, Vec<f64>)], name: &str) -> Vec<f64> {
     overrides
         .iter()
         .find(|(n, _)| n == name)
         .map(|(_, v)| v.clone())
-        .unwrap_or_else(|| {
+        .or_else(|| {
             def.axes
                 .iter()
                 .find(|a| a.name == name)
-                .expect("axis declared in def")
-                .default
-                .clone()
+                .map(|a| a.default.clone())
         })
+        .unwrap_or_default()
 }
 
 fn axis_usize(

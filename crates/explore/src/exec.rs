@@ -163,10 +163,12 @@ where
         cache.put(space.id(i), &result);
         slots[i] = Some(result);
     }
-    let results = slots
-        .into_iter()
-        .map(|r| r.expect("every slot filled by cache or evaluation"))
-        .collect();
+    let results: Vec<R> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(
+        results.len(),
+        space.len(),
+        "every slot filled by cache or evaluation"
+    );
     let stats = SweepStats {
         points: space.len(),
         evaluated,
@@ -228,7 +230,12 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise the worker's own panic payload instead of
+                // minting a new one here.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
@@ -249,10 +256,9 @@ fn merge<R>(len: usize, pairs: Vec<(usize, R)>) -> Vec<R> {
         debug_assert!(slots[i].is_none(), "duplicate result for point {i}");
         slots[i] = Some(r);
     }
-    slots
-        .into_iter()
-        .map(|r| r.expect("every point evaluated exactly once"))
-        .collect()
+    let merged: Vec<R> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(merged.len(), len, "every point evaluated exactly once");
+    merged
 }
 
 #[cfg(test)]

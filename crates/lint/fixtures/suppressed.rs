@@ -20,3 +20,16 @@ pub fn wall() -> u64 {
     // lint:allow(all) wildcard suppression exercised by the gate
     Instant::now().elapsed().as_secs()
 }
+
+// A leading allow must bind through attribute lines to the item they
+// decorate, not to the attribute itself.
+// lint:allow(nondeterministic-iteration) size-only membership probe, drained via sorted Vec
+#[derive(Default, Clone)]
+pub struct Seen { pub set: HashSet<u32> }
+
+// The `all` wildcard scopes the same way: through stacked attributes
+// to the first code line, and no further.
+// lint:allow(all) sentinel dispatch on an exact constant
+#[inline]
+#[must_use]
+pub fn tagged(x: f64) -> bool { x == 0.5 }

@@ -1,0 +1,48 @@
+//! Golden fixture for the semantic (workspace) rules: one seeded
+//! violation per family — a shared mutable static, cross-shard RNG
+//! stream reuse, unordered float folds (both the `for`-loop and the
+//! iterator-chain form), and an event-loop-reachable unwrap — all
+//! reachable from the fixture `engine::step` root (checked by
+//! `tests/lint_gate.rs`). This file is never compiled, and
+//! `crates/lint/fixtures/` sits outside the workspace scan roots.
+
+mod engine {
+    pub fn step(st: u32) {
+        crate::count_hit(st);
+        crate::merge_totals();
+        crate::checksum();
+        crate::first_frame();
+    }
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0); //~ shared-state-across-shards
+
+pub fn count_hit(_st: u32) {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn merge_totals() -> f64 {
+    let totals: HashMap<u32, f64> = HashMap::new(); //~ nondeterministic-iteration
+    let mut sum = 0.0;
+    for (_sat, t) in &totals { //~ float-merge-order
+        sum += t;
+    }
+    sum
+}
+
+pub fn checksum(weights: &HashMap<u32, f64>) -> f64 { //~ nondeterministic-iteration
+    let folded: f64 = weights.values().sum(); //~ float-merge-order
+    folded
+}
+
+pub fn first_frame(frames: &[u64]) -> u64 {
+    *frames.first().unwrap() //~ panic-reachable-from-event-loop unwrap-in-lib
+}
+
+pub fn reuse(rng: &RngFactory) -> Rng64 {
+    rng.stream("shed", 7) //~ rng-stream-discipline
+}
+
+pub fn relabel(rng: &RngFactory, label: &str, idx: u64) -> Rng64 {
+    rng.stream(label, idx) //~ rng-stream-discipline
+}

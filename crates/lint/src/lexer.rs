@@ -43,6 +43,11 @@ pub struct Tok {
     pub line: u32,
     /// 1-based column (in chars) of the token's first character.
     pub col: u32,
+    /// Byte offset of the token's first character. Together with
+    /// `text.len()` this gives the exact span `pos..pos + text.len()`;
+    /// spans partition the source (gaps are whitespace only), which
+    /// `tests/lint_gate.rs` asserts over every workspace file.
+    pub pos: usize,
 }
 
 impl Tok {
@@ -114,6 +119,7 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
             text: src[start..c.pos].to_string(),
             line,
             col,
+            pos: start,
         };
         match b {
             b' ' | b'\t' | b'\r' | b'\n' => {
@@ -278,6 +284,7 @@ fn lex_prefixed_literal(c: &mut Cursor, toks: &mut Vec<Tok>, src: &str, line: u3
         text: src[start..c.pos].to_string(),
         line,
         col,
+        pos: start,
     });
 }
 

@@ -1,13 +1,23 @@
 //! `sudc-lint` — workspace static analysis for determinism.
 //!
 //! The reproduction's headline guarantee is bit-exact determinism:
-//! fault-free runs must stay byte-identical to `results/simval.*` and
-//! same-seed sweeps must replay exactly. This crate is the *static*
-//! half of that guarantee: a zero-dependency lint engine (a hand-rolled
-//! string/char/comment-aware lexer plus a rule registry) that catches
-//! the usual ways determinism rots — `HashMap` iteration in result
-//! paths, wall-clock reads in model code, ad-hoc RNG streams, float
-//! `==`, stray `unwrap()` in library paths, and leftover to-do markers.
+//! fault-free runs must stay byte-identical to `results/simval.*`,
+//! same-seed sweeps must replay exactly, and N-worker sharded runs must
+//! match sequential byte for byte. This crate is the *static* half of
+//! that guarantee, in two layers:
+//!
+//! * a **lexical** layer — a zero-dependency, string/char/comment-aware
+//!   [`lexer`] plus per-file token rules that catch the usual ways
+//!   determinism rots (`HashMap` iteration in result paths, wall-clock
+//!   reads in model code, ad-hoc RNG streams, float `==`, stray
+//!   `unwrap()` in library paths, leftover to-do markers);
+//! * a **semantic** layer — an item-level [`parse`]r, workspace
+//!   [`symbols`] table, and approximate [`callgraph`] feeding the
+//!   [`taint`] analysis, which propagates nondeterminism sources
+//!   through the call graph to the event-loop sinks of the sharded
+//!   engine's byte-identity contract (`shared-state-across-shards`,
+//!   `rng-stream-discipline`, `float-merge-order`,
+//!   `panic-reachable-from-event-loop`).
 //!
 //! Violations already in the tree are grandfathered by a committed
 //! ratcheting [`baseline`](crate::baseline) — new ones fail the build,
@@ -28,15 +38,20 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 pub mod baseline;
+pub mod callgraph;
 pub mod jsonv;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod symbols;
+pub mod taint;
 
 pub use baseline::{ratchet, Baseline, Ratchet};
 pub use rules::{rule_by_id, RuleInfo, RULES};
 pub use source::SourceFile;
+pub use taint::{analyze, Analysis, DETERMINISM_ROOTS};
 
 /// Severity class of a rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,9 +135,10 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Lints one in-memory source file. `only` restricts to a single rule
-/// id (unknown ids yield no diagnostics — validate with
-/// [`rule_by_id`] first).
+/// Lints one in-memory source file with the **lexical** rules only
+/// (semantic rules need the whole workspace — see [`lint_files`]).
+/// `only` restricts to a single rule id (unknown ids yield no
+/// diagnostics — validate with [`rule_by_id`] first).
 pub fn lint_source(rel_path: &str, src: &str, only: Option<&str>) -> Vec<Diagnostic> {
     let file = SourceFile::parse(rel_path, src);
     let mut out = Vec::new();
@@ -134,6 +150,101 @@ pub fn lint_source(rel_path: &str, src: &str, only: Option<&str>) -> Vec<Diagnos
     }
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
+}
+
+/// The parsed workspace: every lintable file, lexed once, ready for
+/// both passes.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Parsed files in sorted path order.
+    pub files: Vec<SourceFile>,
+    /// Total source lines across `files`.
+    pub lines: u64,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory `(path, source)` pairs.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        let mut lines = 0u64;
+        let files = sources
+            .iter()
+            .map(|(path, src)| {
+                lines += src.lines().count() as u64;
+                SourceFile::parse(path, src)
+            })
+            .collect();
+        Workspace { files, lines }
+    }
+
+    /// Loads every lintable file under `root` (sorted, deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the tree cannot be walked, a file cannot
+    /// be read, or no lintable sources exist.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let listing =
+            collect_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+        if listing.is_empty() {
+            return Err(format!(
+                "no lintable sources under {} (expected crates/, tests/, examples/)",
+                root.display()
+            ));
+        }
+        let mut files = Vec::with_capacity(listing.len());
+        let mut lines = 0u64;
+        for (rel, path) in &listing {
+            let src =
+                fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+            lines += src.lines().count() as u64;
+            files.push(SourceFile::parse(rel, &src));
+        }
+        Ok(Workspace { files, lines })
+    }
+}
+
+/// Runs every per-file (lexical) rule over the workspace. Unsorted;
+/// callers compose passes and sort once.
+pub fn lexical_pass(ws: &Workspace, only: Option<&str>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for rule in RULES {
+            if only.is_some_and(|id| id != rule.id) {
+                continue;
+            }
+            rule.check(file, &mut out);
+        }
+    }
+    out
+}
+
+/// Runs every workspace (semantic) rule over a prebuilt [`Analysis`].
+/// Unsorted; callers compose passes and sort once.
+pub fn semantic_pass(analysis: &Analysis, only: Option<&str>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in RULES {
+        if only.is_some_and(|id| id != rule.id) {
+            continue;
+        }
+        rule.check_workspace(analysis, &mut out);
+    }
+    out
+}
+
+/// Sorts diagnostics into the canonical (file, line, col, rule) order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+}
+
+/// Lints a set of in-memory files with **both** passes — the fixture
+/// harness for semantic rules, where reachability spans files.
+pub fn lint_files(sources: &[(&str, &str)], only: Option<&str>) -> Vec<Diagnostic> {
+    let ws = Workspace::from_sources(sources);
+    let analysis = taint::analyze(&ws.files);
+    let mut diags = lexical_pass(&ws, only);
+    diags.extend(semantic_pass(&analysis, only));
+    sort_diagnostics(&mut diags);
+    diags
 }
 
 /// A completed workspace scan.
@@ -228,27 +339,16 @@ fn collect_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
 /// be read.
 pub fn lint_workspace(root: &Path, only: Option<&str>) -> Result<LintRun, String> {
     let mut span = telemetry::span!("lint.scan");
-    let files = collect_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    if files.is_empty() {
-        return Err(format!(
-            "no lintable sources under {} (expected crates/, tests/, examples/)",
-            root.display()
-        ));
-    }
-    let mut run = LintRun {
-        files: 0,
-        lines: 0,
-        diagnostics: Vec::new(),
+    let ws = Workspace::load(root)?;
+    let analysis = taint::analyze(&ws.files);
+    let mut diagnostics = lexical_pass(&ws, only);
+    diagnostics.extend(semantic_pass(&analysis, only));
+    sort_diagnostics(&mut diagnostics);
+    let run = LintRun {
+        files: ws.files.len(),
+        lines: ws.lines,
+        diagnostics,
     };
-    for (rel, path) in &files {
-        let src =
-            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        run.files += 1;
-        run.lines += src.lines().count() as u64;
-        run.diagnostics.extend(lint_source(rel, &src, only));
-    }
-    run.diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     span.record("files", run.files as u64);
     span.record("lines", run.lines);
     span.record("findings", run.diagnostics.len() as u64);

@@ -1,13 +1,17 @@
 //! Report rendering for `repro lint`.
 //!
-//! Two formats: a human `text` report (per-diagnostic lines with
+//! Three formats: a human `text` report (per-diagnostic lines with
 //! snippets and fix hints, then a per-rule summary and the ratchet
-//! verdict) and a machine `json` report (one document with the same
-//! content, encoded with `telemetry::json`).
+//! verdict), a machine `json` report (one document with the same
+//! content, encoded with `telemetry::json`), and the committed
+//! determinism `audit` artifact ([`render_audit`]) — byte-identical
+//! across runs by construction (no wall-clock fields, sorted keys,
+//! deterministic diagnostic order).
 
 use telemetry::json::{JsonArray, JsonObject};
 
 use crate::baseline::Ratchet;
+use crate::taint::{Analysis, DETERMINISM_ROOTS};
 use crate::{Diagnostic, LintRun, RULES};
 
 /// Renders the human-readable report.
@@ -81,6 +85,67 @@ pub fn render_json(run: &LintRun, outcome: &Ratchet) -> String {
         .field_bool("pass", outcome.new.is_empty())
         .field_raw("rules", &rules.finish())
         .field_raw("new", &new.finish());
+    root.finish() + "\n"
+}
+
+/// Renders the committed determinism-audit artifact
+/// (`results/lint_audit.json`): the semantic analysis's shape (symbols,
+/// call graph, reachability from the event-loop roots), taint-source
+/// site counts, per-rule counts over the full registry, every current
+/// semantic-family finding, and the ratchet verdict. Every field is a
+/// pure function of the source tree, so double runs byte-diff clean —
+/// verify.sh gates on exactly that.
+pub fn render_audit(run: &LintRun, outcome: &Ratchet, analysis: &Analysis) -> String {
+    let mut roots = JsonArray::new();
+    for spec in DETERMINISM_ROOTS {
+        roots.push_str(spec);
+    }
+    let mut sources = JsonObject::new();
+    for (family, n) in analysis.source_counts() {
+        sources.field_u64(family, n);
+    }
+    let mut rules = JsonArray::new();
+    for (id, n) in run.counts_by_rule() {
+        let mut obj = JsonObject::new();
+        obj.field_str("id", id).field_u64("count", n as u64);
+        if let Some(info) = RULES.iter().find(|r| r.id == id) {
+            obj.field_bool("semantic", info.is_semantic());
+        }
+        rules.push_raw(&obj.finish());
+    }
+    let mut findings = JsonArray::new();
+    for d in &run.diagnostics {
+        let semantic = RULES
+            .iter()
+            .find(|r| r.id == d.rule)
+            .is_some_and(crate::RuleInfo::is_semantic);
+        if semantic {
+            let mut obj = JsonObject::new();
+            obj.field_str("file", &d.file)
+                .field_u64("line", u64::from(d.line))
+                .field_str("rule", d.rule)
+                .field_str("message", &d.message)
+                .field_str("fingerprint", &d.fingerprint);
+            findings.push_raw(&obj.finish());
+        }
+    }
+    let mut root = JsonObject::new();
+    root.field_str("tool", "sudc-lint")
+        .field_str("audit", "determinism")
+        .field_u64("version", 1)
+        .field_raw("roots", &roots.finish())
+        .field_u64("root_fns", analysis.roots.len() as u64)
+        .field_u64("files", run.files as u64)
+        .field_u64("lines", run.lines)
+        .field_u64("functions", analysis.symbols.fns.len() as u64)
+        .field_u64("statics", analysis.symbols.statics.len() as u64)
+        .field_u64("call_edges", analysis.edge_count() as u64)
+        .field_u64("reachable_fns", analysis.reach.count() as u64)
+        .field_raw("sources", &sources.finish())
+        .field_raw("rules", &rules.finish())
+        .field_raw("findings", &findings.finish())
+        .field_u64("new", outcome.new.len() as u64)
+        .field_bool("pass", outcome.new.is_empty());
     root.finish() + "\n"
 }
 
@@ -164,5 +229,51 @@ mod tests {
             .and_then(crate::jsonv::Json::as_arr)
             .expect("rules");
         assert_eq!(rules.len(), RULES.len());
+    }
+
+    #[test]
+    fn audit_report_is_byte_identical_and_carries_analysis_shape() {
+        let ws = crate::Workspace::from_sources(&[(
+            "crates/core/src/sim/engine.rs",
+            "pub fn step(x: u32) -> u32 { helper(x) }\npub fn helper(x: u32) -> u32 { x }\n",
+        )]);
+        let analysis = crate::analyze(&ws.files);
+        let run = LintRun {
+            files: ws.files.len(),
+            lines: ws.lines,
+            diagnostics: Vec::new(),
+        };
+        let outcome = ratchet(&Baseline::default(), &run.diagnostics);
+        let a = render_audit(&run, &outcome, &analysis);
+        assert_eq!(a, render_audit(&run, &outcome, &analysis));
+        let doc = crate::jsonv::parse(&a).expect("valid json");
+        assert_eq!(
+            doc.get("audit").and_then(crate::jsonv::Json::as_str),
+            Some("determinism")
+        );
+        assert_eq!(doc.get("pass"), Some(&crate::jsonv::Json::Bool(true)));
+        assert_eq!(
+            doc.get("functions").and_then(crate::jsonv::Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("reachable_fns")
+                .and_then(crate::jsonv::Json::as_u64),
+            Some(2),
+            "step reaches helper, both count"
+        );
+        let sources = doc.get("sources").expect("sources object");
+        for family in ["wall-clock", "unseeded-rng", "hash-iteration", "thread-id"] {
+            assert_eq!(
+                sources.get(family).and_then(crate::jsonv::Json::as_u64),
+                Some(0),
+                "clean fixture has zero {family} sites"
+            );
+        }
+        let roots = doc
+            .get("roots")
+            .and_then(crate::jsonv::Json::as_arr)
+            .expect("roots");
+        assert_eq!(roots.len(), crate::DETERMINISM_ROOTS.len());
     }
 }

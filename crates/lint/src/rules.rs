@@ -7,7 +7,17 @@
 
 use crate::lexer::{Tok, TokKind};
 use crate::source::SourceFile;
+use crate::taint::{self, Analysis};
 use crate::{Diagnostic, Severity};
+
+/// How a rule runs: per-file over tokens, or per-workspace over the
+/// semantic [`Analysis`] (symbols, call graph, reachability).
+pub enum Check {
+    /// Lexical rule: one file at a time.
+    File(fn(&RuleInfo, &SourceFile, &mut Vec<Diagnostic>)),
+    /// Semantic rule: the whole workspace at once.
+    Workspace(fn(&RuleInfo, &Analysis, &mut Vec<Diagnostic>)),
+}
 
 /// Static description of one lint rule.
 pub struct RuleInfo {
@@ -20,7 +30,7 @@ pub struct RuleInfo {
     pub summary: &'static str,
     /// How to fix a violation.
     pub hint: &'static str,
-    check: fn(&RuleInfo, &SourceFile, &mut Vec<Diagnostic>),
+    check: Check,
 }
 
 impl std::fmt::Debug for RuleInfo {
@@ -30,9 +40,25 @@ impl std::fmt::Debug for RuleInfo {
 }
 
 impl RuleInfo {
-    /// Runs the rule over one file, appending diagnostics.
+    /// Runs a per-file rule over one file, appending diagnostics.
+    /// No-op for workspace (semantic) rules.
     pub fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        (self.check)(self, file, out);
+        if let Check::File(f) = self.check {
+            f(self, file, out);
+        }
+    }
+
+    /// Runs a workspace rule over the semantic analysis, appending
+    /// diagnostics. No-op for per-file rules.
+    pub fn check_workspace(&self, analysis: &Analysis, out: &mut Vec<Diagnostic>) {
+        if let Check::Workspace(f) = self.check {
+            f(self, analysis, out);
+        }
+    }
+
+    /// Whether this rule needs the workspace [`Analysis`].
+    pub fn is_semantic(&self) -> bool {
+        matches!(self.check, Check::Workspace(_))
     }
 }
 
@@ -43,7 +69,7 @@ pub static RULES: &[RuleInfo] = &[
         severity: Severity::Deny,
         summary: "HashMap/HashSet in a sim/result/sweep path (iteration order varies run to run)",
         hint: "use BTreeMap/BTreeSet, or collect and sort before iterating",
-        check: check_nondeterministic_iteration,
+        check: Check::File(check_nondeterministic_iteration),
     },
     RuleInfo {
         id: "wall-clock-in-model",
@@ -51,7 +77,7 @@ pub static RULES: &[RuleInfo] = &[
         summary: "Instant::now/SystemTime::now outside the telemetry and simkit timing shims",
         hint: "model code must take time from the simulation clock; route wall-clock \
                measurement through telemetry spans or simkit's scheduler probe",
-        check: check_wall_clock,
+        check: Check::File(check_wall_clock),
     },
     RuleInfo {
         id: "wall-clock-in-trace",
@@ -60,7 +86,7 @@ pub static RULES: &[RuleInfo] = &[
                   flight-recorder path",
         hint: "trace timestamps must be sim-time: stamp events from the scheduler clock \
                (t_s) and derive unix_ms as a pure function of it",
-        check: check_wall_clock_in_trace,
+        check: Check::File(check_wall_clock_in_trace),
     },
     RuleInfo {
         id: "unseeded-rng",
@@ -68,7 +94,7 @@ pub static RULES: &[RuleInfo] = &[
         summary: "RNG constructed outside simkit::rng::RngFactory streams",
         hint: "derive per-entity streams with RngFactory::stream(label, index) so draws \
                replay under the run seed",
-        check: check_unseeded_rng,
+        check: Check::File(check_unseeded_rng),
     },
     RuleInfo {
         id: "float-eq",
@@ -76,7 +102,7 @@ pub static RULES: &[RuleInfo] = &[
         summary: "`==`/`!=` against a float literal",
         hint: "compare with an explicit epsilon, or restructure the guard \
                (e.g. `x <= 0.0` for a non-negative quantity)",
-        check: check_float_eq,
+        check: Check::File(check_float_eq),
     },
     RuleInfo {
         id: "unwrap-in-lib",
@@ -84,7 +110,7 @@ pub static RULES: &[RuleInfo] = &[
         summary: "unwrap()/expect()/panic! in non-test library code",
         hint: "return Result with a contextual error (see the CellError pattern in \
                sudc::experiments), or restructure so the failure case cannot occur",
-        check: check_unwrap_in_lib,
+        check: Check::File(check_unwrap_in_lib),
     },
     RuleInfo {
         id: "long-function",
@@ -92,14 +118,50 @@ pub static RULES: &[RuleInfo] = &[
         summary: "function spans more than 120 lines",
         hint: "extract helpers or split the function along its phases (see the sim \
                engine's topology/transport/service layering)",
-        check: check_long_function,
+        check: Check::File(check_long_function),
     },
     RuleInfo {
         id: "todo-marker",
         severity: Severity::Warn,
         summary: "to-do/fix-me marker left in a comment",
         hint: "resolve the marker or file it as a tracked issue",
-        check: check_todo_marker,
+        check: Check::File(check_todo_marker),
+    },
+    RuleInfo {
+        id: "shared-state-across-shards",
+        severity: Severity::Deny,
+        summary: "mutable/interior-mutable static in sim code touched by shard-reachable \
+                  functions",
+        hint: "move the state into per-shard Shard/State fields and merge it in the \
+               ascending absorb pass (see sim::parallel)",
+        check: Check::Workspace(taint::check_shared_state),
+    },
+    RuleInfo {
+        id: "rng-stream-discipline",
+        severity: Severity::Deny,
+        summary: "RngFactory::stream call with a dynamic label or a constant (entity-\
+                  independent) index",
+        hint: "use a string-literal stream label and derive the index from the entity \
+               (sat/link/tenant) id so shards never share a stream",
+        check: Check::Workspace(taint::check_rng_stream_discipline),
+    },
+    RuleInfo {
+        id: "float-merge-order",
+        severity: Severity::Deny,
+        summary: "order-sensitive accumulation (+=/sum/fold) over a HashMap/HashSet in \
+                  merge-reachable code",
+        hint: "iterate a BTreeMap or sort keys first; shard merges must fold in \
+               ascending shard order (the absorb discipline)",
+        check: Check::Workspace(taint::check_float_merge_order),
+    },
+    RuleInfo {
+        id: "panic-reachable-from-event-loop",
+        severity: Severity::Deny,
+        summary: "unwrap/expect/panic! on a call path from engine::step, \
+                  parallel::try_run_threads, or the report fold",
+        hint: "return a typed error (ConfigError/SimError) and surface it before the \
+               event loop starts; a panic mid-window is a nondeterministic teardown",
+        check: Check::Workspace(taint::check_panic_reachable),
     },
 ];
 
@@ -124,7 +186,7 @@ fn in_sim_result_path(path: &str) -> bool {
 
 /// Library code proper: `crates/*/src/**` (integration tests, examples,
 /// and benches are harness code).
-fn is_lib_code(path: &str) -> bool {
+pub(crate) fn is_lib_code(path: &str) -> bool {
     path.starts_with("crates/") && path.contains("/src/") && !path.contains("/benches/")
 }
 

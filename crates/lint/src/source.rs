@@ -5,16 +5,23 @@ use crate::lexer::{tokenize, Tok, TokKind};
 
 /// One inline suppression comment: `// lint:allow(rule-id) reason`.
 ///
-/// A suppression applies to its own line and the next line (so it can
-/// trail the violating expression or sit on the line above it) and is
-/// only honored when a non-empty reason follows the closing paren —
-/// unexplained suppressions are ignored.
+/// A suppression applies to its own line and the next code line (so it
+/// can trail the violating expression or sit on the line above it) and
+/// is only honored when a non-empty reason follows the closing paren —
+/// unexplained suppressions are ignored. When the next code line is an
+/// attribute (`#[derive(...)]`, `#[serde(...)]`, ...), the suppression
+/// binds to the decorated item, not the attribute — otherwise an allow
+/// above a derived struct would silently miss its target.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Allow {
     /// Rule ids listed in the parens (`all` matches every rule).
     pub rules: Vec<String>,
     /// 1-based line of the comment.
     pub line: u32,
+    /// 1-based line the suppression binds to besides its own: the first
+    /// following code line, skipping attribute lines. `None` when the
+    /// comment is the last code in the file.
+    pub target: Option<u32>,
     /// Justification text after the closing paren.
     pub reason: String,
 }
@@ -48,7 +55,7 @@ impl SourceFile {
             .map(|(i, _)| i)
             .collect();
         let test_ranges = test_ranges(&tokens, &code);
-        let allows = parse_allows(&tokens);
+        let allows = parse_allows(&tokens, &code);
         SourceFile {
             path: path.to_string(),
             lines: src.lines().map(str::to_string).collect(),
@@ -67,10 +74,11 @@ impl SourceFile {
     }
 
     /// Whether `rule` is suppressed at `line` by an adjacent
-    /// `lint:allow` comment (same line or the line above).
+    /// `lint:allow` comment (same line, or a comment whose binding
+    /// target — the next code line, skipping attributes — is `line`).
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
         self.allows.iter().any(|a| {
-            (a.line == line || a.line + 1 == line)
+            (a.line == line || a.target == Some(line))
                 && a.rules.iter().any(|r| r == rule || r == "all")
         })
     }
@@ -202,10 +210,18 @@ fn test_ranges(tokens: &[Tok], code: &[usize]) -> Vec<(u32, u32)> {
 }
 
 /// Extracts `lint:allow(...)` suppressions from comment tokens.
-fn parse_allows(tokens: &[Tok]) -> Vec<Allow> {
+///
+/// A comment that *leads* its line (no code before it) binds to the
+/// first following code line, skipping attribute lines so the
+/// suppression lands on the decorated item; a comment *trailing* code
+/// binds to that line only.
+fn parse_allows(tokens: &[Tok], code: &[usize]) -> Vec<Allow> {
     const MARKER: &str = "lint:allow(";
     let mut allows = Vec::new();
-    for t in tokens.iter().filter(|t| t.is_comment()) {
+    for (ti, t) in tokens.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
         let Some(start) = t.text.find(MARKER) else {
             continue;
         };
@@ -227,13 +243,58 @@ fn parse_allows(tokens: &[Tok]) -> Vec<Allow> {
         if rules.is_empty() || reason.is_empty() {
             continue;
         }
+        let leading = !tokens[..ti]
+            .iter()
+            .any(|p| p.line == t.line && !p.is_comment());
+        let target = if leading {
+            allow_target(tokens, code, t.pos)
+        } else {
+            None
+        };
         allows.push(Allow {
             rules,
             line: t.line,
+            target,
             reason,
         });
     }
     allows
+}
+
+/// The line a line-leading `lint:allow` comment at byte `pos` binds to:
+/// the first following code token's line, skipping whole attribute
+/// spans (`#[...]` / `#![...]`) so the suppression applies to the
+/// decorated item rather than its attributes.
+fn allow_target(tokens: &[Tok], code: &[usize], pos: usize) -> Option<u32> {
+    let is = |c: usize, s: &str| {
+        code.get(c)
+            .is_some_and(|&idx| tokens[idx].kind == TokKind::Punct && tokens[idx].text == s)
+    };
+    let mut c = code.partition_point(|&idx| tokens[idx].pos < pos);
+    loop {
+        let hash = c;
+        let open = if is(hash, "#") && is(hash + 1, "[") {
+            hash + 1
+        } else if is(hash, "#") && is(hash + 1, "!") && is(hash + 2, "[") {
+            hash + 2
+        } else {
+            return code.get(c).map(|&idx| tokens[idx].line);
+        };
+        let mut depth = 0i32;
+        c = open;
+        while c < code.len() {
+            if is(c, "[") {
+                depth += 1;
+            } else if is(c, "]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            c += 1;
+        }
+        c += 1;
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +367,54 @@ mod tests {
         let f = SourceFile::parse("crates/x/src/a.rs", src);
         assert!(f.allowed("unwrap-in-lib", 2));
         assert!(f.allowed("float-eq", 2));
+    }
+
+    #[test]
+    fn allow_above_derive_binds_to_the_item() {
+        let src = "// lint:allow(nondeterministic-iteration) size query only\n\
+                   #[derive(Clone, Debug)]\n\
+                   pub struct Keys {\n    pub set: HashSet<u32>,\n}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(
+            f.allowed("nondeterministic-iteration", 3),
+            "binds past the attribute to the struct line"
+        );
+        assert!(
+            !f.allowed("nondeterministic-iteration", 2),
+            "the attribute line itself is not the target"
+        );
+        assert!(
+            !f.allowed("nondeterministic-iteration", 4),
+            "single-line scope"
+        );
+    }
+
+    #[test]
+    fn allow_skips_stacked_and_inner_attributes() {
+        let src = "// lint:allow(float-eq) sentinel dispatch\n\
+                   #[derive(Clone)]\n\
+                   #[repr(C)]\n\
+                   fn f(x: f64) -> bool { x == 0.0 }\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.allowed("float-eq", 4), "skips every stacked attribute");
+
+        let inner = "// lint:allow(float-eq) sentinel dispatch\n\
+                     #![allow(dead_code)]\n\
+                     fn f(x: f64) -> bool { x == 0.0 }\n";
+        let g = SourceFile::parse("crates/x/src/a.rs", inner);
+        assert!(g.allowed("float-eq", 3), "inner attributes are skipped too");
+    }
+
+    #[test]
+    fn trailing_allow_does_not_leak_to_the_next_line() {
+        let src = "let a = x == 0.0; // lint:allow(float-eq) boundary sentinel\n\
+                   let b = y == 0.0;\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.allowed("float-eq", 1));
+        assert!(
+            !f.allowed("float-eq", 2),
+            "a trailing allow covers its own line only"
+        );
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Workspace symbol table: every function, static, and struct field in
+//! the scanned tree, with qualified paths derived from file layout plus
+//! the inline `mod`/`impl` structure recovered by [`crate::parse`].
+
+use std::collections::BTreeMap;
+
+use crate::parse::{self, ty_mentions, FieldItem, FnItem, StaticItem};
+use crate::source::SourceFile;
+
+/// All items in the workspace, indexed for resolution.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// Every function item, file-qualified, in (file, source) order.
+    pub fns: Vec<FnItem>,
+    /// Every module-level static, file-qualified.
+    pub statics: Vec<StaticItem>,
+    /// Every named struct field.
+    pub fields: Vec<FieldItem>,
+    /// Function indices by bare name (sorted keys → deterministic walks).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Module path segments implied by a file's workspace-relative path:
+/// `crates/core/src/sim/engine.rs` → `["sim", "engine"]`,
+/// `crates/lint/src/lib.rs` → `[]`, `tests/lint_gate.rs` → `["lint_gate"]`.
+pub fn module_segments(path: &str) -> Vec<String> {
+    let rel = if let Some(rest) = path.strip_prefix("crates/") {
+        // Drop the crate name and the src/benches layer.
+        match rest.split_once('/') {
+            Some((_, tail)) => tail
+                .strip_prefix("src/")
+                .or_else(|| tail.strip_prefix("benches/"))
+                .unwrap_or(tail),
+            None => rest,
+        }
+    } else {
+        path.strip_prefix("tests/")
+            .or_else(|| path.strip_prefix("examples/"))
+            .unwrap_or(path)
+    };
+    let rel = rel.strip_suffix(".rs").unwrap_or(rel);
+    rel.split('/')
+        .filter(|s| !s.is_empty() && *s != "lib" && *s != "main" && *s != "mod")
+        .map(str::to_string)
+        .collect()
+}
+
+impl Symbols {
+    /// Builds the table by parsing every file.
+    pub fn build(files: &[SourceFile]) -> Self {
+        let mut sym = Symbols::default();
+        for (fi, file) in files.iter().enumerate() {
+            let parsed = parse::parse_file(file);
+            let prefix = module_segments(&file.path);
+            for mut f in parsed.fns {
+                f.file = fi;
+                let mut qual = prefix.clone();
+                qual.extend(f.qual);
+                f.qual = qual;
+                sym.fns.push(f);
+            }
+            for mut s in parsed.statics {
+                s.file = fi;
+                sym.statics.push(s);
+            }
+            sym.fields.extend(parsed.fields);
+        }
+        for (i, f) in sym.fns.iter().enumerate() {
+            sym.by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        sym
+    }
+
+    /// Resolves a root spec like `"engine::step"`: functions whose name
+    /// matches the last segment and whose qualified path contains every
+    /// leading segment (in order). Matches both free functions and impl
+    /// methods, wherever the module lives.
+    pub fn resolve_root(&self, spec: &str) -> Vec<usize> {
+        let parts: Vec<&str> = spec.split("::").collect();
+        let Some((name, lead)) = parts.split_last() else {
+            return Vec::new();
+        };
+        let Some(candidates) = self.by_name.get(*name) else {
+            return Vec::new();
+        };
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let qual = &self.fns[i].qual;
+                let mut pos = 0usize;
+                lead.iter().all(|seg| {
+                    match qual[pos..qual.len().saturating_sub(1)]
+                        .iter()
+                        .position(|q| q == seg)
+                    {
+                        Some(p) => {
+                            pos += p + 1;
+                            true
+                        }
+                        None => false,
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// The declared type text of `name` as seen from function `fn_idx`:
+    /// parameters first, then typed locals, then (workspace-wide) any
+    /// struct field of that name — an approximation that errs toward
+    /// finding a type.
+    pub fn var_type(&self, fn_idx: usize, name: &str) -> Option<&str> {
+        let f = &self.fns[fn_idx];
+        if let Some((_, ty)) = f.params.iter().find(|(n, _)| n == name) {
+            return Some(ty);
+        }
+        if let Some((_, ty)) = f.locals.iter().find(|(n, _)| n == name) {
+            return Some(ty);
+        }
+        self.fields
+            .iter()
+            .find(|fld| fld.name == name)
+            .map(|fld| fld.ty.as_str())
+    }
+
+    /// Whether `name`, seen from `fn_idx`, is declared with a type that
+    /// mentions `word` as a path segment (e.g. `HashMap`).
+    pub fn var_type_mentions(&self, fn_idx: usize, name: &str, word: &str) -> bool {
+        self.var_type(fn_idx, name)
+            .is_some_and(|ty| ty_mentions(ty, word))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_segments_strip_crate_layout() {
+        assert_eq!(
+            module_segments("crates/core/src/sim/engine.rs"),
+            vec!["sim", "engine"]
+        );
+        assert_eq!(
+            module_segments("crates/lint/src/lib.rs"),
+            Vec::<String>::new()
+        );
+        assert_eq!(module_segments("tests/lint_gate.rs"), vec!["lint_gate"]);
+        assert_eq!(module_segments("crates/core/src/sim/mod.rs"), vec!["sim"]);
+    }
+
+    #[test]
+    fn build_qualifies_and_indexes() {
+        let files = vec![
+            SourceFile::parse(
+                "crates/core/src/sim/engine.rs",
+                "pub fn step(st: &mut State) {}\npub fn report() {}\n",
+            ),
+            SourceFile::parse(
+                "crates/core/src/sim/parallel.rs",
+                "pub fn try_run_threads() {\n    step_all();\n}\n",
+            ),
+        ];
+        let sym = Symbols::build(&files);
+        assert_eq!(sym.fns.len(), 3);
+        assert_eq!(sym.fns[0].qual, vec!["sim", "engine", "step"]);
+        assert_eq!(sym.fns[0].file, 0);
+        assert_eq!(sym.fns[2].file, 1);
+        assert_eq!(sym.by_name["step"], vec![0]);
+    }
+
+    #[test]
+    fn resolve_root_matches_modules_and_impls() {
+        let files = vec![
+            SourceFile::parse(
+                "crates/core/src/sim/engine.rs",
+                "impl State {\n    pub fn step(&mut self) {}\n}\npub fn step() {}\n",
+            ),
+            SourceFile::parse("crates/serve/src/lib.rs", "pub fn step() {}\n"),
+        ];
+        let sym = Symbols::build(&files);
+        let hits = sym.resolve_root("engine::step");
+        assert_eq!(hits.len(), 2, "both engine step fns, not serve's");
+        assert!(hits.iter().all(|&i| sym.fns[i].file == 0));
+        assert!(sym.resolve_root("engine::missing").is_empty());
+    }
+
+    #[test]
+    fn var_type_checks_params_locals_then_fields() {
+        let files = vec![SourceFile::parse(
+            "crates/core/src/sim/x.rs",
+            "pub struct S {\n    counts: HashMap<u32, u64>,\n}\nfn f(m: &HashMap<String, f64>) {\n    let v: Vec<u8> = vec![];\n}\n",
+        )];
+        let sym = Symbols::build(&files);
+        let f = sym.by_name["f"][0];
+        assert!(sym.var_type_mentions(f, "m", "HashMap"));
+        assert!(sym.var_type_mentions(f, "v", "Vec"));
+        assert!(
+            sym.var_type_mentions(f, "counts", "HashMap"),
+            "field fallback"
+        );
+        assert!(!sym.var_type_mentions(f, "nope", "HashMap"));
+    }
+}

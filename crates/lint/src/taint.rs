@@ -1,0 +1,582 @@
+//! Interprocedural nondeterminism-taint analysis.
+//!
+//! The sharded engine's byte-identity contract (see DESIGN.md) says a
+//! fault-free N-worker run must be byte-identical to the sequential
+//! run. Statically, that decomposes into taint **sources** (wall clock,
+//! unseeded RNG, `HashMap`/`HashSet` iteration order, thread identity,
+//! order-sensitive `f64` accumulation) that must never flow into
+//! report-affecting **sinks**: anything reachable from the event-loop
+//! roots in [`DETERMINISM_ROOTS`]. This module builds the
+//! [`Analysis`] (symbols + call graph + reachability) and implements
+//! the four semantic rule families registered in [`crate::rules`]:
+//!
+//! * `shared-state-across-shards` — mutable or interior-mutable statics
+//!   in sim code referenced from shard-reachable functions;
+//! * `rng-stream-discipline` — every `RngFactory::stream(label, index)`
+//!   in `sim/` must use a string-literal label and an entity-derived
+//!   index (a bare constant index is one stream shared across entities,
+//!   which shards would then draw from in racy order);
+//! * `float-merge-order` — `+=`/`sum`/`fold` over an unordered
+//!   (`HashMap`/`HashSet`) collection in merge-reachable code, outside
+//!   the ascending absorb discipline;
+//! * `panic-reachable-from-event-loop` — unwrap/expect/panic! on call
+//!   paths from the DES hot loop (a panic mid-window tears down one
+//!   shard while others proceed, so even *crashes* must be ordered).
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{CallGraph, Reach};
+use crate::lexer::TokKind;
+use crate::rules::RuleInfo;
+use crate::source::SourceFile;
+use crate::symbols::Symbols;
+use crate::Diagnostic;
+
+/// Event-loop roots: every function matching one of these specs is a
+/// determinism sink, and everything reachable from them inherits that.
+/// `engine::step` is the sequential hot loop, `parallel::try_run_threads`
+/// the sharded entry point (whose reach covers shard workers and the
+/// absorb/merge discipline), `engine::report` the report fold.
+pub const DETERMINISM_ROOTS: &[&str] = &[
+    "engine::step",
+    "parallel::try_run_threads",
+    "engine::report",
+];
+
+/// Files whose statics/streams are subject to the sharding rules.
+fn in_shard_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/sim/") || path.starts_with("crates/simkit/src/")
+}
+
+/// The workspace-level semantic analysis: parsed symbols, the call
+/// graph, and reachability from [`DETERMINISM_ROOTS`].
+#[derive(Debug)]
+pub struct Analysis<'a> {
+    /// The parsed workspace files (same order as symbol file indices).
+    pub files: &'a [SourceFile],
+    /// Symbol table over `files`.
+    pub symbols: Symbols,
+    /// Approximate call graph over the symbol table.
+    pub graph: CallGraph,
+    /// Root fn indices (sorted, deduped).
+    pub roots: Vec<usize>,
+    /// Reachability (with predecessor chains) from `roots`.
+    pub reach: Reach,
+}
+
+/// Builds the [`Analysis`] for a set of parsed files.
+pub fn analyze(files: &[SourceFile]) -> Analysis<'_> {
+    let symbols = Symbols::build(files);
+    let graph = CallGraph::build(&symbols);
+    let mut roots: Vec<usize> = DETERMINISM_ROOTS
+        .iter()
+        .flat_map(|spec| symbols.resolve_root(spec))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    let reach = graph.reach(&roots);
+    Analysis {
+        files,
+        symbols,
+        graph,
+        roots,
+        reach,
+    }
+}
+
+impl Analysis<'_> {
+    /// Total call-graph edges (for the audit artifact).
+    pub fn edge_count(&self) -> usize {
+        self.graph.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Counts of taint-source *sites* inside reachable function bodies,
+    /// keyed by source family — context for the audit artifact (the
+    /// rule families enforce; these only measure).
+    pub fn source_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for family in ["wall-clock", "unseeded-rng", "hash-iteration", "thread-id"] {
+            counts.insert(family, 0);
+        }
+        for (fi, f) in self.symbols.fns.iter().enumerate() {
+            if !self.reach.contains(fi) {
+                continue;
+            }
+            let file = &self.files[f.file];
+            let text = |i: usize| file.code_tok(i).map_or("", |t| t.text.as_str());
+            for i in f.body.0..=f.body.1.min(file.code.len().saturating_sub(1)) {
+                let family = match text(i) {
+                    "Instant" | "SystemTime" if text(i + 1) == "::" && text(i + 2) == "now" => {
+                        Some("wall-clock")
+                    }
+                    "thread_rng" | "from_entropy" => Some("unseeded-rng"),
+                    "HashMap" | "HashSet" => Some("hash-iteration"),
+                    "ThreadId" => Some("thread-id"),
+                    "thread" if text(i + 1) == "::" && text(i + 2) == "current" => {
+                        Some("thread-id")
+                    }
+                    _ => None,
+                };
+                if let Some(family) = family {
+                    *counts.entry(family).or_default() += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Emits a semantic diagnostic unless suppressed or in test code.
+fn emit(
+    rule: &RuleInfo,
+    file: &SourceFile,
+    line: u32,
+    col: u32,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    if file.in_test_code(line) || file.allowed(rule.id, line) {
+        return;
+    }
+    out.push(Diagnostic::new(rule, file, line, col, message));
+}
+
+/// Interior-mutability / shared-mutability type heads.
+fn is_shared_mut_ty(ty: &str) -> bool {
+    ty.split(' ').any(|t| {
+        t.starts_with("Atomic")
+            || matches!(
+                t,
+                "Mutex"
+                    | "RwLock"
+                    | "RefCell"
+                    | "Cell"
+                    | "UnsafeCell"
+                    | "OnceLock"
+                    | "OnceCell"
+                    | "LazyLock"
+            )
+    })
+}
+
+/// `shared-state-across-shards`: a mutable (or interior-mutable) static
+/// in sim/simkit code that a shard-reachable function touches is state
+/// shared across shard workers — writes race and reads observe
+/// scheduling order, both of which break byte-identity.
+pub fn check_shared_state(rule: &RuleInfo, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for st in &a.symbols.statics {
+        let file = &a.files[st.file];
+        if !in_shard_scope(&file.path) {
+            continue;
+        }
+        if !st.mutable && !is_shared_mut_ty(&st.ty) {
+            continue;
+        }
+        // Find the first reachable function whose body names the static
+        // (symbol-table order = file order = deterministic).
+        let user = a.symbols.fns.iter().enumerate().find(|(fi, f)| {
+            a.reach.contains(*fi) && {
+                let ff = &a.files[f.file];
+                (f.body.0..=f.body.1.min(ff.code.len().saturating_sub(1)))
+                    .any(|i| ff.code_tok(i).is_some_and(|t| t.text == st.name))
+            }
+        });
+        if let Some((fi, _)) = user {
+            emit(
+                rule,
+                file,
+                st.line,
+                st.col,
+                format!(
+                    "shared mutable static `{}` is touched by shard-reachable `{}` ({})",
+                    st.name,
+                    a.symbols.fns[fi].name,
+                    a.reach.chain(&a.symbols, fi),
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// `rng-stream-discipline`: every `.stream(label, index)` derivation in
+/// `sim/` must use a string-literal label (auditable stream namespace)
+/// and an index derived from an entity identifier — a bare constant
+/// index is one stream reused across entities, which the sharded run
+/// then draws from in nondeterministic interleaving.
+pub fn check_rng_stream_discipline(rule: &RuleInfo, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for file in a.files {
+        if !file.path.starts_with("crates/core/src/sim/") {
+            continue;
+        }
+        let tok = |i: usize| file.code_tok(i);
+        for i in 0..file.code.len() {
+            if !tok(i).is_some_and(|t| t.text == ".") {
+                continue;
+            }
+            let Some(site) = tok(i + 1).filter(|t| t.text == "stream") else {
+                continue;
+            };
+            if !tok(i + 2).is_some_and(|t| t.text == "(") {
+                continue;
+            }
+            let (line, col) = (site.line, site.col);
+            // Walk the argument list: first arg to the top-level comma,
+            // second to the matching close.
+            let mut depth = 0i32;
+            let mut comma = None;
+            let mut close = None;
+            let mut j = i + 2;
+            while j < file.code.len() {
+                match tok(j).map_or("", |t| t.text.as_str()) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(j);
+                            break;
+                        }
+                    }
+                    "," if depth == 1 && comma.is_none() => comma = Some(j),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let (Some(comma), Some(close)) = (comma, close) else {
+                continue; // not a two-argument call — not a stream derivation
+            };
+            let label_lits = (i + 3..comma)
+                .filter(|&k| tok(k).is_some_and(|t| t.kind == TokKind::Str))
+                .count();
+            let label_width = comma - (i + 3);
+            if !(label_lits == 1 && label_width == 1) {
+                emit(
+                    rule,
+                    file,
+                    line,
+                    col,
+                    "stream label must be a single string literal so the stream \
+                     namespace is statically auditable"
+                        .to_string(),
+                    out,
+                );
+            }
+            let has_entity_index = (comma + 1..close)
+                .any(|k| tok(k).is_some_and(|t| t.kind == TokKind::Ident && t.text != "as"));
+            if !has_entity_index {
+                emit(
+                    rule,
+                    file,
+                    line,
+                    col,
+                    "stream index is a bare constant — derive it from the entity \
+                     index so parallel shards never share a stream"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Method names that iterate a collection (receiver position for the
+/// float-merge check).
+const ITER_METHODS: &[&str] = &["values", "keys", "iter", "into_iter", "drain", "values_mut"];
+
+/// `float-merge-order`: accumulating (`+=`, `.sum()`, `.fold()`) over a
+/// `HashMap`/`HashSet` feeds results in allocation order; under the
+/// byte-identity contract every merge must run in a fixed (ascending
+/// shard / sorted key) order.
+pub fn check_float_merge_order(rule: &RuleInfo, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (fi, f) in a.symbols.fns.iter().enumerate() {
+        if !a.reach.contains(fi) {
+            continue;
+        }
+        let file = &a.files[f.file];
+        let hi = f.body.1.min(file.code.len().saturating_sub(1));
+        let text = |i: usize| file.code_tok(i).map_or("", |t| t.text.as_str());
+        let is_hash_var = |i: usize| {
+            file.code_tok(i).is_some_and(|t| t.kind == TokKind::Ident)
+                && (a.symbols.var_type_mentions(fi, text(i), "HashMap")
+                    || a.symbols.var_type_mentions(fi, text(i), "HashSet"))
+        };
+        for i in f.body.0..=hi {
+            // Form 1: `for _ in <expr-with-hash-var> { ... += / sum / fold }`.
+            if text(i) == "for" {
+                let Some(kw_in) = (i + 1..=hi).find(|&j| text(j) == "in") else {
+                    continue;
+                };
+                let Some(open) = (kw_in + 1..=hi).find(|&j| text(j) == "{") else {
+                    continue;
+                };
+                if !(kw_in + 1..open).any(|j| is_hash_var(j)) {
+                    continue;
+                }
+                // Loop body: to the matching close brace.
+                let mut depth = 0i32;
+                let mut end = open;
+                for j in open..=hi {
+                    match text(j) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = j;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // Compound assignment lexes as two tokens (`+` `=`);
+                // `==`/`=>`/`<=`/`>=` are fused, so the pair is exact.
+                let accumulates = (open..end).any(|j| {
+                    (matches!(text(j), "+" | "-" | "*") && text(j + 1) == "=")
+                        || (text(j) == "." && matches!(text(j + 1), "sum" | "fold"))
+                });
+                let Some(t) = file.code_tok(i) else { continue };
+                if accumulates {
+                    emit(
+                        rule,
+                        file,
+                        t.line,
+                        t.col,
+                        "accumulation over an unordered collection — iteration \
+                         order varies run to run"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+            // Form 2: `hash_var.iter()...sum()` / `.fold()` chains.
+            if text(i) == "." && matches!(text(i + 1), "sum" | "fold") && text(i + 2) == "(" {
+                // Scan back through the statement for the chain base:
+                // the nearest `ident.<iter-method>(` receiver.
+                let mut base = None;
+                let mut j = i;
+                while j >= f.body.0 + 2 && !matches!(text(j), ";" | "{" | "}") {
+                    if ITER_METHODS.contains(&text(j))
+                        && text(j - 1) == "."
+                        && text(j + 1) == "("
+                        && is_hash_var(j - 2)
+                    {
+                        base = Some(j - 2);
+                        break;
+                    }
+                    j -= 1;
+                }
+                let Some(t) = file.code_tok(i + 1) else {
+                    continue;
+                };
+                if base.is_some() {
+                    emit(
+                        rule,
+                        file,
+                        t.line,
+                        t.col,
+                        format!(
+                            "`{}` over a HashMap/HashSet iterator — fold order \
+                             varies run to run",
+                            t.text
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `panic-reachable-from-event-loop`: unwrap/expect/panic! in a
+/// function reachable from the DES roots. A panic mid-window tears one
+/// shard down while the others keep absorbing, so the failure itself is
+/// nondeterministic; reachable code must return typed errors instead.
+pub fn check_panic_reachable(rule: &RuleInfo, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (fi, f) in a.symbols.fns.iter().enumerate() {
+        if !a.reach.contains(fi) {
+            continue;
+        }
+        let file = &a.files[f.file];
+        if !crate::rules::is_lib_code(&file.path) {
+            continue;
+        }
+        let hi = f.body.1.min(file.code.len().saturating_sub(1));
+        let text = |i: usize| file.code_tok(i).map_or("", |t| t.text.as_str());
+        for i in f.body.0..=hi {
+            let site = match text(i) {
+                "unwrap" | "expect" if text(i.wrapping_sub(1)) == "." && text(i + 1) == "(" => {
+                    Some(format!("`{}()`", text(i)))
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" if text(i + 1) == "!" => {
+                    Some(format!("`{}!`", text(i)))
+                }
+                _ => None,
+            };
+            let (Some(site), Some(t)) = (site, file.code_tok(i)) else {
+                continue;
+            };
+            emit(
+                rule,
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "{site} reachable from the event loop ({})",
+                    a.reach.chain(&a.symbols, fi)
+                ),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::rule_by_id;
+
+    fn run_rule(id: &str, sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::parse(p, s))
+            .collect();
+        let a = analyze(&files);
+        let mut out = Vec::new();
+        rule_by_id(id)
+            .expect("rule registered")
+            .check_workspace(&a, &mut out);
+        out
+    }
+
+    const LOOP_HEADER: &str = "mod engine {\n    pub fn step(st: u32) { crate::touch(st); }\n}\n";
+
+    #[test]
+    fn roots_resolve_and_reach() {
+        let files = vec![SourceFile::parse(
+            "crates/core/src/sim/engine.rs",
+            "pub fn step() { helper(); }\npub fn report() {}\nfn helper() {}\nfn dead() {}\n",
+        )];
+        let a = analyze(&files);
+        assert_eq!(a.roots.len(), 2, "step and report");
+        assert_eq!(a.reach.count(), 3, "roots plus helper, not dead");
+        assert!(a.edge_count() >= 1);
+    }
+
+    #[test]
+    fn shared_static_reachable_from_step_fires() {
+        let src = format!(
+            "{LOOP_HEADER}static HITS: AtomicU64 = AtomicU64::new(0);\npub fn touch(_x: u32) {{\n    HITS.fetch_add(1, Ordering::Relaxed);\n}}\n"
+        );
+        let out = run_rule(
+            "shared-state-across-shards",
+            &[("crates/core/src/sim/engine.rs", &src)],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("HITS"));
+        assert!(out[0].message.contains("step"));
+    }
+
+    #[test]
+    fn immutable_or_unreachable_statics_are_fine() {
+        // Plain immutable static: no interior mutability, no finding.
+        let src = format!(
+            "{LOOP_HEADER}static NAME: &str = \"sudc\";\npub fn touch(_x: u32) {{ let _ = NAME; }}\n"
+        );
+        assert!(run_rule(
+            "shared-state-across-shards",
+            &[("crates/core/src/sim/engine.rs", &src)]
+        )
+        .is_empty());
+        // Interior-mutable but only touched by dead code.
+        let src = "static HITS: AtomicU64 = AtomicU64::new(0);\nfn dead() { HITS.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(run_rule(
+            "shared-state-across-shards",
+            &[("crates/core/src/sim/engine.rs", src)]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn stream_discipline_flags_dynamic_labels_and_constant_indices() {
+        let src = "fn wire(rng: &RngFactory, label: &str, sat: u64) {\n    let _a = rng.stream(\"isl\", sat);\n    let _b = rng.stream(label, sat);\n    let _c = rng.stream(\"ingest\", 0);\n}\n";
+        let out = run_rule(
+            "rng-stream-discipline",
+            &[("crates/core/src/sim/transport.rs", src)],
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("string literal"));
+        assert!(out[1].message.contains("bare constant"));
+        // Outside sim/, no jurisdiction.
+        assert!(run_rule(
+            "rng-stream-discipline",
+            &[("crates/workloads/src/apps.rs", src)]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn float_merge_over_hash_iteration_fires() {
+        let src = format!(
+            "{LOOP_HEADER}pub fn touch(_x: u32) {{ merge(&Default::default()); }}\nfn merge(counts: &HashMap<u64, f64>) -> f64 {{\n    let mut total = 0.0;\n    for (_k, v) in counts.iter() {{\n        total += v;\n    }}\n    let direct: f64 = counts.values().sum();\n    total + direct\n}}\n"
+        );
+        let out = run_rule(
+            "float-merge-order",
+            &[("crates/core/src/sim/engine.rs", &src)],
+        );
+        assert_eq!(out.len(), 2, "for-loop accumulation and .sum(): {out:?}");
+    }
+
+    #[test]
+    fn ordered_merges_do_not_fire() {
+        let src = format!(
+            "{LOOP_HEADER}pub fn touch(_x: u32) {{ merge(&Default::default()); }}\nfn merge(counts: &BTreeMap<u64, f64>) -> f64 {{\n    let mut total = 0.0;\n    for (_k, v) in counts.iter() {{\n        total += v;\n    }}\n    total\n}}\n"
+        );
+        assert!(run_rule(
+            "float-merge-order",
+            &[("crates/core/src/sim/engine.rs", &src)]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_reachable_fires_with_chain() {
+        let src = format!(
+            "{LOOP_HEADER}pub fn touch(x: u32) {{ deep(x); }}\nfn deep(x: u32) {{\n    let _ = Some(x).unwrap();\n}}\nfn dead() {{\n    let _ = Some(1).expect(\"fine, unreachable\");\n}}\n"
+        );
+        let out = run_rule(
+            "panic-reachable-from-event-loop",
+            &[("crates/core/src/sim/engine.rs", &src)],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("step → touch → deep"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn panic_reachable_respects_allows_and_tests() {
+        let src = format!(
+            "{LOOP_HEADER}pub fn touch(x: u32) {{\n    // lint:allow(panic-reachable-from-event-loop) capacity checked at config validation\n    let _ = Some(x).unwrap();\n}}\n#[cfg(test)]\nmod tests {{\n    #[test]\n    fn t() {{ crate::touch(Some(1).unwrap()); }}\n}}\n"
+        );
+        assert!(run_rule(
+            "panic-reachable-from-event-loop",
+            &[("crates/core/src/sim/engine.rs", &src)]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn source_counts_only_cover_reachable_code() {
+        let src = format!(
+            "{LOOP_HEADER}pub fn touch(_x: u32) {{\n    let _t = Instant::now();\n    let _m: HashMap<u32, u32> = HashMap::new();\n}}\nfn dead() {{ let _ = Instant::now(); }}\n"
+        );
+        let files = vec![SourceFile::parse("crates/core/src/sim/engine.rs", &src)];
+        let a = analyze(&files);
+        let counts = a.source_counts();
+        assert_eq!(counts["wall-clock"], 1, "dead code not counted");
+        assert_eq!(counts["hash-iteration"], 2, "type + constructor mention");
+        assert_eq!(counts["thread-id"], 0);
+    }
+}

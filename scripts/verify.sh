@@ -14,8 +14,10 @@
 # BENCH_sim.json perf-gate (with a >5% events/sec regression ratchet
 # and wall-clock coherence checks) and BENCH_serve.json
 # capacity-frontier artifacts, runs the static-analysis
-# gate (`repro lint` must be ratchet-clean against
-# results/lint_baseline.json), and — when the cargo registry is
+# gate (`repro lint --audit determinism` must be ratchet-clean against
+# results/lint_baseline.json, byte-identical across two runs, and
+# match the committed results/lint_audit.json), and — when the cargo
+# registry is
 # unreachable (offline containers cannot resolve the external
 # dev-dependencies) — falls back to building and unit-testing the
 # zero-dependency code (`telemetry` including `telemetry::trace`,
@@ -58,8 +60,11 @@ else
         failed=1
     fi
     # The lint engine is zero-dep (telemetry only) so the static-analysis
-    # gate runs offline too: its unit tests include the workspace ratchet
-    # check, and the lint_gate harness drives the golden fixtures.
+    # gate runs offline too: the crate root pulls in the semantic modules
+    # (parse, symbols, callgraph, taint) alongside the lexer, its unit
+    # tests include the workspace ratchet check, and the lint_gate
+    # harness drives the golden fixtures — both the lexical pair and the
+    # taint_dirty/taint_clean determinism pair.
     if ! rustc_build sudc_lint crates/lint/src/lib.rs \
         --extern telemetry="$tmp/libtelemetry.rlib"; then
         echo "FAIL: sudc-lint standalone build/test"
@@ -331,14 +336,40 @@ else
     echo "warn: jq not installed; skipping coherence checks"
 fi
 
-echo "== static-analysis gate (repro lint) =="
+echo "== static-analysis gate (repro lint --audit determinism) =="
 if [ -x target/release/repro ]; then
     # New violations (anything not grandfathered by the committed
-    # baseline) fail; the baseline may only shrink.
-    if ./target/release/repro --quiet lint >/dev/null; then
+    # baseline) fail; the baseline may only shrink. The determinism
+    # audit rides the same invocation: the semantic pass must come out
+    # ratchet-clean AND its artifact must be byte-identical across two
+    # runs and match the committed results/lint_audit.json.
+    la="$(mktemp -d)"
+    lb="$(mktemp -d)"
+    lint_ok=1
+    for auditDir in "$la" "$lb"; do
+        if ! REPRO_DETERMINISTIC=1 ./target/release/repro --quiet lint \
+            --audit determinism --out-dir "$auditDir" >/dev/null; then
+            echo "FAIL: repro lint --audit determinism found new violations"
+            lint_ok=0
+        fi
+    done
+    if [ "$lint_ok" -eq 1 ]; then
         echo "ok: workspace is ratchet-clean against results/lint_baseline.json"
-    else
-        echo "FAIL: repro lint found new violations (run ./target/release/repro lint)"
+        if diff -q "$la/lint_audit.json" "$lb/lint_audit.json" >/dev/null; then
+            echo "ok: determinism audit is byte-identical across double runs"
+        else
+            echo "FAIL: two lint --audit determinism runs produced different bytes"
+            lint_ok=0
+        fi
+        if diff -q "$la/lint_audit.json" results/lint_audit.json >/dev/null; then
+            echo "ok: committed results/lint_audit.json matches the current code"
+        else
+            echo "FAIL: results/lint_audit.json is stale (rerun ./target/release/repro lint --audit determinism)"
+            lint_ok=0
+        fi
+    fi
+    rm -rf "$la" "$lb"
+    if [ "$lint_ok" -ne 1 ]; then
         failed=1
     fi
 else

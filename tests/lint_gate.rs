@@ -65,11 +65,100 @@ fn dirty_fixture_matches_golden_markers_exactly() {
         .iter()
         .map(|d| d.rule)
         .collect();
-    for rule in RULES {
+    for rule in RULES.iter().filter(|r| !r.is_semantic()) {
         assert!(
             fired.contains(rule.id),
-            "rule {} never fires in dirty.rs",
+            "lexical rule {} never fires in dirty.rs",
             rule.id
+        );
+    }
+}
+
+/// Every semantic (workspace) rule fires in the taint fixture pair:
+/// `taint_dirty.rs` seeds one violation per family — a shared mutable
+/// static, cross-shard RNG stream reuse, an unordered float fold, and
+/// an event-loop-reachable unwrap — all reachable from a fixture
+/// `engine::step`, while `taint_clean.rs` exercises the compliant
+/// counterparts of the same shapes and must stay silent.
+#[test]
+fn taint_fixtures_match_golden_markers_exactly() {
+    let (dirty_path, dirty_src) = fixture("taint_dirty.rs");
+    let expected = expected_markers(&dirty_src);
+    let diags = sudc_lint::lint_files(&[(&dirty_path, &dirty_src)], None);
+    let got: BTreeSet<(u32, String)> = diags.iter().map(|d| (d.line, d.rule.to_string())).collect();
+    assert_eq!(
+        got, expected,
+        "semantic diagnostics must match //~ markers in taint_dirty.rs"
+    );
+    let fired: BTreeSet<&str> = diags.iter().map(|d| d.rule).collect();
+    for rule in RULES.iter().filter(|r| r.is_semantic()) {
+        assert!(
+            fired.contains(rule.id),
+            "semantic rule {} never fires in taint_dirty.rs",
+            rule.id
+        );
+    }
+
+    let (clean_path, clean_src) = fixture("taint_clean.rs");
+    assert!(
+        expected_markers(&clean_src).is_empty(),
+        "taint_clean.rs must carry no markers"
+    );
+    let clean = sudc_lint::lint_files(&[(&clean_path, &clean_src)], None);
+    assert!(
+        clean.is_empty(),
+        "clean taint fixture fired: {:?}",
+        clean.iter().map(|d| (d.line, d.rule)).collect::<Vec<_>>()
+    );
+}
+
+/// The lexer's token spans must exactly partition every workspace file:
+/// sorted by byte offset, non-overlapping, each span's text matching
+/// the source slice it claims. Everything downstream — suppression
+/// binding, parsing, taint scanning — indexes into these spans, so a
+/// drifted offset would corrupt all of it silently.
+#[test]
+fn token_spans_partition_every_workspace_file() {
+    let root = workspace_root();
+    if !root.join("crates").is_dir() {
+        return;
+    }
+    let ws = sudc_lint::Workspace::load(&root).expect("workspace loads");
+    assert!(!ws.files.is_empty());
+    for file in &ws.files {
+        let src = fs::read_to_string(root.join(&file.path))
+            .unwrap_or_else(|e| panic!("rereading {}: {e}", file.path));
+        let mut prev_end = 0usize;
+        for tok in &file.tokens {
+            assert!(
+                tok.pos >= prev_end,
+                "{}: token `{}` at byte {} overlaps the previous token (ends {})",
+                file.path,
+                tok.text,
+                tok.pos,
+                prev_end
+            );
+            let end = tok.pos + tok.text.len();
+            assert_eq!(
+                src.get(tok.pos..end),
+                Some(tok.text.as_str()),
+                "{}: token text diverges from source at byte {}",
+                file.path,
+                tok.pos
+            );
+            assert!(
+                src[prev_end..tok.pos].chars().all(char::is_whitespace),
+                "{}: non-whitespace bytes {}..{} fell between tokens",
+                file.path,
+                prev_end,
+                tok.pos
+            );
+            prev_end = end;
+        }
+        assert!(
+            src[prev_end..].chars().all(char::is_whitespace),
+            "{}: non-whitespace trailing bytes after the last token",
+            file.path
         );
     }
 }
