@@ -12,7 +12,7 @@ pub mod trace;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use sudc::sim::{SimConfig, SimTopology};
+use sudc::sim::{PolicyKind, SimConfig, SimTopology};
 use telemetry::trace::Recorder;
 use telemetry::Level;
 
@@ -86,20 +86,37 @@ pub struct SimParams {
     pub minutes: f64,
     pub clusters: usize,
     pub choice: TopologyChoice,
+    pub policy: PolicyKind,
     pub out_dir: PathBuf,
 }
 
 impl SimParams {
     pub fn from_cli(cli: &Cli) -> Result<SimParams, String> {
+        let policy = match cli.policy.as_deref() {
+            None => PolicyKind::Static,
+            Some(name) => PolicyKind::parse(name).ok_or_else(|| {
+                format!("unknown policy '{name}' (want static, reactive, or predictive)")
+            })?,
+        };
         Ok(SimParams {
             seed: cli.seed.unwrap_or(sudc::sim::PAPER_SEED),
             minutes: cli.minutes.unwrap_or(2.0),
             clusters: cli.clusters.unwrap_or(4),
             choice: parse_topology(cli.topology.as_deref().unwrap_or("ring"))?,
-            // `::bench` is the library crate; plain `bench` here would
-            // resolve to the `repro bench` subcommand module above.
+            policy,
             out_dir: cli.out_dir.clone().unwrap_or_else(::bench::results_dir),
         })
+    }
+
+    /// Artifact-id suffix for the controller: empty for `static` so
+    /// every pre-policy artifact keeps its byte-identical name,
+    /// `_<policy>` for adaptive runs (which must never clobber the
+    /// committed static copies).
+    pub fn policy_slug(&self) -> String {
+        match self.policy {
+            PolicyKind::Static => String::new(),
+            other => format!("_{}", other.as_str()),
+        }
     }
 
     /// The paper-reference plane (Table 8 regime) under these
@@ -118,6 +135,7 @@ impl SimParams {
         cfg.clusters = self.clusters;
         cfg.duration = units::Time::from_minutes(self.minutes);
         cfg.seed = self.seed;
+        cfg.policy = self.policy;
         cfg
     }
 }

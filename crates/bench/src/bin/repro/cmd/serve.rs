@@ -126,6 +126,11 @@ fn emit_outputs(
     manifest.param("topology", params.choice.label.as_str());
     manifest.param("minutes", params.minutes);
     manifest.param("clusters", params.clusters as u64);
+    // Static runs keep the committed manifest bytes; adaptive runs
+    // declare their controller.
+    if params.policy != sudc::sim::PolicyKind::Static {
+        manifest.param("policy", params.policy.as_str());
+    }
     let metrics = serve_metrics(serve);
     let result = serve_result(scenario, params, report, serve);
 
@@ -180,6 +185,37 @@ fn serve_metrics(serve: &ServeReport) -> telemetry::Metrics {
     metrics
 }
 
+/// The artifact's trailing `(all)` row: tenant counters summed, the
+/// latency percentiles dashed out (they don't aggregate), and the
+/// offered-weighted attainment.
+fn serve_aggregate_row(serve: &ServeReport) -> [String; 15] {
+    let sum = |f: fn(&sudc::sim::serve::TenantReport) -> u64| {
+        serve.tenants.iter().map(f).sum::<u64>().to_string()
+    };
+    let on_time: u64 = serve.tenants.iter().map(|t| t.on_time).sum();
+    [
+        "(all)".to_string(),
+        "-".to_string(),
+        serve.offered().to_string(),
+        sum(|t| t.admitted),
+        sum(|t| t.throttled),
+        sum(|t| t.shed),
+        sum(|t| t.lost),
+        serve.completed().to_string(),
+        on_time.to_string(),
+        sum(|t| t.violations),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        if serve.offered() == 0 {
+            "1.0000".to_string()
+        } else {
+            format!("{:.4}", on_time as f64 / serve.offered() as f64)
+        },
+        format!("{:.1}", serve.requests_per_sec),
+    ]
+}
+
 /// Builds the per-tenant SLO artifact (`serve_<scenario>[_<topology>]`),
 /// one tenant per row plus an aggregate row.
 fn serve_result(
@@ -188,7 +224,11 @@ fn serve_result(
     report: &sudc::sim::SimReport,
     serve: &ServeReport,
 ) -> sudc::experiments::ExperimentResult {
-    let id = format!("serve_{scenario}{}", params.choice.slug);
+    let id = format!(
+        "serve_{scenario}{}{}",
+        params.choice.slug,
+        params.policy_slug()
+    );
     let mut result = sudc::experiments::ExperimentResult::new(
         &id,
         &format!(
@@ -234,49 +274,7 @@ fn serve_result(
             fmt1(t.goodput_rps),
         ]);
     }
-    let on_time: u64 = serve.tenants.iter().map(|t| t.on_time).sum();
-    let violations: u64 = serve.tenants.iter().map(|t| t.violations).sum();
-    result.push_row([
-        "(all)".to_string(),
-        "-".to_string(),
-        serve.offered().to_string(),
-        serve
-            .tenants
-            .iter()
-            .map(|t| t.admitted)
-            .sum::<u64>()
-            .to_string(),
-        serve
-            .tenants
-            .iter()
-            .map(|t| t.throttled)
-            .sum::<u64>()
-            .to_string(),
-        serve
-            .tenants
-            .iter()
-            .map(|t| t.shed)
-            .sum::<u64>()
-            .to_string(),
-        serve
-            .tenants
-            .iter()
-            .map(|t| t.lost)
-            .sum::<u64>()
-            .to_string(),
-        serve.completed().to_string(),
-        on_time.to_string(),
-        violations.to_string(),
-        "-".to_string(),
-        "-".to_string(),
-        "-".to_string(),
-        if serve.offered() == 0 {
-            "1.0000".to_string()
-        } else {
-            fmt4(on_time as f64 / serve.offered() as f64)
-        },
-        fmt1(serve.requests_per_sec),
-    ]);
+    result.push_row(serve_aggregate_row(serve));
     result.note(format!(
         "paper-reference {}, {} clusters, {} simulated minutes, seed {}",
         params.choice.label, params.clusters, params.minutes, params.seed
@@ -295,6 +293,12 @@ fn serve_result(
         "frame workload alongside: {} processed, goodput {:.4}, stable {}",
         report.processed, report.goodput, report.stable
     ));
+    if params.policy != sudc::sim::PolicyKind::Static {
+        result.note(format!(
+            "adaptive control plane: --policy {} (static runs keep the unsuffixed artifact)",
+            params.policy.as_str()
+        ));
+    }
     result.note(
         "same seed + same scenario reproduces this file byte-for-byte \
          (see scripts/verify.sh determinism gate)",

@@ -154,6 +154,11 @@ pub fn exec(cli: &Cli) -> ExitCode {
     manifest.param("topology", params.choice.label.as_str());
     manifest.param("minutes", params.minutes);
     manifest.param("clusters", params.clusters as u64);
+    // Static runs keep the pre-policy manifest bytes; adaptive runs
+    // declare their controller.
+    if params.policy != sudc::sim::PolicyKind::Static {
+        manifest.param("policy", params.policy.as_str());
+    }
     let metrics = fault_metrics(&baseline, &faulted);
 
     let result = comparison_result(&scenario, &params, &baseline, &faulted);
@@ -216,7 +221,7 @@ fn comparison_result(
 ) -> sudc::experiments::ExperimentResult {
     let TopologyChoice { slug, label, .. } = &params.choice;
     let (seed, minutes, clusters) = (params.seed, params.minutes, params.clusters);
-    let id = format!("faults_{scenario}{slug}");
+    let id = format!("faults_{scenario}{slug}{}", params.policy_slug());
     let mut result = sudc::experiments::ExperimentResult::new(
         &id,
         &format!("Fault injection: '{scenario}' vs fault-free baseline (seed {seed})"),
@@ -298,6 +303,12 @@ fn comparison_result(
     result.note(format!(
         "paper-reference {label}, {clusters} clusters, {minutes} simulated minutes, seed {seed}"
     ));
+    if params.policy != sudc::sim::PolicyKind::Static {
+        result.note(format!(
+            "adaptive control plane: --policy {} (static runs keep the unsuffixed artifact)",
+            params.policy.as_str()
+        ));
+    }
     result.note(
         "same seed + same scenario reproduces this file byte-for-byte \
          (see scripts/verify.sh determinism gate)",

@@ -49,6 +49,11 @@ pub struct Cli {
     pub faults: Option<String>,
     pub serve: Option<String>,
     pub topology: Option<String>,
+    /// `--policy <name>`: the control-plane controller racing the run
+    /// (static | reactive | predictive). `None`/static is the
+    /// pre-policy engine, byte-identical to committed artifacts;
+    /// adaptive controllers write `_<policy>`-suffixed artifacts.
+    pub policy: Option<String>,
     pub seed: Option<u64>,
     pub minutes: Option<f64>,
     pub clusters: Option<usize>,
@@ -135,6 +140,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         faults: None,
         serve: None,
         topology: None,
+        policy: None,
         seed: None,
         minutes: None,
         clusters: None,
@@ -189,6 +195,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .next()
                     .ok_or("--topology requires ring|klist:<k>|geo|split:<factor>")?;
                 cli.topology = Some(name.clone());
+            }
+            "--policy" => {
+                let name = it
+                    .next()
+                    .ok_or("--policy requires static|reactive|predictive")?;
+                cli.policy = Some(name.clone());
             }
             "--seed" => {
                 let n = it.next().ok_or("--seed requires a number")?;
@@ -365,6 +377,11 @@ fn usage() {
            --topology <shape>         ingest topology: ring (default),\n\
                                       klist:<k>, geo, or split:<factor>\n\
                                       (Sec. 8 SµDC splitting)\n\
+           --policy <name>            control-plane controller: static\n\
+                                      (default; byte-identical to the\n\
+                                      pre-policy engine), reactive, or\n\
+                                      predictive; adaptive runs write\n\
+                                      _<policy>-suffixed artifacts\n\
            --seed <n>                 RNG seed (default the paper seed)\n\
            --minutes <m>              simulated minutes (default 2)\n\
            --clusters <c>             SµDC count (default 4)\n\

@@ -97,8 +97,17 @@ pub struct ConstellationEntry {
     pub mission: &'static str,
 }
 
-/// The Table 1 survey.
+/// The Table 1 survey: the imaging-first half
+/// ([`survey_rows_satrev_to_jilin`]) followed by the video-heavy half
+/// ([`survey_rows_adaspace_to_vividi`]), in the paper's row order.
 pub fn table1_constellations() -> Vec<ConstellationEntry> {
+    let mut rows = survey_rows_satrev_to_jilin();
+    rows.extend(survey_rows_adaspace_to_vividi());
+    rows
+}
+
+/// Survey rows SatRev Stork through Chang Guang Jilin-1.
+fn survey_rows_satrev_to_jilin() -> Vec<ConstellationEntry> {
     vec![
         ConstellationEntry {
             company: "SatRev",
@@ -161,6 +170,12 @@ pub fn table1_constellations() -> Vec<ConstellationEntry> {
             temporal_resolution: Some(Time::from_days(2.0)),
             mission: "Video/PAN/MSI constellation",
         },
+    ]
+}
+
+/// Survey rows Spacety ADASPACE through Earth-i Vivid-i.
+fn survey_rows_adaspace_to_vividi() -> Vec<ConstellationEntry> {
+    vec![
         ConstellationEntry {
             company: "Spacety",
             name: "ADASPACE",

@@ -55,6 +55,17 @@ impl OrbitalPlane {
         self.orbit
     }
 
+    /// Plane inclination (needed by eclipse-geometry consumers that
+    /// rebuild the orbit normal, e.g. the sim's predictive policy).
+    pub fn inclination(&self) -> Angle {
+        self.inclination
+    }
+
+    /// Right ascension of the ascending node.
+    pub fn raan(&self) -> Angle {
+        self.raan
+    }
+
     /// Number of satellites in the ring.
     pub fn satellite_count(&self) -> usize {
         self.satellite_count

@@ -198,8 +198,17 @@ pub struct Experiment {
     pub run: fn() -> ExperimentResult,
 }
 
-/// All experiments in paper order.
+/// All experiments in paper order: figures, then tables, then the
+/// synthesis experiments that go beyond the paper's artifacts.
 pub fn all() -> Vec<Experiment> {
+    let mut list = figure_experiments();
+    list.extend(table_experiments());
+    list.extend(synthesis_experiments());
+    list
+}
+
+/// The paper's figure reproductions (Fig. 2 through Fig. 16).
+fn figure_experiments() -> Vec<Experiment> {
     vec![
         Experiment {
             id: "fig2",
@@ -285,6 +294,12 @@ pub fn all() -> Vec<Experiment> {
             description: "Radiation-hardening overhead impact",
             run: figures::fig16,
         },
+    ]
+}
+
+/// The paper's table reproductions (Table 1 through Table 9).
+fn table_experiments() -> Vec<Experiment> {
+    vec![
         Experiment {
             id: "table1",
             paper_ref: "Table 1",
@@ -339,6 +354,13 @@ pub fn all() -> Vec<Experiment> {
             description: "Mitigation-strategy comparison",
             run: tables::table9,
         },
+    ]
+}
+
+/// Experiments of ours that extend the paper: DES cross-validation,
+/// placement synthesis, and the rate-distortion sweep.
+fn synthesis_experiments() -> Vec<Experiment> {
+    vec![
         Experiment {
             id: "simval",
             paper_ref: "(ours)",

@@ -25,9 +25,25 @@ pub fn placement() -> ExperimentResult {
     let leo = CircularOrbit::from_altitude(Length::from_km(550.0));
     let geo = CircularOrbit::geostationary();
     let leo_inc = Angle::from_degrees(53.0);
-    let sc = Spacecraft::sudc_4kw();
 
-    // Eclipse exposure.
+    push_eclipse_rows(&mut r, leo, geo, leo_inc);
+    push_power_rows(&mut r, load, leo, geo, leo_inc);
+    push_environment_rows(&mut r, load, leo, geo);
+
+    r.note(
+        "LEO pays eclipse power and boost; GEO pays radiation and launch energy — the Sec. 9 trade",
+    );
+    r.note(format!("GEO star coverage: {}", super::figures::geo_note()));
+    r
+}
+
+/// Eclipse-exposure rows.
+fn push_eclipse_rows(
+    r: &mut ExperimentResult,
+    leo: CircularOrbit,
+    geo: CircularOrbit,
+    leo_inc: Angle,
+) {
     let leo_ecl = annual_eclipse(leo, orbit_normal(leo_inc, Angle::ZERO));
     let geo_ecl = annual_eclipse(geo, orbit_normal(Angle::ZERO, Angle::ZERO));
     r.push_row([
@@ -48,8 +64,16 @@ pub fn placement() -> ExperimentResult {
             ("geo_fraction".to_string(), geo_ecl.mean_fraction.into()),
         ],
     );
+}
 
-    // Power subsystem.
+/// Power-subsystem sizing rows.
+fn push_power_rows(
+    r: &mut ExperimentResult,
+    load: Power,
+    leo: CircularOrbit,
+    geo: CircularOrbit,
+    leo_inc: Angle,
+) {
     let leo_eps = size_for_orbit(
         load,
         leo,
@@ -96,8 +120,16 @@ pub fn placement() -> ExperimentResult {
             ),
         ],
     );
+}
 
-    // Station-keeping and disposal.
+/// Station-keeping, disposal, radiation, and thermal rows.
+fn push_environment_rows(
+    r: &mut ExperimentResult,
+    load: Power,
+    leo: CircularOrbit,
+    geo: CircularOrbit,
+) {
+    let sc = Spacecraft::sudc_4kw();
     r.push_row([
         "drag make-up Δv (m/s/yr)".to_string(),
         format!(
@@ -135,12 +167,6 @@ pub fn placement() -> ExperimentResult {
         format!("{:.1}", leo_thermal.as_m2()),
         format!("{:.1}", geo_thermal.as_m2()),
     ]);
-
-    r.note(
-        "LEO pays eclipse power and boost; GEO pays radiation and launch energy — the Sec. 9 trade",
-    );
-    r.note(format!("GEO star coverage: {}", super::figures::geo_note()));
-    r
 }
 
 #[cfg(test)]

@@ -22,8 +22,14 @@ use units::{DataSize, Time};
 
 use crate::sim::faults::FaultSummary;
 use crate::sim::model::{ConfigError, DiscardPolicy, SimConfig, SimReport};
+use crate::sim::policy::{
+    AdmissionDecision, AdmissionObs, BatchDecision, BatchObs, LinkObs, MigrationDecision,
+    MigrationObs, Policy, RerouteDecision, RerouteObs, RerouteSite, RetryDecision, ShedDecision,
+    ShedObs,
+};
 use crate::sim::serve::{
-    admit as serve_admit, Admission, LoadModel, Request, ServeState, OPEN_SLOT,
+    admit as serve_admit, admit_scaled as serve_admit_scaled, Admission, LoadModel, Request,
+    ServeState, OPEN_SLOT,
 };
 use crate::sim::service::Service;
 use crate::sim::topology::{self, Topology};
@@ -156,6 +162,11 @@ pub(super) struct State {
     /// Shard identity in a sharded parallel run; `None` in the
     /// sequential engine, which keeps every sharded branch dead.
     shard: Option<ShardCtx>,
+    /// The run's control-plane controller. Every decision site asks it
+    /// with plain-value telemetry; the engine alone executes decisions
+    /// (and performs every RNG draw). Each shard builds its own
+    /// instance, so adaptive state is shard-local by construction.
+    policy: Box<dyn Policy>,
     /// Flight recorder; `None` keeps every trace site a dead branch
     /// (same zero-cost-when-off discipline as `SchedulerCounters`).
     recorder: Option<Arc<Recorder>>,
@@ -218,6 +229,7 @@ impl State {
             frames_corrupted: 0,
             serve,
             shard: None,
+            policy: cfg.policy.build(cfg),
             tbuf: Vec::with_capacity(recorder.as_ref().map_or(0, |r| r.batch_hint())),
             tbatch: recorder.as_ref().map_or(usize::MAX, |r| r.batch_hint()),
             tseq: recorder.as_ref().map_or(0, |r| r.last_seq()),
@@ -359,49 +371,76 @@ fn dispatch(
     if st.transport.outages_modelled() {
         let start = st.transport.next_start(sat, now);
         if !st.transport.link_up(sat, frame.reversed, start) {
-            if let Some(delay) = st.transport.retry_delay_s(attempt) {
-                st.retries += 1;
-                frame.last_seq = st.trace(
-                    TraceRecord::at(now.as_secs(), TraceKind::Retry)
-                        .frame(frame.id)
-                        .unit(sat)
-                        .cause(TraceCause::LinkDown)
-                        .parent(frame.last_seq)
-                        .value(delay),
-                );
-                sched.schedule_at(
-                    now + Time::from_secs(delay),
-                    Ev::Retry {
-                        frame,
-                        from: sat,
-                        attempt: attempt + 1,
-                    },
-                );
-            } else if frame.reversed || !st.topo.supports_reverse() {
-                // Both directions exhausted their retries (or there is no
-                // ring to fall back to): the frame dies.
-                st.undeliverable += 1;
-                st.queued_bits -= st.frame_bits;
-                st.trace(
-                    TraceRecord::at(now.as_secs(), TraceKind::Undeliverable)
-                        .frame(frame.id)
-                        .unit(sat)
-                        .cause(TraceCause::RetriesExhausted)
-                        .parent(frame.last_seq),
-                );
-            } else {
-                // Forward path dead: fall back to the reverse ring.
-                st.reroutes += 1;
-                frame.reversed = true;
-                frame.rev_up = st.topo.reverse_direction_up(sat);
-                frame.last_seq = st.trace(
-                    TraceRecord::at(now.as_secs(), TraceKind::Reroute)
-                        .frame(frame.id)
-                        .unit(sat)
-                        .cause(TraceCause::LinkDown)
-                        .parent(frame.last_seq),
-                );
-                dispatch(st, sched, frame, sat, now, 0);
+            let obs = LinkObs {
+                unit: sat,
+                now_s: now.as_secs(),
+                attempt,
+                baseline_delay_s: st.transport.retry_delay_s(attempt),
+                reversed: frame.reversed,
+                serve: false,
+            };
+            match st.policy.decide_retry(&obs) {
+                RetryDecision::Retry { delay_s: delay } => {
+                    st.retries += 1;
+                    frame.last_seq = st.trace(
+                        TraceRecord::at(now.as_secs(), TraceKind::Retry)
+                            .frame(frame.id)
+                            .unit(sat)
+                            .cause(TraceCause::LinkDown)
+                            .parent(frame.last_seq)
+                            .value(delay),
+                    );
+                    sched.schedule_at(
+                        now + Time::from_secs(delay),
+                        Ev::Retry {
+                            frame,
+                            from: sat,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+                RetryDecision::Escalate => {
+                    let obs = RerouteObs {
+                        unit: sat,
+                        now_s: now.as_secs(),
+                        site: RerouteSite::RetriesExhausted,
+                        reversed: frame.reversed,
+                        supports_reverse: st.topo.supports_reverse(),
+                        reverse_up: st.topo.reverse_direction_up(sat),
+                        faults_active: st.cfg.faults.active(),
+                    };
+                    match st.policy.decide_reroute(&obs) {
+                        RerouteDecision::Drop => {
+                            // Both directions exhausted their retries (or
+                            // there is no ring to fall back to): the frame
+                            // dies.
+                            st.undeliverable += 1;
+                            st.queued_bits -= st.frame_bits;
+                            st.trace(
+                                TraceRecord::at(now.as_secs(), TraceKind::Undeliverable)
+                                    .frame(frame.id)
+                                    .unit(sat)
+                                    .cause(TraceCause::RetriesExhausted)
+                                    .parent(frame.last_seq),
+                            );
+                        }
+                        RerouteDecision::Reverse { up } => {
+                            // Forward path dead: fall back to the reverse
+                            // ring.
+                            st.reroutes += 1;
+                            frame.reversed = true;
+                            frame.rev_up = up;
+                            frame.last_seq = st.trace(
+                                TraceRecord::at(now.as_secs(), TraceKind::Reroute)
+                                    .frame(frame.id)
+                                    .unit(sat)
+                                    .cause(TraceCause::LinkDown)
+                                    .parent(frame.last_seq),
+                            );
+                            dispatch(st, sched, frame, sat, now, 0);
+                        }
+                    }
+                }
             }
             return;
         }
@@ -488,7 +527,18 @@ fn on_generate(st: &mut State, sched: &mut Scheduler<Ev>, sat: usize, now: Time)
                 .frame(id)
                 .unit(sat),
         );
-        if st.service.should_shed(sat, st.queued_bits) {
+        let obs = ShedObs {
+            unit: sat,
+            now_s: now.as_secs(),
+            queued_bits: st.queued_bits,
+            threshold_bits: st.service.shed_threshold_bits(),
+        };
+        let shed = match st.policy.decide_shed(&obs) {
+            ShedDecision::Baseline => st.service.should_shed(sat, st.queued_bits),
+            ShedDecision::Admit => false,
+            ShedDecision::Coin { probability } => st.service.shed_coin(sat, probability),
+        };
+        if shed {
             // Backlog-triggered graceful degradation: drop at the source
             // rather than swamp the ring.
             st.frames_shed += 1;
@@ -578,32 +628,74 @@ fn on_forward_hop(
         None => {
             let cluster = st.topo.home_cluster(from);
             if st.service.cluster_failed(cluster, now) {
-                if st.topo.supports_reverse() && st.cfg.faults.active() {
+                let obs = RerouteObs {
+                    unit: from,
+                    now_s: now.as_secs(),
+                    site: RerouteSite::ClusterDown,
+                    reversed: frame.reversed,
+                    supports_reverse: st.topo.supports_reverse(),
+                    reverse_up: st.topo.reverse_direction_up(from),
+                    faults_active: st.cfg.faults.active(),
+                };
+                match st.policy.decide_reroute(&obs) {
+                    RerouteDecision::Reverse { up } => {
+                        st.reroutes += 1;
+                        let mut f = frame;
+                        f.reversed = true;
+                        f.rev_up = up;
+                        f.hops += 1;
+                        f.last_seq = st.trace(
+                            TraceRecord::at(now.as_secs(), TraceKind::Reroute)
+                                .frame(f.id)
+                                .unit(from)
+                                .cause(TraceCause::ClusterDown)
+                                .parent(f.last_seq),
+                        );
+                        dispatch(st, sched, f, from, now, 0);
+                    }
+                    RerouteDecision::Drop => {
+                        st.queued_bits -= st.frame_bits;
+                        st.lost_to_failures += 1;
+                        st.trace(
+                            TraceRecord::at(now.as_secs(), TraceKind::LostCluster)
+                                .frame(frame.id)
+                                .unit(cluster)
+                                .cause(TraceCause::ClusterDown)
+                                .parent(frame.last_seq),
+                        );
+                    }
+                }
+                return;
+            }
+            // Live home SµDC: the policy may still migrate the frame
+            // toward another sub-arc (inter-sub-arc load balancing)
+            // instead of entering this queue. `Stay` — the static
+            // behavior — falls through to the pre-policy enqueue path.
+            if !frame.reversed && st.topo.supports_reverse() {
+                let obs = MigrationObs {
+                    unit: from,
+                    cluster,
+                    now_s: now.as_secs(),
+                    queue_depth_s: st.service.queue_depth_s(cluster, now),
+                    hops: frame.hops,
+                    reverse_up: st.topo.reverse_direction_up(from),
+                };
+                if let MigrationDecision::Migrate { up } = st.policy.decide_migration(&obs) {
                     st.reroutes += 1;
                     let mut f = frame;
                     f.reversed = true;
-                    f.rev_up = st.topo.reverse_direction_up(from);
+                    f.rev_up = up;
                     f.hops += 1;
                     f.last_seq = st.trace(
                         TraceRecord::at(now.as_secs(), TraceKind::Reroute)
                             .frame(f.id)
                             .unit(from)
-                            .cause(TraceCause::ClusterDown)
+                            .cause(TraceCause::Backlog)
                             .parent(f.last_seq),
                     );
                     dispatch(st, sched, f, from, now, 0);
-                } else {
-                    st.queued_bits -= st.frame_bits;
-                    st.lost_to_failures += 1;
-                    st.trace(
-                        TraceRecord::at(now.as_secs(), TraceKind::LostCluster)
-                            .frame(frame.id)
-                            .unit(cluster)
-                            .cause(TraceCause::ClusterDown)
-                            .parent(frame.last_seq),
-                    );
+                    return;
                 }
-                return;
             }
             st.queued_bits -= st.frame_bits;
             enqueue(st, sched, frame, cluster, now);
@@ -856,26 +948,8 @@ fn on_serve_arrival(st: &mut State, sched: &mut Scheduler<Ev>, tenant: u32, slot
     }
     let cluster = st.topo.home_cluster(tail);
     let backlog_s = st.service.queue_depth_s(cluster, now);
-    let verdict = {
-        let Some(serve) = st.serve.as_mut() else {
-            return;
-        };
-        let class = serve.tenants[t].spec.class;
-        let verdict = serve_admit(
-            &serve.cfg,
-            &mut serve.tenants[t].bucket,
-            class,
-            backlog_s,
-            now,
-        );
-        match verdict {
-            // Only admitted requests enter the inflight gauge; rejected
-            // ones bounce at the gate without ever being outstanding.
-            Admission::Admit => serve.note_admitted(t),
-            Admission::Throttled => serve.tenants[t].throttled += 1,
-            Admission::Shed => serve.tenants[t].shed += 1,
-        }
-        verdict
+    let Some(verdict) = serve_admission_verdict(st, t, cluster, backlog_s, now) else {
+        return;
     };
     match verdict {
         Admission::Admit => {
@@ -919,6 +993,60 @@ fn on_serve_arrival(st: &mut State, sched: &mut Scheduler<Ev>, tenant: u32, slot
     }
 }
 
+/// Runs one request through the admission gate of the SµDC at
+/// `cluster`: the policy observes the tenant's shed count against the
+/// fleet mean and may scale the shed threshold, then the (possibly
+/// scaled) token-bucket admission decides and the per-tenant counters
+/// record the verdict. `None` when no serving layer is configured.
+fn serve_admission_verdict(
+    st: &mut State,
+    t: usize,
+    cluster: usize,
+    backlog_s: f64,
+    now: Time,
+) -> Option<Admission> {
+    let decision = {
+        let serve = st.serve.as_ref()?;
+        let total_shed: u64 = serve.tenants.iter().map(|tr| tr.shed).sum();
+        let obs = AdmissionObs {
+            tenant: t,
+            unit: cluster,
+            now_s: now.as_secs(),
+            backlog_s,
+            tenant_shed: serve.tenants[t].shed,
+            mean_shed: total_shed as f64 / serve.tenants.len() as f64,
+        };
+        st.policy.decide_admission(&obs)
+    };
+    let serve = st.serve.as_mut()?;
+    let class = serve.tenants[t].spec.class;
+    let verdict = match decision {
+        AdmissionDecision::Baseline => serve_admit(
+            &serve.cfg,
+            &mut serve.tenants[t].bucket,
+            class,
+            backlog_s,
+            now,
+        ),
+        AdmissionDecision::ScaleShedThreshold(scale) => serve_admit_scaled(
+            &serve.cfg,
+            &mut serve.tenants[t].bucket,
+            class,
+            backlog_s,
+            now,
+            scale,
+        ),
+    };
+    match verdict {
+        // Only admitted requests enter the inflight gauge; rejected
+        // ones bounce at the gate without ever being outstanding.
+        Admission::Admit => serve.note_admitted(t),
+        Admission::Throttled => serve.tenants[t].throttled += 1,
+        Admission::Shed => serve.tenants[t].shed += 1,
+    }
+    Some(verdict)
+}
+
 /// Routes a request out of `sat` over the same ISLs the frame workload
 /// rides, honouring link outages: a down link retries with the frames'
 /// backoff policy, but requests never fall back to reverse routing — a
@@ -936,7 +1064,15 @@ fn serve_dispatch(
     if st.transport.outages_modelled() {
         let start = st.transport.next_start(sat, now);
         if !st.transport.link_up(sat, false, start) {
-            if let Some(delay) = st.transport.retry_delay_s(attempt) {
+            let obs = LinkObs {
+                unit: sat,
+                now_s: now.as_secs(),
+                attempt,
+                baseline_delay_s: st.transport.retry_delay_s(attempt),
+                reversed: false,
+                serve: true,
+            };
+            if let RetryDecision::Retry { delay_s: delay } = st.policy.decide_retry(&obs) {
                 if let Some(serve) = st.serve.as_mut() {
                     serve.retries += 1;
                 }
@@ -1007,12 +1143,33 @@ fn serve_drain_queue(
 ) {
     loop {
         let depth_s = st.service.queue_depth_s(cluster, now);
-        let ready = match st.serve.as_ref() {
-            Some(serve) => {
-                serve.batcher.len(cluster, tenant) > 0
-                    && (force || serve.batcher.ready(cluster, tenant, depth_s))
+        let queue_len = match st.serve.as_ref() {
+            Some(serve) => serve.batcher.len(cluster, tenant),
+            None => 0,
+        };
+        if queue_len == 0 {
+            break;
+        }
+        // A fired deadline timer flushes unconditionally (stragglers
+        // must drain even under a `Hold`-happy controller); otherwise
+        // the policy arbitrates, with `Baseline` deferring to the
+        // configured batcher trigger verbatim.
+        let ready = force || {
+            let obs = BatchObs {
+                unit: cluster,
+                tenant,
+                now_s: now.as_secs(),
+                queue_len,
+                depth_s,
+            };
+            match st.policy.decide_batch(&obs) {
+                BatchDecision::Baseline => match st.serve.as_ref() {
+                    Some(serve) => serve.batcher.ready(cluster, tenant, depth_s),
+                    None => false,
+                },
+                BatchDecision::Flush => true,
+                BatchDecision::Hold => false,
             }
-            None => false,
         };
         if !ready {
             break;

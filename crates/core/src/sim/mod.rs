@@ -13,13 +13,16 @@
 //!
 //! `model` holds the configuration and report types; `faults` the
 //! fault-injection model; `serve` the multi-tenant user-traffic
-//! serving layer riding the same links and pipelines. Seeded runs
-//! replay byte-identically across the layer seams — see DESIGN.md for
-//! the contract.
+//! serving layer riding the same links and pipelines; `policy` the
+//! control plane deciding retries, reroutes, shedding, admission,
+//! batching, and migration at the engine's decision points. Seeded
+//! runs replay byte-identically across the layer seams — see DESIGN.md
+//! for the contract.
 pub mod engine;
 pub mod faults;
 pub mod model;
 pub mod parallel;
+pub mod policy;
 pub mod serve;
 pub mod service;
 pub mod topology;
@@ -31,5 +34,6 @@ pub use faults::{
 };
 pub use model::*;
 pub use parallel::try_run_threads;
+pub use policy::{Policy, PolicyKind};
 pub use serve::{BatchPolicy, LoadModel, ServeConfig, ServeReport, ServeScenario, TenantClass};
 pub use topology::Topology;

@@ -22,6 +22,7 @@ use units::{DataRate, DataSize, Length, Time};
 use workloads::Application;
 
 use crate::sim::faults::{FaultModel, FaultSummary};
+use crate::sim::policy::PolicyKind;
 use crate::sim::serve::{ServeConfig, ServeReport};
 use crate::sizing::SudcSpec;
 
@@ -212,6 +213,11 @@ pub struct SimConfig {
     /// byte-identical to the serve-unaware engine.
     #[serde(default)]
     pub serve: Option<ServeConfig>,
+    /// The control-plane policy racing this run. [`PolicyKind::Static`]
+    /// — the default, and what older serialized configs deserialize to
+    /// — reproduces the pre-policy-layer engine byte-identically.
+    #[serde(default)]
+    pub policy: PolicyKind,
     /// RNG seed.
     pub seed: u64,
 }
@@ -235,6 +241,7 @@ impl SimConfig {
             failures: Vec::new(),
             faults: FaultModel::none(),
             serve: None,
+            policy: PolicyKind::Static,
             seed: PAPER_SEED,
         }
     }

@@ -1,0 +1,18 @@
+//! The `Static` controller: today's fixed behavior, spelled as a
+//! policy.
+//!
+//! It overrides nothing — every decision comes from the [`Policy`]
+//! trait's default methods, which reproduce the pre-refactor
+//! conditions from observation fields alone. The controller holds no
+//! state and draws no RNG, so a static run's stream draws are
+//! positionally identical to the pre-policy engine's: byte-identity
+//! with every committed `simval`/`faults_*`/`serve_*` artifact is by
+//! construction, not by tuning.
+
+use super::Policy;
+
+/// The fixed, config-driven controller (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticPolicy;
+
+impl Policy for StaticPolicy {}

@@ -1,0 +1,224 @@
+//! The `Reactive` controller: threshold-driven feedback on observed
+//! telemetry.
+//!
+//! Two behaviors, both pure feedback (no orbital model, no lookahead):
+//!
+//! 1. **Backoff widening on outage bursts.** Every retry decision is a
+//!    link-down observation; the controller keeps a sliding window of
+//!    them. Inside a burst it stretches the configured backoff and
+//!    extends the retry budget with capped delays, so transmissions
+//!    wait out an outage (the paper's flaky-link MTTR is seconds)
+//!    instead of exhausting a sub-second schedule and taking the long
+//!    reverse-ring detour — or dying outright.
+//! 2. **Shed equalization across tenants.** When one tenant's shed
+//!    count runs well past the mean, its backlog shed threshold is
+//!    scaled up (shed less) while under-shed tenants are scaled down,
+//!    pushing the skew back toward fair degradation.
+//!
+//! The controller draws no RNG and its state is plain counters, so
+//! double runs of the same config are identical; under the sharded
+//! loop each shard owns an independent instance (shard-local state),
+//! so a sharded run is deterministic for a fixed shard layout.
+
+use super::{AdmissionDecision, AdmissionObs, LinkObs, Policy, RetryDecision};
+use crate::sim::faults::RetrySpec;
+use crate::sim::model::SimConfig;
+
+/// Sliding window over link-down observations, seconds.
+const BURST_WINDOW_S: f64 = 10.0;
+/// Link-down observations within the window that declare a burst.
+const BURST_THRESHOLD: usize = 6;
+/// Backoff stretch applied inside a burst.
+const BURST_BACKOFF_SCALE: f64 = 3.0;
+/// Extra retries granted past the configured budget inside a burst.
+const BURST_EXTRA_RETRIES: u32 = 4;
+/// Cap on any single widened/extended backoff delay, seconds.
+const MAX_DELAY_S: f64 = 2.0;
+
+/// Threshold-driven feedback controller.
+#[derive(Debug)]
+pub struct ReactivePolicy {
+    /// Configured retry schedule (for extending past its budget).
+    retry: RetrySpec,
+    /// Timestamps of recent link-down observations, pruned to
+    /// [`BURST_WINDOW_S`]. Bounded by the threshold — once a burst is
+    /// declared, older entries only age out.
+    recent_down_s: Vec<f64>,
+}
+
+impl ReactivePolicy {
+    /// Builds the controller from the run's config.
+    pub fn new(cfg: &SimConfig) -> Self {
+        Self {
+            retry: cfg.faults.retry,
+            recent_down_s: Vec::new(),
+        }
+    }
+
+    /// Records a link-down observation and reports whether the window
+    /// now holds a burst.
+    fn note_down(&mut self, now_s: f64) -> bool {
+        self.recent_down_s.retain(|&t| now_s - t <= BURST_WINDOW_S);
+        self.recent_down_s.push(now_s);
+        self.recent_down_s.len() >= BURST_THRESHOLD
+    }
+
+    /// The widened/extended backoff delay for retry `attempt` during a
+    /// burst: the configured exponential schedule, stretched and
+    /// capped, with [`BURST_EXTRA_RETRIES`] attempts past the budget.
+    fn burst_delay_s(&self, attempt: u32) -> Option<f64> {
+        if attempt >= self.retry.max_retries + BURST_EXTRA_RETRIES {
+            return None;
+        }
+        let base = self.retry.base_backoff.as_secs();
+        let raw = base * self.retry.factor.powi(attempt as i32);
+        Some((raw * BURST_BACKOFF_SCALE).min(MAX_DELAY_S))
+    }
+}
+
+impl Policy for ReactivePolicy {
+    fn decide_retry(&mut self, obs: &LinkObs) -> RetryDecision {
+        let burst = self.note_down(obs.now_s);
+        if !burst {
+            return match obs.baseline_delay_s {
+                Some(delay_s) => RetryDecision::Retry { delay_s },
+                None => RetryDecision::Escalate,
+            };
+        }
+        match self.burst_delay_s(obs.attempt) {
+            Some(delay_s) => RetryDecision::Retry { delay_s },
+            None => RetryDecision::Escalate,
+        }
+    }
+
+    fn decide_admission(&mut self, obs: &AdmissionObs) -> AdmissionDecision {
+        // Skew only means anything once some shedding has happened.
+        if obs.mean_shed < 1.0 {
+            return AdmissionDecision::Baseline;
+        }
+        let tenant = obs.tenant_shed as f64;
+        if tenant > obs.mean_shed * 1.25 {
+            // Over-shed tenant: raise its threshold, shed it less.
+            AdmissionDecision::ScaleShedThreshold(1.5)
+        } else if tenant < obs.mean_shed * 0.75 {
+            // Under-shed tenant: absorb more of the degradation.
+            AdmissionDecision::ScaleShedThreshold(0.75)
+        } else {
+            AdmissionDecision::Baseline
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::model::SimConfig;
+    use crate::sim::policy::RetryDecision;
+    use units::Length;
+    use workloads::Application;
+
+    fn cfg() -> SimConfig {
+        SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), 0.95)
+    }
+
+    fn obs(now_s: f64, attempt: u32, baseline: Option<f64>) -> LinkObs {
+        LinkObs {
+            unit: 0,
+            now_s,
+            attempt,
+            baseline_delay_s: baseline,
+            reversed: false,
+            serve: false,
+        }
+    }
+
+    #[test]
+    fn quiet_links_follow_the_configured_schedule() {
+        let mut p = ReactivePolicy::new(&cfg());
+        assert_eq!(
+            p.decide_retry(&obs(1.0, 0, Some(0.05))),
+            RetryDecision::Retry { delay_s: 0.05 }
+        );
+        assert_eq!(
+            p.decide_retry(&obs(100.0, 4, None)),
+            RetryDecision::Escalate
+        );
+    }
+
+    #[test]
+    fn a_burst_widens_and_extends_the_backoff() {
+        let mut p = ReactivePolicy::new(&cfg());
+        // Five quick observations arm the window; the sixth is a burst.
+        for i in 0..5 {
+            p.decide_retry(&obs(10.0 + i as f64 * 0.1, 0, Some(0.05)));
+        }
+        match p.decide_retry(&obs(10.6, 0, Some(0.05))) {
+            RetryDecision::Retry { delay_s } => {
+                assert!(
+                    (delay_s - 0.15).abs() < 1e-12,
+                    "widened delay, got {delay_s}"
+                )
+            }
+            RetryDecision::Escalate => panic!("a burst must keep retrying"),
+        }
+        // Past the configured budget the burst schedule keeps retrying
+        // at the capped delay instead of escalating.
+        let d = p.decide_retry(&obs(10.7, 4, None));
+        assert_eq!(d, RetryDecision::Retry { delay_s: 2.0 });
+        // ...but not forever.
+        assert_eq!(p.decide_retry(&obs(10.8, 8, None)), RetryDecision::Escalate);
+    }
+
+    #[test]
+    fn the_window_forgets_old_outages() {
+        let mut p = ReactivePolicy::new(&cfg());
+        for i in 0..6 {
+            p.decide_retry(&obs(i as f64 * 0.1, 0, Some(0.05)));
+        }
+        // Far in the future the window is empty again: baseline rules.
+        assert_eq!(
+            p.decide_retry(&obs(500.0, 4, None)),
+            RetryDecision::Escalate
+        );
+    }
+
+    #[test]
+    fn shed_skew_scales_the_admission_threshold() {
+        let mut p = ReactivePolicy::new(&cfg());
+        let base = AdmissionObs {
+            tenant: 0,
+            unit: 0,
+            now_s: 5.0,
+            backlog_s: 3.0,
+            tenant_shed: 10,
+            mean_shed: 4.0,
+        };
+        assert_eq!(
+            p.decide_admission(&base),
+            AdmissionDecision::ScaleShedThreshold(1.5)
+        );
+        assert_eq!(
+            p.decide_admission(&AdmissionObs {
+                tenant_shed: 1,
+                ..base
+            }),
+            AdmissionDecision::ScaleShedThreshold(0.75)
+        );
+        assert_eq!(
+            p.decide_admission(&AdmissionObs {
+                tenant_shed: 4,
+                ..base
+            }),
+            AdmissionDecision::Baseline
+        );
+        // Before any shedding the gate is untouched.
+        assert_eq!(
+            p.decide_admission(&AdmissionObs {
+                tenant_shed: 0,
+                mean_shed: 0.0,
+                ..base
+            }),
+            AdmissionDecision::Baseline
+        );
+    }
+}

@@ -75,10 +75,26 @@ pub fn admit(
     backlog_s: f64,
     now: Time,
 ) -> Admission {
+    admit_scaled(cfg, bucket, class, backlog_s, now, 1.0)
+}
+
+/// [`admit`] with the backlog shed threshold scaled by `scale` — the
+/// policy layer's lever for equalizing shed across tenants (>1 sheds
+/// less, <1 sheds more). `scale == 1.0` is exactly [`admit`]: the
+/// multiplication by one is bit-exact, and the token draw happens
+/// first either way.
+pub fn admit_scaled(
+    cfg: &ServeConfig,
+    bucket: &mut TokenBucket,
+    class: TenantClass,
+    backlog_s: f64,
+    now: Time,
+    scale: f64,
+) -> Admission {
     if !bucket.take(now) {
         return Admission::Throttled;
     }
-    if backlog_s > cfg.shed_threshold_s * class.shed_headroom() {
+    if backlog_s > cfg.shed_threshold_s * class.shed_headroom() * scale {
         return Admission::Shed;
     }
     Admission::Admit

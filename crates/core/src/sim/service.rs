@@ -105,6 +105,21 @@ impl Service {
         }
         let over = (queued_bits - threshold) / threshold;
         let p = (base + (1.0 - base) * over).min(1.0);
+        self.shed_coin(sat, p)
+    }
+
+    /// The configured degradation threshold in bits, if degradation is
+    /// modelled — the policy layer's shed-decision telemetry.
+    pub fn shed_threshold_bits(&self) -> Option<f64> {
+        self.shed.map(|(threshold, _)| threshold)
+    }
+
+    /// Draws one shed coin of probability `p` for satellite `sat` on
+    /// the dedicated `shed` stream. The keying and draw accounting are
+    /// shared with [`Service::should_shed`] (which is this coin under
+    /// the configured escalation), so a policy-driven coin advances the
+    /// stream exactly as a baseline draw would.
+    pub fn shed_coin(&mut self, sat: usize, p: f64) -> bool {
         self.shed_draws += 1;
         let mut rng = self.rng.stream(
             "shed",

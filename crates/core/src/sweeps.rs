@@ -131,6 +131,31 @@ pub fn all() -> Vec<SweepDef> {
                 ed_axis(FrameSpec::paper_discard_rates().to_vec()),
             ],
         },
+        SweepDef {
+            name: "policy",
+            title: "Controller race: static vs reactive vs predictive across fault × topology × load (DES)",
+            axes: vec![
+                AxisSpec {
+                    name: "controller",
+                    help: "control plane: 0 static, 1 reactive, 2 predictive",
+                    default: vec![0.0, 1.0, 2.0],
+                    integer: true,
+                },
+                AxisSpec {
+                    name: "scenario",
+                    help: "fault scenario: 0 flaky_links, 1 cluster_loss, 2 combined",
+                    default: vec![0.0, 1.0, 2.0],
+                    integer: true,
+                },
+                AxisSpec {
+                    name: "topology",
+                    help: "ring shape: 0 ring, 1 split:4",
+                    default: vec![0.0, 1.0],
+                    integer: true,
+                },
+                ed_axis(vec![0.5, 0.95]),
+            ],
+        },
     ]
 }
 
@@ -217,6 +242,7 @@ pub fn run(
         "sizing" => run_sizing(&def, overrides, opts, cache_dir),
         "table8" => run_table8(&def, overrides, opts, cache_dir),
         "bottleneck" => run_bottleneck(&def, overrides, opts, cache_dir),
+        "policy" => run_policy(&def, overrides, opts, cache_dir),
         _ => unreachable!("every SweepDef has a runner"),
     }
 }
@@ -659,6 +685,250 @@ fn run_serve(
     Ok(sweep)
 }
 
+/// Fault scenarios the policy race runs, indexed by the `scenario`
+/// axis code. All three are faulted regimes — the race is about how
+/// controllers absorb faults, so the fault-free baseline contributes
+/// nothing here (`repro sim` already prints it per scenario).
+const POLICY_SWEEP_SCENARIOS: [&str; 3] = ["flaky_links", "cluster_loss", "combined"];
+
+/// Offered serving load riding along each policy-race cell so the
+/// admission/batching decision points are exercised and SLO attainment
+/// is measurable, requests/s split evenly across the two tenants.
+const POLICY_SWEEP_RATE_RPS: f64 = 400.0;
+
+/// Ring shape for a policy-race `topology` axis code.
+fn policy_sweep_topology(code: usize) -> Option<(crate::sim::SimTopology, &'static str)> {
+    match code {
+        0 => Some((crate::sim::SimTopology::Ring, "ring")),
+        1 => Some((crate::sim::SimTopology::SplitRing { factor: 4 }, "split:4")),
+        _ => None,
+    }
+}
+
+/// Builds the paper-reference [`crate::sim::SimConfig`] one policy-race
+/// cell evaluates: 2 simulated minutes of `AirPollution` at 3 m under
+/// the coded fault scenario and topology, `ed` early-discard standing
+/// in for frame load, a two-tenant serving overlay, and the coded
+/// controller driving the decision points.
+fn policy_sweep_config(
+    controller: crate::sim::PolicyKind,
+    scenario: usize,
+    topology: usize,
+    ed: f64,
+) -> crate::sim::SimConfig {
+    let mut cfg =
+        crate::sim::SimConfig::paper_reference(Application::AirPollution, Length::from_m(3.0), ed);
+    cfg.clusters = SPLIT_SWEEP_CLUSTERS;
+    cfg.duration = units::Time::from_minutes(2.0);
+    // The axes were validated in `run_policy`; out-of-range codes (only
+    // reachable through a stale cache key) keep the reference defaults
+    // rather than panicking mid-sweep.
+    if let Some((topo, _)) = policy_sweep_topology(topology) {
+        cfg.topology = topo;
+    }
+    if let Some(model) = POLICY_SWEEP_SCENARIOS
+        .get(scenario)
+        .and_then(|name| crate::sim::FaultModel::scenario(name))
+    {
+        cfg.faults = model;
+    }
+    cfg.policy = controller;
+    let mut serve = ServeConfig::defaults();
+    serve.tenants = vec![
+        TenantSpec::interactive("premium", TenantClass::Premium, POLICY_SWEEP_RATE_RPS * 0.5),
+        TenantSpec::analytics("analytics", POLICY_SWEEP_RATE_RPS * 0.5),
+    ];
+    cfg.serve = Some(serve);
+    cfg
+}
+
+/// Evaluates one policy-race cell through the DES.
+fn policy_cell(controller: usize, scenario: usize, topology: usize, ed: f64) -> PolicyCell {
+    let kind = crate::sim::PolicyKind::names()
+        .get(controller)
+        .and_then(|name| crate::sim::PolicyKind::parse(name))
+        .unwrap_or_default();
+    let report = crate::sim::run(&policy_sweep_config(kind, scenario, topology, ed));
+    let (offered, on_time) = report.serve.as_ref().map_or((0, 0), |s| {
+        (s.offered(), s.tenants.iter().map(|t| t.on_time).sum())
+    });
+    PolicyCell {
+        controller,
+        scenario,
+        topology,
+        ed,
+        goodput: report.goodput,
+        availability: report.faults.availability,
+        attainment: if offered == 0 {
+            1.0
+        } else {
+            on_time as f64 / offered as f64
+        },
+        undeliverable: report.faults.undeliverable,
+        reroutes: report.faults.reroutes,
+        frames_shed: report.faults.frames_shed,
+        stable: report.stable,
+    }
+}
+
+/// Whether adaptive cell `a` strictly Pareto-dominates static cell `s`
+/// on the race's goodput × availability leaderboard axes.
+fn policy_dominates(a: &PolicyCell, s: &PolicyCell) -> bool {
+    a.goodput >= s.goodput
+        && a.availability >= s.availability
+        && (a.goodput > s.goodput || a.availability > s.availability)
+}
+
+/// Appends one leaderboard note per adaptive controller: at how many
+/// (scenario, topology, ed) matrix points it strictly dominates the
+/// static controller, and the widest-margin example.
+fn policy_dominance_notes(grid: &mut ExperimentResult, cells: &[PolicyCell]) {
+    let static_at = |c: &PolicyCell| {
+        cells.iter().find(|s| {
+            s.controller == 0
+                && s.scenario == c.scenario
+                && s.topology == c.topology
+                && s.ed == c.ed
+        })
+    };
+    for controller in [1usize, 2] {
+        let name = crate::sim::PolicyKind::names()[controller];
+        let mut total = 0usize;
+        let mut wins: Vec<(&PolicyCell, &PolicyCell)> = Vec::new();
+        for c in cells.iter().filter(|c| c.controller == controller) {
+            let Some(s) = static_at(c) else { continue };
+            total += 1;
+            if policy_dominates(c, s) {
+                wins.push((c, s));
+            }
+        }
+        let Some(&(best, base)) = wins.iter().max_by(|(a, sa), (b, sb)| {
+            (a.goodput - sa.goodput).total_cmp(&(b.goodput - sb.goodput))
+        }) else {
+            grid.note(format!(
+                "leaderboard: {name} strictly dominates static at 0/{total} matrix points"
+            ));
+            continue;
+        };
+        let topo = policy_sweep_topology(best.topology).map_or("?", |(_, l)| l);
+        grid.note(format!(
+            "leaderboard: {name} strictly dominates static (goodput × availability) at {}/{total} \
+             matrix points; widest margin at {}/{topo}/ed={}: goodput {:.4} vs {:.4} at \
+             availability {:.4} vs {:.4}",
+            wins.len(),
+            POLICY_SWEEP_SCENARIOS[best.scenario],
+            trim_float(best.ed),
+            best.goodput,
+            base.goodput,
+            best.availability,
+            base.availability,
+        ));
+    }
+}
+
+fn run_policy(
+    def: &SweepDef,
+    overrides: &[(String, Vec<f64>)],
+    opts: &ExecOptions,
+    cache_dir: Option<&Path>,
+) -> Result<SweepRun, String> {
+    let controllers = axis_usize(def, overrides, "controller")?;
+    let scenarios = axis_usize(def, overrides, "scenario")?;
+    let topologies = axis_usize(def, overrides, "topology")?;
+    let eds = axis_f64(def, overrides, "ed");
+    for &c in &controllers {
+        if c >= crate::sim::PolicyKind::names().len() {
+            return Err(format!(
+                "axis 'controller' wants 0 (static), 1 (reactive), or 2 (predictive), got {c}"
+            ));
+        }
+    }
+    for &s in &scenarios {
+        if s >= POLICY_SWEEP_SCENARIOS.len() {
+            return Err(format!(
+                "axis 'scenario' wants 0 (flaky_links), 1 (cluster_loss), or 2 (combined), got {s}"
+            ));
+        }
+    }
+    for &t in &topologies {
+        if policy_sweep_topology(t).is_none() {
+            return Err(format!(
+                "axis 'topology' wants 0 (ring) or 1 (split:4), got {t}"
+            ));
+        }
+    }
+    for &ed in &eds {
+        if !(ed > 0.0 && ed <= 1.0) {
+            return Err(format!("axis 'ed' needs values in (0, 1], got {ed}"));
+        }
+    }
+    let mut points = Vec::new();
+    for &c in &controllers {
+        for &s in &scenarios {
+            for &t in &topologies {
+                for &ed in &eds {
+                    points.push((c, s, t, ed));
+                }
+            }
+        }
+    }
+    let space = Space::from_points("policy", points, |&(c, s, t, ed)| {
+        format!("controller={c};scenario={s};topology={t};ed={ed}")
+    });
+    let mut cache = open_cache(cache_dir, "policy", "policy-v1");
+    let out = explore::sweep_cached(&space, opts, &mut cache, |&(c, s, t, ed)| {
+        policy_cell(c, s, t, ed)
+    });
+    let cache_written = cache.save().map_err(|e| format!("cache save: {e}"))?;
+
+    let controller_label = |code: usize| *crate::sim::PolicyKind::names().get(code).unwrap_or(&"?");
+    let mut sweep = artifacts(
+        "policy",
+        "Controller race: static vs reactive vs predictive across fault × topology × load (DES)",
+        &[
+            "controller",
+            "scenario",
+            "topology",
+            "ed",
+            "goodput",
+            "availability",
+            "attainment",
+            "undeliverable",
+            "reroutes",
+            "frames shed",
+            "stable",
+        ],
+        &out.results,
+        |c: &PolicyCell| {
+            vec![
+                controller_label(c.controller).to_string(),
+                POLICY_SWEEP_SCENARIOS[c.scenario].to_string(),
+                policy_sweep_topology(c.topology)
+                    .map_or("?", |(_, l)| l)
+                    .to_string(),
+                trim_float(c.ed),
+                format!("{:.4}", c.goodput),
+                format!("{:.4}", c.availability),
+                format!("{:.4}", c.attainment),
+                c.undeliverable.to_string(),
+                c.reroutes.to_string(),
+                c.frames_shed.to_string(),
+                c.stable.to_string(),
+            ]
+        },
+        &[
+            Objective::maximize("goodput", |c: &PolicyCell| c.goodput),
+            Objective::maximize("availability", |c: &PolicyCell| c.availability),
+            Objective::maximize("SLO attainment", |c: &PolicyCell| c.attainment),
+        ],
+        &[],
+        out.stats,
+        cache_written,
+    );
+    policy_dominance_notes(&mut sweep.grid, &out.results);
+    Ok(sweep)
+}
+
 fn run_sizing(
     def: &SweepDef,
     overrides: &[(String, Vec<f64>)],
@@ -931,6 +1201,70 @@ impl explore::Cacheable for ServeCell {
             premium_attainment: d.f64()?,
             batch_efficiency: d.f64()?,
             shed_rate: d.f64()?,
+            stable: d.bool()?,
+        })
+    }
+}
+
+/// One cell of the policy race: the DES outcome of one controller on
+/// one (fault scenario, topology, early-discard load) matrix point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyCell {
+    /// Controller code ([`crate::sim::PolicyKind::names`] index).
+    pub controller: usize,
+    /// Fault scenario code ([`POLICY_SWEEP_SCENARIOS`] index).
+    pub scenario: usize,
+    /// Topology code (0 ring, 1 split:4).
+    pub topology: usize,
+    /// Early-discard keep rate, the sweep's load proxy.
+    pub ed: f64,
+    /// Frames processed over frames kept.
+    pub goodput: f64,
+    /// Constellation-time availability (policy-independent: the same
+    /// outage streams drive it under every controller).
+    pub availability: f64,
+    /// On-time serve completions over offered requests.
+    pub attainment: f64,
+    /// Frames dropped after exhausting retries and reroutes.
+    pub undeliverable: u64,
+    /// Frames sent the long way round a dead link or SµDC.
+    pub reroutes: u64,
+    /// Frames shed by degradation (configured + policy pre-shed).
+    pub frames_shed: u64,
+    /// Whether the run's backlog stayed bounded.
+    pub stable: bool,
+}
+
+impl explore::Cacheable for PolicyCell {
+    fn encode(&self) -> String {
+        explore::Enc::new()
+            .usize(self.controller)
+            .usize(self.scenario)
+            .usize(self.topology)
+            .f64(self.ed)
+            .f64(self.goodput)
+            .f64(self.availability)
+            .f64(self.attainment)
+            .u64(self.undeliverable)
+            .u64(self.reroutes)
+            .u64(self.frames_shed)
+            .bool(self.stable)
+            .finish()
+    }
+
+    fn decode(s: &str) -> Option<Self> {
+        let mut d = explore::Dec::new(s);
+        Some(Self {
+            controller: d.usize()?,
+            scenario: d.usize()?,
+            topology: d.usize()?,
+            ed: d.f64()?,
+            goodput: d.f64()?,
+            availability: d.f64()?,
+            attainment: d.f64()?,
+            undeliverable: d.u64()?,
+            reroutes: d.u64()?,
+            frames_shed: d.u64()?,
             stable: d.bool()?,
         })
     }
@@ -1211,6 +1545,34 @@ mod tests {
         let cell = serve_cell(200.0, 0.5, 2);
         assert!(cell.requests_per_sec > 0.0);
         assert_eq!(ServeCell::decode(&cell.encode()), Some(cell));
+    }
+
+    #[test]
+    fn policy_cell_cache_round_trips() {
+        use explore::Cacheable;
+        let cell = PolicyCell {
+            controller: 1,
+            scenario: 0,
+            topology: 1,
+            ed: 0.95,
+            goodput: 0.9634,
+            availability: 0.8864,
+            attainment: 0.97,
+            undeliverable: 5,
+            reroutes: 18,
+            frames_shed: 2,
+            stable: true,
+        };
+        assert_eq!(PolicyCell::decode(&cell.encode()), Some(cell));
+    }
+
+    #[test]
+    fn policy_race_rejects_unknown_codes() {
+        for (axis, bad) in [("controller", 3.0), ("scenario", 3.0), ("topology", 2.0)] {
+            let overrides = vec![(axis.to_string(), vec![bad])];
+            let err = run("policy", &overrides, &ExecOptions::sequential(), None).unwrap_err();
+            assert!(err.contains(axis), "{err}");
+        }
     }
 
     #[test]

@@ -36,11 +36,21 @@ use crate::Diagnostic;
 /// determinism sink, and everything reachable from them inherits that.
 /// `engine::step` is the sequential hot loop, `parallel::try_run_threads`
 /// the sharded entry point (whose reach covers shard workers and the
-/// absorb/merge discipline), `engine::report` the report fold.
+/// absorb/merge discipline), `engine::report` the report fold. The six
+/// `policy::decide_*` specs are the adaptive control plane's decision
+/// entry points: controllers run inside the event loop on every shard,
+/// so any taint in a `Policy` impl breaks byte-identity exactly like
+/// taint in the engine proper.
 pub const DETERMINISM_ROOTS: &[&str] = &[
     "engine::step",
     "parallel::try_run_threads",
     "engine::report",
+    "policy::decide_retry",
+    "policy::decide_reroute",
+    "policy::decide_shed",
+    "policy::decide_admission",
+    "policy::decide_batch",
+    "policy::decide_migration",
 ];
 
 /// Files whose statics/streams are subject to the sharding rules.

@@ -10,7 +10,10 @@
 # bar for `repro sim --serve` SLO reports), runs the thread-count
 # identity gate (1-worker vs 4-worker `repro sim --threads` runs of
 # every matrix cell — fault-free, faulted, and serve — must byte-diff
-# clean), checks the committed
+# clean), runs the policy gate (`--policy static` must byte-match the
+# default engine's fault and serve artifacts, and reactive/predictive
+# runs must double-run byte-identically across the topology matrix),
+# checks the committed
 # BENCH_sim.json perf-gate (with a >5% events/sec regression ratchet
 # and wall-clock coherence checks) and BENCH_serve.json
 # capacity-frontier artifacts, runs the static-analysis
@@ -221,6 +224,82 @@ if [ -x target/release/repro ]; then
         fi
     done
     if [ "$threads_ok" -ne 1 ]; then
+        failed=1
+    fi
+
+    # Adaptive control plane, part 1 — static equivalence: an explicit
+    # `--policy static` run must write the very bytes the committed
+    # (pre-policy) artifacts carry, fault and serve reports alike. The
+    # static controller keeps unsuffixed artifact names precisely so
+    # this diff is possible.
+    echo "== policy gate (static equivalence + adaptive replay) =="
+    policy_ok=1
+    dimp="$(mktemp -d)"
+    dexp="$(mktemp -d)"
+    if ./target/release/repro --quiet sim --faults flaky_links \
+        --out-dir "$dimp" >/dev/null &&
+        ./target/release/repro --quiet sim --faults flaky_links \
+            --policy static --out-dir "$dexp" >/dev/null &&
+        ./target/release/repro --quiet sim --serve steady --minutes 1 \
+            --out-dir "$dimp" >/dev/null &&
+        ./target/release/repro --quiet sim --serve steady --minutes 1 \
+            --policy static --out-dir "$dexp" >/dev/null; then
+        for f in faults_flaky_links serve_steady; do
+            for ext in txt csv json; do
+                if ! diff -q "$dimp/$f.$ext" "$dexp/$f.$ext" >/dev/null; then
+                    echo "FAIL: --policy static diverged from the default engine ($f.$ext)"
+                    policy_ok=0
+                fi
+            done
+        done
+        if [ "$policy_ok" -eq 1 ]; then
+            echo "ok: --policy static is the default engine, byte for byte"
+        fi
+    else
+        echo "FAIL: repro sim --policy static did not run cleanly"
+        policy_ok=0
+    fi
+    rm -rf "$dimp" "$dexp"
+
+    # Part 2 — adaptive replay: reactive and predictive runs must
+    # double-run byte-identically across the topology matrix (their
+    # artifacts carry a _<policy> suffix, so they can never clobber the
+    # committed static copies).
+    for policy in reactive predictive; do
+        for cell in $matrix; do
+            topo="${cell%:*}"
+            suffix="${cell##*:}"
+            da="$(mktemp -d)"
+            db="$(mktemp -d)"
+            cell_ok=1
+            for runDir in "$da" "$db"; do
+                if ! ./target/release/repro --quiet sim --faults flaky_links \
+                    --topology "$topo" --policy "$policy" \
+                    --out-dir "$runDir" >/dev/null; then
+                    cell_ok=0
+                fi
+            done
+            if [ "$cell_ok" -eq 1 ]; then
+                for ext in txt csv json; do
+                    if ! diff -q "$da/faults_flaky_links${suffix}_$policy.$ext" \
+                        "$db/faults_flaky_links${suffix}_$policy.$ext" >/dev/null; then
+                        echo "FAIL: same-seed $policy runs differ ($topo, .$ext)"
+                        cell_ok=0
+                    fi
+                done
+            else
+                echo "FAIL: repro sim --policy $policy --topology $topo did not run cleanly"
+            fi
+            if [ "$cell_ok" -ne 1 ]; then
+                policy_ok=0
+            fi
+            rm -rf "$da" "$db"
+        done
+        if [ "$policy_ok" -eq 1 ]; then
+            echo "ok: $policy replays byte-identically across the topology matrix"
+        fi
+    done
+    if [ "$policy_ok" -ne 1 ]; then
         failed=1
     fi
 else
