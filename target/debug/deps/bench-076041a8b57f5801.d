@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-076041a8b57f5801.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-076041a8b57f5801.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-076041a8b57f5801.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

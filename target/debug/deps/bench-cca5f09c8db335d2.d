@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-cca5f09c8db335d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-cca5f09c8db335d2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

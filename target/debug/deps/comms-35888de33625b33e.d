@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/comms-35888de33625b33e.d: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+/root/repo/target/debug/deps/libcomms-35888de33625b33e.rlib: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+/root/repo/target/debug/deps/libcomms-35888de33625b33e.rmeta: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+crates/comms/src/lib.rs:
+crates/comms/src/antenna.rs:
+crates/comms/src/contact.rs:
+crates/comms/src/groundstation.rs:
+crates/comms/src/isl.rs:
+crates/comms/src/linkbudget.rs:
+crates/comms/src/optical.rs:
+crates/comms/src/shannon.rs:

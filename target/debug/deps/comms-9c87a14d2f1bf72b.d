@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/comms-9c87a14d2f1bf72b.d: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+/root/repo/target/debug/deps/comms-9c87a14d2f1bf72b: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+crates/comms/src/lib.rs:
+crates/comms/src/antenna.rs:
+crates/comms/src/contact.rs:
+crates/comms/src/groundstation.rs:
+crates/comms/src/isl.rs:
+crates/comms/src/linkbudget.rs:
+crates/comms/src/optical.rs:
+crates/comms/src/shannon.rs:

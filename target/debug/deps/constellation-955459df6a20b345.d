@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/constellation-955459df6a20b345.d: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+/root/repo/target/debug/deps/constellation-955459df6a20b345: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+crates/constellation/src/lib.rs:
+crates/constellation/src/classes.rs:
+crates/constellation/src/plane.rs:
+crates/constellation/src/topology.rs:
+crates/constellation/src/walker.rs:

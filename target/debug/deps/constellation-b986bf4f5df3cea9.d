@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/constellation-b986bf4f5df3cea9.d: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+/root/repo/target/debug/deps/libconstellation-b986bf4f5df3cea9.rlib: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+/root/repo/target/debug/deps/libconstellation-b986bf4f5df3cea9.rmeta: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+crates/constellation/src/lib.rs:
+crates/constellation/src/classes.rs:
+crates/constellation/src/plane.rs:
+crates/constellation/src/topology.rs:
+crates/constellation/src/walker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-6aef8f5e224de925.d: crates/core/../../tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-6aef8f5e224de925: crates/core/../../tests/experiments_smoke.rs
+
+crates/core/../../tests/experiments_smoke.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/explore-16204599f5b5216e.d: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+/root/repo/target/debug/deps/libexplore-16204599f5b5216e.rlib: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+/root/repo/target/debug/deps/libexplore-16204599f5b5216e.rmeta: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/cache.rs:
+crates/explore/src/codec.rs:
+crates/explore/src/exec.rs:
+crates/explore/src/pareto.rs:
+crates/explore/src/space.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/explore-d49bea57cef478fb.d: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+/root/repo/target/debug/deps/explore-d49bea57cef478fb: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/cache.rs:
+crates/explore/src/codec.rs:
+crates/explore/src/exec.rs:
+crates/explore/src/pareto.rs:
+crates/explore/src/space.rs:

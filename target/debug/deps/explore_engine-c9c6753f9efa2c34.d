@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/explore_engine-c9c6753f9efa2c34.d: crates/core/../../tests/explore_engine.rs
+
+/root/repo/target/debug/deps/explore_engine-c9c6753f9efa2c34: crates/core/../../tests/explore_engine.rs
+
+crates/core/../../tests/explore_engine.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-5e07820425429439.d: crates/core/../../tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-5e07820425429439: crates/core/../../tests/fault_injection.rs
+
+crates/core/../../tests/fault_injection.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flight_recorder-0f80db99853a1b52.d: crates/core/../../tests/flight_recorder.rs
+
+/root/repo/target/debug/deps/flight_recorder-0f80db99853a1b52: crates/core/../../tests/flight_recorder.rs
+
+crates/core/../../tests/flight_recorder.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

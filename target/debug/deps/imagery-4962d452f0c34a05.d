@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/imagery-4962d452f0c34a05.d: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+/root/repo/target/debug/deps/libimagery-4962d452f0c34a05.rlib: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+/root/repo/target/debug/deps/libimagery-4962d452f0c34a05.rmeta: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+crates/imagery/src/lib.rs:
+crates/imagery/src/classify.rs:
+crates/imagery/src/discard.rs:
+crates/imagery/src/earth.rs:
+crates/imagery/src/frame.rs:
+crates/imagery/src/hyperspectral.rs:
+crates/imagery/src/noise.rs:
+crates/imagery/src/synth.rs:

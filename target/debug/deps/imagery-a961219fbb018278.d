@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/imagery-a961219fbb018278.d: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+/root/repo/target/debug/deps/imagery-a961219fbb018278: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+crates/imagery/src/lib.rs:
+crates/imagery/src/classify.rs:
+crates/imagery/src/discard.rs:
+crates/imagery/src/earth.rs:
+crates/imagery/src/frame.rs:
+crates/imagery/src/hyperspectral.rs:
+crates/imagery/src/noise.rs:
+crates/imagery/src/synth.rs:

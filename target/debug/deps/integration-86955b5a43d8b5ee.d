@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-86955b5a43d8b5ee.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-86955b5a43d8b5ee: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint_gate-6d1d467f96e2890e.d: crates/lint/../../tests/lint_gate.rs
+
+/root/repo/target/debug/deps/lint_gate-6d1d467f96e2890e: crates/lint/../../tests/lint_gate.rs
+
+crates/lint/../../tests/lint_gate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/orbit-e24be27708d10bd3.d: crates/orbit/src/lib.rs crates/orbit/src/circular.rs crates/orbit/src/drag.rs crates/orbit/src/eclipse.rs crates/orbit/src/groundtrack.rs crates/orbit/src/kepler.rs crates/orbit/src/propagate.rs crates/orbit/src/radiation.rs crates/orbit/src/vec3.rs crates/orbit/src/visibility.rs
+
+/root/repo/target/debug/deps/orbit-e24be27708d10bd3: crates/orbit/src/lib.rs crates/orbit/src/circular.rs crates/orbit/src/drag.rs crates/orbit/src/eclipse.rs crates/orbit/src/groundtrack.rs crates/orbit/src/kepler.rs crates/orbit/src/propagate.rs crates/orbit/src/radiation.rs crates/orbit/src/vec3.rs crates/orbit/src/visibility.rs
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/circular.rs:
+crates/orbit/src/drag.rs:
+crates/orbit/src/eclipse.rs:
+crates/orbit/src/groundtrack.rs:
+crates/orbit/src/kepler.rs:
+crates/orbit/src/propagate.rs:
+crates/orbit/src/radiation.rs:
+crates/orbit/src/vec3.rs:
+crates/orbit/src/visibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_numbers-bda3e2d39e8e9442.d: crates/core/../../tests/paper_numbers.rs
+
+/root/repo/target/debug/deps/paper_numbers-bda3e2d39e8e9442: crates/core/../../tests/paper_numbers.rs
+
+crates/core/../../tests/paper_numbers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_layer-5bf9fe763e3d298b.d: crates/core/../../tests/policy_layer.rs
+
+/root/repo/target/debug/deps/policy_layer-5bf9fe763e3d298b: crates/core/../../tests/policy_layer.rs
+
+crates/core/../../tests/policy_layer.rs:

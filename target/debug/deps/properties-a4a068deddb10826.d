@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a4a068deddb10826.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a4a068deddb10826: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

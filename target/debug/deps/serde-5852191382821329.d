@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-5852191382821329.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5852191382821329.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5852191382821329.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

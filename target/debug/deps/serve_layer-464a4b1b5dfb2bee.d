@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_layer-464a4b1b5dfb2bee.d: crates/core/../../tests/serve_layer.rs
+
+/root/repo/target/debug/deps/serve_layer-464a4b1b5dfb2bee: crates/core/../../tests/serve_layer.rs
+
+crates/core/../../tests/serve_layer.rs:

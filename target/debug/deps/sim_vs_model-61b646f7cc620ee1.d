@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_vs_model-61b646f7cc620ee1.d: crates/core/../../tests/sim_vs_model.rs
+
+/root/repo/target/debug/deps/sim_vs_model-61b646f7cc620ee1: crates/core/../../tests/sim_vs_model.rs
+
+crates/core/../../tests/sim_vs_model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simkit-1fc4cd2835c95308.d: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/libsimkit-1fc4cd2835c95308.rlib: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/libsimkit-1fc4cd2835c95308.rmeta: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/faults.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/simkit-f3220580252856af.d: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/simkit-f3220580252856af: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/faults.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:

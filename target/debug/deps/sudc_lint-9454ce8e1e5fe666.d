@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sudc_lint-9454ce8e1e5fe666.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/callgraph.rs crates/lint/src/jsonv.rs crates/lint/src/lexer.rs crates/lint/src/parse.rs crates/lint/src/report.rs crates/lint/src/rules.rs crates/lint/src/source.rs crates/lint/src/symbols.rs crates/lint/src/taint.rs
+
+/root/repo/target/debug/deps/libsudc_lint-9454ce8e1e5fe666.rlib: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/callgraph.rs crates/lint/src/jsonv.rs crates/lint/src/lexer.rs crates/lint/src/parse.rs crates/lint/src/report.rs crates/lint/src/rules.rs crates/lint/src/source.rs crates/lint/src/symbols.rs crates/lint/src/taint.rs
+
+/root/repo/target/debug/deps/libsudc_lint-9454ce8e1e5fe666.rmeta: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/callgraph.rs crates/lint/src/jsonv.rs crates/lint/src/lexer.rs crates/lint/src/parse.rs crates/lint/src/report.rs crates/lint/src/rules.rs crates/lint/src/source.rs crates/lint/src/symbols.rs crates/lint/src/taint.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/callgraph.rs:
+crates/lint/src/jsonv.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/parse.rs:
+crates/lint/src/report.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/source.rs:
+crates/lint/src/symbols.rs:
+crates/lint/src/taint.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/telemetry-9c6720cd87e257ee.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libtelemetry-9c6720cd87e257ee.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libtelemetry-9c6720cd87e257ee.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/trace.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:GIT_DESCRIBE

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/telemetry-fe4e658f6b08cfbd.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/telemetry-fe4e658f6b08cfbd: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/trace.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:GIT_DESCRIBE

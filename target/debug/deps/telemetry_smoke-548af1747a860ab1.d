@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_smoke-548af1747a860ab1.d: crates/core/../../tests/telemetry_smoke.rs
+
+/root/repo/target/debug/deps/telemetry_smoke-548af1747a860ab1: crates/core/../../tests/telemetry_smoke.rs
+
+crates/core/../../tests/telemetry_smoke.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/units-45f05e535bf18596.d: crates/units/src/lib.rs crates/units/src/angle.rs crates/units/src/data.rs crates/units/src/money.rs crates/units/src/quantity.rs crates/units/src/si.rs crates/units/src/constants.rs crates/units/src/fmt_si.rs
+
+/root/repo/target/debug/deps/libunits-45f05e535bf18596.rlib: crates/units/src/lib.rs crates/units/src/angle.rs crates/units/src/data.rs crates/units/src/money.rs crates/units/src/quantity.rs crates/units/src/si.rs crates/units/src/constants.rs crates/units/src/fmt_si.rs
+
+/root/repo/target/debug/deps/libunits-45f05e535bf18596.rmeta: crates/units/src/lib.rs crates/units/src/angle.rs crates/units/src/data.rs crates/units/src/money.rs crates/units/src/quantity.rs crates/units/src/si.rs crates/units/src/constants.rs crates/units/src/fmt_si.rs
+
+crates/units/src/lib.rs:
+crates/units/src/angle.rs:
+crates/units/src/data.rs:
+crates/units/src/money.rs:
+crates/units/src/quantity.rs:
+crates/units/src/si.rs:
+crates/units/src/constants.rs:
+crates/units/src/fmt_si.rs:

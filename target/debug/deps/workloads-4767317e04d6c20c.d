@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-4767317e04d6c20c.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+/root/repo/target/debug/deps/workloads-4767317e04d6c20c: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/batch.rs:
+crates/workloads/src/hardening.rs:
+crates/workloads/src/hardware.rs:
+crates/workloads/src/mlperf.rs:

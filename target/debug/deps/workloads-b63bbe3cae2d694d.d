@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workloads-b63bbe3cae2d694d.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+/root/repo/target/debug/deps/libworkloads-b63bbe3cae2d694d.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+/root/repo/target/debug/deps/libworkloads-b63bbe3cae2d694d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/batch.rs:
+crates/workloads/src/hardening.rs:
+crates/workloads/src/hardware.rs:
+crates/workloads/src/mlperf.rs:

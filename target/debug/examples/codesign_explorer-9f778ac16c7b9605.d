@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codesign_explorer-9f778ac16c7b9605.d: crates/core/../../examples/codesign_explorer.rs
+
+/root/repo/target/debug/examples/codesign_explorer-9f778ac16c7b9605: crates/core/../../examples/codesign_explorer.rs
+
+crates/core/../../examples/codesign_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/constellation_sim-c3e40866251d7f14.d: crates/core/../../examples/constellation_sim.rs
+
+/root/repo/target/debug/examples/constellation_sim-c3e40866251d7f14: crates/core/../../examples/constellation_sim.rs
+
+crates/core/../../examples/constellation_sim.rs:

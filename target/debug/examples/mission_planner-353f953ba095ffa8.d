@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mission_planner-353f953ba095ffa8.d: crates/core/../../examples/mission_planner.rs
+
+/root/repo/target/debug/examples/mission_planner-353f953ba095ffa8: crates/core/../../examples/mission_planner.rs
+
+crates/core/../../examples/mission_planner.rs:

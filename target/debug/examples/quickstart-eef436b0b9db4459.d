@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eef436b0b9db4459.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eef436b0b9db4459: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-2fb02124fad22ba3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-2fb02124fad22ba3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-2fb02124fad22ba3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-7cc8ed0513a2ca32.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-7cc8ed0513a2ca32: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/comms-32482f35027b8dbc.d: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+/root/repo/target/release/deps/libcomms-32482f35027b8dbc.rlib: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+/root/repo/target/release/deps/libcomms-32482f35027b8dbc.rmeta: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+crates/comms/src/lib.rs:
+crates/comms/src/antenna.rs:
+crates/comms/src/contact.rs:
+crates/comms/src/groundstation.rs:
+crates/comms/src/isl.rs:
+crates/comms/src/linkbudget.rs:
+crates/comms/src/optical.rs:
+crates/comms/src/shannon.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/comms-5546320ceeabd67d.d: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+/root/repo/target/release/deps/comms-5546320ceeabd67d: crates/comms/src/lib.rs crates/comms/src/antenna.rs crates/comms/src/contact.rs crates/comms/src/groundstation.rs crates/comms/src/isl.rs crates/comms/src/linkbudget.rs crates/comms/src/optical.rs crates/comms/src/shannon.rs
+
+crates/comms/src/lib.rs:
+crates/comms/src/antenna.rs:
+crates/comms/src/contact.rs:
+crates/comms/src/groundstation.rs:
+crates/comms/src/isl.rs:
+crates/comms/src/linkbudget.rs:
+crates/comms/src/optical.rs:
+crates/comms/src/shannon.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/compress-c913afed077fb4df.d: crates/compress/src/lib.rs crates/compress/src/bitio.rs crates/compress/src/ccsds.rs crates/compress/src/deflate.rs crates/compress/src/dwt.rs crates/compress/src/huffman.rs crates/compress/src/lz77.rs crates/compress/src/lzw.rs crates/compress/src/png.rs crates/compress/src/quality.rs crates/compress/src/raster.rs crates/compress/src/rice.rs crates/compress/src/rle.rs
+
+/root/repo/target/release/deps/compress-c913afed077fb4df: crates/compress/src/lib.rs crates/compress/src/bitio.rs crates/compress/src/ccsds.rs crates/compress/src/deflate.rs crates/compress/src/dwt.rs crates/compress/src/huffman.rs crates/compress/src/lz77.rs crates/compress/src/lzw.rs crates/compress/src/png.rs crates/compress/src/quality.rs crates/compress/src/raster.rs crates/compress/src/rice.rs crates/compress/src/rle.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/bitio.rs:
+crates/compress/src/ccsds.rs:
+crates/compress/src/deflate.rs:
+crates/compress/src/dwt.rs:
+crates/compress/src/huffman.rs:
+crates/compress/src/lz77.rs:
+crates/compress/src/lzw.rs:
+crates/compress/src/png.rs:
+crates/compress/src/quality.rs:
+crates/compress/src/raster.rs:
+crates/compress/src/rice.rs:
+crates/compress/src/rle.rs:

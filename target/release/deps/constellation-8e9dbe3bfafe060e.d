@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/constellation-8e9dbe3bfafe060e.d: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+/root/repo/target/release/deps/constellation-8e9dbe3bfafe060e: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+crates/constellation/src/lib.rs:
+crates/constellation/src/classes.rs:
+crates/constellation/src/plane.rs:
+crates/constellation/src/topology.rs:
+crates/constellation/src/walker.rs:

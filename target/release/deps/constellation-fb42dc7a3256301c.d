@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/constellation-fb42dc7a3256301c.d: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+/root/repo/target/release/deps/libconstellation-fb42dc7a3256301c.rlib: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+/root/repo/target/release/deps/libconstellation-fb42dc7a3256301c.rmeta: crates/constellation/src/lib.rs crates/constellation/src/classes.rs crates/constellation/src/plane.rs crates/constellation/src/topology.rs crates/constellation/src/walker.rs
+
+crates/constellation/src/lib.rs:
+crates/constellation/src/classes.rs:
+crates/constellation/src/plane.rs:
+crates/constellation/src/topology.rs:
+crates/constellation/src/walker.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3627ccc9ac637c6f.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3627ccc9ac637c6f.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3627ccc9ac637c6f.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments_smoke-f05f3e6c3776bb4f.d: crates/core/../../tests/experiments_smoke.rs
+
+/root/repo/target/release/deps/experiments_smoke-f05f3e6c3776bb4f: crates/core/../../tests/experiments_smoke.rs
+
+crates/core/../../tests/experiments_smoke.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/explore-8ea9d0d3e8fa79a8.d: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+/root/repo/target/release/deps/explore-8ea9d0d3e8fa79a8: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/cache.rs:
+crates/explore/src/codec.rs:
+crates/explore/src/exec.rs:
+crates/explore/src/pareto.rs:
+crates/explore/src/space.rs:

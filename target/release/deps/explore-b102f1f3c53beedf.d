@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/explore-b102f1f3c53beedf.d: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+/root/repo/target/release/deps/libexplore-b102f1f3c53beedf.rlib: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+/root/repo/target/release/deps/libexplore-b102f1f3c53beedf.rmeta: crates/explore/src/lib.rs crates/explore/src/cache.rs crates/explore/src/codec.rs crates/explore/src/exec.rs crates/explore/src/pareto.rs crates/explore/src/space.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/cache.rs:
+crates/explore/src/codec.rs:
+crates/explore/src/exec.rs:
+crates/explore/src/pareto.rs:
+crates/explore/src/space.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/explore_engine-ac70ac502169f4fc.d: crates/core/../../tests/explore_engine.rs
+
+/root/repo/target/release/deps/explore_engine-ac70ac502169f4fc: crates/core/../../tests/explore_engine.rs
+
+crates/core/../../tests/explore_engine.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-1146d91c26b61018.d: crates/core/../../tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-1146d91c26b61018: crates/core/../../tests/fault_injection.rs
+
+crates/core/../../tests/fault_injection.rs:

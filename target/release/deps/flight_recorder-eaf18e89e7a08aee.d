@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flight_recorder-eaf18e89e7a08aee.d: crates/core/../../tests/flight_recorder.rs
+
+/root/repo/target/release/deps/flight_recorder-eaf18e89e7a08aee: crates/core/../../tests/flight_recorder.rs
+
+crates/core/../../tests/flight_recorder.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

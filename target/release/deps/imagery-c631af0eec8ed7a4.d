@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/imagery-c631af0eec8ed7a4.d: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+/root/repo/target/release/deps/libimagery-c631af0eec8ed7a4.rlib: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+/root/repo/target/release/deps/libimagery-c631af0eec8ed7a4.rmeta: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+crates/imagery/src/lib.rs:
+crates/imagery/src/classify.rs:
+crates/imagery/src/discard.rs:
+crates/imagery/src/earth.rs:
+crates/imagery/src/frame.rs:
+crates/imagery/src/hyperspectral.rs:
+crates/imagery/src/noise.rs:
+crates/imagery/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/imagery-f1d88c74bfbfd9ae.d: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+/root/repo/target/release/deps/imagery-f1d88c74bfbfd9ae: crates/imagery/src/lib.rs crates/imagery/src/classify.rs crates/imagery/src/discard.rs crates/imagery/src/earth.rs crates/imagery/src/frame.rs crates/imagery/src/hyperspectral.rs crates/imagery/src/noise.rs crates/imagery/src/synth.rs
+
+crates/imagery/src/lib.rs:
+crates/imagery/src/classify.rs:
+crates/imagery/src/discard.rs:
+crates/imagery/src/earth.rs:
+crates/imagery/src/frame.rs:
+crates/imagery/src/hyperspectral.rs:
+crates/imagery/src/noise.rs:
+crates/imagery/src/synth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-5e40e31e6bb99c8a.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/release/deps/integration-5e40e31e6bb99c8a: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

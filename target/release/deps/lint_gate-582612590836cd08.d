@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lint_gate-582612590836cd08.d: crates/lint/../../tests/lint_gate.rs
+
+/root/repo/target/release/deps/lint_gate-582612590836cd08: crates/lint/../../tests/lint_gate.rs
+
+crates/lint/../../tests/lint_gate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/orbit-2f8ae39b39f7185e.d: crates/orbit/src/lib.rs crates/orbit/src/circular.rs crates/orbit/src/drag.rs crates/orbit/src/eclipse.rs crates/orbit/src/groundtrack.rs crates/orbit/src/kepler.rs crates/orbit/src/propagate.rs crates/orbit/src/radiation.rs crates/orbit/src/vec3.rs crates/orbit/src/visibility.rs
+
+/root/repo/target/release/deps/orbit-2f8ae39b39f7185e: crates/orbit/src/lib.rs crates/orbit/src/circular.rs crates/orbit/src/drag.rs crates/orbit/src/eclipse.rs crates/orbit/src/groundtrack.rs crates/orbit/src/kepler.rs crates/orbit/src/propagate.rs crates/orbit/src/radiation.rs crates/orbit/src/vec3.rs crates/orbit/src/visibility.rs
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/circular.rs:
+crates/orbit/src/drag.rs:
+crates/orbit/src/eclipse.rs:
+crates/orbit/src/groundtrack.rs:
+crates/orbit/src/kepler.rs:
+crates/orbit/src/propagate.rs:
+crates/orbit/src/radiation.rs:
+crates/orbit/src/vec3.rs:
+crates/orbit/src/visibility.rs:

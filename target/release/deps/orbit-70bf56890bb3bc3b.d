@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/orbit-70bf56890bb3bc3b.d: crates/orbit/src/lib.rs crates/orbit/src/circular.rs crates/orbit/src/drag.rs crates/orbit/src/eclipse.rs crates/orbit/src/groundtrack.rs crates/orbit/src/kepler.rs crates/orbit/src/propagate.rs crates/orbit/src/radiation.rs crates/orbit/src/vec3.rs crates/orbit/src/visibility.rs
+
+/root/repo/target/release/deps/liborbit-70bf56890bb3bc3b.rlib: crates/orbit/src/lib.rs crates/orbit/src/circular.rs crates/orbit/src/drag.rs crates/orbit/src/eclipse.rs crates/orbit/src/groundtrack.rs crates/orbit/src/kepler.rs crates/orbit/src/propagate.rs crates/orbit/src/radiation.rs crates/orbit/src/vec3.rs crates/orbit/src/visibility.rs
+
+/root/repo/target/release/deps/liborbit-70bf56890bb3bc3b.rmeta: crates/orbit/src/lib.rs crates/orbit/src/circular.rs crates/orbit/src/drag.rs crates/orbit/src/eclipse.rs crates/orbit/src/groundtrack.rs crates/orbit/src/kepler.rs crates/orbit/src/propagate.rs crates/orbit/src/radiation.rs crates/orbit/src/vec3.rs crates/orbit/src/visibility.rs
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/circular.rs:
+crates/orbit/src/drag.rs:
+crates/orbit/src/eclipse.rs:
+crates/orbit/src/groundtrack.rs:
+crates/orbit/src/kepler.rs:
+crates/orbit/src/propagate.rs:
+crates/orbit/src/radiation.rs:
+crates/orbit/src/vec3.rs:
+crates/orbit/src/visibility.rs:

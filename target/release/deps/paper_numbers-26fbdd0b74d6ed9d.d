@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_numbers-26fbdd0b74d6ed9d.d: crates/core/../../tests/paper_numbers.rs
+
+/root/repo/target/release/deps/paper_numbers-26fbdd0b74d6ed9d: crates/core/../../tests/paper_numbers.rs
+
+crates/core/../../tests/paper_numbers.rs:

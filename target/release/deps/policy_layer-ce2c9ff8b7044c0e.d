@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policy_layer-ce2c9ff8b7044c0e.d: crates/core/../../tests/policy_layer.rs
+
+/root/repo/target/release/deps/policy_layer-ce2c9ff8b7044c0e: crates/core/../../tests/policy_layer.rs
+
+crates/core/../../tests/policy_layer.rs:

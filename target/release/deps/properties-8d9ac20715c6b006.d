@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-8d9ac20715c6b006.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/release/deps/properties-8d9ac20715c6b006: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/repro-3c8c19190a86280c.d: crates/bench/src/bin/repro/main.rs crates/bench/src/bin/repro/cmd/mod.rs crates/bench/src/bin/repro/cmd/bench.rs crates/bench/src/bin/repro/cmd/explore.rs crates/bench/src/bin/repro/cmd/lint.rs crates/bench/src/bin/repro/cmd/run.rs crates/bench/src/bin/repro/cmd/serve.rs crates/bench/src/bin/repro/cmd/sim.rs crates/bench/src/bin/repro/cmd/trace.rs
+
+/root/repo/target/release/deps/repro-3c8c19190a86280c: crates/bench/src/bin/repro/main.rs crates/bench/src/bin/repro/cmd/mod.rs crates/bench/src/bin/repro/cmd/bench.rs crates/bench/src/bin/repro/cmd/explore.rs crates/bench/src/bin/repro/cmd/lint.rs crates/bench/src/bin/repro/cmd/run.rs crates/bench/src/bin/repro/cmd/serve.rs crates/bench/src/bin/repro/cmd/sim.rs crates/bench/src/bin/repro/cmd/trace.rs
+
+crates/bench/src/bin/repro/main.rs:
+crates/bench/src/bin/repro/cmd/mod.rs:
+crates/bench/src/bin/repro/cmd/bench.rs:
+crates/bench/src/bin/repro/cmd/explore.rs:
+crates/bench/src/bin/repro/cmd/lint.rs:
+crates/bench/src/bin/repro/cmd/run.rs:
+crates/bench/src/bin/repro/cmd/serve.rs:
+crates/bench/src/bin/repro/cmd/sim.rs:
+crates/bench/src/bin/repro/cmd/trace.rs:

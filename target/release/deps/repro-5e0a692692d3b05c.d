@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/repro-5e0a692692d3b05c.d: crates/bench/src/bin/repro/main.rs crates/bench/src/bin/repro/cmd/mod.rs crates/bench/src/bin/repro/cmd/bench.rs crates/bench/src/bin/repro/cmd/explore.rs crates/bench/src/bin/repro/cmd/lint.rs crates/bench/src/bin/repro/cmd/run.rs crates/bench/src/bin/repro/cmd/serve.rs crates/bench/src/bin/repro/cmd/sim.rs crates/bench/src/bin/repro/cmd/trace.rs
+
+/root/repo/target/release/deps/repro-5e0a692692d3b05c: crates/bench/src/bin/repro/main.rs crates/bench/src/bin/repro/cmd/mod.rs crates/bench/src/bin/repro/cmd/bench.rs crates/bench/src/bin/repro/cmd/explore.rs crates/bench/src/bin/repro/cmd/lint.rs crates/bench/src/bin/repro/cmd/run.rs crates/bench/src/bin/repro/cmd/serve.rs crates/bench/src/bin/repro/cmd/sim.rs crates/bench/src/bin/repro/cmd/trace.rs
+
+crates/bench/src/bin/repro/main.rs:
+crates/bench/src/bin/repro/cmd/mod.rs:
+crates/bench/src/bin/repro/cmd/bench.rs:
+crates/bench/src/bin/repro/cmd/explore.rs:
+crates/bench/src/bin/repro/cmd/lint.rs:
+crates/bench/src/bin/repro/cmd/run.rs:
+crates/bench/src/bin/repro/cmd/serve.rs:
+crates/bench/src/bin/repro/cmd/sim.rs:
+crates/bench/src/bin/repro/cmd/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-7ff27e9488390508.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7ff27e9488390508.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7ff27e9488390508.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-e628fa959f6838e1.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e628fa959f6838e1.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e628fa959f6838e1.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_layer-c24ab4382addc697.d: crates/core/../../tests/serve_layer.rs
+
+/root/repo/target/release/deps/serve_layer-c24ab4382addc697: crates/core/../../tests/serve_layer.rs
+
+crates/core/../../tests/serve_layer.rs:

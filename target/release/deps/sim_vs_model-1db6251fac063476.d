@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_vs_model-1db6251fac063476.d: crates/core/../../tests/sim_vs_model.rs
+
+/root/repo/target/release/deps/sim_vs_model-1db6251fac063476: crates/core/../../tests/sim_vs_model.rs
+
+crates/core/../../tests/sim_vs_model.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/simkit-900b0bc001a4481b.d: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/release/deps/simkit-900b0bc001a4481b: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/faults.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/simkit-9879febb4f207213.d: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/release/deps/libsimkit-9879febb4f207213.rlib: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+/root/repo/target/release/deps/libsimkit-9879febb4f207213.rmeta: crates/simkit/src/lib.rs crates/simkit/src/faults.rs crates/simkit/src/rng.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/faults.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats.rs:

@@ -1,0 +1,46 @@
+/root/repo/target/release/deps/sudc-ba8723a7a31afad3.d: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/codesign.rs crates/core/src/costs.rs crates/core/src/data/mod.rs crates/core/src/data/downlinks.rs crates/core/src/data/missions.rs crates/core/src/datareq.rs crates/core/src/deficit.rs crates/core/src/disaggregation.rs crates/core/src/ecr.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/lossy.rs crates/core/src/experiments/placement.rs crates/core/src/experiments/simval.rs crates/core/src/experiments/tables.rs crates/core/src/onboard.rs crates/core/src/powersys.rs crates/core/src/sim/mod.rs crates/core/src/sim/engine.rs crates/core/src/sim/faults.rs crates/core/src/sim/model.rs crates/core/src/sim/parallel.rs crates/core/src/sim/policy/mod.rs crates/core/src/sim/policy/baseline.rs crates/core/src/sim/policy/predictive.rs crates/core/src/sim/policy/reactive.rs crates/core/src/sim/serve/mod.rs crates/core/src/sim/serve/admission.rs crates/core/src/sim/serve/batcher.rs crates/core/src/sim/serve/config.rs crates/core/src/sim/serve/report.rs crates/core/src/sim/serve/state.rs crates/core/src/sim/service.rs crates/core/src/sim/topology.rs crates/core/src/sim/transport.rs crates/core/src/sizing.rs crates/core/src/sweeps.rs crates/core/src/thermal.rs
+
+/root/repo/target/release/deps/libsudc-ba8723a7a31afad3.rlib: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/codesign.rs crates/core/src/costs.rs crates/core/src/data/mod.rs crates/core/src/data/downlinks.rs crates/core/src/data/missions.rs crates/core/src/datareq.rs crates/core/src/deficit.rs crates/core/src/disaggregation.rs crates/core/src/ecr.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/lossy.rs crates/core/src/experiments/placement.rs crates/core/src/experiments/simval.rs crates/core/src/experiments/tables.rs crates/core/src/onboard.rs crates/core/src/powersys.rs crates/core/src/sim/mod.rs crates/core/src/sim/engine.rs crates/core/src/sim/faults.rs crates/core/src/sim/model.rs crates/core/src/sim/parallel.rs crates/core/src/sim/policy/mod.rs crates/core/src/sim/policy/baseline.rs crates/core/src/sim/policy/predictive.rs crates/core/src/sim/policy/reactive.rs crates/core/src/sim/serve/mod.rs crates/core/src/sim/serve/admission.rs crates/core/src/sim/serve/batcher.rs crates/core/src/sim/serve/config.rs crates/core/src/sim/serve/report.rs crates/core/src/sim/serve/state.rs crates/core/src/sim/service.rs crates/core/src/sim/topology.rs crates/core/src/sim/transport.rs crates/core/src/sizing.rs crates/core/src/sweeps.rs crates/core/src/thermal.rs
+
+/root/repo/target/release/deps/libsudc-ba8723a7a31afad3.rmeta: crates/core/src/lib.rs crates/core/src/bottleneck.rs crates/core/src/codesign.rs crates/core/src/costs.rs crates/core/src/data/mod.rs crates/core/src/data/downlinks.rs crates/core/src/data/missions.rs crates/core/src/datareq.rs crates/core/src/deficit.rs crates/core/src/disaggregation.rs crates/core/src/ecr.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/lossy.rs crates/core/src/experiments/placement.rs crates/core/src/experiments/simval.rs crates/core/src/experiments/tables.rs crates/core/src/onboard.rs crates/core/src/powersys.rs crates/core/src/sim/mod.rs crates/core/src/sim/engine.rs crates/core/src/sim/faults.rs crates/core/src/sim/model.rs crates/core/src/sim/parallel.rs crates/core/src/sim/policy/mod.rs crates/core/src/sim/policy/baseline.rs crates/core/src/sim/policy/predictive.rs crates/core/src/sim/policy/reactive.rs crates/core/src/sim/serve/mod.rs crates/core/src/sim/serve/admission.rs crates/core/src/sim/serve/batcher.rs crates/core/src/sim/serve/config.rs crates/core/src/sim/serve/report.rs crates/core/src/sim/serve/state.rs crates/core/src/sim/service.rs crates/core/src/sim/topology.rs crates/core/src/sim/transport.rs crates/core/src/sizing.rs crates/core/src/sweeps.rs crates/core/src/thermal.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bottleneck.rs:
+crates/core/src/codesign.rs:
+crates/core/src/costs.rs:
+crates/core/src/data/mod.rs:
+crates/core/src/data/downlinks.rs:
+crates/core/src/data/missions.rs:
+crates/core/src/datareq.rs:
+crates/core/src/deficit.rs:
+crates/core/src/disaggregation.rs:
+crates/core/src/ecr.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/lossy.rs:
+crates/core/src/experiments/placement.rs:
+crates/core/src/experiments/simval.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/onboard.rs:
+crates/core/src/powersys.rs:
+crates/core/src/sim/mod.rs:
+crates/core/src/sim/engine.rs:
+crates/core/src/sim/faults.rs:
+crates/core/src/sim/model.rs:
+crates/core/src/sim/parallel.rs:
+crates/core/src/sim/policy/mod.rs:
+crates/core/src/sim/policy/baseline.rs:
+crates/core/src/sim/policy/predictive.rs:
+crates/core/src/sim/policy/reactive.rs:
+crates/core/src/sim/serve/mod.rs:
+crates/core/src/sim/serve/admission.rs:
+crates/core/src/sim/serve/batcher.rs:
+crates/core/src/sim/serve/config.rs:
+crates/core/src/sim/serve/report.rs:
+crates/core/src/sim/serve/state.rs:
+crates/core/src/sim/service.rs:
+crates/core/src/sim/topology.rs:
+crates/core/src/sim/transport.rs:
+crates/core/src/sizing.rs:
+crates/core/src/sweeps.rs:
+crates/core/src/thermal.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sudc_lint-6448cb8c27c0e8ea.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/callgraph.rs crates/lint/src/jsonv.rs crates/lint/src/lexer.rs crates/lint/src/parse.rs crates/lint/src/report.rs crates/lint/src/rules.rs crates/lint/src/source.rs crates/lint/src/symbols.rs crates/lint/src/taint.rs
+
+/root/repo/target/release/deps/libsudc_lint-6448cb8c27c0e8ea.rlib: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/callgraph.rs crates/lint/src/jsonv.rs crates/lint/src/lexer.rs crates/lint/src/parse.rs crates/lint/src/report.rs crates/lint/src/rules.rs crates/lint/src/source.rs crates/lint/src/symbols.rs crates/lint/src/taint.rs
+
+/root/repo/target/release/deps/libsudc_lint-6448cb8c27c0e8ea.rmeta: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/callgraph.rs crates/lint/src/jsonv.rs crates/lint/src/lexer.rs crates/lint/src/parse.rs crates/lint/src/report.rs crates/lint/src/rules.rs crates/lint/src/source.rs crates/lint/src/symbols.rs crates/lint/src/taint.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/callgraph.rs:
+crates/lint/src/jsonv.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/parse.rs:
+crates/lint/src/report.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/source.rs:
+crates/lint/src/symbols.rs:
+crates/lint/src/taint.rs:

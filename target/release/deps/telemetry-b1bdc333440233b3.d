@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/telemetry-b1bdc333440233b3.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libtelemetry-b1bdc333440233b3.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libtelemetry-b1bdc333440233b3.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/manifest.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/trace.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:GIT_DESCRIBE

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_smoke-210f3cec1086fae7.d: crates/core/../../tests/telemetry_smoke.rs
+
+/root/repo/target/release/deps/telemetry_smoke-210f3cec1086fae7: crates/core/../../tests/telemetry_smoke.rs
+
+crates/core/../../tests/telemetry_smoke.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/units-8fb9725000d0d1cc.d: crates/units/src/lib.rs crates/units/src/angle.rs crates/units/src/data.rs crates/units/src/money.rs crates/units/src/quantity.rs crates/units/src/si.rs crates/units/src/constants.rs crates/units/src/fmt_si.rs
+
+/root/repo/target/release/deps/libunits-8fb9725000d0d1cc.rlib: crates/units/src/lib.rs crates/units/src/angle.rs crates/units/src/data.rs crates/units/src/money.rs crates/units/src/quantity.rs crates/units/src/si.rs crates/units/src/constants.rs crates/units/src/fmt_si.rs
+
+/root/repo/target/release/deps/libunits-8fb9725000d0d1cc.rmeta: crates/units/src/lib.rs crates/units/src/angle.rs crates/units/src/data.rs crates/units/src/money.rs crates/units/src/quantity.rs crates/units/src/si.rs crates/units/src/constants.rs crates/units/src/fmt_si.rs
+
+crates/units/src/lib.rs:
+crates/units/src/angle.rs:
+crates/units/src/data.rs:
+crates/units/src/money.rs:
+crates/units/src/quantity.rs:
+crates/units/src/si.rs:
+crates/units/src/constants.rs:
+crates/units/src/fmt_si.rs:

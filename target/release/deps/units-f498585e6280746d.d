@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/units-f498585e6280746d.d: crates/units/src/lib.rs crates/units/src/angle.rs crates/units/src/data.rs crates/units/src/money.rs crates/units/src/quantity.rs crates/units/src/si.rs crates/units/src/constants.rs crates/units/src/fmt_si.rs
+
+/root/repo/target/release/deps/units-f498585e6280746d: crates/units/src/lib.rs crates/units/src/angle.rs crates/units/src/data.rs crates/units/src/money.rs crates/units/src/quantity.rs crates/units/src/si.rs crates/units/src/constants.rs crates/units/src/fmt_si.rs
+
+crates/units/src/lib.rs:
+crates/units/src/angle.rs:
+crates/units/src/data.rs:
+crates/units/src/money.rs:
+crates/units/src/quantity.rs:
+crates/units/src/si.rs:
+crates/units/src/constants.rs:
+crates/units/src/fmt_si.rs:

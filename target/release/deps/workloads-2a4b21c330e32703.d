@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/workloads-2a4b21c330e32703.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+/root/repo/target/release/deps/workloads-2a4b21c330e32703: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/batch.rs:
+crates/workloads/src/hardening.rs:
+crates/workloads/src/hardware.rs:
+crates/workloads/src/mlperf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/workloads-b035495661db476e.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+/root/repo/target/release/deps/libworkloads-b035495661db476e.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+/root/repo/target/release/deps/libworkloads-b035495661db476e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/batch.rs crates/workloads/src/hardening.rs crates/workloads/src/hardware.rs crates/workloads/src/mlperf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/batch.rs:
+crates/workloads/src/hardening.rs:
+crates/workloads/src/hardware.rs:
+crates/workloads/src/mlperf.rs:

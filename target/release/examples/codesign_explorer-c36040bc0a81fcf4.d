@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/codesign_explorer-c36040bc0a81fcf4.d: crates/core/../../examples/codesign_explorer.rs
+
+/root/repo/target/release/examples/codesign_explorer-c36040bc0a81fcf4: crates/core/../../examples/codesign_explorer.rs
+
+crates/core/../../examples/codesign_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/constellation_sim-04b8b253a3e2a3e0.d: crates/core/../../examples/constellation_sim.rs
+
+/root/repo/target/release/examples/constellation_sim-04b8b253a3e2a3e0: crates/core/../../examples/constellation_sim.rs
+
+crates/core/../../examples/constellation_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_static-ef64991ddd44858a.d: crates/core/examples/dbg_static.rs
+
+/root/repo/target/release/examples/dbg_static-ef64991ddd44858a: crates/core/examples/dbg_static.rs
+
+crates/core/examples/dbg_static.rs:

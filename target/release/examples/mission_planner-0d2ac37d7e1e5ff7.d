@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mission_planner-0d2ac37d7e1e5ff7.d: crates/core/../../examples/mission_planner.rs
+
+/root/repo/target/release/examples/mission_planner-0d2ac37d7e1e5ff7: crates/core/../../examples/mission_planner.rs
+
+crates/core/../../examples/mission_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9fa4d111b79bf41e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9fa4d111b79bf41e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:
